@@ -1,0 +1,326 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per table/figure, backed by
+// internal/experiments), the §8 summary, ablation benches for the
+// design choices called out in DESIGN.md, and micro-benchmarks of the
+// hot substrates.
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benches report the headline quantity of their figure
+// as a custom metric so the paper's numbers fall directly out of the
+// bench run.
+package softstate
+
+import (
+	"fmt"
+	"testing"
+
+	"softstate/internal/core"
+	"softstate/internal/eventsim"
+	"softstate/internal/experiments"
+	"softstate/internal/namespace"
+	"softstate/internal/netsim"
+	"softstate/internal/protocol"
+	"softstate/internal/sched"
+	"softstate/internal/xrand"
+)
+
+var quick = experiments.Opts{Quick: true, Seed: 1}
+
+// benchExperiment runs one figure/table per iteration and reports a
+// headline metric extracted from it.
+func benchExperiment(b *testing.B, id string, metric string, extract func(experiments.Experiment) float64) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		exp, err := experiments.Run(id, quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = extract(exp)
+	}
+	b.ReportMetric(last, metric)
+}
+
+func lastY(e experiments.Experiment, series int) float64 {
+	s := e.Series[series]
+	return s.Y[len(s.Y)-1]
+}
+
+func firstY(e experiments.Experiment, series int) float64 {
+	return e.Series[series].Y[0]
+}
+
+func BenchmarkTable1(b *testing.B) {
+	benchExperiment(b, "table1", "pd_empirical", func(e experiments.Experiment) float64 {
+		return lastY(e, 1) // simulated I-enter death probability
+	})
+}
+
+func BenchmarkFig3(b *testing.B) {
+	benchExperiment(b, "fig3", "consistency_at_0loss", func(e experiments.Experiment) float64 {
+		return firstY(e, 1) // simulated pd=0.20 at zero loss
+	})
+}
+
+func BenchmarkFig4(b *testing.B) {
+	benchExperiment(b, "fig4", "redundant_frac_lowloss", func(e experiments.Experiment) float64 {
+		return firstY(e, 2)
+	})
+}
+
+func BenchmarkFig5(b *testing.B) {
+	benchExperiment(b, "fig5", "consistency_above_knee", func(e experiments.Experiment) float64 {
+		return lastY(e, 0) // loss=10%, μ_hot≈0.9·μ_data
+	})
+}
+
+func BenchmarkFig6(b *testing.B) {
+	benchExperiment(b, "fig6", "t_rec_high_cold", func(e experiments.Experiment) float64 {
+		return lastY(e, 0)
+	})
+}
+
+func BenchmarkFig8(b *testing.B) {
+	benchExperiment(b, "fig8", "consistency_fb30pct", func(e experiments.Experiment) float64 {
+		// Steady-state tail of the fb/tot=30% trace.
+		s := e.Series[2]
+		n := len(s.Y)
+		sum := 0.0
+		for _, v := range s.Y[n/2:] {
+			sum += v
+		}
+		return sum / float64(n-n/2)
+	})
+}
+
+func BenchmarkFig9(b *testing.B) {
+	benchExperiment(b, "fig9", "consistency_50loss_fbmax", func(e experiments.Experiment) float64 {
+		return lastY(e, 2)
+	})
+}
+
+func BenchmarkFig10(b *testing.B) {
+	benchExperiment(b, "fig10", "consistency_above_knee", func(e experiments.Experiment) float64 {
+		return lastY(e, 0)
+	})
+}
+
+func BenchmarkFig11(b *testing.B) {
+	benchExperiment(b, "fig11", "consistency_50loss_ceiling", func(e experiments.Experiment) float64 {
+		return lastY(e, 4)
+	})
+}
+
+func BenchmarkSummary(b *testing.B) {
+	benchExperiment(b, "summary", "feedback_gain_at_40loss", func(e experiments.Experiment) float64 {
+		// aging+feedback minus open-loop at 40% loss (x index 3).
+		return e.Series[2].Y[3] - e.Series[0].Y[3]
+	})
+}
+
+func BenchmarkExtTimers(b *testing.B) {
+	benchExperiment(b, "ext-timers", "false_expiry_k3_p30", func(e experiments.Experiment) float64 {
+		// K=3 static series, loss=0.3 (index 2).
+		return e.Series[4].Y[2]
+	})
+}
+
+// --- Ablations (design choices called out in DESIGN.md) ---
+
+func ablationEngine(b *testing.B, cfg core.Config) float64 {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		e, err := core.NewEngine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = e.Run(400).Consistency
+	}
+	b.ReportMetric(last, "consistency")
+	return last
+}
+
+// BenchmarkAblationScheduler compares proportional-share policies for
+// the two-queue sender.
+func BenchmarkAblationScheduler(b *testing.B) {
+	for _, k := range []core.SchedulerKind{core.SchedStride, core.SchedLottery, core.SchedWFQ, core.SchedDRR} {
+		b.Run(k.String(), func(b *testing.B) {
+			ablationEngine(b, core.Config{
+				Mode:   core.ModeTwoQueue,
+				Lambda: 15_000, MuData: 38_000, Lifetime: 30,
+				LossRate: 0.2, MuHot: 0.6, MuCold: 0.4,
+				Scheduler: k, Warmup: 100,
+			})
+		})
+	}
+}
+
+// BenchmarkAblationLossModel tests the paper's claim that the metric
+// depends only on the mean loss rate: Bernoulli vs bursty
+// Gilbert–Elliott at the same mean.
+func BenchmarkAblationLossModel(b *testing.B) {
+	base := core.Config{
+		Mode:   core.ModeOpenLoop,
+		Lambda: 20_000, MuData: 128_000, Pd: 0.25, LossRate: 0.2,
+		Warmup: 100,
+	}
+	b.Run("bernoulli", func(b *testing.B) { ablationEngine(b, base) })
+	bursty := base
+	bursty.BurstLen = 8
+	b.Run("gilbert-elliott", func(b *testing.B) { ablationEngine(b, bursty) })
+}
+
+// BenchmarkAblationServiceDist compares exponential (M/M/1, the
+// analysis) with deterministic (M/D/1) packet sizes.
+func BenchmarkAblationServiceDist(b *testing.B) {
+	base := core.Config{
+		Mode:   core.ModeOpenLoop,
+		Lambda: 20_000, MuData: 128_000, Pd: 0.25, LossRate: 0.2,
+		Warmup: 100,
+	}
+	b.Run("exponential", func(b *testing.B) { ablationEngine(b, base) })
+	det := base
+	det.DetService = true
+	b.Run("deterministic", func(b *testing.B) { ablationEngine(b, det) })
+}
+
+// BenchmarkAblationStrictShare compares work-conserving proportional
+// sharing against strict per-queue rate limits.
+func BenchmarkAblationStrictShare(b *testing.B) {
+	b.Run("work-conserving", func(b *testing.B) {
+		ablationEngine(b, core.Config{
+			Mode:   core.ModeTwoQueue,
+			Lambda: 15_000, MuData: 36_000, Lifetime: 30,
+			LossRate: 0.25, MuHot: 0.5, MuCold: 0.5, Warmup: 100,
+		})
+	})
+	b.Run("strict", func(b *testing.B) {
+		ablationEngine(b, core.Config{
+			Mode: core.ModeTwoQueue, StrictShare: true,
+			Lambda: 15_000, Lifetime: 30,
+			LossRate: 0.25, MuHot: 18_000, MuCold: 18_000, Warmup: 100,
+		})
+	})
+}
+
+// BenchmarkAblationNamespaceHash compares digest hash choices.
+func BenchmarkAblationNamespaceHash(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		kind namespace.HashKind
+	}{{"sha256", namespace.HashSHA256}, {"md5", namespace.HashMD5}} {
+		b.Run(tc.name, func(b *testing.B) {
+			tr := namespace.New(tc.kind)
+			for i := 0; i < 256; i++ {
+				tr.Put(fmt.Sprintf("g%d/k%d", i%16, i), []byte("value"), uint64(i))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Put("g0/k0", []byte(fmt.Sprintf("v%d", i)), uint64(i+1000))
+				_ = tr.RootDigest()
+			}
+		})
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkEventsimScheduling(b *testing.B) {
+	s := eventsim.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.At(eventsim.Time(i), func() {})
+		s.Step()
+	}
+}
+
+func BenchmarkEngineEventsPerSec(b *testing.B) {
+	// Simulated seconds per wall benchmark iteration: a 100 s run of
+	// the feedback engine at the Fig-10 operating point.
+	for i := 0; i < b.N; i++ {
+		e, err := core.NewEngine(core.Config{
+			Mode: core.ModeFeedback, Seed: int64(i + 1),
+			Lambda: 15_000, MuData: 38_000, Lifetime: 30,
+			LossRate: 0.1, MuHot: 0.6, MuCold: 0.4, MuFb: 7_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Run(100)
+	}
+}
+
+func BenchmarkProtocolEncodeData(b *testing.B) {
+	msg := &protocol.Data{Key: "sessions/audio/42", Ver: 9, TTLms: 30000, Value: make([]byte, 512)}
+	hdr := protocol.Header{Session: 1, Sender: 2, Seq: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = protocol.Encode(hdr, msg)
+	}
+}
+
+func BenchmarkProtocolDecodeData(b *testing.B) {
+	buf := protocol.Encode(protocol.Header{Session: 1, Sender: 2, Seq: 3},
+		&protocol.Data{Key: "sessions/audio/42", Ver: 9, TTLms: 30000, Value: make([]byte, 512)})
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := protocol.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNamespaceDigest1k(b *testing.B) {
+	tr := namespace.New(namespace.HashSHA256)
+	for i := 0; i < 1024; i++ {
+		tr.Put(fmt.Sprintf("g%d/k%d", i%32, i), []byte("0123456789abcdef"), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put("g0/k0", []byte(fmt.Sprintf("v%d", i)), uint64(i+2000))
+		_ = tr.RootDigest() // incremental: only the dirty path rehashes
+	}
+}
+
+func BenchmarkSchedulerPick(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		s    sched.Scheduler
+	}{
+		{"stride", sched.NewStride()},
+		{"wfq", sched.NewWFQ()},
+		{"lottery", sched.NewLottery(xrand.New(1))},
+		{"drr", sched.NewDRR(1000)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			tc.s.Add(0.7)
+			tc.s.Add(0.3)
+			ready := func(int) bool { return true }
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				id, _ := tc.s.Pick(ready)
+				tc.s.Charge(id, 1000)
+			}
+		})
+	}
+}
+
+func BenchmarkChannelTransmit(b *testing.B) {
+	sim := eventsim.New()
+	ch := netsim.NewChannel(sim, 1e9)
+	ch.AddReceiver(netsim.NewBernoulliLoss(0.1, xrand.New(1)), 0)
+	n := 0
+	ch.OnIdle = func() {
+		if n < b.N {
+			n++
+			ch.Transmit(1000, nil)
+		}
+	}
+	b.ResetTimer()
+	ch.Transmit(1000, nil)
+	sim.Run()
+}

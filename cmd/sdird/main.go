@@ -1,0 +1,147 @@
+// Command sdird is a small session-directory tool in the spirit of
+// sdr, built on the sdir application layer: in -announce mode it
+// publishes conference sessions read from stdin; in -browse mode it
+// prints the live catalogue as it evolves (including sessions that
+// vanish when their announcer dies — no teardown protocol).
+//
+// Announce:
+//
+//	sdird -announce -laddr 127.0.0.1:9875 -dest 127.0.0.1:9876
+//	stdin: ADD <name> <tool> <duration> [description…]
+//	       DEL <name>
+//	       LIST
+//
+// Browse:
+//
+//	sdird -browse -laddr 127.0.0.1:9876 -sender 127.0.0.1:9875
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"softstate/internal/sdir"
+	"softstate/internal/sstp"
+)
+
+func main() {
+	announce := flag.Bool("announce", false, "run as announcer")
+	browse := flag.Bool("browse", false, "run as browser")
+	laddr := flag.String("laddr", "127.0.0.1:9875", "local UDP address")
+	peer := flag.String("dest", "127.0.0.1:9876", "announcer: destination address")
+	sender := flag.String("sender", "127.0.0.1:9875", "browser: announcer address for feedback")
+	session := flag.Uint64("session", 9875, "SSTP session id")
+	rate := flag.Float64("rate", 64_000, "session bandwidth (bits/s)")
+	flag.Parse()
+
+	switch {
+	case *announce:
+		runAnnouncer(*laddr, *peer, *session, *rate)
+	case *browse:
+		runBrowser(*laddr, *sender, *session)
+	default:
+		fmt.Fprintln(os.Stderr, "need -announce or -browse")
+		os.Exit(2)
+	}
+}
+
+func runAnnouncer(laddr, dest string, session uint64, rate float64) {
+	dir, sndr, err := sdir.Dial(session, laddr, dest, rate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sndr.Start()
+	defer sndr.Close()
+	log.Printf("sdird: announcing session directory %d from %s to %s", session, laddr, dest)
+
+	go func() {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			fields := strings.Fields(sc.Text())
+			if len(fields) == 0 {
+				continue
+			}
+			switch strings.ToUpper(fields[0]) {
+			case "ADD":
+				if len(fields) < 4 {
+					fmt.Println("usage: ADD <name> <tool> <duration> [description…]")
+					continue
+				}
+				d, err := time.ParseDuration(fields[3])
+				if err != nil {
+					fmt.Println("bad duration:", err)
+					continue
+				}
+				s := sdir.Session{
+					Name:        fields[1],
+					Tool:        fields[2],
+					Ends:        time.Now().Add(d),
+					Description: strings.Join(fields[4:], " "),
+				}
+				if err := dir.Announce(s); err != nil {
+					fmt.Println("error:", err)
+				}
+			case "DEL":
+				if len(fields) != 2 {
+					fmt.Println("usage: DEL <name>")
+					continue
+				}
+				if !dir.Withdraw(fields[1]) {
+					fmt.Println("no such session")
+				}
+			case "LIST":
+				fmt.Printf("%d live announcements\n", dir.Len())
+			default:
+				fmt.Println("commands: ADD, DEL, LIST")
+			}
+		}
+	}()
+
+	waitForInterrupt()
+}
+
+func runBrowser(laddr, senderAddr string, session uint64) {
+	conn, err := net.ListenPacket("udp", laddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dst, err := net.ResolveUDPAddr("udp", senderAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	browser, rcv, err := sdir.NewBrowser(sstp.ReceiverConfig{
+		Session: session, ReceiverID: uint64(os.Getpid()),
+		Conn: conn, FeedbackDest: dst,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	browser.OnNew = func(s sdir.Session) {
+		fmt.Printf("%s NEW     %-20s %-6s %s\n", stamp(), s.Name, s.Tool, s.Description)
+	}
+	browser.OnChange = func(s sdir.Session) {
+		fmt.Printf("%s CHANGED %-20s %-6s %s\n", stamp(), s.Name, s.Tool, s.Description)
+	}
+	browser.OnGone = func(name string) {
+		fmt.Printf("%s GONE    %s\n", stamp(), name)
+	}
+	rcv.Start()
+	defer rcv.Close()
+	log.Printf("sdird: browsing session directory %d on %s", session, laddr)
+	waitForInterrupt()
+}
+
+func stamp() string { return time.Now().Format("15:04:05") }
+
+func waitForInterrupt() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+}

@@ -1,0 +1,61 @@
+// Command ssbench regenerates the tables and figures of Raman &
+// McCanne's soft-state paper from this repository's simulator and
+// analytic models, printing each as TSV.
+//
+// Usage:
+//
+//	ssbench -fig 3            # one figure (3, 4, 5, 6, 8, 9, 10, 11)
+//	ssbench -table 1          # Table 1
+//	ssbench -summary          # the §8 headline comparison
+//	ssbench -all              # everything, in paper order
+//	ssbench -quick            # 5x shorter simulations
+//	ssbench -seed 7           # change the RNG seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"softstate/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (3-6, 8-11)")
+	tbl := flag.Int("table", 0, "table number to regenerate (1)")
+	summary := flag.Bool("summary", false, "regenerate the §8 summary comparison")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	quick := flag.Bool("quick", false, "run 5x shorter simulations")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	opts := experiments.Opts{Quick: *quick, Seed: *seed}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.All()
+	case *fig != 0:
+		ids = []string{fmt.Sprintf("fig%d", *fig)}
+	case *tbl != 0:
+		ids = []string{fmt.Sprintf("table%d", *tbl)}
+	case *summary:
+		ids = []string{"summary"}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		exp, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		exp.WriteTSV(os.Stdout)
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,120 @@
+// Command ssprofile derives a consistency profile — the stored table
+// the paper's profile-driven allocator (Figure 12) consults — by
+// sweeping the protocol simulator over (loss rate × feedback share)
+// for a given workload, and writes it as JSON for sstpd or any
+// profile.Allocator user.
+//
+// Usage:
+//
+//	ssprofile -lambda 15000 -mutot 45000 -lifetime 30 \
+//	          -losses 0,0.1,0.2,0.3,0.4,0.5 \
+//	          -fbfracs 0,0.05,0.1,0.2,0.3,0.4 \
+//	          -o profile.json
+//
+// The resulting file feeds `sstpd -profile profile.json -target 0.95`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"softstate/internal/core"
+	"softstate/internal/profile"
+)
+
+func main() {
+	var (
+		lambda   = flag.Float64("lambda", 15_000, "application data rate λ (bits/s)")
+		muTot    = flag.Float64("mutot", 45_000, "total session bandwidth (bits/s)")
+		lifetime = flag.Float64("lifetime", 30, "mean record lifetime (s)")
+		hot      = flag.Float64("hot", 0.9, "hot share of data bandwidth")
+		losses   = flag.String("losses", "0,0.1,0.2,0.3,0.4,0.5", "loss-rate grid (ascending)")
+		fbFracs  = flag.String("fbfracs", "0.001,0.05,0.1,0.2,0.3,0.4,0.5", "feedback-share grid (ascending)")
+		dur      = flag.Float64("dur", 800, "simulated seconds per grid point")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	lossGrid, err := parseGrid(*losses)
+	if err != nil {
+		fatalf("-losses: %v", err)
+	}
+	fbGrid, err := parseGrid(*fbFracs)
+	if err != nil {
+		fatalf("-fbfracs: %v", err)
+	}
+
+	start := time.Now()
+	points := 0
+	grid, err := profile.BuildGrid(lossGrid, fbGrid, func(loss, fb float64) float64 {
+		points++
+		cfg := core.Config{
+			Seed:     *seed + int64(points),
+			Lambda:   *lambda,
+			Lifetime: *lifetime,
+			LossRate: loss,
+			MuHot:    *hot, MuCold: 1 - *hot,
+			Warmup: *dur / 5,
+		}
+		if fb*(*muTot) >= 100 { // enough bandwidth for at least some NACKs
+			cfg.Mode = core.ModeFeedback
+			cfg.MuFb = fb * (*muTot)
+			cfg.MuData = (1 - fb) * (*muTot)
+			cfg.NACKBits = 200
+		} else {
+			cfg.Mode = core.ModeTwoQueue
+			cfg.MuData = *muTot
+		}
+		e, err := core.NewEngine(cfg)
+		if err != nil {
+			fatalf("grid point (loss=%v, fb=%v): %v", loss, fb, err)
+		}
+		res := e.Run(*dur)
+		fmt.Fprintf(os.Stderr, "loss=%.2f fb=%.3f -> consistency %.4f\n", loss, fb, res.Consistency)
+		return res.Consistency
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	desc := fmt.Sprintf("λ=%.0f bps, μ_tot=%.0f bps, lifetime=%.0f s, hot=%.2f, %d points, %v",
+		*lambda, *muTot, *lifetime, *hot, points, time.Since(start).Round(time.Millisecond))
+	if err := grid.WriteJSON(w, desc); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func parseGrid(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty grid")
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,215 @@
+// Command sssim runs the soft-state protocol simulator directly with
+// custom parameters — the tool for exploring operating points beyond
+// the paper's figures.
+//
+// Examples:
+//
+//	sssim -mode open-loop -lambda 20000 -mu 128000 -pd 0.2 -loss 0.1
+//	sssim -mode feedback -lambda 15000 -mu 38000 -mufb 7000 \
+//	      -lifetime 30 -hot 0.6 -loss 0.1 -dur 2000
+//	sssim -mode two-queue -lambda 15000 -mu 45000 -lifetime 30 \
+//	      -sweep loss=0.05:0.5:0.05
+//
+// The -sweep flag varies one parameter (loss, hot, mufb, pd, lambda,
+// or mu) over from:to:step and prints one TSV row per point;
+// otherwise a single run is reported in full, alongside the analytic
+// closed forms when the configuration is the open-loop model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"softstate/internal/core"
+	"softstate/internal/queueing"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "open-loop", "open-loop, two-queue, or feedback")
+		lambda   = flag.Float64("lambda", 20_000, "new-record arrival rate λ (bits/s)")
+		mu       = flag.Float64("mu", 128_000, "data bandwidth μ_data (bits/s)")
+		muFb     = flag.Float64("mufb", 0, "feedback bandwidth (bits/s, feedback mode)")
+		pd       = flag.Float64("pd", 0, "per-service death probability")
+		lifetime = flag.Float64("lifetime", 0, "mean record lifetime (s); 0 = use -pd")
+		loss     = flag.Float64("loss", 0.1, "channel loss probability")
+		hot      = flag.Float64("hot", 0.9, "hot share of data bandwidth")
+		strict   = flag.Bool("strict", false, "strict (non-work-conserving) hot/cold sharing")
+		updates  = flag.Float64("updates", 0, "value updates per second across the live set")
+		rcvs     = flag.Int("receivers", 1, "number of subscribers")
+		burst    = flag.Float64("burst", 0, ">1: Gilbert–Elliott mean loss-burst length")
+		schedKd  = flag.String("sched", "stride", "stride, lottery, wfq, or drr")
+		dur      = flag.Float64("dur", 2000, "simulated seconds")
+		warmup   = flag.Float64("warmup", 300, "warmup seconds excluded from metrics")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		sweep    = flag.String("sweep", "", "vary one parameter: name=from:to:step")
+		traceN   = flag.Int("trace", 0, "print the last N protocol events (single-run mode)")
+	)
+	flag.Parse()
+
+	baseCfg := func() core.Config {
+		cfg := core.Config{
+			Seed:       *seed,
+			Lambda:     *lambda,
+			MuData:     *mu,
+			Pd:         *pd,
+			Lifetime:   *lifetime,
+			LossRate:   *loss,
+			UpdateRate: *updates,
+			Receivers:  *rcvs,
+			BurstLen:   *burst,
+			Warmup:     *warmup,
+		}
+		switch strings.ToLower(*mode) {
+		case "open-loop", "openloop", "open":
+			cfg.Mode = core.ModeOpenLoop
+		case "two-queue", "twoqueue", "aging":
+			cfg.Mode = core.ModeTwoQueue
+			cfg.MuHot, cfg.MuCold = *hot, 1-*hot
+			cfg.StrictShare = *strict
+			if *strict {
+				cfg.MuHot, cfg.MuCold = *hot**mu, (1-*hot)**mu
+			}
+		case "feedback", "nack":
+			cfg.Mode = core.ModeFeedback
+			cfg.MuHot, cfg.MuCold = *hot, 1-*hot
+			cfg.MuFb = *muFb
+		default:
+			fatalf("unknown mode %q", *mode)
+		}
+		switch strings.ToLower(*schedKd) {
+		case "stride":
+			cfg.Scheduler = core.SchedStride
+		case "lottery":
+			cfg.Scheduler = core.SchedLottery
+		case "wfq":
+			cfg.Scheduler = core.SchedWFQ
+		case "drr":
+			cfg.Scheduler = core.SchedDRR
+		default:
+			fatalf("unknown scheduler %q", *schedKd)
+		}
+		if cfg.Pd == 0 && cfg.Lifetime == 0 {
+			cfg.Pd = 0.2 // a sensible default death process
+		}
+		return cfg
+	}
+
+	if *sweep == "" {
+		cfg := baseCfg()
+		cfg.TraceCapacity = *traceN
+		e, err := core.NewEngine(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		res := e.Run(*dur)
+		report(cfg, res)
+		if tr := e.Trace(); tr != nil {
+			fmt.Printf("\nlast %d protocol events:\n%s", tr.Len(), tr.Dump())
+		}
+		return
+	}
+
+	name, from, to, step, err := parseSweep(*sweep)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("%s\tconsistency\tE[c] w/empty\tT_rec\tdeliv_ratio\tredundant\tnacks\n", name)
+	for v := from; v <= to+1e-9; v += step {
+		cfg := baseCfg()
+		if err := applySweep(&cfg, name, v, *mu); err != nil {
+			fatalf("%v", err)
+		}
+		res := runOne(cfg, *dur)
+		fmt.Printf("%.4g\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%d\n",
+			v, res.Consistency, res.ConsistencyWithEmpty, res.MeanLatency,
+			res.DeliveryRatio, res.RedundantFraction, res.NACKsSent)
+	}
+}
+
+func runOne(cfg core.Config, dur float64) core.Result {
+	e, err := core.NewEngine(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return e.Run(dur)
+}
+
+func parseSweep(s string) (name string, from, to, step float64, err error) {
+	eq := strings.SplitN(s, "=", 2)
+	if len(eq) != 2 {
+		return "", 0, 0, 0, fmt.Errorf("sweep %q: want name=from:to:step", s)
+	}
+	parts := strings.Split(eq[1], ":")
+	if len(parts) != 3 {
+		return "", 0, 0, 0, fmt.Errorf("sweep %q: want name=from:to:step", s)
+	}
+	vals := make([]float64, 3)
+	for i, p := range parts {
+		v, perr := strconv.ParseFloat(p, 64)
+		if perr != nil {
+			return "", 0, 0, 0, fmt.Errorf("sweep %q: %v", s, perr)
+		}
+		vals[i] = v
+	}
+	if vals[2] <= 0 || vals[1] < vals[0] {
+		return "", 0, 0, 0, fmt.Errorf("sweep %q: need from <= to and step > 0", s)
+	}
+	return eq[0], vals[0], vals[1], vals[2], nil
+}
+
+func applySweep(cfg *core.Config, name string, v, mu float64) error {
+	switch strings.ToLower(name) {
+	case "loss":
+		cfg.LossRate = v
+	case "hot":
+		cfg.MuHot, cfg.MuCold = v, 1-v
+		if cfg.StrictShare {
+			cfg.MuHot, cfg.MuCold = v*mu, (1-v)*mu
+		}
+	case "mufb":
+		cfg.MuFb = v
+	case "pd":
+		cfg.Pd, cfg.Lifetime = v, 0
+	case "lambda":
+		cfg.Lambda = v
+	case "mu":
+		cfg.MuData = v
+	default:
+		return fmt.Errorf("cannot sweep %q (try loss, hot, mufb, pd, lambda, mu)", name)
+	}
+	return nil
+}
+
+func report(cfg core.Config, res core.Result) {
+	fmt.Printf("mode            %v\n", res.Mode)
+	fmt.Printf("duration        %.0f s (warmup %.0f s excluded)\n", res.Duration, cfg.Warmup)
+	fmt.Printf("consistency     %.4f  (live-set time average)\n", res.Consistency)
+	fmt.Printf("E[c(t)]         %.4f  (empty live set counts as 0)\n", res.ConsistencyWithEmpty)
+	fmt.Printf("busy fraction   %.4f\n", res.BusyFraction)
+	fmt.Printf("T_rec mean/p95  %.4f / %.4f s\n", res.MeanLatency, res.P95Latency)
+	fmt.Printf("delivery ratio  %.4f\n", res.DeliveryRatio)
+	fmt.Printf("redundant frac  %.4f\n", res.RedundantFraction)
+	fmt.Printf("arrivals/deaths %d / %d   transmissions %d\n", res.Arrivals, res.Deaths, res.Transmissions)
+	if res.Mode == core.ModeFeedback {
+		fmt.Printf("NACKs sent/recv/dropped  %d / %d / %d   promotions %d\n",
+			res.NACKsSent, res.NACKsRecv, res.NACKsDropped, res.Promotions)
+	}
+	if res.Mode == core.ModeOpenLoop && cfg.Pd > 0 {
+		m := queueing.OpenLoop{Lambda: cfg.Lambda, MuCh: cfg.MuData, Pc: cfg.LossRate, Pd: cfg.Pd}
+		if m.Stable() {
+			fmt.Printf("analytic        q=%.4f  ρ·q=%.4f  ρ=%.4f  redundant=%.4f\n",
+				m.BusyConsistency(), m.Consistency(), m.Rho(), m.RedundantFraction())
+		} else {
+			fmt.Printf("analytic        UNSTABLE (ρ=%.3f ≥ 1; need p_d > λ/μ = %.3f)\n", m.Rho(), cfg.Lambda/cfg.MuData)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Command sstpcat subscribes to an SSTP session over UDP and prints
+// every table update and expiry as it happens — a soft-state analogue
+// of netcat.
+//
+// Usage:
+//
+//	sstpcat -laddr 127.0.0.1:8702 -sender 127.0.0.1:8701 -session 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"softstate/internal/sstp"
+)
+
+func main() {
+	laddr := flag.String("laddr", "127.0.0.1:8702", "local UDP address")
+	sender := flag.String("sender", "127.0.0.1:8701", "publisher address for feedback")
+	session := flag.Uint64("session", 1, "session id")
+	openLoop := flag.Bool("open-loop", false, "disable feedback (pure announce/listen)")
+	statsEvery := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
+	flag.Parse()
+
+	conn, err := net.ListenPacket("udp", *laddr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	senderAddr, err := net.ResolveUDPAddr("udp", *sender)
+	if err != nil {
+		log.Fatalf("resolve sender: %v", err)
+	}
+	r, err := sstp.NewReceiver(sstp.ReceiverConfig{
+		Session:         *session,
+		ReceiverID:      uint64(os.Getpid()),
+		Conn:            conn,
+		FeedbackDest:    senderAddr,
+		DisableFeedback: *openLoop,
+		OnUpdate: func(key string, value []byte, version uint64) {
+			fmt.Printf("%s UPDATE %s = %q (v%d)\n", stamp(), key, value, version)
+		},
+		OnExpire: func(key string) {
+			fmt.Printf("%s EXPIRE %s\n", stamp(), key)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r.Start()
+	defer r.Close()
+	log.Printf("sstpcat: listening on %s for session %d (feedback to %s)", *laddr, *session, *sender)
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				st := r.Stats()
+				log.Printf("stats: %d records, loss≈%.1f%%, %d updates, %d nacks, %d queries, %d expired",
+					r.Len(), 100*st.LossEstimate, st.DataReceived, st.NACKsSent, st.QueriesSent, st.Expired)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+}
+
+func stamp() string { return time.Now().Format("15:04:05.000") }

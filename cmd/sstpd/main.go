@@ -1,0 +1,187 @@
+// Command sstpd is an SSTP publisher daemon: it announces a soft-state
+// table over UDP, accepting table operations on stdin and optionally
+// driving itself from a built-in demo workload.
+//
+// Usage:
+//
+//	sstpd -laddr 127.0.0.1:8701 -dest 127.0.0.1:8702 -session 1 -rate 128000
+//
+// Stdin commands (one per line):
+//
+//	PUT <key> <value> [ttl-seconds]
+//	DEL <key>
+//	STATS
+//
+// With -demo {ticker|routes|sdr}, a workload generator publishes
+// continuously instead.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"softstate/internal/profile"
+	"softstate/internal/sstp"
+	"softstate/internal/workload"
+	"softstate/internal/xrand"
+)
+
+func main() {
+	laddr := flag.String("laddr", "127.0.0.1:8701", "local UDP address")
+	dest := flag.String("dest", "127.0.0.1:8702", "destination address (receiver or multicast group)")
+	session := flag.Uint64("session", 1, "session id")
+	rate := flag.Float64("rate", 128_000, "session bandwidth in bits/s")
+	ttl := flag.Duration("ttl", 30*time.Second, "announced receiver-side TTL")
+	demo := flag.String("demo", "", "demo workload: ticker, routes, or sdr")
+	seed := flag.Int64("seed", 1, "workload seed")
+	profPath := flag.String("profile", "", "consistency profile JSON (from ssprofile) for adaptive allocation")
+	target := flag.Float64("target", 0.9, "consistency target when -profile is set")
+	flag.Parse()
+
+	var alloc *profile.Allocator
+	if *profPath != "" {
+		f, err := os.Open(*profPath)
+		if err != nil {
+			log.Fatalf("profile: %v", err)
+		}
+		grid, err := profile.ReadGridJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("profile: %v", err)
+		}
+		alloc = &profile.Allocator{Consistency: grid, Target: *target}
+		log.Printf("sstpd: profile-driven allocation on (target %.0f%%)", 100**target)
+	}
+
+	conn, err := net.ListenPacket("udp", *laddr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	destAddr, err := net.ResolveUDPAddr("udp", *dest)
+	if err != nil {
+		log.Fatalf("resolve dest: %v", err)
+	}
+	s, err := sstp.NewSender(sstp.SenderConfig{
+		Session:   *session,
+		SenderID:  uint64(os.Getpid()),
+		Conn:      conn,
+		Dest:      destAddr,
+		TotalRate: *rate,
+		TTL:       *ttl,
+		Allocator: alloc,
+		OnRateLimit: func(max float64) {
+			log.Printf("allocator: publish rate exceeds μ_hot; max sustainable ≈ %.0f bps", max)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.Start()
+	defer s.Close()
+	log.Printf("sstpd: announcing session %d from %s to %s at %.0f bps", *session, *laddr, *dest, *rate)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+
+	if *demo != "" {
+		go runDemo(s, *demo, *seed)
+		<-sig
+		return
+	}
+
+	go func() {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			handleLine(s, sc.Text())
+		}
+	}()
+	<-sig
+}
+
+func handleLine(s *sstp.Sender, line string) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return
+	}
+	switch strings.ToUpper(fields[0]) {
+	case "PUT":
+		if len(fields) < 3 {
+			fmt.Println("usage: PUT <key> <value> [ttl-seconds]")
+			return
+		}
+		var life time.Duration
+		if len(fields) >= 4 {
+			if secs, err := strconv.ParseFloat(fields[3], 64); err == nil {
+				life = time.Duration(secs * float64(time.Second))
+			}
+		}
+		if err := s.Publish(fields[1], []byte(fields[2]), life); err != nil {
+			fmt.Println("error:", err)
+		}
+	case "DEL":
+		if len(fields) != 2 {
+			fmt.Println("usage: DEL <key>")
+			return
+		}
+		if !s.Delete(fields[1]) {
+			fmt.Println("no such key")
+		}
+	case "STATS":
+		fmt.Printf("%+v\n", s.Stats())
+	default:
+		fmt.Println("commands: PUT, DEL, STATS")
+	}
+}
+
+// runDemo replays a workload generator in real time.
+func runDemo(s *sstp.Sender, kind string, seed int64) {
+	rnd := xrand.New(seed)
+	var gen workload.Generator
+	const horizon = 24 * 3600
+	switch kind {
+	case "ticker":
+		gen = workload.NewStockTicker(50, 5, horizon, rnd)
+	case "routes":
+		rt := workload.NewRoutingTable(64, 1, 0.1, horizon, rnd)
+		for _, ev := range rt.InitialEvents() {
+			apply(s, ev)
+		}
+		gen = rt
+	case "sdr":
+		gen = workload.NewSessionDirectory(0.2, 300, 0.01, horizon, rnd)
+	default:
+		log.Fatalf("unknown demo %q (want ticker, routes, or sdr)", kind)
+	}
+	start := time.Now()
+	for {
+		ev, ok := gen.Next()
+		if !ok {
+			return
+		}
+		wait := time.Duration(ev.At*float64(time.Second)) - time.Since(start)
+		if wait > 0 {
+			time.Sleep(wait)
+		}
+		apply(s, ev)
+	}
+}
+
+func apply(s *sstp.Sender, ev workload.Event) {
+	switch ev.Op {
+	case workload.OpPut:
+		life := time.Duration(ev.Lifetime * float64(time.Second))
+		if err := s.Publish(ev.Key, ev.Value, life); err != nil {
+			log.Printf("publish %s: %v", ev.Key, err)
+		}
+	case workload.OpDelete:
+		s.Delete(ev.Key)
+	}
+}

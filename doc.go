@@ -1,0 +1,14 @@
+// Package softstate is a from-scratch Go reproduction of "A Model,
+// Analysis, and Protocol Framework for Soft State-based
+// Communication" (Raman & McCanne, SIGCOMM 1999): a formal model of
+// announce/listen soft-state communication with a probabilistic
+// consistency metric, queueing analysis and a deterministic simulator
+// for the open-loop, two-queue, and receiver-feedback protocol
+// variants, and SSTP — a soft-state transport protocol with
+// hierarchical namespace repair and profile-driven bandwidth
+// allocation — running over UDP.
+//
+// See README.md for the layout, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for the paper-versus-measured record of every
+// table and figure.
+package softstate

@@ -1,0 +1,240 @@
+// Package core implements the paper's soft-state protocol model: an
+// announce/listen publisher whose scheduler transmits {key, value}
+// records over a lossy finite-capacity channel to one or more
+// subscribers, instrumented with the probabilistic consistency metric
+// of section 2.1.
+//
+// Three protocol variants are provided, matching sections 3–5:
+//
+//   - ModeOpenLoop: a single FIFO transmission queue; every record
+//     cycles through it until it dies (per-service death probability
+//     p_d). This is the variant analyzed in closed form by the
+//     multi-class Jackson model in internal/queueing.
+//   - ModeTwoQueue: "hot" (new/changed) and "cold" (previously
+//     transmitted) queues sharing the data bandwidth proportionally
+//     via a pluggable scheduler (lottery, stride, WFQ, …).
+//   - ModeFeedback: the two-queue sender plus receiver NACKs on a
+//     finite-rate feedback link; a NACK promotes the requested record
+//     from the cold queue back to the tail of the hot queue (the
+//     H→C→H transitions of the paper's Figure 7).
+//
+// All variants run on the deterministic discrete-event engine in
+// internal/eventsim, so every experiment is reproducible from a seed.
+package core
+
+import (
+	"fmt"
+
+	"softstate/internal/sched"
+	"softstate/internal/xrand"
+)
+
+// Mode selects the protocol variant.
+type Mode int
+
+// Protocol variants.
+const (
+	ModeOpenLoop Mode = iota // §3: single FIFO queue, no feedback
+	ModeTwoQueue             // §4: hot/cold queues, no feedback
+	ModeFeedback             // §5: hot/cold queues + receiver NACKs
+)
+
+// String returns the variant's name.
+func (m Mode) String() string {
+	switch m {
+	case ModeOpenLoop:
+		return "open-loop"
+	case ModeTwoQueue:
+		return "two-queue"
+	case ModeFeedback:
+		return "feedback"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// SchedulerKind selects the proportional-share policy for the
+// hot/cold split.
+type SchedulerKind int
+
+// Scheduler policies for the two-queue variants.
+const (
+	SchedStride SchedulerKind = iota
+	SchedLottery
+	SchedWFQ
+	SchedDRR
+)
+
+// String returns the policy name.
+func (k SchedulerKind) String() string {
+	switch k {
+	case SchedStride:
+		return "stride"
+	case SchedLottery:
+		return "lottery"
+	case SchedWFQ:
+		return "wfq"
+	case SchedDRR:
+		return "drr"
+	default:
+		return fmt.Sprintf("SchedulerKind(%d)", int(k))
+	}
+}
+
+func (k SchedulerKind) build(rnd *xrand.Rand, quantum float64) sched.Scheduler {
+	switch k {
+	case SchedLottery:
+		return sched.NewLottery(rnd)
+	case SchedWFQ:
+		return sched.NewWFQ()
+	case SchedDRR:
+		return sched.NewDRR(quantum)
+	default:
+		return sched.NewStride()
+	}
+}
+
+// Config parameterizes a protocol run. Bandwidths and the arrival rate
+// are in bits per second, matching the paper's kbps figures; sizes are
+// in bits.
+type Config struct {
+	Mode Mode
+	Seed int64
+
+	// Workload.
+	Lambda     float64 // new-record arrival rate λ (bits/s of new data)
+	UpdateRate float64 // optional: value updates to live records (updates/s)
+	PacketBits float64 // announcement size (bits); default 1000
+
+	// Death process. The paper's section-2 data model attaches a
+	// lifetime to each record; the section-3 analysis approximates it
+	// with an independent per-service death probability p_d. Both are
+	// supported: set Pd for the analytic regime (validated against
+	// the closed forms) and/or Lifetime for the age-based regime used
+	// in the two-queue and feedback experiments. At least one must be
+	// positive.
+	Pd            float64 // per-service death probability p_d
+	Lifetime      float64 // mean record lifetime in seconds (0 = off)
+	FixedLifetime bool    // lifetimes are exactly Lifetime, not Exp(1/Lifetime)
+
+	// Channel.
+	MuData    float64 // data bandwidth μ_data (bps). Open loop: μ_ch.
+	LossRate  float64 // per-receiver Bernoulli loss probability p_c
+	Receivers int     // number of subscribers; default 1
+	BurstLen  float64 // >1: use Gilbert–Elliott loss with this mean burst length
+
+	// LossRates, if non-empty, gives each receiver its own loss rate
+	// (heterogeneous paths; overrides LossRate per receiver). Its
+	// length must equal Receivers.
+	LossRates []float64
+
+	// Two-queue split μ_hot/μ_cold. In the default work-conserving
+	// mode these are proportional-share weights over MuData (only the
+	// ratio matters; idle hot bandwidth flows to cold and vice versa,
+	// as the paper prescribes for its consistency experiments). With
+	// StrictShare they are absolute rates in bps and each queue is
+	// served by its own rate-limited server — the regime of the
+	// paper's Figure 6, where "when μ_cold ≈ 0, data items are never
+	// retransmitted".
+	MuHot, MuCold float64
+	StrictShare   bool
+	Scheduler     SchedulerKind
+
+	// Feedback (ModeFeedback only).
+	MuFb         float64 // feedback link bandwidth (bps)
+	NACKBits     float64 // NACK size (bits); default 100
+	NACKQueueCap int     // feedback queue cap (messages); default 1000
+	FbLossRate   float64 // loss on the feedback path
+
+	// Receiver-side soft-state timer: if positive, subscriber entries
+	// expire this many seconds after the last heard announcement
+	// (an extension knob; the paper's core model keeps replicas until
+	// global death).
+	ReceiverTTL float64
+
+	// InitialRecords seeds the table with this many records at t=0
+	// (the paper's "static input" case when Lambda is 0).
+	InitialRecords int
+
+	// DetService uses fixed-size packets (M/D/1 service). The default
+	// (false) draws exponential packet sizes with mean PacketBits,
+	// matching the M/M/1 assumptions of the paper's Jackson analysis.
+	DetService bool
+
+	// Measurement.
+	Warmup         float64 // discard metrics before this time
+	SampleInterval float64 // >0: record a consistency time series
+	TrackTables    bool    // mirror state into table.Publisher/Subscriber
+	TraceCapacity  int     // >0: retain the last N protocol events (Engine.Trace)
+}
+
+// withDefaults fills zero fields with defaults and validates.
+func (c Config) withDefaults() (Config, error) {
+	if c.PacketBits == 0 {
+		c.PacketBits = 1000
+	}
+	if c.Receivers == 0 {
+		c.Receivers = 1
+	}
+	if c.NACKBits == 0 {
+		c.NACKBits = 100
+	}
+	if c.NACKQueueCap == 0 {
+		c.NACKQueueCap = 1000
+	}
+	if c.Mode == ModeOpenLoop {
+		c.MuHot, c.MuCold = 1, 0 // single queue
+		c.StrictShare = false
+	} else if c.MuHot == 0 && c.MuCold == 0 {
+		return c, fmt.Errorf("core: %v mode needs MuHot/MuCold weights", c.Mode)
+	}
+	if c.StrictShare {
+		if c.MuHot <= 0 {
+			return c, fmt.Errorf("core: StrictShare needs MuHot > 0 in bps")
+		}
+		if c.MuData == 0 {
+			c.MuData = c.MuHot + c.MuCold
+		}
+	}
+	if c.Lambda < 0 || c.MuData <= 0 {
+		return c, fmt.Errorf("core: need Lambda >= 0 and MuData > 0 (got %v, %v)", c.Lambda, c.MuData)
+	}
+	if c.Pd < 0 || c.Pd > 1 {
+		return c, fmt.Errorf("core: Pd %v out of [0,1]", c.Pd)
+	}
+	if c.Lifetime < 0 {
+		return c, fmt.Errorf("core: negative Lifetime %v", c.Lifetime)
+	}
+	if c.Pd == 0 && c.Lifetime == 0 {
+		return c, fmt.Errorf("core: need a death process (Pd > 0 and/or Lifetime > 0)")
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return c, fmt.Errorf("core: LossRate %v out of [0,1)", c.LossRate)
+	}
+	if len(c.LossRates) > 0 {
+		if len(c.LossRates) != c.Receivers {
+			return c, fmt.Errorf("core: %d LossRates for %d receivers", len(c.LossRates), c.Receivers)
+		}
+		for i, p := range c.LossRates {
+			if p < 0 || p >= 1 {
+				return c, fmt.Errorf("core: LossRates[%d]=%v out of [0,1)", i, p)
+			}
+		}
+	}
+	if c.FbLossRate < 0 || c.FbLossRate >= 1 {
+		return c, fmt.Errorf("core: FbLossRate %v out of [0,1)", c.FbLossRate)
+	}
+	if c.PacketBits <= 0 || c.NACKBits <= 0 {
+		return c, fmt.Errorf("core: packet sizes must be positive")
+	}
+	if c.Mode == ModeFeedback && c.MuFb <= 0 {
+		return c, fmt.Errorf("core: ModeFeedback needs MuFb > 0")
+	}
+	if c.Receivers < 1 {
+		return c, fmt.Errorf("core: Receivers %d < 1", c.Receivers)
+	}
+	if c.MuHot < 0 || c.MuCold < 0 {
+		return c, fmt.Errorf("core: negative queue weights")
+	}
+	return c, nil
+}

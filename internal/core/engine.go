@@ -1,0 +1,596 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+
+	"softstate/internal/eventsim"
+	"softstate/internal/metric"
+	"softstate/internal/netsim"
+	"softstate/internal/sched"
+	"softstate/internal/table"
+	"softstate/internal/trace"
+	"softstate/internal/xrand"
+)
+
+const (
+	qHot  = 0
+	qCold = 1
+	qNone = -1
+)
+
+// record is the engine's view of one live {key, value} pair.
+type record struct {
+	key     table.Key
+	version uint64
+	born    float64 // introduction time of the current version
+
+	idx   int // position in engine.live (swap-remove index)
+	queue int // qHot, qCold, or qNone (in service / nowhere)
+	elem  *list.Element
+
+	inService  bool
+	dirty      bool   // updated while in service
+	txVersion  uint64 // version captured at transmit time
+	alive      bool
+	consistent []bool // per receiver: holds the current version
+	latPending bool   // receiver 0 has not yet received this version
+}
+
+// Engine simulates one announce/listen publisher and its subscribers.
+type Engine struct {
+	cfg Config
+	sim *eventsim.Sim
+
+	rndArrive *xrand.Rand
+	rndDeath  *xrand.Rand
+	rndUpdate *xrand.Rand
+	rndSvc    *xrand.Rand
+
+	ch        *netsim.Channel    // work-conserving mode: shared channel
+	chq       [2]*netsim.Channel // strict mode: per-queue channels
+	fb        *netsim.FeedbackLink
+	scheduler sched.Scheduler
+	queues    [2]*list.List
+
+	records map[table.Key]*record
+	live    []*record // for uniform update sampling
+	nCons   []int     // per receiver: live records they hold
+
+	meters      []*metric.ConsistencyMeter
+	batch       *metric.BatchMeans // receiver-0 batch-means CI
+	lat         *metric.LatencyTracker
+	bw          *metric.BandwidthAccountant
+	series      *metric.Series
+	transitions [2][3]int // [enter I/C][exit I/C/D], receiver 0
+
+	pub  *table.Publisher
+	subs []*table.Subscriber
+	tr   *trace.Ring
+
+	keySeq    uint64
+	arrivals  int
+	deaths    int
+	updates   int
+	nacksGen  int
+	nacksRecv int
+	promoted  int
+}
+
+// NewEngine builds an engine from cfg; see Config for parameters.
+func NewEngine(cfg Config) (*Engine, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	root := xrand.New(cfg.Seed)
+	e := &Engine{
+		cfg:       cfg,
+		sim:       eventsim.New(),
+		rndArrive: root.Split(),
+		rndDeath:  root.Split(),
+		rndUpdate: root.Split(),
+		rndSvc:    root.Split(),
+		records:   make(map[table.Key]*record),
+		nCons:     make([]int, cfg.Receivers),
+		lat:       metric.NewLatencyTracker(),
+		bw:        &metric.BandwidthAccountant{},
+	}
+	lossRnd := root.Split()
+	mkLoss := func(rcv int) netsim.LossModel {
+		p := cfg.LossRate
+		if len(cfg.LossRates) > 0 {
+			p = cfg.LossRates[rcv]
+		}
+		switch {
+		case p == 0:
+			return netsim.NoLoss{}
+		case cfg.BurstLen > 1:
+			return netsim.NewGilbertElliottWithMean(p, cfg.BurstLen, lossRnd.Split())
+		default:
+			return netsim.NewBernoulliLoss(p, lossRnd.Split())
+		}
+	}
+	if cfg.StrictShare {
+		// Each queue is its own rate-limited server; a zero-rate
+		// queue is simply never served.
+		for q, rate := range [2]float64{cfg.MuHot, cfg.MuCold} {
+			if rate <= 0 {
+				continue
+			}
+			q := q
+			ch := netsim.NewChannel(e.sim, rate)
+			for i := 0; i < cfg.Receivers; i++ {
+				ch.AddReceiver(mkLoss(i), 0)
+			}
+			ch.OnIdle = func() { e.pumpStrict(q) }
+			e.chq[q] = ch
+		}
+	} else {
+		e.ch = netsim.NewChannel(e.sim, cfg.MuData)
+		for i := 0; i < cfg.Receivers; i++ {
+			e.ch.AddReceiver(mkLoss(i), 0)
+		}
+		e.ch.OnIdle = e.pump
+	}
+	for i := 0; i < cfg.Receivers; i++ {
+		e.meters = append(e.meters, metric.NewConsistencyMeter(0))
+	}
+
+	e.scheduler = cfg.Scheduler.build(root.Split(), cfg.PacketBits)
+	e.scheduler.Add(cfg.MuHot)  // qHot
+	e.scheduler.Add(cfg.MuCold) // qCold
+	e.queues[qHot] = list.New()
+	e.queues[qCold] = list.New()
+
+	if cfg.Mode == ModeFeedback {
+		var fbLoss netsim.LossModel = netsim.NoLoss{}
+		if cfg.FbLossRate > 0 {
+			fbLoss = netsim.NewBernoulliLoss(cfg.FbLossRate, lossRnd.Split())
+		}
+		e.fb = netsim.NewFeedbackLink(e.sim, cfg.MuFb, fbLoss, 0, cfg.NACKQueueCap)
+	}
+
+	if cfg.TrackTables {
+		e.pub = table.NewPublisher()
+		for i := 0; i < cfg.Receivers; i++ {
+			e.subs = append(e.subs, table.NewSubscriber())
+		}
+	}
+	if cfg.SampleInterval > 0 {
+		e.series = &metric.Series{Name: "consistency"}
+	}
+	if cfg.TraceCapacity > 0 {
+		e.tr = trace.New(cfg.TraceCapacity)
+	}
+	return e, nil
+}
+
+// Trace returns the protocol event ring (nil unless
+// Config.TraceCapacity was set).
+func (e *Engine) Trace() *trace.Ring { return e.tr }
+
+// record adds a trace event if tracing is on.
+func (e *Engine) record(k trace.Kind, key table.Key, receiver int) {
+	if e.tr != nil {
+		e.tr.Record(e.Now(), k, string(key), receiver)
+	}
+}
+
+// Now returns the engine's simulated clock.
+func (e *Engine) Now() float64 { return float64(e.sim.Now()) }
+
+// pktArrivalRate converts λ (bps) to records per second.
+func (e *Engine) pktArrivalRate() float64 { return e.cfg.Lambda / e.cfg.PacketBits }
+
+// instantaneous returns the current mean-over-receivers consistency of
+// the live set (1 when the live set is empty, for time-series plots).
+func (e *Engine) instantaneous() float64 {
+	n := len(e.live)
+	if n == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, c := range e.nCons {
+		sum += float64(c) / float64(n)
+	}
+	return sum / float64(len(e.nCons))
+}
+
+func (e *Engine) observe() {
+	now := e.Now()
+	n := len(e.live)
+	for i, m := range e.meters {
+		m.Observe(now, e.nCons[i], n)
+	}
+	if e.batch != nil {
+		e.batch.Observe(now, e.nCons[0], n)
+	}
+}
+
+// insert creates a brand-new record.
+func (e *Engine) insert() *record {
+	e.keySeq++
+	e.arrivals++
+	rec := &record{
+		key:        table.Key(fmt.Sprintf("r%08d", e.keySeq)),
+		version:    1,
+		born:       e.Now(),
+		queue:      qNone,
+		alive:      true,
+		consistent: make([]bool, e.cfg.Receivers),
+		latPending: true,
+	}
+	rec.idx = len(e.live)
+	e.live = append(e.live, rec)
+	e.records[rec.key] = rec
+	if e.pub != nil {
+		e.pub.Put(rec.key, e.valueBytes(rec), e.Now(), 0)
+	}
+	if e.cfg.Lifetime > 0 {
+		life := e.cfg.Lifetime
+		if !e.cfg.FixedLifetime {
+			life = e.rndDeath.Exp(1 / e.cfg.Lifetime)
+		}
+		e.sim.After(life, func() {
+			if rec.alive {
+				e.kill(rec)
+			}
+		})
+	}
+	e.enqueue(rec, qHot)
+	e.record(trace.Arrive, rec.key, -1)
+	e.observe()
+	return rec
+}
+
+// valueBytes encodes the record's current version as its value, so
+// table-based consistency compares real bytes.
+func (e *Engine) valueBytes(rec *record) []byte {
+	return []byte(fmt.Sprintf("%s@%d", rec.key, rec.version))
+}
+
+func (e *Engine) enqueue(rec *record, q int) {
+	if rec.queue != qNone {
+		panic("core: record already queued")
+	}
+	rec.queue = q
+	rec.elem = e.queues[q].PushBack(rec)
+}
+
+func (e *Engine) dequeue(rec *record) {
+	if rec.queue == qNone {
+		panic("core: record not queued")
+	}
+	e.queues[rec.queue].Remove(rec.elem)
+	rec.queue = qNone
+	rec.elem = nil
+}
+
+// kill removes a record from the whole system (the death process).
+func (e *Engine) kill(rec *record) {
+	rec.alive = false
+	e.deaths++
+	if rec.queue != qNone {
+		e.dequeue(rec)
+	}
+	// Swap-remove from the live slice.
+	last := len(e.live) - 1
+	e.live[rec.idx] = e.live[last]
+	e.live[rec.idx].idx = rec.idx
+	e.live = e.live[:last]
+	for i := range e.nCons {
+		if rec.consistent[i] {
+			e.nCons[i]--
+		}
+	}
+	delete(e.records, rec.key)
+	if rec.latPending {
+		e.lat.ObserveDeath()
+		rec.latPending = false
+	}
+	if e.pub != nil {
+		e.pub.Delete(rec.key)
+		for _, s := range e.subs {
+			s.Drop(rec.key)
+		}
+	}
+	e.record(trace.Die, rec.key, -1)
+	e.observe()
+}
+
+// update bumps a uniformly chosen live record to a new version,
+// making it inconsistent everywhere (the "update" arrow of the data
+// model in Figure 1).
+func (e *Engine) update() {
+	if len(e.live) == 0 {
+		return
+	}
+	rec := e.live[e.rndUpdate.Intn(len(e.live))]
+	rec.version++
+	rec.born = e.Now()
+	e.updates++
+	if rec.latPending {
+		// Previous version never arrived; it is now superseded.
+		e.lat.ObserveDeath()
+	}
+	rec.latPending = true
+	for i := range rec.consistent {
+		if rec.consistent[i] {
+			rec.consistent[i] = false
+			e.nCons[i]--
+		}
+	}
+	if e.pub != nil {
+		e.pub.Put(rec.key, e.valueBytes(rec), e.Now(), 0)
+	}
+	e.record(trace.Update, rec.key, -1)
+	switch {
+	case rec.inService:
+		rec.dirty = true
+	case rec.queue == qCold:
+		// The sender knows this is new data: promote to hot.
+		e.dequeue(rec)
+		e.enqueue(rec, qHot)
+	}
+	e.observe()
+	e.pump()
+}
+
+// pump starts the next transmission on whichever server is idle.
+func (e *Engine) pump() {
+	if e.cfg.StrictShare {
+		e.pumpStrict(qHot)
+		e.pumpStrict(qCold)
+		return
+	}
+	if e.ch.Busy() {
+		return
+	}
+	id, ok := e.scheduler.Pick(func(q int) bool { return e.queues[q].Len() > 0 })
+	if !ok {
+		return
+	}
+	rec := e.pop(id)
+	bits := e.drawBits()
+	e.scheduler.Charge(id, bits)
+	e.transmit(e.ch, rec, bits)
+}
+
+// pumpStrict serves queue q on its dedicated rate-limited channel.
+func (e *Engine) pumpStrict(q int) {
+	ch := e.chq[q]
+	if ch == nil || ch.Busy() || e.queues[q].Len() == 0 {
+		return
+	}
+	rec := e.pop(q)
+	e.transmit(ch, rec, e.drawBits())
+}
+
+func (e *Engine) pop(q int) *record {
+	rec := e.queues[q].Front().Value.(*record)
+	e.dequeue(rec)
+	rec.inService = true
+	rec.txVersion = rec.version
+	return rec
+}
+
+func (e *Engine) drawBits() float64 {
+	if e.cfg.DetService {
+		return e.cfg.PacketBits
+	}
+	bits := e.rndSvc.Exp(1 / e.cfg.PacketBits)
+	if bits <= 0 {
+		bits = 1
+	}
+	return bits
+}
+
+func (e *Engine) transmit(ch *netsim.Channel, rec *record, bits float64) {
+	enterCons := rec.consistent[0]
+	e.record(trace.Transmit, rec.key, -1)
+	ch.Transmit(bits, func(rcv int, delivered bool) {
+		e.deliver(rec, bits, rcv, delivered, enterCons)
+	})
+}
+
+// deliver handles one receiver's outcome of a completed service; the
+// channel then invokes finalize via OnIdle (wired in NewEngine through
+// pump — see serviceDone below, scheduled as the last delivery).
+func (e *Engine) deliver(rec *record, bits float64, rcv int, delivered bool, enterCons bool) {
+	if !rec.alive {
+		// The record's lifetime lapsed mid-service; the in-flight
+		// announcement is moot. Account the bits and move on.
+		if rcv == 0 {
+			e.bw.Lost(bits)
+		}
+		if rcv == e.cfg.Receivers-1 {
+			rec.inService = false
+			e.pump()
+		}
+		return
+	}
+	stale := rec.txVersion != rec.version // updated mid-service
+	if delivered && !stale {
+		e.record(trace.Deliver, rec.key, rcv)
+		if !rec.consistent[rcv] {
+			rec.consistent[rcv] = true
+			e.nCons[rcv]++
+			if rcv == 0 {
+				e.bw.Useful(bits)
+				if rec.latPending {
+					e.lat.ObserveDelivery(e.Now() - rec.born)
+					rec.latPending = false
+				}
+			}
+			if e.subs != nil {
+				e.subs[rcv].Apply(rec.key, e.valueBytes(rec), rec.version, e.Now(), e.receiverTTL())
+			}
+			e.observe()
+		} else {
+			if rcv == 0 {
+				e.bw.Redundant(bits)
+			}
+			if e.subs != nil {
+				e.subs[rcv].Apply(rec.key, e.valueBytes(rec), rec.version, e.Now(), e.receiverTTL())
+			}
+		}
+	} else {
+		e.record(trace.Lose, rec.key, rcv)
+		if rcv == 0 {
+			e.bw.Lost(bits)
+		}
+		if e.cfg.Mode == ModeFeedback && !rec.consistent[rcv] {
+			// The receiver detects the loss (ADU gap) and NACKs.
+			e.record(trace.NACK, rec.key, rcv)
+			e.nacksGen++
+			e.bw.Feedback(e.cfg.NACKBits)
+			e.fb.Send(e.cfg.NACKBits, func() { e.onNACK(rec) })
+		}
+	}
+	if rcv == e.cfg.Receivers-1 {
+		// Last receiver outcome processed: finalize the service.
+		e.finalize(rec, enterCons)
+	}
+}
+
+func (e *Engine) receiverTTL() float64 {
+	if e.cfg.ReceiverTTL > 0 {
+		return e.cfg.ReceiverTTL
+	}
+	return 1e18 // effectively immortal; death is global in the model
+}
+
+// finalize applies the death coin and re-queues survivors.
+func (e *Engine) finalize(rec *record, enterCons bool) {
+	rec.inService = false
+	dead := e.rndDeath.Bernoulli(e.cfg.Pd)
+	enter := 0
+	if enterCons {
+		enter = 1
+	}
+	switch {
+	case dead:
+		e.transitions[enter][2]++
+		e.kill(rec)
+	case rec.consistent[0]:
+		e.transitions[enter][1]++
+	default:
+		e.transitions[enter][0]++
+	}
+	if !dead {
+		switch {
+		case e.cfg.Mode == ModeOpenLoop:
+			e.enqueue(rec, qHot) // single queue
+		case rec.dirty:
+			rec.dirty = false
+			e.enqueue(rec, qHot)
+		default:
+			e.enqueue(rec, qCold)
+		}
+	}
+	// The completing channel fires OnIdle right after the deliveries;
+	// pump explicitly too so that a record re-queued onto the *other*
+	// strict-mode server starts service immediately.
+	e.pump()
+}
+
+// onNACK processes a NACK arriving at the sender: promote the record
+// from the cold queue to the tail of the hot queue (Figure 7's C→H
+// transition).
+func (e *Engine) onNACK(rec *record) {
+	e.nacksRecv++
+	if !rec.alive {
+		return // stale NACK for a dead record
+	}
+	if rec.queue == qCold {
+		e.dequeue(rec)
+		e.enqueue(rec, qHot)
+		e.record(trace.Promote, rec.key, -1)
+		e.promoted++
+		e.pump()
+	}
+}
+
+func (e *Engine) resetMetrics() {
+	now := e.Now()
+	for i := range e.meters {
+		m := metric.NewConsistencyMeter(now)
+		m.Observe(now, e.nCons[i], len(e.live))
+		e.meters[i] = m
+	}
+	e.lat = metric.NewLatencyTracker()
+	e.bw = &metric.BandwidthAccountant{}
+	e.transitions = [2][3]int{}
+	e.arrivals, e.deaths, e.updates = 0, 0, 0
+	e.nacksGen, e.nacksRecv, e.promoted = 0, 0, 0
+}
+
+// Run simulates until the given time (seconds) and returns the
+// measured results. Run may be called once per engine.
+func (e *Engine) Run(duration float64) Result {
+	if duration <= 0 {
+		panic(fmt.Sprintf("core: non-positive duration %v", duration))
+	}
+	// Seed initial records.
+	for i := 0; i < e.cfg.InitialRecords; i++ {
+		e.insert()
+	}
+	e.pump()
+	// Arrival process.
+	if e.cfg.Lambda > 0 {
+		var arrive func()
+		arrive = func() {
+			e.insert()
+			e.pump()
+			e.sim.After(e.rndArrive.Exp(e.pktArrivalRate()), arrive)
+		}
+		e.sim.After(e.rndArrive.Exp(e.pktArrivalRate()), arrive)
+	}
+	// Update process.
+	if e.cfg.UpdateRate > 0 {
+		var upd func()
+		upd = func() {
+			e.update()
+			e.sim.After(e.rndUpdate.Exp(e.cfg.UpdateRate), upd)
+		}
+		e.sim.After(e.rndUpdate.Exp(e.cfg.UpdateRate), upd)
+	}
+	// Receiver-side expiry sweeps (extension knob).
+	if e.cfg.ReceiverTTL > 0 && e.subs != nil {
+		e.sim.Ticker(e.cfg.ReceiverTTL/4, func() {
+			for _, s := range e.subs {
+				s.Sweep(e.Now())
+			}
+		})
+	}
+	// Time-series sampling.
+	if e.series != nil {
+		e.sim.Ticker(e.cfg.SampleInterval, func() {
+			e.series.Add(e.Now(), e.instantaneous())
+		})
+	}
+	// Warmup reset, plus batch-means CI estimation over the
+	// measurement window (10 batches).
+	measured := duration - e.cfg.Warmup
+	startBatch := func() {
+		e.batch = metric.NewBatchMeans(e.Now(), measured/10)
+		e.batch.Observe(e.Now(), e.nCons[0], len(e.live))
+	}
+	if e.cfg.Warmup > 0 && e.cfg.Warmup < duration {
+		e.sim.At(eventsim.Time(e.cfg.Warmup), func() {
+			e.resetMetrics()
+			startBatch()
+		})
+	} else {
+		startBatch()
+	}
+	e.sim.RunUntil(eventsim.Time(duration))
+	for _, m := range e.meters {
+		m.Finish(duration)
+	}
+	if e.batch != nil {
+		e.batch.Finish(duration)
+	}
+	return e.result(duration)
+}

@@ -1,0 +1,638 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"softstate/internal/queueing"
+	"softstate/internal/trace"
+)
+
+func mustRun(t *testing.T, cfg Config, dur float64) Result {
+	t.Helper()
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.Run(dur)
+}
+
+// TestOpenLoopMatchesClosedForm validates the simulator against the
+// section-3 Jackson analysis across a grid of parameters: the measured
+// live-set consistency must match q = (1-p_c)(1-p_d)/(1-p_c(1-p_d)),
+// the empty-counts-as-zero average must match ρ·q, and the redundant
+// transmission fraction must match λ̂_C/λ̂.
+func TestOpenLoopMatchesClosedForm(t *testing.T) {
+	cases := []struct {
+		lambda, mu, pc, pd float64
+	}{
+		{20000, 128000, 0.10, 0.20},
+		{20000, 128000, 0.30, 0.25},
+		{20000, 128000, 0.05, 0.40},
+		{5000, 64000, 0.50, 0.15},
+		{10000, 40000, 0.00, 0.30},
+	}
+	for _, tc := range cases {
+		m := queueing.OpenLoop{Lambda: tc.lambda, MuCh: tc.mu, Pc: tc.pc, Pd: tc.pd}
+		if !m.Stable() {
+			t.Fatalf("test case %+v is not stable", tc)
+		}
+		res := mustRun(t, Config{
+			Mode: ModeOpenLoop, Seed: 1,
+			Lambda: tc.lambda, MuData: tc.mu, Pd: tc.pd, LossRate: tc.pc,
+			Warmup: 200,
+		}, 4000)
+		if math.Abs(res.Consistency-m.BusyConsistency()) > 0.02 {
+			t.Errorf("%+v: sim consistency %.4f, closed form %.4f", tc, res.Consistency, m.BusyConsistency())
+		}
+		if math.Abs(res.ConsistencyWithEmpty-m.Consistency()) > 0.03 {
+			t.Errorf("%+v: sim E[c] %.4f, closed form ρ·q %.4f", tc, res.ConsistencyWithEmpty, m.Consistency())
+		}
+		if math.Abs(res.RedundantFraction-m.RedundantFraction()) > 0.02 {
+			t.Errorf("%+v: sim redundancy %.4f, closed form %.4f", tc, res.RedundantFraction, m.RedundantFraction())
+		}
+		if math.Abs(res.BusyFraction-m.Rho()) > 0.03 {
+			t.Errorf("%+v: sim busy fraction %.4f, ρ %.4f", tc, res.BusyFraction, m.Rho())
+		}
+	}
+}
+
+// TestOpenLoopTable1 checks the empirical state-change probabilities
+// against the paper's Table 1.
+func TestOpenLoopTable1(t *testing.T) {
+	pc, pd := 0.25, 0.2
+	res := mustRun(t, Config{
+		Mode: ModeOpenLoop, Seed: 3,
+		Lambda: 20000, MuData: 128000, Pd: pd, LossRate: pc,
+		Warmup: 100,
+	}, 3000)
+	want := queueing.OpenLoop{Lambda: 1, MuCh: 10, Pc: pc, Pd: pd}.Table1()
+	got := res.TransitionProbabilities()
+	for j := 0; j < 3; j++ {
+		if math.Abs(got[0][j]-want.IEnter[j]) > 0.02 {
+			t.Errorf("I-enter exit %d: sim %.3f, want %.3f", j, got[0][j], want.IEnter[j])
+		}
+		if math.Abs(got[1][j]-want.CEnter[j]) > 0.02 {
+			t.Errorf("C-enter exit %d: sim %.3f, want %.3f", j, got[1][j], want.CEnter[j])
+		}
+	}
+	if got[1][0] != 0 {
+		t.Errorf("consistent records must never exit inconsistent (got %.4f)", got[1][0])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{
+		Mode: ModeFeedback, Seed: 99,
+		Lambda: 10000, MuData: 40000, Lifetime: 20,
+		LossRate: 0.3, MuHot: 0.8, MuCold: 0.2, MuFb: 5000,
+	}
+	a := mustRun(t, cfg, 500)
+	b := mustRun(t, cfg, 500)
+	if a.Consistency != b.Consistency || a.Arrivals != b.Arrivals ||
+		a.Transmissions != b.Transmissions || a.NACKsSent != b.NACKsSent ||
+		a.MeanLatency != b.MeanLatency {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+	cfg.Seed = 100
+	c := mustRun(t, cfg, 500)
+	if c.Arrivals == a.Arrivals && c.Transmissions == a.Transmissions && c.Consistency == a.Consistency {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+// TestTableCrossCheck verifies that the engine's incremental
+// consistency counters agree with a full comparison of the mirrored
+// publisher/subscriber tables — i.e. the counters really measure
+// Pr[P.val(k) = Q.val(k)] over actual bytes.
+func TestTableCrossCheck(t *testing.T) {
+	cfg := Config{
+		Mode: ModeTwoQueue, Seed: 5,
+		Lambda: 10000, MuData: 50000, Pd: 0.2, UpdateRate: 3,
+		LossRate: 0.3, MuHot: 0.7, MuCold: 0.3,
+		Receivers: 3, TrackTables: true,
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(300)
+	fromTables, ok := e.TableConsistency()
+	if !ok {
+		t.Fatal("tables not tracked")
+	}
+	fromCounters := e.CounterConsistency()
+	for i := range fromTables {
+		if fromTables[i] != fromCounters[i] {
+			t.Errorf("receiver %d: tables say %v, counters say %v", i, fromTables[i], fromCounters[i])
+		}
+	}
+	if fromCounters[0][1] != e.LiveRecords() {
+		t.Errorf("live mismatch: %d vs %d", fromCounters[0][1], e.LiveRecords())
+	}
+}
+
+// TestTwoQueueKnee reproduces the qualitative content of Figures 5 and
+// 10: consistency is poor while μ_hot < λ and saturates once
+// μ_hot > λ, with little further gain.
+func TestTwoQueueKnee(t *testing.T) {
+	run := func(hotFrac float64) float64 {
+		return mustRun(t, Config{
+			Mode: ModeTwoQueue, Seed: 42,
+			Lambda: 15000, MuData: 38000, Lifetime: 30,
+			LossRate: 0.10, MuHot: hotFrac, MuCold: 1 - hotFrac,
+			Warmup: 200,
+		}, 1500).Consistency
+	}
+	lambdaFrac := 15000.0 / 38000.0 // ≈ 0.395
+	below := run(0.15)
+	atKnee := run(lambdaFrac + 0.08)
+	above := run(0.9)
+	if below > 0.5 {
+		t.Errorf("below knee: consistency %.3f, want low", below)
+	}
+	if atKnee < 0.85 {
+		t.Errorf("just above knee: consistency %.3f, want high", atKnee)
+	}
+	if math.Abs(above-atKnee) > 0.05 {
+		t.Errorf("beyond knee should be flat: %.3f vs %.3f", above, atKnee)
+	}
+}
+
+// TestFeedbackImproves reproduces the headline of section 5: at 40%
+// loss, adding NACK feedback lifts consistency from ~80% to ~99%
+// without increasing total bandwidth.
+func TestFeedbackImproves(t *testing.T) {
+	muTot := 45000.0
+	open := mustRun(t, Config{
+		Mode: ModeTwoQueue, Seed: 7,
+		Lambda: 15000, MuData: muTot, Lifetime: 30,
+		LossRate: 0.40, MuHot: 0.9, MuCold: 0.1, Warmup: 200,
+	}, 1500)
+	fb := mustRun(t, Config{
+		Mode: ModeFeedback, Seed: 7,
+		Lambda: 15000, MuData: 0.8 * muTot, Lifetime: 30,
+		LossRate: 0.40, MuHot: 0.9, MuCold: 0.1,
+		MuFb: 0.2 * muTot, NACKBits: 200, Warmup: 200,
+	}, 1500)
+	if open.Consistency < 0.7 || open.Consistency > 0.9 {
+		t.Errorf("open-loop consistency %.3f, want ~0.8", open.Consistency)
+	}
+	if fb.Consistency < 0.97 {
+		t.Errorf("feedback consistency %.3f, want ≥0.97", fb.Consistency)
+	}
+	if fb.NACKsSent == 0 || fb.Promotions == 0 {
+		t.Error("feedback run generated no NACKs/promotions")
+	}
+}
+
+// TestFeedbackCollapse reproduces Figure 8's collapse: when feedback
+// takes so much bandwidth that μ_data < λ/(1-p_c), consistency falls
+// below the open-loop level.
+func TestFeedbackCollapse(t *testing.T) {
+	muTot := 45000.0
+	fbFrac := 0.7
+	res := mustRun(t, Config{
+		Mode: ModeFeedback, Seed: 7,
+		Lambda: 15000, MuData: (1 - fbFrac) * muTot, Lifetime: 30,
+		LossRate: 0.40, MuHot: 0.9, MuCold: 0.1,
+		MuFb: fbFrac * muTot, NACKBits: 200, Warmup: 200,
+	}, 1500)
+	if res.Consistency > 0.6 {
+		t.Errorf("collapse regime consistency %.3f, want < 0.6", res.Consistency)
+	}
+}
+
+// TestStrictShareLatencyAnchor checks Figure 6's analytic anchor: with
+// negligible cold bandwidth, T_rec over successful first-shot
+// deliveries approximates the M/M/1 sojourn 1/(μ_hot − λ).
+func TestStrictShareLatencyAnchor(t *testing.T) {
+	lambda, muHot := 15000.0, 18000.0
+	res := mustRun(t, Config{
+		Mode: ModeTwoQueue, Seed: 11, StrictShare: true,
+		Lambda: lambda, Lifetime: 60, LossRate: 0.25,
+		MuHot: muHot, MuCold: 0.001 * muHot, Warmup: 200,
+	}, 3000)
+	want := queueing.MM1{Lambda: lambda / 1000, Mu: muHot / 1000}.MeanSojourn()
+	if res.MeanLatency < 0.5*want || res.MeanLatency > 2.5*want {
+		t.Errorf("T_rec %.3f, want within 2.5x of M/M/1 %.3f", res.MeanLatency, want)
+	}
+	// Without retransmission bandwidth, ~p_c of items never arrive.
+	if res.DeliveryRatio > 0.85 {
+		t.Errorf("delivery ratio %.3f, want ≈ 1-p_c", res.DeliveryRatio)
+	}
+}
+
+// TestStrictShareLatencyShape checks the rise-then-fall of Figure 6.
+func TestStrictShareLatencyShape(t *testing.T) {
+	run := func(ratio float64) Result {
+		return mustRun(t, Config{
+			Mode: ModeTwoQueue, Seed: 11, StrictShare: true,
+			Lambda: 15000, Lifetime: 60, LossRate: 0.25,
+			MuHot: 18000, MuCold: ratio * 18000, Warmup: 200,
+		}, 2500)
+	}
+	low := run(0.001)
+	mid := run(0.4)
+	high := run(3.0)
+	if !(mid.MeanLatency > low.MeanLatency) {
+		t.Errorf("latency should rise as cold retransmissions enter the average: low=%.3f mid=%.3f", low.MeanLatency, mid.MeanLatency)
+	}
+	if !(high.MeanLatency < mid.MeanLatency) {
+		t.Errorf("latency should fall with ample cold bandwidth: mid=%.3f high=%.3f", mid.MeanLatency, high.MeanLatency)
+	}
+	if !(high.DeliveryRatio > low.DeliveryRatio) {
+		t.Errorf("delivery ratio should improve with cold bandwidth: %.3f vs %.3f", high.DeliveryRatio, low.DeliveryRatio)
+	}
+}
+
+func TestZeroLossFullConsistencyWithFeedback(t *testing.T) {
+	res := mustRun(t, Config{
+		Mode: ModeFeedback, Seed: 2,
+		Lambda: 5000, MuData: 40000, Lifetime: 30, LossRate: 0,
+		MuHot: 0.8, MuCold: 0.2, MuFb: 4000, Warmup: 100,
+	}, 800)
+	if res.Consistency < 0.98 {
+		t.Errorf("lossless consistency %.3f, want ≈1", res.Consistency)
+	}
+	if res.NACKsSent != 0 {
+		t.Errorf("lossless run sent %d NACKs", res.NACKsSent)
+	}
+}
+
+func TestMultiReceiver(t *testing.T) {
+	res := mustRun(t, Config{
+		Mode: ModeOpenLoop, Seed: 4,
+		Lambda: 10000, MuData: 64000, Pd: 0.25, LossRate: 0.2,
+		Receivers: 5, Warmup: 100,
+	}, 1500)
+	if len(res.PerReceiver) != 5 {
+		t.Fatalf("PerReceiver has %d entries", len(res.PerReceiver))
+	}
+	m := queueing.OpenLoop{Lambda: 10000, MuCh: 64000, Pc: 0.2, Pd: 0.25}
+	for i, c := range res.PerReceiver {
+		if math.Abs(c-m.BusyConsistency()) > 0.04 {
+			t.Errorf("receiver %d consistency %.3f, want ≈%.3f", i, c, m.BusyConsistency())
+		}
+	}
+}
+
+func TestUpdatesReduceConsistency(t *testing.T) {
+	base := Config{
+		Mode: ModeTwoQueue, Seed: 6,
+		Lambda: 5000, MuData: 30000, Lifetime: 40, LossRate: 0.1,
+		MuHot: 0.7, MuCold: 0.3, Warmup: 200,
+	}
+	noUpd := mustRun(t, base, 1500)
+	base.UpdateRate = 20 // 20 value changes/s across the live set
+	withUpd := mustRun(t, base, 1500)
+	if withUpd.Updates == 0 {
+		t.Fatal("no updates happened")
+	}
+	if withUpd.Consistency >= noUpd.Consistency {
+		t.Errorf("updates should depress consistency: %.3f vs %.3f", withUpd.Consistency, noUpd.Consistency)
+	}
+}
+
+func TestInitialRecordsStaticInput(t *testing.T) {
+	// The paper's "static input" case: with no arrivals and no
+	// death, open-loop cycling eventually delivers everything.
+	res := mustRun(t, Config{
+		Mode: ModeOpenLoop, Seed: 8,
+		Lambda: 0, MuData: 50000, Pd: 0.0001, LossRate: 0.5,
+		InitialRecords: 50,
+	}, 200)
+	if res.Consistency < 0.9 {
+		t.Errorf("static input consistency %.3f, want ≈1 (eventual consistency)", res.Consistency)
+	}
+	if res.Arrivals != 50 {
+		t.Errorf("arrivals = %d, want 50", res.Arrivals)
+	}
+}
+
+func TestSeriesSampling(t *testing.T) {
+	res := mustRun(t, Config{
+		Mode: ModeOpenLoop, Seed: 9,
+		Lambda: 10000, MuData: 64000, Pd: 0.3, LossRate: 0.2,
+		SampleInterval: 1,
+	}, 100)
+	if res.Series == nil {
+		t.Fatal("no series recorded")
+	}
+	if res.Series.Len() < 95 || res.Series.Len() > 101 {
+		t.Errorf("series has %d samples, want ≈100", res.Series.Len())
+	}
+	for _, p := range res.Series.Points {
+		if p.V < 0 || p.V > 1 {
+			t.Fatalf("sample out of range: %+v", p)
+		}
+	}
+}
+
+func TestGilbertElliottSameMeanSimilarConsistency(t *testing.T) {
+	// The paper argues the metric depends only on the mean loss rate;
+	// bursty loss at the same mean should land close to Bernoulli.
+	base := Config{
+		Mode: ModeOpenLoop, Seed: 10,
+		Lambda: 20000, MuData: 128000, Pd: 0.25, LossRate: 0.2,
+		Warmup: 300,
+	}
+	bern := mustRun(t, base, 4000)
+	base.BurstLen = 8
+	ge := mustRun(t, base, 4000)
+	if math.Abs(bern.Consistency-ge.Consistency) > 0.05 {
+		t.Errorf("burstiness moved consistency: bernoulli %.3f vs GE %.3f", bern.Consistency, ge.Consistency)
+	}
+}
+
+func TestNACKQueueOverflowCounted(t *testing.T) {
+	res := mustRun(t, Config{
+		Mode: ModeFeedback, Seed: 12,
+		Lambda: 15000, MuData: 40000, Lifetime: 30, LossRate: 0.5,
+		MuHot: 0.9, MuCold: 0.1,
+		MuFb: 100, NACKBits: 400, NACKQueueCap: 5, // starved feedback
+	}, 500)
+	if res.NACKsDropped == 0 {
+		t.Error("starved feedback link dropped no NACKs")
+	}
+	if res.NACKsRecv >= res.NACKsSent {
+		t.Errorf("NACKs received %d not < sent %d", res.NACKsRecv, res.NACKsSent)
+	}
+}
+
+func TestReceiverTTLExpiry(t *testing.T) {
+	// With a short receiver TTL and scarce refreshes, replicas expire
+	// and consistency falls below the no-TTL baseline.
+	base := Config{
+		Mode: ModeTwoQueue, Seed: 13,
+		Lambda: 2000, MuData: 6000, Lifetime: 120, LossRate: 0.1,
+		MuHot: 0.5, MuCold: 0.5, TrackTables: true, Warmup: 100,
+	}
+	noTTL := mustRun(t, base, 1000)
+	_ = noTTL
+	base.ReceiverTTL = 5
+	e, err := NewEngine(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(1000)
+	tc, _ := e.TableConsistency()
+	cc := e.CounterConsistency()
+	// Table-based consistency (which honours TTL expiry) must not
+	// exceed the counter-based one (which does not).
+	if tc[0][0] > cc[0][0] {
+		t.Errorf("TTL-expired table consistency %v above counters %v", tc[0], cc[0])
+	}
+}
+
+func TestSchedulerVariantsAgree(t *testing.T) {
+	// Stride, WFQ, DRR and lottery should produce statistically
+	// similar consistency for the same two-queue configuration.
+	var got []float64
+	for _, k := range []SchedulerKind{SchedStride, SchedWFQ, SchedDRR, SchedLottery} {
+		res := mustRun(t, Config{
+			Mode: ModeTwoQueue, Seed: 21,
+			Lambda: 15000, MuData: 38000, Lifetime: 30, LossRate: 0.1,
+			MuHot: 0.6, MuCold: 0.4, Scheduler: k, Warmup: 200,
+		}, 1200)
+		got = append(got, res.Consistency)
+	}
+	for i := 1; i < len(got); i++ {
+		if math.Abs(got[i]-got[0]) > 0.05 {
+			t.Errorf("scheduler %d consistency %.3f vs stride %.3f", i, got[i], got[0])
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},                                // no rates at all
+		{Lambda: -1, MuData: 10, Pd: 0.5}, // negative λ
+		{Lambda: 1, MuData: 10},           // no death process
+		{Lambda: 1, MuData: 10, Pd: 2},    // pd > 1
+		{Lambda: 1, MuData: 10, Pd: 0.5, LossRate: 1.0},                            // p_c = 1
+		{Mode: ModeTwoQueue, Lambda: 1, MuData: 10, Pd: 0.5},                       // no weights
+		{Mode: ModeFeedback, Lambda: 1, MuData: 10, Pd: 0.5, MuHot: 1},             // no MuFb
+		{Mode: ModeTwoQueue, Lambda: 1, MuData: 10, Pd: 0.5, MuHot: -1, MuCold: 1}, // negative weight
+		{Lambda: 1, MuData: 10, Pd: 0.5, Receivers: -2},                            // bad receivers
+		{Mode: ModeTwoQueue, StrictShare: true, Lambda: 1, Pd: 0.5, MuCold: 5},     // strict without MuHot
+	}
+	for i, cfg := range bad {
+		if _, err := NewEngine(cfg); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewEngine(Config{Lambda: 1000, MuData: 10000, Pd: 0.5}); err != nil {
+		t.Errorf("valid minimal config rejected: %v", err)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if ModeOpenLoop.String() != "open-loop" || ModeTwoQueue.String() != "two-queue" ||
+		ModeFeedback.String() != "feedback" {
+		t.Error("mode names wrong")
+	}
+	if Mode(99).String() == "" || SchedulerKind(99).String() == "" {
+		t.Error("unknown enum should still stringify")
+	}
+	for _, k := range []SchedulerKind{SchedStride, SchedLottery, SchedWFQ, SchedDRR} {
+		if k.String() == "" {
+			t.Error("scheduler kind name empty")
+		}
+	}
+}
+
+func TestRunPanicsOnBadDuration(t *testing.T) {
+	e, err := NewEngine(Config{Lambda: 1000, MuData: 10000, Pd: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run(0) did not panic")
+		}
+	}()
+	e.Run(0)
+}
+
+// TestTraceTimelines runs a traced simulation and checks that every
+// record's event timeline is causally ordered: ARRIVE first, DIE last,
+// no DELIVER/LOSE without a preceding TX.
+func TestTraceTimelines(t *testing.T) {
+	e, err := NewEngine(Config{
+		Mode: ModeFeedback, Seed: 19,
+		Lambda: 8000, MuData: 30000, Lifetime: 10, LossRate: 0.3,
+		MuHot: 0.8, MuCold: 0.2, MuFb: 4000,
+		TraceCapacity: 100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(60)
+	tr := e.Trace()
+	if tr == nil || tr.Len() == 0 {
+		t.Fatal("no trace recorded")
+	}
+	byKey := map[string][]trace.Event{}
+	for _, ev := range tr.Events() {
+		byKey[ev.Key] = append(byKey[ev.Key], ev)
+	}
+	checked := 0
+	for key, tl := range byKey {
+		if tl[0].Kind != trace.Arrive {
+			continue // ring may have evicted the start of old records
+		}
+		checked++
+		txSeen := false
+		for i, ev := range tl {
+			if i > 0 && ev.T < tl[i-1].T {
+				t.Fatalf("%s: time went backwards: %+v", key, tl)
+			}
+			switch ev.Kind {
+			case trace.Transmit:
+				txSeen = true
+			case trace.Deliver, trace.Lose:
+				if !txSeen {
+					t.Fatalf("%s: %v before any TX: %+v", key, ev.Kind, tl)
+				}
+			case trace.Die:
+				if i != len(tl)-1 {
+					t.Fatalf("%s: events after DIE: %+v", key, tl)
+				}
+			}
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d complete timelines checked", checked)
+	}
+}
+
+// TestConsistencyCI checks the batch-means confidence interval:
+// positive for a stochastic run, containing the closed form, and
+// shrinking with run length.
+func TestConsistencyCI(t *testing.T) {
+	cfg := Config{
+		Mode: ModeOpenLoop, Seed: 17,
+		Lambda: 20000, MuData: 128000, Pd: 0.25, LossRate: 0.2,
+		Warmup: 100,
+	}
+	short := mustRun(t, cfg, 600)
+	long := mustRun(t, cfg, 6000)
+	if short.ConsistencyCI <= 0 || long.ConsistencyCI <= 0 {
+		t.Fatalf("CIs not positive: %v, %v", short.ConsistencyCI, long.ConsistencyCI)
+	}
+	if long.ConsistencyCI >= short.ConsistencyCI {
+		t.Errorf("CI did not shrink: short %v, long %v", short.ConsistencyCI, long.ConsistencyCI)
+	}
+	want := queueing.OpenLoop{Lambda: 20000, MuCh: 128000, Pc: 0.2, Pd: 0.25}.BusyConsistency()
+	if math.Abs(long.Consistency-want) > 3*long.ConsistencyCI+0.01 {
+		t.Errorf("closed form %v outside measured %v ± %v", want, long.Consistency, long.ConsistencyCI)
+	}
+}
+
+// TestHeterogeneousReceivers gives each receiver a different loss rate
+// and checks the per-receiver consistencies match their own closed
+// forms (the metric is per-path, so receivers are independent).
+func TestHeterogeneousReceivers(t *testing.T) {
+	losses := []float64{0.05, 0.3, 0.6}
+	res := mustRun(t, Config{
+		Mode: ModeOpenLoop, Seed: 15,
+		Lambda: 15000, MuData: 96000, Pd: 0.25,
+		Receivers: 3, LossRates: losses,
+		Warmup: 200,
+	}, 3000)
+	for i, pc := range losses {
+		want := queueing.OpenLoop{Lambda: 15000, MuCh: 96000, Pc: pc, Pd: 0.25}.BusyConsistency()
+		if math.Abs(res.PerReceiver[i]-want) > 0.03 {
+			t.Errorf("receiver %d (loss %.2f): consistency %.4f, want ≈%.4f",
+				i, pc, res.PerReceiver[i], want)
+		}
+	}
+	if !(res.PerReceiver[0] > res.PerReceiver[1] && res.PerReceiver[1] > res.PerReceiver[2]) {
+		t.Errorf("consistency not ordered by path loss: %v", res.PerReceiver)
+	}
+}
+
+func TestLossRatesValidation(t *testing.T) {
+	if _, err := NewEngine(Config{
+		Lambda: 1000, MuData: 10000, Pd: 0.5,
+		Receivers: 2, LossRates: []float64{0.1},
+	}); err == nil {
+		t.Error("length-mismatched LossRates accepted")
+	}
+	if _, err := NewEngine(Config{
+		Lambda: 1000, MuData: 10000, Pd: 0.5,
+		Receivers: 1, LossRates: []float64{1.0},
+	}); err == nil {
+		t.Error("LossRates=1 accepted")
+	}
+}
+
+// TestPropertyEngineBounds drives the engine across randomized valid
+// configurations: it must never panic, all reported fractions must lie
+// in [0, 1], and the incremental counters must agree with the mirrored
+// tables at the end of every run.
+func TestPropertyEngineBounds(t *testing.T) {
+	f := func(seed int64, mode8, loss8, pd8, hot8, upd8 uint8) bool {
+		cfg := Config{
+			Mode:        Mode(int(mode8) % 3),
+			Seed:        seed,
+			Lambda:      5000 + math.Abs(float64(seed%7))*2000,
+			MuData:      40000,
+			LossRate:    float64(loss8%80) / 100,
+			MuHot:       0.1 + float64(hot8%90)/100,
+			UpdateRate:  float64(upd8 % 10),
+			TrackTables: true,
+			Receivers:   1 + int(mode8)%3,
+		}
+		cfg.MuCold = 1 - cfg.MuHot
+		if pd8%2 == 0 {
+			cfg.Pd = 0.35 + float64(pd8%50)/100
+		} else {
+			cfg.Lifetime = 5 + float64(pd8%40)
+		}
+		if cfg.Mode == ModeFeedback {
+			cfg.MuFb = 4000
+		}
+		e, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatalf("config rejected: %v (%+v)", err, cfg)
+		}
+		res := e.Run(120)
+		for _, v := range []float64{res.Consistency, res.ConsistencyWithEmpty,
+			res.BusyFraction, res.RedundantFraction, res.WastedFraction, res.DeliveryRatio} {
+			if v < 0 || v > 1+1e-9 {
+				t.Fatalf("fraction out of range: %v (%+v)", v, res)
+			}
+		}
+		if res.MeanLatency < 0 {
+			t.Fatalf("negative latency: %v", res.MeanLatency)
+		}
+		tc, _ := e.TableConsistency()
+		cc := e.CounterConsistency()
+		for i := range tc {
+			if tc[i] != cc[i] {
+				t.Fatalf("tables %v != counters %v (receiver %d, %+v)", tc[i], cc[i], i, cfg)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetServiceMode(t *testing.T) {
+	// M/D/1 service still yields the same flow-balance consistency q
+	// (q depends only on rates), though occupancy differs.
+	m := queueing.OpenLoop{Lambda: 20000, MuCh: 128000, Pc: 0.2, Pd: 0.25}
+	res := mustRun(t, Config{
+		Mode: ModeOpenLoop, Seed: 14, DetService: true,
+		Lambda: 20000, MuData: 128000, Pd: 0.25, LossRate: 0.2,
+		Warmup: 200,
+	}, 3000)
+	if math.Abs(res.Consistency-m.BusyConsistency()) > 0.03 {
+		t.Errorf("M/D/1 consistency %.4f, want ≈%.4f", res.Consistency, m.BusyConsistency())
+	}
+}

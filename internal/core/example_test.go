@@ -1,0 +1,30 @@
+package core_test
+
+import (
+	"fmt"
+
+	"softstate/internal/core"
+	"softstate/internal/queueing"
+)
+
+// Example runs the open-loop model and compares the simulated
+// consistency with the section-3 closed form.
+func Example() {
+	cfg := core.Config{
+		Mode: core.ModeOpenLoop, Seed: 1,
+		Lambda: 20_000, MuData: 128_000, Pd: 0.20, LossRate: 0.10,
+		Warmup: 200,
+	}
+	engine, err := core.NewEngine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	res := engine.Run(4000)
+	analytic := queueing.OpenLoop{Lambda: 20_000, MuCh: 128_000, Pc: 0.10, Pd: 0.20}
+	fmt.Printf("analytic q %.4f\n", analytic.BusyConsistency())
+	fmt.Printf("within 2%%  %v\n", res.Consistency > analytic.BusyConsistency()-0.02 &&
+		res.Consistency < analytic.BusyConsistency()+0.02)
+	// Output:
+	// analytic q 0.7826
+	// within 2%  true
+}

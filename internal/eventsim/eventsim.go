@@ -1,0 +1,216 @@
+// Package eventsim implements a deterministic discrete-event
+// simulation engine. It is the substrate on which the soft-state
+// protocol simulations (open-loop announce/listen, two-queue aging,
+// and receiver feedback) run.
+//
+// The engine maintains a priority queue of timestamped events. Events
+// scheduled for the same instant fire in scheduling order, which makes
+// runs reproducible. All simulated components share one *Sim and must
+// be driven from a single goroutine; this mirrors the structure of
+// classic network simulators and avoids any need for locking in the
+// protocol models.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulated timestamp in seconds from the start of the run.
+type Time float64
+
+// Duration is a span of simulated time in seconds.
+type Duration = float64
+
+// Event is a scheduled callback. The zero Event is inert.
+type Event struct {
+	when   Time
+	seq    uint64 // tie-break: FIFO among events at the same instant
+	index  int    // heap index; -1 when not queued
+	fn     func()
+	cancel bool
+}
+
+// Time returns the instant the event is scheduled for.
+func (e *Event) Time() Time { return e.when }
+
+// Pending reports whether the event is still queued and not cancelled.
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 && !e.cancel }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator. Create one with New.
+type Sim struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// New returns an empty simulator positioned at time zero.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far. Useful for
+// progress accounting and loop-detection in tests.
+func (s *Sim) Fired() uint64 { return s.fired }
+
+// Pending returns the number of queued (non-cancelled) events.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.cancel {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn at absolute time t. Scheduling in the past panics:
+// that is always a model bug and silently reordering time would
+// corrupt every metric downstream.
+func (s *Sim) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("eventsim: scheduling at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("eventsim: nil event function")
+	}
+	e := &Event{when: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn after d seconds of simulated time.
+func (s *Sim) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("eventsim: negative delay %v", d))
+	}
+	return s.At(s.now+Time(d), fn)
+}
+
+// Cancel prevents a pending event from firing. Cancelling a nil,
+// already-fired, or already-cancelled event is a no-op.
+func (s *Sim) Cancel(e *Event) {
+	if e == nil || e.cancel {
+		return
+	}
+	e.cancel = true
+	if e.index >= 0 {
+		heap.Remove(&s.queue, e.index)
+	}
+}
+
+// Reschedule moves a pending event to a new absolute time, preserving
+// its callback. If the event already fired or was cancelled, a new
+// event is created with the same callback.
+func (s *Sim) Reschedule(e *Event, t Time) *Event {
+	fn := e.fn
+	s.Cancel(e)
+	return s.At(t, fn)
+}
+
+// Halt stops the current Run/RunUntil after the in-flight event
+// completes. Pending events remain queued.
+func (s *Sim) Halt() { s.halted = true }
+
+// Step executes the single next event, if any, and reports whether an
+// event fired.
+func (s *Sim) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.when
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in timestamp order until the queue is
+// empty or the next event is strictly after deadline. The clock is
+// advanced to deadline on return so that time-weighted metrics close
+// their final interval correctly.
+func (s *Sim) RunUntil(deadline Time) {
+	s.halted = false
+	for !s.halted && len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.when > deadline {
+			break
+		}
+		s.Step()
+	}
+	if !s.halted && deadline > s.now {
+		s.now = deadline
+	}
+}
+
+// Run executes events until the queue drains or Halt is called.
+func (s *Sim) Run() {
+	s.halted = false
+	for !s.halted && s.Step() {
+	}
+}
+
+// Ticker invokes fn every period seconds, starting one period from
+// now, until the returned stop function is called. Periods must be
+// positive and finite.
+func (s *Sim) Ticker(period Duration, fn func()) (stop func()) {
+	if period <= 0 || math.IsInf(period, 0) || math.IsNaN(period) {
+		panic(fmt.Sprintf("eventsim: invalid ticker period %v", period))
+	}
+	var ev *Event
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped { // fn may have called stop
+			ev = s.After(period, tick)
+		}
+	}
+	ev = s.After(period, tick)
+	return func() {
+		stopped = true
+		s.Cancel(ev)
+	}
+}

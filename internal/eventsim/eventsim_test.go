@@ -1,0 +1,232 @@
+package eventsim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimestampOrder(t *testing.T) {
+	s := New()
+	var order []Time
+	for _, at := range []Time{5, 1, 3, 2, 4} {
+		at := at
+		s.At(at, func() { order = append(order, at) })
+	}
+	s.Run()
+	if len(order) != 5 {
+		t.Fatalf("fired %d events, want 5", len(order))
+	}
+	if !sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] }) {
+		t.Errorf("events out of order: %v", order)
+	}
+	if s.Now() != 5 {
+		t.Errorf("clock = %v, want 5", s.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(1, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	s := New()
+	var at Time
+	s.At(2, func() {
+		s.After(3, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 5 {
+		t.Errorf("After(3) from t=2 fired at %v, want 5", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.At(5, func() {})
+	s.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(1, func() { fired = true })
+	if !e.Pending() {
+		t.Error("event should be pending before run")
+	}
+	s.Cancel(e)
+	if e.Pending() {
+		t.Error("event should not be pending after cancel")
+	}
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	s.Cancel(e) // double-cancel is a no-op
+	s.Cancel(nil)
+}
+
+func TestCancelFromWithinEvent(t *testing.T) {
+	s := New()
+	fired := false
+	var victim *Event
+	s.At(1, func() { s.Cancel(victim) })
+	victim = s.At(2, func() { fired = true })
+	s.Run()
+	if fired {
+		t.Error("event cancelled mid-run still fired")
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	s := New()
+	var at Time
+	e := s.At(1, func() { at = s.Now() })
+	s.Reschedule(e, 4)
+	s.Run()
+	if at != 4 {
+		t.Errorf("rescheduled event fired at %v, want 4", at)
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New()
+	fired := 0
+	s.At(1, func() { fired++ })
+	s.At(10, func() { fired++ })
+	s.RunUntil(5)
+	if fired != 1 {
+		t.Errorf("fired %d events by t=5, want 1", fired)
+	}
+	if s.Now() != 5 {
+		t.Errorf("clock = %v after RunUntil(5)", s.Now())
+	}
+	s.RunUntil(20)
+	if fired != 2 {
+		t.Errorf("fired %d events by t=20, want 2", fired)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := New()
+	fired := 0
+	s.At(1, func() { fired++; s.Halt() })
+	s.At(2, func() { fired++ })
+	s.Run()
+	if fired != 1 {
+		t.Errorf("fired %d events, want 1 (halted)", fired)
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New()
+	var times []Time
+	var stop func()
+	stop = s.Ticker(2, func() {
+		times = append(times, s.Now())
+		if len(times) == 3 {
+			stop()
+		}
+	})
+	s.RunUntil(100)
+	want := []Time{2, 4, 6}
+	if len(times) != len(want) {
+		t.Fatalf("ticks = %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestTickerInvalidPeriodPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ticker(0) did not panic")
+		}
+	}()
+	s.Ticker(0, func() {})
+}
+
+func TestFiredCount(t *testing.T) {
+	s := New()
+	for i := 0; i < 7; i++ {
+		s.At(Time(i), func() {})
+	}
+	s.Run()
+	if s.Fired() != 7 {
+		t.Errorf("Fired = %d, want 7", s.Fired())
+	}
+}
+
+// Property: for any set of non-negative event times, execution visits
+// them in sorted order and the final clock equals the maximum.
+func TestPropertyOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := New()
+		var fired []Time
+		max := Time(0)
+		for _, r := range raw {
+			at := Time(r)
+			if at > max {
+				max = at
+			}
+			s.At(at, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(raw) == 0 || s.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil event function did not panic")
+		}
+	}()
+	s.At(1, nil)
+}

@@ -1,0 +1,78 @@
+package eventsim
+
+import "testing"
+
+func TestRescheduleAfterFire(t *testing.T) {
+	s := New()
+	count := 0
+	e := s.At(1, func() { count++ })
+	s.Step() // fires
+	// Rescheduling a fired event re-creates it with the same callback.
+	s.Reschedule(e, 5)
+	s.Run()
+	if count != 2 {
+		t.Errorf("callback ran %d times, want 2", count)
+	}
+}
+
+func TestRescheduleCancelled(t *testing.T) {
+	s := New()
+	count := 0
+	e := s.At(1, func() { count++ })
+	s.Cancel(e)
+	s.Reschedule(e, 2)
+	s.Run()
+	if count != 1 {
+		t.Errorf("callback ran %d times, want 1", count)
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	s := New()
+	a := s.At(1, func() {})
+	s.At(2, func() {})
+	if s.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", s.Pending())
+	}
+	s.Cancel(a)
+	if s.Pending() != 1 {
+		t.Errorf("Pending after cancel = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Errorf("Pending after run = %d, want 0", s.Pending())
+	}
+}
+
+func TestEventTimeAccessor(t *testing.T) {
+	s := New()
+	e := s.At(3.5, func() {})
+	if e.Time() != 3.5 {
+		t.Errorf("Time = %v", e.Time())
+	}
+	var nilEv *Event
+	if nilEv.Pending() {
+		t.Error("nil event reports pending")
+	}
+}
+
+func TestRunUntilExactBoundary(t *testing.T) {
+	s := New()
+	fired := false
+	s.At(5, func() { fired = true })
+	s.RunUntil(5) // events at exactly the deadline fire
+	if !fired {
+		t.Error("event at the deadline did not fire")
+	}
+}
+
+func TestTickerStopInsideCallbackBeforeFn(t *testing.T) {
+	s := New()
+	calls := 0
+	stop := s.Ticker(1, func() { calls++ })
+	s.At(2.5, stop)
+	s.RunUntil(10)
+	if calls != 2 {
+		t.Errorf("ticker fired %d times, want 2", calls)
+	}
+}

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+var opts = Opts{Quick: true, Seed: 1}
+
+func find(e Experiment, label string) Series {
+	for _, s := range e.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	return Series{}
+}
+
+func TestAllIDsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweeps are slow")
+	}
+	for _, id := range All() {
+		exp, err := Run(id, opts)
+		if err != nil {
+			t.Fatalf("Run(%q): %v", id, err)
+		}
+		if exp.ID != id {
+			t.Errorf("Run(%q) returned id %q", id, exp.ID)
+		}
+		if len(exp.Series) == 0 {
+			t.Errorf("%s has no series", id)
+		}
+		for _, s := range exp.Series {
+			if len(s.X) != len(s.Y) {
+				t.Errorf("%s series %q has mismatched X/Y", id, s.Label)
+			}
+		}
+	}
+}
+
+func TestUnknownID(t *testing.T) {
+	if _, err := Run("fig99", opts); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestTable1MatchesAnalytic(t *testing.T) {
+	exp := Table1(opts)
+	ana := find(exp, "I-enter analytic")
+	sim := find(exp, "I-enter simulated")
+	for i := range ana.Y {
+		if math.Abs(ana.Y[i]-sim.Y[i]) > 0.03 {
+			t.Errorf("I-enter exit %d: analytic %.3f vs simulated %.3f", i, ana.Y[i], sim.Y[i])
+		}
+	}
+	cs := find(exp, "C-enter simulated")
+	if cs.Y[0] != 0 {
+		t.Errorf("C-enter must never exit inconsistent: %v", cs.Y[0])
+	}
+}
+
+func TestFig3SimTracksAnalytic(t *testing.T) {
+	exp := Fig3(opts)
+	for i := 0; i+1 < len(exp.Series); i += 2 {
+		ana, sim := exp.Series[i], exp.Series[i+1]
+		for j := range ana.Y {
+			if math.Abs(ana.Y[j]-sim.Y[j]) > 0.05 {
+				t.Errorf("%s vs %s at loss %.1f: %.3f vs %.3f",
+					ana.Label, sim.Label, ana.X[j], ana.Y[j], sim.Y[j])
+			}
+		}
+		// Monotone decrease with loss.
+		for j := 1; j < len(ana.Y); j++ {
+			if ana.Y[j] > ana.Y[j-1] {
+				t.Errorf("%s not monotone at %d", ana.Label, j)
+			}
+		}
+	}
+}
+
+func TestFig4WasteAnchor(t *testing.T) {
+	exp := Fig4(opts)
+	ten := find(exp, "analytic pd=0.10")
+	if math.Abs(ten.Y[0]-0.9) > 1e-9 {
+		t.Errorf("pd=0.10 zero-loss waste = %v, want 0.90", ten.Y[0])
+	}
+}
+
+func TestFig5Knee(t *testing.T) {
+	exp := Fig5(opts)
+	s := find(exp, "loss=10%")
+	// First point (μ_hot ≈ 4.5 kbps < λ) far below last (≈ 40 kbps).
+	if s.Y[0] > 0.6 || s.Y[len(s.Y)-1] < 0.85 {
+		t.Errorf("fig5 knee shape wrong: first %.3f last %.3f", s.Y[0], s.Y[len(s.Y)-1])
+	}
+}
+
+func TestFig6RiseThenFall(t *testing.T) {
+	exp := Fig6(opts)
+	lat := exp.Series[0]
+	first, last := lat.Y[0], lat.Y[len(lat.Y)-1]
+	peak := 0.0
+	for _, v := range lat.Y {
+		peak = math.Max(peak, v)
+	}
+	if !(peak > first && peak > last) {
+		t.Errorf("fig6 latency not rise-then-fall: first %.2f peak %.2f last %.2f", first, peak, last)
+	}
+}
+
+func TestFig8OpenLoopVsFeedback(t *testing.T) {
+	exp := Fig8(opts)
+	open := find(exp, "fb/tot=0%")
+	good := find(exp, "fb/tot=30%")
+	collapsed := find(exp, "fb/tot=70%")
+	tail := func(s Series) float64 {
+		n := len(s.Y)
+		sum := 0.0
+		for _, v := range s.Y[n/2:] {
+			sum += v
+		}
+		return sum / float64(n-n/2)
+	}
+	if tail(open) < 0.7 || tail(open) > 0.9 {
+		t.Errorf("open-loop tail = %.3f, want ≈0.8", tail(open))
+	}
+	if tail(good) < 0.95 {
+		t.Errorf("fb=30%% tail = %.3f, want ≥0.95", tail(good))
+	}
+	if tail(collapsed) > tail(open) {
+		t.Errorf("fb=70%% (%.3f) should collapse below open loop (%.3f)", tail(collapsed), tail(open))
+	}
+}
+
+func TestFig10Knee(t *testing.T) {
+	exp := Fig10(opts)
+	s := exp.Series[0]
+	if s.Y[0] > 0.5 {
+		t.Errorf("below-knee consistency %.3f too high", s.Y[0])
+	}
+	if s.Y[len(s.Y)-1] < 0.95 {
+		t.Errorf("above-knee consistency %.3f too low", s.Y[len(s.Y)-1])
+	}
+}
+
+func TestFig11LossCapsCeiling(t *testing.T) {
+	exp := Fig11(opts)
+	low := find(exp, "loss=1%")
+	high := find(exp, "loss=50%")
+	// Compare mid-sweep ceilings (above the knee but before hot
+	// bandwidth has absorbed the highest loss rate's repair load).
+	mid := 6 // ≈ hot 58%
+	if low.Y[mid] <= high.Y[mid] {
+		t.Errorf("higher loss should cap consistency: 1%%→%.3f vs 50%%→%.3f", low.Y[mid], high.Y[mid])
+	}
+}
+
+func TestSummaryOrdering(t *testing.T) {
+	exp := Summary(opts)
+	open := find(exp, "open-loop (FIFO)")
+	aged := find(exp, "two-queue aging")
+	fb := find(exp, "aging+feedback")
+	for i := range open.Y {
+		if !(aged.Y[i] > open.Y[i]) {
+			t.Errorf("aging (%.3f) not above open loop (%.3f) at loss %.1f", aged.Y[i], open.Y[i], open.X[i])
+		}
+		if !(fb.Y[i] > aged.Y[i]) {
+			t.Errorf("feedback (%.3f) not above aging (%.3f) at loss %.1f", fb.Y[i], aged.Y[i], open.X[i])
+		}
+	}
+}
+
+func TestWriteTSV(t *testing.T) {
+	exp := Experiment{
+		ID: "x", Title: "t", XLabel: "x", YLabel: "y",
+		Notes:  "line1\nline2",
+		Series: []Series{{Label: "a", X: []float64{1, 2}, Y: []float64{3, 4}}},
+	}
+	var buf bytes.Buffer
+	exp.WriteTSV(&buf)
+	out := buf.String()
+	for _, want := range []string{"# x: t", "# line1", "# line2", "x\ta", "1\t3.0000", "2\t4.0000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeq(t *testing.T) {
+	xs := seq(0, 1, 0.25)
+	if len(xs) != 5 || xs[0] != 0 || xs[4] != 1 {
+		t.Errorf("seq = %v", xs)
+	}
+}
+
+func TestExtCatchupShape(t *testing.T) {
+	exp := ExtCatchup(opts)
+	open := find(exp, "announce/listen")
+	fb := find(exp, "with feedback")
+	// Catch-up time must grow with loss for the open-loop joiner.
+	if !(open.Y[len(open.Y)-1] > open.Y[0]) {
+		t.Errorf("open-loop catch-up did not grow with loss: %v", open.Y)
+	}
+	// At the highest loss, feedback should not be slower.
+	last := len(open.Y) - 1
+	if fb.Y[last] > open.Y[last]+1e-9 {
+		t.Errorf("feedback catch-up %.2f slower than open loop %.2f at 50%% loss",
+			fb.Y[last], open.Y[last])
+	}
+}
+
+func TestExtTimersShape(t *testing.T) {
+	exp := ExtTimers(opts)
+	ana := find(exp, "K=3 analytic p^K")
+	sim := find(exp, "K=3 static")
+	for i := range ana.Y {
+		// Same order of magnitude across the sweep (Monte-Carlo band).
+		if sim.Y[i] > ana.Y[i]*5+0.01 {
+			t.Errorf("false-expiry %.5f far above analytic %.5f at loss %.2f",
+				sim.Y[i], ana.Y[i], ana.X[i])
+		}
+	}
+	// Rates must grow with loss.
+	if !(sim.Y[len(sim.Y)-1] > sim.Y[0]) {
+		t.Errorf("static false-expiry not increasing: %v", sim.Y)
+	}
+}

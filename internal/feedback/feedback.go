@@ -1,0 +1,216 @@
+// Package feedback implements the receiver-side feedback machinery
+// for soft-state transports: slotting-and-damping NACK suppression for
+// multicast sessions (the mechanism the paper cites from SRM/XTP for
+// managing feedback traffic scalably), exponential NACK backoff, and
+// RTCP-style loss estimation from header sequence numbers.
+//
+// The package is time-agnostic: all methods take explicit timestamps,
+// so it works under both the discrete-event simulator and wall-clock
+// SSTP sessions.
+package feedback
+
+import (
+	"fmt"
+	"math"
+
+	"softstate/internal/xrand"
+)
+
+// Suppressor implements slotting and damping: when a receiver detects
+// a loss it draws a random slot in [0, Window) and only sends its NACK
+// when the slot elapses without hearing an equivalent NACK from
+// another session member. Repeated NACKs for the same key back off
+// exponentially (doubling windows up to MaxWindow) to avoid NACK
+// implosion on persistent loss.
+type Suppressor struct {
+	rnd       *xrand.Rand
+	window    float64
+	maxWindow float64
+
+	pending map[string]*slot
+	// counters
+	scheduled  int
+	suppressed int
+	fired      int
+}
+
+type slot struct {
+	fireAt   float64
+	attempts int
+}
+
+// NewSuppressor returns a suppressor with the given initial slot
+// window and backoff cap (both in seconds).
+func NewSuppressor(window, maxWindow float64, rnd *xrand.Rand) *Suppressor {
+	if window <= 0 || maxWindow < window {
+		panic(fmt.Sprintf("feedback: bad windows (%v, %v)", window, maxWindow))
+	}
+	if rnd == nil {
+		panic("feedback: nil rand")
+	}
+	return &Suppressor{rnd: rnd, window: window, maxWindow: maxWindow, pending: make(map[string]*slot)}
+}
+
+// Schedule registers a loss of key detected at time now, returning the
+// absolute time at which the caller should invoke Fire. If a NACK for
+// the key is already pending, the existing fire time is returned with
+// ok=false (no new timer needed).
+func (s *Suppressor) Schedule(key string, now float64) (fireAt float64, ok bool) {
+	if sl, exists := s.pending[key]; exists {
+		return sl.fireAt, false
+	}
+	w := s.window * math.Pow(2, 0) // first attempt uses the base window
+	sl := &slot{fireAt: now + s.rnd.Uniform(0, w)}
+	s.pending[key] = sl
+	s.scheduled++
+	return sl.fireAt, true
+}
+
+// Reschedule is called after a fired NACK failed to produce a repair;
+// it backs the key's window off exponentially and returns the next
+// fire time.
+func (s *Suppressor) Reschedule(key string, now float64) float64 {
+	sl, exists := s.pending[key]
+	if !exists {
+		sl = &slot{}
+		s.pending[key] = sl
+		s.scheduled++
+	}
+	sl.attempts++
+	w := s.window * math.Pow(2, float64(sl.attempts))
+	if w > s.maxWindow {
+		w = s.maxWindow
+	}
+	sl.fireAt = now + s.rnd.Uniform(0, w)
+	return sl.fireAt
+}
+
+// Heard notes that an equivalent NACK from another member was
+// observed; the pending NACK for key is suppressed (damping). It
+// reports whether a pending NACK existed.
+func (s *Suppressor) Heard(key string) bool {
+	if _, exists := s.pending[key]; !exists {
+		return false
+	}
+	delete(s.pending, key)
+	s.suppressed++
+	return true
+}
+
+// Fire is called when the timer for key expires. It reports whether
+// the NACK should actually be sent (true unless it was suppressed or
+// rescheduled to a later instant in the meantime). A fired key stays
+// pending until Repaired or Heard, so Reschedule can back it off.
+func (s *Suppressor) Fire(key string, now float64) bool {
+	sl, exists := s.pending[key]
+	if !exists {
+		return false
+	}
+	if sl.fireAt > now+1e-9 {
+		return false // rescheduled to later; spurious timer
+	}
+	s.fired++
+	return true
+}
+
+// Repaired is called when the missing data arrives; the pending state
+// for key is discarded.
+func (s *Suppressor) Repaired(key string) {
+	delete(s.pending, key)
+}
+
+// Pending returns the number of keys with outstanding NACK timers.
+func (s *Suppressor) Pending() int { return len(s.pending) }
+
+// Stats returns (scheduled, suppressed, fired) counters.
+func (s *Suppressor) Stats() (scheduled, suppressed, fired int) {
+	return s.scheduled, s.suppressed, s.fired
+}
+
+// LossEstimator derives a loss-rate estimate from the per-sender
+// sequence numbers in SSTP headers, in the style of RTCP receiver
+// reports: it tracks the highest sequence seen, counts gaps as losses,
+// and exposes both cumulative and EWMA-smoothed interval estimates.
+type LossEstimator struct {
+	initialized bool
+	highest     uint32
+	received    uint64
+	expected    uint64
+
+	// interval snapshot for Report generation
+	lastReceived uint64
+	lastExpected uint64
+
+	ewma  float64
+	alpha float64
+}
+
+// NewLossEstimator returns an estimator with the given EWMA smoothing
+// factor (0 < alpha <= 1; typical 0.25).
+func NewLossEstimator(alpha float64) *LossEstimator {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("feedback: alpha %v out of (0,1]", alpha))
+	}
+	return &LossEstimator{alpha: alpha}
+}
+
+// Observe records the arrival of a packet with sequence number seq.
+// Out-of-order arrivals within 1<<15 of the highest sequence are
+// tolerated (they reduce the loss count); sequence wraparound is
+// handled modulo 2^32.
+func (l *LossEstimator) Observe(seq uint32) {
+	l.received++
+	if !l.initialized {
+		l.initialized = true
+		l.highest = seq
+		l.expected = 1
+		return
+	}
+	diff := int32(seq - l.highest)
+	switch {
+	case diff > 0:
+		l.expected += uint64(diff)
+		l.highest = seq
+	default:
+		// Late or duplicate packet: already counted in expected.
+	}
+}
+
+// CumulativeLoss returns the all-time loss fraction.
+func (l *LossEstimator) CumulativeLoss() float64 {
+	if l.expected == 0 {
+		return 0
+	}
+	lost := float64(l.expected) - float64(l.received)
+	if lost < 0 {
+		lost = 0
+	}
+	return lost / float64(l.expected)
+}
+
+// IntervalLoss closes the current report interval: it returns the loss
+// fraction since the previous call and folds it into the EWMA.
+func (l *LossEstimator) IntervalLoss() float64 {
+	dExp := l.expected - l.lastExpected
+	dRecv := l.received - l.lastReceived
+	l.lastExpected = l.expected
+	l.lastReceived = l.received
+	if dExp == 0 {
+		return l.ewma
+	}
+	lost := float64(dExp) - float64(dRecv)
+	if lost < 0 {
+		lost = 0
+	}
+	frac := lost / float64(dExp)
+	l.ewma = l.alpha*frac + (1-l.alpha)*l.ewma
+	return frac
+}
+
+// Smoothed returns the EWMA loss estimate.
+func (l *LossEstimator) Smoothed() float64 { return l.ewma }
+
+// Counts returns (received, expected) packet totals.
+func (l *LossEstimator) Counts() (received, expected uint64) {
+	return l.received, l.expected
+}

@@ -1,0 +1,226 @@
+package feedback
+
+import (
+	"math"
+	"testing"
+
+	"softstate/internal/xrand"
+)
+
+func TestSuppressorScheduleWindow(t *testing.T) {
+	s := NewSuppressor(1.0, 8.0, xrand.New(1))
+	for i := 0; i < 100; i++ {
+		key := string(rune('a' + i%26))
+		at, ok := s.Schedule(key+"x", 10)
+		if ok && (at < 10 || at >= 11) {
+			t.Fatalf("fire time %v outside [10, 11)", at)
+		}
+	}
+}
+
+func TestSuppressorDuplicateSchedule(t *testing.T) {
+	s := NewSuppressor(1, 8, xrand.New(2))
+	at1, ok1 := s.Schedule("k", 0)
+	at2, ok2 := s.Schedule("k", 0.5)
+	if !ok1 || ok2 {
+		t.Fatalf("ok1=%v ok2=%v", ok1, ok2)
+	}
+	if at1 != at2 {
+		t.Errorf("duplicate schedule moved the timer: %v vs %v", at1, at2)
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+}
+
+func TestSuppressorDamping(t *testing.T) {
+	s := NewSuppressor(1, 8, xrand.New(3))
+	at, _ := s.Schedule("k", 0)
+	if !s.Heard("k") {
+		t.Fatal("Heard on pending key = false")
+	}
+	if s.Fire("k", at) {
+		t.Error("suppressed NACK still fired")
+	}
+	if s.Heard("k") {
+		t.Error("Heard on absent key = true")
+	}
+	_, sup, _ := s.Stats()
+	if sup != 1 {
+		t.Errorf("suppressed = %d", sup)
+	}
+}
+
+func TestSuppressorFire(t *testing.T) {
+	s := NewSuppressor(1, 8, xrand.New(4))
+	at, _ := s.Schedule("k", 0)
+	if !s.Fire("k", at) {
+		t.Fatal("due NACK did not fire")
+	}
+	// Still pending until repaired, so a backoff can be applied.
+	if s.Pending() != 1 {
+		t.Errorf("Pending after fire = %d", s.Pending())
+	}
+	s.Repaired("k")
+	if s.Pending() != 0 {
+		t.Errorf("Pending after repair = %d", s.Pending())
+	}
+	if s.Fire("k", at+10) {
+		t.Error("fired after repair")
+	}
+}
+
+func TestSuppressorSpuriousEarlyFire(t *testing.T) {
+	s := NewSuppressor(1, 8, xrand.New(5))
+	s.Schedule("k", 0)
+	later := s.Reschedule("k", 5) // moved into [5, 5+2w)
+	if s.Fire("k", 1) {
+		t.Error("stale timer fired after reschedule")
+	}
+	if !s.Fire("k", later) {
+		t.Error("rescheduled timer did not fire when due")
+	}
+}
+
+func TestSuppressorBackoffGrows(t *testing.T) {
+	rnd := xrand.New(6)
+	s := NewSuppressor(1, 64, rnd)
+	s.Schedule("k", 0)
+	// With repeated reschedules the expected delay grows; sample the
+	// mean of many draws at attempt 5 vs attempt 1.
+	sum1, sum5 := 0.0, 0.0
+	const n = 200
+	for i := 0; i < n; i++ {
+		s2 := NewSuppressor(1, 64, xrand.New(int64(i+100)))
+		s2.Schedule("x", 0)
+		sum1 += s2.Reschedule("x", 0)
+		for j := 0; j < 3; j++ {
+			s2.Reschedule("x", 0)
+		}
+		sum5 += s2.Reschedule("x", 0)
+	}
+	if sum5/n < 2*(sum1/n) {
+		t.Errorf("backoff did not grow: attempt1 mean %v, attempt5 mean %v", sum1/n, sum5/n)
+	}
+}
+
+func TestSuppressorBackoffCapped(t *testing.T) {
+	s := NewSuppressor(1, 4, xrand.New(7))
+	s.Schedule("k", 0)
+	for i := 0; i < 20; i++ {
+		at := s.Reschedule("k", 100)
+		if at >= 104 {
+			t.Fatalf("fire time %v beyond now+maxWindow", at)
+		}
+	}
+}
+
+func TestSuppressorValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewSuppressor(0, 1, xrand.New(1)) },
+		func() { NewSuppressor(2, 1, xrand.New(1)) },
+		func() { NewSuppressor(1, 2, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid suppressor accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLossEstimatorNoLoss(t *testing.T) {
+	l := NewLossEstimator(0.25)
+	for seq := uint32(0); seq < 100; seq++ {
+		l.Observe(seq)
+	}
+	if l.CumulativeLoss() != 0 {
+		t.Errorf("lossless cumulative = %v", l.CumulativeLoss())
+	}
+	recv, exp := l.Counts()
+	if recv != 100 || exp != 100 {
+		t.Errorf("counts = (%d, %d)", recv, exp)
+	}
+}
+
+func TestLossEstimatorGaps(t *testing.T) {
+	l := NewLossEstimator(0.25)
+	// Receive every other packet: 0, 2, 4, … → 50% loss.
+	for seq := uint32(0); seq < 200; seq += 2 {
+		l.Observe(seq)
+	}
+	got := l.CumulativeLoss()
+	if math.Abs(got-0.5) > 0.02 {
+		t.Errorf("cumulative loss = %v, want ~0.5", got)
+	}
+}
+
+func TestLossEstimatorReordering(t *testing.T) {
+	l := NewLossEstimator(0.25)
+	for _, seq := range []uint32{0, 1, 3, 2, 4} { // reordered, nothing lost
+		l.Observe(seq)
+	}
+	if l.CumulativeLoss() != 0 {
+		t.Errorf("reordering counted as loss: %v", l.CumulativeLoss())
+	}
+}
+
+func TestLossEstimatorWraparound(t *testing.T) {
+	l := NewLossEstimator(0.25)
+	l.Observe(math.MaxUint32 - 1)
+	l.Observe(math.MaxUint32)
+	l.Observe(0) // wrap
+	l.Observe(1)
+	if l.CumulativeLoss() != 0 {
+		t.Errorf("wraparound counted as loss: %v", l.CumulativeLoss())
+	}
+}
+
+func TestLossEstimatorIntervals(t *testing.T) {
+	l := NewLossEstimator(0.5)
+	for seq := uint32(0); seq < 100; seq++ {
+		l.Observe(seq)
+	}
+	if got := l.IntervalLoss(); got != 0 {
+		t.Errorf("first interval loss = %v", got)
+	}
+	// Next interval: lose 100..149, receive 150..199.
+	for seq := uint32(150); seq < 200; seq++ {
+		l.Observe(seq)
+	}
+	got := l.IntervalLoss()
+	if math.Abs(got-0.5) > 0.02 {
+		t.Errorf("second interval loss = %v, want ~0.5", got)
+	}
+	if l.Smoothed() <= 0 || l.Smoothed() > 0.5 {
+		t.Errorf("smoothed = %v", l.Smoothed())
+	}
+	// An empty interval returns the EWMA unchanged.
+	if got := l.IntervalLoss(); got != l.Smoothed() {
+		t.Errorf("empty interval = %v, want EWMA %v", got, l.Smoothed())
+	}
+}
+
+func TestLossEstimatorAlphaValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("alpha=0 accepted")
+		}
+	}()
+	NewLossEstimator(0)
+}
+
+func TestLossEstimatorDuplicates(t *testing.T) {
+	l := NewLossEstimator(0.25)
+	l.Observe(0)
+	l.Observe(1)
+	l.Observe(1) // duplicate
+	l.Observe(2)
+	// Duplicates inflate received beyond expected; loss clamps at 0.
+	if l.CumulativeLoss() != 0 {
+		t.Errorf("duplicates produced loss %v", l.CumulativeLoss())
+	}
+}

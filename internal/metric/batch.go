@@ -1,0 +1,72 @@
+package metric
+
+import "fmt"
+
+// BatchMeans estimates a confidence interval for a time-averaged
+// quantity from a single long run using the method of batch means: the
+// run is split into fixed-length batches, each batch's time average is
+// one (approximately independent) sample, and the CI follows from the
+// sample variance of the batch means.
+type BatchMeans struct {
+	batchLen float64
+	cur      *ConsistencyMeter
+	curEnd   float64
+	started  bool
+	w        Welford
+
+	lastCons int
+	lastLive int
+}
+
+// NewBatchMeans returns an estimator with the given batch length in
+// simulated seconds, starting at time start.
+func NewBatchMeans(start, batchLen float64) *BatchMeans {
+	if batchLen <= 0 {
+		panic(fmt.Sprintf("metric: batch length %v must be positive", batchLen))
+	}
+	return &BatchMeans{
+		batchLen: batchLen,
+		cur:      NewConsistencyMeter(start),
+		curEnd:   start + batchLen,
+	}
+}
+
+// Observe records an observation, rolling batches as time passes.
+func (b *BatchMeans) Observe(now float64, consistent, live int) {
+	for now >= b.curEnd {
+		// Close the current batch at its boundary and open the next,
+		// carrying the held state across.
+		b.cur.Observe(b.curEnd, b.lastCons, b.lastLive)
+		b.cur.Finish(b.curEnd)
+		b.w.Add(b.cur.BusyAverage())
+		b.cur = NewConsistencyMeter(b.curEnd)
+		b.cur.Observe(b.curEnd, b.lastCons, b.lastLive)
+		b.curEnd += b.batchLen
+	}
+	b.cur.Observe(now, consistent, live)
+	b.lastCons, b.lastLive = consistent, live
+	b.started = true
+}
+
+// Finish closes the estimator at time end (partial final batches are
+// discarded, as is standard for batch means).
+func (b *BatchMeans) Finish(end float64) {
+	for end >= b.curEnd {
+		b.cur.Observe(b.curEnd, b.lastCons, b.lastLive)
+		b.cur.Finish(b.curEnd)
+		b.w.Add(b.cur.BusyAverage())
+		b.cur = NewConsistencyMeter(b.curEnd)
+		b.cur.Observe(b.curEnd, b.lastCons, b.lastLive)
+		b.curEnd += b.batchLen
+	}
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int { return b.w.N() }
+
+// Mean returns the mean of the batch means.
+func (b *BatchMeans) Mean() float64 { return b.w.Mean() }
+
+// CI95 returns the 95% confidence half-width over the batch means
+// (0 until at least two batches complete).
+func (b *BatchMeans) CI95() float64 { return b.w.CI95() }

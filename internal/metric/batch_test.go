@@ -1,0 +1,101 @@
+package metric
+
+import (
+	"math"
+	"testing"
+
+	"softstate/internal/xrand"
+)
+
+func TestBatchMeansConstantSignal(t *testing.T) {
+	b := NewBatchMeans(0, 10)
+	b.Observe(0, 3, 4) // constant 0.75
+	b.Finish(100)
+	if b.Batches() != 10 {
+		t.Fatalf("Batches = %d, want 10", b.Batches())
+	}
+	if math.Abs(b.Mean()-0.75) > 1e-9 {
+		t.Errorf("Mean = %v, want 0.75", b.Mean())
+	}
+	if b.CI95() > 1e-9 {
+		t.Errorf("constant signal CI = %v, want 0", b.CI95())
+	}
+}
+
+func TestBatchMeansPartialBatchDiscarded(t *testing.T) {
+	b := NewBatchMeans(0, 10)
+	b.Observe(0, 1, 1)
+	b.Finish(25) // two full batches + half
+	if b.Batches() != 2 {
+		t.Errorf("Batches = %d, want 2", b.Batches())
+	}
+}
+
+func TestBatchMeansAlternatingSignal(t *testing.T) {
+	// c(t) alternates between 1 and 0 every 5 s; with 10 s batches
+	// each batch sees exactly half of each → all batch means 0.5.
+	b := NewBatchMeans(0, 10)
+	for ts := 0; ts < 100; ts += 5 {
+		c := 0
+		if (ts/5)%2 == 0 {
+			c = 1
+		}
+		b.Observe(float64(ts), c, 1)
+	}
+	b.Finish(100)
+	if math.Abs(b.Mean()-0.5) > 1e-9 {
+		t.Errorf("Mean = %v, want 0.5", b.Mean())
+	}
+	if b.CI95() > 1e-9 {
+		t.Errorf("CI = %v, want 0", b.CI95())
+	}
+}
+
+func TestBatchMeansCIShrinksWithDuration(t *testing.T) {
+	noisy := func(dur float64, seed int64) float64 {
+		rnd := xrand.New(seed)
+		b := NewBatchMeans(0, 20)
+		for ts := 0.0; ts < dur; ts += 1 {
+			live := 10
+			cons := rnd.Intn(live + 1)
+			b.Observe(ts, cons, live)
+		}
+		b.Finish(dur)
+		return b.CI95()
+	}
+	short := noisy(200, 1)
+	long := noisy(5000, 1)
+	if !(long < short) {
+		t.Errorf("CI did not shrink with duration: short=%v long=%v", short, long)
+	}
+	if short <= 0 {
+		t.Error("noisy signal should have a positive CI")
+	}
+}
+
+func TestBatchMeansObservationGapSpansBatches(t *testing.T) {
+	// A long gap between observations must still close intermediate
+	// batches using the held state.
+	b := NewBatchMeans(0, 10)
+	b.Observe(0, 1, 1)
+	b.Observe(55, 0, 1) // crosses 5 batch boundaries holding c=1
+	b.Finish(60)
+	if b.Batches() != 6 {
+		t.Fatalf("Batches = %d, want 6", b.Batches())
+	}
+	// First five batches ≈ 1, sixth holds c=0 from t=55: mean = 5·1 +
+	// (5s of 1 + 5s of 0)/10 = 5.5/6.
+	want := (5.0 + 0.5) / 6
+	if math.Abs(b.Mean()-want) > 1e-9 {
+		t.Errorf("Mean = %v, want %v", b.Mean(), want)
+	}
+}
+
+func TestBatchMeansValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero batch length accepted")
+		}
+	}()
+	NewBatchMeans(0, 0)
+}

@@ -1,0 +1,369 @@
+// Package metric implements the measurement machinery for the
+// soft-state model of Raman & McCanne (SIGCOMM '99), section 2.1.
+//
+// The central quantity is the consistency metric: for each live
+// {key, value} pair, c(k, t) is the probability that publisher and
+// subscriber hold the same value for key k. The instantaneous system
+// consistency c(t) averages c(k, t) over the live set L(t), and the
+// average system consistency E[c(t)] is the long-run time average of
+// c(t). Empirically — as the paper prescribes — E[c(t)] is computed as
+// the time average of the measured fraction of live items that are
+// consistent.
+//
+// The package also provides the receive-latency tracker (T_rec: time
+// from introduction of a new value to its first correct reception),
+// bandwidth and redundancy accounting, and a generic time-series
+// sampler used to regenerate the paper's time-series figures (Fig 8).
+package metric
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ConsistencyMeter computes the time-averaged system consistency
+// E[c(t)] from a stream of (time, consistent, live) observations.
+//
+// The meter integrates c(t) = consistent/live over time. Following
+// the paper's queueing analysis — where the empty-system state
+// contributes zero to the sum over occupied states — intervals with
+// an empty live set contribute 0 by default; SetEmptyValue(1)
+// switches to the convention that an empty system is vacuously
+// consistent. Both are reported so experiments can compare against
+// either reading of the closed form.
+type ConsistencyMeter struct {
+	lastTime    float64
+	lastC       float64
+	lastLive    int
+	started     bool
+	integral    float64 // ∫ c(t) dt, empty intervals contribute emptyVal
+	busyTime    float64 // total time with live > 0
+	busyIntgrl  float64 // ∫ c(t) dt over busy time only
+	totalTime   float64
+	emptyVal    float64
+	minC        float64
+	maxC        float64
+	everObserve bool
+}
+
+// NewConsistencyMeter returns a meter starting at time start.
+func NewConsistencyMeter(start float64) *ConsistencyMeter {
+	return &ConsistencyMeter{lastTime: start, minC: math.Inf(1), maxC: math.Inf(-1)}
+}
+
+// SetEmptyValue sets the value c(t) takes while the live set is empty
+// (0 by default, matching the paper's occupied-state sum; 1 treats an
+// empty system as vacuously consistent).
+func (m *ConsistencyMeter) SetEmptyValue(v float64) { m.emptyVal = v }
+
+// Observe records that at time now, `consistent` of `live` live
+// records are consistent. Observations must be non-decreasing in
+// time. consistent must not exceed live.
+func (m *ConsistencyMeter) Observe(now float64, consistent, live int) {
+	if consistent < 0 || live < 0 || consistent > live {
+		panic(fmt.Sprintf("metric: invalid observation consistent=%d live=%d", consistent, live))
+	}
+	if now < m.lastTime {
+		panic(fmt.Sprintf("metric: time went backwards: %v < %v", now, m.lastTime))
+	}
+	m.accumulate(now)
+	if live > 0 {
+		m.lastC = float64(consistent) / float64(live)
+		m.everObserve = true
+		if m.lastC < m.minC {
+			m.minC = m.lastC
+		}
+		if m.lastC > m.maxC {
+			m.maxC = m.lastC
+		}
+	} else {
+		m.lastC = 0
+	}
+	m.lastLive = live
+	m.started = true
+}
+
+// accumulate integrates the held value of c(t) up to now.
+func (m *ConsistencyMeter) accumulate(now float64) {
+	dt := now - m.lastTime
+	if dt <= 0 {
+		m.lastTime = now
+		return
+	}
+	m.totalTime += dt
+	if m.started {
+		if m.lastLive > 0 {
+			m.integral += m.lastC * dt
+			m.busyIntgrl += m.lastC * dt
+			m.busyTime += dt
+		} else {
+			m.integral += m.emptyVal * dt
+		}
+	} else {
+		m.integral += m.emptyVal * dt
+	}
+	m.lastTime = now
+}
+
+// Finish closes the integration interval at time end.
+func (m *ConsistencyMeter) Finish(end float64) { m.accumulate(end) }
+
+// Average returns E[c(t)]: the time average of c(t) including empty
+// intervals (valued at the configured empty value).
+func (m *ConsistencyMeter) Average() float64 {
+	if m.totalTime == 0 {
+		return 0
+	}
+	return m.integral / m.totalTime
+}
+
+// BusyAverage returns the time average of c(t) over intervals with a
+// non-empty live set — the fraction of live items that are consistent,
+// which is how the paper's simulations report consistency.
+func (m *ConsistencyMeter) BusyAverage() float64 {
+	if m.busyTime == 0 {
+		return 0
+	}
+	return m.busyIntgrl / m.busyTime
+}
+
+// BusyFraction returns the fraction of time the live set was
+// non-empty (the empirical analogue of the utilization ρ).
+func (m *ConsistencyMeter) BusyFraction() float64 {
+	if m.totalTime == 0 {
+		return 0
+	}
+	return m.busyTime / m.totalTime
+}
+
+// Range returns the minimum and maximum observed instantaneous
+// consistency. If nothing was observed, both are zero.
+func (m *ConsistencyMeter) Range() (min, max float64) {
+	if !m.everObserve {
+		return 0, 0
+	}
+	return m.minC, m.maxC
+}
+
+// LatencyTracker measures receive latency T_rec: the time from the
+// instant a new or updated {key, value} pair is introduced until it is
+// first received correctly. As in the paper, the average is taken only
+// over successful deliveries; items that die before delivery are
+// counted separately.
+type LatencyTracker struct {
+	samples []float64
+	sum     float64
+	undeliv int
+	sorted  bool
+}
+
+// NewLatencyTracker returns an empty tracker.
+func NewLatencyTracker() *LatencyTracker { return &LatencyTracker{} }
+
+// ObserveDelivery records a successful first reception with latency d.
+func (t *LatencyTracker) ObserveDelivery(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("metric: negative latency %v", d))
+	}
+	t.samples = append(t.samples, d)
+	t.sum += d
+	t.sorted = false
+}
+
+// ObserveDeath records an item that expired before ever being
+// delivered. Such items are excluded from the latency average, exactly
+// as the paper's T_rec measurement excludes them.
+func (t *LatencyTracker) ObserveDeath() { t.undeliv++ }
+
+// Count returns the number of successful deliveries observed.
+func (t *LatencyTracker) Count() int { return len(t.samples) }
+
+// Undelivered returns the number of items that died undelivered.
+func (t *LatencyTracker) Undelivered() int { return t.undeliv }
+
+// DeliveryRatio returns delivered / (delivered + died-undelivered).
+func (t *LatencyTracker) DeliveryRatio() float64 {
+	total := len(t.samples) + t.undeliv
+	if total == 0 {
+		return 0
+	}
+	return float64(len(t.samples)) / float64(total)
+}
+
+// Mean returns the mean latency over successful deliveries.
+func (t *LatencyTracker) Mean() float64 {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	return t.sum / float64(len(t.samples))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of delivery latency.
+func (t *LatencyTracker) Quantile(q float64) float64 {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	if !t.sorted {
+		sort.Float64s(t.samples)
+		t.sorted = true
+	}
+	idx := int(q * float64(len(t.samples)-1))
+	return t.samples[idx]
+}
+
+// BandwidthAccountant tracks how the channel's transmissions divide
+// into useful (made an inconsistent item consistent), redundant
+// (retransmission of an already-consistent item), lost, and feedback
+// messages. The redundant fraction reproduces the paper's Figure 4.
+type BandwidthAccountant struct {
+	UsefulBits    float64
+	RedundantBits float64
+	LostBits      float64
+	FeedbackBits  float64
+}
+
+// Useful records a transmission that delivered new information.
+func (b *BandwidthAccountant) Useful(bits float64) { b.UsefulBits += bits }
+
+// Redundant records a transmission of data the receiver already had.
+func (b *BandwidthAccountant) Redundant(bits float64) { b.RedundantBits += bits }
+
+// Lost records a transmission dropped by the channel.
+func (b *BandwidthAccountant) Lost(bits float64) { b.LostBits += bits }
+
+// Feedback records feedback-channel usage (NACKs, receiver reports).
+func (b *BandwidthAccountant) Feedback(bits float64) { b.FeedbackBits += bits }
+
+// DataBits returns the total data-channel bits sent.
+func (b *BandwidthAccountant) DataBits() float64 {
+	return b.UsefulBits + b.RedundantBits + b.LostBits
+}
+
+// RedundantFraction returns the fraction of *delivered* data
+// transmissions that were redundant — λ̂_C / (λ̂_C + λ̂_I·(1-p_c))
+// empirically; this is the quantity plotted in Figure 4.
+func (b *BandwidthAccountant) RedundantFraction() float64 {
+	delivered := b.UsefulBits + b.RedundantBits
+	if delivered == 0 {
+		return 0
+	}
+	return b.RedundantBits / delivered
+}
+
+// WastedFraction returns the fraction of all data bits that did not
+// increase consistency (redundant or lost).
+func (b *BandwidthAccountant) WastedFraction() float64 {
+	total := b.DataBits()
+	if total == 0 {
+		return 0
+	}
+	return (b.RedundantBits + b.LostBits) / total
+}
+
+// Point is one sample of a time series.
+type Point struct {
+	T float64
+	V float64
+}
+
+// Series collects (t, v) samples, used for the paper's time-series
+// plots (e.g. Figure 8's consistency-vs-time traces).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample. Samples should be added in time order.
+func (s *Series) Add(t, v float64) { s.Points = append(s.Points, Point{t, v}) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Last returns the most recent sample value, or 0 if empty.
+func (s *Series) Last() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].V
+}
+
+// Mean returns the unweighted mean of the sampled values.
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.Points {
+		sum += p.V
+	}
+	return sum / float64(len(s.Points))
+}
+
+// TailMean returns the mean of the final frac (0..1] of samples — a
+// steady-state estimate that discards the warm-up transient.
+func (s *Series) TailMean(frac float64) float64 {
+	n := len(s.Points)
+	if n == 0 {
+		return 0
+	}
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	start := n - int(float64(n)*frac)
+	if start >= n {
+		start = n - 1
+	}
+	sum := 0.0
+	for _, p := range s.Points[start:] {
+		sum += p.V
+	}
+	return sum / float64(n-start)
+}
+
+// Welford accumulates a running mean and variance (Welford's
+// algorithm), used for confidence reporting across replicated runs.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the sample count.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the sample mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdErr returns the standard error of the mean.
+func (w *Welford) StdErr() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.Variance() / float64(w.n))
+}
+
+// CI95 returns an approximate 95% confidence half-width (1.96·SE).
+func (w *Welford) CI95() float64 { return 1.96 * w.StdErr() }

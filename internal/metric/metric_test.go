@@ -1,0 +1,246 @@
+package metric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestConsistencyConstant(t *testing.T) {
+	m := NewConsistencyMeter(0)
+	m.Observe(0, 3, 4) // c = 0.75 held for all 10s
+	m.Finish(10)
+	if !almost(m.Average(), 0.75, 1e-12) {
+		t.Errorf("Average = %v, want 0.75", m.Average())
+	}
+	if !almost(m.BusyAverage(), 0.75, 1e-12) {
+		t.Errorf("BusyAverage = %v", m.BusyAverage())
+	}
+	if !almost(m.BusyFraction(), 1, 1e-12) {
+		t.Errorf("BusyFraction = %v", m.BusyFraction())
+	}
+}
+
+func TestConsistencyTimeWeighting(t *testing.T) {
+	m := NewConsistencyMeter(0)
+	m.Observe(0, 1, 1) // c=1 for 1s
+	m.Observe(1, 0, 1) // c=0 for 3s
+	m.Finish(4)
+	if !almost(m.Average(), 0.25, 1e-12) {
+		t.Errorf("Average = %v, want 0.25", m.Average())
+	}
+}
+
+func TestConsistencyEmptyIntervals(t *testing.T) {
+	m := NewConsistencyMeter(0)
+	m.Observe(0, 0, 0) // empty for 5s
+	m.Observe(5, 1, 1) // c=1 for 5s
+	m.Finish(10)
+	if !almost(m.Average(), 0.5, 1e-12) {
+		t.Errorf("Average with empty=0: %v, want 0.5", m.Average())
+	}
+	if !almost(m.BusyAverage(), 1, 1e-12) {
+		t.Errorf("BusyAverage = %v, want 1", m.BusyAverage())
+	}
+	if !almost(m.BusyFraction(), 0.5, 1e-12) {
+		t.Errorf("BusyFraction = %v, want 0.5", m.BusyFraction())
+	}
+}
+
+func TestConsistencyEmptyValueOne(t *testing.T) {
+	m := NewConsistencyMeter(0)
+	m.SetEmptyValue(1)
+	m.Observe(0, 0, 0)
+	m.Observe(5, 0, 2) // c=0 for 5s
+	m.Finish(10)
+	if !almost(m.Average(), 0.5, 1e-12) {
+		t.Errorf("Average with empty=1: %v, want 0.5", m.Average())
+	}
+}
+
+func TestConsistencyRejectsInvalid(t *testing.T) {
+	cases := []struct{ c, l int }{{-1, 0}, {2, 1}, {0, -1}}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Observe(%d,%d) did not panic", tc.c, tc.l)
+				}
+			}()
+			NewConsistencyMeter(0).Observe(1, tc.c, tc.l)
+		}()
+	}
+}
+
+func TestConsistencyRejectsTimeReversal(t *testing.T) {
+	m := NewConsistencyMeter(0)
+	m.Observe(5, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards time did not panic")
+		}
+	}()
+	m.Observe(4, 1, 1)
+}
+
+func TestConsistencyRange(t *testing.T) {
+	m := NewConsistencyMeter(0)
+	m.Observe(0, 1, 2)
+	m.Observe(1, 3, 4)
+	m.Observe(2, 0, 4)
+	m.Finish(3)
+	min, max := m.Range()
+	if min != 0 || max != 0.75 {
+		t.Errorf("Range = (%v, %v), want (0, 0.75)", min, max)
+	}
+}
+
+func TestConsistencyRangeEmpty(t *testing.T) {
+	m := NewConsistencyMeter(0)
+	min, max := m.Range()
+	if min != 0 || max != 0 {
+		t.Errorf("empty Range = (%v, %v)", min, max)
+	}
+}
+
+// Property: Average is always within [0, 1] and BusyAverage >= Average
+// when the empty value is 0.
+func TestPropertyMeterBounds(t *testing.T) {
+	f := func(obs []struct {
+		Dt   uint8
+		C, L uint8
+	}) bool {
+		m := NewConsistencyMeter(0)
+		now := 0.0
+		for _, o := range obs {
+			l := int(o.L % 8)
+			c := 0
+			if l > 0 {
+				c = int(o.C) % (l + 1)
+			}
+			now += float64(o.Dt%100) / 10
+			m.Observe(now, c, l)
+		}
+		m.Finish(now + 1)
+		a, b := m.Average(), m.BusyAverage()
+		return a >= 0 && a <= 1 && b >= 0 && b <= 1 && b >= a-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatencyTracker(t *testing.T) {
+	lt := NewLatencyTracker()
+	for _, d := range []float64{1, 2, 3, 4} {
+		lt.ObserveDelivery(d)
+	}
+	lt.ObserveDeath()
+	if lt.Count() != 4 || lt.Undelivered() != 1 {
+		t.Fatalf("count=%d undeliv=%d", lt.Count(), lt.Undelivered())
+	}
+	if !almost(lt.Mean(), 2.5, 1e-12) {
+		t.Errorf("Mean = %v", lt.Mean())
+	}
+	if !almost(lt.DeliveryRatio(), 0.8, 1e-12) {
+		t.Errorf("DeliveryRatio = %v", lt.DeliveryRatio())
+	}
+	if lt.Quantile(0) != 1 || lt.Quantile(1) != 4 {
+		t.Errorf("quantiles: %v %v", lt.Quantile(0), lt.Quantile(1))
+	}
+	if lt.Quantile(0.5) != 2 {
+		t.Errorf("median = %v", lt.Quantile(0.5))
+	}
+}
+
+func TestLatencyEmpty(t *testing.T) {
+	lt := NewLatencyTracker()
+	if lt.Mean() != 0 || lt.Quantile(0.5) != 0 || lt.DeliveryRatio() != 0 {
+		t.Error("empty tracker should report zeros")
+	}
+}
+
+func TestLatencyNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative latency did not panic")
+		}
+	}()
+	NewLatencyTracker().ObserveDelivery(-1)
+}
+
+func TestBandwidthAccounting(t *testing.T) {
+	var b BandwidthAccountant
+	b.Useful(100)
+	b.Redundant(300)
+	b.Lost(100)
+	b.Feedback(50)
+	if b.DataBits() != 500 {
+		t.Errorf("DataBits = %v", b.DataBits())
+	}
+	if !almost(b.RedundantFraction(), 0.75, 1e-12) {
+		t.Errorf("RedundantFraction = %v", b.RedundantFraction())
+	}
+	if !almost(b.WastedFraction(), 0.8, 1e-12) {
+		t.Errorf("WastedFraction = %v", b.WastedFraction())
+	}
+}
+
+func TestBandwidthEmpty(t *testing.T) {
+	var b BandwidthAccountant
+	if b.RedundantFraction() != 0 || b.WastedFraction() != 0 {
+		t.Error("empty accountant should report zeros")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.Last() != 0 || s.Mean() != 0 || s.TailMean(0.5) != 0 {
+		t.Error("empty series should report zeros")
+	}
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), float64(i))
+	}
+	if s.Len() != 10 || s.Last() != 9 {
+		t.Errorf("Len=%d Last=%v", s.Len(), s.Last())
+	}
+	if !almost(s.Mean(), 4.5, 1e-12) {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if !almost(s.TailMean(0.5), 7, 1e-12) { // mean of 5..9
+		t.Errorf("TailMean(0.5) = %v", s.TailMean(0.5))
+	}
+	if !almost(s.TailMean(2), s.Mean(), 1e-12) { // invalid frac -> all
+		t.Errorf("TailMean(2) = %v", s.TailMean(2))
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if !almost(w.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v", w.Mean())
+	}
+	// Population variance is 4; unbiased sample variance = 32/7.
+	if !almost(w.Variance(), 32.0/7.0, 1e-9) {
+		t.Errorf("Variance = %v", w.Variance())
+	}
+	if w.CI95() <= 0 {
+		t.Errorf("CI95 = %v", w.CI95())
+	}
+}
+
+func TestWelfordSmall(t *testing.T) {
+	var w Welford
+	w.Add(3)
+	if w.Variance() != 0 || w.StdErr() != 0 {
+		t.Error("single-sample variance should be 0")
+	}
+}

@@ -1,0 +1,363 @@
+// Package namespace implements SSTP's hierarchical data namespace
+// (paper section 6.2): an index tree over the application's data
+// units, where every node carries a fixed-length digest of the subtree
+// rooted at it, computed recursively with a one-way hash:
+//
+//	S(n) = H(value(n))                      if n is a leaf ADU
+//	S(n) = H(S(c1), S(c2), …, S(ck))        otherwise
+//
+// A sender periodically announces the root digest ("cold" summary
+// transmissions); a receiver that detects a mismatch queries for the
+// next level of digests, and loss recovery proceeds recursively down
+// only the mismatching branches. Receivers may also prune branches
+// they have no application-level interest in.
+//
+// The paper uses MD5; we default to SHA-256 truncated to 16 bytes
+// (any one-way hash preserves the behaviour — see DESIGN.md), with
+// MD5 available for fidelity.
+package namespace
+
+import (
+	"crypto/md5"
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DigestLen is the digest size carried on the wire.
+const DigestLen = 16
+
+// Digest is a fixed-length subtree summary.
+type Digest [DigestLen]byte
+
+// HashKind selects the one-way hash.
+type HashKind int
+
+// Supported hashes.
+const (
+	HashSHA256 HashKind = iota // default
+	HashMD5                    // the paper's choice [RFC 1321]
+)
+
+// Tree is a hierarchical namespace over '/'-separated paths. The zero
+// value is not usable; construct with New.
+type Tree struct {
+	root *node
+	kind HashKind
+}
+
+type node struct {
+	children map[string]*node
+	leaf     bool
+	value    []byte
+	version  uint64
+
+	digest    Digest
+	leafCount int
+	dirty     bool
+}
+
+// New returns an empty namespace tree using the given hash.
+func New(kind HashKind) *Tree {
+	return &Tree{root: newNode(), kind: kind}
+}
+
+func newNode() *node {
+	return &node{children: make(map[string]*node), dirty: true}
+}
+
+// SplitPath validates and splits a '/'-separated path. The empty
+// string denotes the root.
+func SplitPath(path string) ([]string, error) {
+	if path == "" {
+		return nil, nil
+	}
+	parts := strings.Split(path, "/")
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("namespace: empty component in path %q", path)
+		}
+	}
+	return parts, nil
+}
+
+// JoinPath concatenates path components.
+func JoinPath(parts ...string) string { return strings.Join(parts, "/") }
+
+// Put stores a leaf ADU at path, creating interior nodes as needed.
+// Interior nodes cannot be overwritten by leaves or vice versa.
+func (t *Tree) Put(path string, value []byte, version uint64) error {
+	parts, err := SplitPath(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("namespace: cannot Put at the root")
+	}
+	n := t.root
+	var trail []*node
+	for i, p := range parts {
+		trail = append(trail, n)
+		child, ok := n.children[p]
+		if !ok {
+			child = newNode()
+			n.children[p] = child
+		}
+		if i < len(parts)-1 && child.leaf {
+			return fmt.Errorf("namespace: %q is a leaf, cannot descend", JoinPath(parts[:i+1]...))
+		}
+		n = child
+	}
+	if len(n.children) > 0 {
+		return fmt.Errorf("namespace: %q is an interior node, cannot store a leaf", path)
+	}
+	n.leaf = true
+	n.value = append(n.value[:0], value...)
+	n.version = version
+	n.dirty = true
+	for _, a := range trail {
+		a.dirty = true
+	}
+	return nil
+}
+
+// Delete removes the leaf at path and prunes empty interior nodes. It
+// reports whether the leaf existed.
+func (t *Tree) Delete(path string) bool {
+	parts, err := SplitPath(path)
+	if err != nil || len(parts) == 0 {
+		return false
+	}
+	var trail []*node
+	n := t.root
+	for _, p := range parts {
+		trail = append(trail, n)
+		child, ok := n.children[p]
+		if !ok {
+			return false
+		}
+		n = child
+	}
+	if !n.leaf {
+		return false
+	}
+	delete(trail[len(trail)-1].children, parts[len(parts)-1])
+	// Prune now-empty interior nodes and dirty the trail.
+	for i := len(trail) - 1; i > 0; i-- {
+		trail[i].dirty = true
+		if len(trail[i].children) == 0 && !trail[i].leaf {
+			delete(trail[i-1].children, parts[i-1])
+		}
+	}
+	trail[0].dirty = true
+	return true
+}
+
+func (t *Tree) find(path string) (*node, error) {
+	parts, err := SplitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	n := t.root
+	for _, p := range parts {
+		child, ok := n.children[p]
+		if !ok {
+			return nil, fmt.Errorf("namespace: no node at %q", path)
+		}
+		n = child
+	}
+	return n, nil
+}
+
+// Get returns the value and version of the leaf at path.
+func (t *Tree) Get(path string) (value []byte, version uint64, ok bool) {
+	n, err := t.find(path)
+	if err != nil || !n.leaf {
+		return nil, 0, false
+	}
+	return n.value, n.version, true
+}
+
+// Has reports whether any node (leaf or interior) exists at path.
+func (t *Tree) Has(path string) bool {
+	_, err := t.find(path)
+	return err == nil
+}
+
+func (t *Tree) hash(parts ...[]byte) Digest {
+	var out Digest
+	switch t.kind {
+	case HashMD5:
+		h := md5.New()
+		for _, p := range parts {
+			h.Write(p)
+		}
+		copy(out[:], h.Sum(nil))
+	default:
+		h := sha256.New()
+		for _, p := range parts {
+			h.Write(p)
+		}
+		copy(out[:], h.Sum(nil))
+	}
+	return out
+}
+
+// refresh recomputes digests bottom-up where dirty.
+func (t *Tree) refresh(n *node) {
+	if !n.dirty {
+		return
+	}
+	if n.leaf {
+		n.digest = t.hash([]byte{0x00}, uint64le(n.version), n.value)
+		n.leafCount = 1
+		n.dirty = false
+		return
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := [][]byte{{0x01}}
+	n.leafCount = 0
+	for _, name := range names {
+		c := n.children[name]
+		t.refresh(c)
+		parts = append(parts, []byte(name), c.digest[:])
+		n.leafCount += c.leafCount
+	}
+	n.digest = t.hash(parts...)
+	n.dirty = false
+}
+
+func uint64le(v uint64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return b
+}
+
+// RootDigest returns the digest of the whole namespace.
+func (t *Tree) RootDigest() Digest {
+	t.refresh(t.root)
+	return t.root.digest
+}
+
+// Digest returns the digest of the subtree at path.
+func (t *Tree) Digest(path string) (Digest, error) {
+	n, err := t.find(path)
+	if err != nil {
+		return Digest{}, err
+	}
+	t.refresh(t.root)
+	return n.digest, nil
+}
+
+// LeafCount returns the number of leaves under path.
+func (t *Tree) LeafCount(path string) (int, error) {
+	n, err := t.find(path)
+	if err != nil {
+		return 0, err
+	}
+	t.refresh(t.root)
+	return n.leafCount, nil
+}
+
+// Child summarizes one child of a queried node.
+type Child struct {
+	Name   string
+	Leaf   bool
+	Digest Digest
+}
+
+// Children returns the sorted child summaries of the node at path —
+// the payload of a Digests response in the descent protocol.
+func (t *Tree) Children(path string) ([]Child, error) {
+	n, err := t.find(path)
+	if err != nil {
+		return nil, err
+	}
+	t.refresh(t.root)
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Child, 0, len(names))
+	for _, name := range names {
+		c := n.children[name]
+		out = append(out, Child{Name: name, Leaf: c.leaf, Digest: c.digest})
+	}
+	return out, nil
+}
+
+// Leaves returns all leaf paths under path (inclusive), sorted.
+func (t *Tree) Leaves(path string) ([]string, error) {
+	n, err := t.find(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	var walk func(n *node, prefix string)
+	walk = func(n *node, prefix string) {
+		if n.leaf {
+			out = append(out, prefix)
+			return
+		}
+		names := make([]string, 0, len(n.children))
+		for name := range n.children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			p := name
+			if prefix != "" {
+				p = prefix + "/" + name
+			}
+			walk(n.children[name], p)
+		}
+	}
+	walk(n, path)
+	return out, nil
+}
+
+// Len returns the total number of leaves.
+func (t *Tree) Len() int {
+	t.refresh(t.root)
+	return t.root.leafCount
+}
+
+// DiffChildren compares the local children of path against a remote
+// child list and returns the child paths that need further descent or
+// repair: children whose digests differ, plus remote children missing
+// locally. The `missingLocally` result lists remote names absent from
+// the local tree (the receiver must fetch the whole branch); `differ`
+// lists names present on both sides with mismatching digests.
+func (t *Tree) DiffChildren(path string, remote []Child) (differ, missingLocally []string, err error) {
+	local, err := t.Children(path)
+	if err != nil {
+		// The whole node is missing locally: everything remote is new.
+		for _, r := range remote {
+			missingLocally = append(missingLocally, r.Name)
+		}
+		return nil, missingLocally, nil
+	}
+	byName := make(map[string]Child, len(local))
+	for _, c := range local {
+		byName[c.Name] = c
+	}
+	for _, r := range remote {
+		l, ok := byName[r.Name]
+		if !ok {
+			missingLocally = append(missingLocally, r.Name)
+			continue
+		}
+		if l.Digest != r.Digest {
+			differ = append(differ, r.Name)
+		}
+	}
+	return differ, missingLocally, nil
+}

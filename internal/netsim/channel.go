@@ -1,0 +1,234 @@
+package netsim
+
+import (
+	"fmt"
+
+	"softstate/internal/eventsim"
+)
+
+// Channel is a finite-capacity broadcast link: one sender, N receiver
+// paths, service rate Rate bits/second. A transmission occupies the
+// channel for size/Rate seconds (the "service" of the paper's queueing
+// model); on completion, each receiver path independently decides loss
+// and, if delivered, the payload arrives after the path's propagation
+// delay.
+//
+// The channel does not queue: the protocol engine holds the
+// transmission queues (hot/cold/FIFO) and offers the next packet when
+// the channel goes idle via the OnIdle callback. This mirrors the
+// paper's model, where scheduling policy is the object under study.
+type Channel struct {
+	sim   *eventsim.Sim
+	rate  float64
+	paths []path
+	busy  bool
+
+	// OnIdle, if non-nil, fires each time the channel finishes a
+	// service and becomes free. Protocol engines use it to pull the
+	// next packet from their queues.
+	OnIdle func()
+
+	// Counters.
+	transmissions int
+	bitsSent      float64
+}
+
+type path struct {
+	loss  LossModel
+	delay float64
+}
+
+// NewChannel creates a broadcast channel on sim with the given service
+// rate in bits per second.
+func NewChannel(sim *eventsim.Sim, rate float64) *Channel {
+	if rate <= 0 {
+		panic(fmt.Sprintf("netsim: channel rate %v must be positive", rate))
+	}
+	return &Channel{sim: sim, rate: rate}
+}
+
+// AddReceiver attaches a receiver path with its own loss model and
+// propagation delay, returning the receiver's index.
+func (c *Channel) AddReceiver(loss LossModel, delay float64) int {
+	if loss == nil {
+		panic("netsim: nil loss model")
+	}
+	if delay < 0 {
+		panic(fmt.Sprintf("netsim: negative delay %v", delay))
+	}
+	c.paths = append(c.paths, path{loss: loss, delay: delay})
+	return len(c.paths) - 1
+}
+
+// Receivers returns the number of attached receiver paths.
+func (c *Channel) Receivers() int { return len(c.paths) }
+
+// Rate returns the channel's service rate in bits per second.
+func (c *Channel) Rate() float64 { return c.rate }
+
+// SetRate changes the service rate for subsequent transmissions (used
+// by adaptive allocators). The in-flight transmission, if any, is
+// unaffected.
+func (c *Channel) SetRate(rate float64) {
+	if rate <= 0 {
+		panic(fmt.Sprintf("netsim: channel rate %v must be positive", rate))
+	}
+	c.rate = rate
+}
+
+// Busy reports whether a transmission is in progress.
+func (c *Channel) Busy() bool { return c.busy }
+
+// Transmissions returns the number of completed services.
+func (c *Channel) Transmissions() int { return c.transmissions }
+
+// BitsSent returns the total bits serviced.
+func (c *Channel) BitsSent() float64 { return c.bitsSent }
+
+// Transmit begins servicing a packet of the given size in bits. When
+// service completes, deliver(receiver, delivered) is invoked once per
+// receiver path — after that path's propagation delay for delivered
+// packets, immediately (at service-completion time) for lost ones so
+// the sender-side model can account for the loss. The channel then
+// becomes idle and OnIdle fires.
+//
+// Transmitting on a busy channel panics: the protocol engines are
+// required to respect Busy, and masking a double-transmit would
+// corrupt the utilization and consistency measurements.
+func (c *Channel) Transmit(sizeBits float64, deliver func(receiver int, delivered bool)) {
+	if c.busy {
+		panic("netsim: Transmit on busy channel")
+	}
+	if sizeBits <= 0 {
+		panic(fmt.Sprintf("netsim: packet size %v must be positive", sizeBits))
+	}
+	c.busy = true
+	service := sizeBits / c.rate
+	c.sim.After(service, func() {
+		c.busy = false
+		c.transmissions++
+		c.bitsSent += sizeBits
+		for i := range c.paths {
+			i := i
+			p := &c.paths[i]
+			if p.loss.Lose() {
+				if deliver != nil {
+					deliver(i, false)
+				}
+				continue
+			}
+			if deliver != nil {
+				if p.delay == 0 {
+					deliver(i, true)
+				} else {
+					c.sim.After(p.delay, func() { deliver(i, true) })
+				}
+			}
+		}
+		if c.OnIdle != nil {
+			c.OnIdle()
+		}
+	})
+}
+
+// FeedbackLink is the receiver→sender path: a finite-rate FIFO queue
+// with optional loss. Unlike Channel it queues internally, because
+// feedback senders (receivers generating NACKs) are not modelled as
+// schedulers — they fire and forget. If the queue is full, the
+// message is dropped (feedback bandwidth starvation is exactly the
+// collapse regime of the paper's Figure 8).
+type FeedbackLink struct {
+	sim      *eventsim.Sim
+	rate     float64
+	loss     LossModel
+	delay    float64
+	maxQueue int
+
+	queue   []feedbackMsg
+	busy    bool
+	sent    int
+	dropped int
+	bits    float64
+}
+
+type feedbackMsg struct {
+	bits    float64
+	deliver func()
+}
+
+// NewFeedbackLink creates a feedback path with the given rate (bits
+// per second), loss model, propagation delay, and maximum queue
+// length (messages; 0 means unbounded).
+func NewFeedbackLink(sim *eventsim.Sim, rate float64, loss LossModel, delay float64, maxQueue int) *FeedbackLink {
+	if rate <= 0 {
+		panic(fmt.Sprintf("netsim: feedback rate %v must be positive", rate))
+	}
+	if loss == nil {
+		loss = NoLoss{}
+	}
+	return &FeedbackLink{sim: sim, rate: rate, loss: loss, delay: delay, maxQueue: maxQueue}
+}
+
+// Rate returns the link rate in bits per second.
+func (f *FeedbackLink) Rate() float64 { return f.rate }
+
+// SetRate changes the link rate for subsequent services.
+func (f *FeedbackLink) SetRate(rate float64) {
+	if rate <= 0 {
+		panic(fmt.Sprintf("netsim: feedback rate %v must be positive", rate))
+	}
+	f.rate = rate
+}
+
+// Sent returns the number of messages that completed service
+// (delivered or lost on the wire).
+func (f *FeedbackLink) Sent() int { return f.sent }
+
+// Dropped returns the number of messages dropped at the queue.
+func (f *FeedbackLink) Dropped() int { return f.dropped }
+
+// BitsSent returns total bits serviced on the feedback path.
+func (f *FeedbackLink) BitsSent() float64 { return f.bits }
+
+// QueueLen returns the number of messages waiting (excluding the one
+// in service).
+func (f *FeedbackLink) QueueLen() int { return len(f.queue) }
+
+// Send enqueues a feedback message of the given size; deliver runs at
+// the sender after service, propagation, and the loss coin-flip all
+// succeed.
+func (f *FeedbackLink) Send(sizeBits float64, deliver func()) {
+	if sizeBits <= 0 {
+		panic(fmt.Sprintf("netsim: feedback size %v must be positive", sizeBits))
+	}
+	if f.maxQueue > 0 && len(f.queue) >= f.maxQueue {
+		f.dropped++
+		return
+	}
+	f.queue = append(f.queue, feedbackMsg{bits: sizeBits, deliver: deliver})
+	if !f.busy {
+		f.serveNext()
+	}
+}
+
+func (f *FeedbackLink) serveNext() {
+	if len(f.queue) == 0 {
+		f.busy = false
+		return
+	}
+	f.busy = true
+	msg := f.queue[0]
+	f.queue = f.queue[1:]
+	f.sim.After(msg.bits/f.rate, func() {
+		f.sent++
+		f.bits += msg.bits
+		if !f.loss.Lose() && msg.deliver != nil {
+			if f.delay == 0 {
+				msg.deliver()
+			} else {
+				f.sim.After(f.delay, msg.deliver)
+			}
+		}
+		f.serveNext()
+	})
+}

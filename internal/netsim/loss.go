@@ -1,0 +1,145 @@
+// Package netsim models the lossy, finite-capacity communication
+// channel of the soft-state model: a single server with service rate
+// μ_ch (bits per second), a propagation delay, and per-receiver packet
+// loss. Loss is pluggable: the paper argues the consistency metric is
+// sensitive only to the mean loss rate, so alongside the i.i.d.
+// Bernoulli model used in the analysis we provide a bursty
+// Gilbert–Elliott model to test that claim (an ablation bench
+// exercises both).
+package netsim
+
+import (
+	"fmt"
+
+	"softstate/internal/xrand"
+)
+
+// LossModel decides the fate of successive transmissions on a path.
+// Implementations may be stateful (e.g. Gilbert–Elliott); each
+// receiver path owns its own instance.
+type LossModel interface {
+	// Lose reports whether the next packet on this path is dropped.
+	Lose() bool
+	// MeanRate returns the long-run average loss probability.
+	MeanRate() float64
+}
+
+// BernoulliLoss drops each packet independently with probability P.
+// This is the loss process assumed by the paper's analysis.
+type BernoulliLoss struct {
+	P   float64
+	rnd *xrand.Rand
+}
+
+// NewBernoulliLoss returns an i.i.d. loss model with probability p.
+func NewBernoulliLoss(p float64, rnd *xrand.Rand) *BernoulliLoss {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("netsim: loss probability %v out of [0,1]", p))
+	}
+	return &BernoulliLoss{P: p, rnd: rnd}
+}
+
+// Lose implements LossModel.
+func (b *BernoulliLoss) Lose() bool { return b.rnd.Bernoulli(b.P) }
+
+// MeanRate implements LossModel.
+func (b *BernoulliLoss) MeanRate() float64 { return b.P }
+
+// GilbertElliott is a two-state Markov loss model producing bursty
+// loss. In the Good state packets drop with probability LossGood; in
+// the Bad state with probability LossBad. After each packet the chain
+// moves Good→Bad with probability PGB and Bad→Good with probability
+// PBG.
+type GilbertElliott struct {
+	PGB, PBG           float64
+	LossGood, LossBad  float64
+	rnd                *xrand.Rand
+	bad                bool
+	transmitted, drops int
+}
+
+// NewGilbertElliott returns a bursty loss model starting in the Good
+// state. All probabilities must lie in [0,1], and PGB+PBG must be
+// positive (otherwise the chain never mixes).
+func NewGilbertElliott(pgb, pbg, lossGood, lossBad float64, rnd *xrand.Rand) *GilbertElliott {
+	for _, p := range []float64{pgb, pbg, lossGood, lossBad} {
+		if p < 0 || p > 1 {
+			panic(fmt.Sprintf("netsim: Gilbert–Elliott probability %v out of [0,1]", p))
+		}
+	}
+	if pgb+pbg <= 0 {
+		panic("netsim: Gilbert–Elliott chain cannot mix with PGB+PBG = 0")
+	}
+	return &GilbertElliott{PGB: pgb, PBG: pbg, LossGood: lossGood, LossBad: lossBad, rnd: rnd}
+}
+
+// NewGilbertElliottWithMean constructs a bursty model whose stationary
+// mean loss rate equals mean, with the given expected burst length
+// (mean packets spent in the Bad state per visit). The Bad state drops
+// everything and the Good state drops nothing.
+func NewGilbertElliottWithMean(mean, burstLen float64, rnd *xrand.Rand) *GilbertElliott {
+	if mean < 0 || mean >= 1 {
+		panic(fmt.Sprintf("netsim: mean loss %v out of [0,1)", mean))
+	}
+	if burstLen < 1 {
+		panic(fmt.Sprintf("netsim: burst length %v < 1", burstLen))
+	}
+	// Stationary P(bad) = PGB/(PGB+PBG) = mean; E[burst] = 1/PBG.
+	pbg := 1 / burstLen
+	var pgb float64
+	if mean > 0 {
+		pgb = mean * pbg / (1 - mean)
+	}
+	if pgb > 1 {
+		pgb = 1
+	}
+	return NewGilbertElliott(pgb, pbg, 0, 1, rnd)
+}
+
+// Lose implements LossModel.
+func (g *GilbertElliott) Lose() bool {
+	p := g.LossGood
+	if g.bad {
+		p = g.LossBad
+	}
+	lost := g.rnd.Bernoulli(p)
+	// State transition after the packet.
+	if g.bad {
+		if g.rnd.Bernoulli(g.PBG) {
+			g.bad = false
+		}
+	} else {
+		if g.rnd.Bernoulli(g.PGB) {
+			g.bad = true
+		}
+	}
+	g.transmitted++
+	if lost {
+		g.drops++
+	}
+	return lost
+}
+
+// MeanRate implements LossModel, returning the stationary loss rate.
+func (g *GilbertElliott) MeanRate() float64 {
+	pBad := g.PGB / (g.PGB + g.PBG)
+	return (1-pBad)*g.LossGood + pBad*g.LossBad
+}
+
+// ObservedRate returns the empirical loss fraction so far (0 if no
+// packets have crossed).
+func (g *GilbertElliott) ObservedRate() float64 {
+	if g.transmitted == 0 {
+		return 0
+	}
+	return float64(g.drops) / float64(g.transmitted)
+}
+
+// NoLoss is a loss-free path, useful for feedback channels and tests.
+type NoLoss struct{}
+
+// Lose implements LossModel.
+func (NoLoss) Lose() bool { return false }
+
+// MeanRate implements LossModel.
+func (NoLoss) MeanRate() float64 { return 0 }

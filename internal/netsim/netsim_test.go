@@ -1,0 +1,341 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"softstate/internal/eventsim"
+	"softstate/internal/xrand"
+)
+
+func TestBernoulliLossMean(t *testing.T) {
+	r := xrand.New(1)
+	m := NewBernoulliLoss(0.3, r)
+	if m.MeanRate() != 0.3 {
+		t.Errorf("MeanRate = %v", m.MeanRate())
+	}
+	losses := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if m.Lose() {
+			losses++
+		}
+	}
+	got := float64(losses) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Errorf("empirical loss = %v", got)
+	}
+}
+
+func TestBernoulliLossValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p=1.5 did not panic")
+		}
+	}()
+	NewBernoulliLoss(1.5, xrand.New(1))
+}
+
+func TestGilbertElliottStationaryMean(t *testing.T) {
+	r := xrand.New(2)
+	g := NewGilbertElliottWithMean(0.2, 5, r)
+	if math.Abs(g.MeanRate()-0.2) > 1e-9 {
+		t.Fatalf("analytic MeanRate = %v, want 0.2", g.MeanRate())
+	}
+	const n = 300000
+	for i := 0; i < n; i++ {
+		g.Lose()
+	}
+	if math.Abs(g.ObservedRate()-0.2) > 0.015 {
+		t.Errorf("empirical loss = %v, want ~0.2", g.ObservedRate())
+	}
+}
+
+func TestGilbertElliottBurstiness(t *testing.T) {
+	// With burst length 10 the loss run-length distribution must show
+	// substantially longer runs than Bernoulli at the same mean.
+	r := xrand.New(3)
+	g := NewGilbertElliottWithMean(0.2, 10, r)
+	runs, cur := []int{}, 0
+	for i := 0; i < 200000; i++ {
+		if g.Lose() {
+			cur++
+		} else if cur > 0 {
+			runs = append(runs, cur)
+			cur = 0
+		}
+	}
+	sum := 0
+	for _, v := range runs {
+		sum += v
+	}
+	meanRun := float64(sum) / float64(len(runs))
+	// Bernoulli(0.2) mean run length = 1/(1-0.2) = 1.25.
+	if meanRun < 3 {
+		t.Errorf("mean loss burst = %v, want >> 1.25", meanRun)
+	}
+}
+
+func TestGilbertElliottValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewGilbertElliott(0, 0, 0, 1, xrand.New(1)) },
+		func() { NewGilbertElliott(-0.1, 0.5, 0, 1, xrand.New(1)) },
+		func() { NewGilbertElliottWithMean(1.0, 5, xrand.New(1)) },
+		func() { NewGilbertElliottWithMean(0.2, 0.5, xrand.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid Gilbert–Elliott params did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNoLoss(t *testing.T) {
+	var m NoLoss
+	for i := 0; i < 100; i++ {
+		if m.Lose() {
+			t.Fatal("NoLoss lost a packet")
+		}
+	}
+	if m.MeanRate() != 0 {
+		t.Error("NoLoss MeanRate != 0")
+	}
+}
+
+func TestChannelServiceTime(t *testing.T) {
+	sim := eventsim.New()
+	ch := NewChannel(sim, 1000) // 1000 bps
+	ch.AddReceiver(NoLoss{}, 0)
+	var deliveredAt eventsim.Time
+	ch.Transmit(500, func(rcv int, ok bool) {
+		if !ok {
+			t.Error("lossless path dropped")
+		}
+		deliveredAt = sim.Now()
+	})
+	if !ch.Busy() {
+		t.Error("channel should be busy during service")
+	}
+	sim.Run()
+	if deliveredAt != 0.5 { // 500 bits / 1000 bps
+		t.Errorf("delivered at %v, want 0.5", deliveredAt)
+	}
+	if ch.Busy() {
+		t.Error("channel should be idle after service")
+	}
+	if ch.Transmissions() != 1 || ch.BitsSent() != 500 {
+		t.Errorf("counters: %d tx, %v bits", ch.Transmissions(), ch.BitsSent())
+	}
+}
+
+func TestChannelPropagationDelay(t *testing.T) {
+	sim := eventsim.New()
+	ch := NewChannel(sim, 1000)
+	ch.AddReceiver(NoLoss{}, 0.25)
+	var at eventsim.Time
+	ch.Transmit(1000, func(rcv int, ok bool) { at = sim.Now() })
+	sim.Run()
+	if at != 1.25 { // 1s service + 0.25s propagation
+		t.Errorf("delivered at %v, want 1.25", at)
+	}
+}
+
+func TestChannelPerReceiverLoss(t *testing.T) {
+	sim := eventsim.New()
+	ch := NewChannel(sim, 1e6)
+	ch.AddReceiver(NoLoss{}, 0)
+	ch.AddReceiver(NewBernoulliLoss(1, xrand.New(1)), 0) // always loses
+	got := map[int]bool{}
+	var next func()
+	count := 0
+	next = func() {
+		if count >= 10 {
+			return
+		}
+		count++
+		ch.Transmit(100, func(rcv int, ok bool) { got[rcv] = got[rcv] || ok })
+	}
+	ch.OnIdle = next
+	next()
+	sim.Run()
+	if !got[0] {
+		t.Error("receiver 0 never received")
+	}
+	if got[1] {
+		t.Error("receiver 1 (p=1 loss) received")
+	}
+	if ch.Transmissions() != 10 {
+		t.Errorf("transmissions = %d", ch.Transmissions())
+	}
+}
+
+func TestChannelLostDeliveryCallback(t *testing.T) {
+	// Lost packets must still invoke deliver(rcv, false) at service
+	// completion so the model can account for the loss.
+	sim := eventsim.New()
+	ch := NewChannel(sim, 1000)
+	ch.AddReceiver(NewBernoulliLoss(1, xrand.New(1)), 0.5)
+	var at eventsim.Time = -1
+	var delivered bool
+	ch.Transmit(1000, func(rcv int, ok bool) { at, delivered = sim.Now(), ok })
+	sim.Run()
+	if delivered {
+		t.Error("p=1 loss delivered")
+	}
+	if at != 1 { // loss reported at service completion, no propagation
+		t.Errorf("loss reported at %v, want 1", at)
+	}
+}
+
+func TestChannelDoubleTransmitPanics(t *testing.T) {
+	sim := eventsim.New()
+	ch := NewChannel(sim, 1000)
+	ch.Transmit(100, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double transmit did not panic")
+		}
+	}()
+	ch.Transmit(100, nil)
+}
+
+func TestChannelOnIdleChaining(t *testing.T) {
+	// Drive 5 back-to-back transmissions purely from OnIdle; total
+	// time must be exactly 5 service times.
+	sim := eventsim.New()
+	ch := NewChannel(sim, 100)
+	ch.AddReceiver(NoLoss{}, 0)
+	n := 0
+	ch.OnIdle = func() {
+		if n < 4 {
+			n++
+			ch.Transmit(100, nil)
+		}
+	}
+	ch.Transmit(100, nil)
+	sim.Run()
+	if sim.Now() != 5 {
+		t.Errorf("5 transmissions took %v, want 5", sim.Now())
+	}
+}
+
+func TestChannelSetRate(t *testing.T) {
+	sim := eventsim.New()
+	ch := NewChannel(sim, 100)
+	ch.SetRate(200)
+	if ch.Rate() != 200 {
+		t.Errorf("Rate = %v", ch.Rate())
+	}
+	ch.AddReceiver(NoLoss{}, 0)
+	ch.Transmit(100, nil)
+	sim.Run()
+	if sim.Now() != 0.5 {
+		t.Errorf("service at 200 bps took %v, want 0.5", sim.Now())
+	}
+}
+
+func TestChannelValidation(t *testing.T) {
+	sim := eventsim.New()
+	for _, fn := range []func(){
+		func() { NewChannel(sim, 0) },
+		func() { NewChannel(sim, 100).AddReceiver(nil, 0) },
+		func() { NewChannel(sim, 100).AddReceiver(NoLoss{}, -1) },
+		func() { NewChannel(sim, 100).Transmit(0, nil) },
+		func() { NewChannel(sim, 100).SetRate(-5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid channel usage did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFeedbackLinkFIFO(t *testing.T) {
+	sim := eventsim.New()
+	fl := NewFeedbackLink(sim, 100, nil, 0, 0)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		fl.Send(100, func() { order = append(order, i) })
+	}
+	if fl.QueueLen() != 2 { // one in service, two queued
+		t.Errorf("QueueLen = %d, want 2", fl.QueueLen())
+	}
+	sim.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("delivery order = %v", order)
+	}
+	if sim.Now() != 3 {
+		t.Errorf("3 services took %v, want 3", sim.Now())
+	}
+	if fl.Sent() != 3 || fl.BitsSent() != 300 {
+		t.Errorf("Sent=%d Bits=%v", fl.Sent(), fl.BitsSent())
+	}
+}
+
+func TestFeedbackLinkQueueLimit(t *testing.T) {
+	sim := eventsim.New()
+	fl := NewFeedbackLink(sim, 100, nil, 0, 2)
+	delivered := 0
+	for i := 0; i < 5; i++ {
+		fl.Send(100, func() { delivered++ })
+	}
+	sim.Run()
+	if fl.Dropped() != 2 { // 1 in service + 2 queued, 2 dropped
+		t.Errorf("Dropped = %d, want 2", fl.Dropped())
+	}
+	if delivered != 3 {
+		t.Errorf("delivered = %d, want 3", delivered)
+	}
+}
+
+func TestFeedbackLinkLoss(t *testing.T) {
+	sim := eventsim.New()
+	fl := NewFeedbackLink(sim, 1000, NewBernoulliLoss(1, xrand.New(1)), 0, 0)
+	delivered := false
+	fl.Send(100, func() { delivered = true })
+	sim.Run()
+	if delivered {
+		t.Error("p=1 loss feedback delivered")
+	}
+	if fl.Sent() != 1 {
+		t.Errorf("Sent = %d (lost on wire still counts as serviced)", fl.Sent())
+	}
+}
+
+func TestFeedbackLinkDelay(t *testing.T) {
+	sim := eventsim.New()
+	fl := NewFeedbackLink(sim, 100, nil, 0.5, 0)
+	var at eventsim.Time
+	fl.Send(100, func() { at = sim.Now() })
+	sim.Run()
+	if at != 1.5 {
+		t.Errorf("delivered at %v, want 1.5", at)
+	}
+}
+
+func TestFeedbackLinkValidation(t *testing.T) {
+	sim := eventsim.New()
+	for _, fn := range []func(){
+		func() { NewFeedbackLink(sim, 0, nil, 0, 0) },
+		func() { NewFeedbackLink(sim, 10, nil, 0, 0).Send(0, nil) },
+		func() { NewFeedbackLink(sim, 10, nil, 0, 0).SetRate(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid feedback usage did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,97 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// fileFormat is the on-disk envelope for profiles, versioned so stored
+// profiles survive format evolution.
+type fileFormat struct {
+	Version     int    `json:"version"`
+	Kind        string `json:"kind"` // "consistency-grid" or "latency-curve"
+	Description string `json:"description,omitempty"`
+
+	LossRates []float64   `json:"loss_rates,omitempty"`
+	FbFracs   []float64   `json:"fb_fracs,omitempty"`
+	C         [][]float64 `json:"consistency,omitempty"`
+
+	X []float64 `json:"x,omitempty"`
+	Y []float64 `json:"y,omitempty"`
+}
+
+const formatVersion = 1
+
+// WriteJSON serializes the grid (with an optional description) for
+// later use by the allocator — the stored "consistency profiles" of
+// the paper's Figure 12.
+func (g *Grid) WriteJSON(w io.Writer, description string) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fileFormat{
+		Version:     formatVersion,
+		Kind:        "consistency-grid",
+		Description: description,
+		LossRates:   g.LossRates,
+		FbFracs:     g.FbFracs,
+		C:           g.C,
+	})
+}
+
+// ReadGridJSON parses a stored consistency grid.
+func ReadGridJSON(r io.Reader) (*Grid, error) {
+	var f fileFormat
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	if f.Version != formatVersion {
+		return nil, fmt.Errorf("profile: unsupported version %d", f.Version)
+	}
+	if f.Kind != "consistency-grid" {
+		return nil, fmt.Errorf("profile: kind %q is not a consistency grid", f.Kind)
+	}
+	g := &Grid{LossRates: f.LossRates, FbFracs: f.FbFracs, C: f.C}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// WriteJSON serializes the latency curve.
+func (c *Curve) WriteJSON(w io.Writer, description string) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fileFormat{
+		Version:     formatVersion,
+		Kind:        "latency-curve",
+		Description: description,
+		X:           c.X,
+		Y:           c.Y,
+	})
+}
+
+// ReadCurveJSON parses a stored latency curve.
+func ReadCurveJSON(r io.Reader) (*Curve, error) {
+	var f fileFormat
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	if f.Version != formatVersion {
+		return nil, fmt.Errorf("profile: unsupported version %d", f.Version)
+	}
+	if f.Kind != "latency-curve" {
+		return nil, fmt.Errorf("profile: kind %q is not a latency curve", f.Kind)
+	}
+	c := &Curve{X: f.X, Y: f.Y}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,76 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGridJSONRoundTrip(t *testing.T) {
+	g := testGrid(t)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf, "test profile"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGridJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.LossRates) != len(g.LossRates) || len(got.FbFracs) != len(g.FbFracs) {
+		t.Fatalf("axes changed: %+v", got)
+	}
+	for i := range g.C {
+		for j := range g.C[i] {
+			if got.C[i][j] != g.C[i][j] {
+				t.Fatalf("C[%d][%d] changed: %v != %v", i, j, got.C[i][j], g.C[i][j])
+			}
+		}
+	}
+}
+
+func TestCurveJSONRoundTrip(t *testing.T) {
+	c := &Curve{X: []float64{0, 1, 2}, Y: []float64{5, 1, 3}}
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCurveJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(1) != 1 || got.At(0) != 5 {
+		t.Errorf("curve changed: %+v", got)
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`{`,
+		`{"version": 99, "kind": "consistency-grid"}`,
+		`{"version": 1, "kind": "latency-curve"}`, // wrong kind for grid
+		`{"version": 1, "kind": "consistency-grid", "loss_rates": [0], "fb_fracs": [0], "consistency": [[2]]}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadGridJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("grid case %d accepted", i)
+		}
+	}
+	if _, err := ReadCurveJSON(strings.NewReader(`{"version":1,"kind":"consistency-grid"}`)); err == nil {
+		t.Error("curve reader accepted a grid")
+	}
+	if _, err := ReadCurveJSON(strings.NewReader(`{"version":1,"kind":"latency-curve","x":[1,0],"y":[1,2]}`)); err == nil {
+		t.Error("descending curve accepted")
+	}
+}
+
+func TestWriteJSONValidates(t *testing.T) {
+	bad := &Grid{LossRates: []float64{0}, FbFracs: []float64{0}, C: [][]float64{{5}}}
+	if err := bad.WriteJSON(&bytes.Buffer{}, ""); err == nil {
+		t.Error("invalid grid serialized")
+	}
+	badCurve := &Curve{X: []float64{1}, Y: []float64{}}
+	if err := badCurve.WriteJSON(&bytes.Buffer{}, ""); err == nil {
+		t.Error("invalid curve serialized")
+	}
+}

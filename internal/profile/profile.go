@@ -1,0 +1,274 @@
+// Package profile implements SSTP's profile-driven bandwidth
+// allocation (paper section 6.1, Figure 12). A consistency profile
+// predicts system consistency as a function of network loss rate and
+// the fraction of session bandwidth devoted to feedback; a latency
+// profile predicts receive latency as a function of the cold/hot
+// split. The allocator combines a measured loss rate (from receiver
+// reports), the application's consistency target, and the total
+// session bandwidth (from a congestion manager) into a concrete
+// {μ_data, μ_fb, μ_hot, μ_cold} allocation, and tells the application
+// the maximum rate at which it may inject new data without violating
+// the target (the paper's rate notification).
+//
+// Profiles are plain data: they can be derived empirically by sweeping
+// the simulator (internal/experiments does this), from the section-3
+// closed forms, or loaded from a prior run.
+package profile
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Grid is a 2-D consistency profile: consistency as a function of
+// (loss rate, feedback fraction), bilinearly interpolated and clamped
+// at the grid edges.
+type Grid struct {
+	LossRates []float64   // strictly ascending
+	FbFracs   []float64   // strictly ascending
+	C         [][]float64 // C[i][j] = consistency at (LossRates[i], FbFracs[j])
+}
+
+// Validate checks the grid's shape and axis ordering.
+func (g *Grid) Validate() error {
+	if len(g.LossRates) == 0 || len(g.FbFracs) == 0 {
+		return fmt.Errorf("profile: empty axes")
+	}
+	if !strictlyAscending(g.LossRates) || !strictlyAscending(g.FbFracs) {
+		return fmt.Errorf("profile: axes must be strictly ascending")
+	}
+	if len(g.C) != len(g.LossRates) {
+		return fmt.Errorf("profile: %d rows for %d loss rates", len(g.C), len(g.LossRates))
+	}
+	for i, row := range g.C {
+		if len(row) != len(g.FbFracs) {
+			return fmt.Errorf("profile: row %d has %d cols, want %d", i, len(row), len(g.FbFracs))
+		}
+		for j, v := range row {
+			if v < 0 || v > 1 {
+				return fmt.Errorf("profile: C[%d][%d]=%v out of [0,1]", i, j, v)
+			}
+		}
+	}
+	return nil
+}
+
+func strictlyAscending(xs []float64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// locate returns the bracketing index and interpolation weight for x
+// on axis xs, clamping outside the range.
+func locate(xs []float64, x float64) (int, float64) {
+	n := len(xs)
+	if x <= xs[0] {
+		return 0, 0
+	}
+	if x >= xs[n-1] {
+		return n - 2, 1
+	}
+	i := sort.SearchFloat64s(xs, x)
+	if i > 0 && xs[i] != x {
+		i--
+	}
+	if i >= n-1 {
+		i = n - 2
+	}
+	w := (x - xs[i]) / (xs[i+1] - xs[i])
+	return i, w
+}
+
+// At returns the interpolated consistency at (loss, fbFrac).
+func (g *Grid) At(loss, fbFrac float64) float64 {
+	if len(g.LossRates) == 1 && len(g.FbFracs) == 1 {
+		return g.C[0][0]
+	}
+	if len(g.LossRates) == 1 {
+		j, wj := locate(g.FbFracs, fbFrac)
+		return g.C[0][j]*(1-wj) + g.C[0][j+1]*wj
+	}
+	if len(g.FbFracs) == 1 {
+		i, wi := locate(g.LossRates, loss)
+		return g.C[i][0]*(1-wi) + g.C[i+1][0]*wi
+	}
+	i, wi := locate(g.LossRates, loss)
+	j, wj := locate(g.FbFracs, fbFrac)
+	c00 := g.C[i][j]
+	c01 := g.C[i][j+1]
+	c10 := g.C[i+1][j]
+	c11 := g.C[i+1][j+1]
+	return c00*(1-wi)*(1-wj) + c01*(1-wi)*wj + c10*wi*(1-wj) + c11*wi*wj
+}
+
+// BestFb returns the feedback fraction (on a fine scan of the profile
+// range) that maximizes predicted consistency at the given loss rate.
+func (g *Grid) BestFb(loss float64) (fbFrac, predicted float64) {
+	lo := g.FbFracs[0]
+	hi := g.FbFracs[len(g.FbFracs)-1]
+	best, bestC := lo, -1.0
+	const steps = 200
+	for s := 0; s <= steps; s++ {
+		f := lo + (hi-lo)*float64(s)/steps
+		if c := g.At(loss, f); c > bestC {
+			best, bestC = f, c
+		}
+	}
+	return best, bestC
+}
+
+// MinFbForTarget returns the smallest feedback fraction predicted to
+// meet the consistency target at the given loss rate. If the target is
+// unreachable it returns the BestFb allocation with ok=false.
+func (g *Grid) MinFbForTarget(loss, target float64) (fbFrac, predicted float64, ok bool) {
+	lo := g.FbFracs[0]
+	hi := g.FbFracs[len(g.FbFracs)-1]
+	const steps = 200
+	for s := 0; s <= steps; s++ {
+		f := lo + (hi-lo)*float64(s)/steps
+		if c := g.At(loss, f); c >= target {
+			return f, c, true
+		}
+	}
+	f, c := g.BestFb(loss)
+	return f, c, false
+}
+
+// BuildGrid evaluates eval over the cross product of the axes to
+// produce a profile. Experiments pass a simulator-backed eval; tests
+// pass closed forms.
+func BuildGrid(lossRates, fbFracs []float64, eval func(loss, fbFrac float64) float64) (*Grid, error) {
+	g := &Grid{LossRates: lossRates, FbFracs: fbFracs}
+	for _, l := range lossRates {
+		row := make([]float64, 0, len(fbFracs))
+		for _, f := range fbFracs {
+			v := eval(l, f)
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			row = append(row, v)
+		}
+		g.C = append(g.C, row)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Curve is a 1-D profile (e.g. T_rec as a function of μ_cold/μ_hot),
+// linearly interpolated and clamped.
+type Curve struct {
+	X []float64 // strictly ascending
+	Y []float64
+}
+
+// Validate checks the curve's shape.
+func (c *Curve) Validate() error {
+	if len(c.X) == 0 || len(c.X) != len(c.Y) {
+		return fmt.Errorf("profile: curve has %d xs, %d ys", len(c.X), len(c.Y))
+	}
+	if !strictlyAscending(c.X) {
+		return fmt.Errorf("profile: curve X must be strictly ascending")
+	}
+	return nil
+}
+
+// At returns the interpolated value at x.
+func (c *Curve) At(x float64) float64 {
+	if len(c.X) == 1 {
+		return c.Y[0]
+	}
+	i, w := locate(c.X, x)
+	return c.Y[i]*(1-w) + c.Y[i+1]*w
+}
+
+// ArgMin returns the x (on a fine scan) minimizing the curve.
+func (c *Curve) ArgMin() (x, y float64) {
+	lo, hi := c.X[0], c.X[len(c.X)-1]
+	best, bestY := lo, c.At(lo)
+	const steps = 400
+	for s := 0; s <= steps; s++ {
+		xx := lo + (hi-lo)*float64(s)/steps
+		if yy := c.At(xx); yy < bestY {
+			best, bestY = xx, yy
+		}
+	}
+	return best, bestY
+}
+
+// Allocation is the allocator's output: concrete bandwidths plus the
+// application rate advisory.
+type Allocation struct {
+	MuData float64 // data bandwidth (bps)
+	MuFb   float64 // feedback bandwidth (bps)
+	MuHot  float64 // hot share of MuData (bps)
+	MuCold float64 // cold share of MuData (bps)
+
+	Predicted   float64 // predicted consistency at the measured loss
+	TargetMet   bool    // predicted ≥ target
+	MaxAppRate  float64 // max sustainable new-data rate (bps): μ_hot
+	RateLimited bool    // appRate exceeded MaxAppRate
+}
+
+// Allocator converts profiles plus live measurements into allocations.
+type Allocator struct {
+	Consistency *Grid  // required
+	Latency     *Curve // optional: T_rec vs μ_cold/μ_hot ratio
+
+	// Target is the application's consistency goal (e.g. 0.9).
+	Target float64
+	// HotFraction is the hot share of data bandwidth when no latency
+	// profile is supplied (default 0.9).
+	HotFraction float64
+}
+
+// Allocate computes an allocation for the given total session
+// bandwidth (bps), measured loss rate, and the application's current
+// new-data rate (bps).
+func (a *Allocator) Allocate(totalBw, measuredLoss, appRate float64) (Allocation, error) {
+	if a.Consistency == nil {
+		return Allocation{}, fmt.Errorf("profile: allocator needs a consistency profile")
+	}
+	if totalBw <= 0 {
+		return Allocation{}, fmt.Errorf("profile: total bandwidth %v must be positive", totalBw)
+	}
+	if measuredLoss < 0 || measuredLoss >= 1 {
+		return Allocation{}, fmt.Errorf("profile: loss %v out of [0,1)", measuredLoss)
+	}
+	var fb, pred float64
+	var met bool
+	if a.Target > 0 {
+		fb, pred, met = a.Consistency.MinFbForTarget(measuredLoss, a.Target)
+	} else {
+		fb, pred = a.Consistency.BestFb(measuredLoss)
+		met = true
+	}
+	alloc := Allocation{
+		MuFb:      totalBw * fb,
+		MuData:    totalBw * (1 - fb),
+		Predicted: pred,
+		TargetMet: met,
+	}
+	hotFrac := a.HotFraction
+	if hotFrac <= 0 || hotFrac >= 1 {
+		hotFrac = 0.9
+	}
+	if a.Latency != nil {
+		// Choose the cold/hot ratio minimizing predicted T_rec.
+		ratio, _ := a.Latency.ArgMin()
+		hotFrac = 1 / (1 + ratio)
+	}
+	alloc.MuHot = alloc.MuData * hotFrac
+	alloc.MuCold = alloc.MuData - alloc.MuHot
+	alloc.MaxAppRate = alloc.MuHot
+	alloc.RateLimited = appRate > alloc.MaxAppRate
+	return alloc, nil
+}

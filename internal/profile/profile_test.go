@@ -1,0 +1,258 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testGrid(t *testing.T) *Grid {
+	t.Helper()
+	// A synthetic but realistically shaped profile: consistency falls
+	// with loss; feedback helps up to ~0.3 then hurts.
+	g, err := BuildGrid(
+		[]float64{0, 0.2, 0.4, 0.6},
+		[]float64{0, 0.1, 0.3, 0.5, 0.7},
+		func(loss, fb float64) float64 {
+			peak := 1 - loss
+			penalty := math.Abs(fb-0.3) * loss * 1.5
+			bonus := fb * (1 - loss) * 0.05
+			v := peak - penalty + bonus
+			if fb > 0.6 {
+				v -= (fb - 0.6) * 2 * (0.5 + loss)
+			}
+			return v
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGridValidate(t *testing.T) {
+	bad := []*Grid{
+		{},
+		{LossRates: []float64{0, 0}, FbFracs: []float64{0}, C: [][]float64{{1}, {1}}},
+		{LossRates: []float64{0}, FbFracs: []float64{0}, C: [][]float64{}},
+		{LossRates: []float64{0}, FbFracs: []float64{0, 1}, C: [][]float64{{1}}},
+		{LossRates: []float64{0}, FbFracs: []float64{0}, C: [][]float64{{2}}},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("bad grid %d accepted", i)
+		}
+	}
+	if err := testGrid(t).Validate(); err != nil {
+		t.Errorf("good grid rejected: %v", err)
+	}
+}
+
+func TestGridAtExactPoints(t *testing.T) {
+	g := testGrid(t)
+	for i, l := range g.LossRates {
+		for j, f := range g.FbFracs {
+			if got := g.At(l, f); math.Abs(got-g.C[i][j]) > 1e-12 {
+				t.Errorf("At(%v,%v) = %v, want %v", l, f, got, g.C[i][j])
+			}
+		}
+	}
+}
+
+func TestGridInterpolation(t *testing.T) {
+	g := &Grid{
+		LossRates: []float64{0, 1},
+		FbFracs:   []float64{0, 1},
+		C:         [][]float64{{0, 1}, {1, 0}},
+	}
+	if got := g.At(0.5, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("center = %v, want 0.5", got)
+	}
+	if got := g.At(0, 0.25); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("edge = %v, want 0.25", got)
+	}
+}
+
+func TestGridClamping(t *testing.T) {
+	g := testGrid(t)
+	if g.At(-1, 0) != g.At(0, 0) {
+		t.Error("loss below range not clamped")
+	}
+	if g.At(5, 0.3) != g.At(0.6, 0.3) {
+		t.Error("loss above range not clamped")
+	}
+	if g.At(0.2, -1) != g.At(0.2, 0) {
+		t.Error("fb below range not clamped")
+	}
+}
+
+// Property: interpolated values never leave the hull of the grid
+// values.
+func TestPropertyInterpolationBounds(t *testing.T) {
+	g := testGrid(t)
+	lo, hi := 1.0, 0.0
+	for _, row := range g.C {
+		for _, v := range row {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	f := func(l8, f8 uint8) bool {
+		l := float64(l8) / 255 * 0.8
+		fb := float64(f8) / 255
+		v := g.At(l, fb)
+		return v >= lo-1e-9 && v <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestFb(t *testing.T) {
+	g := testGrid(t)
+	fb, pred := g.BestFb(0.4)
+	// By construction the optimum sits near fb=0.3 at loss 0.4.
+	if math.Abs(fb-0.3) > 0.1 {
+		t.Errorf("BestFb(0.4) = %v, want ≈0.3", fb)
+	}
+	if pred < g.At(0.4, 0) {
+		t.Errorf("best predicted %v below open-loop %v", pred, g.At(0.4, 0))
+	}
+}
+
+func TestMinFbForTarget(t *testing.T) {
+	g := testGrid(t)
+	fb, pred, ok := g.MinFbForTarget(0.4, 0.55)
+	if !ok {
+		t.Fatalf("reachable target reported unreachable (pred %v)", pred)
+	}
+	if pred < 0.55 {
+		t.Errorf("predicted %v below target", pred)
+	}
+	// Minimality: a noticeably smaller fb should miss the target.
+	if fb > 0 {
+		smaller := g.At(0.4, fb*0.5)
+		if smaller >= 0.55 && fb*0.5 < fb-0.01 {
+			t.Errorf("fb %v not minimal: %v also meets target at %v", fb, fb*0.5, smaller)
+		}
+	}
+	// Unreachable target falls back to best.
+	_, pred2, ok2 := g.MinFbForTarget(0.6, 0.999)
+	if ok2 {
+		t.Error("impossible target reported reachable")
+	}
+	bestFb, bestPred := g.BestFb(0.6)
+	_ = bestFb
+	if math.Abs(pred2-bestPred) > 1e-9 {
+		t.Errorf("fallback pred %v != best %v", pred2, bestPred)
+	}
+}
+
+func TestBuildGridClampsEval(t *testing.T) {
+	g, err := BuildGrid([]float64{0, 1}, []float64{0, 1}, func(l, f float64) float64 {
+		return 2*l - 0.5 // goes below 0 and above 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.C[0][0] != 0 || g.C[1][0] != 1 {
+		t.Errorf("eval not clamped: %v", g.C)
+	}
+}
+
+func TestCurve(t *testing.T) {
+	c := &Curve{X: []float64{0, 1, 2}, Y: []float64{5, 1, 3}}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.At(0.5); math.Abs(got-3) > 1e-12 {
+		t.Errorf("At(0.5) = %v", got)
+	}
+	if got := c.At(-5); got != 5 {
+		t.Errorf("clamp low = %v", got)
+	}
+	if got := c.At(9); got != 3 {
+		t.Errorf("clamp high = %v", got)
+	}
+	x, y := c.ArgMin()
+	if math.Abs(x-1) > 0.01 || math.Abs(y-1) > 0.01 {
+		t.Errorf("ArgMin = (%v, %v), want (1, 1)", x, y)
+	}
+}
+
+func TestCurveValidate(t *testing.T) {
+	bad := []*Curve{
+		{},
+		{X: []float64{0, 1}, Y: []float64{1}},
+		{X: []float64{1, 0}, Y: []float64{1, 2}},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("bad curve %d accepted", i)
+		}
+	}
+}
+
+func TestAllocator(t *testing.T) {
+	a := &Allocator{Consistency: testGrid(t), Target: 0.55, HotFraction: 0.8}
+	alloc, err := a.Allocate(45000, 0.4, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alloc.MuData+alloc.MuFb-45000) > 1e-6 {
+		t.Errorf("allocation does not sum to total: %+v", alloc)
+	}
+	if math.Abs(alloc.MuHot+alloc.MuCold-alloc.MuData) > 1e-6 {
+		t.Errorf("hot+cold != data: %+v", alloc)
+	}
+	if math.Abs(alloc.MuHot-0.8*alloc.MuData) > 1e-6 {
+		t.Errorf("hot fraction not honoured: %+v", alloc)
+	}
+	if !alloc.TargetMet || alloc.Predicted < 0.55 {
+		t.Errorf("target not met: %+v", alloc)
+	}
+	if alloc.RateLimited {
+		t.Errorf("modest app rate flagged: %+v", alloc)
+	}
+}
+
+func TestAllocatorRateNotification(t *testing.T) {
+	a := &Allocator{Consistency: testGrid(t), HotFraction: 0.5}
+	alloc, err := a.Allocate(20000, 0.2, 19000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !alloc.RateLimited {
+		t.Error("app rate above μ_hot not flagged")
+	}
+	if alloc.MaxAppRate != alloc.MuHot {
+		t.Errorf("MaxAppRate %v != MuHot %v", alloc.MaxAppRate, alloc.MuHot)
+	}
+}
+
+func TestAllocatorWithLatencyProfile(t *testing.T) {
+	// T_rec minimized at cold/hot ratio 0.5 → hotFrac = 1/1.5.
+	lat := &Curve{X: []float64{0.01, 0.5, 3}, Y: []float64{5, 1, 4}}
+	a := &Allocator{Consistency: testGrid(t), Latency: lat}
+	alloc, err := a.Allocate(30000, 0.2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHot := alloc.MuData / 1.5
+	if math.Abs(alloc.MuHot-wantHot)/wantHot > 0.05 {
+		t.Errorf("MuHot %v, want ≈%v from latency profile", alloc.MuHot, wantHot)
+	}
+}
+
+func TestAllocatorErrors(t *testing.T) {
+	a := &Allocator{}
+	if _, err := a.Allocate(1000, 0.1, 10); err == nil {
+		t.Error("nil profile accepted")
+	}
+	a.Consistency = testGrid(t)
+	if _, err := a.Allocate(0, 0.1, 10); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := a.Allocate(1000, 1.0, 10); err == nil {
+		t.Error("loss=1 accepted")
+	}
+}

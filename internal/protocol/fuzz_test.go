@@ -1,0 +1,52 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the decoder with arbitrary datagrams. The decoder
+// must never panic, and any datagram it accepts must re-encode and
+// re-decode to an identical message (round-trip stability).
+func FuzzDecode(f *testing.F) {
+	hdr := Header{Session: 1, Sender: 2, Seq: 3}
+	seeds := []Message{
+		&Data{Key: "a/b", Ver: 7, TTLms: 1000, Value: []byte("v")},
+		&Data{Key: "k", Deleted: true},
+		&Summary{Path: "x", Count: 3},
+		&NACK{Keys: []string{"a", "b"}},
+		&Query{Path: "a/b/c"},
+		&Digests{Path: "p", Children: []ChildDigest{{Name: "c", Leaf: true}}},
+		&Report{Received: 9, Expected: 10, LossQ16: 6553},
+		&Goodbye{},
+		&Heartbeat{},
+	}
+	for _, m := range seeds {
+		f.Add(Encode(hdr, m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x53, 0x53, 0x54, 0x50})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, msg, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted datagrams must round-trip exactly.
+		re := Encode(h, msg)
+		h2, msg2, err2 := Decode(re)
+		if err2 != nil {
+			t.Fatalf("re-decode failed: %v", err2)
+		}
+		if h2 != h {
+			t.Fatalf("header changed: %+v -> %+v", h, h2)
+		}
+		if msg2.Type() != msg.Type() {
+			t.Fatalf("type changed: %v -> %v", msg.Type(), msg2.Type())
+		}
+		re2 := Encode(h2, msg2)
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("encoding not stable:\n%x\n%x", re, re2)
+		}
+	})
+}

@@ -1,0 +1,531 @@
+// Package protocol defines SSTP's wire formats: data announcements,
+// namespace summary announcements, NACKs, namespace queries and
+// responses, and RTCP-style receiver reports. Messages are encoded in
+// a compact binary form (network byte order, length-prefixed strings)
+// with strict bounds checking on decode — a malformed datagram must
+// never panic or over-allocate.
+//
+// Framing is per-datagram (one message per UDP packet), following the
+// ALF principle that each transmission is an independent application
+// data unit.
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Protocol constants.
+const (
+	Magic   = 0x53535450 // "SSTP"
+	Version = 1
+
+	// MaxKeyLen bounds key and namespace path lengths on the wire.
+	MaxKeyLen = 1024
+	// MaxValueLen bounds announcement payloads (one ADU per datagram).
+	MaxValueLen = 60000
+	// MaxBatch bounds the number of items in NACKs, summaries, and
+	// digest lists.
+	MaxBatch = 256
+	// DigestLen is the length of namespace digests on the wire
+	// (SHA-256 truncated to 16 bytes; see internal/namespace).
+	DigestLen = 16
+)
+
+// MsgType discriminates the message kinds.
+type MsgType uint8
+
+// Message kinds.
+const (
+	TypeData     MsgType = 1 // announcement of one {key, value} record
+	TypeSummary  MsgType = 2 // digest of a namespace subtree
+	TypeNACK     MsgType = 3 // receiver repair request
+	TypeQuery    MsgType = 4 // namespace descent query
+	TypeDigests  MsgType = 5 // response: child digests of a node
+	TypeReport   MsgType = 6 // RTCP-style receiver report
+	TypeGoodbye  MsgType = 7 // publisher is leaving; flush state
+	TypeHeartbit MsgType = 8 // keepalive when the table is empty
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case TypeData:
+		return "DATA"
+	case TypeSummary:
+		return "SUMMARY"
+	case TypeNACK:
+		return "NACK"
+	case TypeQuery:
+		return "QUERY"
+	case TypeDigests:
+		return "DIGESTS"
+	case TypeReport:
+		return "REPORT"
+	case TypeGoodbye:
+		return "GOODBYE"
+	case TypeHeartbit:
+		return "HEARTBEAT"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Decode errors.
+var (
+	ErrShort      = errors.New("protocol: datagram too short")
+	ErrMagic      = errors.New("protocol: bad magic")
+	ErrVersion    = errors.New("protocol: unsupported version")
+	ErrType       = errors.New("protocol: unknown message type")
+	ErrOversize   = errors.New("protocol: field exceeds limit")
+	ErrTrailing   = errors.New("protocol: trailing bytes")
+	ErrBadPayload = errors.New("protocol: malformed payload")
+)
+
+// Message is any SSTP wire message.
+type Message interface {
+	Type() MsgType
+	// encodeBody appends the body (everything after the common
+	// header) to dst.
+	encodeBody(dst []byte) []byte
+	// decodeBody parses the body; it must consume all of b.
+	decodeBody(b []byte) error
+}
+
+// Header is the common prefix of every message.
+type Header struct {
+	Session uint64 // session identifier
+	Sender  uint64 // sender identifier (SSRC-like)
+	Seq     uint32 // per-sender sequence number (gap detection)
+}
+
+const headerLen = 4 + 1 + 1 + 8 + 8 + 4 // magic, version, type, session, sender, seq
+
+// Encode serializes hdr+msg into a fresh buffer.
+func Encode(hdr Header, msg Message) []byte {
+	buf := make([]byte, 0, 64)
+	buf = binary.BigEndian.AppendUint32(buf, Magic)
+	buf = append(buf, Version, byte(msg.Type()))
+	buf = binary.BigEndian.AppendUint64(buf, hdr.Session)
+	buf = binary.BigEndian.AppendUint64(buf, hdr.Sender)
+	buf = binary.BigEndian.AppendUint32(buf, hdr.Seq)
+	return msg.encodeBody(buf)
+}
+
+// Decode parses a datagram into its header and message.
+func Decode(b []byte) (Header, Message, error) {
+	var hdr Header
+	if len(b) < headerLen {
+		return hdr, nil, ErrShort
+	}
+	if binary.BigEndian.Uint32(b) != Magic {
+		return hdr, nil, ErrMagic
+	}
+	if b[4] != Version {
+		return hdr, nil, ErrVersion
+	}
+	t := MsgType(b[5])
+	hdr.Session = binary.BigEndian.Uint64(b[6:])
+	hdr.Sender = binary.BigEndian.Uint64(b[14:])
+	hdr.Seq = binary.BigEndian.Uint32(b[22:])
+	body := b[headerLen:]
+	var msg Message
+	switch t {
+	case TypeData:
+		msg = &Data{}
+	case TypeSummary:
+		msg = &Summary{}
+	case TypeNACK:
+		msg = &NACK{}
+	case TypeQuery:
+		msg = &Query{}
+	case TypeDigests:
+		msg = &Digests{}
+	case TypeReport:
+		msg = &Report{}
+	case TypeGoodbye:
+		msg = &Goodbye{}
+	case TypeHeartbit:
+		msg = &Heartbeat{}
+	default:
+		return hdr, nil, ErrType
+	}
+	if err := msg.decodeBody(body); err != nil {
+		return hdr, nil, err
+	}
+	return hdr, msg, nil
+}
+
+// --- primitive helpers ---
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+func readString(b []byte, limit int) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, ErrShort
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if n > limit {
+		return "", nil, ErrOversize
+	}
+	if len(b) < n {
+		return "", nil, ErrShort
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func appendBytes32(dst []byte, p []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(p)))
+	return append(dst, p...)
+}
+
+func readBytes32(b []byte, limit int) ([]byte, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, ErrShort
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	if n > limit {
+		return nil, nil, ErrOversize
+	}
+	if len(b) < n {
+		return nil, nil, ErrShort
+	}
+	out := make([]byte, n)
+	copy(out, b[:n])
+	return out, b[n:], nil
+}
+
+// --- Data ---
+
+// Data announces one {key, value} record: the current version, its
+// remaining lifetime (the receiver-side expiry timer is set to TTL),
+// and the opaque value.
+type Data struct {
+	Key     string
+	Ver     uint64
+	TTLms   uint32 // receiver-side soft-state timer in milliseconds
+	Value   []byte
+	Deleted bool // tombstone: receiver should drop the key
+}
+
+// Type implements Message.
+func (*Data) Type() MsgType { return TypeData }
+
+func (d *Data) encodeBody(dst []byte) []byte {
+	flag := byte(0)
+	if d.Deleted {
+		flag = 1
+	}
+	dst = append(dst, flag)
+	dst = appendString(dst, d.Key)
+	dst = binary.BigEndian.AppendUint64(dst, d.Ver)
+	dst = binary.BigEndian.AppendUint32(dst, d.TTLms)
+	return appendBytes32(dst, d.Value)
+}
+
+func (d *Data) decodeBody(b []byte) error {
+	if len(b) < 1 {
+		return ErrShort
+	}
+	d.Deleted = b[0] == 1
+	if b[0] > 1 {
+		return ErrBadPayload
+	}
+	b = b[1:]
+	var err error
+	d.Key, b, err = readString(b, MaxKeyLen)
+	if err != nil {
+		return err
+	}
+	if d.Key == "" {
+		return ErrBadPayload
+	}
+	if len(b) < 12 {
+		return ErrShort
+	}
+	d.Ver = binary.BigEndian.Uint64(b)
+	d.TTLms = binary.BigEndian.Uint32(b[8:])
+	d.Value, b, err = readBytes32(b[12:], MaxValueLen)
+	if err != nil {
+		return err
+	}
+	if len(b) != 0 {
+		return ErrTrailing
+	}
+	return nil
+}
+
+// --- Summary ---
+
+// Summary is a "cold" announcement carrying the digest of a namespace
+// subtree (usually the root). Receivers compare it against their local
+// digest; a mismatch triggers a Query for that path.
+type Summary struct {
+	Path   string // namespace path ("" = root)
+	Digest [DigestLen]byte
+	Count  uint32 // number of leaves under the node (descent hint)
+}
+
+// Type implements Message.
+func (*Summary) Type() MsgType { return TypeSummary }
+
+func (s *Summary) encodeBody(dst []byte) []byte {
+	dst = appendString(dst, s.Path)
+	dst = append(dst, s.Digest[:]...)
+	return binary.BigEndian.AppendUint32(dst, s.Count)
+}
+
+func (s *Summary) decodeBody(b []byte) error {
+	var err error
+	s.Path, b, err = readString(b, MaxKeyLen)
+	if err != nil {
+		return err
+	}
+	if len(b) != DigestLen+4 {
+		if len(b) < DigestLen+4 {
+			return ErrShort
+		}
+		return ErrTrailing
+	}
+	copy(s.Digest[:], b[:DigestLen])
+	s.Count = binary.BigEndian.Uint32(b[DigestLen:])
+	return nil
+}
+
+// --- NACK ---
+
+// NACK requests retransmission of specific keys.
+type NACK struct {
+	Keys []string
+}
+
+// Type implements Message.
+func (*NACK) Type() MsgType { return TypeNACK }
+
+func (n *NACK) encodeBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(n.Keys)))
+	for _, k := range n.Keys {
+		dst = appendString(dst, k)
+	}
+	return dst
+}
+
+func (n *NACK) decodeBody(b []byte) error {
+	if len(b) < 2 {
+		return ErrShort
+	}
+	cnt := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if cnt > MaxBatch {
+		return ErrOversize
+	}
+	n.Keys = make([]string, 0, cnt)
+	var err error
+	for i := 0; i < cnt; i++ {
+		var k string
+		k, b, err = readString(b, MaxKeyLen)
+		if err != nil {
+			return err
+		}
+		if k == "" {
+			return ErrBadPayload
+		}
+		n.Keys = append(n.Keys, k)
+	}
+	if len(b) != 0 {
+		return ErrTrailing
+	}
+	return nil
+}
+
+// --- Query ---
+
+// Query asks the sender (or any session participant) for the child
+// digests of a namespace node, driving the recursive-descent repair.
+type Query struct {
+	Path string
+}
+
+// Type implements Message.
+func (*Query) Type() MsgType { return TypeQuery }
+
+func (q *Query) encodeBody(dst []byte) []byte { return appendString(dst, q.Path) }
+
+func (q *Query) decodeBody(b []byte) error {
+	var err error
+	q.Path, b, err = readString(b, MaxKeyLen)
+	if err != nil {
+		return err
+	}
+	if len(b) != 0 {
+		return ErrTrailing
+	}
+	return nil
+}
+
+// --- Digests ---
+
+// ChildDigest is one entry of a Digests response.
+type ChildDigest struct {
+	Name   string // path component relative to the queried node
+	Leaf   bool   // true if the child is a leaf ADU
+	Digest [DigestLen]byte
+}
+
+// Digests answers a Query with the queried node's children and their
+// digests, letting the receiver recurse into mismatching branches.
+type Digests struct {
+	Path     string
+	Children []ChildDigest
+}
+
+// Type implements Message.
+func (*Digests) Type() MsgType { return TypeDigests }
+
+func (d *Digests) encodeBody(dst []byte) []byte {
+	dst = appendString(dst, d.Path)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(d.Children)))
+	for _, c := range d.Children {
+		flag := byte(0)
+		if c.Leaf {
+			flag = 1
+		}
+		dst = append(dst, flag)
+		dst = appendString(dst, c.Name)
+		dst = append(dst, c.Digest[:]...)
+	}
+	return dst
+}
+
+func (d *Digests) decodeBody(b []byte) error {
+	var err error
+	d.Path, b, err = readString(b, MaxKeyLen)
+	if err != nil {
+		return err
+	}
+	if len(b) < 2 {
+		return ErrShort
+	}
+	cnt := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if cnt > MaxBatch {
+		return ErrOversize
+	}
+	d.Children = make([]ChildDigest, 0, cnt)
+	for i := 0; i < cnt; i++ {
+		if len(b) < 1 {
+			return ErrShort
+		}
+		var c ChildDigest
+		if b[0] > 1 {
+			return ErrBadPayload
+		}
+		c.Leaf = b[0] == 1
+		c.Name, b, err = readString(b[1:], MaxKeyLen)
+		if err != nil {
+			return err
+		}
+		if len(b) < DigestLen {
+			return ErrShort
+		}
+		copy(c.Digest[:], b[:DigestLen])
+		b = b[DigestLen:]
+		d.Children = append(d.Children, c)
+	}
+	if len(b) != 0 {
+		return ErrTrailing
+	}
+	return nil
+}
+
+// --- Report ---
+
+// Report is an RTCP-style receiver report: the sender uses the loss
+// estimate to drive the profile-based bandwidth allocator.
+type Report struct {
+	Received  uint32
+	Expected  uint32
+	LossQ16   uint16 // loss fraction in Q0.16 fixed point
+	DelayMs   uint32 // smoothed one-way delay estimate, milliseconds
+	Timestamp uint64 // sender-echoed timestamp (units are app-defined)
+}
+
+// Type implements Message.
+func (*Report) Type() MsgType { return TypeReport }
+
+// Loss returns the loss fraction as a float in [0, 1].
+func (r *Report) Loss() float64 { return float64(r.LossQ16) / 65535 }
+
+// SetLoss stores a loss fraction, clamping to [0, 1].
+func (r *Report) SetLoss(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	r.LossQ16 = uint16(math.Round(p * 65535))
+}
+
+func (r *Report) encodeBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, r.Received)
+	dst = binary.BigEndian.AppendUint32(dst, r.Expected)
+	dst = binary.BigEndian.AppendUint16(dst, r.LossQ16)
+	dst = binary.BigEndian.AppendUint32(dst, r.DelayMs)
+	return binary.BigEndian.AppendUint64(dst, r.Timestamp)
+}
+
+func (r *Report) decodeBody(b []byte) error {
+	if len(b) < 22 {
+		return ErrShort
+	}
+	if len(b) > 22 {
+		return ErrTrailing
+	}
+	r.Received = binary.BigEndian.Uint32(b)
+	r.Expected = binary.BigEndian.Uint32(b[4:])
+	r.LossQ16 = binary.BigEndian.Uint16(b[8:])
+	r.DelayMs = binary.BigEndian.Uint32(b[10:])
+	r.Timestamp = binary.BigEndian.Uint64(b[14:])
+	return nil
+}
+
+// --- Goodbye / Heartbeat ---
+
+// Goodbye announces that the publisher is leaving the session.
+type Goodbye struct{}
+
+// Type implements Message.
+func (*Goodbye) Type() MsgType { return TypeGoodbye }
+
+func (*Goodbye) encodeBody(dst []byte) []byte { return dst }
+
+func (*Goodbye) decodeBody(b []byte) error {
+	if len(b) != 0 {
+		return ErrTrailing
+	}
+	return nil
+}
+
+// Heartbeat keeps the session's sequence space warm when there is no
+// data to announce, so receivers can still estimate loss.
+type Heartbeat struct{}
+
+// Type implements Message.
+func (*Heartbeat) Type() MsgType { return TypeHeartbit }
+
+func (*Heartbeat) encodeBody(dst []byte) []byte { return dst }
+
+func (*Heartbeat) decodeBody(b []byte) error {
+	if len(b) != 0 {
+		return ErrTrailing
+	}
+	return nil
+}

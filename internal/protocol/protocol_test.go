@@ -1,0 +1,259 @@
+package protocol
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, hdr Header, msg Message) Message {
+	t.Helper()
+	buf := Encode(hdr, msg)
+	gotHdr, gotMsg, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode(%v): %v", msg.Type(), err)
+	}
+	if gotHdr != hdr {
+		t.Fatalf("header round-trip: %+v != %+v", gotHdr, hdr)
+	}
+	if gotMsg.Type() != msg.Type() {
+		t.Fatalf("type round-trip: %v != %v", gotMsg.Type(), msg.Type())
+	}
+	return gotMsg
+}
+
+var testHdr = Header{Session: 0xDEADBEEF, Sender: 42, Seq: 7}
+
+func TestDataRoundTrip(t *testing.T) {
+	in := &Data{Key: "sessions/audio/42", Ver: 9, TTLms: 30000, Value: []byte("payload")}
+	out := roundTrip(t, testHdr, in).(*Data)
+	if out.Key != in.Key || out.Ver != in.Ver || out.TTLms != in.TTLms ||
+		!bytes.Equal(out.Value, in.Value) || out.Deleted {
+		t.Errorf("got %+v", out)
+	}
+}
+
+func TestDataTombstone(t *testing.T) {
+	in := &Data{Key: "k", Ver: 3, Deleted: true}
+	out := roundTrip(t, testHdr, in).(*Data)
+	if !out.Deleted {
+		t.Error("tombstone flag lost")
+	}
+}
+
+func TestDataEmptyValue(t *testing.T) {
+	out := roundTrip(t, testHdr, &Data{Key: "k", Ver: 1}).(*Data)
+	if len(out.Value) != 0 {
+		t.Errorf("value = %v", out.Value)
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	in := &Summary{Path: "a/b", Count: 17}
+	copy(in.Digest[:], []byte("0123456789abcdef"))
+	out := roundTrip(t, testHdr, in).(*Summary)
+	if out.Path != in.Path || out.Digest != in.Digest || out.Count != 17 {
+		t.Errorf("got %+v", out)
+	}
+}
+
+func TestSummaryRootPath(t *testing.T) {
+	out := roundTrip(t, testHdr, &Summary{Path: ""}).(*Summary)
+	if out.Path != "" {
+		t.Errorf("root path = %q", out.Path)
+	}
+}
+
+func TestNACKRoundTrip(t *testing.T) {
+	in := &NACK{Keys: []string{"a", "b/c", "long/key/name"}}
+	out := roundTrip(t, testHdr, in).(*NACK)
+	if len(out.Keys) != 3 || out.Keys[0] != "a" || out.Keys[2] != "long/key/name" {
+		t.Errorf("got %+v", out.Keys)
+	}
+}
+
+func TestNACKEmpty(t *testing.T) {
+	out := roundTrip(t, testHdr, &NACK{}).(*NACK)
+	if len(out.Keys) != 0 {
+		t.Errorf("got %+v", out.Keys)
+	}
+}
+
+func TestQueryDigestsRoundTrip(t *testing.T) {
+	q := roundTrip(t, testHdr, &Query{Path: "x/y"}).(*Query)
+	if q.Path != "x/y" {
+		t.Errorf("query path = %q", q.Path)
+	}
+	in := &Digests{Path: "x", Children: []ChildDigest{
+		{Name: "y", Leaf: false, Digest: [DigestLen]byte{1}},
+		{Name: "z", Leaf: true, Digest: [DigestLen]byte{2}},
+	}}
+	out := roundTrip(t, testHdr, in).(*Digests)
+	if out.Path != "x" || len(out.Children) != 2 ||
+		out.Children[0].Name != "y" || out.Children[0].Leaf ||
+		!out.Children[1].Leaf || out.Children[1].Digest[0] != 2 {
+		t.Errorf("got %+v", out)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	in := &Report{Received: 90, Expected: 100, DelayMs: 12, Timestamp: 5555}
+	in.SetLoss(0.1)
+	out := roundTrip(t, testHdr, in).(*Report)
+	if out.Received != 90 || out.Expected != 100 || out.DelayMs != 12 || out.Timestamp != 5555 {
+		t.Errorf("got %+v", out)
+	}
+	if math.Abs(out.Loss()-0.1) > 1e-4 {
+		t.Errorf("loss = %v", out.Loss())
+	}
+}
+
+func TestReportLossClamping(t *testing.T) {
+	var r Report
+	r.SetLoss(-0.5)
+	if r.Loss() != 0 {
+		t.Errorf("negative loss = %v", r.Loss())
+	}
+	r.SetLoss(1.5)
+	if math.Abs(r.Loss()-1) > 1e-9 {
+		t.Errorf("overflow loss = %v", r.Loss())
+	}
+}
+
+func TestGoodbyeHeartbeat(t *testing.T) {
+	roundTrip(t, testHdr, &Goodbye{})
+	roundTrip(t, testHdr, &Heartbeat{})
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid := Encode(testHdr, &Data{Key: "k", Ver: 1, Value: []byte("v")})
+
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"empty", nil, ErrShort},
+		{"truncated header", valid[:10], ErrShort},
+		{"bad magic", append([]byte{0, 0, 0, 0}, valid[4:]...), ErrMagic},
+		{"bad version", mutate(valid, 4, 99), ErrVersion},
+		{"bad type", mutate(valid, 5, 200), ErrType},
+		{"trailing", append(append([]byte{}, valid...), 0xFF), ErrTrailing},
+		{"truncated body", valid[:len(valid)-2], ErrShort},
+	}
+	for _, tc := range cases {
+		_, _, err := Decode(tc.buf)
+		if err != tc.want {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func mutate(b []byte, idx int, v byte) []byte {
+	out := append([]byte{}, b...)
+	out[idx] = v
+	return out
+}
+
+func TestDecodeRejectsOversizeKey(t *testing.T) {
+	// Hand-craft a Data with a key length beyond MaxKeyLen.
+	big := strings.Repeat("x", MaxKeyLen+1)
+	buf := Encode(testHdr, &Data{Key: big, Ver: 1})
+	if _, _, err := Decode(buf); err != ErrOversize {
+		t.Errorf("oversize key err = %v", err)
+	}
+}
+
+func TestDecodeRejectsEmptyKey(t *testing.T) {
+	buf := Encode(testHdr, &Data{Key: "", Ver: 1})
+	if _, _, err := Decode(buf); err != ErrBadPayload {
+		t.Errorf("empty key err = %v", err)
+	}
+}
+
+func TestDecodeRejectsHugeBatch(t *testing.T) {
+	keys := make([]string, MaxBatch+1)
+	for i := range keys {
+		keys[i] = "k"
+	}
+	buf := Encode(testHdr, &NACK{Keys: keys})
+	if _, _, err := Decode(buf); err != ErrOversize {
+		t.Errorf("huge batch err = %v", err)
+	}
+}
+
+// TestDecodeNeverPanics feeds arbitrary bytes into Decode; any return
+// is acceptable, panicking is not.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Decode panicked on %x: %v", b, r)
+			}
+		}()
+		Decode(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeNeverPanicsOnMutations flips bytes of valid messages.
+func TestDecodeNeverPanicsOnMutations(t *testing.T) {
+	msgs := []Message{
+		&Data{Key: "k/v", Ver: 2, TTLms: 100, Value: []byte("abc")},
+		&Summary{Path: "p"},
+		&NACK{Keys: []string{"a", "b"}},
+		&Digests{Path: "p", Children: []ChildDigest{{Name: "c", Leaf: true}}},
+		&Report{Received: 1, Expected: 2},
+	}
+	for _, m := range msgs {
+		base := Encode(testHdr, m)
+		for i := 0; i < len(base); i++ {
+			for _, v := range []byte{0x00, 0xFF, base[i] ^ 0x80} {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							t.Fatalf("panic mutating %v byte %d to %x: %v", m.Type(), i, v, r)
+						}
+					}()
+					Decode(mutate(base, i, v))
+				}()
+			}
+		}
+	}
+}
+
+// Property: round-trip preserves Data for arbitrary content.
+func TestPropertyDataRoundTrip(t *testing.T) {
+	f := func(key string, ver uint64, ttl uint32, val []byte) bool {
+		if len(key) == 0 || len(key) > MaxKeyLen || len(val) > MaxValueLen {
+			return true // out of contract
+		}
+		in := &Data{Key: key, Ver: ver, TTLms: ttl, Value: val}
+		buf := Encode(Header{Session: 1, Sender: 2, Seq: 3}, in)
+		_, m, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		out := m.(*Data)
+		return out.Key == key && out.Ver == ver && out.TTLms == ttl && bytes.Equal(out.Value, val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for _, tt := range []MsgType{TypeData, TypeSummary, TypeNACK, TypeQuery, TypeDigests, TypeReport, TypeGoodbye, TypeHeartbit} {
+		if tt.String() == "" || strings.HasPrefix(tt.String(), "MsgType(") {
+			t.Errorf("type %d has no name", tt)
+		}
+	}
+	if MsgType(222).String() != "MsgType(222)" {
+		t.Error("unknown type should stringify numerically")
+	}
+}

@@ -1,0 +1,35 @@
+package queueing_test
+
+import (
+	"fmt"
+
+	"softstate/internal/queueing"
+)
+
+// Example reproduces the paper's closed forms at one operating point:
+// λ=20 kbps, μ_ch=128 kbps, 10% loss, 20% death probability.
+func Example() {
+	m := queueing.OpenLoop{Lambda: 20_000, MuCh: 128_000, Pc: 0.10, Pd: 0.20}
+	fmt.Printf("stable      %v (ρ=%.4f)\n", m.Stable(), m.Rho())
+	fmt.Printf("q           %.4f\n", m.BusyConsistency())
+	fmt.Printf("E[c(t)]     %.4f\n", m.Consistency())
+	fmt.Printf("redundant   %.4f\n", m.RedundantFraction())
+	fmt.Printf("delivery    %.4f\n", m.DeliveryProbability())
+	// Output:
+	// stable      true (ρ=0.7812)
+	// q           0.7826
+	// E[c(t)]     0.6114
+	// redundant   0.7826
+	// delivery    0.9783
+}
+
+// ExampleOpenLoop_Table1 prints the analytic Table 1.
+func ExampleOpenLoop_Table1() {
+	m := queueing.OpenLoop{Lambda: 1, MuCh: 10, Pc: 0.25, Pd: 0.20}
+	t := m.Table1()
+	fmt.Printf("I-enter: %.2f %.2f %.2f\n", t.IEnter[0], t.IEnter[1], t.IEnter[2])
+	fmt.Printf("C-enter: %.2f %.2f %.2f\n", t.CEnter[0], t.CEnter[1], t.CEnter[2])
+	// Output:
+	// I-enter: 0.20 0.60 0.20
+	// C-enter: 0.00 0.80 0.20
+}

@@ -1,0 +1,60 @@
+package queueing
+
+import "math"
+
+// MG1 is an M/G/1 queue: Poisson arrivals at rate Lambda, general
+// service with mean ES and second moment ES2. The Pollaczek–Khinchine
+// formula gives its delay moments — used to quantify how far the
+// deterministic-packet (M/D/1) simulator variant departs from the
+// exponential-service (M/M/1) analysis, one of DESIGN.md's ablations.
+type MG1 struct {
+	Lambda float64 // arrival rate (jobs/s)
+	ES     float64 // mean service time (s)
+	ES2    float64 // second moment of service time (s²)
+}
+
+// MD1 returns the M/G/1 instance for deterministic service of
+// duration d.
+func MD1(lambda, d float64) MG1 {
+	return MG1{Lambda: lambda, ES: d, ES2: d * d}
+}
+
+// MM1AsMG1 returns the M/G/1 instance for exponential service with
+// mean 1/mu (E[S²] = 2/μ²); its formulas collapse to the M/M/1 ones.
+func MM1AsMG1(lambda, mu float64) MG1 {
+	return MG1{Lambda: lambda, ES: 1 / mu, ES2: 2 / (mu * mu)}
+}
+
+// Utilization returns ρ = λ·E[S].
+func (q MG1) Utilization() float64 { return q.Lambda * q.ES }
+
+// Stable reports ρ < 1.
+func (q MG1) Stable() bool { return q.Utilization() < 1 }
+
+// MeanWait returns the Pollaczek–Khinchine mean queueing delay
+// E[Wq] = λ·E[S²] / (2(1-ρ)). Returns +Inf when unstable.
+func (q MG1) MeanWait() float64 {
+	rho := q.Utilization()
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return q.Lambda * q.ES2 / (2 * (1 - rho))
+}
+
+// MeanSojourn returns E[W] = E[Wq] + E[S].
+func (q MG1) MeanSojourn() float64 {
+	w := q.MeanWait()
+	if math.IsInf(w, 1) {
+		return w
+	}
+	return w + q.ES
+}
+
+// MeanJobs returns E[N] = λ·E[W] (Little's law).
+func (q MG1) MeanJobs() float64 {
+	w := q.MeanSojourn()
+	if math.IsInf(w, 1) {
+		return w
+	}
+	return q.Lambda * w
+}

@@ -1,0 +1,68 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMG1CollapsesToMM1(t *testing.T) {
+	lambda, mu := 3.0, 5.0
+	mm1 := MM1{Lambda: lambda, Mu: mu}
+	mg1 := MM1AsMG1(lambda, mu)
+	if !almost(mg1.MeanWait(), mm1.MeanWait(), 1e-12) {
+		t.Errorf("E[Wq]: P-K %v vs M/M/1 %v", mg1.MeanWait(), mm1.MeanWait())
+	}
+	if !almost(mg1.MeanSojourn(), mm1.MeanSojourn(), 1e-12) {
+		t.Errorf("E[W]: P-K %v vs M/M/1 %v", mg1.MeanSojourn(), mm1.MeanSojourn())
+	}
+	if !almost(mg1.MeanJobs(), mm1.MeanJobs(), 1e-12) {
+		t.Errorf("E[N]: P-K %v vs M/M/1 %v", mg1.MeanJobs(), mm1.MeanJobs())
+	}
+}
+
+func TestMD1HalvesQueueingDelay(t *testing.T) {
+	// Classic result: at equal ρ, M/D/1 queueing delay is exactly half
+	// the M/M/1 delay.
+	lambda, mu := 4.0, 5.0
+	md1 := MD1(lambda, 1/mu)
+	mm1 := MM1AsMG1(lambda, mu)
+	if !almost(md1.MeanWait(), mm1.MeanWait()/2, 1e-12) {
+		t.Errorf("M/D/1 wait %v, want half of %v", md1.MeanWait(), mm1.MeanWait())
+	}
+}
+
+func TestMG1Unstable(t *testing.T) {
+	q := MD1(10, 0.2) // ρ = 2
+	if q.Stable() {
+		t.Fatal("ρ=2 reported stable")
+	}
+	if !math.IsInf(q.MeanWait(), 1) || !math.IsInf(q.MeanSojourn(), 1) || !math.IsInf(q.MeanJobs(), 1) {
+		t.Error("unstable moments should be +Inf")
+	}
+}
+
+// Property: for any stable load, deterministic service never waits
+// longer than exponential service at the same mean.
+func TestPropertyMD1BelowMM1(t *testing.T) {
+	f := func(l8, m8 uint8) bool {
+		lambda := 0.1 + float64(l8%50)/10
+		mu := lambda*1.05 + float64(m8%50)/10 + 0.1
+		md1 := MD1(lambda, 1/mu)
+		mm1 := MM1AsMG1(lambda, mu)
+		return md1.MeanWait() <= mm1.MeanWait()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMG1LittlesLaw(t *testing.T) {
+	q := MG1{Lambda: 2, ES: 0.3, ES2: 0.2}
+	if !q.Stable() {
+		t.Fatal("test case unstable")
+	}
+	if !almost(q.MeanJobs(), q.Lambda*q.MeanSojourn(), 1e-12) {
+		t.Error("Little's law violated")
+	}
+}

@@ -1,0 +1,145 @@
+// Package queueing implements the analytic results of Raman &
+// McCanne's soft-state model (SIGCOMM '99, section 3): basic M/M/1
+// formulas, a general open Jackson-network traffic-equation solver,
+// and the closed forms for the open-loop announce/listen protocol —
+// consistency E[c(t)], redundant-bandwidth fraction, the stability
+// condition p_d > λ/μ_ch, and expected receive latency.
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MM1 describes an M/M/1 queue with Poisson arrivals at rate Lambda
+// and exponential service at rate Mu (both in jobs per second, or in
+// bits per second when jobs are constant-size packets — the ratios are
+// unit-independent).
+type MM1 struct {
+	Lambda float64 // arrival rate
+	Mu     float64 // service rate
+}
+
+// Utilization returns ρ = λ/μ.
+func (q MM1) Utilization() float64 { return q.Lambda / q.Mu }
+
+// Stable reports whether ρ < 1.
+func (q MM1) Stable() bool { return q.Lambda < q.Mu }
+
+// MeanJobs returns E[N] = ρ/(1-ρ), the mean number in system.
+// Returns +Inf when unstable.
+func (q MM1) MeanJobs() float64 {
+	rho := q.Utilization()
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho / (1 - rho)
+}
+
+// MeanSojourn returns E[W] = 1/(μ-λ), the mean time in system. This is
+// the quantity the paper uses to explain Figure 6's ~300 ms latency at
+// negligible cold bandwidth. Returns +Inf when unstable.
+func (q MM1) MeanSojourn() float64 {
+	if !q.Stable() {
+		return math.Inf(1)
+	}
+	return 1 / (q.Mu - q.Lambda)
+}
+
+// MeanWait returns E[Wq] = ρ/(μ-λ), the mean queueing delay excluding
+// service. Returns +Inf when unstable.
+func (q MM1) MeanWait() float64 {
+	if !q.Stable() {
+		return math.Inf(1)
+	}
+	return q.Utilization() / (q.Mu - q.Lambda)
+}
+
+// POccupancy returns P(N = n) = (1-ρ)ρⁿ for a stable queue.
+func (q MM1) POccupancy(n int) float64 {
+	rho := q.Utilization()
+	if rho >= 1 || n < 0 {
+		return 0
+	}
+	return (1 - rho) * math.Pow(rho, float64(n))
+}
+
+// ErrSingular is returned by SolveTraffic when the routing matrix
+// admits no unique solution (e.g. a closed cycle with no exit).
+var ErrSingular = errors.New("queueing: traffic equations are singular")
+
+// SolveTraffic solves the Jackson traffic equations λ = γ + Pᵀλ for an
+// open network: gamma[i] is the external arrival rate into node i and
+// routing[i][j] is the probability a job leaving node i proceeds to
+// node j (rows may sum to less than 1; the remainder exits the
+// network). The returned slice is the total arrival rate at each node.
+func SolveTraffic(gamma []float64, routing [][]float64) ([]float64, error) {
+	n := len(gamma)
+	if len(routing) != n {
+		return nil, fmt.Errorf("queueing: routing is %dx?, want %dx%d", len(routing), n, n)
+	}
+	// Build A = I - Pᵀ and solve A·λ = γ by Gaussian elimination with
+	// partial pivoting.
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if len(routing[i]) != n {
+			return nil, fmt.Errorf("queueing: routing row %d has %d entries, want %d", i, len(routing[i]), n)
+		}
+		rowSum := 0.0
+		for j, p := range routing[i] {
+			if p < 0 || p > 1 {
+				return nil, fmt.Errorf("queueing: routing[%d][%d]=%v out of [0,1]", i, j, p)
+			}
+			rowSum += p
+		}
+		if rowSum > 1+1e-9 {
+			return nil, fmt.Errorf("queueing: routing row %d sums to %v > 1", i, rowSum)
+		}
+	}
+	for i := 0; i < n; i++ {
+		a[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			v := 0.0
+			if i == j {
+				v = 1
+			}
+			a[i][j] = v - routing[j][i] // transpose
+		}
+		b[i] = gamma[i]
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	lambda := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lambda[i] = b[i] / a[i][i]
+	}
+	return lambda, nil
+}

@@ -1,0 +1,180 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// OpenLoop is the paper's section-3 model of the open-loop
+// announce/listen protocol: a single FIFO server (the channel, service
+// rate MuCh) with two job classes — "inconsistent" records the
+// receiver does not yet hold, and "consistent" records it does. New
+// records arrive at rate Lambda in the inconsistent class. After each
+// service (transmission) the record dies with probability Pd;
+// otherwise it re-enters the queue, having become consistent with
+// probability 1-Pc (the transmission was delivered) or remained in its
+// prior class.
+//
+// Rates are in bits per second with constant-size packets, or directly
+// in packets per second — every derived quantity depends only on
+// ratios, so units cancel.
+type OpenLoop struct {
+	Lambda float64 // new-record arrival rate (λ)
+	MuCh   float64 // channel service rate (μ_ch)
+	Pc     float64 // per-transmission channel loss probability (p_c)
+	Pd     float64 // per-service death probability (p_d)
+}
+
+// Validate reports an error for out-of-range parameters.
+func (m OpenLoop) Validate() error {
+	if m.Lambda < 0 || m.MuCh <= 0 {
+		return fmt.Errorf("queueing: need λ >= 0 and μ_ch > 0, got λ=%v μ_ch=%v", m.Lambda, m.MuCh)
+	}
+	if m.Pc < 0 || m.Pc > 1 {
+		return fmt.Errorf("queueing: p_c=%v out of [0,1]", m.Pc)
+	}
+	if m.Pd <= 0 || m.Pd > 1 {
+		return fmt.Errorf("queueing: p_d=%v out of (0,1]", m.Pd)
+	}
+	return nil
+}
+
+// LambdaI returns λ̂_I = λ / (1 - p_c(1-p_d)), the total service rate
+// of inconsistent-class jobs (paper's first flow equation).
+func (m OpenLoop) LambdaI() float64 {
+	return m.Lambda / (1 - m.Pc*(1-m.Pd))
+}
+
+// LambdaC returns λ̂_C = (1-p_c)(1-p_d)·λ / (p_d·(1 - p_c(1-p_d))),
+// the total service rate of consistent-class jobs.
+func (m OpenLoop) LambdaC() float64 {
+	return (1 - m.Pc) * (1 - m.Pd) * m.Lambda / (m.Pd * (1 - m.Pc*(1-m.Pd)))
+}
+
+// Throughput returns λ̂ = λ̂_I + λ̂_C = λ/p_d, the total transmission
+// rate: each record is served Geometric(p_d) times before it dies.
+func (m OpenLoop) Throughput() float64 { return m.Lambda / m.Pd }
+
+// Rho returns the server utilization ρ = λ̂/μ_ch = λ/(p_d·μ_ch).
+func (m OpenLoop) Rho() float64 { return m.Lambda / (m.Pd * m.MuCh) }
+
+// Stable reports the paper's stability condition p_d > λ/μ_ch
+// (equivalently ρ < 1).
+func (m OpenLoop) Stable() bool { return m.Rho() < 1 }
+
+// BusyConsistency returns q = λ̂_C/λ̂ =
+// (1-p_c)(1-p_d)/(1 - p_c(1-p_d)): by the product-form solution, the
+// expected fraction of in-system records that are consistent, given
+// the system is non-empty. This is the quantity the paper's
+// simulations measure as "system consistency" over the live set.
+func (m OpenLoop) BusyConsistency() float64 {
+	return (1 - m.Pc) * (1 - m.Pd) / (1 - m.Pc*(1-m.Pd))
+}
+
+// Consistency returns the paper's closed form for E[c(t)] =
+// ρ·(1-p_c)(1-p_d)/(1-p_c(1-p_d)): the sum over occupied states of
+// the expected consistent fraction, with the empty state contributing
+// zero. Valid only for stable systems; returns NaN when ρ >= 1
+// (Jackson's theorem does not apply).
+func (m OpenLoop) Consistency() float64 {
+	rho := m.Rho()
+	if rho >= 1 {
+		return math.NaN()
+	}
+	return rho * m.BusyConsistency()
+}
+
+// RedundantFraction returns λ̂_C/λ̂: the fraction of the sender's
+// transmissions that carry records the receiver already holds —
+// Figure 4's "bandwidth for redundant transmissions". Note this equals
+// BusyConsistency: every service of a consistent-class job is a
+// redundant transmission.
+func (m OpenLoop) RedundantFraction() float64 { return m.BusyConsistency() }
+
+// MeanRecords returns E[n_I + n_C] = ρ/(1-ρ), the expected number of
+// live records in the system, from the product-form distribution.
+// Returns +Inf when unstable.
+func (m OpenLoop) MeanRecords() float64 {
+	return MM1{Lambda: m.Throughput(), Mu: m.MuCh}.MeanJobs()
+}
+
+// PJoint returns the product-form joint probability
+// P(n_I = ni, n_C = nc) =
+// (ni+nc choose ni) · (ρ_Iⁿⁱ·ρ_Cⁿᶜ/ρⁿ) · (1-ρ)ρⁿ
+// from Jackson's theorem for a multi-class M/M/1 server.
+func (m OpenLoop) PJoint(ni, nc int) float64 {
+	if ni < 0 || nc < 0 {
+		return 0
+	}
+	rho := m.Rho()
+	if rho >= 1 {
+		return 0
+	}
+	n := ni + nc
+	q := m.BusyConsistency() // per-job probability of being consistent
+	// Binomial split of n jobs between classes with parameter q.
+	logBinom := lgamma(float64(n+1)) - lgamma(float64(ni+1)) - lgamma(float64(nc+1))
+	logP := logBinom + float64(nc)*math.Log(q) + float64(ni)*math.Log(1-q)
+	if q == 0 {
+		if nc == 0 {
+			logP = 0
+		} else {
+			return 0
+		}
+	}
+	if q == 1 {
+		if ni == 0 {
+			logP = 0
+		} else {
+			return 0
+		}
+	}
+	return (1 - rho) * math.Pow(rho, float64(n)) * math.Exp(logP)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// ExpectedFirstDeliveryTries returns the mean number of transmissions
+// until a record is first delivered, conditioned on delivery before
+// death: a Geometric((1-p_c)·… ) race between delivery and death.
+func (m OpenLoop) ExpectedFirstDeliveryTries() float64 {
+	// Per transmission: delivered with prob (1-p_c); dies after
+	// service with prob p_d (independent). A record is eventually
+	// delivered iff delivery happens before death. Conditional mean of
+	// the geometric race with success prob s = 1-(1-(1-p_c))·(1-p_d)…
+	// Simpler: per round, P(deliver) = 1-p_c. P(survive round
+	// undelivered) = p_c(1-p_d). Conditioned on delivery, number of
+	// rounds is Geometric with parameter (1-p_c)/(1-p_c(1-p_d))
+	// shifted to start at 1.
+	p := (1 - m.Pc) / (1 - m.Pc*(1-m.Pd))
+	return 1 / p
+}
+
+// DeliveryProbability returns the probability a new record is ever
+// delivered before it dies: (1-p_c)/(1-p_c(1-p_d)).
+func (m OpenLoop) DeliveryProbability() float64 {
+	return (1 - m.Pc) / (1 - m.Pc*(1-m.Pd))
+}
+
+// StateChangeProbabilities returns the paper's Table 1: given the
+// class on entering service (consistent or not), the probabilities of
+// leaving the server inconsistent, consistent, or dead.
+//
+//	row "I/Enter": {p_c(1-p_d), (1-p_c)(1-p_d), p_d}
+//	row "C/Enter": {0,          (1-p_d),        p_d}
+type StateChangeTable struct {
+	IEnter [3]float64 // exit {inconsistent, consistent, dead}
+	CEnter [3]float64
+}
+
+// Table1 returns the analytic state-change probabilities for the
+// model's loss and death parameters.
+func (m OpenLoop) Table1() StateChangeTable {
+	return StateChangeTable{
+		IEnter: [3]float64{m.Pc * (1 - m.Pd), (1 - m.Pc) * (1 - m.Pd), m.Pd},
+		CEnter: [3]float64{0, 1 - m.Pd, m.Pd},
+	}
+}

@@ -1,0 +1,288 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMM1Basics(t *testing.T) {
+	q := MM1{Lambda: 2, Mu: 4}
+	if !q.Stable() {
+		t.Fatal("λ=2 μ=4 should be stable")
+	}
+	if !almost(q.Utilization(), 0.5, 1e-12) {
+		t.Errorf("ρ = %v", q.Utilization())
+	}
+	if !almost(q.MeanJobs(), 1, 1e-12) {
+		t.Errorf("E[N] = %v", q.MeanJobs())
+	}
+	if !almost(q.MeanSojourn(), 0.5, 1e-12) {
+		t.Errorf("E[W] = %v", q.MeanSojourn())
+	}
+	if !almost(q.MeanWait(), 0.25, 1e-12) {
+		t.Errorf("E[Wq] = %v", q.MeanWait())
+	}
+}
+
+func TestMM1Unstable(t *testing.T) {
+	q := MM1{Lambda: 5, Mu: 4}
+	if q.Stable() {
+		t.Fatal("λ=5 μ=4 should be unstable")
+	}
+	if !math.IsInf(q.MeanJobs(), 1) || !math.IsInf(q.MeanSojourn(), 1) || !math.IsInf(q.MeanWait(), 1) {
+		t.Error("unstable moments should be +Inf")
+	}
+	if q.POccupancy(3) != 0 {
+		t.Error("unstable occupancy should be 0")
+	}
+}
+
+func TestMM1OccupancySumsToOne(t *testing.T) {
+	q := MM1{Lambda: 3, Mu: 5}
+	sum := 0.0
+	for n := 0; n < 500; n++ {
+		sum += q.POccupancy(n)
+	}
+	if !almost(sum, 1, 1e-9) {
+		t.Errorf("Σ P(N=n) = %v", sum)
+	}
+}
+
+// Little's law: E[N] = λ·E[W].
+func TestMM1LittlesLaw(t *testing.T) {
+	f := func(l8, m8 uint8) bool {
+		lambda := 0.1 + float64(l8%100)/10
+		mu := lambda + 0.1 + float64(m8%100)/10
+		q := MM1{Lambda: lambda, Mu: mu}
+		return almost(q.MeanJobs(), lambda*q.MeanSojourn(), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveTrafficTandem(t *testing.T) {
+	// Two queues in tandem: all of node 0's output goes to node 1.
+	lambda, err := SolveTraffic([]float64{3, 0}, [][]float64{{0, 1}, {0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(lambda[0], 3, 1e-9) || !almost(lambda[1], 3, 1e-9) {
+		t.Errorf("tandem rates = %v", lambda)
+	}
+}
+
+func TestSolveTrafficFeedback(t *testing.T) {
+	// Single queue with feedback probability 0.25: λ = 1/(1-0.25).
+	lambda, err := SolveTraffic([]float64{1}, [][]float64{{0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(lambda[0], 4.0/3.0, 1e-9) {
+		t.Errorf("feedback rate = %v", lambda[0])
+	}
+}
+
+func TestSolveTrafficOpenLoopNetwork(t *testing.T) {
+	// The paper's two-class system expressed as a two-node network:
+	// node 0 = inconsistent service, node 1 = consistent service.
+	pc, pd := 0.3, 0.2
+	routing := [][]float64{
+		{pc * (1 - pd), (1 - pc) * (1 - pd)},
+		{0, 1 - pd},
+	}
+	lambda, err := SolveTraffic([]float64{1, 0}, routing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := OpenLoop{Lambda: 1, MuCh: 100, Pc: pc, Pd: pd}
+	if !almost(lambda[0], m.LambdaI(), 1e-9) {
+		t.Errorf("λ_I solver=%v closed=%v", lambda[0], m.LambdaI())
+	}
+	if !almost(lambda[1], m.LambdaC(), 1e-9) {
+		t.Errorf("λ_C solver=%v closed=%v", lambda[1], m.LambdaC())
+	}
+}
+
+func TestSolveTrafficErrors(t *testing.T) {
+	if _, err := SolveTraffic([]float64{1}, [][]float64{{1.0}}); err == nil {
+		t.Error("closed cycle should be singular")
+	}
+	if _, err := SolveTraffic([]float64{1, 1}, [][]float64{{0, 0}}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+	if _, err := SolveTraffic([]float64{1}, [][]float64{{-0.1}}); err == nil {
+		t.Error("negative routing probability should error")
+	}
+	if _, err := SolveTraffic([]float64{1, 0}, [][]float64{{0.7, 0.7}, {0, 0}}); err == nil {
+		t.Error("row sum > 1 should error")
+	}
+	if _, err := SolveTraffic([]float64{1, 0}, [][]float64{{0, 1}, {0}}); err == nil {
+		t.Error("ragged routing should error")
+	}
+}
+
+func TestOpenLoopValidate(t *testing.T) {
+	good := OpenLoop{Lambda: 10, MuCh: 100, Pc: 0.1, Pd: 0.2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := []OpenLoop{
+		{Lambda: -1, MuCh: 1, Pc: 0, Pd: 0.5},
+		{Lambda: 1, MuCh: 0, Pc: 0, Pd: 0.5},
+		{Lambda: 1, MuCh: 1, Pc: -0.1, Pd: 0.5},
+		{Lambda: 1, MuCh: 1, Pc: 1.1, Pd: 0.5},
+		{Lambda: 1, MuCh: 1, Pc: 0.5, Pd: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestOpenLoopFlowConservation(t *testing.T) {
+	// λ̂_I + λ̂_C must equal λ/p_d for all parameters (the paper's
+	// aggregate-throughput identity).
+	f := func(pc8, pd8, l8 uint8) bool {
+		pc := float64(pc8%100) / 100
+		pd := 0.01 + float64(pd8%99)/100
+		lambda := 0.1 + float64(l8)
+		m := OpenLoop{Lambda: lambda, MuCh: 1000, Pc: pc, Pd: pd}
+		return almost(m.LambdaI()+m.LambdaC(), m.Throughput(), 1e-6*m.Throughput())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpenLoopStability(t *testing.T) {
+	m := OpenLoop{Lambda: 20, MuCh: 128, Pc: 0.1, Pd: 0.2}
+	if !m.Stable() { // ρ = 20/25.6 < 1
+		t.Error("should be stable")
+	}
+	m.Pd = 0.1 // ρ = 20/12.8 > 1
+	if m.Stable() {
+		t.Error("should be unstable")
+	}
+	if !math.IsNaN(m.Consistency()) {
+		t.Error("unstable consistency should be NaN")
+	}
+}
+
+func TestOpenLoopConsistencyMonotonicity(t *testing.T) {
+	// Consistency must fall as loss rises and as death rate rises
+	// (Figure 3's qualitative content).
+	base := OpenLoop{Lambda: 20, MuCh: 128, Pc: 0.05, Pd: 0.3}
+	moreLoss := base
+	moreLoss.Pc = 0.4
+	if base.BusyConsistency() <= moreLoss.BusyConsistency() {
+		t.Error("busy consistency should fall with loss")
+	}
+	if base.Consistency() <= moreLoss.Consistency() {
+		t.Error("consistency should fall with loss")
+	}
+	moreDeath := base
+	moreDeath.Pd = 0.6
+	if base.BusyConsistency() <= moreDeath.BusyConsistency() {
+		t.Error("busy consistency should fall with death rate")
+	}
+}
+
+func TestOpenLoopZeroLoss(t *testing.T) {
+	m := OpenLoop{Lambda: 10, MuCh: 100, Pc: 0, Pd: 0.2}
+	// With no loss, every record is consistent after its first
+	// transmission; the fraction of services that are redundant is the
+	// expected fraction of a record's lifetime spent consistent:
+	// (1/p_d - 1)/(1/p_d) = 1-p_d.
+	if !almost(m.BusyConsistency(), 1-m.Pd, 1e-12) {
+		t.Errorf("q at p_c=0: %v, want %v", m.BusyConsistency(), 1-m.Pd)
+	}
+	if !almost(m.DeliveryProbability(), 1, 1e-12) {
+		t.Errorf("delivery probability = %v", m.DeliveryProbability())
+	}
+	if !almost(m.ExpectedFirstDeliveryTries(), 1, 1e-12) {
+		t.Errorf("first-delivery tries = %v", m.ExpectedFirstDeliveryTries())
+	}
+}
+
+func TestOpenLoopFigure4Anchor(t *testing.T) {
+	// Paper: "at ... an announcement death rate of 10%, about 90% of
+	// the total available bandwidth is wasted" at low loss.
+	m := OpenLoop{Lambda: 10, MuCh: 1000, Pc: 0.0, Pd: 0.10}
+	if !almost(m.RedundantFraction(), 0.9, 1e-9) {
+		t.Errorf("redundant fraction = %v, want 0.9", m.RedundantFraction())
+	}
+	m.Pc = 0.2
+	if m.RedundantFraction() >= 0.9 || m.RedundantFraction() < 0.8 {
+		t.Errorf("redundant fraction at 20%% loss = %v, want slightly below 0.9", m.RedundantFraction())
+	}
+}
+
+func TestOpenLoopPJointNormalizes(t *testing.T) {
+	m := OpenLoop{Lambda: 15, MuCh: 60, Pc: 0.2, Pd: 0.4}
+	sum := 0.0
+	for ni := 0; ni < 60; ni++ {
+		for nc := 0; nc < 60; nc++ {
+			sum += m.PJoint(ni, nc)
+		}
+	}
+	if !almost(sum, 1, 1e-6) {
+		t.Errorf("ΣΣ PJoint = %v", sum)
+	}
+	if m.PJoint(-1, 0) != 0 || m.PJoint(0, -1) != 0 {
+		t.Error("negative occupancy should have probability 0")
+	}
+}
+
+func TestOpenLoopPJointMatchesConsistency(t *testing.T) {
+	// Σ_{n>0} (nc/n)·P(ni,nc) must equal the closed form ρ·q.
+	m := OpenLoop{Lambda: 15, MuCh: 60, Pc: 0.2, Pd: 0.4}
+	sum := 0.0
+	for ni := 0; ni < 80; ni++ {
+		for nc := 0; nc < 80; nc++ {
+			if ni+nc == 0 {
+				continue
+			}
+			sum += float64(nc) / float64(ni+nc) * m.PJoint(ni, nc)
+		}
+	}
+	if !almost(sum, m.Consistency(), 1e-6) {
+		t.Errorf("Σ (nc/n)P = %v, closed form = %v", sum, m.Consistency())
+	}
+}
+
+func TestTable1RowsSumToOne(t *testing.T) {
+	f := func(pc8, pd8 uint8) bool {
+		m := OpenLoop{
+			Lambda: 1, MuCh: 10,
+			Pc: float64(pc8%101) / 100,
+			Pd: 0.01 + float64(pd8%99)/100,
+		}
+		tb := m.Table1()
+		sumI := tb.IEnter[0] + tb.IEnter[1] + tb.IEnter[2]
+		sumC := tb.CEnter[0] + tb.CEnter[1] + tb.CEnter[2]
+		return almost(sumI, 1, 1e-12) && almost(sumC, 1, 1e-12) && tb.CEnter[0] == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeliveryProbabilityBounds(t *testing.T) {
+	f := func(pc8, pd8 uint8) bool {
+		m := OpenLoop{
+			Lambda: 1, MuCh: 10,
+			Pc: float64(pc8%101) / 100,
+			Pd: 0.01 + float64(pd8%99)/100,
+		}
+		p := m.DeliveryProbability()
+		return p >= 0 && p <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

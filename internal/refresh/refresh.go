@@ -1,0 +1,258 @@
+// Package refresh models the classic timer-driven announce/listen
+// mechanism that most deployed soft-state protocols (RSVP, SAP, PIM)
+// actually use — each record is re-announced every refresh period T,
+// and the receiver expires its replica if no refresh arrives within a
+// timeout, conventionally k·T — together with the *scalable timers*
+// refinement of Sharma et al. (INFOCOM '97), which the paper cites as
+// the state of the art for choosing T and k adaptively:
+//
+//   - the sender spaces refreshes to fit its table into its bandwidth
+//     budget (T grows with the table, keeping traffic constant), and
+//   - the receiver estimates the sender's actual refresh interval from
+//     observed inter-arrival times and sets its timeout as a multiple
+//     of the estimate, rather than from a configured constant.
+//
+// The package answers the two questions the queue-driven model in
+// internal/core does not: how often does a live record falsely expire
+// at the receiver (a refresh run of losses exceeding the timeout), and
+// how stale does a dead record linger. The false-expiry probability
+// for timeout k·T under i.i.d. loss p is p^k; the simulator validates
+// this and the adaptive-timer variant against it.
+package refresh
+
+import (
+	"fmt"
+	"math"
+
+	"softstate/internal/eventsim"
+	"softstate/internal/xrand"
+)
+
+// Config parameterizes a timer-driven announce/listen run.
+type Config struct {
+	Seed int64
+
+	// Records is the (static) table size being refreshed.
+	Records int
+
+	// Period is the base refresh period T in seconds (each record is
+	// announced every T, with up to ±Jitter·T of randomization, as
+	// deployed protocols do to avoid synchronization).
+	Period float64
+	Jitter float64 // fraction of T, default 0.1
+
+	// K is the receiver timeout multiplier: a replica expires if no
+	// refresh arrives for K·T (RSVP uses K=3).
+	K float64
+
+	// LossRate is the per-refresh loss probability.
+	LossRate float64
+
+	// Adaptive enables scalable timers: the receiver estimates the
+	// refresh interval from observed arrivals (EWMA + variance
+	// margin, RFC 6298-style) instead of trusting the configured T,
+	// and times out after K times the estimate.
+	Adaptive bool
+
+	// Bandwidth, if positive, caps refresh traffic: the sender spaces
+	// announcements so that Records·PacketBits/T ≤ Bandwidth,
+	// stretching T as the table grows (the sender-side half of
+	// scalable timers).
+	Bandwidth  float64
+	PacketBits float64 // default 1000
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Records <= 0 {
+		return c, fmt.Errorf("refresh: Records %d must be positive", c.Records)
+	}
+	if c.Period <= 0 {
+		return c, fmt.Errorf("refresh: Period %v must be positive", c.Period)
+	}
+	if c.K < 1 {
+		return c, fmt.Errorf("refresh: K %v must be >= 1", c.K)
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return c, fmt.Errorf("refresh: LossRate %v out of [0,1)", c.LossRate)
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.1
+	}
+	if c.Jitter < 0 || c.Jitter >= 1 {
+		return c, fmt.Errorf("refresh: Jitter %v out of [0,1)", c.Jitter)
+	}
+	if c.PacketBits == 0 {
+		c.PacketBits = 1000
+	}
+	return c, nil
+}
+
+// Result summarizes a run.
+type Result struct {
+	EffectivePeriod float64 // the sender's actual T after bandwidth stretch
+
+	Refreshes  int // refresh transmissions
+	Delivered  int
+	FalseExpir int // replica expired while the record was live
+
+	// FalseExpiryRate is false expiries per record per refresh
+	// opportunity — comparable to the analytic p^K.
+	FalseExpiryRate float64
+
+	// AnalyticRate is the i.i.d. prediction p^ceil(K) for the
+	// configured timeout multiplier.
+	AnalyticRate float64
+
+	// MeanTimeoutError is the mean |receiver timeout − K·T| /(K·T)
+	// under adaptive estimation (0 for the static variant).
+	MeanTimeoutError float64
+
+	// Downtime is the mean fraction of time a live record spent
+	// expired at the receiver (unavailability caused by false
+	// expiry).
+	Downtime float64
+}
+
+type recordState struct {
+	expireEv   *eventsim.Event
+	down       bool
+	downSince  float64
+	downTotal  float64
+	est        *intervalEstimator
+	lastHeard  float64
+	everHeard  bool
+	falseDrops int
+}
+
+// intervalEstimator is the receiver half of scalable timers: an
+// EWMA/variance estimator of the sender's refresh interval.
+type intervalEstimator struct {
+	srtt, rttvar float64
+	init         bool
+}
+
+func (e *intervalEstimator) observe(sample float64) {
+	if !e.init {
+		e.init = true
+		e.srtt = sample
+		e.rttvar = sample / 2
+		return
+	}
+	const alpha, beta = 0.125, 0.25
+	e.rttvar = (1-beta)*e.rttvar + beta*math.Abs(e.srtt-sample)
+	e.srtt = (1-alpha)*e.srtt + alpha*sample
+}
+
+// timeout returns the estimated safe timeout for multiplier k.
+func (e *intervalEstimator) timeout(k float64) float64 {
+	if !e.init {
+		return 0
+	}
+	return k * (e.srtt + 4*e.rttvar)
+}
+
+// Run simulates the refresh process for the given duration (seconds).
+func Run(cfg Config, duration float64) (Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	if duration <= 0 {
+		return Result{}, fmt.Errorf("refresh: duration %v must be positive", duration)
+	}
+	sim := eventsim.New()
+	rnd := xrand.New(cfg.Seed)
+	lossRnd := rnd.Split()
+	jitRnd := rnd.Split()
+
+	period := cfg.Period
+	if cfg.Bandwidth > 0 {
+		needed := float64(cfg.Records) * cfg.PacketBits / cfg.Bandwidth
+		if needed > period {
+			period = needed // sender-side stretch: keep traffic within budget
+		}
+	}
+
+	res := Result{EffectivePeriod: period}
+	states := make([]*recordState, cfg.Records)
+	var timeoutErrSum float64
+	var timeoutErrN int
+
+	for i := range states {
+		st := &recordState{est: &intervalEstimator{}}
+		states[i] = st
+		i := i
+		_ = i
+
+		var arm func()
+		arm = func() {
+			// (Re)arm the receiver's expiry timer.
+			var to float64
+			if cfg.Adaptive && st.est.init {
+				to = st.est.timeout(cfg.K)
+				timeoutErrSum += math.Abs(to-cfg.K*period) / (cfg.K * period)
+				timeoutErrN++
+			} else {
+				to = cfg.K * period
+			}
+			if st.expireEv != nil {
+				sim.Cancel(st.expireEv)
+			}
+			st.expireEv = sim.After(to, func() {
+				// Timer lapsed without a refresh: false expiry (the
+				// record is live for the whole run).
+				if !st.down {
+					st.down = true
+					st.downSince = float64(sim.Now())
+					st.falseDrops++
+					res.FalseExpir++
+				}
+			})
+		}
+
+		// Sender: refresh every `period` with jitter.
+		var refresh func()
+		refresh = func() {
+			res.Refreshes++
+			if !lossRnd.Bernoulli(cfg.LossRate) {
+				res.Delivered++
+				now := float64(sim.Now())
+				if st.everHeard {
+					st.est.observe(now - st.lastHeard)
+				}
+				st.lastHeard = now
+				st.everHeard = true
+				if st.down {
+					st.down = false
+					st.downTotal += now - st.downSince
+				}
+				arm()
+			}
+			next := period * (1 + jitRnd.Uniform(-cfg.Jitter, cfg.Jitter))
+			sim.After(next, refresh)
+		}
+		// Stagger initial refreshes uniformly across one period.
+		sim.After(jitRnd.Uniform(0, period), refresh)
+	}
+
+	sim.RunUntil(eventsim.Time(duration))
+
+	// Close out downtime intervals.
+	downSum := 0.0
+	for _, st := range states {
+		if st.down {
+			st.downTotal += duration - st.downSince
+		}
+		downSum += st.downTotal
+	}
+	res.Downtime = downSum / (float64(cfg.Records) * duration)
+	opportunities := res.Refreshes
+	if opportunities > 0 {
+		res.FalseExpiryRate = float64(res.FalseExpir) / float64(opportunities)
+	}
+	res.AnalyticRate = math.Pow(cfg.LossRate, math.Ceil(cfg.K))
+	if timeoutErrN > 0 {
+		res.MeanTimeoutError = timeoutErrSum / float64(timeoutErrN)
+	}
+	return res, nil
+}

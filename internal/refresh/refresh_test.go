@@ -1,0 +1,189 @@
+package refresh
+
+import (
+	"math"
+	"testing"
+)
+
+func mustRun(t *testing.T, cfg Config, dur float64) Result {
+	t.Helper()
+	res, err := Run(cfg, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestNoLossNoFalseExpiry(t *testing.T) {
+	res := mustRun(t, Config{
+		Seed: 1, Records: 50, Period: 5, K: 3, LossRate: 0,
+	}, 2000)
+	if res.FalseExpir != 0 {
+		t.Errorf("lossless run had %d false expiries", res.FalseExpir)
+	}
+	if res.Downtime != 0 {
+		t.Errorf("lossless downtime = %v", res.Downtime)
+	}
+	if res.Delivered != res.Refreshes {
+		t.Errorf("delivered %d != refreshes %d", res.Delivered, res.Refreshes)
+	}
+}
+
+// TestFalseExpiryMatchesPK validates the classic result: with timeout
+// K·T and i.i.d. loss p, a replica falsely expires when K consecutive
+// refreshes are lost, i.e. at rate ≈ p^K per refresh opportunity.
+func TestFalseExpiryMatchesPK(t *testing.T) {
+	for _, tc := range []struct {
+		p float64
+		k float64
+	}{
+		{0.3, 2},
+		{0.3, 3},
+		{0.5, 3},
+	} {
+		res := mustRun(t, Config{
+			Seed: 2, Records: 200, Period: 2, K: tc.k, LossRate: tc.p,
+			Jitter: 0.01,
+		}, 4000)
+		want := math.Pow(tc.p, tc.k)
+		if res.FalseExpiryRate < want/3 || res.FalseExpiryRate > want*3 {
+			t.Errorf("p=%v k=%v: false-expiry rate %.5f, analytic %.5f",
+				tc.p, tc.k, res.FalseExpiryRate, want)
+		}
+		if res.AnalyticRate != want {
+			t.Errorf("AnalyticRate = %v, want %v", res.AnalyticRate, want)
+		}
+	}
+}
+
+func TestLargerKReducesFalseExpiry(t *testing.T) {
+	base := Config{Seed: 3, Records: 200, Period: 2, LossRate: 0.4, Jitter: 0.01}
+	k2 := base
+	k2.K = 2
+	k4 := base
+	k4.K = 4
+	r2 := mustRun(t, k2, 3000)
+	r4 := mustRun(t, k4, 3000)
+	if r4.FalseExpiryRate >= r2.FalseExpiryRate {
+		t.Errorf("K=4 rate %.5f not below K=2 rate %.5f", r4.FalseExpiryRate, r2.FalseExpiryRate)
+	}
+	if r2.FalseExpir == 0 {
+		t.Error("expected some false expiries at 40% loss, K=2")
+	}
+}
+
+func TestDowntimeGrowsWithLoss(t *testing.T) {
+	base := Config{Seed: 4, Records: 100, Period: 2, K: 2, Jitter: 0.01}
+	lo := base
+	lo.LossRate = 0.2
+	hi := base
+	hi.LossRate = 0.6
+	rlo := mustRun(t, lo, 3000)
+	rhi := mustRun(t, hi, 3000)
+	if rhi.Downtime <= rlo.Downtime {
+		t.Errorf("downtime at 60%% loss (%.4f) not above 20%% loss (%.4f)", rhi.Downtime, rlo.Downtime)
+	}
+}
+
+// TestAdaptiveTimersTrackThePeriod checks the receiver-side scalable
+// timer: the estimated timeout should track K·T closely once warmed
+// up, even though the receiver is never told T.
+func TestAdaptiveTimersTrackThePeriod(t *testing.T) {
+	res := mustRun(t, Config{
+		Seed: 5, Records: 100, Period: 3, K: 3, LossRate: 0.1,
+		Adaptive: true,
+	}, 3000)
+	// The estimator adds a 4·var safety margin, and loss doubles some
+	// observed intervals, so the timeout sits conservatively above
+	// K·T — but it must stay within ~2.5× of it.
+	if res.MeanTimeoutError > 1.5 {
+		t.Errorf("adaptive timeout error %.3f too large", res.MeanTimeoutError)
+	}
+	if res.MeanTimeoutError == 0 {
+		t.Error("adaptive run reported zero timeout error (estimator unused?)")
+	}
+}
+
+// TestAdaptiveNoWorseThanStatic compares false-expiry rates: the
+// adaptive timeout (with its variance margin) should not be
+// dramatically worse than the static K·T timeout.
+func TestAdaptiveNoWorseThanStatic(t *testing.T) {
+	base := Config{Seed: 6, Records: 200, Period: 2, K: 2, LossRate: 0.4, Jitter: 0.05}
+	static := mustRun(t, base, 3000)
+	ad := base
+	ad.Adaptive = true
+	adaptive := mustRun(t, ad, 3000)
+	if adaptive.FalseExpiryRate > 2*static.FalseExpiryRate+0.01 {
+		t.Errorf("adaptive rate %.5f much worse than static %.5f",
+			adaptive.FalseExpiryRate, static.FalseExpiryRate)
+	}
+}
+
+// TestBandwidthStretchesPeriod checks the sender half of scalable
+// timers: a table too large for the budget stretches T.
+func TestBandwidthStretchesPeriod(t *testing.T) {
+	res := mustRun(t, Config{
+		Seed: 7, Records: 100, Period: 1, K: 3, LossRate: 0,
+		Bandwidth: 10_000, PacketBits: 1000, // need 100 kbit/s, have 10
+	}, 500)
+	if math.Abs(res.EffectivePeriod-10) > 1e-9 {
+		t.Errorf("EffectivePeriod = %v, want 10 (stretched)", res.EffectivePeriod)
+	}
+	// Traffic must respect the budget: refreshes ≈ duration/T per record.
+	maxRefreshes := int(500.0/10.0*100.0) + 100
+	if res.Refreshes > maxRefreshes {
+		t.Errorf("refreshes %d exceed the bandwidth budget (max ≈ %d)", res.Refreshes, maxRefreshes)
+	}
+}
+
+func TestBandwidthAmpleKeepsPeriod(t *testing.T) {
+	res := mustRun(t, Config{
+		Seed: 8, Records: 10, Period: 5, K: 3, LossRate: 0,
+		Bandwidth: 1e9,
+	}, 100)
+	if res.EffectivePeriod != 5 {
+		t.Errorf("ample bandwidth changed the period: %v", res.EffectivePeriod)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 9, Records: 50, Period: 2, K: 2, LossRate: 0.3}
+	a := mustRun(t, cfg, 1000)
+	b := mustRun(t, cfg, 1000)
+	if a != b {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Records: 1},
+		{Records: 1, Period: 1}, // K < 1
+		{Records: 1, Period: 1, K: 2, LossRate: 1},
+		{Records: 1, Period: 1, K: 2, Jitter: 1.5},
+		{Records: -5, Period: 1, K: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg, 100); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := Run(Config{Records: 1, Period: 1, K: 2}, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestIntervalEstimator(t *testing.T) {
+	e := &intervalEstimator{}
+	if e.timeout(3) != 0 {
+		t.Error("uninitialized estimator returned a timeout")
+	}
+	for i := 0; i < 100; i++ {
+		e.observe(2.0)
+	}
+	// With constant samples, variance → 0 and timeout → k·T.
+	if got := e.timeout(3); math.Abs(got-6) > 0.5 {
+		t.Errorf("timeout = %v, want ≈6", got)
+	}
+}

@@ -1,0 +1,308 @@
+// Package routed is a RIP-flavoured routing application built on SSTP
+// — route advertisements as soft state, the setting in which Clark
+// coined the term: a router announces its routes periodically; a
+// neighbor holds each route only while refreshes keep arriving, so a
+// crashed router's routes drain from the network by themselves, and a
+// recomputed path re-establishes through normal announcements.
+//
+// A Router wraps an SSTP sender (one adjacency per neighbor group); a
+// RIB merges the replicas of any number of adjacencies — one SSTP
+// receiver per neighbor — and runs best-path selection (lowest metric,
+// ties by origin name) with change notifications.
+package routed
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"softstate/internal/sstp"
+)
+
+// Infinity is the RIP unreachable metric; routes at or above it are
+// treated as withdrawn.
+const Infinity = 16
+
+// Route is one advertised path.
+type Route struct {
+	Prefix  string // e.g. "10.1.2.0/24"
+	NextHop string
+	Metric  int    // 1..15; >= Infinity means unreachable
+	Origin  string // advertising router's name
+}
+
+// Validate checks advertisability.
+func (r Route) Validate() error {
+	if r.Prefix == "" || strings.ContainsAny(r.Prefix, " \n") {
+		return fmt.Errorf("routed: bad prefix %q", r.Prefix)
+	}
+	if strings.Contains(r.Prefix, "//") {
+		return fmt.Errorf("routed: bad prefix %q", r.Prefix)
+	}
+	if r.Metric < 1 || r.Metric > Infinity {
+		return fmt.Errorf("routed: metric %d out of [1, %d]", r.Metric, Infinity)
+	}
+	if strings.ContainsAny(r.NextHop, " \n") {
+		return fmt.Errorf("routed: bad next hop %q", r.NextHop)
+	}
+	return nil
+}
+
+// marshal encodes a route value (prefix and origin live in the key).
+func (r Route) marshal() []byte {
+	return []byte(fmt.Sprintf("metric=%d nexthop=%s", r.Metric, r.NextHop))
+}
+
+func unmarshalRoute(prefix, origin string, value []byte) (Route, error) {
+	r := Route{Prefix: prefix, Origin: origin}
+	for _, f := range strings.Fields(string(value)) {
+		kv := strings.SplitN(f, "=", 2)
+		if len(kv) != 2 {
+			return r, fmt.Errorf("routed: malformed field %q", f)
+		}
+		switch kv[0] {
+		case "metric":
+			m, err := strconv.Atoi(kv[1])
+			if err != nil {
+				return r, fmt.Errorf("routed: bad metric %q", kv[1])
+			}
+			r.Metric = m
+		case "nexthop":
+			r.NextHop = kv[1]
+		}
+	}
+	if r.Metric == 0 {
+		return r, fmt.Errorf("routed: missing metric")
+	}
+	return r, nil
+}
+
+// keyFor encodes a route key; prefixes may contain '/', which the
+// namespace treats as hierarchy — convenient, since descent repair
+// then recovers whole address blocks together.
+func keyFor(prefix string) string { return "routes/" + prefix }
+
+func prefixOf(key string) (string, bool) {
+	if !strings.HasPrefix(key, "routes/") {
+		return "", false
+	}
+	return strings.TrimPrefix(key, "routes/"), true
+}
+
+// Router is the advertising side of one adjacency.
+type Router struct {
+	name   string
+	sender *sstp.Sender
+}
+
+// NewRouter wraps a started-or-startable SSTP sender; name identifies
+// this router to its neighbors' RIBs.
+func NewRouter(name string, sender *sstp.Sender) *Router {
+	if name == "" || sender == nil {
+		panic("routed: router needs a name and a sender")
+	}
+	return &Router{name: name, sender: sender}
+}
+
+// Name returns the router's name.
+func (rt *Router) Name() string { return rt.name }
+
+// Advertise announces or updates a route. A metric >= Infinity
+// withdraws it (poisoned-route semantics).
+func (rt *Router) Advertise(r Route) error {
+	r.Origin = rt.name
+	if r.Metric >= Infinity {
+		rt.Withdraw(r.Prefix)
+		return nil
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	return rt.sender.Publish(keyFor(r.Prefix), r.marshal(), 0)
+}
+
+// Withdraw removes a route advertisement.
+func (rt *Router) Withdraw(prefix string) bool {
+	return rt.sender.Delete(keyFor(prefix))
+}
+
+// Len returns the number of advertised routes.
+func (rt *Router) Len() int { return rt.sender.Len() }
+
+// RIB merges route replicas from any number of adjacencies and keeps
+// the best path per prefix.
+type RIB struct {
+	mu     sync.Mutex
+	routes map[string]map[string]Route // prefix -> origin -> route
+	best   map[string]Route
+	rcvs   []*sstp.Receiver
+
+	// OnBestChange fires when a prefix's best route changes or
+	// disappears (ok=false).
+	OnBestChange func(prefix string, best Route, ok bool)
+}
+
+// NewRIB returns an empty routing information base.
+func NewRIB() *RIB {
+	return &RIB{
+		routes: make(map[string]map[string]Route),
+		best:   make(map[string]Route),
+	}
+}
+
+// AddAdjacency creates an SSTP receiver from cfg that feeds this RIB,
+// attributing routes to the named origin router. The receiver is
+// started; Close the RIB to stop all adjacencies.
+func (rib *RIB) AddAdjacency(origin string, cfg sstp.ReceiverConfig) (*sstp.Receiver, error) {
+	if origin == "" {
+		return nil, fmt.Errorf("routed: adjacency needs an origin name")
+	}
+	userUpdate, userExpire := cfg.OnUpdate, cfg.OnExpire
+	cfg.OnUpdate = func(key string, value []byte, version uint64) {
+		rib.apply(origin, key, value)
+		if userUpdate != nil {
+			userUpdate(key, value, version)
+		}
+	}
+	cfg.OnExpire = func(key string) {
+		rib.remove(origin, key)
+		if userExpire != nil {
+			userExpire(key)
+		}
+	}
+	r, err := sstp.NewReceiver(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rib.mu.Lock()
+	rib.rcvs = append(rib.rcvs, r)
+	rib.mu.Unlock()
+	r.Start()
+	return r, nil
+}
+
+// Close stops every adjacency receiver.
+func (rib *RIB) Close() {
+	rib.mu.Lock()
+	rcvs := append([]*sstp.Receiver(nil), rib.rcvs...)
+	rib.mu.Unlock()
+	for _, r := range rcvs {
+		r.Close()
+	}
+}
+
+func (rib *RIB) apply(origin, key string, value []byte) {
+	prefix, ok := prefixOf(key)
+	if !ok {
+		return
+	}
+	route, err := unmarshalRoute(prefix, origin, value)
+	if err != nil || route.Metric >= Infinity {
+		rib.remove(origin, key)
+		return
+	}
+	rib.mu.Lock()
+	byOrigin := rib.routes[prefix]
+	if byOrigin == nil {
+		byOrigin = make(map[string]Route)
+		rib.routes[prefix] = byOrigin
+	}
+	byOrigin[origin] = route
+	changed, best, ok := rib.reselect(prefix)
+	cb := rib.OnBestChange
+	rib.mu.Unlock()
+	if changed && cb != nil {
+		cb(prefix, best, ok)
+	}
+}
+
+func (rib *RIB) remove(origin, key string) {
+	prefix, ok := prefixOf(key)
+	if !ok {
+		return
+	}
+	rib.mu.Lock()
+	if byOrigin := rib.routes[prefix]; byOrigin != nil {
+		delete(byOrigin, origin)
+		if len(byOrigin) == 0 {
+			delete(rib.routes, prefix)
+		}
+	}
+	changed, best, okBest := rib.reselect(prefix)
+	cb := rib.OnBestChange
+	rib.mu.Unlock()
+	if changed && cb != nil {
+		cb(prefix, best, okBest)
+	}
+}
+
+// reselect recomputes the best route for prefix. Caller holds rib.mu.
+// It reports whether the best changed.
+func (rib *RIB) reselect(prefix string) (changed bool, best Route, ok bool) {
+	prev, had := rib.best[prefix]
+	byOrigin := rib.routes[prefix]
+	if len(byOrigin) == 0 {
+		delete(rib.best, prefix)
+		return had, Route{}, false
+	}
+	first := true
+	for _, r := range byOrigin {
+		if first || better(r, best) {
+			best = r
+			first = false
+		}
+	}
+	rib.best[prefix] = best
+	return !had || prev != best, best, true
+}
+
+// better orders routes: lower metric wins; ties break by origin name
+// for determinism.
+func better(a, b Route) bool {
+	if a.Metric != b.Metric {
+		return a.Metric < b.Metric
+	}
+	return a.Origin < b.Origin
+}
+
+// Best returns the selected route for prefix.
+func (rib *RIB) Best(prefix string) (Route, bool) {
+	rib.mu.Lock()
+	defer rib.mu.Unlock()
+	r, ok := rib.best[prefix]
+	return r, ok
+}
+
+// Table returns the best route per prefix, sorted by prefix.
+func (rib *RIB) Table() []Route {
+	rib.mu.Lock()
+	defer rib.mu.Unlock()
+	out := make([]Route, 0, len(rib.best))
+	for _, r := range rib.best {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix < out[j].Prefix })
+	return out
+}
+
+// Alternates returns every known route for prefix (all origins),
+// best first.
+func (rib *RIB) Alternates(prefix string) []Route {
+	rib.mu.Lock()
+	defer rib.mu.Unlock()
+	out := make([]Route, 0, len(rib.routes[prefix]))
+	for _, r := range rib.routes[prefix] {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return better(out[i], out[j]) })
+	return out
+}
+
+// Len returns the number of prefixes with a selected route.
+func (rib *RIB) Len() int {
+	rib.mu.Lock()
+	defer rib.mu.Unlock()
+	return len(rib.best)
+}

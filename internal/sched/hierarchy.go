@@ -1,0 +1,150 @@
+package sched
+
+import "fmt"
+
+// Hierarchy is a two-or-more-level link-sharing scheduler in the
+// spirit of CBQ/H-FSC, used by SSTP's application-controlled
+// bandwidth allocation (paper Figure 12): an application builds a
+// tree — e.g. {data:{hot, cold}, feedback} — and capacity is shared
+// proportionally at each level, work-conserving across siblings.
+//
+// Leaves carry the Scheduler class ids handed to the transport. The
+// tree composes any Scheduler implementation at each interior node.
+type Hierarchy struct {
+	root   *Node
+	leaves []*Node
+	mk     func() Scheduler
+}
+
+// Node is one vertex of the sharing tree.
+type Node struct {
+	name     string
+	weight   float64
+	parent   *Node
+	children []*Node
+	sched    Scheduler // interior nodes: picks among children
+	childIdx int       // this node's class id within parent.sched
+	leafID   int       // leaves: dense external id
+}
+
+// Name returns the node's label.
+func (n *Node) Name() string { return n.name }
+
+// Weight returns the node's share weight among its siblings.
+func (n *Node) Weight() float64 { return n.weight }
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.children) == 0 }
+
+// LeafID returns the external class id (valid only for leaves).
+func (n *Node) LeafID() int { return n.leafID }
+
+// NewHierarchy builds a sharing tree whose interior nodes each use a
+// fresh Scheduler from mk (e.g. func() Scheduler { return NewStride() }).
+func NewHierarchy(mk func() Scheduler) *Hierarchy {
+	if mk == nil {
+		panic("sched: nil scheduler factory")
+	}
+	h := &Hierarchy{mk: mk}
+	h.root = &Node{name: "root", weight: 1, sched: mk()}
+	return h
+}
+
+// Root returns the root node.
+func (h *Hierarchy) Root() *Node { return h.root }
+
+// AddNode attaches an interior node under parent with the given share
+// weight among its siblings.
+func (h *Hierarchy) AddNode(parent *Node, name string, weight float64) *Node {
+	checkWeight(weight)
+	h.mustBeInterior(parent)
+	n := &Node{name: name, weight: weight, parent: parent, sched: h.mk()}
+	n.childIdx = parent.sched.Add(weight)
+	parent.children = append(parent.children, n)
+	return n
+}
+
+// AddLeaf attaches a leaf class under parent, returning the node; its
+// LeafID is the id used with Pick/Charge.
+func (h *Hierarchy) AddLeaf(parent *Node, name string, weight float64) *Node {
+	checkWeight(weight)
+	h.mustBeInterior(parent)
+	n := &Node{name: name, weight: weight, parent: parent, leafID: len(h.leaves)}
+	n.childIdx = parent.sched.Add(weight)
+	parent.children = append(parent.children, n)
+	h.leaves = append(h.leaves, n)
+	return n
+}
+
+func (h *Hierarchy) mustBeInterior(n *Node) {
+	if n == nil {
+		panic("sched: nil parent")
+	}
+	if n.sched == nil {
+		panic(fmt.Sprintf("sched: node %q is a leaf and cannot have children", n.name))
+	}
+}
+
+// Leaves returns the number of leaf classes.
+func (h *Hierarchy) Leaves() int { return len(h.leaves) }
+
+// SetNodeWeight changes a node's share among its siblings.
+func (h *Hierarchy) SetNodeWeight(n *Node, weight float64) {
+	checkWeight(weight)
+	n.weight = weight
+	if n.parent != nil {
+		n.parent.sched.SetWeight(n.childIdx, weight)
+	}
+}
+
+// Pick descends the tree from the root, at each interior node choosing
+// among children that have at least one ready descendant leaf, and
+// returns the chosen leaf's id.
+func (h *Hierarchy) Pick(ready func(leafID int) bool) (int, bool) {
+	n := h.root
+	for !n.IsLeaf() {
+		idx, ok := n.sched.Pick(func(ci int) bool {
+			return h.subtreeReady(n.children[ci], ready)
+		})
+		if !ok {
+			return 0, false
+		}
+		n = n.children[idx]
+	}
+	return n.leafID, true
+}
+
+func (h *Hierarchy) subtreeReady(n *Node, ready func(int) bool) bool {
+	if n.IsLeaf() {
+		return ready(n.leafID)
+	}
+	for _, c := range n.children {
+		if h.subtreeReady(c, ready) {
+			return true
+		}
+	}
+	return false
+}
+
+// Charge accounts service to the leaf and every ancestor's scheduler,
+// so sharing is enforced at each level of the tree.
+func (h *Hierarchy) Charge(leafID int, units float64) {
+	if leafID < 0 || leafID >= len(h.leaves) {
+		panic(fmt.Sprintf("sched: leaf id %d out of range", leafID))
+	}
+	for n := h.leaves[leafID]; n.parent != nil; n = n.parent {
+		n.parent.sched.Charge(n.childIdx, units)
+	}
+}
+
+// Add implements Scheduler by creating a leaf directly under the
+// root, so a flat Hierarchy is a drop-in Scheduler.
+func (h *Hierarchy) Add(weight float64) int {
+	return h.AddLeaf(h.root, fmt.Sprintf("leaf%d", len(h.leaves)), weight).leafID
+}
+
+// Weight implements Scheduler for root-level leaves.
+func (h *Hierarchy) Weight(id int) float64 { return h.leaves[id].weight }
+
+// SetWeight implements Scheduler weight updates by leaf id.
+func (h *Hierarchy) SetWeight(id int, weight float64) { h.SetNodeWeight(h.leaves[id], weight) }

@@ -1,0 +1,341 @@
+// Package sched implements the proportional-share link schedulers the
+// paper builds its two-queue ("hot"/"cold") transmission model on:
+// randomized lottery scheduling, deterministic stride scheduling,
+// start-time weighted fair queueing, deficit round-robin, and a
+// two-level hierarchical scheduler in the spirit of CBQ/H-FSC for
+// SSTP's application-controlled bandwidth allocation.
+//
+// All schedulers share one small interface: classes are registered
+// with weights; Pick selects the next ready class; Charge accounts the
+// actual service consumed. Picking only among ready classes makes
+// every policy work-conserving, which realizes the paper's "unused
+// excess hot bandwidth is consumed by transmissions from the cold
+// queue".
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"softstate/internal/xrand"
+)
+
+// Scheduler selects which of several transmission classes to serve
+// next, sharing capacity in proportion to class weights.
+type Scheduler interface {
+	// Add registers a class with the given positive weight and
+	// returns its id (dense, starting at 0).
+	Add(weight float64) int
+	// SetWeight changes a class's weight. Weight zero starves the
+	// class unless it is the only ready one (schedulers may treat a
+	// zero weight as an epsilon to avoid total starvation).
+	SetWeight(id int, weight float64)
+	// Weight returns the class's weight.
+	Weight(id int) float64
+	// Pick returns the id of the next class to serve among those for
+	// which ready(id) is true, or ok=false if none are ready.
+	Pick(ready func(id int) bool) (id int, ok bool)
+	// Charge accounts units of service (e.g. bits) to the class that
+	// was just served. Policies that ignore service amounts (lottery)
+	// may treat this as a no-op.
+	Charge(id int, units float64)
+}
+
+type class struct {
+	weight float64
+	// stride/WFQ state
+	pass float64
+	// DRR state
+	deficit float64
+}
+
+func checkWeight(w float64) {
+	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		panic(fmt.Sprintf("sched: invalid weight %v", w))
+	}
+}
+
+// epsilonWeight substitutes a tiny positive weight for zero so that a
+// zero-weight class is only served when nothing else is ready.
+const epsilonWeight = 1e-12
+
+// Lottery is Waldspurger & Weihl's randomized lottery scheduler: each
+// Pick holds a lottery in which every ready class holds tickets equal
+// to its weight.
+type Lottery struct {
+	classes []class
+	rnd     *xrand.Rand
+}
+
+// NewLottery returns a lottery scheduler drawing from rnd.
+func NewLottery(rnd *xrand.Rand) *Lottery {
+	if rnd == nil {
+		panic("sched: nil rand")
+	}
+	return &Lottery{rnd: rnd}
+}
+
+// Add implements Scheduler.
+func (l *Lottery) Add(weight float64) int {
+	checkWeight(weight)
+	l.classes = append(l.classes, class{weight: weight})
+	return len(l.classes) - 1
+}
+
+// SetWeight implements Scheduler.
+func (l *Lottery) SetWeight(id int, w float64) {
+	checkWeight(w)
+	l.classes[id].weight = w
+}
+
+// Weight implements Scheduler.
+func (l *Lottery) Weight(id int) float64 { return l.classes[id].weight }
+
+// Pick implements Scheduler.
+func (l *Lottery) Pick(ready func(int) bool) (int, bool) {
+	total := 0.0
+	last := -1
+	for i := range l.classes {
+		if ready(i) {
+			w := l.classes[i].weight
+			if w == 0 {
+				w = epsilonWeight
+			}
+			total += w
+			last = i
+		}
+	}
+	if last < 0 {
+		return 0, false
+	}
+	draw := l.rnd.Float64() * total
+	acc := 0.0
+	for i := range l.classes {
+		if !ready(i) {
+			continue
+		}
+		w := l.classes[i].weight
+		if w == 0 {
+			w = epsilonWeight
+		}
+		acc += w
+		if draw < acc {
+			return i, true
+		}
+	}
+	return last, true // numeric edge: return the final ready class
+}
+
+// Charge implements Scheduler; lottery ignores service amounts.
+func (l *Lottery) Charge(int, float64) {}
+
+// Stride is Waldspurger & Weihl's deterministic stride scheduler: each
+// class advances a "pass" value by served-units/weight; Pick chooses
+// the ready class with minimum pass. Over time each class receives
+// service proportional to its weight, with far lower variance than
+// lottery.
+type Stride struct {
+	classes []class
+}
+
+// NewStride returns a stride scheduler.
+func NewStride() *Stride { return &Stride{} }
+
+// Add implements Scheduler.
+func (s *Stride) Add(weight float64) int {
+	checkWeight(weight)
+	// Late joiners start at the current minimum pass so they cannot
+	// monopolize the link to "catch up".
+	minPass := math.Inf(1)
+	for i := range s.classes {
+		if s.classes[i].pass < minPass {
+			minPass = s.classes[i].pass
+		}
+	}
+	if math.IsInf(minPass, 1) {
+		minPass = 0
+	}
+	s.classes = append(s.classes, class{weight: weight, pass: minPass})
+	return len(s.classes) - 1
+}
+
+// SetWeight implements Scheduler.
+func (s *Stride) SetWeight(id int, w float64) {
+	checkWeight(w)
+	s.classes[id].weight = w
+}
+
+// Weight implements Scheduler.
+func (s *Stride) Weight(id int) float64 { return s.classes[id].weight }
+
+// Pick implements Scheduler.
+func (s *Stride) Pick(ready func(int) bool) (int, bool) {
+	best, bestPass := -1, math.Inf(1)
+	for i := range s.classes {
+		if ready(i) && s.classes[i].pass < bestPass {
+			best, bestPass = i, s.classes[i].pass
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// Charge implements Scheduler.
+func (s *Stride) Charge(id int, units float64) {
+	w := s.classes[id].weight
+	if w == 0 {
+		w = epsilonWeight
+	}
+	s.classes[id].pass += units / w
+}
+
+// WFQ is start-time fair queueing (a practical weighted-fair-queueing
+// variant): each class keeps a virtual finish time; Pick serves the
+// ready class with the earliest virtual start, where start = max(V,
+// finish) and V is the virtual time of the last service.
+type WFQ struct {
+	classes []class // pass field holds the class's virtual finish time
+	vtime   float64
+}
+
+// NewWFQ returns a start-time fair queueing scheduler.
+func NewWFQ() *WFQ { return &WFQ{} }
+
+// Add implements Scheduler.
+func (w *WFQ) Add(weight float64) int {
+	checkWeight(weight)
+	w.classes = append(w.classes, class{weight: weight, pass: w.vtime})
+	return len(w.classes) - 1
+}
+
+// SetWeight implements Scheduler.
+func (w *WFQ) SetWeight(id int, wt float64) {
+	checkWeight(wt)
+	w.classes[id].weight = wt
+}
+
+// Weight implements Scheduler.
+func (w *WFQ) Weight(id int) float64 { return w.classes[id].weight }
+
+// Pick implements Scheduler.
+func (w *WFQ) Pick(ready func(int) bool) (int, bool) {
+	best, bestStart := -1, math.Inf(1)
+	for i := range w.classes {
+		if !ready(i) {
+			continue
+		}
+		start := math.Max(w.vtime, w.classes[i].pass)
+		if start < bestStart {
+			best, bestStart = i, start
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	w.vtime = bestStart
+	return best, true
+}
+
+// Charge implements Scheduler.
+func (w *WFQ) Charge(id int, units float64) {
+	wt := w.classes[id].weight
+	if wt == 0 {
+		wt = epsilonWeight
+	}
+	start := math.Max(w.vtime, w.classes[id].pass)
+	w.classes[id].pass = start + units/wt
+}
+
+// DRR is deficit round-robin: classes are visited cyclically, each
+// accumulating quantum×weight of deficit; a class may be picked while
+// its deficit is positive. DRR is O(1) per decision and a common
+// kernel realization of proportional sharing.
+type DRR struct {
+	classes []class
+	quantum float64
+	cursor  int
+}
+
+// NewDRR returns a deficit round-robin scheduler with the given
+// quantum (service units added per visit per unit weight).
+func NewDRR(quantum float64) *DRR {
+	if quantum <= 0 {
+		panic(fmt.Sprintf("sched: DRR quantum %v must be positive", quantum))
+	}
+	return &DRR{quantum: quantum}
+}
+
+// Add implements Scheduler.
+func (d *DRR) Add(weight float64) int {
+	checkWeight(weight)
+	d.classes = append(d.classes, class{weight: weight})
+	return len(d.classes) - 1
+}
+
+// SetWeight implements Scheduler.
+func (d *DRR) SetWeight(id int, w float64) {
+	checkWeight(w)
+	d.classes[id].weight = w
+}
+
+// Weight implements Scheduler.
+func (d *DRR) Weight(id int) float64 { return d.classes[id].weight }
+
+// Pick implements Scheduler.
+func (d *DRR) Pick(ready func(int) bool) (int, bool) {
+	n := len(d.classes)
+	if n == 0 {
+		return 0, false
+	}
+	anyReady := false
+	for i := 0; i < n; i++ {
+		if ready(i) {
+			anyReady = true
+			break
+		}
+	}
+	if !anyReady {
+		return 0, false
+	}
+	// Sweep at most 2n positions, refilling deficits as we pass; a
+	// ready class with positive deficit is served.
+	for sweep := 0; sweep < 2*n+1; sweep++ {
+		i := d.cursor % n
+		if ready(i) {
+			if d.classes[i].deficit > 0 {
+				return i, true
+			}
+			w := d.classes[i].weight
+			if w == 0 {
+				w = epsilonWeight
+			}
+			d.classes[i].deficit += d.quantum * w
+			if d.classes[i].deficit > 0 {
+				return i, true
+			}
+		} else {
+			// Idle classes do not hoard deficit.
+			d.classes[i].deficit = 0
+		}
+		d.cursor++
+	}
+	// All ready classes have deeply negative deficit (oversized
+	// packets); serve the least-indebted one.
+	best, bestDef := -1, math.Inf(-1)
+	for i := 0; i < n; i++ {
+		if ready(i) && d.classes[i].deficit > bestDef {
+			best, bestDef = i, d.classes[i].deficit
+		}
+	}
+	return best, best >= 0
+}
+
+// Charge implements Scheduler.
+func (d *DRR) Charge(id int, units float64) {
+	d.classes[id].deficit -= units
+	if d.classes[id].deficit <= 0 {
+		d.cursor++ // move on once the class exhausts its quantum
+	}
+}

@@ -1,0 +1,342 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"softstate/internal/xrand"
+)
+
+// runShares drives a scheduler with all classes always ready, serving
+// unit-cost packets, and returns the fraction of service each class
+// received.
+func runShares(s Scheduler, weights []float64, rounds int) []float64 {
+	ids := make([]int, len(weights))
+	for i, w := range weights {
+		ids[i] = s.Add(w)
+	}
+	counts := make([]float64, len(weights))
+	for r := 0; r < rounds; r++ {
+		id, ok := s.Pick(func(int) bool { return true })
+		if !ok {
+			panic("no pick with all ready")
+		}
+		s.Charge(id, 1)
+		counts[id]++
+	}
+	for i := range counts {
+		counts[i] /= float64(rounds)
+	}
+	_ = ids
+	return counts
+}
+
+func checkShares(t *testing.T, name string, got, want []float64, tol float64) {
+	t.Helper()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > tol {
+			t.Errorf("%s: class %d share = %v, want %v±%v", name, i, got[i], want[i], tol)
+		}
+	}
+}
+
+func TestProportionalShares(t *testing.T) {
+	weights := []float64{3, 1}
+	want := []float64{0.75, 0.25}
+	cases := []struct {
+		name string
+		mk   func() Scheduler
+		tol  float64
+	}{
+		{"lottery", func() Scheduler { return NewLottery(xrand.New(1)) }, 0.02},
+		{"stride", func() Scheduler { return NewStride() }, 0.001},
+		{"wfq", func() Scheduler { return NewWFQ() }, 0.001},
+		{"drr", func() Scheduler { return NewDRR(1) }, 0.01},
+		{"hierarchy-flat", func() Scheduler {
+			return NewHierarchy(func() Scheduler { return NewStride() })
+		}, 0.001},
+	}
+	for _, tc := range cases {
+		got := runShares(tc.mk(), weights, 20000)
+		checkShares(t, tc.name, got, want, tc.tol)
+	}
+}
+
+func TestThreeWayShares(t *testing.T) {
+	weights := []float64{5, 3, 2}
+	want := []float64{0.5, 0.3, 0.2}
+	for _, tc := range []struct {
+		name string
+		s    Scheduler
+		tol  float64
+	}{
+		{"stride", NewStride(), 0.001},
+		{"wfq", NewWFQ(), 0.001},
+		{"lottery", NewLottery(xrand.New(7)), 0.02},
+		{"drr", NewDRR(1), 0.01},
+	} {
+		got := runShares(tc.s, weights, 30000)
+		checkShares(t, tc.name, got, want, tc.tol)
+	}
+}
+
+func TestWorkConserving(t *testing.T) {
+	// With only class 1 ready, every pick must select class 1, for
+	// every policy — this is the paper's "excess hot bandwidth flows
+	// to the cold queue" property.
+	for _, tc := range []struct {
+		name string
+		s    Scheduler
+	}{
+		{"lottery", NewLottery(xrand.New(2))},
+		{"stride", NewStride()},
+		{"wfq", NewWFQ()},
+		{"drr", NewDRR(1)},
+	} {
+		tc.s.Add(100)
+		tc.s.Add(1)
+		for i := 0; i < 50; i++ {
+			id, ok := tc.s.Pick(func(id int) bool { return id == 1 })
+			if !ok || id != 1 {
+				t.Errorf("%s: pick = (%d, %v), want (1, true)", tc.name, id, ok)
+				break
+			}
+			tc.s.Charge(id, 1)
+		}
+	}
+}
+
+func TestNoneReady(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		s    Scheduler
+	}{
+		{"lottery", NewLottery(xrand.New(3))},
+		{"stride", NewStride()},
+		{"wfq", NewWFQ()},
+		{"drr", NewDRR(1)},
+	} {
+		tc.s.Add(1)
+		if _, ok := tc.s.Pick(func(int) bool { return false }); ok {
+			t.Errorf("%s: Pick with none ready returned ok", tc.name)
+		}
+	}
+	// Empty scheduler.
+	if _, ok := NewDRR(1).Pick(func(int) bool { return true }); ok {
+		t.Error("drr: Pick with no classes returned ok")
+	}
+}
+
+func TestZeroWeightStarvesButNotFully(t *testing.T) {
+	s := NewStride()
+	s.Add(1)
+	s.Add(0)
+	counts := [2]int{}
+	for i := 0; i < 1000; i++ {
+		id, _ := s.Pick(func(int) bool { return true })
+		s.Charge(id, 1)
+		counts[id]++
+	}
+	if counts[1] > 1 {
+		t.Errorf("zero-weight class served %d times alongside ready siblings", counts[1])
+	}
+	// Alone, the zero-weight class must still be served.
+	id, ok := s.Pick(func(id int) bool { return id == 1 })
+	if !ok || id != 1 {
+		t.Error("zero-weight class starved when alone")
+	}
+}
+
+func TestSetWeightTakesEffect(t *testing.T) {
+	s := NewStride()
+	s.Add(1)
+	s.Add(1)
+	// Re-weight class 0 to 4x and measure shares afterwards.
+	s.SetWeight(0, 4)
+	counts := [2]float64{}
+	for i := 0; i < 10000; i++ {
+		id, _ := s.Pick(func(int) bool { return true })
+		s.Charge(id, 1)
+		counts[id]++
+	}
+	share := counts[0] / (counts[0] + counts[1])
+	if math.Abs(share-0.8) > 0.01 {
+		t.Errorf("after SetWeight, class 0 share = %v, want 0.8", share)
+	}
+	if s.Weight(0) != 4 {
+		t.Errorf("Weight(0) = %v", s.Weight(0))
+	}
+}
+
+func TestStrideLateJoinerNoMonopoly(t *testing.T) {
+	s := NewStride()
+	s.Add(1)
+	for i := 0; i < 1000; i++ {
+		id, _ := s.Pick(func(int) bool { return true })
+		s.Charge(id, 1)
+	}
+	s.Add(1) // joins late; must not monopolize to catch up
+	first := 0
+	for i := 0; i < 100; i++ {
+		id, _ := s.Pick(func(int) bool { return true })
+		s.Charge(id, 1)
+		if id == 1 {
+			first++
+		}
+	}
+	if first > 60 {
+		t.Errorf("late joiner took %d/100 slots", first)
+	}
+}
+
+func TestVariableCostCharges(t *testing.T) {
+	// Class 0 sends packets 4x the size of class 1's; with equal
+	// weights, class 1 must be picked ~4x as often so that *bits* are
+	// split evenly.
+	s := NewWFQ()
+	s.Add(1)
+	s.Add(1)
+	bits := [2]float64{}
+	for i := 0; i < 10000; i++ {
+		id, _ := s.Pick(func(int) bool { return true })
+		cost := 1.0
+		if id == 0 {
+			cost = 4
+		}
+		s.Charge(id, cost)
+		bits[id] += cost
+	}
+	share := bits[0] / (bits[0] + bits[1])
+	if math.Abs(share-0.5) > 0.01 {
+		t.Errorf("bit share = %v, want 0.5", share)
+	}
+}
+
+func TestInvalidWeightsPanic(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewStride().Add(-1) },
+		func() { NewStride().Add(math.NaN()) },
+		func() { NewStride().Add(math.Inf(1)) },
+		func() { NewDRR(0) },
+		func() { NewLottery(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid construction did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHierarchyTwoLevel(t *testing.T) {
+	// Paper Figure 12 shape: root → {data (0.8) → {hot 0.7, cold 0.3},
+	// feedback (0.2)}. Expected leaf shares: hot 0.56, cold 0.24, fb 0.2.
+	h := NewHierarchy(func() Scheduler { return NewStride() })
+	data := h.AddNode(h.Root(), "data", 0.8)
+	hot := h.AddLeaf(data, "hot", 0.7)
+	cold := h.AddLeaf(data, "cold", 0.3)
+	fb := h.AddLeaf(h.Root(), "feedback", 0.2)
+
+	counts := make([]float64, 3)
+	const rounds = 30000
+	for i := 0; i < rounds; i++ {
+		id, ok := h.Pick(func(int) bool { return true })
+		if !ok {
+			t.Fatal("no pick")
+		}
+		h.Charge(id, 1)
+		counts[id]++
+	}
+	want := map[int]float64{hot.LeafID(): 0.56, cold.LeafID(): 0.24, fb.LeafID(): 0.2}
+	for id, w := range want {
+		got := counts[id] / rounds
+		if math.Abs(got-w) > 0.005 {
+			t.Errorf("leaf %d share = %v, want %v", id, got, w)
+		}
+	}
+}
+
+func TestHierarchyWorkConservation(t *testing.T) {
+	// With the entire data subtree idle, feedback gets everything.
+	h := NewHierarchy(func() Scheduler { return NewStride() })
+	data := h.AddNode(h.Root(), "data", 0.9)
+	h.AddLeaf(data, "hot", 1)
+	fb := h.AddLeaf(h.Root(), "feedback", 0.1)
+	for i := 0; i < 100; i++ {
+		id, ok := h.Pick(func(id int) bool { return id == fb.LeafID() })
+		if !ok || id != fb.LeafID() {
+			t.Fatalf("pick = (%d, %v)", id, ok)
+		}
+		h.Charge(id, 1)
+	}
+}
+
+func TestHierarchyReweight(t *testing.T) {
+	h := NewHierarchy(func() Scheduler { return NewStride() })
+	a := h.AddLeaf(h.Root(), "a", 1)
+	b := h.AddLeaf(h.Root(), "b", 1)
+	h.SetNodeWeight(a, 3)
+	counts := map[int]float64{}
+	for i := 0; i < 10000; i++ {
+		id, _ := h.Pick(func(int) bool { return true })
+		h.Charge(id, 1)
+		counts[id]++
+	}
+	share := counts[a.LeafID()] / (counts[a.LeafID()] + counts[b.LeafID()])
+	if math.Abs(share-0.75) > 0.01 {
+		t.Errorf("a share after reweight = %v, want 0.75", share)
+	}
+}
+
+func TestHierarchyLeafCannotParent(t *testing.T) {
+	h := NewHierarchy(func() Scheduler { return NewStride() })
+	leaf := h.AddLeaf(h.Root(), "leaf", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("adding child to leaf did not panic")
+		}
+	}()
+	h.AddLeaf(leaf, "child", 1)
+}
+
+func TestHierarchyChargeBounds(t *testing.T) {
+	h := NewHierarchy(func() Scheduler { return NewStride() })
+	h.AddLeaf(h.Root(), "a", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range charge did not panic")
+		}
+	}()
+	h.Charge(5, 1)
+}
+
+func TestHierarchyEmptyPick(t *testing.T) {
+	h := NewHierarchy(func() Scheduler { return NewStride() })
+	h.AddLeaf(h.Root(), "a", 1)
+	if _, ok := h.Pick(func(int) bool { return false }); ok {
+		t.Error("Pick with nothing ready returned ok")
+	}
+}
+
+func TestLotteryDeterministicWithSeed(t *testing.T) {
+	mk := func() []int {
+		s := NewLottery(xrand.New(99))
+		s.Add(1)
+		s.Add(2)
+		var picks []int
+		for i := 0; i < 100; i++ {
+			id, _ := s.Pick(func(int) bool { return true })
+			picks = append(picks, id)
+		}
+		return picks
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("lottery not reproducible from seed")
+		}
+	}
+}

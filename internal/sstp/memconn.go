@@ -1,0 +1,276 @@
+// Package sstp implements the Soft State Transport Protocol sketched
+// in section 6 of the paper: an ALF-framed, announce/listen transport
+// in which a sender transmits original data plus periodic namespace
+// summaries, receivers detect divergence by digest comparison and
+// repair it with recursive namespace queries and NACKs, and RTCP-style
+// receiver reports drive a profile-based bandwidth allocator. SSTP
+// provides "a parameterized spectrum of reliability semantics" — from
+// pure open-loop announce/listen (no feedback) to NACK-based reliable
+// transport — over real UDP sockets or an in-memory lossy network.
+package sstp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"softstate/internal/xrand"
+)
+
+// MemAddr is the address of an in-memory endpoint or group.
+type MemAddr string
+
+// Network implements net.Addr.
+func (a MemAddr) Network() string { return "mem" }
+
+// String implements net.Addr.
+func (a MemAddr) String() string { return string(a) }
+
+// MemNetwork is an in-process datagram network with per-path Bernoulli
+// loss and delay — the loss-prone channel of the model, usable
+// wherever a net.PacketConn is expected. It supports multicast-style
+// groups: writing to a group address fans the datagram out to every
+// member except the writer (receivers therefore hear each other's
+// NACKs, which exercises slotting-and-damping suppression).
+type MemNetwork struct {
+	mu        sync.Mutex
+	rnd       *xrand.Rand
+	endpoints map[MemAddr]*MemConn
+	groups    map[MemAddr]map[MemAddr]bool
+	loss      map[[2]MemAddr]float64
+	delay     map[[2]MemAddr]time.Duration
+	defLoss   float64
+}
+
+// NewMemNetwork returns an empty network with the given RNG seed.
+func NewMemNetwork(seed int64) *MemNetwork {
+	return &MemNetwork{
+		rnd:       xrand.New(seed),
+		endpoints: make(map[MemAddr]*MemConn),
+		groups:    make(map[MemAddr]map[MemAddr]bool),
+		loss:      make(map[[2]MemAddr]float64),
+		delay:     make(map[[2]MemAddr]time.Duration),
+	}
+}
+
+// SetDefaultLoss sets the loss probability for paths without a
+// specific override.
+func (n *MemNetwork) SetDefaultLoss(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.defLoss = p
+}
+
+// SetLoss sets the loss probability on the directed path from → to.
+func (n *MemNetwork) SetLoss(from, to MemAddr, p float64) {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("sstp: loss %v out of [0,1]", p))
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.loss[[2]MemAddr{from, to}] = p
+}
+
+// SetDelay sets the propagation delay on the directed path from → to.
+func (n *MemNetwork) SetDelay(from, to MemAddr, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.delay[[2]MemAddr{from, to}] = d
+}
+
+// Endpoint creates (or returns) the endpoint with the given address.
+func (n *MemNetwork) Endpoint(addr MemAddr) *MemConn {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c, ok := n.endpoints[addr]; ok && !c.closed {
+		return c
+	}
+	c := &MemConn{
+		net:   n,
+		addr:  addr,
+		inbox: make(chan memPacket, 4096),
+	}
+	n.endpoints[addr] = c
+	return c
+}
+
+// Join adds an endpoint to a multicast group address.
+func (n *MemNetwork) Join(group MemAddr, member MemAddr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g := n.groups[group]
+	if g == nil {
+		g = make(map[MemAddr]bool)
+		n.groups[group] = g
+	}
+	g[member] = true
+}
+
+// Leave removes an endpoint from a group.
+func (n *MemNetwork) Leave(group MemAddr, member MemAddr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if g := n.groups[group]; g != nil {
+		delete(g, member)
+	}
+}
+
+func (n *MemNetwork) route(from MemAddr, to MemAddr, b []byte) {
+	n.mu.Lock()
+	var targets []MemAddr
+	if members, isGroup := n.groups[to]; isGroup {
+		for m := range members {
+			if m != from {
+				targets = append(targets, m)
+			}
+		}
+	} else {
+		targets = append(targets, to)
+	}
+	type hop struct {
+		c *MemConn
+		d time.Duration
+	}
+	var hops []hop
+	for _, tgt := range targets {
+		c, ok := n.endpoints[tgt]
+		if !ok || c.closed {
+			continue
+		}
+		p, ok := n.loss[[2]MemAddr{from, tgt}]
+		if !ok {
+			p = n.defLoss
+		}
+		if n.rnd.Bernoulli(p) {
+			continue
+		}
+		hops = append(hops, hop{c, n.delay[[2]MemAddr{from, tgt}]})
+	}
+	n.mu.Unlock()
+	for _, h := range hops {
+		pkt := memPacket{from: from, data: append([]byte(nil), b...)}
+		if h.d > 0 {
+			go func(c *MemConn, pkt memPacket, d time.Duration) {
+				time.Sleep(d)
+				c.deliver(pkt)
+			}(h.c, pkt, h.d)
+		} else {
+			h.c.deliver(pkt)
+		}
+	}
+}
+
+type memPacket struct {
+	from MemAddr
+	data []byte
+}
+
+// MemConn is one endpoint of a MemNetwork; it implements
+// net.PacketConn.
+type MemConn struct {
+	net    *MemNetwork
+	addr   MemAddr
+	inbox  chan memPacket
+	mu     sync.Mutex
+	closed bool
+
+	deadlineMu sync.Mutex
+	deadline   time.Time
+}
+
+func (c *MemConn) deliver(p memPacket) {
+	// Hold the lock across the (non-blocking) send so Close cannot
+	// close the inbox between the check and the send.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	select {
+	case c.inbox <- p:
+	default: // queue overflow models router drop
+	}
+}
+
+// ReadFrom implements net.PacketConn.
+func (c *MemConn) ReadFrom(b []byte) (int, net.Addr, error) {
+	c.deadlineMu.Lock()
+	dl := c.deadline
+	c.deadlineMu.Unlock()
+	var timeout <-chan time.Time
+	if !dl.IsZero() {
+		d := time.Until(dl)
+		if d <= 0 {
+			return 0, nil, timeoutError{}
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case p, ok := <-c.inbox:
+		if !ok {
+			return 0, nil, net.ErrClosed
+		}
+		n := copy(b, p.data)
+		return n, p.from, nil
+	case <-timeout:
+		return 0, nil, timeoutError{}
+	}
+}
+
+// WriteTo implements net.PacketConn.
+func (c *MemConn) WriteTo(b []byte, addr net.Addr) (int, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return 0, net.ErrClosed
+	}
+	to, ok := addr.(MemAddr)
+	if !ok {
+		return 0, fmt.Errorf("sstp: MemConn cannot write to %T", addr)
+	}
+	c.net.route(c.addr, to, b)
+	return len(b), nil
+}
+
+// Close implements net.PacketConn.
+func (c *MemConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	close(c.inbox)
+	return nil
+}
+
+// LocalAddr implements net.PacketConn.
+func (c *MemConn) LocalAddr() net.Addr { return c.addr }
+
+// SetDeadline implements net.PacketConn.
+func (c *MemConn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.PacketConn.
+func (c *MemConn) SetReadDeadline(t time.Time) error {
+	c.deadlineMu.Lock()
+	c.deadline = t
+	c.deadlineMu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline implements net.PacketConn (writes never block).
+func (c *MemConn) SetWriteDeadline(time.Time) error { return nil }
+
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "sstp: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// nowSeconds converts wall time to the float seconds used by the
+// time-agnostic substrates.
+func nowSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }

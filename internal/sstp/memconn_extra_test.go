@@ -1,0 +1,103 @@
+package sstp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMemNetworkLeave(t *testing.T) {
+	nw := NewMemNetwork(81)
+	a := nw.Endpoint("a")
+	b := nw.Endpoint("b")
+	nw.Join("g", "a")
+	nw.Join("g", "b")
+	nw.Leave("g", "b")
+	a.WriteTo([]byte("x"), MemAddr("g"))
+	buf := make([]byte, 8)
+	_ = b.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, _, err := b.ReadFrom(buf); err == nil {
+		t.Fatal("left member still received group traffic")
+	}
+	// Leaving a group you never joined is a no-op.
+	nw.Leave("nonexistent", "a")
+}
+
+func TestMemNetworkDelay(t *testing.T) {
+	nw := NewMemNetwork(82)
+	a := nw.Endpoint("a")
+	b := nw.Endpoint("b")
+	nw.SetDelay("a", "b", 120*time.Millisecond)
+	start := time.Now()
+	a.WriteTo([]byte("x"), MemAddr("b"))
+	buf := make([]byte, 8)
+	_ = b.SetReadDeadline(time.Now().Add(time.Second))
+	if _, _, err := b.ReadFrom(buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Errorf("delivered after %v, want ≥ 120ms", elapsed)
+	}
+}
+
+func TestMemNetworkDefaultLoss(t *testing.T) {
+	nw := NewMemNetwork(83)
+	nw.SetDefaultLoss(1)
+	a := nw.Endpoint("a")
+	b := nw.Endpoint("b")
+	a.WriteTo([]byte("x"), MemAddr("b"))
+	buf := make([]byte, 8)
+	_ = b.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, _, err := b.ReadFrom(buf); err == nil {
+		t.Fatal("default loss 1 still delivered")
+	}
+	// A per-path override beats the default.
+	nw.SetLoss("a", "b", 0)
+	a.WriteTo([]byte("y"), MemAddr("b"))
+	_ = b.SetReadDeadline(time.Now().Add(time.Second))
+	if _, _, err := b.ReadFrom(buf); err != nil {
+		t.Fatalf("override did not apply: %v", err)
+	}
+}
+
+func TestMemNetworkLossValidation(t *testing.T) {
+	nw := NewMemNetwork(84)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("loss > 1 accepted")
+		}
+	}()
+	nw.SetLoss("a", "b", 1.5)
+}
+
+func TestMemConnReadAfterClose(t *testing.T) {
+	nw := NewMemNetwork(85)
+	a := nw.Endpoint("a")
+	a.Close()
+	buf := make([]byte, 8)
+	if _, _, err := a.ReadFrom(buf); err == nil {
+		t.Fatal("read on closed conn succeeded")
+	}
+	// Endpoint() after close returns a fresh conn under the same name.
+	a2 := nw.Endpoint("a")
+	if a2 == a {
+		t.Fatal("closed endpoint reused")
+	}
+	nw.Endpoint("b").WriteTo([]byte("x"), MemAddr("a"))
+	_ = a2.SetReadDeadline(time.Now().Add(time.Second))
+	if _, _, err := a2.ReadFrom(buf); err != nil {
+		t.Fatalf("fresh endpoint not reachable: %v", err)
+	}
+}
+
+func TestMemConnTruncatingRead(t *testing.T) {
+	nw := NewMemNetwork(86)
+	a := nw.Endpoint("a")
+	b := nw.Endpoint("b")
+	a.WriteTo([]byte("0123456789"), MemAddr("b"))
+	small := make([]byte, 4)
+	_ = b.SetReadDeadline(time.Now().Add(time.Second))
+	n, _, err := b.ReadFrom(small)
+	if err != nil || n != 4 || string(small) != "0123" {
+		t.Fatalf("truncating read = (%d, %q, %v)", n, small, err)
+	}
+}

@@ -1,0 +1,622 @@
+package sstp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"softstate/internal/feedback"
+	"softstate/internal/namespace"
+	"softstate/internal/protocol"
+	"softstate/internal/table"
+	"softstate/internal/xrand"
+)
+
+// ReceiverConfig parameterizes an SSTP subscriber.
+type ReceiverConfig struct {
+	Session    uint64
+	ReceiverID uint64
+
+	// Conn is the datagram socket; FeedbackDest is where NACKs,
+	// queries, and reports are sent — the sender's address, or the
+	// multicast group so that other receivers overhear NACKs and damp
+	// their own (slotting and damping).
+	Conn         net.PacketConn
+	FeedbackDest net.Addr
+
+	// DisableFeedback turns the receiver into a pure announce/listen
+	// listener (the open-loop end of SSTP's reliability spectrum).
+	DisableFeedback bool
+
+	// ReportInterval is the receiver-report period (default 2 s;
+	// negative disables reports).
+	ReportInterval time.Duration
+
+	// NACKWindow is the slotting window for NACK suppression (default
+	// 100 ms; grows by backoff up to 16× on repeated losses).
+	NACKWindow time.Duration
+
+	// Interest, if non-nil, prunes namespace repair: branches for
+	// which Interest(path) is false are never queried or NACKed (the
+	// paper's receiver-interest filtering, e.g. a PDA skipping
+	// high-resolution images).
+	Interest func(path string) bool
+
+	// PeerRepair lets this receiver answer other members' queries and
+	// NACKs from its own replica — the paper's "the sender (or any
+	// participant in a multicast session) responds", in the style of
+	// SRM local recovery. Responses are slotted and damped like NACKs
+	// so that one member answers, not all. Only meaningful when
+	// FeedbackDest is a multicast group.
+	PeerRepair bool
+
+	// PeerSummaryInterval, with PeerRepair, makes this receiver
+	// announce its own root digest periodically (SRM-style session
+	// messages), so members can detect divergence — and catch up from
+	// each other — even after the publisher dies. 0 disables.
+	PeerSummaryInterval time.Duration
+
+	// OnUpdate fires when a record's value changes; OnExpire fires
+	// when a record times out or is deleted.
+	OnUpdate func(key string, value []byte, version uint64)
+	OnExpire func(key string)
+
+	Seed int64
+}
+
+func (c ReceiverConfig) withDefaults() (ReceiverConfig, error) {
+	if c.Conn == nil {
+		return c, fmt.Errorf("sstp: receiver needs Conn")
+	}
+	if !c.DisableFeedback && c.FeedbackDest == nil {
+		return c, fmt.Errorf("sstp: receiver needs FeedbackDest (or DisableFeedback)")
+	}
+	if c.ReportInterval == 0 {
+		c.ReportInterval = 2 * time.Second
+	}
+	if c.NACKWindow <= 0 {
+		c.NACKWindow = 100 * time.Millisecond
+	}
+	return c, nil
+}
+
+// ReceiverStats are cumulative counters.
+type ReceiverStats struct {
+	DataReceived    int
+	Duplicates      int
+	SummariesHeard  int
+	MismatchedRoots int
+	QueriesSent     int
+	NACKsSent       int
+	NACKsSuppressed int
+	ReportsSent     int
+	Expired         int
+	PeerDataSent    int // repairs answered from this replica
+	PeerDigestsSent int // digest responses answered from this replica
+	LossEstimate    float64
+}
+
+// Receiver is an SSTP subscriber.
+type Receiver struct {
+	cfg ReceiverConfig
+
+	mu      sync.Mutex
+	sub     *table.Subscriber
+	ns      *namespace.Tree
+	est     *feedback.LossEstimator
+	sup     *feedback.Suppressor
+	pubID   uint64 // learned publisher sender-id
+	pubSeen bool
+	lastSeq uint32
+	stats   ReceiverStats
+	timers  map[string]*time.Timer
+
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewReceiver constructs a subscriber; call Start to begin listening.
+func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	r := &Receiver{
+		cfg:    cfg,
+		sub:    table.NewSubscriber(),
+		ns:     namespace.New(namespace.HashSHA256),
+		est:    feedback.NewLossEstimator(0.25),
+		sup:    feedback.NewSuppressor(cfg.NACKWindow.Seconds(), 16*cfg.NACKWindow.Seconds(), xrand.New(cfg.Seed)),
+		timers: make(map[string]*time.Timer),
+		done:   make(chan struct{}),
+	}
+	r.sub.OnExpire = func(e *table.Entry) {
+		// Called under r.mu from the sweep loop.
+		r.ns.Delete(string(e.Key))
+		r.stats.Expired++
+		if cfg.OnExpire != nil {
+			go cfg.OnExpire(string(e.Key))
+		}
+	}
+	return r, nil
+}
+
+// Start launches the listen, sweep, and report loops.
+func (r *Receiver) Start() {
+	r.wg.Add(2)
+	go r.recvLoop()
+	go r.sweepLoop()
+	if !r.cfg.DisableFeedback && r.cfg.ReportInterval > 0 {
+		r.wg.Add(1)
+		go r.reportLoop()
+	}
+	if r.cfg.PeerRepair && r.cfg.PeerSummaryInterval > 0 {
+		r.wg.Add(1)
+		go r.peerSummaryLoop()
+	}
+}
+
+// peerSummaryLoop announces this replica's root digest as a session
+// message so that divergence is detectable peer-to-peer.
+func (r *Receiver) peerSummaryLoop() {
+	defer r.wg.Done()
+	tick := time.NewTicker(r.cfg.PeerSummaryInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-tick.C:
+			r.mu.Lock()
+			count := r.ns.Len()
+			digest := r.ns.RootDigest()
+			r.mu.Unlock()
+			if count == 0 {
+				continue // nothing to advertise yet
+			}
+			sum := &protocol.Summary{Count: uint32(count)}
+			copy(sum.Digest[:], digest[:])
+			r.sendControl(sum)
+		}
+	}
+}
+
+// Close stops the receiver.
+func (r *Receiver) Close() error {
+	r.once.Do(func() {
+		close(r.done)
+		_ = r.cfg.Conn.SetReadDeadline(time.Now())
+		r.mu.Lock()
+		for _, t := range r.timers {
+			t.Stop()
+		}
+		r.mu.Unlock()
+	})
+	r.wg.Wait()
+	return nil
+}
+
+// Stats returns a copy of the counters.
+func (r *Receiver) Stats() ReceiverStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stats
+	st.LossEstimate = r.est.Smoothed()
+	return st
+}
+
+// Get returns the current value for key, if present and unexpired.
+func (r *Receiver) Get(key string) ([]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.sub.Get(table.Key(key), nowSeconds())
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), e.Value...), true
+}
+
+// Snapshot returns a copy of the unexpired {key, value} replica.
+func (r *Receiver) Snapshot() map[string][]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := nowSeconds()
+	out := make(map[string][]byte)
+	for _, k := range r.sub.Keys(now) {
+		if e, ok := r.sub.Get(k, now); ok {
+			out[string(k)] = append([]byte(nil), e.Value...)
+		}
+	}
+	return out
+}
+
+// RootDigest returns the replica's namespace digest; equality with the
+// sender's digest proves convergence.
+func (r *Receiver) RootDigest() namespace.Digest {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ns.RootDigest()
+}
+
+// Len returns the number of replica entries.
+func (r *Receiver) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sub.Len()
+}
+
+func (r *Receiver) interested(path string) bool {
+	return r.cfg.Interest == nil || r.cfg.Interest(path)
+}
+
+func (r *Receiver) recvLoop() {
+	defer r.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		select {
+		case <-r.done:
+			return
+		default:
+		}
+		_ = r.cfg.Conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, _, err := r.cfg.Conn.ReadFrom(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		hdr, msg, err := protocol.Decode(buf[:n])
+		if err != nil || hdr.Session != r.cfg.Session || hdr.Sender == r.cfg.ReceiverID {
+			continue
+		}
+		r.dispatch(hdr, msg)
+	}
+}
+
+func (r *Receiver) dispatch(hdr protocol.Header, msg protocol.Message) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Learn the publisher: the first Data/Summary/Heartbeat sender
+	// with a live sequence number (receivers' peer-repair messages
+	// carry Seq 0, so they are never mistaken for the publisher).
+	switch msg.(type) {
+	case *protocol.Data, *protocol.Summary, *protocol.Digests, *protocol.Heartbeat, *protocol.Goodbye:
+		if !r.pubSeen && hdr.Seq > 0 {
+			r.pubSeen = true
+			r.pubID = hdr.Sender
+			r.lastSeq = hdr.Seq
+		}
+		if hdr.Sender == r.pubID {
+			r.est.Observe(hdr.Seq)
+			// Gap-triggered repair: a hole in the sequence space means
+			// something was just lost; start the namespace descent now
+			// instead of waiting for the next summary.
+			if int32(hdr.Seq-r.lastSeq) > 1 && !r.cfg.DisableFeedback {
+				r.scheduleQuery("")
+			}
+			if int32(hdr.Seq-r.lastSeq) > 0 {
+				r.lastSeq = hdr.Seq
+			}
+		}
+	}
+	switch m := msg.(type) {
+	case *protocol.Data:
+		r.onData(m)
+	case *protocol.Summary:
+		r.onSummary(m)
+	case *protocol.Digests:
+		r.onDigests(m)
+	case *protocol.NACK:
+		// Another receiver's NACK: damp ours, and — with peer repair
+		// on — offer to answer it from our replica.
+		for _, k := range m.Keys {
+			if r.sup.Heard(k) {
+				r.stats.NACKsSuppressed++
+			}
+			if r.cfg.PeerRepair {
+				r.schedulePeerData(k)
+			}
+		}
+	case *protocol.Query:
+		// Another receiver queried the same path: damp ours, and
+		// offer a digest response from our replica.
+		if r.sup.Heard("?" + m.Path) {
+			r.stats.NACKsSuppressed++
+		}
+		if r.cfg.PeerRepair {
+			r.schedulePeerDigests(m.Path)
+		}
+	}
+}
+
+// schedulePeerData slots a repair response for key from this replica.
+// Caller holds r.mu.
+func (r *Receiver) schedulePeerData(key string) {
+	e, ok := r.sub.Get(table.Key(key), nowSeconds())
+	if !ok {
+		return // we do not hold it either
+	}
+	skey := "!d:" + key
+	fireAt, fresh := r.sup.Schedule(skey, nowSeconds())
+	if !fresh {
+		return
+	}
+	ver := e.Version
+	r.armTimerLocked(skey, fireAt, func() {
+		r.mu.Lock()
+		if !r.sup.Fire(skey, nowSeconds()) {
+			r.mu.Unlock()
+			return // someone else (sender or peer) repaired it first
+		}
+		r.sup.Repaired(skey)
+		cur, ok := r.sub.Get(table.Key(key), nowSeconds())
+		if !ok || cur.Version != ver {
+			r.mu.Unlock()
+			return // expired or changed since the NACK
+		}
+		msg := &protocol.Data{
+			Key: key, Ver: cur.Version,
+			TTLms: uint32((cur.Deadline - nowSeconds()) * 1000),
+			Value: append([]byte(nil), cur.Value...),
+		}
+		if msg.TTLms == 0 {
+			msg.TTLms = 1000
+		}
+		r.stats.PeerDataSent++
+		r.mu.Unlock()
+		r.sendControl(msg)
+	})
+}
+
+// schedulePeerDigests slots a digest response for path from this
+// replica. Caller holds r.mu.
+func (r *Receiver) schedulePeerDigests(path string) {
+	kids, err := r.ns.Children(path)
+	if err != nil || len(kids) == 0 {
+		return
+	}
+	skey := "!q:" + path
+	fireAt, fresh := r.sup.Schedule(skey, nowSeconds())
+	if !fresh {
+		return
+	}
+	r.armTimerLocked(skey, fireAt, func() {
+		r.mu.Lock()
+		if !r.sup.Fire(skey, nowSeconds()) {
+			r.mu.Unlock()
+			return
+		}
+		r.sup.Repaired(skey)
+		kids, err := r.ns.Children(path)
+		if err != nil {
+			r.mu.Unlock()
+			return
+		}
+		resp := &protocol.Digests{Path: path}
+		for _, k := range kids {
+			if len(resp.Children) == protocol.MaxBatch {
+				break
+			}
+			cd := protocol.ChildDigest{Name: k.Name, Leaf: k.Leaf}
+			copy(cd.Digest[:], k.Digest[:])
+			resp.Children = append(resp.Children, cd)
+		}
+		r.stats.PeerDigestsSent++
+		r.mu.Unlock()
+		r.sendControl(resp)
+	})
+}
+
+func (r *Receiver) onData(m *protocol.Data) {
+	now := nowSeconds()
+	if m.Deleted {
+		if r.sub.Drop(table.Key(m.Key)) {
+			r.ns.Delete(m.Key)
+			if r.cfg.OnExpire != nil {
+				go r.cfg.OnExpire(m.Key)
+			}
+		}
+		r.sup.Repaired(m.Key)
+		return
+	}
+	ttl := float64(m.TTLms) / 1000
+	if ttl <= 0 {
+		ttl = 30
+	}
+	prev, had := r.sub.Get(table.Key(m.Key), now)
+	isDup := had && prev.Version >= m.Ver
+	changed := r.sub.Apply(table.Key(m.Key), m.Value, m.Ver, now, ttl)
+	if changed {
+		if err := r.ns.Put(m.Key, m.Value, m.Ver); err == nil {
+			r.stats.DataReceived++
+			if r.cfg.OnUpdate != nil {
+				go r.cfg.OnUpdate(m.Key, append([]byte(nil), m.Value...), m.Ver)
+			}
+		}
+	} else if isDup {
+		r.stats.Duplicates++
+	}
+	r.sup.Repaired(m.Key)
+	// A repair answered by anyone damps our pending peer response.
+	r.sup.Heard("!d:" + m.Key)
+}
+
+// onSummary compares the announced root digest against the replica's
+// and, on mismatch, schedules a namespace query (suppression-slotted).
+func (r *Receiver) onSummary(m *protocol.Summary) {
+	r.stats.SummariesHeard++
+	local, err := r.ns.Digest(m.Path)
+	if err == nil && local == namespace.Digest(m.Digest) {
+		r.sup.Repaired("?" + m.Path)
+		return
+	}
+	r.stats.MismatchedRoots++
+	if r.cfg.DisableFeedback || !r.interested(m.Path) {
+		return
+	}
+	r.scheduleQuery(m.Path)
+}
+
+// onDigests diffs the sender's child digests against the replica and
+// recurses: mismatching interior children get queries, mismatching or
+// missing leaves get NACKs.
+func (r *Receiver) onDigests(m *protocol.Digests) {
+	r.sup.Repaired("?" + m.Path)
+	// Someone else answered this path: damp our pending response.
+	r.sup.Heard("!q:" + m.Path)
+	if r.cfg.DisableFeedback {
+		return
+	}
+	var remote []namespace.Child
+	leafByName := make(map[string]bool, len(m.Children))
+	for _, c := range m.Children {
+		remote = append(remote, namespace.Child{Name: c.Name, Leaf: c.Leaf, Digest: namespace.Digest(c.Digest)})
+		leafByName[c.Name] = c.Leaf
+	}
+	differ, missing, err := r.ns.DiffChildren(m.Path, remote)
+	if err != nil {
+		return
+	}
+	var nacks []string
+	recurse := func(names []string) {
+		for _, name := range names {
+			child := name
+			if m.Path != "" {
+				child = m.Path + "/" + name
+			}
+			if !r.interested(child) {
+				continue
+			}
+			if leafByName[name] {
+				nacks = append(nacks, child)
+			} else {
+				r.scheduleQuery(child)
+			}
+		}
+	}
+	recurse(differ)
+	recurse(missing)
+	for _, key := range nacks {
+		r.scheduleNACK(key)
+	}
+}
+
+// scheduleQuery slots a namespace query through the suppressor.
+// Caller holds r.mu.
+func (r *Receiver) scheduleQuery(path string) {
+	key := "?" + path
+	fireAt, fresh := r.sup.Schedule(key, nowSeconds())
+	if !fresh {
+		return
+	}
+	var fire func()
+	fire = func() {
+		r.mu.Lock()
+		if !r.sup.Fire(key, nowSeconds()) {
+			r.mu.Unlock()
+			return // suppressed (another member queried) or repaired
+		}
+		r.stats.QueriesSent++
+		// Retry with backoff until a Digests response repairs the
+		// pending state — a lost response must not stall the descent.
+		next := r.sup.Reschedule(key, nowSeconds())
+		r.armTimerLocked(key, next, fire)
+		r.mu.Unlock()
+		r.sendControl(&protocol.Query{Path: path})
+	}
+	r.armTimerLocked(key, fireAt, fire)
+}
+
+// scheduleNACK slots a repair request through the suppressor, with
+// backoff-driven retries until the data arrives. Caller holds r.mu.
+func (r *Receiver) scheduleNACK(key string) {
+	fireAt, fresh := r.sup.Schedule(key, nowSeconds())
+	if !fresh {
+		return
+	}
+	var fire func()
+	fire = func() {
+		r.mu.Lock()
+		if !r.sup.Fire(key, nowSeconds()) {
+			r.mu.Unlock()
+			return // suppressed or repaired
+		}
+		r.stats.NACKsSent++
+		next := r.sup.Reschedule(key, nowSeconds())
+		r.armTimerLocked(key, next, fire)
+		r.mu.Unlock()
+		r.sendControl(&protocol.NACK{Keys: []string{key}})
+	}
+	r.armTimerLocked(key, fireAt, fire)
+}
+
+// armTimerLocked registers a timer; caller holds r.mu.
+func (r *Receiver) armTimerLocked(key string, fireAt float64, fn func()) {
+	if t, ok := r.timers[key]; ok {
+		t.Stop()
+	}
+	d := time.Duration((fireAt - nowSeconds()) * float64(time.Second))
+	if d < 0 {
+		d = 0
+	}
+	r.timers[key] = time.AfterFunc(d, func() {
+		select {
+		case <-r.done:
+			return
+		default:
+		}
+		fn()
+	})
+}
+
+func (r *Receiver) sendControl(msg protocol.Message) {
+	if r.cfg.DisableFeedback {
+		return
+	}
+	hdr := protocol.Header{Session: r.cfg.Session, Sender: r.cfg.ReceiverID}
+	buf := protocol.Encode(hdr, msg)
+	_, _ = r.cfg.Conn.WriteTo(buf, r.cfg.FeedbackDest)
+}
+
+func (r *Receiver) sweepLoop() {
+	defer r.wg.Done()
+	tick := time.NewTicker(250 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-tick.C:
+			r.mu.Lock()
+			r.sub.Sweep(nowSeconds())
+			r.mu.Unlock()
+		}
+	}
+}
+
+func (r *Receiver) reportLoop() {
+	defer r.wg.Done()
+	tick := time.NewTicker(r.cfg.ReportInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-tick.C:
+			r.mu.Lock()
+			r.est.IntervalLoss()
+			rep := &protocol.Report{}
+			recv, exp := r.est.Counts()
+			rep.Received = uint32(recv)
+			rep.Expected = uint32(exp)
+			rep.SetLoss(r.est.Smoothed())
+			rep.Timestamp = uint64(time.Now().UnixMilli())
+			r.stats.ReportsSent++
+			r.mu.Unlock()
+			r.sendControl(rep)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package sstp
+
+import (
+	"fmt"
+	"time"
+)
+
+// Reliability names a point on SSTP's "continuum of reliability
+// levels" (paper §6): the same protocol machinery configured from pure
+// best-effort dissemination up to report-driven adaptive reliability.
+// Apply writes the corresponding knobs into a sender/receiver config
+// pair; everything remains individually overridable afterwards.
+type Reliability int
+
+// The spectrum, weakest to strongest.
+const (
+	// BestEffort sends each record through the hot queue and barely
+	// ever again: no summaries, no feedback. Receivers still expire
+	// state (it stays soft), but loss is not repaired.
+	BestEffort Reliability = iota
+	// AnnounceListen is the paper's open-loop protocol: hot + cold
+	// cycling and periodic summaries, no receiver feedback. Eventually
+	// consistent for live records.
+	AnnounceListen
+	// Repair adds receiver feedback: summary-driven namespace descent
+	// and NACKs, with slotting/damping. Converges in a few RTTs under
+	// loss.
+	Repair
+	// Reliable additionally sends receiver reports, enabling AIMD
+	// rate adaptation and profile-driven allocation at the sender.
+	Reliable
+)
+
+// String names the level.
+func (r Reliability) String() string {
+	switch r {
+	case BestEffort:
+		return "best-effort"
+	case AnnounceListen:
+		return "announce-listen"
+	case Repair:
+		return "repair"
+	case Reliable:
+		return "reliable"
+	default:
+		return fmt.Sprintf("Reliability(%d)", int(r))
+	}
+}
+
+// Apply configures the sender/receiver config pair for the level.
+// Either pointer may be nil when only one side is being built.
+func (r Reliability) Apply(sc *SenderConfig, rc *ReceiverConfig) error {
+	switch r {
+	case BestEffort:
+		if sc != nil {
+			sc.NoRetransmit = true
+			sc.SummaryInterval = 24 * time.Hour // effectively off
+		}
+		if rc != nil {
+			rc.DisableFeedback = true
+		}
+	case AnnounceListen:
+		if rc != nil {
+			rc.DisableFeedback = true
+		}
+	case Repair:
+		if rc != nil {
+			rc.DisableFeedback = false
+			rc.ReportInterval = -1 // NACK repair without reports
+		}
+	case Reliable:
+		if rc != nil {
+			rc.DisableFeedback = false
+			if rc.ReportInterval < 0 {
+				rc.ReportInterval = 0 // restore the default
+			}
+		}
+	default:
+		return fmt.Errorf("sstp: unknown reliability level %d", int(r))
+	}
+	return nil
+}

@@ -1,0 +1,695 @@
+package sstp
+
+import (
+	"container/list"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"softstate/internal/congestion"
+	"softstate/internal/namespace"
+	"softstate/internal/profile"
+	"softstate/internal/protocol"
+	"softstate/internal/sched"
+	"softstate/internal/table"
+)
+
+// SenderConfig parameterizes an SSTP publisher.
+type SenderConfig struct {
+	Session  uint64
+	SenderID uint64
+
+	// Conn is the datagram socket; Dest is where announcements go (a
+	// unicast peer, a multicast group, or a MemNetwork group).
+	Conn net.PacketConn
+	Dest net.Addr
+
+	// TotalRate is the initial session bandwidth in bits/second. If
+	// MinRate and MaxRate are set, an AIMD controller driven by
+	// receiver reports adapts within [MinRate, MaxRate]; otherwise
+	// the rate is fixed.
+	TotalRate float64
+	MinRate   float64
+	MaxRate   float64
+
+	// HotFraction is the hot queue's share of data bandwidth when no
+	// Allocator is given (default 0.9).
+	HotFraction float64
+
+	// Classes divides the data bandwidth among application data
+	// classes, each with its own hot/cold queue pair under a
+	// hierarchical link-sharing scheduler — the paper's Figure 12
+	// ("the application flexibly controls the amount of bandwidth
+	// allocated to its different data classes"). Empty means a single
+	// class holding all keys.
+	Classes []Class
+
+	// Classify maps a key to a class name. The default uses the
+	// key's first path component when it names a class and falls
+	// back to the first class otherwise.
+	Classify func(key string) string
+
+	// Allocator, if non-nil, re-divides bandwidth from measured loss
+	// after each receiver report (profile-driven allocation, §6.1).
+	Allocator *profile.Allocator
+
+	// TTL is the receiver-side expiry announced with each record
+	// (default 30 s). Records are re-announced well within it as long
+	// as cold bandwidth is available.
+	TTL time.Duration
+
+	// SummaryInterval is the period of root-digest summary
+	// announcements (default 1 s; 0 disables summaries, reducing SSTP
+	// to pure announce/listen).
+	SummaryInterval time.Duration
+
+	// NoRetransmit sends each record version exactly once (no cold
+	// cycling) — the best-effort end of the reliability spectrum.
+	NoRetransmit bool
+
+	// TombstoneRepeats is how many times a deletion is announced
+	// (default 3).
+	TombstoneRepeats int
+
+	// OnRateLimit, if non-nil, is invoked when the allocator detects
+	// the application's publish rate exceeds μ_hot — the paper's
+	// notification "to refrain from injecting new records".
+	OnRateLimit func(maxRate float64)
+
+	Seed int64
+}
+
+func (c SenderConfig) withDefaults() (SenderConfig, error) {
+	if c.Conn == nil || c.Dest == nil {
+		return c, fmt.Errorf("sstp: sender needs Conn and Dest")
+	}
+	if c.TotalRate <= 0 {
+		return c, fmt.Errorf("sstp: TotalRate %v must be positive", c.TotalRate)
+	}
+	if c.MinRate != 0 || c.MaxRate != 0 {
+		if c.MinRate <= 0 || c.MaxRate < c.MinRate || c.TotalRate < c.MinRate || c.TotalRate > c.MaxRate {
+			return c, fmt.Errorf("sstp: bad AIMD bounds min=%v max=%v total=%v", c.MinRate, c.MaxRate, c.TotalRate)
+		}
+	}
+	if c.HotFraction <= 0 || c.HotFraction >= 1 {
+		c.HotFraction = 0.9
+	}
+	if c.TTL <= 0 {
+		c.TTL = 30 * time.Second
+	}
+	if c.SummaryInterval < 0 {
+		return c, fmt.Errorf("sstp: negative SummaryInterval")
+	}
+	if c.SummaryInterval == 0 {
+		c.SummaryInterval = time.Second
+	}
+	if c.TombstoneRepeats <= 0 {
+		c.TombstoneRepeats = 3
+	}
+	if len(c.Classes) == 0 {
+		c.Classes = []Class{{Name: "data", Weight: 1}}
+	}
+	seen := make(map[string]bool, len(c.Classes))
+	for _, cl := range c.Classes {
+		if cl.Name == "" || cl.Weight <= 0 {
+			return c, fmt.Errorf("sstp: class %+v needs a name and positive weight", cl)
+		}
+		if seen[cl.Name] {
+			return c, fmt.Errorf("sstp: duplicate class %q", cl.Name)
+		}
+		seen[cl.Name] = true
+	}
+	return c, nil
+}
+
+// SenderStats are cumulative counters, safe to read via Sender.Stats.
+type SenderStats struct {
+	DataSent       int
+	SummariesSent  int
+	DigestsSent    int
+	HeartbeatsSent int
+	BytesSent      int
+	NACKsReceived  int
+	KeysPromoted   int
+	QueriesServed  int
+	ReportsHeard   int
+	LossEstimate   float64 // latest smoothed report loss
+	Rate           float64 // current total session rate
+
+	// SentByClass counts data announcements per application class;
+	// BytesByClass counts their payload bytes (the quantity the
+	// hierarchical scheduler actually divides).
+	SentByClass  map[string]int
+	BytesByClass map[string]int
+}
+
+const (
+	sqHot  = 0
+	sqCold = 1
+)
+
+// Class is one application data class in the Figure-12 sharing tree.
+type Class struct {
+	Name   string
+	Weight float64
+	// HotFraction overrides the sender-wide hot share for this class
+	// when positive.
+	HotFraction float64
+}
+
+type senderClass struct {
+	name   string
+	queues [2]*list.List
+	leaf   [2]int // hierarchy leaf ids for {hot, cold}
+}
+
+type sendEntry struct {
+	key       string
+	class     int
+	queue     int
+	elem      *list.Element
+	tombstone int // >0: remaining deletion announcements
+}
+
+// Sender is an SSTP publisher.
+type Sender struct {
+	cfg SenderConfig
+
+	mu          sync.Mutex
+	pub         *table.Publisher
+	ns          *namespace.Tree
+	share       *sched.Hierarchy
+	classes     []*senderClass
+	classByName map[string]int
+	leafOwner   [][2]int // leaf id -> {class index, queue}
+	entries     map[string]*sendEntry
+	bucket      *congestion.TokenBucket
+	aimd        *congestion.AIMD
+	seq         uint32
+	stats       SenderStats
+	started     float64 // publish-rate estimation window start
+	pubBits     float64 // bits published in the window
+
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewSender constructs a publisher; call Start to begin announcing.
+func NewSender(cfg SenderConfig) (*Sender, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Sender{
+		cfg:         cfg,
+		pub:         table.NewPublisher(),
+		ns:          namespace.New(namespace.HashSHA256),
+		entries:     make(map[string]*sendEntry),
+		classByName: make(map[string]int),
+		bucket:      congestion.NewTokenBucket(cfg.TotalRate, 4*8*1500), // 4 MTU burst
+		done:        make(chan struct{}),
+		started:     nowSeconds(),
+	}
+	// Lifetime expiry removes records from the namespace and the
+	// transmission queues (called under s.mu via Sweep).
+	s.pub.OnExpire = func(r *table.Record) {
+		key := string(r.Key)
+		s.ns.Delete(key)
+		if e := s.entries[key]; e != nil && e.tombstone == 0 {
+			s.removeEntry(e)
+		}
+	}
+	// Build the Figure-12 sharing tree: root -> class -> {hot, cold}.
+	s.share = sched.NewHierarchy(func() sched.Scheduler { return sched.NewStride() })
+	for i, cl := range cfg.Classes {
+		node := s.share.AddNode(s.share.Root(), cl.Name, cl.Weight)
+		hotFrac := cl.HotFraction
+		if hotFrac <= 0 || hotFrac >= 1 {
+			hotFrac = cfg.HotFraction
+		}
+		sc := &senderClass{name: cl.Name}
+		sc.queues[sqHot] = list.New()
+		sc.queues[sqCold] = list.New()
+		hot := s.share.AddLeaf(node, cl.Name+"/hot", hotFrac)
+		cold := s.share.AddLeaf(node, cl.Name+"/cold", 1-hotFrac)
+		sc.leaf[sqHot] = hot.LeafID()
+		sc.leaf[sqCold] = cold.LeafID()
+		s.classes = append(s.classes, sc)
+		s.classByName[cl.Name] = i
+		s.leafOwner = append(s.leafOwner, [2]int{i, sqHot}, [2]int{i, sqCold})
+	}
+	if cfg.MinRate > 0 {
+		s.aimd = congestion.NewAIMD(cfg.TotalRate, cfg.MinRate, cfg.MaxRate)
+	}
+	s.stats.Rate = cfg.TotalRate
+	return s, nil
+}
+
+// Start launches the announcement and control loops.
+func (s *Sender) Start() {
+	s.wg.Add(2)
+	go s.sendLoop()
+	go s.recvLoop()
+}
+
+// Close sends a Goodbye and stops the sender. Safe to call twice.
+func (s *Sender) Close() error {
+	s.once.Do(func() {
+		s.send(&protocol.Goodbye{})
+		close(s.done)
+		// Unblock the reader.
+		_ = s.cfg.Conn.SetReadDeadline(time.Now())
+	})
+	s.wg.Wait()
+	return nil
+}
+
+// Publish inserts or updates a record. Lifetime 0 means the record
+// lives until Delete.
+func (s *Sender) Publish(key string, value []byte, lifetime time.Duration) error {
+	if _, err := namespace.SplitPath(key); err != nil {
+		return err
+	}
+	if key == "" {
+		return fmt.Errorf("sstp: empty key")
+	}
+	if len(key) > protocol.MaxKeyLen {
+		return fmt.Errorf("sstp: key length %d exceeds %d", len(key), protocol.MaxKeyLen)
+	}
+	if len(value) > protocol.MaxValueLen {
+		return fmt.Errorf("sstp: value length %d exceeds %d", len(value), protocol.MaxValueLen)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := nowSeconds()
+	rec := s.pub.Put(table.Key(key), value, now, lifetime.Seconds())
+	if err := s.ns.Put(key, value, rec.Version); err != nil {
+		s.pub.Delete(table.Key(key))
+		return err
+	}
+	s.pubBits += float64(8 * (len(value) + len(key)))
+	e := s.entries[key]
+	if e == nil {
+		e = &sendEntry{key: key, class: s.classify(key), queue: -1}
+		s.entries[key] = e
+	}
+	e.tombstone = 0
+	s.moveTo(e, sqHot)
+	return nil
+}
+
+// classify maps a key to its class index. Caller holds s.mu.
+func (s *Sender) classify(key string) int {
+	name := ""
+	if s.cfg.Classify != nil {
+		name = s.cfg.Classify(key)
+	} else if i := strings.IndexByte(key, '/'); i > 0 {
+		name = key[:i]
+	} else {
+		name = key
+	}
+	if idx, ok := s.classByName[name]; ok {
+		return idx
+	}
+	return 0
+}
+
+// Delete removes a record and schedules tombstone announcements.
+func (s *Sender) Delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.pub.Delete(table.Key(key)) {
+		return false
+	}
+	s.ns.Delete(key)
+	e := s.entries[key]
+	if e == nil {
+		e = &sendEntry{key: key, class: s.classify(key), queue: -1}
+		s.entries[key] = e
+	}
+	e.tombstone = s.cfg.TombstoneRepeats
+	s.moveTo(e, sqHot)
+	return true
+}
+
+// moveTo places an entry at the tail of its class's queue q (removing
+// it from its current queue if needed). Caller holds s.mu.
+func (s *Sender) moveTo(e *sendEntry, q int) {
+	if e.queue == q {
+		return
+	}
+	cl := s.classes[e.class]
+	if e.queue >= 0 {
+		cl.queues[e.queue].Remove(e.elem)
+	}
+	e.queue = q
+	e.elem = cl.queues[q].PushBack(e)
+}
+
+func (s *Sender) removeEntry(e *sendEntry) {
+	if e.queue >= 0 {
+		s.classes[e.class].queues[e.queue].Remove(e.elem)
+		e.queue = -1
+	}
+	delete(s.entries, e.key)
+}
+
+// Stats returns a copy of the current counters.
+func (s *Sender) Stats() SenderStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	if s.stats.SentByClass != nil {
+		st.SentByClass = make(map[string]int, len(s.stats.SentByClass))
+		for k, v := range s.stats.SentByClass {
+			st.SentByClass[k] = v
+		}
+	}
+	if s.stats.BytesByClass != nil {
+		st.BytesByClass = make(map[string]int, len(s.stats.BytesByClass))
+		for k, v := range s.stats.BytesByClass {
+			st.BytesByClass[k] = v
+		}
+	}
+	return st
+}
+
+// Len returns the number of live records.
+func (s *Sender) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pub.Len()
+}
+
+// RootDigest returns the namespace root digest (for convergence
+// checks).
+func (s *Sender) RootDigest() namespace.Digest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ns.RootDigest()
+}
+
+// Snapshot returns a copy of the live {key, value} table.
+func (s *Sender) Snapshot() map[string][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]byte)
+	now := nowSeconds()
+	for _, r := range s.pub.LiveRecords(now) {
+		out[string(r.Key)] = append([]byte(nil), r.Value...)
+	}
+	return out
+}
+
+// send encodes and transmits one message, charging no bucket (control
+// path). Caller must NOT hold s.mu... it takes it for seq/stat fields.
+func (s *Sender) send(msg protocol.Message) {
+	s.mu.Lock()
+	s.seq++
+	hdr := protocol.Header{Session: s.cfg.Session, Sender: s.cfg.SenderID, Seq: s.seq}
+	buf := protocol.Encode(hdr, msg)
+	s.stats.BytesSent += len(buf)
+	s.mu.Unlock()
+	_, _ = s.cfg.Conn.WriteTo(buf, s.cfg.Dest)
+}
+
+// sendLoop is the announcement scheduler: it picks hot/cold records
+// under the token bucket and interleaves periodic summaries.
+func (s *Sender) sendLoop() {
+	defer s.wg.Done()
+	nextSummary := time.Now().Add(s.cfg.SummaryInterval)
+	for {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		if time.Now().After(nextSummary) {
+			s.sendSummary()
+			nextSummary = time.Now().Add(s.cfg.SummaryInterval)
+			continue
+		}
+		buf, ok := s.nextAnnouncement()
+		if !ok {
+			// Idle: heartbeat keeps the sequence space alive so
+			// receivers can estimate loss, then nap briefly.
+			s.idleWait(&nextSummary)
+			continue
+		}
+		if !s.throttle(float64(8 * len(buf))) {
+			return // closed while waiting
+		}
+		_, _ = s.cfg.Conn.WriteTo(buf, s.cfg.Dest)
+	}
+}
+
+// idleWait sleeps briefly when there is nothing to announce.
+func (s *Sender) idleWait(nextSummary *time.Time) {
+	d := 20 * time.Millisecond
+	if until := time.Until(*nextSummary); until < d {
+		d = until
+		if d < 0 {
+			d = 0
+		}
+	}
+	select {
+	case <-s.done:
+	case <-time.After(d):
+	}
+}
+
+// throttle blocks until the token bucket admits a send of the given
+// size; it returns false if the sender closed while waiting.
+func (s *Sender) throttle(bits float64) bool {
+	for {
+		s.mu.Lock()
+		now := nowSeconds()
+		okNow := s.bucket.Allow(now, bits)
+		var wait float64
+		if !okNow {
+			wait = s.bucket.TimeUntil(now, bits)
+		}
+		s.mu.Unlock()
+		if okNow {
+			return true
+		}
+		select {
+		case <-s.done:
+			return false
+		case <-time.After(time.Duration(wait * float64(time.Second))):
+		}
+	}
+}
+
+// nextAnnouncement pops the next record per the hot/cold schedule and
+// returns its encoded datagram.
+func (s *Sender) nextAnnouncement() ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pub.Sweep(nowSeconds()) // expire lapsed records
+	leaf, ok := s.share.Pick(func(id int) bool {
+		owner := s.leafOwner[id]
+		return s.classes[owner[0]].queues[owner[1]].Len() > 0
+	})
+	if !ok {
+		return nil, false
+	}
+	owner := s.leafOwner[leaf]
+	q := s.classes[owner[0]].queues[owner[1]]
+	e := q.Front().Value.(*sendEntry)
+	q.Remove(e.elem)
+	e.queue = -1
+
+	var msg protocol.Message
+	if e.tombstone > 0 {
+		e.tombstone--
+		msg = &protocol.Data{Key: e.key, Deleted: true}
+		if e.tombstone > 0 {
+			s.moveTo(e, sqCold)
+		} else {
+			s.removeEntry(e)
+		}
+	} else {
+		rec := s.pub.Get(table.Key(e.key))
+		if rec == nil || !rec.Live(nowSeconds()) {
+			s.removeEntry(e)
+			return nil, false
+		}
+		msg = &protocol.Data{
+			Key:   e.key,
+			Ver:   rec.Version,
+			TTLms: uint32(s.cfg.TTL.Milliseconds()),
+			Value: rec.Value,
+		}
+		if !s.cfg.NoRetransmit {
+			s.moveTo(e, sqCold)
+		}
+		s.stats.DataSent++
+		if s.stats.SentByClass == nil {
+			s.stats.SentByClass = make(map[string]int)
+		}
+		s.stats.SentByClass[s.classes[e.class].name]++
+	}
+	s.seq++
+	hdr := protocol.Header{Session: s.cfg.Session, Sender: s.cfg.SenderID, Seq: s.seq}
+	buf := protocol.Encode(hdr, msg)
+	s.stats.BytesSent += len(buf)
+	if s.stats.BytesByClass == nil {
+		s.stats.BytesByClass = make(map[string]int)
+	}
+	s.stats.BytesByClass[s.classes[e.class].name] += len(buf)
+	s.share.Charge(leaf, float64(8*len(buf)))
+	return buf, true
+}
+
+func (s *Sender) sendSummary() {
+	s.mu.Lock()
+	digest := s.ns.RootDigest()
+	count := s.ns.Len()
+	s.mu.Unlock()
+	var msg protocol.Message
+	if count == 0 {
+		msg = &protocol.Heartbeat{}
+		s.mu.Lock()
+		s.stats.HeartbeatsSent++
+		s.mu.Unlock()
+	} else {
+		sum := &protocol.Summary{Count: uint32(count)}
+		copy(sum.Digest[:], digest[:])
+		msg = sum
+		s.mu.Lock()
+		s.stats.SummariesSent++
+		s.mu.Unlock()
+	}
+	if !s.throttle(800) {
+		return
+	}
+	s.send(msg)
+}
+
+// recvLoop handles feedback: NACKs, namespace queries, and receiver
+// reports.
+func (s *Sender) recvLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		_ = s.cfg.Conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, _, err := s.cfg.Conn.ReadFrom(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		hdr, msg, err := protocol.Decode(buf[:n])
+		if err != nil || hdr.Session != s.cfg.Session {
+			continue
+		}
+		if hdr.Sender == s.cfg.SenderID {
+			continue // our own multicast loopback
+		}
+		switch m := msg.(type) {
+		case *protocol.NACK:
+			s.onNACK(m)
+		case *protocol.Query:
+			s.onQuery(m)
+		case *protocol.Report:
+			s.onReport(m)
+		}
+	}
+}
+
+func (s *Sender) onNACK(m *protocol.NACK) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.NACKsReceived++
+	for _, key := range m.Keys {
+		e, ok := s.entries[key]
+		if !ok {
+			continue // dead or unknown key; the next summary resolves it
+		}
+		if e.queue == sqCold {
+			s.moveTo(e, sqHot)
+			s.stats.KeysPromoted++
+		}
+	}
+}
+
+func (s *Sender) onQuery(m *protocol.Query) {
+	s.mu.Lock()
+	kids, err := s.ns.Children(m.Path)
+	if err != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.stats.QueriesServed++
+	s.mu.Unlock()
+	resp := &protocol.Digests{Path: m.Path}
+	for _, k := range kids {
+		if len(resp.Children) == protocol.MaxBatch {
+			break
+		}
+		cd := protocol.ChildDigest{Name: k.Name, Leaf: k.Leaf}
+		copy(cd.Digest[:], k.Digest[:])
+		resp.Children = append(resp.Children, cd)
+	}
+	s.mu.Lock()
+	s.stats.DigestsSent++
+	s.mu.Unlock()
+	s.send(resp)
+}
+
+func (s *Sender) onReport(m *protocol.Report) {
+	s.mu.Lock()
+	s.stats.ReportsHeard++
+	s.stats.LossEstimate = m.Loss()
+	var newRate float64
+	if s.aimd != nil {
+		newRate = s.aimd.OnReport(m.Loss())
+		s.bucket.SetRate(newRate)
+		s.stats.Rate = newRate
+	} else {
+		newRate = s.cfg.TotalRate
+	}
+	// Profile-driven reallocation (§6.1).
+	var alloc profile.Allocation
+	var allocErr error
+	if s.cfg.Allocator != nil {
+		elapsed := nowSeconds() - s.started
+		appRate := 0.0
+		if elapsed > 0 {
+			appRate = s.pubBits / elapsed
+		}
+		alloc, allocErr = s.cfg.Allocator.Allocate(newRate, m.Loss(), appRate)
+		if allocErr == nil {
+			total := alloc.MuHot + alloc.MuCold
+			if total > 0 {
+				// Re-split every class's hot/cold share per the
+				// profile-driven allocation.
+				for _, cl := range s.classes {
+					s.share.SetWeight(cl.leaf[sqHot], alloc.MuHot/total)
+					s.share.SetWeight(cl.leaf[sqCold], alloc.MuCold/total)
+				}
+			}
+			if alloc.MuData > 0 {
+				s.bucket.SetRate(alloc.MuData)
+				s.stats.Rate = alloc.MuData
+			}
+		}
+	}
+	limited := allocErr == nil && alloc.RateLimited
+	cb := s.cfg.OnRateLimit
+	maxRate := alloc.MaxAppRate
+	s.mu.Unlock()
+	if limited && cb != nil {
+		cb(maxRate)
+	}
+}

@@ -1,0 +1,302 @@
+// Package table implements the paper's soft-state data model
+// (section 2): an evolving table of {key, value} records. The
+// publisher may insert, update, or delete records at any time; each
+// record carries a lifetime after which the publisher stops announcing
+// it and it is eliminated everywhere. Subscribers hold replicas in
+// which every entry has an expiration timer, reset on each received
+// announcement; entries whose timers lapse are deleted.
+//
+// The package is time-agnostic: all methods take an explicit `now`
+// (seconds), so the same tables serve both the discrete-event
+// simulations and the real-time SSTP transport (which feeds wall-clock
+// seconds).
+package table
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Key identifies a record.
+type Key string
+
+// Record is a publisher-side entry: an opaque value (an ADU in ALF
+// terms), a monotonically increasing version, and a lifetime.
+type Record struct {
+	Key     Key
+	Value   []byte
+	Version uint64
+	Born    float64 // time the current version was introduced
+	Expires float64 // time the record leaves the live set (+Inf = never)
+}
+
+// Live reports whether the record is live at time now.
+func (r *Record) Live(now float64) bool { return now < r.Expires }
+
+// Publisher is the sender-side table. The set of records live at time
+// t is the paper's live data set L(t).
+type Publisher struct {
+	records map[Key]*Record
+	version uint64
+
+	// OnChange, if non-nil, is invoked after every Put with the
+	// updated record — protocol engines use it to enqueue the record
+	// for (re-)announcement.
+	OnChange func(*Record)
+	// OnExpire, if non-nil, is invoked for each record removed by
+	// Sweep or Delete.
+	OnExpire func(*Record)
+}
+
+// NewPublisher returns an empty publisher table.
+func NewPublisher() *Publisher {
+	return &Publisher{records: make(map[Key]*Record)}
+}
+
+// Put inserts or updates a record, assigning the next version. A
+// lifetime <= 0 means the record never expires on its own. Put returns
+// the stored record.
+func (p *Publisher) Put(key Key, value []byte, now, lifetime float64) *Record {
+	if key == "" {
+		panic("table: empty key")
+	}
+	p.version++
+	expires := inf
+	if lifetime > 0 {
+		expires = now + lifetime
+	}
+	rec, ok := p.records[key]
+	if !ok {
+		rec = &Record{Key: key}
+		p.records[key] = rec
+	}
+	rec.Value = append(rec.Value[:0], value...)
+	rec.Version = p.version
+	rec.Born = now
+	rec.Expires = expires
+	if p.OnChange != nil {
+		p.OnChange(rec)
+	}
+	return rec
+}
+
+// Delete removes a record immediately. It reports whether the key was
+// present.
+func (p *Publisher) Delete(key Key) bool {
+	rec, ok := p.records[key]
+	if !ok {
+		return false
+	}
+	delete(p.records, key)
+	if p.OnExpire != nil {
+		p.OnExpire(rec)
+	}
+	return true
+}
+
+// Get returns the record for key, or nil.
+func (p *Publisher) Get(key Key) *Record { return p.records[key] }
+
+// Len returns the number of records (live or awaiting sweep).
+func (p *Publisher) Len() int { return len(p.records) }
+
+// Live returns |L(now)|, the number of live records.
+func (p *Publisher) Live(now float64) int {
+	n := 0
+	for _, r := range p.records {
+		if r.Live(now) {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveRecords returns the live records sorted by key (deterministic
+// iteration for announcement schedulers and tests).
+func (p *Publisher) LiveRecords(now float64) []*Record {
+	out := make([]*Record, 0, len(p.records))
+	for _, r := range p.records {
+		if r.Live(now) {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Sweep removes records whose lifetimes have lapsed, invoking OnExpire
+// for each, and returns the number removed.
+func (p *Publisher) Sweep(now float64) int {
+	var dead []Key
+	for k, r := range p.records {
+		if !r.Live(now) {
+			dead = append(dead, k)
+		}
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	for _, k := range dead {
+		rec := p.records[k]
+		delete(p.records, k)
+		if p.OnExpire != nil {
+			p.OnExpire(rec)
+		}
+	}
+	return len(dead)
+}
+
+// NextExpiry returns the earliest record expiry after now, or ok=false
+// if no record expires.
+func (p *Publisher) NextExpiry(now float64) (float64, bool) {
+	best := inf
+	for _, r := range p.records {
+		if r.Expires < best && r.Expires > now {
+			best = r.Expires
+		}
+	}
+	return best, best < inf
+}
+
+// Entry is a subscriber-side replica entry with its expiration timer.
+type Entry struct {
+	Key      Key
+	Value    []byte
+	Version  uint64
+	Deadline float64 // local expiry; reset by each announcement
+}
+
+// Subscriber is the receiver-side replica table.
+type Subscriber struct {
+	entries map[Key]*Entry
+
+	// OnExpire, if non-nil, is invoked for each entry that Sweep
+	// removes — the paper's "external notification event" on state
+	// expiry.
+	OnExpire func(*Entry)
+	// OnUpdate, if non-nil, is invoked when Apply installs a new
+	// value (not on pure timer refreshes).
+	OnUpdate func(*Entry)
+}
+
+// NewSubscriber returns an empty subscriber table.
+func NewSubscriber() *Subscriber {
+	return &Subscriber{entries: make(map[Key]*Entry)}
+}
+
+// Apply installs an announcement received at time now, holding the
+// entry until now+ttl. If the announced version is older than the
+// stored one the value is ignored but the timer is still refreshed
+// (hearing any announcement proves the record is alive). It reports
+// whether the stored value changed.
+func (s *Subscriber) Apply(key Key, value []byte, version uint64, now, ttl float64) bool {
+	if key == "" {
+		panic("table: empty key")
+	}
+	if ttl <= 0 {
+		panic(fmt.Sprintf("table: non-positive ttl %v", ttl))
+	}
+	e, ok := s.entries[key]
+	if !ok {
+		e = &Entry{Key: key}
+		s.entries[key] = e
+	}
+	e.Deadline = now + ttl
+	if ok && version < e.Version {
+		return false
+	}
+	changed := !ok || e.Version != version || !bytes.Equal(e.Value, value)
+	if version >= e.Version {
+		e.Value = append(e.Value[:0], value...)
+		e.Version = version
+	}
+	if changed && s.OnUpdate != nil {
+		s.OnUpdate(e)
+	}
+	return changed
+}
+
+// Get returns the entry for key if it is unexpired at now.
+func (s *Subscriber) Get(key Key, now float64) (*Entry, bool) {
+	e, ok := s.entries[key]
+	if !ok || now >= e.Deadline {
+		return nil, false
+	}
+	return e, true
+}
+
+// Drop removes an entry immediately (without OnExpire), reporting
+// whether it was present. Used when a deletion announcement arrives.
+func (s *Subscriber) Drop(key Key) bool {
+	if _, ok := s.entries[key]; !ok {
+		return false
+	}
+	delete(s.entries, key)
+	return true
+}
+
+// Len returns the number of entries including expired-but-unswept.
+func (s *Subscriber) Len() int { return len(s.entries) }
+
+// Sweep removes entries whose timers have lapsed, invoking OnExpire
+// for each, and returns the number removed.
+func (s *Subscriber) Sweep(now float64) int {
+	var dead []Key
+	for k, e := range s.entries {
+		if now >= e.Deadline {
+			dead = append(dead, k)
+		}
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	for _, k := range dead {
+		e := s.entries[k]
+		delete(s.entries, k)
+		if s.OnExpire != nil {
+			s.OnExpire(e)
+		}
+	}
+	return len(dead)
+}
+
+// NextDeadline returns the earliest entry deadline after now, or
+// ok=false when empty.
+func (s *Subscriber) NextDeadline(now float64) (float64, bool) {
+	best := inf
+	for _, e := range s.entries {
+		if e.Deadline < best && e.Deadline > now {
+			best = e.Deadline
+		}
+	}
+	return best, best < inf
+}
+
+// Keys returns all (unexpired at now) keys in sorted order.
+func (s *Subscriber) Keys(now float64) []Key {
+	out := make([]Key, 0, len(s.entries))
+	for k, e := range s.entries {
+		if now < e.Deadline {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Consistency compares a subscriber replica against the publisher's
+// live set at time now, implementing the paper's instantaneous metric
+// c(t): the fraction of live records for which both sides hold the
+// same value. It returns (consistent, live).
+func Consistency(p *Publisher, s *Subscriber, now float64) (consistent, live int) {
+	for _, r := range p.records {
+		if !r.Live(now) {
+			continue
+		}
+		live++
+		if e, ok := s.Get(r.Key, now); ok && bytes.Equal(e.Value, r.Value) {
+			consistent++
+		}
+	}
+	return consistent, live
+}
+
+var inf = math.Inf(1)

@@ -1,0 +1,320 @@
+package table
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestPublisherPutGet(t *testing.T) {
+	p := NewPublisher()
+	r := p.Put("a", []byte("v1"), 0, 10)
+	if r.Version != 1 || string(r.Value) != "v1" {
+		t.Fatalf("record = %+v", r)
+	}
+	if p.Get("a") != r {
+		t.Error("Get returned different record")
+	}
+	r2 := p.Put("a", []byte("v2"), 1, 10)
+	if r2 != r {
+		t.Error("update should reuse the record")
+	}
+	if r.Version != 2 || string(r.Value) != "v2" {
+		t.Errorf("after update: %+v", r)
+	}
+	if p.Len() != 1 {
+		t.Errorf("Len = %d", p.Len())
+	}
+}
+
+func TestPublisherVersionsMonotonic(t *testing.T) {
+	p := NewPublisher()
+	var last uint64
+	for i := 0; i < 100; i++ {
+		r := p.Put(Key(fmt.Sprintf("k%d", i%10)), nil, 0, 0)
+		if r.Version <= last {
+			t.Fatalf("version %d not > %d", r.Version, last)
+		}
+		last = r.Version
+	}
+}
+
+func TestPublisherLifetime(t *testing.T) {
+	p := NewPublisher()
+	p.Put("a", nil, 0, 5)
+	p.Put("b", nil, 0, 0) // immortal
+	if p.Live(4) != 2 {
+		t.Errorf("Live(4) = %d", p.Live(4))
+	}
+	if p.Live(5) != 1 {
+		t.Errorf("Live(5) = %d, want 1 (a expired)", p.Live(5))
+	}
+	if p.Live(1e12) != 1 {
+		t.Errorf("immortal record expired")
+	}
+}
+
+func TestPublisherSweep(t *testing.T) {
+	p := NewPublisher()
+	var expired []Key
+	p.OnExpire = func(r *Record) { expired = append(expired, r.Key) }
+	p.Put("a", nil, 0, 5)
+	p.Put("b", nil, 0, 3)
+	p.Put("c", nil, 0, 10)
+	if n := p.Sweep(6); n != 2 {
+		t.Errorf("Sweep removed %d, want 2", n)
+	}
+	if len(expired) != 2 || expired[0] != "a" || expired[1] != "b" {
+		t.Errorf("expired = %v", expired)
+	}
+	if p.Len() != 1 {
+		t.Errorf("Len after sweep = %d", p.Len())
+	}
+}
+
+func TestPublisherDelete(t *testing.T) {
+	p := NewPublisher()
+	fired := false
+	p.OnExpire = func(r *Record) { fired = true }
+	p.Put("a", nil, 0, 0)
+	if !p.Delete("a") {
+		t.Error("Delete existing = false")
+	}
+	if !fired {
+		t.Error("OnExpire not fired for Delete")
+	}
+	if p.Delete("a") {
+		t.Error("Delete missing = true")
+	}
+}
+
+func TestPublisherOnChange(t *testing.T) {
+	p := NewPublisher()
+	var changes []Key
+	p.OnChange = func(r *Record) { changes = append(changes, r.Key) }
+	p.Put("x", nil, 0, 0)
+	p.Put("y", nil, 0, 0)
+	p.Put("x", []byte("2"), 0, 0)
+	if len(changes) != 3 {
+		t.Errorf("changes = %v", changes)
+	}
+}
+
+func TestPublisherLiveRecordsSorted(t *testing.T) {
+	p := NewPublisher()
+	for _, k := range []Key{"c", "a", "b"} {
+		p.Put(k, nil, 0, 0)
+	}
+	recs := p.LiveRecords(0)
+	if len(recs) != 3 || recs[0].Key != "a" || recs[1].Key != "b" || recs[2].Key != "c" {
+		t.Errorf("LiveRecords order wrong: %v", recs)
+	}
+}
+
+func TestPublisherNextExpiry(t *testing.T) {
+	p := NewPublisher()
+	if _, ok := p.NextExpiry(0); ok {
+		t.Error("empty table has an expiry")
+	}
+	p.Put("a", nil, 0, 7)
+	p.Put("b", nil, 0, 3)
+	p.Put("c", nil, 0, 0)
+	at, ok := p.NextExpiry(0)
+	if !ok || at != 3 {
+		t.Errorf("NextExpiry = (%v, %v), want (3, true)", at, ok)
+	}
+	at, ok = p.NextExpiry(3)
+	if !ok || at != 7 {
+		t.Errorf("NextExpiry(3) = (%v, %v), want (7, true)", at, ok)
+	}
+}
+
+func TestPublisherEmptyKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty key did not panic")
+		}
+	}()
+	NewPublisher().Put("", nil, 0, 0)
+}
+
+func TestPublisherValueCopied(t *testing.T) {
+	p := NewPublisher()
+	buf := []byte("abc")
+	p.Put("a", buf, 0, 0)
+	buf[0] = 'X'
+	if string(p.Get("a").Value) != "abc" {
+		t.Error("publisher aliases caller's buffer")
+	}
+}
+
+func TestSubscriberApplyAndExpiry(t *testing.T) {
+	s := NewSubscriber()
+	if !s.Apply("a", []byte("v"), 1, 0, 5) {
+		t.Error("first Apply should report change")
+	}
+	if _, ok := s.Get("a", 4.9); !ok {
+		t.Error("entry should be held before deadline")
+	}
+	if _, ok := s.Get("a", 5); ok {
+		t.Error("entry visible at deadline")
+	}
+	// Refresh resets the timer.
+	if s.Apply("a", []byte("v"), 1, 4, 5) {
+		t.Error("pure refresh should not report change")
+	}
+	if _, ok := s.Get("a", 8); !ok {
+		t.Error("refresh did not reset the timer")
+	}
+}
+
+func TestSubscriberStaleVersionIgnoredButRefreshes(t *testing.T) {
+	s := NewSubscriber()
+	s.Apply("a", []byte("new"), 5, 0, 5)
+	if s.Apply("a", []byte("old"), 3, 1, 5) {
+		t.Error("stale version should not change value")
+	}
+	e, ok := s.Get("a", 5.5) // timer refreshed to 1+5=6
+	if !ok {
+		t.Fatal("stale announcement should still refresh the timer")
+	}
+	if string(e.Value) != "new" || e.Version != 5 {
+		t.Errorf("entry = %+v", e)
+	}
+}
+
+func TestSubscriberSweep(t *testing.T) {
+	s := NewSubscriber()
+	var expired []Key
+	s.OnExpire = func(e *Entry) { expired = append(expired, e.Key) }
+	s.Apply("a", nil, 1, 0, 2)
+	s.Apply("b", nil, 2, 0, 9)
+	if n := s.Sweep(5); n != 1 {
+		t.Errorf("Sweep = %d, want 1", n)
+	}
+	if len(expired) != 1 || expired[0] != "a" {
+		t.Errorf("expired = %v", expired)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestSubscriberOnUpdate(t *testing.T) {
+	s := NewSubscriber()
+	updates := 0
+	s.OnUpdate = func(e *Entry) { updates++ }
+	s.Apply("a", []byte("1"), 1, 0, 5)
+	s.Apply("a", []byte("1"), 1, 1, 5) // refresh only
+	s.Apply("a", []byte("2"), 2, 2, 5) // change
+	if updates != 2 {
+		t.Errorf("updates = %d, want 2", updates)
+	}
+}
+
+func TestSubscriberDrop(t *testing.T) {
+	s := NewSubscriber()
+	s.Apply("a", nil, 1, 0, 5)
+	if !s.Drop("a") || s.Drop("a") {
+		t.Error("Drop semantics wrong")
+	}
+}
+
+func TestSubscriberValidation(t *testing.T) {
+	s := NewSubscriber()
+	for _, fn := range []func(){
+		func() { s.Apply("", nil, 1, 0, 5) },
+		func() { s.Apply("a", nil, 1, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid Apply did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSubscriberNextDeadline(t *testing.T) {
+	s := NewSubscriber()
+	if _, ok := s.NextDeadline(0); ok {
+		t.Error("empty subscriber has a deadline")
+	}
+	s.Apply("a", nil, 1, 0, 4)
+	s.Apply("b", nil, 2, 0, 2)
+	at, ok := s.NextDeadline(0)
+	if !ok || at != 2 {
+		t.Errorf("NextDeadline = (%v, %v)", at, ok)
+	}
+}
+
+func TestSubscriberKeysSorted(t *testing.T) {
+	s := NewSubscriber()
+	s.Apply("c", nil, 1, 0, 10)
+	s.Apply("a", nil, 2, 0, 10)
+	s.Apply("b", nil, 3, 0, 1) // expires at 1
+	keys := s.Keys(5)
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "c" {
+		t.Errorf("Keys = %v", keys)
+	}
+}
+
+func TestConsistencyMetric(t *testing.T) {
+	p := NewPublisher()
+	s := NewSubscriber()
+	ra := p.Put("a", []byte("1"), 0, 0)
+	p.Put("b", []byte("2"), 0, 0)
+	p.Put("c", []byte("3"), 0, 5) // will expire at 5
+
+	s.Apply("a", ra.Value, ra.Version, 0, 100)
+	s.Apply("b", []byte("stale"), 1, 0, 100)
+
+	c, l := Consistency(p, s, 1)
+	if c != 1 || l != 3 {
+		t.Errorf("Consistency = (%d, %d), want (1, 3)", c, l)
+	}
+	// After c expires at the publisher, the live set shrinks.
+	c, l = Consistency(p, s, 6)
+	if c != 1 || l != 2 {
+		t.Errorf("Consistency after expiry = (%d, %d), want (1, 2)", c, l)
+	}
+}
+
+func TestConsistencyExpiredSubscriberEntry(t *testing.T) {
+	p := NewPublisher()
+	s := NewSubscriber()
+	r := p.Put("a", []byte("x"), 0, 0)
+	s.Apply("a", r.Value, r.Version, 0, 2)
+	if c, _ := Consistency(p, s, 1); c != 1 {
+		t.Error("fresh entry should count")
+	}
+	if c, _ := Consistency(p, s, 3); c != 0 {
+		t.Error("expired subscriber entry must not count as consistent")
+	}
+}
+
+// Property: applying the publisher's live records always yields full
+// consistency.
+func TestPropertyFullSyncIsConsistent(t *testing.T) {
+	f := func(keys []uint8, vals []uint8) bool {
+		p := NewPublisher()
+		s := NewSubscriber()
+		for i, k := range keys {
+			v := []byte{}
+			if i < len(vals) {
+				v = []byte{vals[i]}
+			}
+			p.Put(Key(fmt.Sprintf("k%d", k%16)), v, 0, 0)
+		}
+		for _, r := range p.LiveRecords(0) {
+			s.Apply(r.Key, r.Value, r.Version, 0, 100)
+		}
+		c, l := Consistency(p, s, 1)
+		return c == l && l == p.Live(1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package trace provides a bounded event trace for the protocol
+// simulator: a fixed-capacity ring of timestamped protocol events
+// (arrivals, transmissions, deliveries, losses, deaths, promotions,
+// NACKs) that supports per-record timelines — the debugging view used
+// when a consistency number looks wrong and one record's life story is
+// the fastest way to find out why.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds, in rough lifecycle order.
+const (
+	Arrive   Kind = iota // record entered the live set
+	Update               // record's value changed
+	Transmit             // announcement entered service
+	Deliver              // receiver got it
+	Lose                 // channel dropped it for a receiver
+	Promote              // NACK moved it cold -> hot
+	NACK                 // receiver requested repair
+	Die                  // record left the live set
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Arrive:
+		return "ARRIVE"
+	case Update:
+		return "UPDATE"
+	case Transmit:
+		return "TX"
+	case Deliver:
+		return "DELIVER"
+	case Lose:
+		return "LOSE"
+	case Promote:
+		return "PROMOTE"
+	case NACK:
+		return "NACK"
+	case Die:
+		return "DIE"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one trace entry.
+type Event struct {
+	T        float64 // simulated time
+	Kind     Kind
+	Key      string
+	Receiver int // -1 when not receiver-specific
+}
+
+// String renders one line.
+func (e Event) String() string {
+	if e.Receiver >= 0 {
+		return fmt.Sprintf("%10.4f %-8s %s rcv=%d", e.T, e.Kind, e.Key, e.Receiver)
+	}
+	return fmt.Sprintf("%10.4f %-8s %s", e.T, e.Kind, e.Key)
+}
+
+// Ring is a fixed-capacity event buffer; when full, the oldest events
+// are overwritten. The zero value is unusable; construct with New.
+type Ring struct {
+	buf   []Event
+	next  int
+	count uint64 // total events ever recorded
+}
+
+// New returns a ring holding up to capacity events.
+func New(capacity int) *Ring {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("trace: capacity %d must be positive", capacity))
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Add records an event.
+func (r *Ring) Add(e Event) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.count++
+}
+
+// Record is shorthand for Add.
+func (r *Ring) Record(t float64, k Kind, key string, receiver int) {
+	r.Add(Event{T: t, Kind: k, Key: key, Receiver: receiver})
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int { return len(r.buf) }
+
+// Total returns the number of events ever recorded (including
+// overwritten ones).
+func (r *Ring) Total() uint64 { return r.count }
+
+// Events returns the retained events in chronological order.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Timeline returns the retained events for one key, in order.
+func (r *Ring) Timeline(key string) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Key == key {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Filter returns the retained events matching the predicate.
+func (r *Ring) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump renders the retained events, one per line.
+func (r *Ring) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRingOrdering(t *testing.T) {
+	r := New(10)
+	for i := 0; i < 5; i++ {
+		r.Record(float64(i), Arrive, "k", -1)
+	}
+	evs := r.Events()
+	if len(evs) != 5 || r.Len() != 5 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.T != float64(i) {
+			t.Fatalf("out of order: %+v", evs)
+		}
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 7; i++ {
+		r.Record(float64(i), Transmit, "k", -1)
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d, want 3", len(evs))
+	}
+	if evs[0].T != 4 || evs[2].T != 6 {
+		t.Errorf("wrong window after wrap: %+v", evs)
+	}
+	if r.Total() != 7 {
+		t.Errorf("Total = %d", r.Total())
+	}
+}
+
+func TestTimelineAndFilter(t *testing.T) {
+	r := New(16)
+	r.Record(0, Arrive, "a", -1)
+	r.Record(1, Transmit, "a", -1)
+	r.Record(1.5, Arrive, "b", -1)
+	r.Record(2, Deliver, "a", 0)
+	r.Record(3, Die, "a", -1)
+	tl := r.Timeline("a")
+	if len(tl) != 4 {
+		t.Fatalf("timeline = %+v", tl)
+	}
+	if tl[0].Kind != Arrive || tl[3].Kind != Die {
+		t.Errorf("timeline order: %+v", tl)
+	}
+	deliveries := r.Filter(func(e Event) bool { return e.Kind == Deliver })
+	if len(deliveries) != 1 || deliveries[0].Receiver != 0 {
+		t.Errorf("filter = %+v", deliveries)
+	}
+}
+
+func TestDumpAndStrings(t *testing.T) {
+	r := New(4)
+	r.Record(1.25, Deliver, "x/y", 2)
+	r.Record(2, Die, "x/y", -1)
+	out := r.Dump()
+	if !strings.Contains(out, "DELIVER") || !strings.Contains(out, "rcv=2") {
+		t.Errorf("dump = %q", out)
+	}
+	if !strings.Contains(out, "DIE") || strings.Contains(strings.Split(out, "\n")[1], "rcv=") {
+		t.Errorf("non-receiver event printed a receiver: %q", out)
+	}
+	for k := Arrive; k <= Die; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown kind should stringify numerically")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 accepted")
+		}
+	}()
+	New(0)
+}

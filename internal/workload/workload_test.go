@@ -1,0 +1,242 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"softstate/internal/xrand"
+)
+
+func ordered(evs []Event) bool {
+	return sort.SliceIsSorted(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+}
+
+func TestPoissonRateAndHorizon(t *testing.T) {
+	g := NewPoisson(10, 30, 64, 1000, xrand.New(1))
+	evs := Drain(g, 0)
+	// Expect ~10000 events; allow 5% slack.
+	if math.Abs(float64(len(evs))-10000) > 500 {
+		t.Errorf("got %d events, want ~10000", len(evs))
+	}
+	if !ordered(evs) {
+		t.Error("events out of order")
+	}
+	for _, ev := range evs {
+		if ev.At <= 0 || ev.At > 1000 {
+			t.Fatalf("event at %v outside horizon", ev.At)
+		}
+		if ev.Op != OpPut || len(ev.Value) != 64 || ev.Lifetime <= 0 {
+			t.Fatalf("bad event: %+v", ev)
+		}
+		if !strings.HasPrefix(ev.Key, "records/") {
+			t.Fatalf("bad key %q", ev.Key)
+		}
+	}
+}
+
+func TestPoissonUniqueKeys(t *testing.T) {
+	evs := Drain(NewPoisson(50, 10, 8, 100, xrand.New(2)), 0)
+	seen := map[string]bool{}
+	for _, ev := range evs {
+		if seen[ev.Key] {
+			t.Fatalf("duplicate key %q", ev.Key)
+		}
+		seen[ev.Key] = true
+	}
+}
+
+func TestPoissonLifetimeMean(t *testing.T) {
+	evs := Drain(NewPoisson(100, 25, 0, 500, xrand.New(3)), 0)
+	sum := 0.0
+	for _, ev := range evs {
+		sum += ev.Lifetime
+	}
+	mean := sum / float64(len(evs))
+	if math.Abs(mean-25)/25 > 0.05 {
+		t.Errorf("mean lifetime %v, want ~25", mean)
+	}
+}
+
+func TestPoissonDeterminism(t *testing.T) {
+	a := Drain(NewPoisson(20, 10, 16, 100, xrand.New(7)), 0)
+	b := Drain(NewPoisson(20, 10, 16, 100, xrand.New(7)), 0)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Key != b[i].Key || string(a[i].Value) != string(b[i].Value) {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewPoisson(0, 1, 1, 1, xrand.New(1)) },
+		func() { NewPoisson(1, 1, 1, 0, xrand.New(1)) },
+		func() { NewPoisson(1, -1, 1, 1, xrand.New(1)) },
+		func() { NewPoisson(1, 1, 1, 1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad Poisson accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSessionDirectoryShape(t *testing.T) {
+	g := NewSessionDirectory(0.05, 600, 0.002, 20000, xrand.New(4))
+	evs := Drain(g, 0)
+	if len(evs) < 500 {
+		t.Fatalf("only %d events", len(evs))
+	}
+	creations, updates := 0, 0
+	seen := map[string]bool{}
+	for _, ev := range evs {
+		if ev.Op != OpPut {
+			t.Fatalf("sdr emitted %v", ev.Op)
+		}
+		if !strings.HasPrefix(ev.Key, "sessions/conf-") {
+			t.Fatalf("bad key %q", ev.Key)
+		}
+		if !strings.Contains(string(ev.Value), "v=0") || !strings.Contains(string(ev.Value), "m=") {
+			t.Fatalf("value not SDP-like: %q", ev.Value)
+		}
+		if ev.Lifetime <= 0 {
+			t.Fatalf("non-positive lifetime: %+v", ev)
+		}
+		if seen[ev.Key] {
+			updates++
+		} else {
+			seen[ev.Key] = true
+			creations++
+		}
+	}
+	if creations < 800 || creations > 1200 {
+		t.Errorf("creations = %d, want ~1000", creations)
+	}
+	if updates == 0 {
+		t.Error("no description updates generated")
+	}
+}
+
+func TestRoutingTableShape(t *testing.T) {
+	rt := NewRoutingTable(64, 2, 0.2, 2000, xrand.New(5))
+	init := rt.InitialEvents()
+	if len(init) != 64 {
+		t.Fatalf("initial events = %d", len(init))
+	}
+	for _, ev := range init {
+		if ev.Op != OpPut || !strings.Contains(string(ev.Value), "metric=") {
+			t.Fatalf("bad initial event %+v", ev)
+		}
+	}
+	evs := Drain(rt, 0)
+	if math.Abs(float64(len(evs))-4000) > 300 {
+		t.Errorf("got %d change events, want ~4000", len(evs))
+	}
+	dels, puts := 0, 0
+	prefixes := map[string]bool{}
+	for _, p := range rt.Prefixes() {
+		prefixes[p] = true
+	}
+	withdrawn := map[string]bool{}
+	for _, ev := range evs {
+		if !prefixes[ev.Key] {
+			t.Fatalf("unknown prefix %q", ev.Key)
+		}
+		switch ev.Op {
+		case OpDelete:
+			if withdrawn[ev.Key] {
+				t.Fatal("double withdrawal without re-announce")
+			}
+			withdrawn[ev.Key] = true
+			dels++
+		case OpPut:
+			withdrawn[ev.Key] = false
+			puts++
+			m := string(ev.Value)
+			if !strings.Contains(m, "metric=") {
+				t.Fatalf("bad value %q", m)
+			}
+		}
+	}
+	if dels == 0 {
+		t.Error("no withdrawals generated")
+	}
+	if puts <= dels {
+		t.Errorf("puts=%d dels=%d", puts, dels)
+	}
+}
+
+func TestRoutingMetricsBounded(t *testing.T) {
+	rt := NewRoutingTable(8, 10, 0, 2000, xrand.New(6))
+	for _, ev := range Drain(rt, 0) {
+		m, ok := parseMetric(string(ev.Value))
+		if !ok {
+			t.Fatalf("unparseable value %q", ev.Value)
+		}
+		if m < 1 || m > 15 {
+			t.Fatalf("metric %d out of RIP range", m)
+		}
+	}
+}
+
+// parseMetric extracts the metric=N field.
+func parseMetric(s string) (int, bool) {
+	idx := strings.Index(s, "metric=")
+	if idx < 0 {
+		return 0, false
+	}
+	n := 0
+	i := idx + len("metric=")
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		n = n*10 + int(s[i]-'0')
+		i++
+	}
+	return n, true
+}
+
+func TestStockTickerZipfSkew(t *testing.T) {
+	st := NewStockTicker(100, 50, 1000, xrand.New(8))
+	counts := map[string]int{}
+	for _, ev := range Drain(st, 0) {
+		counts[ev.Key]++
+		if !strings.HasPrefix(string(ev.Value), "price=") {
+			t.Fatalf("bad quote %q", ev.Value)
+		}
+	}
+	// Hot symbols should dominate cold ones.
+	var freq []int
+	for _, c := range counts {
+		freq = append(freq, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freq)))
+	if len(freq) < 10 || freq[0] < 5*freq[len(freq)-1] {
+		t.Errorf("ticker not Zipf-skewed: top=%d bottom=%d", freq[0], freq[len(freq)-1])
+	}
+}
+
+func TestStockTickerPricesPositive(t *testing.T) {
+	st := NewStockTicker(10, 100, 500, xrand.New(9))
+	for _, ev := range Drain(st, 0) {
+		s := strings.TrimPrefix(string(ev.Value), "price=")
+		if strings.HasPrefix(s, "-") || s == "0.00" {
+			t.Fatalf("non-positive price %q", ev.Value)
+		}
+	}
+}
+
+func TestDrainMax(t *testing.T) {
+	g := NewPoisson(100, 10, 4, 1000, xrand.New(10))
+	evs := Drain(g, 5)
+	if len(evs) != 5 {
+		t.Errorf("Drain(5) = %d events", len(evs))
+	}
+}

@@ -1,0 +1,147 @@
+// Package xrand provides a seedable random source with the
+// distributions used throughout the soft-state model: exponential
+// inter-arrival times, Bernoulli trials (packet loss, record death),
+// Poisson counts, and Zipf-distributed key popularity.
+//
+// Every simulation component in this repository draws randomness
+// through an *xrand.Rand so that experiments are reproducible from a
+// single seed. The zero value is not usable; construct with New.
+package xrand
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rand is a deterministic random source. It wraps math/rand with the
+// distribution helpers the soft-state model needs. It is not safe for
+// concurrent use; give each simulation its own instance (the
+// discrete-event engine is single-threaded, so this is natural).
+type Rand struct {
+	src *rand.Rand
+}
+
+// New returns a Rand seeded with seed. Equal seeds yield identical
+// streams.
+func New(seed int64) *Rand {
+	return &Rand{src: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives a new independent-looking stream from r. It is used
+// to give each subsystem (arrivals, loss, death, scheduling) its own
+// stream so that changing one parameter sweep does not perturb the
+// random draws of another.
+func (r *Rand) Split() *Rand {
+	// Derive the child seed from the parent stream. The golden-ratio
+	// increment decorrelates consecutive children.
+	const gamma = 0x9e3779b97f4a7c15
+	return New(int64(r.src.Uint64() ^ gamma))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 { return r.src.Float64() }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int { return r.src.Intn(n) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (r *Rand) Int63() int64 { return r.src.Int63() }
+
+// Uint64 returns a uniform 64-bit value.
+func (r *Rand) Uint64() uint64 { return r.src.Uint64() }
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int { return r.src.Perm(n) }
+
+// Bernoulli reports true with probability p. Values of p outside
+// [0, 1] are clamped.
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.src.Float64() < p
+}
+
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (r *Rand) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("xrand: Exp rate must be positive")
+	}
+	return r.src.ExpFloat64() / rate
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.src.Float64()
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation.
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	return mean + stddev*r.src.NormFloat64()
+}
+
+// Poisson returns a Poisson-distributed count with the given mean,
+// using inversion for small means and the PTRS transformed-rejection
+// method's simple fallback (normal approximation) for large means.
+func (r *Rand) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		// Knuth inversion.
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.src.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	// Normal approximation with continuity correction is adequate for
+	// the workload generators (mean counts per interval).
+	n := int(math.Round(r.Normal(mean, math.Sqrt(mean))))
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Geometric returns the number of failures before the first success
+// in Bernoulli(p) trials. It panics if p <= 0 or p > 1.
+func (r *Rand) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("xrand: Geometric p must be in (0, 1]")
+	}
+	if p == 1 {
+		return 0
+	}
+	// Inversion: floor(ln(U) / ln(1-p)).
+	u := r.src.Float64()
+	for u == 0 {
+		u = r.src.Float64()
+	}
+	return int(math.Log(u) / math.Log(1-p))
+}
+
+// Zipf returns a generator of Zipf-distributed values in [0, n) with
+// exponent s > 1 is not required; s >= 0. Used to model skewed key
+// popularity in workload generators.
+func (r *Rand) Zipf(s float64, n uint64) *rand.Zipf {
+	if s <= 1 {
+		s = 1.0000001
+	}
+	return rand.NewZipf(r.src, s, 1, n-1)
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	r.src.Shuffle(n, swap)
+}

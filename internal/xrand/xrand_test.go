@@ -1,0 +1,199 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Float64() == c2.Float64() {
+		// A single collision is possible but astronomically unlikely.
+		if c1.Float64() == c2.Float64() {
+			t.Fatal("split children appear correlated")
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliMean(t *testing.T) {
+	r := New(3)
+	const n = 200000
+	for _, p := range []float64{0.1, 0.4, 0.9} {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("Bernoulli(%v) mean = %v", p, got)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(4)
+	const n = 200000
+	for _, rate := range []float64{0.5, 2, 10} {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += r.Exp(rate)
+		}
+		got := sum / n
+		want := 1 / rate
+		if math.Abs(got-want)/want > 0.02 {
+			t.Errorf("Exp(%v) mean = %v, want ~%v", rate, got, want)
+		}
+	}
+}
+
+func TestExpPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(5)
+	const n = 100000
+	for _, mean := range []float64{0.5, 3, 12, 80} {
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += r.Poisson(mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean)/mean > 0.03 {
+			t.Errorf("Poisson(%v) mean = %v", mean, got)
+		}
+	}
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 {
+		t.Error("Poisson of non-positive mean should be 0")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(6)
+	const n = 200000
+	p := 0.25
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(p)
+	}
+	got := float64(sum) / n
+	want := (1 - p) / p // mean failures before success
+	if math.Abs(got-want)/want > 0.03 {
+		t.Errorf("Geometric(%v) mean = %v, want ~%v", p, got, want)
+	}
+	if r.Geometric(1) != 0 {
+		t.Error("Geometric(1) must be 0")
+	}
+}
+
+func TestGeometricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geometric(0) did not panic")
+		}
+	}()
+	New(1).Geometric(0)
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(8)
+	if err := quick.Check(func(seed int64) bool {
+		v := r.Uniform(3, 7)
+		return v >= 3 && v < 7
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(9)
+	z := r.Zipf(1.2, 1000)
+	counts := make(map[uint64]int)
+	for i := 0; i < 50000; i++ {
+		counts[z.Uint64()]++
+	}
+	if counts[0] <= counts[10] {
+		t.Errorf("Zipf not skewed: count(0)=%d count(10)=%d", counts[0], counts[10])
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(10)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(5, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Errorf("Normal mean = %v", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Errorf("Normal variance = %v", variance)
+	}
+}
