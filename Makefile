@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check build vet fmt test race bench
+
+## check: the extended tier-1 gate — everything a PR must keep green.
+check: fmt vet build race bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: smoke-run the benchmarks (one iteration each) so they keep
+## compiling and running; full numbers come from `go test -bench=.`.
+bench:
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...

@@ -27,8 +27,10 @@ import (
 	"strings"
 	"time"
 
+	"softstate/internal/obs"
 	"softstate/internal/sdir"
 	"softstate/internal/sstp"
+	"softstate/internal/trace"
 )
 
 func main() {
@@ -39,24 +41,49 @@ func main() {
 	sender := flag.String("sender", "127.0.0.1:9875", "browser: announcer address for feedback")
 	session := flag.Uint64("session", 9875, "SSTP session id")
 	rate := flag.Float64("rate", 64_000, "session bandwidth (bits/s)")
+	admin := flag.String("admin", "", "serve /metrics, /stats.json, /trace, /debug/pprof on this address")
 	flag.Parse()
+
+	reg := obs.New("sdird")
+	ring := trace.NewSafe(4096)
+	if *admin != "" {
+		srv, addr, err := obs.ServeAdmin(*admin, reg, ring)
+		if err != nil {
+			log.Fatalf("admin: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("sdird: admin endpoint on http://%s/", addr)
+	}
 
 	switch {
 	case *announce:
-		runAnnouncer(*laddr, *peer, *session, *rate)
+		runAnnouncer(*laddr, *peer, *session, *rate, reg, ring)
 	case *browse:
-		runBrowser(*laddr, *sender, *session)
+		runBrowser(*laddr, *sender, *session, reg, ring)
 	default:
 		fmt.Fprintln(os.Stderr, "need -announce or -browse")
 		os.Exit(2)
 	}
 }
 
-func runAnnouncer(laddr, dest string, session uint64, rate float64) {
-	dir, sndr, err := sdir.Dial(session, laddr, dest, rate)
+func runAnnouncer(laddr, dest string, session uint64, rate float64, reg *obs.Registry, ring *trace.Ring) {
+	conn, err := net.ListenPacket("udp", laddr)
 	if err != nil {
 		log.Fatal(err)
 	}
+	dst, err := net.ResolveUDPAddr("udp", dest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sndr, err := sstp.NewSender(sstp.SenderConfig{
+		Session: session, SenderID: uint64(time.Now().UnixNano()),
+		Conn: conn, Dest: dst, TotalRate: rate,
+		Obs: reg, Trace: ring,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir := sdir.NewDirectory(sndr)
 	sndr.Start()
 	defer sndr.Close()
 	log.Printf("sdird: announcing session directory %d from %s to %s", session, laddr, dest)
@@ -107,7 +134,7 @@ func runAnnouncer(laddr, dest string, session uint64, rate float64) {
 	waitForInterrupt()
 }
 
-func runBrowser(laddr, senderAddr string, session uint64) {
+func runBrowser(laddr, senderAddr string, session uint64, reg *obs.Registry, ring *trace.Ring) {
 	conn, err := net.ListenPacket("udp", laddr)
 	if err != nil {
 		log.Fatal(err)
@@ -119,6 +146,7 @@ func runBrowser(laddr, senderAddr string, session uint64) {
 	browser, rcv, err := sdir.NewBrowser(sstp.ReceiverConfig{
 		Session: session, ReceiverID: uint64(os.Getpid()),
 		Conn: conn, FeedbackDest: dst,
+		Obs: reg, Trace: ring,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"softstate/internal/core"
+	"softstate/internal/obs"
 	"softstate/internal/queueing"
 )
 
@@ -47,6 +48,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "RNG seed")
 		sweep    = flag.String("sweep", "", "vary one parameter: name=from:to:step")
 		traceN   = flag.Int("trace", 0, "print the last N protocol events (single-run mode)")
+		metrics  = flag.Bool("metrics", false, "print the final metrics snapshot (single-run mode); same series names as the live stack")
 	)
 	flag.Parse()
 
@@ -101,12 +103,18 @@ func main() {
 	if *sweep == "" {
 		cfg := baseCfg()
 		cfg.TraceCapacity = *traceN
+		if *metrics {
+			cfg.Obs = obs.New("sssim")
+		}
 		e, err := core.NewEngine(cfg)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		res := e.Run(*dur)
 		report(cfg, res)
+		if cfg.Obs != nil {
+			fmt.Printf("\nfinal metrics snapshot:\n%s", cfg.Obs.RenderText())
+		}
 		if tr := e.Trace(); tr != nil {
 			fmt.Printf("\nlast %d protocol events:\n%s", tr.Len(), tr.Dump())
 		}

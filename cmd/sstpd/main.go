@@ -13,7 +13,9 @@
 //	STATS
 //
 // With -demo {ticker|routes|sdr}, a workload generator publishes
-// continuously instead.
+// continuously instead. With -admin ADDR, an HTTP endpoint serves
+// /metrics (Prometheus), /stats.json, /trace (JSONL event ring), and
+// /debug/pprof. -statsevery D logs a one-line summary every D.
 package main
 
 import (
@@ -28,8 +30,10 @@ import (
 	"strings"
 	"time"
 
+	"softstate/internal/obs"
 	"softstate/internal/profile"
 	"softstate/internal/sstp"
+	"softstate/internal/trace"
 	"softstate/internal/workload"
 	"softstate/internal/xrand"
 )
@@ -44,7 +48,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	profPath := flag.String("profile", "", "consistency profile JSON (from ssprofile) for adaptive allocation")
 	target := flag.Float64("target", 0.9, "consistency target when -profile is set")
+	admin := flag.String("admin", "", "serve /metrics, /stats.json, /trace, /debug/pprof on this address")
+	statsEvery := flag.Duration("statsevery", 0, "log a one-line stats summary at this interval")
+	traceCap := flag.Int("tracecap", 4096, "protocol event ring capacity (0 disables)")
 	flag.Parse()
+
+	reg := obs.New("sstpd")
+	var ring *trace.Ring
+	if *traceCap > 0 {
+		ring = trace.NewSafe(*traceCap)
+	}
 
 	var alloc *profile.Allocator
 	if *profPath != "" {
@@ -77,6 +90,8 @@ func main() {
 		TotalRate: *rate,
 		TTL:       *ttl,
 		Allocator: alloc,
+		Obs:       reg,
+		Trace:     ring,
 		OnRateLimit: func(max float64) {
 			log.Printf("allocator: publish rate exceeds μ_hot; max sustainable ≈ %.0f bps", max)
 		},
@@ -87,6 +102,27 @@ func main() {
 	s.Start()
 	defer s.Close()
 	log.Printf("sstpd: announcing session %d from %s to %s at %.0f bps", *session, *laddr, *dest, *rate)
+
+	if *admin != "" {
+		srv, addr, err := obs.ServeAdmin(*admin, reg, ring)
+		if err != nil {
+			log.Fatalf("admin: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("sstpd: admin endpoint on http://%s/", addr)
+	}
+	if *statsEvery > 0 {
+		tick := time.NewTicker(*statsEvery)
+		defer tick.Stop()
+		go func() {
+			for range tick.C {
+				log.Println("sstpd:", reg.OneLine(
+					"sstp_records_live", "sstp_publishes_total",
+					"sstp_announcements_total", "sstp_tx_bits_total",
+					"sstp_nacks_received_total", "sstp_send_rate_bps"))
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -100,13 +136,13 @@ func main() {
 	go func() {
 		sc := bufio.NewScanner(os.Stdin)
 		for sc.Scan() {
-			handleLine(s, sc.Text())
+			handleLine(s, reg, sc.Text())
 		}
 	}()
 	<-sig
 }
 
-func handleLine(s *sstp.Sender, line string) {
+func handleLine(s *sstp.Sender, reg *obs.Registry, line string) {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return
@@ -135,7 +171,7 @@ func handleLine(s *sstp.Sender, line string) {
 			fmt.Println("no such key")
 		}
 	case "STATS":
-		fmt.Printf("%+v\n", s.Stats())
+		fmt.Print(reg.RenderText())
 	default:
 		fmt.Println("commands: PUT, DEL, STATS")
 	}

@@ -7,7 +7,11 @@
 // bandwidth with the profile-driven allocator.
 package congestion
 
-import "fmt"
+import (
+	"fmt"
+
+	"softstate/internal/obs"
+)
 
 // TokenBucket enforces an average rate with bounded burst. All
 // methods take explicit timestamps in seconds (simulated or wall
@@ -89,6 +93,20 @@ type AIMD struct {
 
 	increases int
 	decreases int
+
+	incC  *obs.Counter
+	decC  *obs.Counter
+	rateG *obs.Gauge
+}
+
+// Instrument publishes the controller's rate decisions to reg:
+// sstp_rate_changes_total{dir="up"|"down"} and the sstp_send_rate_bps
+// gauge. Safe with a nil registry.
+func (a *AIMD) Instrument(reg *obs.Registry) {
+	a.incC = reg.Counter("sstp_rate_changes_total", "dir", "up")
+	a.decC = reg.Counter("sstp_rate_changes_total", "dir", "down")
+	a.rateG = reg.Gauge("sstp_send_rate_bps")
+	a.rateG.Set(a.rate)
 }
 
 // NewAIMD returns a controller starting at initial, bounded to
@@ -116,9 +134,11 @@ func (a *AIMD) OnReport(loss float64) float64 {
 	if loss > a.Tolerance {
 		a.rate *= a.Decrease
 		a.decreases++
+		a.decC.Inc()
 	} else {
 		a.rate += a.Increase
 		a.increases++
+		a.incC.Inc()
 	}
 	if a.rate < a.min {
 		a.rate = a.min
@@ -126,6 +146,7 @@ func (a *AIMD) OnReport(loss float64) float64 {
 	if a.rate > a.max {
 		a.rate = a.max
 	}
+	a.rateG.Set(a.rate)
 	return a.rate
 }
 

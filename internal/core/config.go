@@ -25,6 +25,7 @@ package core
 import (
 	"fmt"
 
+	"softstate/internal/obs"
 	"softstate/internal/sched"
 	"softstate/internal/xrand"
 )
@@ -166,6 +167,13 @@ type Config struct {
 	SampleInterval float64 // >0: record a consistency time series
 	TrackTables    bool    // mirror state into table.Publisher/Subscriber
 	TraceCapacity  int     // >0: retain the last N protocol events (Engine.Trace)
+
+	// Obs, if non-nil, publishes the run's counters under the same
+	// sstp_* series names the live stack (internal/sstp) uses, so a
+	// simulator prediction and a production run are directly
+	// comparable. Channel and event-loop internals appear under
+	// netsim_* and eventsim_*.
+	Obs *obs.Registry
 }
 
 // withDefaults fills zero fields with defaults and validates.

@@ -67,6 +67,7 @@ type Engine struct {
 	pub  *table.Publisher
 	subs []*table.Subscriber
 	tr   *trace.Ring
+	m    engineMetrics
 
 	keySeq    uint64
 	arrivals  int
@@ -95,7 +96,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 		nCons:     make([]int, cfg.Receivers),
 		lat:       metric.NewLatencyTracker(),
 		bw:        &metric.BandwidthAccountant{},
+		m:         newEngineMetrics(cfg.Obs),
 	}
+	e.sim.Instrument(cfg.Obs)
+	e.m.rate.Set(cfg.MuData)
 	lossRnd := root.Split()
 	mkLoss := func(rcv int) netsim.LossModel {
 		p := cfg.LossRate
@@ -124,6 +128,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 				ch.AddReceiver(mkLoss(i), 0)
 			}
 			ch.OnIdle = func() { e.pumpStrict(q) }
+			ch.Instrument(cfg.Obs, "link", [2]string{"hot", "cold"}[q])
 			e.chq[q] = ch
 		}
 	} else {
@@ -132,6 +137,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 			e.ch.AddReceiver(mkLoss(i), 0)
 		}
 		e.ch.OnIdle = e.pump
+		e.ch.Instrument(cfg.Obs, "link", "data")
 	}
 	for i := 0; i < cfg.Receivers; i++ {
 		e.meters = append(e.meters, metric.NewConsistencyMeter(0))
@@ -149,6 +155,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 			fbLoss = netsim.NewBernoulliLoss(cfg.FbLossRate, lossRnd.Split())
 		}
 		e.fb = netsim.NewFeedbackLink(e.sim, cfg.MuFb, fbLoss, 0, cfg.NACKQueueCap)
+		e.fb.Instrument(cfg.Obs)
 	}
 
 	if cfg.TrackTables {
@@ -239,6 +246,8 @@ func (e *Engine) insert() *record {
 		})
 	}
 	e.enqueue(rec, qHot)
+	e.m.publishes.Inc()
+	e.m.live.Set(float64(len(e.live)))
 	e.record(trace.Arrive, rec.key, -1)
 	e.observe()
 	return rec
@@ -295,6 +304,8 @@ func (e *Engine) kill(rec *record) {
 			s.Drop(rec.key)
 		}
 	}
+	e.m.deletes.Inc()
+	e.m.live.Set(float64(len(e.live)))
 	e.record(trace.Die, rec.key, -1)
 	e.observe()
 }
@@ -310,6 +321,7 @@ func (e *Engine) update() {
 	rec.version++
 	rec.born = e.Now()
 	e.updates++
+	e.m.updates.Inc()
 	if rec.latPending {
 		// Previous version never arrived; it is now superseded.
 		e.lat.ObserveDeath()
@@ -372,6 +384,11 @@ func (e *Engine) pop(q int) *record {
 	e.dequeue(rec)
 	rec.inService = true
 	rec.txVersion = rec.version
+	if q == qHot {
+		e.m.annHot.Inc()
+	} else {
+		e.m.annCold.Inc()
+	}
 	return rec
 }
 
@@ -388,6 +405,7 @@ func (e *Engine) drawBits() float64 {
 
 func (e *Engine) transmit(ch *netsim.Channel, rec *record, bits float64) {
 	enterCons := rec.consistent[0]
+	e.m.txBits.Add(uint64(bits))
 	e.record(trace.Transmit, rec.key, -1)
 	ch.Transmit(bits, func(rcv int, delivered bool) {
 		e.deliver(rec, bits, rcv, delivered, enterCons)
@@ -418,8 +436,10 @@ func (e *Engine) deliver(rec *record, bits float64, rcv int, delivered bool, ent
 			e.nCons[rcv]++
 			if rcv == 0 {
 				e.bw.Useful(bits)
+				e.m.deliveries.Inc()
 				if rec.latPending {
 					e.lat.ObserveDelivery(e.Now() - rec.born)
+					e.m.tRec.Observe(e.Now() - rec.born)
 					rec.latPending = false
 				}
 			}
@@ -430,6 +450,7 @@ func (e *Engine) deliver(rec *record, bits float64, rcv int, delivered bool, ent
 		} else {
 			if rcv == 0 {
 				e.bw.Redundant(bits)
+				e.m.duplicates.Inc()
 			}
 			if e.subs != nil {
 				e.subs[rcv].Apply(rec.key, e.valueBytes(rec), rec.version, e.Now(), e.receiverTTL())
@@ -439,11 +460,13 @@ func (e *Engine) deliver(rec *record, bits float64, rcv int, delivered bool, ent
 		e.record(trace.Lose, rec.key, rcv)
 		if rcv == 0 {
 			e.bw.Lost(bits)
+			e.m.losses.Inc()
 		}
 		if e.cfg.Mode == ModeFeedback && !rec.consistent[rcv] {
 			// The receiver detects the loss (ADU gap) and NACKs.
 			e.record(trace.NACK, rec.key, rcv)
 			e.nacksGen++
+			e.m.nacksSent.Inc()
 			e.bw.Feedback(e.cfg.NACKBits)
 			e.fb.Send(e.cfg.NACKBits, func() { e.onNACK(rec) })
 		}
@@ -500,6 +523,7 @@ func (e *Engine) finalize(rec *record, enterCons bool) {
 // transition).
 func (e *Engine) onNACK(rec *record) {
 	e.nacksRecv++
+	e.m.nacksRecv.Inc()
 	if !rec.alive {
 		return // stale NACK for a dead record
 	}
@@ -508,6 +532,7 @@ func (e *Engine) onNACK(rec *record) {
 		e.enqueue(rec, qHot)
 		e.record(trace.Promote, rec.key, -1)
 		e.promoted++
+		e.m.promotions.Inc()
 		e.pump()
 	}
 }

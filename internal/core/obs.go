@@ -1,0 +1,50 @@
+package core
+
+import "softstate/internal/obs"
+
+// engineMetrics mirrors the live stack's catalog (internal/sstp) so a
+// simulator run and a production run expose the same sstp_* series and
+// are directly comparable. Simulator-only context (channel service,
+// feedback queue, event counts) lives under netsim_* / eventsim_*.
+//
+// Receiver-side series — deliveries, duplicates, losses, the T_rec
+// histogram — follow receiver 0, mirroring a single live receiver;
+// NACK counts cover all receivers, matching Result.NACKsSent.
+type engineMetrics struct {
+	publishes  *obs.Counter // sstp_publishes_total
+	updates    *obs.Counter // sstp_updates_total
+	deletes    *obs.Counter // sstp_deletes_total
+	annHot     *obs.Counter // sstp_announcements_total{queue="hot"}
+	annCold    *obs.Counter // sstp_announcements_total{queue="cold"}
+	txBits     *obs.Counter // sstp_tx_bits_total
+	nacksSent  *obs.Counter // sstp_nacks_sent_total
+	nacksRecv  *obs.Counter // sstp_nacks_received_total
+	promotions *obs.Counter // sstp_promotions_total
+	deliveries *obs.Counter // sstp_deliveries_total
+	duplicates *obs.Counter // sstp_duplicates_total
+	losses     *obs.Counter // sstp_losses_total
+
+	live *obs.Gauge     // sstp_records_live
+	rate *obs.Gauge     // sstp_send_rate_bps
+	tRec *obs.Histogram // sstp_t_rec_seconds (born → first delivery)
+}
+
+func newEngineMetrics(reg *obs.Registry) engineMetrics {
+	return engineMetrics{
+		publishes:  reg.Counter("sstp_publishes_total"),
+		updates:    reg.Counter("sstp_updates_total"),
+		deletes:    reg.Counter("sstp_deletes_total"),
+		annHot:     reg.Counter("sstp_announcements_total", "queue", "hot"),
+		annCold:    reg.Counter("sstp_announcements_total", "queue", "cold"),
+		txBits:     reg.Counter("sstp_tx_bits_total"),
+		nacksSent:  reg.Counter("sstp_nacks_sent_total"),
+		nacksRecv:  reg.Counter("sstp_nacks_received_total"),
+		promotions: reg.Counter("sstp_promotions_total"),
+		deliveries: reg.Counter("sstp_deliveries_total"),
+		duplicates: reg.Counter("sstp_duplicates_total"),
+		losses:     reg.Counter("sstp_losses_total"),
+		live:       reg.Gauge("sstp_records_live"),
+		rate:       reg.Gauge("sstp_send_rate_bps"),
+		tRec:       reg.Histogram("sstp_t_rec_seconds"),
+	}
+}

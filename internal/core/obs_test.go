@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"softstate/internal/obs"
+)
+
+// TestEngineSharedMetricNames runs the feedback-mode simulator with a
+// registry attached and asserts it emits the live stack's series names
+// with values matching the engine's own result counters.
+func TestEngineSharedMetricNames(t *testing.T) {
+	reg := obs.New("sim")
+	e, err := NewEngine(Config{
+		Mode: ModeFeedback, Seed: 3,
+		Lambda: 15_000, MuData: 38_000, MuFb: 7_000,
+		Lifetime: 30, MuHot: 0.6, MuCold: 0.4,
+		LossRate: 0.1,
+		Obs:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(200)
+
+	// With no warmup the registry counters equal the result's.
+	if got := reg.Get("sstp_publishes_total"); got != float64(res.Arrivals) {
+		t.Errorf("sstp_publishes_total = %v, want %d", got, res.Arrivals)
+	}
+	if got := reg.Get("sstp_deletes_total"); got != float64(res.Deaths) {
+		t.Errorf("sstp_deletes_total = %v, want %d", got, res.Deaths)
+	}
+	if got := reg.Get("sstp_nacks_sent_total"); got != float64(res.NACKsSent) {
+		t.Errorf("sstp_nacks_sent_total = %v, want %d", got, res.NACKsSent)
+	}
+	if got := reg.Get("sstp_nacks_received_total"); got != float64(res.NACKsRecv) {
+		t.Errorf("sstp_nacks_received_total = %v, want %d", got, res.NACKsRecv)
+	}
+	if got := reg.Get("sstp_promotions_total"); got != float64(res.Promotions) {
+		t.Errorf("sstp_promotions_total = %v, want %d", got, res.Promotions)
+	}
+	// Announcements are counted at service start, Transmissions at
+	// completion, so one record may still be in flight at the deadline.
+	hot := reg.Get("sstp_announcements_total", "queue", "hot")
+	cold := reg.Get("sstp_announcements_total", "queue", "cold")
+	if sum := int(hot + cold); hot == 0 || cold == 0 || sum < res.Transmissions || sum > res.Transmissions+1 {
+		t.Errorf("announcements hot=%v cold=%v, want sum %d (+ at most 1 in flight)", hot, cold, res.Transmissions)
+	}
+	if reg.Get("sstp_deliveries_total") == 0 || reg.Get("sstp_losses_total") == 0 {
+		t.Errorf("deliveries=%v losses=%v, want both > 0",
+			reg.Get("sstp_deliveries_total"), reg.Get("sstp_losses_total"))
+	}
+	if reg.Get("sstp_t_rec_seconds") == 0 {
+		t.Error("sstp_t_rec_seconds histogram is empty")
+	}
+	// Simulator-substrate series.
+	if got := reg.Get("netsim_transmissions_total", "link", "data"); int(got) != res.Transmissions {
+		t.Errorf("netsim_transmissions_total = %v, want %d", got, res.Transmissions)
+	}
+	if reg.Get("eventsim_events_fired_total") == 0 {
+		t.Error("eventsim_events_fired_total = 0")
+	}
+
+	// Every sstp_* series the simulator emits must be part of the live
+	// stack's catalog (internal/sstp), keeping the namespaces in sync.
+	liveCatalog := map[string]bool{
+		"sstp_publishes_total": true, "sstp_updates_total": true,
+		"sstp_deletes_total": true, "sstp_announcements_total": true,
+		"sstp_tx_bits_total": true, "sstp_nacks_sent_total": true,
+		"sstp_nacks_received_total": true, "sstp_promotions_total": true,
+		"sstp_deliveries_total": true, "sstp_duplicates_total": true,
+		"sstp_losses_total": true, "sstp_records_live": true,
+		"sstp_send_rate_bps": true, "sstp_t_rec_seconds": true,
+	}
+	for _, s := range reg.Snapshot() {
+		if len(s.Name) >= 5 && s.Name[:5] == "sstp_" && !liveCatalog[s.Name] {
+			t.Errorf("simulator emits %s, absent from the live catalog", s.Name)
+		}
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"softstate/internal/obs"
 )
 
 // Time is a simulated timestamp in seconds from the start of the run.
@@ -74,6 +76,14 @@ type Sim struct {
 	seq    uint64
 	fired  uint64
 	halted bool
+
+	firedC *obs.Counter
+}
+
+// Instrument publishes the event loop's progress to reg as
+// eventsim_events_fired_total. Safe with a nil registry.
+func (s *Sim) Instrument(reg *obs.Registry) {
+	s.firedC = reg.Counter("eventsim_events_fired_total")
 }
 
 // New returns an empty simulator positioned at time zero.
@@ -158,6 +168,7 @@ func (s *Sim) Step() bool {
 		}
 		s.now = e.when
 		s.fired++
+		s.firedC.Inc()
 		e.fn()
 		return true
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"softstate/internal/eventsim"
+	"softstate/internal/obs"
 )
 
 // Channel is a finite-capacity broadcast link: one sender, N receiver
@@ -31,6 +32,21 @@ type Channel struct {
 	// Counters.
 	transmissions int
 	bitsSent      float64
+
+	txC   *obs.Counter
+	bitsC *obs.Counter
+	lossC *obs.Counter
+}
+
+// Instrument publishes channel activity to reg, labelled to tell
+// multiple channels apart (e.g. "link", "hot"):
+// netsim_transmissions_total, netsim_bits_sent_total, and
+// netsim_losses_total (per-path loss coin flips that came up lost).
+// Safe with a nil registry.
+func (c *Channel) Instrument(reg *obs.Registry, labels ...string) {
+	c.txC = reg.Counter("netsim_transmissions_total", labels...)
+	c.bitsC = reg.Counter("netsim_bits_sent_total", labels...)
+	c.lossC = reg.Counter("netsim_losses_total", labels...)
 }
 
 type path struct {
@@ -108,10 +124,13 @@ func (c *Channel) Transmit(sizeBits float64, deliver func(receiver int, delivere
 		c.busy = false
 		c.transmissions++
 		c.bitsSent += sizeBits
+		c.txC.Inc()
+		c.bitsC.Add(uint64(sizeBits))
 		for i := range c.paths {
 			i := i
 			p := &c.paths[i]
 			if p.loss.Lose() {
+				c.lossC.Inc()
 				if deliver != nil {
 					deliver(i, false)
 				}
@@ -149,6 +168,22 @@ type FeedbackLink struct {
 	sent    int
 	dropped int
 	bits    float64
+
+	sentC *obs.Counter
+	dropC *obs.Counter
+	bitsC *obs.Counter
+	qlenG *obs.Gauge
+}
+
+// Instrument publishes feedback-path activity to reg:
+// netsim_feedback_sent_total, netsim_feedback_dropped_total,
+// netsim_feedback_bits_total, and the netsim_feedback_queue_len gauge.
+// Safe with a nil registry.
+func (f *FeedbackLink) Instrument(reg *obs.Registry) {
+	f.sentC = reg.Counter("netsim_feedback_sent_total")
+	f.dropC = reg.Counter("netsim_feedback_dropped_total")
+	f.bitsC = reg.Counter("netsim_feedback_bits_total")
+	f.qlenG = reg.Gauge("netsim_feedback_queue_len")
 }
 
 type feedbackMsg struct {
@@ -203,9 +238,11 @@ func (f *FeedbackLink) Send(sizeBits float64, deliver func()) {
 	}
 	if f.maxQueue > 0 && len(f.queue) >= f.maxQueue {
 		f.dropped++
+		f.dropC.Inc()
 		return
 	}
 	f.queue = append(f.queue, feedbackMsg{bits: sizeBits, deliver: deliver})
+	f.qlenG.Set(float64(len(f.queue)))
 	if !f.busy {
 		f.serveNext()
 	}
@@ -219,9 +256,12 @@ func (f *FeedbackLink) serveNext() {
 	f.busy = true
 	msg := f.queue[0]
 	f.queue = f.queue[1:]
+	f.qlenG.Set(float64(len(f.queue)))
 	f.sim.After(msg.bits/f.rate, func() {
 		f.sent++
 		f.bits += msg.bits
+		f.sentC.Inc()
+		f.bitsC.Add(uint64(msg.bits))
 		if !f.loss.Lose() && msg.deliver != nil {
 			if f.delay == 0 {
 				msg.deliver()

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"softstate/internal/trace"
+)
+
+// AdminHandler serves the runtime debug surface for a live daemon:
+//
+//	/metrics        Prometheus text exposition of reg
+//	/stats.json     JSON registry snapshot
+//	/trace          recent protocol events as JSONL (?n=limit, ?key=k)
+//	/debug/pprof/*  the standard Go profiler endpoints
+//
+// ring may be nil (the /trace endpoint then reports 404); reg may be
+// nil (endpoints render empty documents).
+func AdminHandler(reg *Registry, ring *trace.Ring) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/stats.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Registry string    `json:"registry"`
+			Now      time.Time `json:"now"`
+			Metrics  []Sample  `json:"metrics"`
+		}{reg.Name(), time.Now().UTC(), reg.Snapshot()})
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		if ring == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		events := ring.Events()
+		if key := req.URL.Query().Get("key"); key != "" {
+			kept := events[:0]
+			for _, e := range events {
+				if e.Key == key {
+					kept = append(kept, e)
+				}
+			}
+			events = kept
+		}
+		if ns := req.URL.Query().Get("n"); ns != "" {
+			n, err := strconv.Atoi(ns)
+			if err != nil || n < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			if n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, e := range events {
+			_ = enc.Encode(e)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintf(w, "softstate admin (%s)\n\n/metrics\n/stats.json\n/trace\n/debug/pprof/\n", reg.Name())
+	})
+	return mux
+}
+
+// ServeAdmin binds addr and serves AdminHandler in the background,
+// returning the server (Close to stop) and the bound address — which
+// matters when addr uses port 0.
+func ServeAdmin(addr string, reg *Registry, ring *trace.Ring) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: AdminHandler(reg, ring)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

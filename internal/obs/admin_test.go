@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"softstate/internal/trace"
+)
+
+func TestAdminEndpoints(t *testing.T) {
+	reg := New("testd")
+	reg.Counter("sstp_announcements_total", "queue", "hot").Add(5)
+	reg.Gauge("sstp_records_live").Set(2)
+	ring := trace.NewSafe(16)
+	ring.Record(1, trace.Arrive, "a/b", -1)
+	ring.Record(2, trace.Deliver, "a/b", 0)
+	ring.Record(3, trace.Arrive, "c", -1)
+
+	srv := httptest.NewServer(AdminHandler(reg, ring))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, `sstp_announcements_total{queue="hot"} 5`) {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+
+	code, body = get("/stats.json")
+	if code != 200 {
+		t.Fatalf("/stats.json = %d", code)
+	}
+	var stats struct {
+		Registry string   `json:"registry"`
+		Metrics  []Sample `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatalf("/stats.json parse: %v", err)
+	}
+	if stats.Registry != "testd" || len(stats.Metrics) != 2 {
+		t.Errorf("/stats.json = %+v", stats)
+	}
+
+	code, body = get("/trace")
+	if code != 200 || strings.Count(body, "\n") != 3 {
+		t.Errorf("/trace = %d %q", code, body)
+	}
+	code, body = get("/trace?key=a/b&n=1")
+	if code != 200 || strings.Count(body, "\n") != 1 || !strings.Contains(body, "DELIVER") {
+		t.Errorf("/trace filtered = %d %q", code, body)
+	}
+	if code, _ := get("/trace?n=bogus"); code != 400 {
+		t.Errorf("bad n = %d", code)
+	}
+
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "profile") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("index = %d %q", code, body)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Errorf("unknown path = %d", code)
+	}
+}
+
+func TestAdminNilRing(t *testing.T) {
+	srv := httptest.NewServer(AdminHandler(New("x"), nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("/trace with nil ring = %d", resp.StatusCode)
+	}
+}
+
+func TestServeAdmin(t *testing.T) {
+	srv, addr, err := ServeAdmin("127.0.0.1:0", New("d"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("/metrics = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,573 @@
+// Package obs is the runtime observability layer shared by the live
+// SSTP stack and the offline simulators: atomic counters, gauges,
+// EWMA rates, and log-bucketed histograms behind a named registry
+// that supports point-in-time snapshots and Prometheus text
+// rendering.
+//
+// The package is dependency-free (stdlib only) and designed so that
+// instrumentation costs nothing when disabled: a nil *Registry hands
+// out nil instruments, and every instrument method is a no-op on its
+// nil receiver. Code therefore wires metrics unconditionally —
+//
+//	m.deliveries.Inc()
+//
+// — and the caller decides whether anything is recorded by passing a
+// registry or not.
+//
+// Sim and live runs share one metric namespace (the sstp_* catalog in
+// the README), which makes a simulator prediction and a production
+// run directly comparable series-for-series.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter. All methods are safe
+// for concurrent use and are no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 value that can go up and down. Safe for
+// concurrent use; no-op on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta to the gauge.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// EWMA estimates an exponentially weighted moving rate (units per
+// second) from a stream of Add calls. Updates are accumulated and
+// folded into the rate at most once per second, so irregular bursts do
+// not destabilize the estimate. Timestamps are wall-clock by default
+// (Add); explicit-time callers (simulators) use AddAt/RateAt.
+type EWMA struct {
+	mu     sync.Mutex
+	tau    float64 // time constant, seconds
+	rate   float64
+	acc    float64
+	last   float64
+	primed bool // saw the first observation
+	seeded bool // rate holds at least one folded interval
+}
+
+// NewEWMA returns a rate estimator with the given time constant in
+// seconds (larger = smoother). Non-positive tau defaults to 10 s.
+func NewEWMA(tau float64) *EWMA {
+	if tau <= 0 {
+		tau = 10
+	}
+	return &EWMA{tau: tau}
+}
+
+func wallSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+
+// Add records n units now.
+func (e *EWMA) Add(n float64) { e.AddAt(wallSeconds(), n) }
+
+// AddAt records n units at the given time in seconds.
+func (e *EWMA) AddAt(now, n float64) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.tick(now)
+	e.acc += n
+	e.mu.Unlock()
+}
+
+// tick folds the accumulated units into the rate if at least one
+// second elapsed since the last fold. Caller holds e.mu.
+func (e *EWMA) tick(now float64) {
+	if !e.primed {
+		e.primed = true
+		e.last = now
+		return
+	}
+	elapsed := now - e.last
+	if elapsed < 1 {
+		return
+	}
+	inst := e.acc / elapsed
+	if !e.seeded {
+		e.rate = inst
+		e.seeded = true
+	} else {
+		w := math.Exp(-elapsed / e.tau)
+		e.rate = e.rate*w + inst*(1-w)
+	}
+	e.acc = 0
+	e.last = now
+}
+
+// Rate returns the smoothed rate in units per second as of now.
+func (e *EWMA) Rate() float64 { return e.RateAt(wallSeconds()) }
+
+// RateAt returns the smoothed rate as of the given time.
+func (e *EWMA) RateAt(now float64) float64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tick(now)
+	return e.rate
+}
+
+// Histogram is a log-bucketed histogram: bucket upper bounds grow
+// geometrically (×2) from a configurable start. Observations are
+// lock-free atomic increments; Observe is a no-op on a nil receiver.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; implicit +Inf last
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// DefaultLatencyBounds are the default histogram buckets: ×2 from
+// 1 ms to ~1000 s — wide enough for both repair latencies and
+// soft-state lifetimes.
+func DefaultLatencyBounds() []float64 {
+	bounds := make([]float64, 0, 21)
+	for b := 0.001; b < 2000; b *= 2 {
+		bounds = append(bounds, b)
+	}
+	return bounds
+}
+
+// NewHistogram returns a histogram with the given ascending bucket
+// upper bounds (a final +Inf bucket is implicit). Nil bounds use
+// DefaultLatencyBounds.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds()
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) from the bucket
+// counts, attributing each bucket its upper bound (the +Inf bucket
+// reports the largest finite bound). Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// cumulative returns (upper bounds with +Inf, cumulative counts).
+func (h *Histogram) cumulative() ([]float64, []uint64) {
+	bounds := make([]float64, len(h.buckets))
+	copy(bounds, h.bounds)
+	bounds[len(bounds)-1] = math.Inf(1)
+	counts := make([]uint64, len(h.buckets))
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		counts[i] = cum
+	}
+	return bounds, counts
+}
+
+// kind discriminates instrument types within a registry.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindEWMA
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindEWMA:
+		return "rate"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// instrument is one named metric in a registry.
+type instrument struct {
+	name   string
+	labels string // canonical rendered label pairs, "" when unlabeled
+	kind   kind
+
+	c *Counter
+	g *Gauge
+	e *EWMA
+	h *Histogram
+}
+
+// Registry is a named collection of instruments. Instruments are
+// created (or found) by name + label set; asking twice for the same
+// name and labels returns the same instrument, so independent
+// components can share a series. All methods are safe for concurrent
+// use and return nil instruments on a nil receiver.
+type Registry struct {
+	name string
+
+	mu   sync.RWMutex
+	byID map[string]*instrument
+}
+
+// New returns an empty registry. The name is informational (it
+// appears in snapshots, not in metric names).
+func New(name string) *Registry {
+	return &Registry{name: name, byID: make(map[string]*instrument)}
+}
+
+// Name returns the registry's name.
+func (r *Registry) Name() string {
+	if r == nil {
+		return ""
+	}
+	return r.name
+}
+
+// labelString canonicalizes alternating key, value label pairs into a
+// deterministic Prometheus-style rendering: k1="v1",k2="v2" sorted by
+// key.
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q (want key, value pairs)", labels))
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	return b.String()
+}
+
+// lookup finds or creates the instrument for (name, labels), using
+// mk to build a fresh one. It panics when the same series was already
+// registered with a different kind — that is always a wiring bug.
+func (r *Registry) lookup(name string, labels []string, k kind, mk func() *instrument) *instrument {
+	ls := labelString(labels)
+	id := name + "{" + ls + "}"
+	r.mu.RLock()
+	in, ok := r.byID[id]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		in, ok = r.byID[id]
+		if !ok {
+			in = mk()
+			in.name, in.labels, in.kind = name, ls, k
+			r.byID[id] = in
+		}
+		r.mu.Unlock()
+	}
+	if in.kind != k {
+		panic(fmt.Sprintf("obs: %s already registered as %v, requested as %v", id, in.kind, k))
+	}
+	return in
+}
+
+// Counter finds or creates a counter. Labels are alternating key,
+// value pairs: Counter("sstp_announcements_total", "queue", "hot").
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, kindCounter, func() *instrument {
+		return &instrument{c: &Counter{}}
+	}).c
+}
+
+// Gauge finds or creates a gauge.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, kindGauge, func() *instrument {
+		return &instrument{g: &Gauge{}}
+	}).g
+}
+
+// Rate finds or creates an EWMA rate with a 10 s time constant.
+func (r *Registry) Rate(name string, labels ...string) *EWMA {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, kindEWMA, func() *instrument {
+		return &instrument{e: NewEWMA(10)}
+	}).e
+}
+
+// Histogram finds or creates a log-bucketed histogram with the
+// default latency bounds.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, kindHistogram, func() *instrument {
+		return &instrument{h: NewHistogram(nil)}
+	}).h
+}
+
+// Sample is one series in a point-in-time snapshot.
+type Sample struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Kind   string            `json:"kind"`
+
+	// Value carries the counter count, gauge value, or EWMA rate.
+	Value float64 `json:"value"`
+
+	// Histogram-only fields.
+	Count uint64  `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P95   float64 `json:"p95,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+}
+
+// ID renders the sample's Prometheus-style identity, e.g.
+// sstp_announcements_total{queue="hot"}.
+func (s Sample) ID() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, s.Labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// parseLabels inverts labelString's canonical rendering.
+func parseLabels(ls string) map[string]string {
+	if ls == "" {
+		return nil
+	}
+	out := make(map[string]string)
+	for _, pair := range strings.Split(ls, ",") {
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			continue
+		}
+		v := pair[eq+1:]
+		v = strings.TrimPrefix(v, `"`)
+		v = strings.TrimSuffix(v, `"`)
+		out[pair[:eq]] = v
+	}
+	return out
+}
+
+// Snapshot returns the current value of every instrument, sorted by
+// name then labels for deterministic rendering.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	ins := make([]*instrument, 0, len(r.byID))
+	for _, in := range r.byID {
+		ins = append(ins, in)
+	}
+	r.mu.RUnlock()
+	sort.Slice(ins, func(i, j int) bool {
+		if ins[i].name != ins[j].name {
+			return ins[i].name < ins[j].name
+		}
+		return ins[i].labels < ins[j].labels
+	})
+	out := make([]Sample, 0, len(ins))
+	for _, in := range ins {
+		s := Sample{Name: in.name, Labels: parseLabels(in.labels), Kind: in.kind.String()}
+		switch in.kind {
+		case kindCounter:
+			s.Value = float64(in.c.Value())
+		case kindGauge:
+			s.Value = in.g.Value()
+		case kindEWMA:
+			s.Value = in.e.Rate()
+		case kindHistogram:
+			s.Count = in.h.Count()
+			s.Sum = in.h.Sum()
+			s.Value = in.h.Mean()
+			s.P50 = in.h.Quantile(0.50)
+			s.P95 = in.h.Quantile(0.95)
+			s.P99 = in.h.Quantile(0.99)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Get returns the snapshot value of the series with the given name
+// and labels (0 when absent) — a convenience for tests and one-line
+// summaries.
+func (r *Registry) Get(name string, labels ...string) float64 {
+	if r == nil {
+		return 0
+	}
+	id := name + "{" + labelString(labels) + "}"
+	r.mu.RLock()
+	in, ok := r.byID[id]
+	r.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	switch in.kind {
+	case kindCounter:
+		return float64(in.c.Value())
+	case kindGauge:
+		return in.g.Value()
+	case kindEWMA:
+		return in.e.Rate()
+	case kindHistogram:
+		return float64(in.h.Count())
+	}
+	return 0
+}

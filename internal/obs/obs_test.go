@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New("test")
+	c := r.Counter("requests_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	if r.Counter("requests_total") != c {
+		t.Error("same name returned a different counter")
+	}
+	g := r.Gauge("temp")
+	g.Set(3.5)
+	g.Add(-1)
+	if g.Value() != 2.5 {
+		t.Errorf("gauge = %v", g.Value())
+	}
+}
+
+func TestLabelsCanonical(t *testing.T) {
+	r := New("test")
+	a := r.Counter("x_total", "b", "2", "a", "1")
+	b := r.Counter("x_total", "a", "1", "b", "2")
+	if a != b {
+		t.Error("label order changed series identity")
+	}
+	a.Inc()
+	if got := r.Get("x_total", "a", "1", "b", "2"); got != 1 {
+		t.Errorf("Get = %v", got)
+	}
+	samples := r.Snapshot()
+	if len(samples) != 1 || samples[0].ID() != `x_total{a="1",b="2"}` {
+		t.Errorf("snapshot = %+v", samples)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := New("test")
+	r.Counter("thing")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("thing")
+}
+
+func TestOddLabelsPanics(t *testing.T) {
+	r := New("test")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd label list did not panic")
+		}
+	}()
+	r.Counter("x_total", "keyonly")
+}
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	// Every accessor must hand out a usable nil instrument.
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(1)
+	r.Rate("c").Add(1)
+	r.Histogram("d").Observe(1)
+	if r.Snapshot() != nil || r.Get("a") != 0 || r.Name() != "" {
+		t.Error("nil registry leaked state")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Error("nil registry rendered output")
+	}
+	var c *Counter
+	var g *Gauge
+	var e *EWMA
+	var h *Histogram
+	c.Inc()
+	g.Add(1)
+	e.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || e.Rate() != 0 || h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil instruments leaked state")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(10)
+	// 100 units/s for 5 seconds of simulated time.
+	for i := 0; i <= 50; i++ {
+		e.AddAt(float64(i)*0.1, 10)
+	}
+	r := e.RateAt(5)
+	if r < 50 || r > 150 {
+		t.Errorf("rate after steady 100/s = %v", r)
+	}
+	// Silence decays the estimate when the next fold happens.
+	r2 := e.RateAt(60)
+	if r2 >= r {
+		t.Errorf("rate did not decay: %v -> %v", r, r2)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 3, 3, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-113) > 1e-9 {
+		t.Errorf("sum = %v", got)
+	}
+	if q := h.Quantile(0.5); q != 4 { // 3rd of 6 lands in the (2,4] bucket
+		t.Errorf("p50 = %v", q)
+	}
+	if q := h.Quantile(1); q != 8 { // +Inf bucket reports the top finite bound
+		t.Errorf("p100 = %v", q)
+	}
+	bounds, counts := h.cumulative()
+	if !math.IsInf(bounds[len(bounds)-1], 1) {
+		t.Errorf("last bound = %v", bounds)
+	}
+	if counts[len(counts)-1] != 6 {
+		t.Errorf("cumulative = %v", counts)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending bounds accepted")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+// TestPrometheusGolden pins the exact text exposition format.
+func TestPrometheusGolden(t *testing.T) {
+	r := New("golden")
+	r.Counter("sstp_announcements_total", "queue", "hot").Add(7)
+	r.Counter("sstp_announcements_total", "queue", "cold").Add(3)
+	r.Gauge("sstp_records_live").Set(12)
+	h := r.lookup("sstp_t_rec_seconds", nil, kindHistogram, func() *instrument {
+		return &instrument{h: NewHistogram([]float64{0.5, 1})}
+	}).h
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(4)
+
+	const want = `# TYPE sstp_announcements_total counter
+sstp_announcements_total{queue="cold"} 3
+sstp_announcements_total{queue="hot"} 7
+# TYPE sstp_records_live gauge
+sstp_records_live 12
+# TYPE sstp_t_rec_seconds histogram
+sstp_t_rec_seconds_bucket{le="0.5"} 1
+sstp_t_rec_seconds_bucket{le="1"} 2
+sstp_t_rec_seconds_bucket{le="+Inf"} 3
+sstp_t_rec_seconds_sum 5
+sstp_t_rec_seconds_count 3
+`
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Errorf("prometheus text mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestRenderTextAndOneLine(t *testing.T) {
+	r := New("t")
+	r.Counter("sstp_deliveries_total").Add(9)
+	r.Counter("sstp_announcements_total", "queue", "hot").Add(2)
+	r.Counter("sstp_announcements_total", "queue", "cold").Add(1)
+	r.Histogram("lat_seconds").Observe(0.5)
+	text := r.RenderText()
+	for _, want := range []string{`sstp_announcements_total{queue="hot"}`, "sstp_deliveries_total", "count=1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("RenderText missing %q:\n%s", want, text)
+		}
+	}
+	line := r.OneLine("sstp_deliveries_total", "sstp_announcements_total", "missing_total")
+	if line != "deliveries=9 announcements=3 missing=0" {
+		t.Errorf("OneLine = %q", line)
+	}
+}
+
+// TestConcurrentRegistry exercises parallel writers against snapshot
+// and render readers — the -race acceptance test for the registry.
+func TestConcurrentRegistry(t *testing.T) {
+	r := New("race")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			q := "hot"
+			if w%2 == 1 {
+				q = "cold"
+			}
+			for i := 0; i < 1000; i++ {
+				r.Counter("sstp_announcements_total", "queue", q).Inc()
+				r.Gauge("sstp_records_live").Set(float64(i))
+				r.Histogram("sstp_t_rec_seconds").Observe(float64(i%7) * 0.01)
+				r.Rate("sstp_publish_bps").Add(100)
+			}
+		}(w)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sb strings.Builder
+			for i := 0; i < 200; i++ {
+				_ = r.Snapshot()
+				sb.Reset()
+				_ = r.WritePrometheus(&sb)
+				_ = r.RenderText()
+			}
+		}()
+	}
+	wg.Wait()
+	hot := r.Get("sstp_announcements_total", "queue", "hot")
+	cold := r.Get("sstp_announcements_total", "queue", "cold")
+	if hot+cold != 8000 {
+		t.Errorf("announcements hot=%v cold=%v, want 8000 total", hot, cold)
+	}
+	if r.Get("sstp_t_rec_seconds") != 8000 {
+		t.Errorf("histogram count = %v", r.Get("sstp_t_rec_seconds"))
+	}
+}

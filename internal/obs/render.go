@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// formatValue renders a float without trailing noise: integers print
+// as integers, everything else with minimal digits.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// promKind maps an instrument kind to its Prometheus type keyword.
+func promKind(k kind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge" // gauges and EWMA rates both render as gauges
+	}
+}
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format (version 0.0.4): one # TYPE comment per metric
+// name, histograms expanded into cumulative _bucket/_sum/_count
+// series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	ins := make([]*instrument, 0, len(r.byID))
+	for _, in := range r.byID {
+		ins = append(ins, in)
+	}
+	r.mu.RUnlock()
+	sort.Slice(ins, func(i, j int) bool {
+		if ins[i].name != ins[j].name {
+			return ins[i].name < ins[j].name
+		}
+		return ins[i].labels < ins[j].labels
+	})
+	lastName := ""
+	for _, in := range ins {
+		if in.name != lastName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", in.name, promKind(in.kind)); err != nil {
+				return err
+			}
+			lastName = in.name
+		}
+		switch in.kind {
+		case kindCounter:
+			if err := writeSeries(w, in.name, in.labels, float64(in.c.Value())); err != nil {
+				return err
+			}
+		case kindGauge:
+			if err := writeSeries(w, in.name, in.labels, in.g.Value()); err != nil {
+				return err
+			}
+		case kindEWMA:
+			if err := writeSeries(w, in.name, in.labels, in.e.Rate()); err != nil {
+				return err
+			}
+		case kindHistogram:
+			bounds, counts := in.h.cumulative()
+			for i, b := range bounds {
+				le := "+Inf"
+				if !math.IsInf(b, 1) {
+					le = formatValue(b)
+				}
+				ls := in.labels
+				if ls != "" {
+					ls += ","
+				}
+				ls += `le="` + le + `"`
+				if err := writeSeries(w, in.name+"_bucket", ls, float64(counts[i])); err != nil {
+					return err
+				}
+			}
+			if err := writeSeries(w, in.name+"_sum", in.labels, in.h.Sum()); err != nil {
+				return err
+			}
+			if err := writeSeries(w, in.name+"_count", in.labels, float64(in.h.Count())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, name, labels string, v float64) error {
+	if labels == "" {
+		_, err := fmt.Fprintf(w, "%s %s\n", name, formatValue(v))
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatValue(v))
+	return err
+}
+
+// RenderText returns the snapshot as aligned key/value lines — the
+// human view used by sstpd's STATS command. Histograms render as
+// count/mean/p50/p95.
+func (r *Registry) RenderText() string {
+	samples := r.Snapshot()
+	if len(samples) == 0 {
+		return "(no metrics)\n"
+	}
+	width := 0
+	ids := make([]string, len(samples))
+	for i, s := range samples {
+		ids[i] = s.ID()
+		if len(ids[i]) > width {
+			width = len(ids[i])
+		}
+	}
+	var b strings.Builder
+	for i, s := range samples {
+		if s.Kind == "histogram" {
+			fmt.Fprintf(&b, "%-*s  count=%d mean=%.4g p50=%.4g p95=%.4g\n",
+				width, ids[i], s.Count, s.Value, s.P50, s.P95)
+			continue
+		}
+		fmt.Fprintf(&b, "%-*s  %s\n", width, ids[i], formatValue(s.Value))
+	}
+	return b.String()
+}
+
+// OneLine summarizes the named series (all series sharing a name are
+// summed) as "name=value" pairs — the periodic log line behind
+// sstpd's -statsevery flag. Unknown names render as 0.
+func (r *Registry) OneLine(names ...string) string {
+	totals := make(map[string]float64, len(names))
+	for _, s := range r.Snapshot() {
+		if s.Kind == "histogram" {
+			totals[s.Name] += float64(s.Count)
+		} else {
+			totals[s.Name] += s.Value
+		}
+	}
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		short := strings.TrimPrefix(strings.TrimSuffix(n, "_total"), "sstp_")
+		parts = append(parts, short+"="+formatValue(totals[n]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,6 +1,10 @@
 package sched
 
-import "fmt"
+import (
+	"fmt"
+
+	"softstate/internal/obs"
+)
 
 // Hierarchy is a two-or-more-level link-sharing scheduler in the
 // spirit of CBQ/H-FSC, used by SSTP's application-controlled
@@ -14,6 +18,26 @@ type Hierarchy struct {
 	root   *Node
 	leaves []*Node
 	mk     func() Scheduler
+
+	picks   []*obs.Counter // per-leaf sched_picks_total
+	charges []*obs.Counter // per-leaf sched_charge_bits_total
+}
+
+// Instrument publishes per-leaf scheduling decisions to reg:
+// sched_picks_total{leaf=name} counts Pick outcomes and
+// sched_charge_bits_total{leaf=name} accumulates charged units. Call
+// after the tree is built; leaves added later are not instrumented.
+// Safe with a nil registry.
+func (h *Hierarchy) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	h.picks = make([]*obs.Counter, len(h.leaves))
+	h.charges = make([]*obs.Counter, len(h.leaves))
+	for i, leaf := range h.leaves {
+		h.picks[i] = reg.Counter("sched_picks_total", "leaf", leaf.name)
+		h.charges[i] = reg.Counter("sched_charge_bits_total", "leaf", leaf.name)
+	}
 }
 
 // Node is one vertex of the sharing tree.
@@ -111,6 +135,9 @@ func (h *Hierarchy) Pick(ready func(leafID int) bool) (int, bool) {
 		}
 		n = n.children[idx]
 	}
+	if n.leafID < len(h.picks) {
+		h.picks[n.leafID].Inc()
+	}
 	return n.leafID, true
 }
 
@@ -131,6 +158,9 @@ func (h *Hierarchy) subtreeReady(n *Node, ready func(int) bool) bool {
 func (h *Hierarchy) Charge(leafID int, units float64) {
 	if leafID < 0 || leafID >= len(h.leaves) {
 		panic(fmt.Sprintf("sched: leaf id %d out of range", leafID))
+	}
+	if leafID < len(h.charges) {
+		h.charges[leafID].Add(uint64(units))
 	}
 	for n := h.leaves[leafID]; n.parent != nil; n = n.parent {
 		n.parent.sched.Charge(n.childIdx, units)

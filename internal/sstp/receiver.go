@@ -8,8 +8,10 @@ import (
 
 	"softstate/internal/feedback"
 	"softstate/internal/namespace"
+	"softstate/internal/obs"
 	"softstate/internal/protocol"
 	"softstate/internal/table"
+	"softstate/internal/trace"
 	"softstate/internal/xrand"
 )
 
@@ -62,6 +64,13 @@ type ReceiverConfig struct {
 	OnUpdate func(key string, value []byte, version uint64)
 	OnExpire func(key string)
 
+	// Obs, if non-nil, publishes receiver metrics (deliveries, losses,
+	// NACKs, repairs, the T_rec repair-latency histogram, ...) to the
+	// registry. Trace, if non-nil, records per-record lifecycle events;
+	// use trace.NewSafe for a ring shared with other goroutines.
+	Obs   *obs.Registry
+	Trace *trace.Ring
+
 	Seed int64
 }
 
@@ -111,6 +120,8 @@ type Receiver struct {
 	lastSeq uint32
 	stats   ReceiverStats
 	timers  map[string]*time.Timer
+	m       receiverMetrics
+	repairT map[string]float64 // key -> when its first NACK was scheduled
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -124,18 +135,22 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 		return nil, err
 	}
 	r := &Receiver{
-		cfg:    cfg,
-		sub:    table.NewSubscriber(),
-		ns:     namespace.New(namespace.HashSHA256),
-		est:    feedback.NewLossEstimator(0.25),
-		sup:    feedback.NewSuppressor(cfg.NACKWindow.Seconds(), 16*cfg.NACKWindow.Seconds(), xrand.New(cfg.Seed)),
-		timers: make(map[string]*time.Timer),
-		done:   make(chan struct{}),
+		cfg:     cfg,
+		sub:     table.NewSubscriber(),
+		ns:      namespace.New(namespace.HashSHA256),
+		est:     feedback.NewLossEstimator(0.25),
+		sup:     feedback.NewSuppressor(cfg.NACKWindow.Seconds(), 16*cfg.NACKWindow.Seconds(), xrand.New(cfg.Seed)),
+		timers:  make(map[string]*time.Timer),
+		m:       newReceiverMetrics(cfg.Obs),
+		repairT: make(map[string]float64),
+		done:    make(chan struct{}),
 	}
 	r.sub.OnExpire = func(e *table.Entry) {
 		// Called under r.mu from the sweep loop.
 		r.ns.Delete(string(e.Key))
 		r.stats.Expired++
+		r.m.expired.Inc()
+		traceRecord(cfg.Trace, trace.Expire, string(e.Key))
 		if cfg.OnExpire != nil {
 			go cfg.OnExpire(string(e.Key))
 		}
@@ -294,8 +309,11 @@ func (r *Receiver) dispatch(hdr protocol.Header, msg protocol.Message) {
 			// Gap-triggered repair: a hole in the sequence space means
 			// something was just lost; start the namespace descent now
 			// instead of waiting for the next summary.
-			if int32(hdr.Seq-r.lastSeq) > 1 && !r.cfg.DisableFeedback {
-				r.scheduleQuery("")
+			if gap := int32(hdr.Seq - r.lastSeq); gap > 1 {
+				r.m.losses.Add(uint64(gap - 1))
+				if !r.cfg.DisableFeedback {
+					r.scheduleQuery("")
+				}
 			}
 			if int32(hdr.Seq-r.lastSeq) > 0 {
 				r.lastSeq = hdr.Seq
@@ -315,6 +333,7 @@ func (r *Receiver) dispatch(hdr protocol.Header, msg protocol.Message) {
 		for _, k := range m.Keys {
 			if r.sup.Heard(k) {
 				r.stats.NACKsSuppressed++
+				r.m.suppressed.Inc()
 			}
 			if r.cfg.PeerRepair {
 				r.schedulePeerData(k)
@@ -325,6 +344,7 @@ func (r *Receiver) dispatch(hdr protocol.Header, msg protocol.Message) {
 		// offer a digest response from our replica.
 		if r.sup.Heard("?" + m.Path) {
 			r.stats.NACKsSuppressed++
+			r.m.suppressed.Inc()
 		}
 		if r.cfg.PeerRepair {
 			r.schedulePeerDigests(m.Path)
@@ -366,6 +386,8 @@ func (r *Receiver) schedulePeerData(key string) {
 			msg.TTLms = 1000
 		}
 		r.stats.PeerDataSent++
+		r.m.peerData.Inc()
+		traceRecord(r.cfg.Trace, trace.Repair, key)
 		r.mu.Unlock()
 		r.sendControl(msg)
 	})
@@ -405,6 +427,7 @@ func (r *Receiver) schedulePeerDigests(path string) {
 			resp.Children = append(resp.Children, cd)
 		}
 		r.stats.PeerDigestsSent++
+		r.m.peerDigests.Inc()
 		r.mu.Unlock()
 		r.sendControl(resp)
 	})
@@ -432,12 +455,24 @@ func (r *Receiver) onData(m *protocol.Data) {
 	if changed {
 		if err := r.ns.Put(m.Key, m.Value, m.Ver); err == nil {
 			r.stats.DataReceived++
+			r.m.deliveries.Inc()
+			traceRecord(r.cfg.Trace, trace.Deliver, m.Key)
+			// T_rec here is repair latency: first-NACK-scheduled to
+			// delivery (live Data carries no publish timestamp; the
+			// simulator's histogram of the same name measures
+			// born-to-delivery).
+			if t0, ok := r.repairT[m.Key]; ok {
+				r.m.tRec.Observe(now - t0)
+				delete(r.repairT, m.Key)
+			}
+			r.m.replica.Set(float64(r.sub.Len()))
 			if r.cfg.OnUpdate != nil {
 				go r.cfg.OnUpdate(m.Key, append([]byte(nil), m.Value...), m.Ver)
 			}
 		}
 	} else if isDup {
 		r.stats.Duplicates++
+		r.m.duplicates.Inc()
 	}
 	r.sup.Repaired(m.Key)
 	// A repair answered by anyone damps our pending peer response.
@@ -454,6 +489,7 @@ func (r *Receiver) onSummary(m *protocol.Summary) {
 		return
 	}
 	r.stats.MismatchedRoots++
+	r.m.mismatches.Inc()
 	if r.cfg.DisableFeedback || !r.interested(m.Path) {
 		return
 	}
@@ -520,6 +556,7 @@ func (r *Receiver) scheduleQuery(path string) {
 			return // suppressed (another member queried) or repaired
 		}
 		r.stats.QueriesSent++
+		r.m.queriesSent.Inc()
 		// Retry with backoff until a Digests response repairs the
 		// pending state — a lost response must not stall the descent.
 		next := r.sup.Reschedule(key, nowSeconds())
@@ -533,9 +570,13 @@ func (r *Receiver) scheduleQuery(path string) {
 // scheduleNACK slots a repair request through the suppressor, with
 // backoff-driven retries until the data arrives. Caller holds r.mu.
 func (r *Receiver) scheduleNACK(key string) {
-	fireAt, fresh := r.sup.Schedule(key, nowSeconds())
+	now := nowSeconds()
+	fireAt, fresh := r.sup.Schedule(key, now)
 	if !fresh {
 		return
+	}
+	if _, ok := r.repairT[key]; !ok {
+		r.repairT[key] = now // T_rec clock starts at first repair intent
 	}
 	var fire func()
 	fire = func() {
@@ -545,6 +586,8 @@ func (r *Receiver) scheduleNACK(key string) {
 			return // suppressed or repaired
 		}
 		r.stats.NACKsSent++
+		r.m.nacksSent.Inc()
+		traceRecord(r.cfg.Trace, trace.NACK, key)
 		next := r.sup.Reschedule(key, nowSeconds())
 		r.armTimerLocked(key, next, fire)
 		r.mu.Unlock()
@@ -591,7 +634,14 @@ func (r *Receiver) sweepLoop() {
 			return
 		case <-tick.C:
 			r.mu.Lock()
-			r.sub.Sweep(nowSeconds())
+			now := nowSeconds()
+			r.sub.Sweep(now)
+			r.m.replica.Set(float64(r.sub.Len()))
+			for key, t0 := range r.repairT {
+				if now-t0 > 120 {
+					delete(r.repairT, key) // repair abandoned
+				}
+			}
 			r.mu.Unlock()
 		}
 	}
@@ -615,6 +665,8 @@ func (r *Receiver) reportLoop() {
 			rep.SetLoss(r.est.Smoothed())
 			rep.Timestamp = uint64(time.Now().UnixMilli())
 			r.stats.ReportsSent++
+			r.m.reportsSent.Inc()
+			r.m.loss.Set(r.est.Smoothed())
 			r.mu.Unlock()
 			r.sendControl(rep)
 		}

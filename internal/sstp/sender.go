@@ -10,10 +10,12 @@ import (
 
 	"softstate/internal/congestion"
 	"softstate/internal/namespace"
+	"softstate/internal/obs"
 	"softstate/internal/profile"
 	"softstate/internal/protocol"
 	"softstate/internal/sched"
 	"softstate/internal/table"
+	"softstate/internal/trace"
 )
 
 // SenderConfig parameterizes an SSTP publisher.
@@ -77,6 +79,16 @@ type SenderConfig struct {
 	// the application's publish rate exceeds μ_hot — the paper's
 	// notification "to refrain from injecting new records".
 	OnRateLimit func(maxRate float64)
+
+	// Obs, if non-nil, receives the sender's runtime metrics (the
+	// sstp_* catalog in the README); the simulators emit the same
+	// names, so sim and live runs are directly comparable.
+	Obs *obs.Registry
+
+	// Trace, if non-nil, records protocol events (publishes,
+	// announcements, promotions, deletions). The sender writes from
+	// its own goroutines — use trace.NewSafe.
+	Trace *trace.Ring
 
 	Seed int64
 }
@@ -189,6 +201,7 @@ type Sender struct {
 	aimd        *congestion.AIMD
 	seq         uint32
 	stats       SenderStats
+	m           senderMetrics
 	started     float64 // publish-rate estimation window start
 	pubBits     float64 // bits published in the window
 
@@ -212,6 +225,7 @@ func NewSender(cfg SenderConfig) (*Sender, error) {
 		bucket:      congestion.NewTokenBucket(cfg.TotalRate, 4*8*1500), // 4 MTU burst
 		done:        make(chan struct{}),
 		started:     nowSeconds(),
+		m:           newSenderMetrics(cfg.Obs, cfg.Classes),
 	}
 	// Lifetime expiry removes records from the namespace and the
 	// transmission queues (called under s.mu via Sweep).
@@ -221,6 +235,8 @@ func NewSender(cfg SenderConfig) (*Sender, error) {
 		if e := s.entries[key]; e != nil && e.tombstone == 0 {
 			s.removeEntry(e)
 		}
+		s.m.deletes.Inc()
+		traceRecord(cfg.Trace, trace.Die, key)
 	}
 	// Build the Figure-12 sharing tree: root -> class -> {hot, cold}.
 	s.share = sched.NewHierarchy(func() sched.Scheduler { return sched.NewStride() })
@@ -243,8 +259,11 @@ func NewSender(cfg SenderConfig) (*Sender, error) {
 	}
 	if cfg.MinRate > 0 {
 		s.aimd = congestion.NewAIMD(cfg.TotalRate, cfg.MinRate, cfg.MaxRate)
+		s.aimd.Instrument(cfg.Obs)
 	}
+	s.share.Instrument(cfg.Obs)
 	s.stats.Rate = cfg.TotalRate
+	s.m.rate.Set(cfg.TotalRate)
 	return s, nil
 }
 
@@ -291,13 +310,20 @@ func (s *Sender) Publish(key string, value []byte, lifetime time.Duration) error
 		return err
 	}
 	s.pubBits += float64(8 * (len(value) + len(key)))
+	s.m.pubRate.Add(float64(8 * (len(value) + len(key))))
 	e := s.entries[key]
 	if e == nil {
 		e = &sendEntry{key: key, class: s.classify(key), queue: -1}
 		s.entries[key] = e
+		s.m.publishes.Inc()
+		traceRecord(s.cfg.Trace, trace.Arrive, key)
+	} else {
+		s.m.updates.Inc()
+		traceRecord(s.cfg.Trace, trace.Update, key)
 	}
 	e.tombstone = 0
 	s.moveTo(e, sqHot)
+	s.m.live.Set(float64(s.pub.Len()))
 	return nil
 }
 
@@ -332,6 +358,9 @@ func (s *Sender) Delete(key string) bool {
 	}
 	e.tombstone = s.cfg.TombstoneRepeats
 	s.moveTo(e, sqHot)
+	s.m.deletes.Inc()
+	s.m.live.Set(float64(s.pub.Len()))
+	traceRecord(s.cfg.Trace, trace.Die, key)
 	return true
 }
 
@@ -412,6 +441,7 @@ func (s *Sender) send(msg protocol.Message) {
 	hdr := protocol.Header{Session: s.cfg.Session, Sender: s.cfg.SenderID, Seq: s.seq}
 	buf := protocol.Encode(hdr, msg)
 	s.stats.BytesSent += len(buf)
+	s.m.txBits.Add(uint64(8 * len(buf)))
 	s.mu.Unlock()
 	_, _ = s.cfg.Conn.WriteTo(buf, s.cfg.Dest)
 }
@@ -502,6 +532,11 @@ func (s *Sender) nextAnnouncement() ([]byte, bool) {
 	e := q.Front().Value.(*sendEntry)
 	q.Remove(e.elem)
 	e.queue = -1
+	if owner[1] == sqHot {
+		s.m.annHot.Inc()
+	} else {
+		s.m.annCold.Inc()
+	}
 
 	var msg protocol.Message
 	if e.tombstone > 0 {
@@ -532,6 +567,9 @@ func (s *Sender) nextAnnouncement() ([]byte, bool) {
 			s.stats.SentByClass = make(map[string]int)
 		}
 		s.stats.SentByClass[s.classes[e.class].name]++
+		if e.class < len(s.m.byClassSent) {
+			s.m.byClassSent[e.class].Inc()
+		}
 	}
 	s.seq++
 	hdr := protocol.Header{Session: s.cfg.Session, Sender: s.cfg.SenderID, Seq: s.seq}
@@ -541,6 +579,12 @@ func (s *Sender) nextAnnouncement() ([]byte, bool) {
 		s.stats.BytesByClass = make(map[string]int)
 	}
 	s.stats.BytesByClass[s.classes[e.class].name] += len(buf)
+	s.m.txBits.Add(uint64(8 * len(buf)))
+	if e.class < len(s.m.byClassBits) {
+		s.m.byClassBits[e.class].Add(uint64(8 * len(buf)))
+	}
+	s.m.live.Set(float64(s.pub.Len())) // Sweep above may have expired records
+	traceRecord(s.cfg.Trace, trace.Transmit, e.key)
 	s.share.Charge(leaf, float64(8*len(buf)))
 	return buf, true
 }
@@ -556,6 +600,7 @@ func (s *Sender) sendSummary() {
 		s.mu.Lock()
 		s.stats.HeartbeatsSent++
 		s.mu.Unlock()
+		s.m.heartbeats.Inc()
 	} else {
 		sum := &protocol.Summary{Count: uint32(count)}
 		copy(sum.Digest[:], digest[:])
@@ -563,6 +608,7 @@ func (s *Sender) sendSummary() {
 		s.mu.Lock()
 		s.stats.SummariesSent++
 		s.mu.Unlock()
+		s.m.summaries.Inc()
 	}
 	if !s.throttle(800) {
 		return
@@ -611,6 +657,7 @@ func (s *Sender) onNACK(m *protocol.NACK) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.NACKsReceived++
+	s.m.nacksRecv.Inc()
 	for _, key := range m.Keys {
 		e, ok := s.entries[key]
 		if !ok {
@@ -619,6 +666,8 @@ func (s *Sender) onNACK(m *protocol.NACK) {
 		if e.queue == sqCold {
 			s.moveTo(e, sqHot)
 			s.stats.KeysPromoted++
+			s.m.promotions.Inc()
+			traceRecord(s.cfg.Trace, trace.Promote, key)
 		}
 	}
 }
@@ -631,6 +680,7 @@ func (s *Sender) onQuery(m *protocol.Query) {
 		return
 	}
 	s.stats.QueriesServed++
+	s.m.queries.Inc()
 	s.mu.Unlock()
 	resp := &protocol.Digests{Path: m.Path}
 	for _, k := range kids {
@@ -643,6 +693,7 @@ func (s *Sender) onQuery(m *protocol.Query) {
 	}
 	s.mu.Lock()
 	s.stats.DigestsSent++
+	s.m.digests.Inc()
 	s.mu.Unlock()
 	s.send(resp)
 }
@@ -651,6 +702,8 @@ func (s *Sender) onReport(m *protocol.Report) {
 	s.mu.Lock()
 	s.stats.ReportsHeard++
 	s.stats.LossEstimate = m.Loss()
+	s.m.reports.Inc()
+	s.m.loss.Set(m.Loss())
 	var newRate float64
 	if s.aimd != nil {
 		newRate = s.aimd.OnReport(m.Loss())
@@ -669,6 +722,14 @@ func (s *Sender) onReport(m *protocol.Report) {
 			appRate = s.pubBits / elapsed
 		}
 		alloc, allocErr = s.cfg.Allocator.Allocate(newRate, m.Loss(), appRate)
+		switch {
+		case allocErr != nil:
+			s.m.allocErr.Inc()
+		case alloc.RateLimited:
+			s.m.allocLim.Inc()
+		default:
+			s.m.allocOK.Inc()
+		}
 		if allocErr == nil {
 			total := alloc.MuHot + alloc.MuCold
 			if total > 0 {

@@ -1,14 +1,24 @@
 // Package trace provides a bounded event trace for the protocol
-// simulator: a fixed-capacity ring of timestamped protocol events
-// (arrivals, transmissions, deliveries, losses, deaths, promotions,
-// NACKs) that supports per-record timelines — the debugging view used
-// when a consistency number looks wrong and one record's life story is
-// the fastest way to find out why.
+// simulator and the live SSTP stack: a fixed-capacity ring of
+// timestamped protocol events (arrivals, transmissions, deliveries,
+// losses, deaths, promotions, NACKs) that supports per-record
+// timelines — the debugging view used when a consistency number looks
+// wrong and one record's life story is the fastest way to find out
+// why.
+//
+// The simulator uses the unsynchronized ring (New); the live stack —
+// where sender and receiver goroutines record concurrently and an
+// admin endpoint reads — uses the thread-safe ring (NewSafe). Both
+// export JSONL via WriteJSONL for offline analysis.
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Kind classifies an event.
@@ -24,35 +34,41 @@ const (
 	Promote              // NACK moved it cold -> hot
 	NACK                 // receiver requested repair
 	Die                  // record left the live set
+	Expire               // replica entry timed out at a receiver
+	Repair               // a peer answered a repair from its replica
+
+	// NumKinds is the number of declared kinds; every Kind below it
+	// must have a name in kindNames (enforced by TestKindNames).
+	NumKinds = iota
 )
 
-// String names the kind.
+// kindNames maps each declared Kind to its wire/display name. Adding
+// a Kind without extending this table fails the kind-name test.
+var kindNames = [NumKinds]string{
+	Arrive:   "ARRIVE",
+	Update:   "UPDATE",
+	Transmit: "TX",
+	Deliver:  "DELIVER",
+	Lose:     "LOSE",
+	Promote:  "PROMOTE",
+	NACK:     "NACK",
+	Die:      "DIE",
+	Expire:   "EXPIRE",
+	Repair:   "REPAIR",
+}
+
+// String names the kind. Unknown kinds render stably as KIND(n), so
+// logs and JSONL stay parseable even across version skew.
 func (k Kind) String() string {
-	switch k {
-	case Arrive:
-		return "ARRIVE"
-	case Update:
-		return "UPDATE"
-	case Transmit:
-		return "TX"
-	case Deliver:
-		return "DELIVER"
-	case Lose:
-		return "LOSE"
-	case Promote:
-		return "PROMOTE"
-	case NACK:
-		return "NACK"
-	case Die:
-		return "DIE"
-	default:
-		return fmt.Sprintf("Kind(%d)", int(k))
+	if k >= 0 && int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
 	}
+	return "KIND(" + strconv.Itoa(int(k)) + ")"
 }
 
 // Event is one trace entry.
 type Event struct {
-	T        float64 // simulated time
+	T        float64 // simulated or wall-clock time, seconds
 	Kind     Kind
 	Key      string
 	Receiver int // -1 when not receiver-specific
@@ -66,15 +82,75 @@ func (e Event) String() string {
 	return fmt.Sprintf("%10.4f %-8s %s", e.T, e.Kind, e.Key)
 }
 
+// eventJSON is Event's wire form; Kind travels as its name and the
+// receiver is omitted when not receiver-specific.
+type eventJSON struct {
+	T    float64 `json:"t"`
+	Kind string  `json:"kind"`
+	Key  string  `json:"key"`
+	Rcv  *int    `json:"rcv,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (e Event) MarshalJSON() ([]byte, error) {
+	j := eventJSON{T: e.T, Kind: e.Kind.String(), Key: e.Key}
+	if e.Receiver >= 0 {
+		rcv := e.Receiver
+		j.Rcv = &rcv
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON implements json.Unmarshaler; unknown kind names
+// (including the KIND(n) fallback) round-trip through ParseKind.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var j eventJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	e.T, e.Key = j.T, j.Key
+	e.Receiver = -1
+	if j.Rcv != nil {
+		e.Receiver = *j.Rcv
+	}
+	k, err := ParseKind(j.Kind)
+	if err != nil {
+		return err
+	}
+	e.Kind = k
+	return nil
+}
+
+// ParseKind inverts Kind.String, including the KIND(n) fallback.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if s == name {
+			return Kind(k), nil
+		}
+	}
+	if strings.HasPrefix(s, "KIND(") && strings.HasSuffix(s, ")") {
+		n, err := strconv.Atoi(s[len("KIND(") : len(s)-1])
+		if err == nil {
+			return Kind(n), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown kind %q", s)
+}
+
 // Ring is a fixed-capacity event buffer; when full, the oldest events
-// are overwritten. The zero value is unusable; construct with New.
+// are overwritten. The zero value is unusable; construct with New
+// (single-goroutine, no locking — the simulator's hot path) or
+// NewSafe (mutex-guarded for the live stack's concurrent writers and
+// admin-endpoint readers).
 type Ring struct {
+	mu    sync.Mutex
+	safe  bool
 	buf   []Event
 	next  int
 	count uint64 // total events ever recorded
 }
 
-// New returns a ring holding up to capacity events.
+// New returns an unsynchronized ring holding up to capacity events.
 func New(capacity int) *Ring {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("trace: capacity %d must be positive", capacity))
@@ -82,8 +158,29 @@ func New(capacity int) *Ring {
 	return &Ring{buf: make([]Event, 0, capacity)}
 }
 
+// NewSafe returns a thread-safe ring holding up to capacity events.
+func NewSafe(capacity int) *Ring {
+	r := New(capacity)
+	r.safe = true
+	return r
+}
+
+func (r *Ring) lock() {
+	if r.safe {
+		r.mu.Lock()
+	}
+}
+
+func (r *Ring) unlock() {
+	if r.safe {
+		r.mu.Unlock()
+	}
+}
+
 // Add records an event.
 func (r *Ring) Add(e Event) {
+	r.lock()
+	defer r.unlock()
 	if len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, e)
 	} else {
@@ -99,20 +196,36 @@ func (r *Ring) Record(t float64, k Kind, key string, receiver int) {
 }
 
 // Len returns the number of retained events.
-func (r *Ring) Len() int { return len(r.buf) }
+func (r *Ring) Len() int {
+	r.lock()
+	defer r.unlock()
+	return len(r.buf)
+}
 
 // Total returns the number of events ever recorded (including
 // overwritten ones).
-func (r *Ring) Total() uint64 { return r.count }
+func (r *Ring) Total() uint64 {
+	r.lock()
+	defer r.unlock()
+	return r.count
+}
 
-// Events returns the retained events in chronological order.
-func (r *Ring) Events() []Event {
+// eventsLocked returns the retained events in chronological order.
+// Caller holds the lock in safe mode.
+func (r *Ring) eventsLocked() []Event {
 	out := make([]Event, 0, len(r.buf))
 	if len(r.buf) < cap(r.buf) {
 		return append(out, r.buf...)
 	}
 	out = append(out, r.buf[r.next:]...)
 	return append(out, r.buf[:r.next]...)
+}
+
+// Events returns the retained events in chronological order.
+func (r *Ring) Events() []Event {
+	r.lock()
+	defer r.unlock()
+	return r.eventsLocked()
 }
 
 // Timeline returns the retained events for one key, in order.
@@ -145,4 +258,16 @@ func (r *Ring) Dump() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// WriteJSONL writes the retained events to w, one JSON object per
+// line — the export format behind the admin endpoint's /trace.
+func (r *Ring) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w) // Encode appends the newline
+	for _, e := range r.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
 }

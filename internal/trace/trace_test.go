@@ -1,7 +1,11 @@
 package trace
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -69,13 +73,112 @@ func TestDumpAndStrings(t *testing.T) {
 	if !strings.Contains(out, "DIE") || strings.Contains(strings.Split(out, "\n")[1], "rcv=") {
 		t.Errorf("non-receiver event printed a receiver: %q", out)
 	}
-	for k := Arrive; k <= Die; k++ {
-		if strings.HasPrefix(k.String(), "Kind(") {
-			t.Errorf("kind %d unnamed", k)
+	if Kind(99).String() != "KIND(99)" {
+		t.Error("unknown kind should stringify numerically")
+	}
+}
+
+// TestKindNames guards against adding a Kind without updating the
+// name table: every declared kind must have a stable, non-fallback
+// name, and the fallback itself must round-trip through ParseKind.
+func TestKindNames(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		name := k.String()
+		if name == "" || strings.HasPrefix(name, "KIND(") {
+			t.Errorf("kind %d has no name (got %q); update kindNames", k, name)
+		}
+		parsed, err := ParseKind(name)
+		if err != nil || parsed != k {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", name, parsed, err, k)
 		}
 	}
-	if Kind(99).String() != "Kind(99)" {
-		t.Error("unknown kind should stringify numerically")
+	if k, err := ParseKind("KIND(42)"); err != nil || k != Kind(42) {
+		t.Errorf("fallback did not round-trip: %v, %v", k, err)
+	}
+	if _, err := ParseKind("BOGUS"); err == nil {
+		t.Error("ParseKind accepted garbage")
+	}
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	cases := []Event{
+		{T: 1.5, Kind: Deliver, Key: "a/b", Receiver: 3},
+		{T: 2, Kind: Die, Key: "x", Receiver: -1},
+		{T: 0.25, Kind: Kind(42), Key: "weird", Receiver: -1},
+	}
+	for _, want := range cases {
+		data, err := json.Marshal(want)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", want, err)
+		}
+		var got Event
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if got != want {
+			t.Errorf("round trip %s: got %+v want %+v", data, got, want)
+		}
+	}
+	// The receiver field is omitted when not receiver-specific.
+	data, _ := json.Marshal(Event{T: 1, Kind: Arrive, Key: "k", Receiver: -1})
+	if strings.Contains(string(data), "rcv") {
+		t.Errorf("rcv not omitted: %s", data)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	r := New(8)
+	r.Record(1, Arrive, "a", -1)
+	r.Record(2, Deliver, "a", 0)
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %q", lines)
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != Deliver || e.Receiver != 0 {
+		t.Errorf("line 2 = %+v", e)
+	}
+}
+
+// TestSafeRingConcurrent hammers a NewSafe ring from parallel writers
+// while readers snapshot — meaningful under -race.
+func TestSafeRingConcurrent(t *testing.T) {
+	r := NewSafe(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(float64(i), Kind(i%int(NumKinds)), "k", w)
+			}
+		}(w)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = r.Events()
+				_ = r.Len()
+				_ = r.Dump()
+				_ = r.WriteJSONL(io.Discard)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 2000 {
+		t.Errorf("Total = %d, want 2000", r.Total())
+	}
+	if r.Len() != 64 {
+		t.Errorf("Len = %d, want 64", r.Len())
 	}
 }
 
