@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench
+.PHONY: check build vet fmt test race bench benchfast benchjson
 
 ## check: the extended tier-1 gate — everything a PR must keep green.
 check: fmt vet build race bench
@@ -27,3 +27,15 @@ race:
 ## compiling and running; full numbers come from `go test -bench=.`.
 bench:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
+
+## benchfast: real numbers for the substrate micro-benchmarks only —
+## the allocation-sensitive hot paths (event scheduling, namespace
+## digests, scheduler picks, channel services, codec) with -benchmem.
+benchfast:
+	$(GO) test -run=^$$ -benchmem -benchtime=200ms \
+		-bench='Eventsim|Namespace|Scheduler|Channel|Protocol|EngineEventsPerSec' .
+
+## benchjson: regenerate BENCH_ssbench.json (the per-experiment
+## wall-time + headline-metric trajectory record; see EXPERIMENTS.md).
+benchjson:
+	$(GO) run ./cmd/ssbench -quick -all -json > BENCH_ssbench.json

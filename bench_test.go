@@ -27,109 +27,59 @@ import (
 
 var quick = experiments.Opts{Quick: true, Seed: 1}
 
-// benchExperiment runs one figure/table per iteration and reports a
-// headline metric extracted from it.
-func benchExperiment(b *testing.B, id string, metric string, extract func(experiments.Experiment) float64) {
+// benchExperiment runs one figure/table per iteration and reports its
+// headline metric (the same quantity ssbench -json records).
+func benchExperiment(b *testing.B, id string, opts experiments.Opts) {
 	b.Helper()
+	b.ReportAllocs()
+	var name string
 	var last float64
 	for i := 0; i < b.N; i++ {
-		exp, err := experiments.Run(id, quick)
+		exp, err := experiments.Run(id, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
-		last = extract(exp)
+		name, last = exp.Headline()
 	}
-	b.ReportMetric(last, metric)
+	b.ReportMetric(last, name)
 }
 
-func lastY(e experiments.Experiment, series int) float64 {
-	s := e.Series[series]
-	return s.Y[len(s.Y)-1]
-}
+func BenchmarkTable1(b *testing.B)    { benchExperiment(b, "table1", quick) }
+func BenchmarkFig3(b *testing.B)      { benchExperiment(b, "fig3", quick) }
+func BenchmarkFig4(b *testing.B)      { benchExperiment(b, "fig4", quick) }
+func BenchmarkFig5(b *testing.B)      { benchExperiment(b, "fig5", quick) }
+func BenchmarkFig6(b *testing.B)      { benchExperiment(b, "fig6", quick) }
+func BenchmarkFig8(b *testing.B)      { benchExperiment(b, "fig8", quick) }
+func BenchmarkFig9(b *testing.B)      { benchExperiment(b, "fig9", quick) }
+func BenchmarkFig10(b *testing.B)     { benchExperiment(b, "fig10", quick) }
+func BenchmarkFig11(b *testing.B)     { benchExperiment(b, "fig11", quick) }
+func BenchmarkSummary(b *testing.B)   { benchExperiment(b, "summary", quick) }
+func BenchmarkExtTimers(b *testing.B) { benchExperiment(b, "ext-timers", quick) }
 
-func firstY(e experiments.Experiment, series int) float64 {
-	return e.Series[series].Y[0]
-}
-
-func BenchmarkTable1(b *testing.B) {
-	benchExperiment(b, "table1", "pd_empirical", func(e experiments.Experiment) float64 {
-		return lastY(e, 1) // simulated I-enter death probability
-	})
-}
-
-func BenchmarkFig3(b *testing.B) {
-	benchExperiment(b, "fig3", "consistency_at_0loss", func(e experiments.Experiment) float64 {
-		return firstY(e, 1) // simulated pd=0.20 at zero loss
-	})
-}
-
-func BenchmarkFig4(b *testing.B) {
-	benchExperiment(b, "fig4", "redundant_frac_lowloss", func(e experiments.Experiment) float64 {
-		return firstY(e, 2)
-	})
-}
-
-func BenchmarkFig5(b *testing.B) {
-	benchExperiment(b, "fig5", "consistency_above_knee", func(e experiments.Experiment) float64 {
-		return lastY(e, 0) // loss=10%, μ_hot≈0.9·μ_data
-	})
-}
-
-func BenchmarkFig6(b *testing.B) {
-	benchExperiment(b, "fig6", "t_rec_high_cold", func(e experiments.Experiment) float64 {
-		return lastY(e, 0)
-	})
-}
-
-func BenchmarkFig8(b *testing.B) {
-	benchExperiment(b, "fig8", "consistency_fb30pct", func(e experiments.Experiment) float64 {
-		// Steady-state tail of the fb/tot=30% trace.
-		s := e.Series[2]
-		n := len(s.Y)
-		sum := 0.0
-		for _, v := range s.Y[n/2:] {
-			sum += v
+// BenchmarkSweepWorkers runs the three heaviest sweeps serially and on
+// a full worker pool. On a multi-core machine the parallel variants
+// show the sweep-runner speedup; the outputs are byte-identical either
+// way (TestParallelMatchesSerial).
+func BenchmarkSweepWorkers(b *testing.B) {
+	for _, id := range []string{"fig3", "fig11", "ext-timers"} {
+		for _, tc := range []struct {
+			name  string
+			procs int
+		}{{"serial", 1}, {"parallel", 0}} {
+			b.Run(id+"/"+tc.name, func(b *testing.B) {
+				opts := quick
+				opts.Procs = tc.procs
+				benchExperiment(b, id, opts)
+			})
 		}
-		return sum / float64(n-n/2)
-	})
-}
-
-func BenchmarkFig9(b *testing.B) {
-	benchExperiment(b, "fig9", "consistency_50loss_fbmax", func(e experiments.Experiment) float64 {
-		return lastY(e, 2)
-	})
-}
-
-func BenchmarkFig10(b *testing.B) {
-	benchExperiment(b, "fig10", "consistency_above_knee", func(e experiments.Experiment) float64 {
-		return lastY(e, 0)
-	})
-}
-
-func BenchmarkFig11(b *testing.B) {
-	benchExperiment(b, "fig11", "consistency_50loss_ceiling", func(e experiments.Experiment) float64 {
-		return lastY(e, 4)
-	})
-}
-
-func BenchmarkSummary(b *testing.B) {
-	benchExperiment(b, "summary", "feedback_gain_at_40loss", func(e experiments.Experiment) float64 {
-		// aging+feedback minus open-loop at 40% loss (x index 3).
-		return e.Series[2].Y[3] - e.Series[0].Y[3]
-	})
-}
-
-func BenchmarkExtTimers(b *testing.B) {
-	benchExperiment(b, "ext-timers", "false_expiry_k3_p30", func(e experiments.Experiment) float64 {
-		// K=3 static series, loss=0.3 (index 2).
-		return e.Series[4].Y[2]
-	})
+	}
 }
 
 // --- Ablations (design choices called out in DESIGN.md) ---
 
 func ablationEngine(b *testing.B, cfg core.Config) float64 {
 	b.Helper()
+	b.ReportAllocs()
 	var last float64
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
@@ -217,6 +167,7 @@ func BenchmarkAblationNamespaceHash(b *testing.B) {
 			for i := 0; i < 256; i++ {
 				tr.Put(fmt.Sprintf("g%d/k%d", i%16, i), []byte("value"), uint64(i))
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				tr.Put("g0/k0", []byte(fmt.Sprintf("v%d", i)), uint64(i+1000))
@@ -240,6 +191,7 @@ func BenchmarkEventsimScheduling(b *testing.B) {
 func BenchmarkEngineEventsPerSec(b *testing.B) {
 	// Simulated seconds per wall benchmark iteration: a 100 s run of
 	// the feedback engine at the Fig-10 operating point.
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e, err := core.NewEngine(core.Config{
 			Mode: core.ModeFeedback, Seed: int64(i + 1),
@@ -279,6 +231,7 @@ func BenchmarkNamespaceDigest1k(b *testing.B) {
 	for i := 0; i < 1024; i++ {
 		tr.Put(fmt.Sprintf("g%d/k%d", i%32, i), []byte("0123456789abcdef"), uint64(i))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Put("g0/k0", []byte(fmt.Sprintf("v%d", i)), uint64(i+2000))
@@ -320,6 +273,7 @@ func BenchmarkChannelTransmit(b *testing.B) {
 			ch.Transmit(1000, nil)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	ch.Transmit(1000, nil)
 	sim.Run()

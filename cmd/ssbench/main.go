@@ -6,20 +6,50 @@
 //
 //	ssbench -fig 3            # one figure (3, 4, 5, 6, 8, 9, 10, 11)
 //	ssbench -table 1          # Table 1
-//	ssbench -summary          # the §8 headline comparison
+//	ssbench -summary          # regenerate the §8 headline comparison
 //	ssbench -all              # everything, in paper order
 //	ssbench -quick            # 5x shorter simulations
 //	ssbench -seed 7           # change the RNG seed
+//	ssbench -procs 4          # sweep worker pool size (0 = GOMAXPROCS)
+//	ssbench -json             # emit a benchmark record instead of TSV
+//
+// Sweep points derive their seeds from their parameters alone, so
+// -procs changes wall-clock time only: the output is byte-identical
+// for every worker count (see internal/par).
+//
+// With -json, ssbench suppresses TSV and instead emits one JSON object
+// on stdout recording per-experiment wall time and headline metric —
+// the format of BENCH_ssbench.json, documented in EXPERIMENTS.md.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"softstate/internal/experiments"
 )
+
+// record is the -json output: one benchmark trajectory point.
+type record struct {
+	Seed        int64       `json:"seed"`
+	Quick       bool        `json:"quick"`
+	Procs       int         `json:"procs"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	TotalMillis float64     `json:"total_ms"`
+	Experiments []expRecord `json:"experiments"`
+}
+
+type expRecord struct {
+	ID       string  `json:"id"`
+	Millis   float64 `json:"ms"`
+	Headline string  `json:"headline"`
+	Value    float64 `json:"value"`
+}
 
 func main() {
 	fig := flag.Int("fig", 0, "figure number to regenerate (3-6, 8-11)")
@@ -28,9 +58,11 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	quick := flag.Bool("quick", false, "run 5x shorter simulations")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	procs := flag.Int("procs", 0, "sweep worker pool size; 0 means GOMAXPROCS, 1 is serial")
+	jsonOut := flag.Bool("json", false, "emit a JSON benchmark record instead of TSV")
 	flag.Parse()
 
-	opts := experiments.Opts{Quick: *quick, Seed: *seed}
+	opts := experiments.Opts{Quick: *quick, Seed: *seed, Procs: *procs}
 
 	var ids []string
 	switch {
@@ -47,6 +79,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	rec := record{Seed: *seed, Quick: *quick, Procs: *procs, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	tsvOut := io.Writer(os.Stdout)
+	if *jsonOut {
+		tsvOut = io.Discard
+	}
+	total := time.Now()
 	for _, id := range ids {
 		start := time.Now()
 		exp, err := experiments.Run(id, opts)
@@ -54,8 +92,25 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		exp.WriteTSV(os.Stdout)
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
-		fmt.Println()
+		elapsed := time.Since(start)
+		exp.WriteTSV(tsvOut)
+		name, v := exp.Headline()
+		rec.Experiments = append(rec.Experiments, expRecord{
+			ID: id, Millis: float64(elapsed.Microseconds()) / 1000,
+			Headline: name, Value: v,
+		})
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, elapsed.Round(time.Millisecond))
+		if !*jsonOut {
+			fmt.Println()
+		}
+	}
+	rec.TotalMillis = float64(time.Since(total).Microseconds()) / 1000
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -52,6 +52,9 @@ type Engine struct {
 	fb        *netsim.FeedbackLink
 	scheduler sched.Scheduler
 	queues    [2]*list.List
+	ready     func(q int) bool // persistent Pick predicate (no per-pump closure)
+	slot      *txSlot          // shared-channel in-flight state
+	slotQ     [2]*txSlot       // strict-mode per-channel in-flight state
 
 	records map[table.Key]*record
 	live    []*record // for uniform update sampling
@@ -76,6 +79,27 @@ type Engine struct {
 	nacksGen  int
 	nacksRecv int
 	promoted  int
+}
+
+// txSlot holds the in-flight transmission state for one channel plus a
+// persistent deliver callback reading it, so transmit does not allocate
+// a closure per packet. Exactly one transmission is in flight per
+// channel (propagation delay is zero in this model), so the slot is
+// safely overwritten only when the channel next accepts a Transmit.
+type txSlot struct {
+	e         *Engine
+	rec       *record
+	bits      float64
+	enterCons bool
+	deliver   func(rcv int, delivered bool)
+}
+
+func newTxSlot(e *Engine) *txSlot {
+	s := &txSlot{e: e}
+	s.deliver = func(rcv int, delivered bool) {
+		s.e.deliver(s.rec, s.bits, rcv, delivered, s.enterCons)
+	}
+	return s
 }
 
 // NewEngine builds an engine from cfg; see Config for parameters.
@@ -130,6 +154,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 			ch.OnIdle = func() { e.pumpStrict(q) }
 			ch.Instrument(cfg.Obs, "link", [2]string{"hot", "cold"}[q])
 			e.chq[q] = ch
+			e.slotQ[q] = newTxSlot(e)
 		}
 	} else {
 		e.ch = netsim.NewChannel(e.sim, cfg.MuData)
@@ -138,7 +163,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		}
 		e.ch.OnIdle = e.pump
 		e.ch.Instrument(cfg.Obs, "link", "data")
+		e.slot = newTxSlot(e)
 	}
+	e.ready = func(q int) bool { return e.queues[q].Len() > 0 }
 	for i := 0; i < cfg.Receivers; i++ {
 		e.meters = append(e.meters, metric.NewConsistencyMeter(0))
 	}
@@ -155,6 +182,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 			fbLoss = netsim.NewBernoulliLoss(cfg.FbLossRate, lossRnd.Split())
 		}
 		e.fb = netsim.NewFeedbackLink(e.sim, cfg.MuFb, fbLoss, 0, cfg.NACKQueueCap)
+		e.fb.OnDeliver = func(p any) { e.onNACK(p.(*record)) }
 		e.fb.Instrument(cfg.Obs)
 	}
 
@@ -359,14 +387,14 @@ func (e *Engine) pump() {
 	if e.ch.Busy() {
 		return
 	}
-	id, ok := e.scheduler.Pick(func(q int) bool { return e.queues[q].Len() > 0 })
+	id, ok := e.scheduler.Pick(e.ready)
 	if !ok {
 		return
 	}
 	rec := e.pop(id)
 	bits := e.drawBits()
 	e.scheduler.Charge(id, bits)
-	e.transmit(e.ch, rec, bits)
+	e.transmit(e.ch, e.slot, rec, bits)
 }
 
 // pumpStrict serves queue q on its dedicated rate-limited channel.
@@ -376,7 +404,7 @@ func (e *Engine) pumpStrict(q int) {
 		return
 	}
 	rec := e.pop(q)
-	e.transmit(ch, rec, e.drawBits())
+	e.transmit(ch, e.slotQ[q], rec, e.drawBits())
 }
 
 func (e *Engine) pop(q int) *record {
@@ -403,13 +431,11 @@ func (e *Engine) drawBits() float64 {
 	return bits
 }
 
-func (e *Engine) transmit(ch *netsim.Channel, rec *record, bits float64) {
-	enterCons := rec.consistent[0]
+func (e *Engine) transmit(ch *netsim.Channel, slot *txSlot, rec *record, bits float64) {
+	slot.rec, slot.bits, slot.enterCons = rec, bits, rec.consistent[0]
 	e.m.txBits.Add(uint64(bits))
 	e.record(trace.Transmit, rec.key, -1)
-	ch.Transmit(bits, func(rcv int, delivered bool) {
-		e.deliver(rec, bits, rcv, delivered, enterCons)
-	})
+	ch.Transmit(bits, slot.deliver)
 }
 
 // deliver handles one receiver's outcome of a completed service; the
@@ -468,7 +494,7 @@ func (e *Engine) deliver(rec *record, bits float64, rcv int, delivered bool, ent
 			e.nacksGen++
 			e.m.nacksSent.Inc()
 			e.bw.Feedback(e.cfg.NACKBits)
-			e.fb.Send(e.cfg.NACKBits, func() { e.onNACK(rec) })
+			e.fb.SendPayload(e.cfg.NACKBits, rec)
 		}
 	}
 	if rcv == e.cfg.Receivers-1 {

@@ -9,6 +9,14 @@
 // be driven from a single goroutine; this mirrors the structure of
 // classic network simulators and avoids any need for locking in the
 // protocol models.
+//
+// Event nodes are recycled through an internal free list, so
+// steady-state scheduling does not allocate: the handles returned by
+// At/After carry a generation stamp, and operations on a handle whose
+// node has since been recycled are safe no-ops. This matters because
+// every simulated transmission, arrival, and timer is one event —
+// the free list removes the dominant per-event allocation from the
+// experiment sweeps.
 package eventsim
 
 import (
@@ -25,22 +33,36 @@ type Time float64
 // Duration is a span of simulated time in seconds.
 type Duration = float64
 
-// Event is a scheduled callback. The zero Event is inert.
-type Event struct {
-	when   Time
-	seq    uint64 // tie-break: FIFO among events at the same instant
-	index  int    // heap index; -1 when not queued
-	fn     func()
-	cancel bool
+// eventNode is the pooled representation of one scheduled callback.
+type eventNode struct {
+	when  Time
+	seq   uint64 // tie-break: FIFO among events at the same instant
+	index int    // heap index; -1 when not queued
+	gen   uint64 // incremented on recycle; pairs with Event.gen
+	fn    func()
 }
 
-// Time returns the instant the event is scheduled for.
-func (e *Event) Time() Time { return e.when }
+// Event is a handle to a scheduled callback. It is a small value, not
+// a pointer: copies are fine and the zero Event is inert. A handle
+// stays valid after its event fires or is cancelled — Cancel and
+// Pending simply become no-ops — because the underlying node's
+// generation stamp no longer matches.
+type Event struct {
+	node *eventNode
+	gen  uint64
+	fn   func()
+	when Time
+}
+
+// Time returns the instant the event was scheduled for.
+func (e Event) Time() Time { return e.when }
 
 // Pending reports whether the event is still queued and not cancelled.
-func (e *Event) Pending() bool { return e != nil && e.index >= 0 && !e.cancel }
+func (e Event) Pending() bool {
+	return e.node != nil && e.node.gen == e.gen && e.node.index >= 0
+}
 
-type eventQueue []*Event
+type eventQueue []*eventNode
 
 func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
@@ -55,7 +77,7 @@ func (q eventQueue) Swap(i, j int) {
 	q[j].index = j
 }
 func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
+	e := x.(*eventNode)
 	e.index = len(*q)
 	*q = append(*q, e)
 }
@@ -73,6 +95,7 @@ func (q *eventQueue) Pop() any {
 type Sim struct {
 	now    Time
 	queue  eventQueue
+	free   []*eventNode // recycled nodes
 	seq    uint64
 	fired  uint64
 	halted bool
@@ -98,60 +121,70 @@ func (s *Sim) Now() Time { return s.now }
 // progress accounting and loop-detection in tests.
 func (s *Sim) Fired() uint64 { return s.fired }
 
-// Pending returns the number of queued (non-cancelled) events.
-func (s *Sim) Pending() int {
-	n := 0
-	for _, e := range s.queue {
-		if !e.cancel {
-			n++
-		}
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// alloc takes a node from the free list or makes a fresh one.
+func (s *Sim) alloc() *eventNode {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
 	}
-	return n
+	return &eventNode{index: -1}
+}
+
+// recycle returns a node to the free list, invalidating every handle
+// that points at it.
+func (s *Sim) recycle(e *eventNode) {
+	e.gen++
+	e.fn = nil
+	s.free = append(s.free, e)
 }
 
 // At schedules fn at absolute time t. Scheduling in the past panics:
 // that is always a model bug and silently reordering time would
 // corrupt every metric downstream.
-func (s *Sim) At(t Time, fn func()) *Event {
+func (s *Sim) At(t Time, fn func()) Event {
 	if t < s.now {
 		panic(fmt.Sprintf("eventsim: scheduling at %v before now %v", t, s.now))
 	}
 	if fn == nil {
 		panic("eventsim: nil event function")
 	}
-	e := &Event{when: t, seq: s.seq, fn: fn, index: -1}
+	e := s.alloc()
+	e.when, e.seq, e.fn = t, s.seq, fn
 	s.seq++
 	heap.Push(&s.queue, e)
-	return e
+	return Event{node: e, gen: e.gen, fn: fn, when: t}
 }
 
 // After schedules fn after d seconds of simulated time.
-func (s *Sim) After(d Duration, fn func()) *Event {
+func (s *Sim) After(d Duration, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("eventsim: negative delay %v", d))
 	}
 	return s.At(s.now+Time(d), fn)
 }
 
-// Cancel prevents a pending event from firing. Cancelling a nil,
+// Cancel prevents a pending event from firing. Cancelling a zero,
 // already-fired, or already-cancelled event is a no-op.
-func (s *Sim) Cancel(e *Event) {
-	if e == nil || e.cancel {
+func (s *Sim) Cancel(e Event) {
+	n := e.node
+	if n == nil || n.gen != e.gen || n.index < 0 {
 		return
 	}
-	e.cancel = true
-	if e.index >= 0 {
-		heap.Remove(&s.queue, e.index)
-	}
+	heap.Remove(&s.queue, n.index)
+	s.recycle(n)
 }
 
 // Reschedule moves a pending event to a new absolute time, preserving
 // its callback. If the event already fired or was cancelled, a new
 // event is created with the same callback.
-func (s *Sim) Reschedule(e *Event, t Time) *Event {
-	fn := e.fn
+func (s *Sim) Reschedule(e Event, t Time) Event {
 	s.Cancel(e)
-	return s.At(t, fn)
+	return s.At(t, e.fn)
 }
 
 // Halt stops the current Run/RunUntil after the in-flight event
@@ -161,18 +194,20 @@ func (s *Sim) Halt() { s.halted = true }
 // Step executes the single next event, if any, and reports whether an
 // event fired.
 func (s *Sim) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.cancel {
-			continue
-		}
-		s.now = e.when
-		s.fired++
-		s.firedC.Inc()
-		e.fn()
-		return true
+	if len(s.queue) == 0 {
+		return false
 	}
-	return false
+	e := heap.Pop(&s.queue).(*eventNode)
+	s.now = e.when
+	s.fired++
+	s.firedC.Inc()
+	fn := e.fn
+	// Recycle before running fn: handles to this event are already
+	// invalid (gen bumped), and fn may immediately schedule new events
+	// that reuse the node.
+	s.recycle(e)
+	fn()
+	return true
 }
 
 // RunUntil executes events in timestamp order until the queue is
@@ -207,7 +242,7 @@ func (s *Sim) Ticker(period Duration, fn func()) (stop func()) {
 	if period <= 0 || math.IsInf(period, 0) || math.IsNaN(period) {
 		panic(fmt.Sprintf("eventsim: invalid ticker period %v", period))
 	}
-	var ev *Event
+	var ev Event
 	stopped := false
 	var tick func()
 	tick = func() {

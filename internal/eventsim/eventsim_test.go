@@ -89,14 +89,14 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	s.Cancel(e) // double-cancel is a no-op
-	s.Cancel(nil)
+	s.Cancel(e)       // double-cancel is a no-op
+	s.Cancel(Event{}) // zero handle is inert
 }
 
 func TestCancelFromWithinEvent(t *testing.T) {
 	s := New()
 	fired := false
-	var victim *Event
+	var victim Event
 	s.At(1, func() { s.Cancel(victim) })
 	victim = s.At(2, func() { fired = true })
 	s.Run()

@@ -50,9 +50,9 @@ func TestEventTimeAccessor(t *testing.T) {
 	if e.Time() != 3.5 {
 		t.Errorf("Time = %v", e.Time())
 	}
-	var nilEv *Event
-	if nilEv.Pending() {
-		t.Error("nil event reports pending")
+	var zero Event
+	if zero.Pending() {
+		t.Error("zero event reports pending")
 	}
 }
 

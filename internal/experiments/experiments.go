@@ -3,6 +3,13 @@
 // (labelled series of x/y points) that cmd/ssbench prints as TSV and
 // bench_test.go exercises as testing.B benchmarks.
 //
+// Every experiment is a parameter sweep whose points are independent,
+// seeded simulations; the points fan out across a worker pool
+// (internal/par) and are reassembled in input order, so the output is
+// byte-identical for every worker count — Opts.Procs trades wall-clock
+// time only, never numbers. The golden test in golden_test.go pins
+// this for every experiment ID.
+//
 // Parameter notes (documented per experiment in EXPERIMENTS.md):
 // where the paper's captions are internally inconsistent or OCR-
 // damaged, parameters are chosen to reproduce the *shape* and the
@@ -13,9 +20,12 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"softstate/internal/core"
+	"softstate/internal/obs"
+	"softstate/internal/par"
 	"softstate/internal/queueing"
 	"softstate/internal/refresh"
 )
@@ -70,12 +80,77 @@ func (e Experiment) WriteTSV(w io.Writer) {
 	}
 }
 
-// Opts controls experiment fidelity.
+// Headline returns the experiment's headline metric as a (name, value)
+// pair — the same quantity the bench suite reports, suitable as the
+// trajectory point of a BENCH_*.json record.
+func (e Experiment) Headline() (string, float64) {
+	switch e.ID {
+	case "table1":
+		return "pd_empirical", lastY(e, 1) // simulated I-enter death probability
+	case "fig3":
+		return "consistency_at_0loss", firstY(e, 1) // simulated pd=0.20 at zero loss
+	case "fig4":
+		return "redundant_frac_lowloss", firstY(e, 2)
+	case "fig5":
+		return "consistency_above_knee", lastY(e, 0)
+	case "fig6":
+		return "t_rec_high_cold", lastY(e, 0)
+	case "fig8":
+		return "consistency_fb30pct", tailMean(e.Series[2])
+	case "fig9":
+		return "consistency_50loss_fbmax", lastY(e, 2)
+	case "fig10":
+		return "consistency_above_knee", lastY(e, 0)
+	case "fig11":
+		return "consistency_50loss_ceiling", lastY(e, 4)
+	case "summary":
+		// aging+feedback minus open-loop at 40% loss (x index 3).
+		return "feedback_gain_at_40loss", e.Series[2].Y[3] - e.Series[0].Y[3]
+	case "ext-timers":
+		// K=3 static series, loss=0.3 (index 2).
+		return "false_expiry_k3_p30", e.Series[4].Y[2]
+	case "ext-catchup":
+		return "catchup_s_50loss", lastY(e, 1)
+	default:
+		return "", math.NaN()
+	}
+}
+
+func lastY(e Experiment, series int) float64 {
+	s := e.Series[series]
+	return s.Y[len(s.Y)-1]
+}
+
+func firstY(e Experiment, series int) float64 {
+	return e.Series[series].Y[0]
+}
+
+// tailMean averages the steady-state half of a time series.
+func tailMean(s Series) float64 {
+	n := len(s.Y)
+	sum := 0.0
+	for _, v := range s.Y[n/2:] {
+		sum += v
+	}
+	return sum / float64(n-n/2)
+}
+
+// Opts controls experiment fidelity and sweep parallelism.
 type Opts struct {
 	// Quick shortens simulations (for unit tests and CI smoke runs);
 	// the full durations match EXPERIMENTS.md.
 	Quick bool
 	Seed  int64
+
+	// Procs bounds the sweep worker pool; <= 0 means GOMAXPROCS.
+	// Every simulation point derives its seed from the point's
+	// parameters and Seed alone, so the results are identical for any
+	// Procs value — 1 gives the reference serial execution.
+	Procs int
+
+	// Obs, if non-nil, receives sweep progress instruments:
+	// sweep_workers_busy and sweep_points_completed_total.
+	Obs *obs.Registry
 }
 
 func (o Opts) dur(full float64) float64 {
@@ -92,6 +167,15 @@ func (o Opts) warm(full float64) float64 {
 	return full
 }
 
+// pool builds the sweep worker pool (nil-registry safe).
+func (o Opts) pool() par.Pool {
+	return par.Pool{
+		Procs: o.Procs,
+		Busy:  o.Obs.Gauge("sweep_workers_busy"),
+		Done:  o.Obs.Counter("sweep_points_completed_total"),
+	}
+}
+
 func run(cfg core.Config, dur float64) core.Result {
 	e, err := core.NewEngine(cfg)
 	if err != nil {
@@ -100,15 +184,23 @@ func run(cfg core.Config, dur float64) core.Result {
 	return e.Run(dur)
 }
 
+// runPar runs one independent seeded engine per config on the sweep
+// pool, returning results in config order.
+func runPar(o Opts, cfgs []core.Config, dur float64) []core.Result {
+	return par.Map(o.pool(), cfgs, func(_ int, cfg core.Config) core.Result {
+		return run(cfg, dur)
+	})
+}
+
 // Table1 compares the empirical state-change probabilities against the
 // paper's Table 1 closed forms.
 func Table1(o Opts) Experiment {
 	pc, pd := 0.25, 0.20
-	res := run(core.Config{
+	res := runPar(o, []core.Config{{
 		Mode: core.ModeOpenLoop, Seed: o.Seed + 1,
 		Lambda: 20_000, MuData: 128_000, Pd: pd, LossRate: pc,
 		Warmup: o.warm(200),
-	}, o.dur(3000))
+	}}, o.dur(3000))[0]
 	want := queueing.OpenLoop{Lambda: 1, MuCh: 10, Pc: pc, Pd: pd}.Table1()
 	got := res.TransitionProbabilities()
 	mk := func(label string, vals [3]float64, sim [3]float64) (Series, Series) {
@@ -133,21 +225,27 @@ func Fig3(o Opts) Experiment {
 	lambda, mu := 20_000.0, 128_000.0
 	deathRates := []float64{0.20, 0.25, 0.30, 0.40}
 	losses := seq(0, 0.9, 0.1)
-	var series []Series
+	cfgs := make([]core.Config, 0, len(deathRates)*len(losses))
 	for _, pd := range deathRates {
-		ana := Series{Label: fmt.Sprintf("pd=%.2f analytic", pd)}
-		sim := Series{Label: fmt.Sprintf("pd=%.2f simulated", pd)}
 		for _, pc := range losses {
-			m := queueing.OpenLoop{Lambda: lambda, MuCh: mu, Pc: pc, Pd: pd}
-			ana.X = append(ana.X, pc)
-			ana.Y = append(ana.Y, m.BusyConsistency())
-			res := run(core.Config{
+			cfgs = append(cfgs, core.Config{
 				Mode: core.ModeOpenLoop, Seed: o.Seed + int64(pd*100) + int64(pc*1000),
 				Lambda: lambda, MuData: mu, Pd: pd, LossRate: pc,
 				Warmup: o.warm(200),
-			}, o.dur(2000))
+			})
+		}
+	}
+	results := runPar(o, cfgs, o.dur(2000))
+	var series []Series
+	for di, pd := range deathRates {
+		ana := Series{Label: fmt.Sprintf("pd=%.2f analytic", pd)}
+		sim := Series{Label: fmt.Sprintf("pd=%.2f simulated", pd)}
+		for li, pc := range losses {
+			m := queueing.OpenLoop{Lambda: lambda, MuCh: mu, Pc: pc, Pd: pd}
+			ana.X = append(ana.X, pc)
+			ana.Y = append(ana.Y, m.BusyConsistency())
 			sim.X = append(sim.X, pc)
-			sim.Y = append(sim.Y, res.Consistency)
+			sim.Y = append(sim.Y, results[di*len(losses)+li].Consistency)
 		}
 		series = append(series, ana, sim)
 	}
@@ -170,23 +268,27 @@ func Fig4(o Opts) Experiment {
 	lambda, mu := 20_000.0, 128_000.0
 	pd := 0.20
 	losses := seq(0, 0.9, 0.1)
+	cfgs := make([]core.Config, 0, len(losses))
+	for _, pc := range losses {
+		cfgs = append(cfgs, core.Config{
+			Mode: core.ModeOpenLoop, Seed: o.Seed + int64(pc*1000),
+			Lambda: lambda, MuData: mu, Pd: pd, LossRate: pc,
+			Warmup: o.warm(200),
+		})
+	}
+	results := runPar(o, cfgs, o.dur(2000))
 	ana := Series{Label: "analytic λ̂_C/λ̂"}
 	anaTen := Series{Label: "analytic pd=0.10"}
 	sim := Series{Label: "simulated"}
-	for _, pc := range losses {
+	for i, pc := range losses {
 		m := queueing.OpenLoop{Lambda: lambda, MuCh: mu, Pc: pc, Pd: pd}
 		ana.X = append(ana.X, pc)
 		ana.Y = append(ana.Y, m.RedundantFraction())
 		m10 := queueing.OpenLoop{Lambda: lambda, MuCh: mu, Pc: pc, Pd: 0.10}
 		anaTen.X = append(anaTen.X, pc)
 		anaTen.Y = append(anaTen.Y, m10.RedundantFraction())
-		res := run(core.Config{
-			Mode: core.ModeOpenLoop, Seed: o.Seed + int64(pc*1000),
-			Lambda: lambda, MuData: mu, Pd: pd, LossRate: pc,
-			Warmup: o.warm(200),
-		}, o.dur(2000))
 		sim.X = append(sim.X, pc)
-		sim.Y = append(sim.Y, res.RedundantFraction)
+		sim.Y = append(sim.Y, results[i].RedundantFraction)
 	}
 	return Experiment{
 		ID:     "fig4",
@@ -203,18 +305,26 @@ func Fig4(o Opts) Experiment {
 // several loss rates; the knee sits at μ_hot ≈ λ.
 func Fig5(o Opts) Experiment {
 	lambda, muData := 15_000.0, 45_000.0
-	var series []Series
-	for _, pc := range []float64{0.10, 0.30, 0.50} {
-		s := Series{Label: fmt.Sprintf("loss=%.0f%%", pc*100)}
-		for _, hotFrac := range seq(0.1, 0.9, 0.1) {
-			res := run(core.Config{
+	pcs := []float64{0.10, 0.30, 0.50}
+	hotFracs := seq(0.1, 0.9, 0.1)
+	cfgs := make([]core.Config, 0, len(pcs)*len(hotFracs))
+	for _, pc := range pcs {
+		for _, hotFrac := range hotFracs {
+			cfgs = append(cfgs, core.Config{
 				Mode: core.ModeTwoQueue, Seed: o.Seed + int64(pc*100) + int64(hotFrac*10),
 				Lambda: lambda, MuData: muData, Lifetime: 30,
 				LossRate: pc, MuHot: hotFrac, MuCold: 1 - hotFrac,
 				Warmup: o.warm(300),
-			}, o.dur(1500))
+			})
+		}
+	}
+	results := runPar(o, cfgs, o.dur(1500))
+	var series []Series
+	for pi, pc := range pcs {
+		s := Series{Label: fmt.Sprintf("loss=%.0f%%", pc*100)}
+		for hi, hotFrac := range hotFracs {
 			s.X = append(s.X, hotFrac*muData/1000) // μ_hot in kbps
-			s.Y = append(s.Y, res.Consistency)
+			s.Y = append(s.Y, results[pi*len(hotFracs)+hi].Consistency)
 		}
 		series = append(series, s)
 	}
@@ -234,19 +344,24 @@ func Fig5(o Opts) Experiment {
 // then falls (retransmissions get faster).
 func Fig6(o Opts) Experiment {
 	lambda, muHot := 15_000.0, 18_000.0
-	lat := Series{Label: "T_rec (s)"}
-	deliv := Series{Label: "delivery ratio"}
-	for _, ratio := range []float64{0.001, 0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1, 1.5, 2, 3} {
-		res := run(core.Config{
+	ratios := []float64{0.001, 0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1, 1.5, 2, 3}
+	cfgs := make([]core.Config, 0, len(ratios))
+	for _, ratio := range ratios {
+		cfgs = append(cfgs, core.Config{
 			Mode: core.ModeTwoQueue, Seed: o.Seed + int64(ratio*1000), StrictShare: true,
 			Lambda: lambda, Lifetime: 60, LossRate: 0.25,
 			MuHot: muHot, MuCold: ratio * muHot,
 			Warmup: o.warm(300),
-		}, o.dur(2500))
+		})
+	}
+	results := runPar(o, cfgs, o.dur(2500))
+	lat := Series{Label: "T_rec (s)"}
+	deliv := Series{Label: "delivery ratio"}
+	for i, ratio := range ratios {
 		lat.X = append(lat.X, ratio)
-		lat.Y = append(lat.Y, res.MeanLatency)
+		lat.Y = append(lat.Y, results[i].MeanLatency)
 		deliv.X = append(deliv.X, ratio)
-		deliv.Y = append(deliv.Y, res.DeliveryRatio)
+		deliv.Y = append(deliv.Y, results[i].DeliveryRatio)
 	}
 	mm1 := queueing.MM1{Lambda: lambda / 1000, Mu: muHot / 1000}
 	return Experiment{
@@ -265,8 +380,9 @@ func Fig6(o Opts) Experiment {
 // bandwidth shares at 40% loss.
 func Fig8(o Opts) Experiment {
 	lambda, muTot := 15_000.0, 45_000.0
-	var series []Series
-	for _, fbFrac := range []float64{0, 0.1, 0.3, 0.5, 0.7} {
+	fbFracs := []float64{0, 0.1, 0.3, 0.5, 0.7}
+	cfgs := make([]core.Config, 0, len(fbFracs))
+	for _, fbFrac := range fbFracs {
 		cfg := core.Config{
 			Mode: core.ModeFeedback, Seed: o.Seed + int64(fbFrac*100),
 			Lambda: lambda, MuData: (1 - fbFrac) * muTot, Lifetime: 30,
@@ -278,9 +394,13 @@ func Fig8(o Opts) Experiment {
 			cfg.Mode = core.ModeTwoQueue
 			cfg.MuData = muTot
 		}
-		res := run(cfg, o.dur(2000))
+		cfgs = append(cfgs, cfg)
+	}
+	results := runPar(o, cfgs, o.dur(2000))
+	var series []Series
+	for i, fbFrac := range fbFracs {
 		s := Series{Label: fmt.Sprintf("fb/tot=%.0f%%", fbFrac*100)}
-		for _, p := range res.Series.Points {
+		for _, p := range results[i].Series.Points {
 			s.X = append(s.X, p.T)
 			s.Y = append(s.Y, p.V)
 		}
@@ -301,33 +421,43 @@ func Fig8(o Opts) Experiment {
 // ratio for several loss rates (data bandwidth held fixed).
 func Fig9(o Opts) Experiment {
 	lambda, muData := 1_500.0, 30_000.0
-	var series []Series
-	for _, pc := range []float64{0.10, 0.30, 0.50, 0.70} {
-		s := Series{Label: fmt.Sprintf("loss=%.0f%%", pc*100)}
-		for _, fbRatio := range []float64{0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0} {
-			res := run(core.Config{
+	pcs := []float64{0.10, 0.30, 0.50, 0.70}
+	fbRatios := []float64{0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0}
+	cfgs := make([]core.Config, 0, len(pcs)*len(fbRatios)+len(pcs))
+	for _, pc := range pcs {
+		for _, fbRatio := range fbRatios {
+			cfgs = append(cfgs, core.Config{
 				Mode: core.ModeFeedback, Seed: o.Seed + int64(pc*100) + int64(fbRatio*1000),
 				Lambda: lambda, MuData: muData, Lifetime: 30,
 				LossRate: pc, MuHot: 0.9, MuCold: 0.1, NACKBits: 200,
 				MuFb:   fbRatio * muData,
 				Warmup: o.warm(300),
-			}, o.dur(1500))
-			s.X = append(s.X, fbRatio*100)
-			s.Y = append(s.Y, res.Consistency)
+			})
 		}
-		series = append(series, s)
 	}
 	// Open-loop baselines at each loss rate for the improvement claim.
-	base := Series{Label: "open-loop baseline (vs loss idx)"}
-	for i, pc := range []float64{0.10, 0.30, 0.50, 0.70} {
-		res := run(core.Config{
+	for i, pc := range pcs {
+		cfgs = append(cfgs, core.Config{
 			Mode: core.ModeTwoQueue, Seed: o.Seed + 999 + int64(i),
 			Lambda: lambda, MuData: muData, Lifetime: 30,
 			LossRate: pc, MuHot: 0.9, MuCold: 0.1,
 			Warmup: o.warm(300),
-		}, o.dur(1500))
+		})
+	}
+	results := runPar(o, cfgs, o.dur(1500))
+	var series []Series
+	for pi, pc := range pcs {
+		s := Series{Label: fmt.Sprintf("loss=%.0f%%", pc*100)}
+		for fi, fbRatio := range fbRatios {
+			s.X = append(s.X, fbRatio*100)
+			s.Y = append(s.Y, results[pi*len(fbRatios)+fi].Consistency)
+		}
+		series = append(series, s)
+	}
+	base := Series{Label: "open-loop baseline (vs loss idx)"}
+	for i := range pcs {
 		base.X = append(base.X, float64(i))
-		base.Y = append(base.Y, res.Consistency)
+		base.Y = append(base.Y, results[len(pcs)*len(fbRatios)+i].Consistency)
 	}
 	series = append(series, base)
 	return Experiment{
@@ -345,17 +475,22 @@ func Fig9(o Opts) Experiment {
 // while λ > μ_hot, then a sharp rise to ≈100%.
 func Fig10(o Opts) Experiment {
 	lambda, muData, muFb := 15_000.0, 38_000.0, 7_000.0
-	s := Series{Label: "loss=10%"}
-	for _, hotFrac := range seq(0.1, 0.9, 0.08) {
-		res := run(core.Config{
+	hotFracs := seq(0.1, 0.9, 0.08)
+	cfgs := make([]core.Config, 0, len(hotFracs))
+	for _, hotFrac := range hotFracs {
+		cfgs = append(cfgs, core.Config{
 			Mode: core.ModeFeedback, Seed: o.Seed + int64(hotFrac*100),
 			Lambda: lambda, MuData: muData, Lifetime: 30,
 			LossRate: 0.10, MuHot: hotFrac, MuCold: 1 - hotFrac, NACKBits: 200,
 			MuFb:   muFb,
 			Warmup: o.warm(300),
-		}, o.dur(1500))
+		})
+	}
+	results := runPar(o, cfgs, o.dur(1500))
+	s := Series{Label: "loss=10%"}
+	for i, hotFrac := range hotFracs {
 		s.X = append(s.X, hotFrac*100)
-		s.Y = append(s.Y, res.Consistency)
+		s.Y = append(s.Y, results[i].Consistency)
 	}
 	return Experiment{
 		ID:     "fig10",
@@ -371,19 +506,27 @@ func Fig10(o Opts) Experiment {
 // consistency; the hot/cold split barely matters once μ_hot > λ.
 func Fig11(o Opts) Experiment {
 	lambda, muData, muFb := 15_000.0, 38_000.0, 7_000.0
-	var series []Series
-	for _, pc := range []float64{0.01, 0.20, 0.30, 0.40, 0.50} {
-		s := Series{Label: fmt.Sprintf("loss=%.0f%%", pc*100)}
-		for _, hotFrac := range seq(0.1, 0.9, 0.08) {
-			res := run(core.Config{
+	pcs := []float64{0.01, 0.20, 0.30, 0.40, 0.50}
+	hotFracs := seq(0.1, 0.9, 0.08)
+	cfgs := make([]core.Config, 0, len(pcs)*len(hotFracs))
+	for _, pc := range pcs {
+		for _, hotFrac := range hotFracs {
+			cfgs = append(cfgs, core.Config{
 				Mode: core.ModeFeedback, Seed: o.Seed + int64(pc*100) + int64(hotFrac*100),
 				Lambda: lambda, MuData: muData, Lifetime: 30,
 				LossRate: pc, MuHot: hotFrac, MuCold: 1 - hotFrac, NACKBits: 200,
 				MuFb:   muFb,
 				Warmup: o.warm(300),
-			}, o.dur(1500))
+			})
+		}
+	}
+	results := runPar(o, cfgs, o.dur(1500))
+	var series []Series
+	for pi, pc := range pcs {
+		s := Series{Label: fmt.Sprintf("loss=%.0f%%", pc*100)}
+		for hi, hotFrac := range hotFracs {
 			s.X = append(s.X, hotFrac*100)
-			s.Y = append(s.Y, res.Consistency)
+			s.Y = append(s.Y, results[pi*len(hotFracs)+hi].Consistency)
 		}
 		series = append(series, s)
 	}
@@ -403,37 +546,42 @@ func Fig11(o Opts) Experiment {
 func Summary(o Opts) Experiment {
 	lambda, muTot := 15_000.0, 45_000.0
 	losses := []float64{0.10, 0.20, 0.30, 0.40, 0.50}
-	open := Series{Label: "open-loop (FIFO)"}
-	aged := Series{Label: "two-queue aging"}
-	fb := Series{Label: "aging+feedback"}
+	cfgs := make([]core.Config, 0, 3*len(losses))
 	for _, pc := range losses {
 		seed := o.Seed + int64(pc*100)
 		// Open loop: a single FIFO queue through which all records
 		// cycle, with the same lifetime-based death for comparability.
-		openRes := run(core.Config{
-			Mode: core.ModeOpenLoop, Seed: seed,
-			Lambda: lambda, MuData: muTot, Lifetime: 30, Pd: 0,
-			LossRate: pc, Warmup: o.warm(300),
-		}, o.dur(1500))
-		ra := run(core.Config{
-			Mode: core.ModeTwoQueue, Seed: seed,
-			Lambda: lambda, MuData: muTot, Lifetime: 30,
-			LossRate: pc, MuHot: 0.9, MuCold: 0.1,
-			Warmup: o.warm(300),
-		}, o.dur(1500))
-		rf := run(core.Config{
-			Mode: core.ModeFeedback, Seed: seed,
-			Lambda: lambda, MuData: 0.8 * muTot, Lifetime: 30,
-			LossRate: pc, MuHot: 0.9, MuCold: 0.1, NACKBits: 200,
-			MuFb:   0.2 * muTot,
-			Warmup: o.warm(300),
-		}, o.dur(1500))
+		cfgs = append(cfgs,
+			core.Config{
+				Mode: core.ModeOpenLoop, Seed: seed,
+				Lambda: lambda, MuData: muTot, Lifetime: 30, Pd: 0,
+				LossRate: pc, Warmup: o.warm(300),
+			},
+			core.Config{
+				Mode: core.ModeTwoQueue, Seed: seed,
+				Lambda: lambda, MuData: muTot, Lifetime: 30,
+				LossRate: pc, MuHot: 0.9, MuCold: 0.1,
+				Warmup: o.warm(300),
+			},
+			core.Config{
+				Mode: core.ModeFeedback, Seed: seed,
+				Lambda: lambda, MuData: 0.8 * muTot, Lifetime: 30,
+				LossRate: pc, MuHot: 0.9, MuCold: 0.1, NACKBits: 200,
+				MuFb:   0.2 * muTot,
+				Warmup: o.warm(300),
+			})
+	}
+	results := runPar(o, cfgs, o.dur(1500))
+	open := Series{Label: "open-loop (FIFO)"}
+	aged := Series{Label: "two-queue aging"}
+	fb := Series{Label: "aging+feedback"}
+	for i, pc := range losses {
 		open.X = append(open.X, pc)
-		open.Y = append(open.Y, openRes.Consistency)
+		open.Y = append(open.Y, results[3*i].Consistency)
 		aged.X = append(aged.X, pc)
-		aged.Y = append(aged.Y, ra.Consistency)
+		aged.Y = append(aged.Y, results[3*i+1].Consistency)
 		fb.X = append(fb.X, pc)
-		fb.Y = append(fb.Y, rf.Consistency)
+		fb.Y = append(fb.Y, results[3*i+2].Consistency)
 	}
 	return Experiment{
 		ID:     "summary",
@@ -452,31 +600,44 @@ func Summary(o Opts) Experiment {
 // estimator, across loss rates.
 func ExtTimers(o Opts) Experiment {
 	losses := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+	ks := []float64{2, 3, 4}
+	type point struct{ k, p float64 }
+	type outcome struct{ static, adaptive refresh.Result }
+	pts := make([]point, 0, len(ks)*len(losses))
+	for _, k := range ks {
+		for _, p := range losses {
+			pts = append(pts, point{k: k, p: p})
+		}
+	}
+	results := par.Map(o.pool(), pts, func(_ int, pt point) outcome {
+		cfg := refresh.Config{
+			Seed: o.Seed, Records: 200, Period: 2, K: pt.k, LossRate: pt.p,
+			Jitter: 0.05,
+		}
+		res, err := refresh.Run(cfg, o.dur(4000))
+		if err != nil {
+			panic(err)
+		}
+		cfg.Adaptive = true
+		resAd, err := refresh.Run(cfg, o.dur(4000))
+		if err != nil {
+			panic(err)
+		}
+		return outcome{static: res, adaptive: resAd}
+	})
 	var series []Series
-	for _, k := range []float64{2, 3, 4} {
+	for ki, k := range ks {
 		ana := Series{Label: fmt.Sprintf("K=%.0f analytic p^K", k)}
 		sim := Series{Label: fmt.Sprintf("K=%.0f static", k)}
 		ad := Series{Label: fmt.Sprintf("K=%.0f adaptive", k)}
-		for _, p := range losses {
-			cfg := refresh.Config{
-				Seed: o.Seed, Records: 200, Period: 2, K: k, LossRate: p,
-				Jitter: 0.05,
-			}
-			res, err := refresh.Run(cfg, o.dur(4000))
-			if err != nil {
-				panic(err)
-			}
-			cfg.Adaptive = true
-			resAd, err := refresh.Run(cfg, o.dur(4000))
-			if err != nil {
-				panic(err)
-			}
+		for li, p := range losses {
+			out := results[ki*len(losses)+li]
 			ana.X = append(ana.X, p)
-			ana.Y = append(ana.Y, res.AnalyticRate)
+			ana.Y = append(ana.Y, out.static.AnalyticRate)
 			sim.X = append(sim.X, p)
-			sim.Y = append(sim.Y, res.FalseExpiryRate)
+			sim.Y = append(sim.Y, out.static.FalseExpiryRate)
 			ad.X = append(ad.X, p)
-			ad.Y = append(ad.Y, resAd.FalseExpiryRate)
+			ad.Y = append(ad.Y, out.adaptive.FalseExpiryRate)
 		}
 		series = append(series, ana, sim, ad)
 	}
@@ -505,14 +666,23 @@ func ExtCatchup(o Opts) Experiment {
 		target  = 0.95
 		muTot   = 45_000.0
 	)
-	catchup := func(mode core.Mode, pc float64) float64 {
+	type point struct {
+		mode core.Mode
+		pc   float64
+	}
+	pcs := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5}
+	pts := make([]point, 0, 2*len(pcs))
+	for _, pc := range pcs {
+		pts = append(pts, point{mode: core.ModeTwoQueue, pc: pc}, point{mode: core.ModeFeedback, pc: pc})
+	}
+	results := par.Map(o.pool(), pts, func(_ int, pt point) float64 {
 		cfg := core.Config{
-			Mode: mode, Seed: o.Seed + int64(pc*100),
+			Mode: pt.mode, Seed: o.Seed + int64(pt.pc*100),
 			Lambda: 0, InitialRecords: records, Lifetime: 1e6, // static table
-			MuData: muTot, LossRate: pc,
+			MuData: muTot, LossRate: pt.pc,
 			MuHot: 0.5, MuCold: 0.5, SampleInterval: 0.25,
 		}
-		if mode == core.ModeFeedback {
+		if pt.mode == core.ModeFeedback {
 			cfg.MuData = 0.85 * muTot
 			cfg.MuFb = 0.15 * muTot
 			cfg.NACKBits = 200
@@ -524,14 +694,14 @@ func ExtCatchup(o Opts) Experiment {
 			}
 		}
 		return res.Duration // never reached: report the horizon
-	}
+	})
 	open := Series{Label: "announce/listen"}
 	fb := Series{Label: "with feedback"}
-	for _, pc := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5} {
+	for i, pc := range pcs {
 		open.X = append(open.X, pc)
-		open.Y = append(open.Y, catchup(core.ModeTwoQueue, pc))
+		open.Y = append(open.Y, results[2*i])
 		fb.X = append(fb.X, pc)
-		fb.Y = append(fb.Y, catchup(core.ModeFeedback, pc))
+		fb.Y = append(fb.Y, results[2*i+1])
 	}
 	return Experiment{
 		ID:     "ext-catchup",
@@ -582,10 +752,15 @@ func All() []string {
 	return []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11", "summary", "ext-timers", "ext-catchup"}
 }
 
+// seq returns the inclusive grid {from, from+step, …, to}. Each point
+// is computed as from + i·step rather than by accumulation, so
+// rounding error does not compound across long sweeps and the
+// endpoint is included exactly.
 func seq(from, to, step float64) []float64 {
-	var out []float64
-	for x := from; x <= to+1e-9; x += step {
-		out = append(out, x)
+	n := int(math.Floor((to-from)/step+1e-9)) + 1
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, from+float64(i)*step)
 	}
 	return out
 }

@@ -190,9 +190,38 @@ func TestWriteTSV(t *testing.T) {
 }
 
 func TestSeq(t *testing.T) {
-	xs := seq(0, 1, 0.25)
-	if len(xs) != 5 || xs[0] != 0 || xs[4] != 1 {
-		t.Errorf("seq = %v", xs)
+	cases := []struct {
+		from, to, step float64
+		n              int
+	}{
+		{0, 1, 0.25, 5},
+		// The figure grids: accumulation (x += step) drifts at binary
+		// fractions like 0.1 and would yield 0.7999999999999999 instead
+		// of 0.8; each point must be computed as from + i*step so the
+		// endpoints land exactly and derived per-point seeds are stable.
+		{0, 0.9, 0.1, 10},
+		{0.1, 0.9, 0.1, 9},
+		{0.1, 0.9, 0.08, 11},
+	}
+	for _, c := range cases {
+		xs := seq(c.from, c.to, c.step)
+		if len(xs) != c.n {
+			t.Errorf("seq(%v,%v,%v) has %d points, want %d", c.from, c.to, c.step, len(xs), c.n)
+			continue
+		}
+		if xs[0] != c.from {
+			t.Errorf("seq(%v,%v,%v) starts at %v", c.from, c.to, c.step, xs[0])
+		}
+		for i, x := range xs {
+			if want := c.from + float64(i)*c.step; x != want {
+				t.Errorf("seq(%v,%v,%v)[%d] = %v, want exactly %v", c.from, c.to, c.step, i, x, want)
+			}
+		}
+	}
+	// Exact endpoint inclusion at the drift-prone grid.
+	xs := seq(0, 0.9, 0.1)
+	if xs[len(xs)-1] != 0.9 {
+		t.Errorf("seq(0,0.9,0.1) endpoint = %v, want exactly 0.9", xs[len(xs)-1])
 	}
 }
 

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"softstate/internal/obs"
+)
+
+// TestParallelMatchesSerial is the golden determinism test: for every
+// experiment ID, the TSV rendered from a parallel sweep (-procs=8)
+// must be byte-identical to the serial reference (-procs=1) at the
+// same seed. This pins the contract documented on Opts.Procs — worker
+// count trades wall-clock time only, never numbers.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep comparison; skipped in -short")
+	}
+	for _, id := range All() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			serial, err := Run(id, Opts{Quick: true, Seed: 7, Procs: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := Run(id, Opts{Quick: true, Seed: 7, Procs: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var a, b strings.Builder
+			serial.WriteTSV(&a)
+			parallel.WriteTSV(&b)
+			if a.String() != b.String() {
+				t.Errorf("procs=8 output differs from procs=1 for %s:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					id, a.String(), b.String())
+			}
+		})
+	}
+}
+
+// TestSweepInstruments checks that a sweep publishes its progress
+// through the registry handed in via Opts.Obs.
+func TestSweepInstruments(t *testing.T) {
+	reg := obs.New("test")
+	if _, err := Run("fig4", Opts{Quick: true, Seed: 1, Procs: 2, Obs: reg}); err != nil {
+		t.Fatal(err)
+	}
+	done := reg.Counter("sweep_points_completed_total")
+	if done.Value() != 10 { // fig4 sweeps seq(0, 0.9, 0.1) = 10 loss rates
+		t.Errorf("sweep_points_completed_total = %d, want 10", done.Value())
+	}
+	if busy := reg.Gauge("sweep_workers_busy").Value(); busy != 0 {
+		t.Errorf("sweep_workers_busy = %v after sweep, want 0", busy)
+	}
+}
+
+// TestHeadline checks every experiment exposes a finite headline
+// metric with a name (the quantity ssbench -json reports).
+func TestHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment; skipped in -short")
+	}
+	for _, id := range All() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := Run(id, Opts{Quick: true, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			name, v := e.Headline()
+			if name == "" {
+				t.Fatalf("no headline metric defined for %s", id)
+			}
+			if v != v || v < -1e9 || v > 1e9 { // NaN or absurd
+				t.Errorf("%s headline %s = %v, want finite", id, name, v)
+			}
+		})
+	}
+}

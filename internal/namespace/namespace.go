@@ -20,7 +20,9 @@ package namespace
 import (
 	"crypto/md5"
 	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
+	"hash"
 	"sort"
 	"strings"
 )
@@ -45,10 +47,20 @@ const (
 type Tree struct {
 	root *node
 	kind HashKind
+
+	// Reusable hashing state: refresh runs on every digest query along
+	// the dirty path, so the hasher, its Sum output, and the scratch
+	// buffer for string keys are kept on the Tree instead of being
+	// allocated per node visit. The Tree is single-goroutine, like the
+	// simulators that drive it.
+	h      hash.Hash
+	sum    [sha256.Size]byte
+	strBuf []byte
 }
 
 type node struct {
 	children map[string]*node
+	names    []string // sorted child names; nil after the child set changes
 	leaf     bool
 	value    []byte
 	version  uint64
@@ -56,6 +68,20 @@ type node struct {
 	digest    Digest
 	leafCount int
 	dirty     bool
+}
+
+// sortedNames returns the node's child names in sorted order, cached
+// until the child set changes.
+func (n *node) sortedNames() []string {
+	if n.names == nil {
+		names := make([]string, 0, len(n.children))
+		for name := range n.children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		n.names = names
+	}
+	return n.names
 }
 
 // New returns an empty namespace tree using the given hash.
@@ -103,6 +129,7 @@ func (t *Tree) Put(path string, value []byte, version uint64) error {
 		if !ok {
 			child = newNode()
 			n.children[p] = child
+			n.names = nil // child set changed
 		}
 		if i < len(parts)-1 && child.leaf {
 			return fmt.Errorf("namespace: %q is a leaf, cannot descend", JoinPath(parts[:i+1]...))
@@ -143,11 +170,13 @@ func (t *Tree) Delete(path string) bool {
 		return false
 	}
 	delete(trail[len(trail)-1].children, parts[len(parts)-1])
+	trail[len(trail)-1].names = nil
 	// Prune now-empty interior nodes and dirty the trail.
 	for i := len(trail) - 1; i > 0; i-- {
 		trail[i].dirty = true
 		if len(trail[i].children) == 0 && !trail[i].leaf {
 			delete(trail[i-1].children, parts[i-1])
+			trail[i-1].names = nil
 		}
 	}
 	trail[0].dirty = true
@@ -185,59 +214,76 @@ func (t *Tree) Has(path string) bool {
 	return err == nil
 }
 
-func (t *Tree) hash(parts ...[]byte) Digest {
-	var out Digest
-	switch t.kind {
-	case HashMD5:
-		h := md5.New()
-		for _, p := range parts {
-			h.Write(p)
+// Hash domain-separation tags (leaf vs interior node preimages).
+var (
+	tagLeaf     = []byte{0x00}
+	tagInterior = []byte{0x01}
+)
+
+// hasher returns the Tree's reusable hash, reset and ready to write.
+func (t *Tree) hasher() hash.Hash {
+	if t.h == nil {
+		switch t.kind {
+		case HashMD5:
+			t.h = md5.New()
+		default:
+			t.h = sha256.New()
 		}
-		copy(out[:], h.Sum(nil))
-	default:
-		h := sha256.New()
-		for _, p := range parts {
-			h.Write(p)
-		}
-		copy(out[:], h.Sum(nil))
+		return t.h
 	}
+	t.h.Reset()
+	return t.h
+}
+
+// finish extracts the truncated digest without allocating.
+func (t *Tree) finish(h hash.Hash) Digest {
+	var out Digest
+	copy(out[:], h.Sum(t.sum[:0]))
 	return out
 }
 
-// refresh recomputes digests bottom-up where dirty.
+// writeString hashes a string key through the Tree's scratch buffer,
+// avoiding the per-call string→[]byte copy allocation.
+func (t *Tree) writeString(h hash.Hash, s string) {
+	t.strBuf = append(t.strBuf[:0], s...)
+	h.Write(t.strBuf)
+}
+
+// refresh recomputes digests bottom-up where dirty. The preimages are
+// the same byte streams as always — tag ‖ little-endian version ‖
+// value for leaves, tag ‖ (name ‖ child digest)* for interior nodes —
+// written incrementally instead of assembled into slices.
 func (t *Tree) refresh(n *node) {
 	if !n.dirty {
 		return
 	}
 	if n.leaf {
-		n.digest = t.hash([]byte{0x00}, uint64le(n.version), n.value)
+		h := t.hasher()
+		t.strBuf = append(t.strBuf[:0], tagLeaf...)
+		t.strBuf = binary.LittleEndian.AppendUint64(t.strBuf, n.version)
+		h.Write(t.strBuf)
+		h.Write(n.value)
+		n.digest = t.finish(h)
 		n.leafCount = 1
 		n.dirty = false
 		return
 	}
-	names := make([]string, 0, len(n.children))
-	for name := range n.children {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	parts := [][]byte{{0x01}}
+	// Children first: they share the Tree's hasher, so the parent's
+	// own hashing must not be in flight while descending.
 	n.leafCount = 0
-	for _, name := range names {
+	for _, name := range n.sortedNames() {
 		c := n.children[name]
 		t.refresh(c)
-		parts = append(parts, []byte(name), c.digest[:])
 		n.leafCount += c.leafCount
 	}
-	n.digest = t.hash(parts...)
-	n.dirty = false
-}
-
-func uint64le(v uint64) []byte {
-	b := make([]byte, 8)
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (8 * i))
+	h := t.hasher()
+	h.Write(tagInterior)
+	for _, name := range n.sortedNames() {
+		t.writeString(h, name)
+		h.Write(n.children[name].digest[:])
 	}
-	return b
+	n.digest = t.finish(h)
+	n.dirty = false
 }
 
 // RootDigest returns the digest of the whole namespace.
@@ -281,11 +327,7 @@ func (t *Tree) Children(path string) ([]Child, error) {
 		return nil, err
 	}
 	t.refresh(t.root)
-	names := make([]string, 0, len(n.children))
-	for name := range n.children {
-		names = append(names, name)
-	}
-	sort.Strings(names)
+	names := n.sortedNames()
 	out := make([]Child, 0, len(names))
 	for _, name := range names {
 		c := n.children[name]
@@ -307,12 +349,7 @@ func (t *Tree) Leaves(path string) ([]string, error) {
 			out = append(out, prefix)
 			return
 		}
-		names := make([]string, 0, len(n.children))
-		for name := range n.children {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
+		for _, name := range n.sortedNames() {
 			p := name
 			if prefix != "" {
 				p = prefix + "/" + name

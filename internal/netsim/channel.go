@@ -29,6 +29,13 @@ type Channel struct {
 	// next packet from their queues.
 	OnIdle func()
 
+	// In-flight service state plus a prebuilt completion callback, so
+	// Transmit schedules the service-done event without allocating a
+	// closure per packet.
+	curSize    float64
+	curDeliver func(receiver int, delivered bool)
+	done       func()
+
 	// Counters.
 	transmissions int
 	bitsSent      float64
@@ -60,7 +67,9 @@ func NewChannel(sim *eventsim.Sim, rate float64) *Channel {
 	if rate <= 0 {
 		panic(fmt.Sprintf("netsim: channel rate %v must be positive", rate))
 	}
-	return &Channel{sim: sim, rate: rate}
+	c := &Channel{sim: sim, rate: rate}
+	c.done = c.serviceDone
+	return c
 }
 
 // AddReceiver attaches a receiver path with its own loss model and
@@ -119,35 +128,45 @@ func (c *Channel) Transmit(sizeBits float64, deliver func(receiver int, delivere
 		panic(fmt.Sprintf("netsim: packet size %v must be positive", sizeBits))
 	}
 	c.busy = true
-	service := sizeBits / c.rate
-	c.sim.After(service, func() {
-		c.busy = false
-		c.transmissions++
-		c.bitsSent += sizeBits
-		c.txC.Inc()
-		c.bitsC.Add(uint64(sizeBits))
-		for i := range c.paths {
-			i := i
-			p := &c.paths[i]
-			if p.loss.Lose() {
-				c.lossC.Inc()
-				if deliver != nil {
-					deliver(i, false)
-				}
-				continue
-			}
+	c.curSize = sizeBits
+	c.curDeliver = deliver
+	c.sim.After(sizeBits/c.rate, c.done)
+}
+
+// serviceDone completes the in-flight service: account it, run the
+// per-path loss/delivery outcomes, then report idle. The in-flight
+// state is snapshotted first because a deliver callback may start the
+// next Transmit reentrantly (the engines pump from the final
+// delivery).
+func (c *Channel) serviceDone() {
+	sizeBits, deliver := c.curSize, c.curDeliver
+	c.curDeliver = nil
+	c.busy = false
+	c.transmissions++
+	c.bitsSent += sizeBits
+	c.txC.Inc()
+	c.bitsC.Add(uint64(sizeBits))
+	for i := range c.paths {
+		p := &c.paths[i]
+		if p.loss.Lose() {
+			c.lossC.Inc()
 			if deliver != nil {
-				if p.delay == 0 {
-					deliver(i, true)
-				} else {
-					c.sim.After(p.delay, func() { deliver(i, true) })
-				}
+				deliver(i, false)
+			}
+			continue
+		}
+		if deliver != nil {
+			if p.delay == 0 {
+				deliver(i, true)
+			} else {
+				i := i
+				c.sim.After(p.delay, func() { deliver(i, true) })
 			}
 		}
-		if c.OnIdle != nil {
-			c.OnIdle()
-		}
-	})
+	}
+	if c.OnIdle != nil {
+		c.OnIdle()
+	}
 }
 
 // FeedbackLink is the receiver→sender path: a finite-rate FIFO queue
@@ -163,7 +182,17 @@ type FeedbackLink struct {
 	delay    float64
 	maxQueue int
 
-	queue   []feedbackMsg
+	// OnDeliver, if non-nil, receives the payload of every message
+	// sent with SendPayload that survives the loss coin-flip. A single
+	// link-level callback lets hot senders avoid allocating a closure
+	// per message.
+	OnDeliver func(payload any)
+
+	queue []feedbackMsg
+	head  int // index of the next message to serve; queue[:head] is spent
+	cur   feedbackMsg
+	done  func()
+
 	busy    bool
 	sent    int
 	dropped int
@@ -189,6 +218,7 @@ func (f *FeedbackLink) Instrument(reg *obs.Registry) {
 type feedbackMsg struct {
 	bits    float64
 	deliver func()
+	payload any
 }
 
 // NewFeedbackLink creates a feedback path with the given rate (bits
@@ -201,7 +231,9 @@ func NewFeedbackLink(sim *eventsim.Sim, rate float64, loss LossModel, delay floa
 	if loss == nil {
 		loss = NoLoss{}
 	}
-	return &FeedbackLink{sim: sim, rate: rate, loss: loss, delay: delay, maxQueue: maxQueue}
+	f := &FeedbackLink{sim: sim, rate: rate, loss: loss, delay: delay, maxQueue: maxQueue}
+	f.done = f.serviceDone
+	return f
 }
 
 // Rate returns the link rate in bits per second.
@@ -227,48 +259,86 @@ func (f *FeedbackLink) BitsSent() float64 { return f.bits }
 
 // QueueLen returns the number of messages waiting (excluding the one
 // in service).
-func (f *FeedbackLink) QueueLen() int { return len(f.queue) }
+func (f *FeedbackLink) QueueLen() int { return len(f.queue) - f.head }
 
 // Send enqueues a feedback message of the given size; deliver runs at
 // the sender after service, propagation, and the loss coin-flip all
 // succeed.
 func (f *FeedbackLink) Send(sizeBits float64, deliver func()) {
-	if sizeBits <= 0 {
-		panic(fmt.Sprintf("netsim: feedback size %v must be positive", sizeBits))
+	f.enqueue(feedbackMsg{bits: sizeBits, deliver: deliver})
+}
+
+// SendPayload enqueues a feedback message whose delivery is reported
+// through the link-level OnDeliver callback with the given payload.
+// Unlike Send it needs no per-message closure, which keeps the NACK
+// hot path allocation-free.
+func (f *FeedbackLink) SendPayload(sizeBits float64, payload any) {
+	f.enqueue(feedbackMsg{bits: sizeBits, payload: payload})
+}
+
+func (f *FeedbackLink) enqueue(msg feedbackMsg) {
+	if msg.bits <= 0 {
+		panic(fmt.Sprintf("netsim: feedback size %v must be positive", msg.bits))
 	}
-	if f.maxQueue > 0 && len(f.queue) >= f.maxQueue {
+	if f.maxQueue > 0 && f.QueueLen() >= f.maxQueue {
 		f.dropped++
 		f.dropC.Inc()
 		return
 	}
-	f.queue = append(f.queue, feedbackMsg{bits: sizeBits, deliver: deliver})
-	f.qlenG.Set(float64(len(f.queue)))
+	if f.head > 0 && f.head == len(f.queue) {
+		// Every buffered message is spent: rewind so the backing
+		// array is reused instead of growing without bound.
+		f.queue = f.queue[:0]
+		f.head = 0
+	}
+	f.queue = append(f.queue, msg)
+	f.qlenG.Set(float64(f.QueueLen()))
 	if !f.busy {
 		f.serveNext()
 	}
 }
 
 func (f *FeedbackLink) serveNext() {
-	if len(f.queue) == 0 {
+	if f.head == len(f.queue) {
+		f.queue = f.queue[:0]
+		f.head = 0
 		f.busy = false
 		return
 	}
 	f.busy = true
-	msg := f.queue[0]
-	f.queue = f.queue[1:]
-	f.qlenG.Set(float64(len(f.queue)))
-	f.sim.After(msg.bits/f.rate, func() {
-		f.sent++
-		f.bits += msg.bits
-		f.sentC.Inc()
-		f.bitsC.Add(uint64(msg.bits))
-		if !f.loss.Lose() && msg.deliver != nil {
+	msg := f.queue[f.head]
+	f.queue[f.head] = feedbackMsg{} // release references while queued
+	f.head++
+	f.qlenG.Set(float64(f.QueueLen()))
+	f.cur = msg
+	f.sim.After(msg.bits/f.rate, f.done)
+}
+
+// serviceDone completes the in-flight feedback service and starts the
+// next one.
+func (f *FeedbackLink) serviceDone() {
+	msg := f.cur
+	f.cur = feedbackMsg{}
+	f.sent++
+	f.bits += msg.bits
+	f.sentC.Inc()
+	f.bitsC.Add(uint64(msg.bits))
+	if !f.loss.Lose() {
+		switch {
+		case msg.deliver != nil:
 			if f.delay == 0 {
 				msg.deliver()
 			} else {
 				f.sim.After(f.delay, msg.deliver)
 			}
+		case f.OnDeliver != nil:
+			if f.delay == 0 {
+				f.OnDeliver(msg.payload)
+			} else {
+				payload := msg.payload
+				f.sim.After(f.delay, func() { f.OnDeliver(payload) })
+			}
 		}
-		f.serveNext()
-	})
+	}
+	f.serveNext()
 }

@@ -1,0 +1,113 @@
+// Package par runs embarrassingly parallel simulation sweeps on a
+// bounded worker pool with deterministic, in-order result assembly.
+//
+// The experiment sweeps (internal/experiments) are Monte-Carlo
+// parameter grids: every point is an independent, seeded simulation,
+// so the only requirements for exact reproducibility are that each
+// point derives all of its randomness from its own parameters and
+// that results are assembled in input order regardless of completion
+// order. Map guarantees the latter; the experiment code guarantees the
+// former by seeding every engine from the point's parameters alone.
+// Consequently the output is byte-identical for every worker count,
+// including one — a property the golden determinism test in
+// internal/experiments pins for every experiment ID.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"softstate/internal/obs"
+)
+
+// Pool bounds a sweep's fan-out and optionally publishes its progress.
+// The zero Pool is valid: it uses GOMAXPROCS workers and records
+// nothing.
+type Pool struct {
+	// Procs is the maximum number of concurrent workers; <= 0 means
+	// runtime.GOMAXPROCS(0). Procs == 1 runs the sweep inline on the
+	// calling goroutine.
+	Procs int
+
+	// Busy, if non-nil, tracks the number of workers currently
+	// executing a point (sweep_workers_busy).
+	Busy *obs.Gauge
+	// Done, if non-nil, counts completed points
+	// (sweep_points_completed_total).
+	Done *obs.Counter
+}
+
+// workers resolves the effective worker count for n items.
+func (p Pool) workers(n int) int {
+	w := p.Procs
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map applies f to every item and returns the results in input order.
+// Items are claimed by an atomic cursor, so up to p.workers(len(items))
+// calls to f run concurrently; f must therefore be safe to call
+// concurrently for distinct items. A panic in any worker is re-raised
+// on the calling goroutine after the pool drains, preserving the
+// serial failure behaviour of the sweeps.
+func Map[T, R any](p Pool, items []T, f func(i int, item T) R) []R {
+	if len(items) == 0 {
+		return nil
+	}
+	out := make([]R, len(items))
+	w := p.workers(len(items))
+	if w == 1 {
+		for i := range items {
+			p.Busy.Add(1)
+			out[i] = f(i, items[i])
+			p.Busy.Add(-1)
+			p.Done.Inc()
+		}
+		return out
+	}
+	var (
+		next     atomic.Int64
+		panicked atomic.Value // first worker panic, re-raised below
+		wg       sync.WaitGroup
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							if panicked.CompareAndSwap(nil, r) {
+								// Stop claiming further points.
+								next.Store(int64(len(items)))
+							}
+						}
+					}()
+					p.Busy.Add(1)
+					out[i] = f(i, items[i])
+					p.Busy.Add(-1)
+					p.Done.Inc()
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(r)
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"softstate/internal/obs"
+)
+
+func TestMapOrdering(t *testing.T) {
+	in := make([]int, 257)
+	for i := range in {
+		in[i] = i
+	}
+	for _, procs := range []int{0, 1, 2, 7, 64} {
+		out := Map(Pool{Procs: procs}, in, func(i, v int) int { return v * v })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("procs=%d: out[%d] = %d, want %d", procs, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if out := Map(Pool{}, nil, func(i, v int) int { return v }); out != nil {
+		t.Errorf("Map(nil) = %v, want nil", out)
+	}
+}
+
+func TestMapConcurrencyBound(t *testing.T) {
+	const procs = 3
+	var inFlight, peak atomic.Int64
+	in := make([]int, 100)
+	Map(Pool{Procs: procs}, in, func(i, v int) int {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		runtime.Gosched()
+		inFlight.Add(-1)
+		return 0
+	})
+	if p := peak.Load(); p > procs {
+		t.Errorf("peak concurrency %d exceeds procs %d", p, procs)
+	}
+}
+
+func TestMapInstruments(t *testing.T) {
+	reg := obs.New("test")
+	pool := Pool{
+		Procs: 4,
+		Busy:  reg.Gauge("sweep_workers_busy"),
+		Done:  reg.Counter("sweep_points_completed_total"),
+	}
+	in := make([]int, 41)
+	Map(pool, in, func(i, v int) int { return v })
+	if got := pool.Done.Value(); got != 41 {
+		t.Errorf("completed counter = %d, want 41", got)
+	}
+	if busy := pool.Busy.Value(); busy != 0 {
+		t.Errorf("busy gauge = %v after drain, want 0", busy)
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Errorf("procs=%d: worker panic did not propagate", procs)
+				}
+			}()
+			Map(Pool{Procs: procs}, make([]int, 16), func(i, v int) int {
+				if i == 7 {
+					panic("boom")
+				}
+				return v
+			})
+		}()
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if w := (Pool{Procs: 8}).workers(3); w != 3 {
+		t.Errorf("workers capped at items: got %d", w)
+	}
+	if w := (Pool{Procs: -1}).workers(100); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("default workers = %d, want GOMAXPROCS", w)
+	}
+	if w := (Pool{Procs: 2}).workers(100); w != 2 {
+		t.Errorf("workers = %d, want 2", w)
+	}
+}

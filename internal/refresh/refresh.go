@@ -114,7 +114,7 @@ type Result struct {
 }
 
 type recordState struct {
-	expireEv   *eventsim.Event
+	expireEv   eventsim.Event
 	down       bool
 	downSince  float64
 	downTotal  float64
@@ -195,9 +195,7 @@ func Run(cfg Config, duration float64) (Result, error) {
 			} else {
 				to = cfg.K * period
 			}
-			if st.expireEv != nil {
-				sim.Cancel(st.expireEv)
-			}
+			sim.Cancel(st.expireEv) // zero handle is inert on first arm
 			st.expireEv = sim.After(to, func() {
 				// Timer lapsed without a refresh: false expiry (the
 				// record is live for the whole run).
