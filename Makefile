@@ -1,9 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench benchfast benchjson
+.PHONY: check build vet fmt test race bench benchfast benchjson loadsmoke
 
 ## check: the extended tier-1 gate — everything a PR must keep green.
-check: fmt vet build race bench
+check: fmt vet build race bench loadsmoke
+
+## loadsmoke: drive the live stack end-to-end under ssload's quick
+## profile; fails unless every receiver's replica converges.
+loadsmoke:
+	$(GO) run ./cmd/ssload -quick
 
 build:
 	$(GO) build ./...
@@ -30,12 +35,19 @@ bench:
 
 ## benchfast: real numbers for the substrate micro-benchmarks only —
 ## the allocation-sensitive hot paths (event scheduling, namespace
-## digests, scheduler picks, channel services, codec) with -benchmem.
+## digests, scheduler picks, channel services, codec, table expiry
+## heap, live sender path) with -benchmem.
 benchfast:
 	$(GO) test -run=^$$ -benchmem -benchtime=200ms \
 		-bench='Eventsim|Namespace|Scheduler|Channel|Protocol|EngineEventsPerSec' .
+	$(GO) test -run=^$$ -benchmem -benchtime=200ms \
+		-bench='Publisher|Subscriber' ./internal/table/
+	$(GO) test -run=^$$ -benchmem -benchtime=200ms \
+		-bench='SenderNextAnnouncement|SenderEncodeSend' ./internal/sstp/
 
-## benchjson: regenerate BENCH_ssbench.json (the per-experiment
-## wall-time + headline-metric trajectory record; see EXPERIMENTS.md).
+## benchjson: regenerate BENCH_ssbench.json (per-experiment wall-time
+## + headline-metric trajectory) and BENCH_ssload.json (live-stack
+## load/allocation record); formats documented in EXPERIMENTS.md.
 benchjson:
 	$(GO) run ./cmd/ssbench -quick -all -json > BENCH_ssbench.json
+	$(GO) run ./cmd/ssload -records 512 -receivers 4 -duration 5s -loss 0.02 -json > BENCH_ssload.json

@@ -214,6 +214,16 @@ func BenchmarkProtocolEncodeData(b *testing.B) {
 	}
 }
 
+func BenchmarkProtocolAppendEncodeData(b *testing.B) {
+	msg := &protocol.Data{Key: "sessions/audio/42", Ver: 9, TTLms: 30000, Value: make([]byte, 512)}
+	hdr := protocol.Header{Session: 1, Sender: 2, Seq: 3}
+	buf := make([]byte, 0, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = protocol.AppendEncode(buf[:0], hdr, msg)
+	}
+}
+
 func BenchmarkProtocolDecodeData(b *testing.B) {
 	buf := protocol.Encode(protocol.Header{Session: 1, Sender: 2, Seq: 3},
 		&protocol.Data{Key: "sessions/audio/42", Ver: 9, TTLms: 30000, Value: make([]byte, 512)})

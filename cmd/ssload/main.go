@@ -1,0 +1,391 @@
+// Command ssload drives a live SSTP sender and a fleet of receivers
+// at load and reports throughput, allocation behaviour, repair
+// latency, and replica consistency — the hot-path companion to
+// ssbench's simulator sweeps.
+//
+// Usage:
+//
+//	ssload                      # 512 records x 4 receivers over memconn, 5 s
+//	ssload -records 4096 -receivers 16 -rate 4e6
+//	ssload -loss 0.05           # 5% loss on every link
+//	ssload -udp                 # UDP loopback fan-out instead of memconn
+//	ssload -quick               # small smoke run; exit 1 unless converged
+//	ssload -json                # emit a BENCH_ssload.json record on stdout
+//
+// By default the session runs over the in-process MemNetwork with the
+// sender and every receiver joined to one multicast group, so NACK
+// suppression and peer damping behave as on a real multicast tree.
+// With -udp each receiver binds its own loopback socket and the
+// sender fans announcements out by unicast; receivers then cannot
+// overhear each other's NACKs, so suppression counts drop to zero.
+//
+// The JSON record (see EXPERIMENTS.md) carries the live measurements
+// plus a "micro" section of single-threaded probes and the pinned
+// seed-commit baselines for trend comparison.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"softstate/internal/obs"
+	"softstate/internal/protocol"
+	"softstate/internal/sstp"
+	"softstate/internal/table"
+)
+
+// result is the -json output, the format of BENCH_ssload.json.
+type result struct {
+	Seed       int64   `json:"seed"`
+	Quick      bool    `json:"quick"`
+	Transport  string  `json:"transport"`
+	Records    int     `json:"records"`
+	Receivers  int     `json:"receivers"`
+	RateBps    float64 `json:"rate_bps"`
+	ValueBytes int     `json:"value_bytes"`
+	Loss       float64 `json:"loss"`
+	DurationMs float64 `json:"duration_ms"`
+
+	DataSent          int     `json:"data_sent"`
+	SummariesSent     int     `json:"summaries_sent"`
+	MsgsPerSec        float64 `json:"msgs_per_sec"`
+	Deliveries        int     `json:"deliveries"`
+	Duplicates        int     `json:"duplicates"`
+	NACKsSent         int     `json:"nacks_sent"`
+	NACKsSuppressed   int     `json:"nacks_suppressed"`
+	AllocsPerDatagram float64 `json:"allocs_per_datagram"`
+	Converged         int     `json:"converged"`
+	ConvergeMs        float64 `json:"converge_ms"`
+
+	TRec quantiles `json:"t_rec_seconds"`
+
+	Micro micro `json:"micro"`
+
+	// Baseline pins the pre-optimisation numbers measured at the seed
+	// commit (952b9bd) on the same probes, so any run of ssload shows
+	// the trend without digging through git history.
+	Baseline baseline `json:"baseline_952b9bd"`
+}
+
+type quantiles struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// micro holds single-threaded probes of the two optimised paths:
+// wire encoding and table expiration.
+type micro struct {
+	EncodeAllocs       float64 `json:"encode_allocs_per_op"`
+	AppendEncodeAllocs float64 `json:"append_encode_allocs_per_op"`
+	SweepIdleNs        float64 `json:"sweep_idle_ns_16k"`
+	NextExpiryNs       float64 `json:"next_expiry_ns_16k"`
+}
+
+type baseline struct {
+	EncodeAllocs     float64 `json:"encode_allocs_per_op"`
+	SweepIdleNs      float64 `json:"sweep_idle_ns_16k"`
+	NextExpiryNs     float64 `json:"next_expiry_ns_16k"`
+	SendPathAllocs   float64 `json:"encode_send_allocs_per_op"`
+	AnnouncePickNs   float64 `json:"next_announcement_ns_16k"`
+	AnnouncePickAllo float64 `json:"next_announcement_allocs"`
+}
+
+// seedBaseline was measured at commit 952b9bd with the same probes
+// (go test -bench, Xeon 2.10GHz): Encode allocated 2/op, the idle
+// publisher Sweep full-scanned 16k records in ~387µs, NextExpiry
+// scanned in ~393µs with 239 allocs, and one announcement pick+send
+// cost 8 allocs and ~409µs of scan at 16k records.
+var seedBaseline = baseline{
+	EncodeAllocs:     2,
+	SweepIdleNs:      387141,
+	NextExpiryNs:     392711,
+	SendPathAllocs:   9,
+	AnnouncePickNs:   409295,
+	AnnouncePickAllo: 8,
+}
+
+func main() {
+	records := flag.Int("records", 512, "records published by the sender")
+	nRecv := flag.Int("receivers", 4, "number of receivers")
+	rate := flag.Float64("rate", 1_000_000, "session bandwidth, bits/s")
+	valueLen := flag.Int("value", 64, "value size in bytes")
+	duration := flag.Duration("duration", 5*time.Second, "load phase length")
+	loss := flag.Float64("loss", 0, "per-link loss probability (memconn only)")
+	updates := flag.Float64("update", 50, "value updates per second during load")
+	udp := flag.Bool("udp", false, "UDP loopback unicast fan-out instead of memconn")
+	quick := flag.Bool("quick", false, "small smoke run; exit 1 unless all receivers converge")
+	jsonOut := flag.Bool("json", false, "emit a BENCH_ssload.json record on stdout")
+	seed := flag.Int64("seed", 1, "suppression-slotting seed")
+	flag.Parse()
+
+	if *quick {
+		*records, *nRecv = 64, 2
+		*duration = 1 * time.Second
+		*updates = 20
+	}
+	if *loss > 0 && *udp {
+		fmt.Fprintln(os.Stderr, "ssload: -loss requires memconn transport")
+		os.Exit(2)
+	}
+
+	res := result{
+		Seed: *seed, Quick: *quick, Records: *records, Receivers: *nRecv,
+		RateBps: *rate, ValueBytes: *valueLen, Loss: *loss,
+		Transport: "memconn", Baseline: seedBaseline,
+	}
+	if *udp {
+		res.Transport = "udp"
+	}
+
+	reg := obs.New("ssload") // shared: receiver series aggregate
+	senderConn, receiverConns, dest, feedback, err := buildTransport(*udp, *nRecv, *loss, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssload:", err)
+		os.Exit(1)
+	}
+
+	s, err := sstp.NewSender(sstp.SenderConfig{
+		Session: 42, SenderID: 1,
+		Conn: senderConn, Dest: dest,
+		TotalRate:       *rate,
+		SummaryInterval: 200 * time.Millisecond,
+		TTL:             10 * time.Second,
+		Seed:            *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssload:", err)
+		os.Exit(1)
+	}
+	var rcvs []*sstp.Receiver
+	for i := 0; i < *nRecv; i++ {
+		r, err := sstp.NewReceiver(sstp.ReceiverConfig{
+			Session: 42, ReceiverID: uint64(100 + i),
+			Conn: receiverConns[i], FeedbackDest: feedback,
+			NACKWindow: 50 * time.Millisecond,
+			Obs:        reg,
+			Seed:       *seed + int64(i),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssload:", err)
+			os.Exit(1)
+		}
+		rcvs = append(rcvs, r)
+	}
+
+	value := make([]byte, *valueLen)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	for i := 0; i < *records; i++ {
+		must(s.Publish(key(i), value, 0))
+	}
+	s.Start()
+	for _, r := range rcvs {
+		r.Start()
+	}
+
+	// Load phase: steady announcements plus a value-update churn.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	tick := time.NewTicker(time.Duration(float64(time.Second) / maxf(*updates, 1)))
+	upd := 0
+	for time.Since(start) < *duration {
+		<-tick.C
+		if *updates > 0 {
+			must(s.Publish(key(upd%*records), value, 0))
+			upd++
+		}
+	}
+	tick.Stop()
+	loadElapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	// Convergence phase: stop churning, wait for every replica digest
+	// to match the sender's.
+	convStart := time.Now()
+	convDeadline := convStart.Add(15 * time.Second)
+	for time.Now().Before(convDeadline) {
+		if convergedCount(s, rcvs) == len(rcvs) {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	res.ConvergeMs = float64(time.Since(convStart).Microseconds()) / 1000
+	res.Converged = convergedCount(s, rcvs)
+
+	st := s.Stats()
+	res.DataSent = st.DataSent
+	res.SummariesSent = st.SummariesSent
+	res.DurationMs = float64(loadElapsed.Microseconds()) / 1000
+	res.MsgsPerSec = float64(st.DataSent) / loadElapsed.Seconds()
+	for _, r := range rcvs {
+		rs := r.Stats()
+		res.Deliveries += rs.DataReceived
+		res.Duplicates += rs.Duplicates
+		res.NACKsSent += rs.NACKsSent
+		res.NACKsSuppressed += rs.NACKsSuppressed
+	}
+	datagrams := st.DataSent + st.SummariesSent + st.DigestsSent + st.HeartbeatsSent
+	if datagrams > 0 {
+		res.AllocsPerDatagram = float64(after.Mallocs-before.Mallocs) / float64(datagrams)
+	}
+	for _, sm := range reg.Snapshot() {
+		if sm.Name == "sstp_t_rec_seconds" {
+			res.TRec = quantiles{Count: sm.Count, P50: sm.P50, P95: sm.P95, P99: sm.P99}
+		}
+	}
+	res.Micro = runMicro()
+
+	s.Close()
+	for _, r := range rcvs {
+		r.Close()
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		must(enc.Encode(res))
+	} else {
+		fmt.Printf("ssload: %s %d records x %d receivers @ %.0f bps, %.1fs load\n",
+			res.Transport, res.Records, res.Receivers, res.RateBps, loadElapsed.Seconds())
+		fmt.Printf("  sent %d data + %d summaries (%.0f msgs/s), %d deliveries, %d dups\n",
+			res.DataSent, res.SummariesSent, res.MsgsPerSec, res.Deliveries, res.Duplicates)
+		fmt.Printf("  nacks %d sent / %d suppressed, t_rec p50=%.3fs p99=%.3fs (n=%d)\n",
+			res.NACKsSent, res.NACKsSuppressed, res.TRec.P50, res.TRec.P99, res.TRec.Count)
+		fmt.Printf("  %.1f allocs/datagram (whole stack; seed path was %.0f on encode+send alone)\n",
+			res.AllocsPerDatagram, res.Baseline.SendPathAllocs)
+		fmt.Printf("  converged %d/%d in %.0f ms\n", res.Converged, res.Receivers, res.ConvergeMs)
+		fmt.Printf("  micro: encode %.0f allocs, append-encode %.0f; sweep-idle %.0fns, next-expiry %.0fns @16k (seed: %.0fns, %.0fns)\n",
+			res.Micro.EncodeAllocs, res.Micro.AppendEncodeAllocs,
+			res.Micro.SweepIdleNs, res.Micro.NextExpiryNs,
+			res.Baseline.SweepIdleNs, res.Baseline.NextExpiryNs)
+	}
+	if *quick && res.Converged != res.Receivers {
+		fmt.Fprintf(os.Stderr, "ssload: quick smoke FAILED: %d/%d receivers converged\n",
+			res.Converged, res.Receivers)
+		os.Exit(1)
+	}
+}
+
+func key(i int) string { return fmt.Sprintf("load/%03d/%d", i%32, i) }
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssload:", err)
+		os.Exit(1)
+	}
+}
+
+func convergedCount(s *sstp.Sender, rcvs []*sstp.Receiver) int {
+	want := s.RootDigest()
+	n := 0
+	for _, r := range rcvs {
+		if r.RootDigest() == want {
+			n++
+		}
+	}
+	return n
+}
+
+// buildTransport wires either the in-process multicast MemNetwork or
+// a UDP loopback unicast fan-out, returning the sender conn, one conn
+// per receiver, the sender's announce destination, and the receivers'
+// feedback destination.
+func buildTransport(udp bool, nRecv int, loss float64, seed int64) (net.PacketConn, []net.PacketConn, net.Addr, net.Addr, error) {
+	if !udp {
+		nw := sstp.NewMemNetwork(seed)
+		nw.SetDefaultLoss(loss)
+		group := sstp.MemAddr("group")
+		sc := nw.Endpoint("sender")
+		nw.Join(group, "sender") // sender overhears NACKs via the group
+		conns := make([]net.PacketConn, nRecv)
+		for i := 0; i < nRecv; i++ {
+			addr := sstp.MemAddr(fmt.Sprintf("rcv%d", i))
+			conns[i] = nw.Endpoint(addr)
+			nw.Join(group, addr)
+		}
+		return sc, conns, group, group, nil
+	}
+	sc, err := net.ListenPacket("udp4", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	conns := make([]net.PacketConn, nRecv)
+	addrs := make([]net.Addr, nRecv)
+	for i := 0; i < nRecv; i++ {
+		c, err := net.ListenPacket("udp4", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		conns[i] = c
+		addrs[i] = c.LocalAddr()
+	}
+	fan := &fanoutConn{PacketConn: sc, dests: addrs}
+	return fan, conns, addrs[0], sc.LocalAddr(), nil
+}
+
+// fanoutConn emulates multicast over unicast UDP: every WriteTo is
+// duplicated to each receiver, whatever destination the sender names.
+type fanoutConn struct {
+	net.PacketConn
+	dests []net.Addr
+}
+
+func (f *fanoutConn) WriteTo(b []byte, _ net.Addr) (int, error) {
+	var n int
+	var err error
+	for _, d := range f.dests {
+		n, err = f.PacketConn.WriteTo(b, d)
+	}
+	return n, err
+}
+
+// runMicro probes the optimised primitives directly, single-threaded,
+// for comparison against the pinned seed baselines.
+func runMicro() micro {
+	var m micro
+	hdr := protocol.Header{Session: 42, Sender: 1, Seq: 9}
+	msg := &protocol.Data{Key: "load/000/0", Ver: 3, TTLms: 10000, Value: make([]byte, 64)}
+	m.EncodeAllocs = testing.AllocsPerRun(200, func() {
+		_ = protocol.Encode(hdr, msg)
+	})
+	buf := make([]byte, 0, 256)
+	m.AppendEncodeAllocs = testing.AllocsPerRun(200, func() {
+		buf = protocol.AppendEncode(buf[:0], hdr, msg)
+	})
+
+	p := table.NewPublisher()
+	now := 0.0
+	for i := 0; i < 16384; i++ {
+		p.Put(table.Key(key(i)), []byte("x"), now, 3600)
+	}
+	const iters = 5000
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		p.Sweep(now + float64(i)*1e-9)
+	}
+	m.SweepIdleNs = float64(time.Since(t0).Nanoseconds()) / iters
+	t0 = time.Now()
+	for i := 0; i < iters; i++ {
+		_, _ = p.NextExpiry(now)
+	}
+	m.NextExpiryNs = float64(time.Since(t0).Nanoseconds()) / iters
+	return m
+}

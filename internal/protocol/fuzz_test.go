@@ -5,24 +5,23 @@ import (
 	"testing"
 )
 
+// fuzzSeeds is one datagram per message type (plus a tombstone), the
+// shared corpus for both fuzz targets.
+func fuzzSeeds() [][]byte {
+	hdr := Header{Session: 1, Sender: 2, Seq: 3}
+	var out [][]byte
+	for _, m := range oneMessagePerType() {
+		out = append(out, Encode(hdr, m))
+	}
+	return append(out, Encode(hdr, &Data{Key: "k", Deleted: true}))
+}
+
 // FuzzDecode drives the decoder with arbitrary datagrams. The decoder
 // must never panic, and any datagram it accepts must re-encode and
 // re-decode to an identical message (round-trip stability).
 func FuzzDecode(f *testing.F) {
-	hdr := Header{Session: 1, Sender: 2, Seq: 3}
-	seeds := []Message{
-		&Data{Key: "a/b", Ver: 7, TTLms: 1000, Value: []byte("v")},
-		&Data{Key: "k", Deleted: true},
-		&Summary{Path: "x", Count: 3},
-		&NACK{Keys: []string{"a", "b"}},
-		&Query{Path: "a/b/c"},
-		&Digests{Path: "p", Children: []ChildDigest{{Name: "c", Leaf: true}}},
-		&Report{Received: 9, Expected: 10, LossQ16: 6553},
-		&Goodbye{},
-		&Heartbeat{},
-	}
-	for _, m := range seeds {
-		f.Add(Encode(hdr, m))
+	for _, b := range fuzzSeeds() {
+		f.Add(b)
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0x53, 0x53, 0x54, 0x50})
@@ -47,6 +46,45 @@ func FuzzDecode(f *testing.F) {
 		re2 := Encode(h2, msg2)
 		if !bytes.Equal(re, re2) {
 			t.Fatalf("encoding not stable:\n%x\n%x", re, re2)
+		}
+	})
+}
+
+// FuzzAppendEncode pins the AppendEncode/Encode equivalence: for every
+// datagram the decoder accepts, AppendEncode of the decoded message —
+// into an empty, a prefixed, and a reused buffer — must be
+// byte-identical to Encode, and the re-encoded datagram must decode
+// back to the same bytes (AppendEncode → Decode → re-encode is a
+// fixed point).
+func FuzzAppendEncode(f *testing.F) {
+	for _, b := range fuzzSeeds() {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, msg, err := Decode(data)
+		if err != nil {
+			return
+		}
+		want := Encode(h, msg)
+		if got := AppendEncode(nil, h, msg); !bytes.Equal(got, want) {
+			t.Fatalf("AppendEncode(nil) differs from Encode:\n%x\n%x", got, want)
+		}
+		prefixed := AppendEncode([]byte{0xAA, 0xBB}, h, msg)
+		if !bytes.Equal(prefixed[2:], want) || prefixed[0] != 0xAA || prefixed[1] != 0xBB {
+			t.Fatalf("prefixed AppendEncode corrupt: %x", prefixed)
+		}
+		buf := make([]byte, 0, len(want))
+		buf = AppendEncode(buf, h, msg)
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("sized-buffer AppendEncode differs:\n%x\n%x", buf, want)
+		}
+		// Decode of the re-encoding must yield the same bytes again.
+		h2, msg2, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again := AppendEncode(buf[:0], h2, msg2); !bytes.Equal(again, want) {
+			t.Fatalf("re-encode not a fixed point:\n%x\n%x", again, want)
 		}
 	})
 }

@@ -105,13 +105,20 @@ const headerLen = 4 + 1 + 1 + 8 + 8 + 4 // magic, version, type, session, sender
 
 // Encode serializes hdr+msg into a fresh buffer.
 func Encode(hdr Header, msg Message) []byte {
-	buf := make([]byte, 0, 64)
-	buf = binary.BigEndian.AppendUint32(buf, Magic)
-	buf = append(buf, Version, byte(msg.Type()))
-	buf = binary.BigEndian.AppendUint64(buf, hdr.Session)
-	buf = binary.BigEndian.AppendUint64(buf, hdr.Sender)
-	buf = binary.BigEndian.AppendUint32(buf, hdr.Seq)
-	return msg.encodeBody(buf)
+	return AppendEncode(make([]byte, 0, 64), hdr, msg)
+}
+
+// AppendEncode serializes hdr+msg, appending the datagram to dst and
+// returning the extended slice. The appended bytes are byte-identical
+// to Encode's output (pinned by unit test and fuzz target); callers on
+// hot paths pass a reused buffer and allocate nothing.
+func AppendEncode(dst []byte, hdr Header, msg Message) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, Magic)
+	dst = append(dst, Version, byte(msg.Type()))
+	dst = binary.BigEndian.AppendUint64(dst, hdr.Session)
+	dst = binary.BigEndian.AppendUint64(dst, hdr.Sender)
+	dst = binary.BigEndian.AppendUint32(dst, hdr.Seq)
+	return msg.encodeBody(dst)
 }
 
 // Decode parses a datagram into its header and message.

@@ -257,3 +257,58 @@ func TestMsgTypeStrings(t *testing.T) {
 		t.Error("unknown type should stringify numerically")
 	}
 }
+
+// oneMessagePerType is a sample of every wire message kind, used by
+// the AppendEncode tests and to seed the fuzz corpus.
+func oneMessagePerType() []Message {
+	return []Message{
+		&Data{Key: "a/b", Ver: 7, TTLms: 1000, Value: []byte("value")},
+		&Summary{Path: "x", Digest: [DigestLen]byte{1, 2, 3}, Count: 3},
+		&NACK{Keys: []string{"a", "b/c"}},
+		&Query{Path: "a/b/c"},
+		&Digests{Path: "p", Children: []ChildDigest{{Name: "c", Leaf: true, Digest: [DigestLen]byte{9}}}},
+		&Report{Received: 9, Expected: 10, LossQ16: 6553, DelayMs: 12, Timestamp: 99},
+		&Goodbye{},
+		&Heartbeat{},
+	}
+}
+
+// TestAppendEncodeMatchesEncode pins AppendEncode's contract: for
+// every message type the appended bytes equal Encode's output, and an
+// existing prefix in dst is preserved untouched.
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	for _, msg := range oneMessagePerType() {
+		want := Encode(testHdr, msg)
+		if got := AppendEncode(nil, testHdr, msg); !bytes.Equal(got, want) {
+			t.Errorf("%v: AppendEncode(nil) = %x, Encode = %x", msg.Type(), got, want)
+		}
+		prefix := []byte("prefix")
+		got := AppendEncode(append([]byte(nil), prefix...), testHdr, msg)
+		if !bytes.HasPrefix(got, prefix) {
+			t.Fatalf("%v: prefix clobbered", msg.Type())
+		}
+		if !bytes.Equal(got[len(prefix):], want) {
+			t.Errorf("%v: appended bytes differ from Encode", msg.Type())
+		}
+		// Reusing the buffer must reproduce the same bytes with no
+		// growth (steady-state zero-alloc encoding).
+		buf := make([]byte, 0, len(want))
+		buf = AppendEncode(buf[:0], testHdr, msg)
+		buf2 := AppendEncode(buf[:0], testHdr, msg)
+		if !bytes.Equal(buf2, want) || &buf2[0] != &buf[0] {
+			t.Errorf("%v: reused-buffer encode changed bytes or reallocated", msg.Type())
+		}
+	}
+}
+
+// TestAppendEncodeZeroAlloc pins the hot-path allocation contract.
+func TestAppendEncodeZeroAlloc(t *testing.T) {
+	msg := &Data{Key: "sessions/audio/42", Ver: 9, TTLms: 30000, Value: make([]byte, 512)}
+	buf := make([]byte, 0, 1024)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendEncode(buf[:0], testHdr, msg)
+	})
+	if allocs != 0 {
+		t.Errorf("AppendEncode into sized buffer: %v allocs/op, want 0", allocs)
+	}
+}

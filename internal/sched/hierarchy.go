@@ -21,6 +21,13 @@ type Hierarchy struct {
 
 	picks   []*obs.Counter // per-leaf sched_picks_total
 	charges []*obs.Counter // per-leaf sched_charge_bits_total
+
+	// curReady holds the caller's readiness predicate for the duration
+	// of one Pick, so each interior node can use a pre-built closure
+	// instead of allocating one per descent level per call. Hierarchy
+	// is not safe for concurrent use (callers serialize, e.g. under
+	// the SSTP sender's mutex).
+	curReady func(leafID int) bool
 }
 
 // Instrument publishes per-leaf scheduling decisions to reg:
@@ -49,6 +56,10 @@ type Node struct {
 	sched    Scheduler // interior nodes: picks among children
 	childIdx int       // this node's class id within parent.sched
 	leafID   int       // leaves: dense external id
+
+	// pickFn is the persistent readiness closure handed to this
+	// interior node's scheduler (reads h.curReady at call time).
+	pickFn func(ci int) bool
 }
 
 // Name returns the node's label.
@@ -71,7 +82,16 @@ func NewHierarchy(mk func() Scheduler) *Hierarchy {
 	}
 	h := &Hierarchy{mk: mk}
 	h.root = &Node{name: "root", weight: 1, sched: mk()}
+	h.initPickFn(h.root)
 	return h
+}
+
+// initPickFn builds the interior node's one persistent readiness
+// closure (allocated once at tree-build time, not per Pick).
+func (h *Hierarchy) initPickFn(n *Node) {
+	n.pickFn = func(ci int) bool {
+		return h.subtreeReady(n.children[ci], h.curReady)
+	}
 }
 
 // Root returns the root node.
@@ -83,6 +103,7 @@ func (h *Hierarchy) AddNode(parent *Node, name string, weight float64) *Node {
 	checkWeight(weight)
 	h.mustBeInterior(parent)
 	n := &Node{name: name, weight: weight, parent: parent, sched: h.mk()}
+	h.initPickFn(n)
 	n.childIdx = parent.sched.Add(weight)
 	parent.children = append(parent.children, n)
 	return n
@@ -123,13 +144,14 @@ func (h *Hierarchy) SetNodeWeight(n *Node, weight float64) {
 
 // Pick descends the tree from the root, at each interior node choosing
 // among children that have at least one ready descendant leaf, and
-// returns the chosen leaf's id.
+// returns the chosen leaf's id. Pick allocates nothing: pass a
+// persistent ready closure and the whole descent is allocation-free.
 func (h *Hierarchy) Pick(ready func(leafID int) bool) (int, bool) {
+	h.curReady = ready
+	defer func() { h.curReady = nil }()
 	n := h.root
 	for !n.IsLeaf() {
-		idx, ok := n.sched.Pick(func(ci int) bool {
-			return h.subtreeReady(n.children[ci], ready)
-		})
+		idx, ok := n.sched.Pick(n.pickFn)
 		if !ok {
 			return 0, false
 		}

@@ -60,7 +60,10 @@ type ReceiverConfig struct {
 	PeerSummaryInterval time.Duration
 
 	// OnUpdate fires when a record's value changes; OnExpire fires
-	// when a record times out or is deleted.
+	// when a record times out or is deleted. Both run on a single
+	// dispatcher goroutine in the order the events occurred, and never
+	// after Close returns. Handlers may call Get/Snapshot/Stats but
+	// must not call Close (Close waits for the dispatcher to drain).
 	OnUpdate func(key string, value []byte, version uint64)
 	OnExpire func(key string)
 
@@ -119,13 +122,34 @@ type Receiver struct {
 	pubSeen bool
 	lastSeq uint32
 	stats   ReceiverStats
-	timers  map[string]*time.Timer
 	m       receiverMetrics
 	repairT map[string]float64 // key -> when its first NACK was scheduled
+
+	// Pending repair timers: one heap + one goroutine (timerLoop)
+	// instead of a runtime timer per slot. timerKick wakes the loop
+	// when an earlier deadline is armed.
+	timerByKey map[string]*timerEntry
+	theap      timerHeap
+	timerKick  chan struct{}
+
+	// Application callbacks are queued here (under mu) and drained in
+	// order by a single dispatcher goroutine (callbackLoop), so
+	// OnUpdate/OnExpire see events in causal order and the receiver
+	// never spawns an unbounded goroutine per event.
+	cbs    []appCallback
+	cbKick chan struct{}
 
 	done chan struct{}
 	wg   sync.WaitGroup
 	once sync.Once
+}
+
+// appCallback is one queued OnUpdate/OnExpire delivery.
+type appCallback struct {
+	expire  bool
+	key     string
+	value   []byte
+	version uint64
 }
 
 // NewReceiver constructs a subscriber; call Start to begin listening.
@@ -135,15 +159,17 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 		return nil, err
 	}
 	r := &Receiver{
-		cfg:     cfg,
-		sub:     table.NewSubscriber(),
-		ns:      namespace.New(namespace.HashSHA256),
-		est:     feedback.NewLossEstimator(0.25),
-		sup:     feedback.NewSuppressor(cfg.NACKWindow.Seconds(), 16*cfg.NACKWindow.Seconds(), xrand.New(cfg.Seed)),
-		timers:  make(map[string]*time.Timer),
-		m:       newReceiverMetrics(cfg.Obs),
-		repairT: make(map[string]float64),
-		done:    make(chan struct{}),
+		cfg:        cfg,
+		sub:        table.NewSubscriber(),
+		ns:         namespace.New(namespace.HashSHA256),
+		est:        feedback.NewLossEstimator(0.25),
+		sup:        feedback.NewSuppressor(cfg.NACKWindow.Seconds(), 16*cfg.NACKWindow.Seconds(), xrand.New(cfg.Seed)),
+		m:          newReceiverMetrics(cfg.Obs),
+		repairT:    make(map[string]float64),
+		timerByKey: make(map[string]*timerEntry),
+		timerKick:  make(chan struct{}, 1),
+		cbKick:     make(chan struct{}, 1),
+		done:       make(chan struct{}),
 	}
 	r.sub.OnExpire = func(e *table.Entry) {
 		// Called under r.mu from the sweep loop.
@@ -152,17 +178,19 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 		r.m.expired.Inc()
 		traceRecord(cfg.Trace, trace.Expire, string(e.Key))
 		if cfg.OnExpire != nil {
-			go cfg.OnExpire(string(e.Key))
+			r.enqueueCallback(appCallback{expire: true, key: string(e.Key)})
 		}
 	}
 	return r, nil
 }
 
-// Start launches the listen, sweep, and report loops.
+// Start launches the listen, sweep, timer, dispatch, and report loops.
 func (r *Receiver) Start() {
-	r.wg.Add(2)
+	r.wg.Add(4)
 	go r.recvLoop()
 	go r.sweepLoop()
+	go r.timerLoop()
+	go r.callbackLoop()
 	if !r.cfg.DisableFeedback && r.cfg.ReportInterval > 0 {
 		r.wg.Add(1)
 		go r.reportLoop()
@@ -203,11 +231,6 @@ func (r *Receiver) Close() error {
 	r.once.Do(func() {
 		close(r.done)
 		_ = r.cfg.Conn.SetReadDeadline(time.Now())
-		r.mu.Lock()
-		for _, t := range r.timers {
-			t.Stop()
-		}
-		r.mu.Unlock()
 	})
 	r.wg.Wait()
 	return nil
@@ -268,7 +291,9 @@ func (r *Receiver) interested(path string) bool {
 
 func (r *Receiver) recvLoop() {
 	defer r.wg.Done()
-	buf := make([]byte, 65536)
+	bp := readBufPool.Get().(*[]byte)
+	defer readBufPool.Put(bp)
+	buf := *bp
 	for {
 		select {
 		case <-r.done:
@@ -439,7 +464,7 @@ func (r *Receiver) onData(m *protocol.Data) {
 		if r.sub.Drop(table.Key(m.Key)) {
 			r.ns.Delete(m.Key)
 			if r.cfg.OnExpire != nil {
-				go r.cfg.OnExpire(m.Key)
+				r.enqueueCallback(appCallback{expire: true, key: m.Key})
 			}
 		}
 		r.sup.Repaired(m.Key)
@@ -467,7 +492,11 @@ func (r *Receiver) onData(m *protocol.Data) {
 			}
 			r.m.replica.Set(float64(r.sub.Len()))
 			if r.cfg.OnUpdate != nil {
-				go r.cfg.OnUpdate(m.Key, append([]byte(nil), m.Value...), m.Ver)
+				r.enqueueCallback(appCallback{
+					key:     m.Key,
+					value:   append([]byte(nil), m.Value...),
+					version: m.Ver,
+				})
 			}
 		}
 	} else if isDup {
@@ -596,23 +625,139 @@ func (r *Receiver) scheduleNACK(key string) {
 	r.armTimerLocked(key, fireAt, fire)
 }
 
-// armTimerLocked registers a timer; caller holds r.mu.
+// armTimerLocked schedules (or re-schedules) the slot's timer in the
+// shared heap and wakes timerLoop; caller holds r.mu.
 func (r *Receiver) armTimerLocked(key string, fireAt float64, fn func()) {
-	if t, ok := r.timers[key]; ok {
-		t.Stop()
+	if e, ok := r.timerByKey[key]; ok {
+		e.fireAt = fireAt
+		e.fn = fn
+		r.theap.fix(e)
+	} else {
+		e = &timerEntry{key: key, fireAt: fireAt, fn: fn}
+		r.timerByKey[key] = e
+		r.theap.push(e)
 	}
-	d := time.Duration((fireAt - nowSeconds()) * float64(time.Second))
-	if d < 0 {
-		d = 0
+	select {
+	case r.timerKick <- struct{}{}:
+	default:
 	}
-	r.timers[key] = time.AfterFunc(d, func() {
+}
+
+// timerLoop runs every armed repair timer from a single goroutine:
+// sleep until the earliest heap deadline (or a kick arms an earlier
+// one), pop everything due, and run the callbacks outside r.mu — the
+// callbacks take the lock themselves, exactly as the per-key
+// time.AfterFunc bodies used to.
+func (r *Receiver) timerLoop() {
+	defer r.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	var due []*timerEntry // scratch, reused across rounds
+	for {
+		r.mu.Lock()
+		now := nowSeconds()
+		due = due[:0]
+		for r.theap.len() > 0 && r.theap.peek().fireAt <= now {
+			e := r.theap.pop()
+			delete(r.timerByKey, e.key)
+			due = append(due, e)
+		}
+		wait := time.Duration(-1)
+		if r.theap.len() > 0 {
+			wait = time.Duration((r.theap.peek().fireAt - now) * float64(time.Second))
+			if wait < 0 {
+				wait = 0
+			}
+		}
+		r.mu.Unlock()
+		if len(due) > 0 {
+			for i, e := range due {
+				select {
+				case <-r.done:
+					return
+				default:
+				}
+				e.fn()
+				due[i] = nil
+			}
+			continue // callbacks may have re-armed; recompute the deadline
+		}
+		if wait < 0 {
+			// Heap empty: sleep until something is armed.
+			select {
+			case <-r.done:
+				return
+			case <-r.timerKick:
+			}
+			continue
+		}
+		timer.Reset(wait)
+		select {
+		case <-r.done:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			return
+		case <-r.timerKick:
+			if !timer.Stop() {
+				<-timer.C
+			}
+		case <-timer.C:
+		}
+	}
+}
+
+// enqueueCallback queues an application callback for the dispatcher;
+// caller holds r.mu.
+func (r *Receiver) enqueueCallback(cb appCallback) {
+	r.cbs = append(r.cbs, cb)
+	select {
+	case r.cbKick <- struct{}{}:
+	default:
+	}
+}
+
+// callbackLoop delivers OnUpdate/OnExpire from one goroutine in queue
+// order. The queue is swapped out under r.mu and drained lock-free, so
+// handlers may call Get/Snapshot/Stats without deadlock. No callback
+// starts after Close is observed.
+func (r *Receiver) callbackLoop() {
+	defer r.wg.Done()
+	for {
 		select {
 		case <-r.done:
 			return
-		default:
+		case <-r.cbKick:
 		}
-		fn()
-	})
+		for {
+			r.mu.Lock()
+			batch := r.cbs
+			r.cbs = nil
+			r.mu.Unlock()
+			if len(batch) == 0 {
+				break
+			}
+			for i := range batch {
+				select {
+				case <-r.done:
+					return
+				default:
+				}
+				cb := &batch[i]
+				if cb.expire {
+					if r.cfg.OnExpire != nil {
+						r.cfg.OnExpire(cb.key)
+					}
+				} else if r.cfg.OnUpdate != nil {
+					r.cfg.OnUpdate(cb.key, cb.value, cb.version)
+				}
+				cb.value = nil
+			}
+		}
+	}
 }
 
 func (r *Receiver) sendControl(msg protocol.Message) {
@@ -620,8 +765,12 @@ func (r *Receiver) sendControl(msg protocol.Message) {
 		return
 	}
 	hdr := protocol.Header{Session: r.cfg.Session, Sender: r.cfg.ReceiverID}
-	buf := protocol.Encode(hdr, msg)
-	_, _ = r.cfg.Conn.WriteTo(buf, r.cfg.FeedbackDest)
+	bp := pktPool.Get().(*[]byte)
+	*bp = protocol.AppendEncode((*bp)[:0], hdr, msg)
+	// Both MemConn and UDP copy the datagram before WriteTo returns,
+	// so the buffer can be pooled immediately.
+	_, _ = r.cfg.Conn.WriteTo(*bp, r.cfg.FeedbackDest)
+	pktPool.Put(bp)
 }
 
 func (r *Receiver) sweepLoop() {

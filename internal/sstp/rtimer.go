@@ -1,0 +1,90 @@
+package sstp
+
+// timerEntry is one pending receiver timer — a suppression-slotted
+// NACK, query, or peer-repair response. Entries sit in timerHeap
+// ordered by fire time and are indexed by slot key in
+// Receiver.timerByKey, so re-arming an existing slot is an O(log n)
+// in-place fix instead of a Stop + fresh time.AfterFunc (the
+// receiver previously allocated one runtime timer per pending slot).
+type timerEntry struct {
+	key    string
+	fireAt float64
+	fn     func()
+	idx    int
+}
+
+// timerHeap is a binary min-heap on fireAt with stored indices. A
+// single goroutine (Receiver.timerLoop) sleeps until the earliest
+// entry and fires everything due, replacing the per-key runtime
+// timers with one.
+type timerHeap struct {
+	items []*timerEntry
+}
+
+func (h *timerHeap) len() int { return len(h.items) }
+
+func (h *timerHeap) peek() *timerEntry { return h.items[0] }
+
+func (h *timerHeap) push(e *timerEntry) {
+	e.idx = len(h.items)
+	h.items = append(h.items, e)
+	h.up(e.idx)
+}
+
+// fix restores heap order after e.fireAt changed in place.
+func (h *timerHeap) fix(e *timerEntry) {
+	if !h.down(e.idx) {
+		h.up(e.idx)
+	}
+}
+
+func (h *timerHeap) pop() *timerEntry {
+	e := h.items[0]
+	n := len(h.items) - 1
+	h.swap(0, n)
+	h.items[n] = nil
+	h.items = h.items[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	e.idx = -1
+	return e
+}
+
+func (h *timerHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].idx = i
+	h.items[j].idx = j
+}
+
+func (h *timerHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].fireAt <= h.items[i].fireAt {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *timerHeap) down(i int) bool {
+	moved := false
+	n := len(h.items)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return moved
+		}
+		min := l
+		if rt := l + 1; rt < n && h.items[rt].fireAt < h.items[l].fireAt {
+			min = rt
+		}
+		if h.items[i].fireAt <= h.items[min].fireAt {
+			return moved
+		}
+		h.swap(i, min)
+		i = min
+		moved = true
+	}
+}

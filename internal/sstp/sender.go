@@ -1,7 +1,6 @@
 package sstp
 
 import (
-	"container/list"
 	"fmt"
 	"net"
 	"strings"
@@ -173,16 +172,53 @@ type Class struct {
 
 type senderClass struct {
 	name   string
-	queues [2]*list.List
+	queues [2]entryList
 	leaf   [2]int // hierarchy leaf ids for {hot, cold}
 }
 
 type sendEntry struct {
-	key       string
-	class     int
-	queue     int
-	elem      *list.Element
-	tombstone int // >0: remaining deletion announcements
+	key        string
+	class      int
+	queue      int
+	prev, next *sendEntry // intrusive FIFO links (no per-move allocation)
+	tombstone  int        // >0: remaining deletion announcements
+}
+
+// entryList is an intrusive FIFO of sendEntries. Unlike
+// container/list it allocates nothing per push — the links live in
+// the entry itself, which is moved between the hot and cold queues on
+// every announcement.
+type entryList struct {
+	head, tail *sendEntry
+	n          int
+}
+
+func (l *entryList) Len() int { return l.n }
+
+func (l *entryList) pushBack(e *sendEntry) {
+	e.prev, e.next = l.tail, nil
+	if l.tail != nil {
+		l.tail.next = e
+	} else {
+		l.head = e
+	}
+	l.tail = e
+	l.n++
+}
+
+func (l *entryList) remove(e *sendEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	l.n--
 }
 
 // Sender is an SSTP publisher.
@@ -204,6 +240,15 @@ type Sender struct {
 	m           senderMetrics
 	started     float64 // publish-rate estimation window start
 	pubBits     float64 // bits published in the window
+
+	// Hot-path reuse: the announcement datagram buffer and Data
+	// message are owned by sendLoop (via nextAnnouncement), the wait
+	// timer by sendLoop's throttle/idle sleeps. Zero allocations per
+	// announcement in steady state.
+	encBuf    []byte
+	dataMsg   protocol.Data
+	waitTimer *time.Timer
+	readyFn   func(id int) bool // persistent scheduler-ready predicate
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -247,8 +292,6 @@ func NewSender(cfg SenderConfig) (*Sender, error) {
 			hotFrac = cfg.HotFraction
 		}
 		sc := &senderClass{name: cl.Name}
-		sc.queues[sqHot] = list.New()
-		sc.queues[sqCold] = list.New()
 		hot := s.share.AddLeaf(node, cl.Name+"/hot", hotFrac)
 		cold := s.share.AddLeaf(node, cl.Name+"/cold", 1-hotFrac)
 		sc.leaf[sqHot] = hot.LeafID()
@@ -256,6 +299,10 @@ func NewSender(cfg SenderConfig) (*Sender, error) {
 		s.classes = append(s.classes, sc)
 		s.classByName[cl.Name] = i
 		s.leafOwner = append(s.leafOwner, [2]int{i, sqHot}, [2]int{i, sqCold})
+	}
+	s.readyFn = func(id int) bool {
+		owner := s.leafOwner[id]
+		return s.classes[owner[0]].queues[owner[1]].Len() > 0
 	}
 	if cfg.MinRate > 0 {
 		s.aimd = congestion.NewAIMD(cfg.TotalRate, cfg.MinRate, cfg.MaxRate)
@@ -372,15 +419,15 @@ func (s *Sender) moveTo(e *sendEntry, q int) {
 	}
 	cl := s.classes[e.class]
 	if e.queue >= 0 {
-		cl.queues[e.queue].Remove(e.elem)
+		cl.queues[e.queue].remove(e)
 	}
 	e.queue = q
-	e.elem = cl.queues[q].PushBack(e)
+	cl.queues[q].pushBack(e)
 }
 
 func (s *Sender) removeEntry(e *sendEntry) {
 	if e.queue >= 0 {
-		s.classes[e.class].queues[e.queue].Remove(e.elem)
+		s.classes[e.class].queues[e.queue].remove(e)
 		e.queue = -1
 	}
 	delete(s.entries, e.key)
@@ -436,14 +483,16 @@ func (s *Sender) Snapshot() map[string][]byte {
 // send encodes and transmits one message, charging no bucket (control
 // path). Caller must NOT hold s.mu... it takes it for seq/stat fields.
 func (s *Sender) send(msg protocol.Message) {
+	bp := pktPool.Get().(*[]byte)
 	s.mu.Lock()
 	s.seq++
 	hdr := protocol.Header{Session: s.cfg.Session, Sender: s.cfg.SenderID, Seq: s.seq}
-	buf := protocol.Encode(hdr, msg)
-	s.stats.BytesSent += len(buf)
-	s.m.txBits.Add(uint64(8 * len(buf)))
+	*bp = protocol.AppendEncode((*bp)[:0], hdr, msg)
+	s.stats.BytesSent += len(*bp)
+	s.m.txBits.Add(uint64(8 * len(*bp)))
 	s.mu.Unlock()
-	_, _ = s.cfg.Conn.WriteTo(buf, s.cfg.Dest)
+	_, _ = s.cfg.Conn.WriteTo(*bp, s.cfg.Dest)
+	pktPool.Put(bp)
 }
 
 // sendLoop is the announcement scheduler: it picks hot/cold records
@@ -476,6 +525,26 @@ func (s *Sender) sendLoop() {
 	}
 }
 
+// sleep waits for d (or until Close) reusing one timer across calls
+// instead of allocating a time.After per wait. Only sendLoop may call
+// it. It returns false if the sender closed while waiting.
+func (s *Sender) sleep(d time.Duration) bool {
+	if s.waitTimer == nil {
+		s.waitTimer = time.NewTimer(d)
+	} else {
+		s.waitTimer.Reset(d)
+	}
+	select {
+	case <-s.done:
+		if !s.waitTimer.Stop() {
+			<-s.waitTimer.C
+		}
+		return false
+	case <-s.waitTimer.C:
+		return true
+	}
+}
+
 // idleWait sleeps briefly when there is nothing to announce.
 func (s *Sender) idleWait(nextSummary *time.Time) {
 	d := 20 * time.Millisecond
@@ -485,10 +554,7 @@ func (s *Sender) idleWait(nextSummary *time.Time) {
 			d = 0
 		}
 	}
-	select {
-	case <-s.done:
-	case <-time.After(d):
-	}
+	s.sleep(d)
 }
 
 // throttle blocks until the token bucket admits a send of the given
@@ -506,31 +572,30 @@ func (s *Sender) throttle(bits float64) bool {
 		if okNow {
 			return true
 		}
-		select {
-		case <-s.done:
+		if !s.sleep(time.Duration(wait * float64(time.Second))) {
 			return false
-		case <-time.After(time.Duration(wait * float64(time.Second))):
 		}
 	}
 }
 
 // nextAnnouncement pops the next record per the hot/cold schedule and
-// returns its encoded datagram.
+// returns its encoded datagram. The returned buffer is owned by the
+// sender and valid until the next call (sendLoop writes it to the
+// socket before looping); steady state allocates nothing — the expiry
+// sweep is a heap peek, the Data message and the wire buffer are
+// reused.
 func (s *Sender) nextAnnouncement() ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.pub.Sweep(nowSeconds()) // expire lapsed records
-	leaf, ok := s.share.Pick(func(id int) bool {
-		owner := s.leafOwner[id]
-		return s.classes[owner[0]].queues[owner[1]].Len() > 0
-	})
+	s.pub.Sweep(nowSeconds()) // expire lapsed records (O(1) when none due)
+	leaf, ok := s.share.Pick(s.readyFn)
 	if !ok {
 		return nil, false
 	}
 	owner := s.leafOwner[leaf]
-	q := s.classes[owner[0]].queues[owner[1]]
-	e := q.Front().Value.(*sendEntry)
-	q.Remove(e.elem)
+	q := &s.classes[owner[0]].queues[owner[1]]
+	e := q.head
+	q.remove(e)
 	e.queue = -1
 	if owner[1] == sqHot {
 		s.m.annHot.Inc()
@@ -538,10 +603,9 @@ func (s *Sender) nextAnnouncement() ([]byte, bool) {
 		s.m.annCold.Inc()
 	}
 
-	var msg protocol.Message
 	if e.tombstone > 0 {
 		e.tombstone--
-		msg = &protocol.Data{Key: e.key, Deleted: true}
+		s.dataMsg = protocol.Data{Key: e.key, Deleted: true}
 		if e.tombstone > 0 {
 			s.moveTo(e, sqCold)
 		} else {
@@ -553,7 +617,7 @@ func (s *Sender) nextAnnouncement() ([]byte, bool) {
 			s.removeEntry(e)
 			return nil, false
 		}
-		msg = &protocol.Data{
+		s.dataMsg = protocol.Data{
 			Key:   e.key,
 			Ver:   rec.Version,
 			TTLms: uint32(s.cfg.TTL.Milliseconds()),
@@ -573,7 +637,9 @@ func (s *Sender) nextAnnouncement() ([]byte, bool) {
 	}
 	s.seq++
 	hdr := protocol.Header{Session: s.cfg.Session, Sender: s.cfg.SenderID, Seq: s.seq}
-	buf := protocol.Encode(hdr, msg)
+	s.encBuf = protocol.AppendEncode(s.encBuf[:0], hdr, &s.dataMsg)
+	buf := s.encBuf
+	s.dataMsg.Value = nil // do not pin the record's value buffer
 	s.stats.BytesSent += len(buf)
 	if s.stats.BytesByClass == nil {
 		s.stats.BytesByClass = make(map[string]int)
@@ -620,7 +686,9 @@ func (s *Sender) sendSummary() {
 // reports.
 func (s *Sender) recvLoop() {
 	defer s.wg.Done()
-	buf := make([]byte, 65536)
+	bp := readBufPool.Get().(*[]byte)
+	defer readBufPool.Put(bp)
+	buf := *bp
 	for {
 		select {
 		case <-s.done:

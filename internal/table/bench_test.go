@@ -1,0 +1,88 @@
+package table
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The sweep benchmarks measure the per-call cost of Sweep when nothing
+// (or almost nothing) has expired — the common case on the live SSTP
+// hot path, where the sender sweeps before every announcement. With
+// the expiry heap this is O(1); a full scan is O(n).
+
+func benchPublisher(n int) *Publisher {
+	p := NewPublisher()
+	for i := 0; i < n; i++ {
+		p.Put(Key(fmt.Sprintf("g%d/k%d", i%64, i)), []byte("0123456789abcdef"), 0, 1e9)
+	}
+	return p
+}
+
+func BenchmarkPublisherSweepIdle(b *testing.B) {
+	for _, n := range []int{1024, 16384, 65536} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p := benchPublisher(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if p.Sweep(1) != 0 {
+					b.Fatal("unexpected expiry")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPublisherNextExpiry(b *testing.B) {
+	p := benchPublisher(16384)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.NextExpiry(1); !ok {
+			b.Fatal("no expiry")
+		}
+	}
+}
+
+func BenchmarkPublisherPutUpdate(b *testing.B) {
+	p := benchPublisher(16384)
+	val := []byte("0123456789abcdef")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Put("g0/k0", val, float64(i), 1e9)
+	}
+}
+
+func BenchmarkSubscriberSweepIdle(b *testing.B) {
+	for _, n := range []int{1024, 16384, 65536} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := NewSubscriber()
+			for i := 0; i < n; i++ {
+				s.Apply(Key(fmt.Sprintf("g%d/k%d", i%64, i)), []byte("v"), 1, 0, 1e9)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if s.Sweep(1) != 0 {
+					b.Fatal("unexpected expiry")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSubscriberApplyRefresh measures the announcement-refresh
+// path: the deadline moves on every Apply, which with the heap means
+// one sift per call.
+func BenchmarkSubscriberApplyRefresh(b *testing.B) {
+	s := NewSubscriber()
+	for i := 0; i < 16384; i++ {
+		s.Apply(Key(fmt.Sprintf("g%d/k%d", i%64, i)), []byte("v"), 1, 0, 1e9)
+	}
+	val := []byte("v")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Apply("g0/k0", val, 1, float64(i), 1e9)
+	}
+}

@@ -1,0 +1,127 @@
+package table
+
+// expiryHeap is an intrusive binary min-heap used to index records and
+// replica entries by their expiry time. Items carry their own heap
+// index, so membership tests, removals, and deadline adjustments are
+// O(1)/O(log n) with zero allocations beyond the backing slice.
+//
+// Only items with a finite expiry live in the heap: the publisher
+// keeps immortal records out entirely, so sweeping never has to look
+// at them.
+type heapItem interface {
+	// expireAt is the heap ordering key (expiry time in seconds).
+	expireAt() float64
+	// heapIndex returns the item's current slot, or -1 when the item
+	// is not in the heap.
+	heapIndex() int
+	setHeapIndex(int)
+}
+
+type expiryHeap[T heapItem] struct {
+	items []T
+}
+
+func (h *expiryHeap[T]) len() int { return len(h.items) }
+
+// peek returns the earliest-expiring item; call only when len() > 0.
+func (h *expiryHeap[T]) peek() T { return h.items[0] }
+
+// push inserts an item that is not currently in the heap.
+func (h *expiryHeap[T]) push(it T) {
+	it.setHeapIndex(len(h.items))
+	h.items = append(h.items, it)
+	h.up(len(h.items) - 1)
+}
+
+// fix restores heap order after an item's expiry changed in place.
+func (h *expiryHeap[T]) fix(it T) {
+	i := it.heapIndex()
+	if !h.down(i) {
+		h.up(i)
+	}
+}
+
+// remove deletes an item from the heap (it must be a member).
+func (h *expiryHeap[T]) remove(it T) {
+	i := it.heapIndex()
+	n := len(h.items) - 1
+	if i != n {
+		h.swap(i, n)
+	}
+	h.items[n] = *new(T) // release the reference
+	h.items = h.items[:n]
+	it.setHeapIndex(-1)
+	if i != n {
+		if !h.down(i) {
+			h.up(i)
+		}
+	}
+}
+
+// pop removes and returns the earliest-expiring item.
+func (h *expiryHeap[T]) pop() T {
+	it := h.items[0]
+	h.remove(it)
+	return it
+}
+
+// minAfter returns the smallest expiry strictly greater than now. It
+// descends only through subtrees whose root has already lapsed, so the
+// cost is O(k) in the number of lapsed-but-unswept items, not O(n).
+func (h *expiryHeap[T]) minAfter(now float64) (float64, bool) {
+	best := inf
+	var walk func(i int)
+	walk = func(i int) {
+		if i >= len(h.items) {
+			return
+		}
+		at := h.items[i].expireAt()
+		if at > now {
+			if at < best {
+				best = at
+			}
+			return // children expire no earlier
+		}
+		walk(2*i + 1)
+		walk(2*i + 2)
+	}
+	walk(0)
+	return best, best < inf
+}
+
+func (h *expiryHeap[T]) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].setHeapIndex(i)
+	h.items[j].setHeapIndex(j)
+}
+
+func (h *expiryHeap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].expireAt() <= h.items[i].expireAt() {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts item i toward the leaves; it reports whether it moved.
+func (h *expiryHeap[T]) down(i int) bool {
+	moved := false
+	for {
+		least := i
+		if l := 2*i + 1; l < len(h.items) && h.items[l].expireAt() < h.items[least].expireAt() {
+			least = l
+		}
+		if r := 2*i + 2; r < len(h.items) && h.items[r].expireAt() < h.items[least].expireAt() {
+			least = r
+		}
+		if least == i {
+			return moved
+		}
+		h.swap(i, least)
+		i = least
+		moved = true
+	}
+}

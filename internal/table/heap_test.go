@@ -1,0 +1,185 @@
+package table
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// fullScanExpired is the reference semantics the heap must reproduce:
+// the set of keys a full table scan would expire at time now, in key
+// order (the pre-heap Sweep behavior).
+func fullScanExpired(recs map[Key]float64, now float64) []Key {
+	var dead []Key
+	for k, expires := range recs {
+		if now >= expires {
+			dead = append(dead, k)
+		}
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	return dead
+}
+
+func keysEqual(a, b []Key) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPublisherSweepMatchesFullScan drives randomized Put/Delete/Sweep
+// sequences against a shadow map and checks that the incremental
+// heap-driven Sweep expires exactly the set (and order) the historical
+// full scan would, and that NextExpiry agrees with a scan.
+func TestPublisherSweepMatchesFullScan(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewPublisher()
+		var got []Key
+		p.OnExpire = func(r *Record) { got = append(got, r.Key) }
+		shadow := make(map[Key]float64) // key -> expiry
+		now := 0.0
+		for step := 0; step < 400; step++ {
+			now += rng.Float64()
+			switch op := rng.Intn(10); {
+			case op < 5: // Put with a random (possibly infinite) lifetime
+				k := Key(fmt.Sprintf("k%d", rng.Intn(40)))
+				lifetime := 0.0 // immortal
+				if rng.Intn(4) > 0 {
+					lifetime = rng.Float64() * 5
+				}
+				p.Put(k, []byte{byte(step)}, now, lifetime)
+				if lifetime > 0 {
+					shadow[k] = now + lifetime
+				} else {
+					shadow[k] = inf
+				}
+			case op < 7: // Delete
+				k := Key(fmt.Sprintf("k%d", rng.Intn(40)))
+				want := false
+				if _, ok := shadow[k]; ok {
+					want = true
+					delete(shadow, k)
+				}
+				got = got[:0]
+				if p.Delete(k) != want {
+					t.Fatalf("seed %d step %d: Delete(%q) presence mismatch", seed, step, k)
+				}
+			default: // Sweep
+				want := fullScanExpired(shadow, now)
+				got = got[:0]
+				n := p.Sweep(now)
+				if n != len(want) || !keysEqual(got, want) {
+					t.Fatalf("seed %d step %d now=%v: Sweep expired %v, full scan %v", seed, step, now, got, want)
+				}
+				for _, k := range want {
+					delete(shadow, k)
+				}
+			}
+			// NextExpiry must always agree with a scan of the shadow.
+			wantAt, wantOK := inf, false
+			for _, at := range shadow {
+				if at > now && at < wantAt {
+					wantAt, wantOK = at, true
+				}
+			}
+			gotAt, gotOK := p.NextExpiry(now)
+			if gotOK != wantOK || (wantOK && gotAt != wantAt) {
+				t.Fatalf("seed %d step %d: NextExpiry = (%v, %v), scan says (%v, %v)", seed, step, gotAt, gotOK, wantAt, wantOK)
+			}
+			if p.Len() != len(shadow) {
+				t.Fatalf("seed %d step %d: Len = %d, shadow %d", seed, step, p.Len(), len(shadow))
+			}
+		}
+	}
+}
+
+// TestSubscriberSweepMatchesFullScan is the replica-side twin:
+// randomized Apply/Drop/Sweep sequences with deadline refreshes.
+func TestSubscriberSweepMatchesFullScan(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSubscriber()
+		var got []Key
+		s.OnExpire = func(e *Entry) { got = append(got, e.Key) }
+		shadow := make(map[Key]float64) // key -> deadline
+		now := 0.0
+		ver := uint64(0)
+		for step := 0; step < 400; step++ {
+			now += rng.Float64()
+			switch op := rng.Intn(10); {
+			case op < 6: // Apply (insert or deadline refresh)
+				k := Key(fmt.Sprintf("k%d", rng.Intn(40)))
+				ttl := rng.Float64()*5 + 0.01
+				ver++
+				s.Apply(k, []byte{byte(step)}, ver, now, ttl)
+				shadow[k] = now + ttl
+			case op < 7: // Drop
+				k := Key(fmt.Sprintf("k%d", rng.Intn(40)))
+				_, want := shadow[k]
+				delete(shadow, k)
+				if s.Drop(k) != want {
+					t.Fatalf("seed %d step %d: Drop(%q) presence mismatch", seed, step, k)
+				}
+			default: // Sweep
+				want := fullScanExpired(shadow, now)
+				got = got[:0]
+				n := s.Sweep(now)
+				if n != len(want) || !keysEqual(got, want) {
+					t.Fatalf("seed %d step %d now=%v: Sweep expired %v, full scan %v", seed, step, now, got, want)
+				}
+				for _, k := range want {
+					delete(shadow, k)
+				}
+			}
+			wantAt, wantOK := inf, false
+			for _, at := range shadow {
+				if at > now && at < wantAt {
+					wantAt, wantOK = at, true
+				}
+			}
+			gotAt, gotOK := s.NextDeadline(now)
+			if gotOK != wantOK || (wantOK && gotAt != wantAt) {
+				t.Fatalf("seed %d step %d: NextDeadline = (%v, %v), scan says (%v, %v)", seed, step, gotAt, gotOK, wantAt, wantOK)
+			}
+			if s.Len() != len(shadow) {
+				t.Fatalf("seed %d step %d: Len = %d, shadow %d", seed, step, s.Len(), len(shadow))
+			}
+		}
+	}
+}
+
+// TestHeapIndexInvariant checks that every heap slot's item knows its
+// own index after a long mixed workload (the intrusive-heap contract).
+func TestHeapIndexInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := NewPublisher()
+	for step := 0; step < 2000; step++ {
+		k := Key(fmt.Sprintf("k%d", rng.Intn(100)))
+		switch rng.Intn(3) {
+		case 0:
+			p.Put(k, nil, float64(step), rng.Float64()*100)
+		case 1:
+			p.Put(k, nil, float64(step), 0)
+		default:
+			p.Delete(k)
+		}
+		for i, rec := range p.expiry.items {
+			if rec.heapIdx != i {
+				t.Fatalf("step %d: heap slot %d holds record with idx %d", step, i, rec.heapIdx)
+			}
+		}
+		for i := 1; i < len(p.expiry.items); i++ {
+			parent := (i - 1) / 2
+			if p.expiry.items[parent].Expires > p.expiry.items[i].Expires {
+				t.Fatalf("step %d: heap order violated at %d", step, i)
+			}
+		}
+	}
+}

@@ -30,15 +30,27 @@ type Record struct {
 	Version uint64
 	Born    float64 // time the current version was introduced
 	Expires float64 // time the record leaves the live set (+Inf = never)
+
+	heapIdx int // slot in the publisher's expiry heap; -1 = not tracked
 }
 
 // Live reports whether the record is live at time now.
 func (r *Record) Live(now float64) bool { return now < r.Expires }
 
+func (r *Record) expireAt() float64  { return r.Expires }
+func (r *Record) heapIndex() int     { return r.heapIdx }
+func (r *Record) setHeapIndex(i int) { r.heapIdx = i }
+
 // Publisher is the sender-side table. The set of records live at time
 // t is the paper's live data set L(t).
+//
+// Mortal records (lifetime > 0) are additionally indexed by an expiry
+// min-heap, so Sweep and NextExpiry cost O(expired · log n) and O(1)
+// respectively instead of scanning the whole table.
 type Publisher struct {
 	records map[Key]*Record
+	expiry  expiryHeap[*Record]
+	dead    []*Record // scratch for Sweep (reused between calls)
 	version uint64
 
 	// OnChange, if non-nil, is invoked after every Put with the
@@ -69,13 +81,21 @@ func (p *Publisher) Put(key Key, value []byte, now, lifetime float64) *Record {
 	}
 	rec, ok := p.records[key]
 	if !ok {
-		rec = &Record{Key: key}
+		rec = &Record{Key: key, heapIdx: -1}
 		p.records[key] = rec
 	}
 	rec.Value = append(rec.Value[:0], value...)
 	rec.Version = p.version
 	rec.Born = now
 	rec.Expires = expires
+	switch {
+	case expires < inf && rec.heapIdx < 0:
+		p.expiry.push(rec)
+	case expires < inf:
+		p.expiry.fix(rec)
+	case rec.heapIdx >= 0: // became immortal
+		p.expiry.remove(rec)
+	}
 	if p.OnChange != nil {
 		p.OnChange(rec)
 	}
@@ -90,6 +110,9 @@ func (p *Publisher) Delete(key Key) bool {
 		return false
 	}
 	delete(p.records, key)
+	if rec.heapIdx >= 0 {
+		p.expiry.remove(rec)
+	}
 	if p.OnExpire != nil {
 		p.OnExpire(rec)
 	}
@@ -127,35 +150,40 @@ func (p *Publisher) LiveRecords(now float64) []*Record {
 }
 
 // Sweep removes records whose lifetimes have lapsed, invoking OnExpire
-// for each, and returns the number removed.
+// for each in key order, and returns the number removed. Cost is
+// O(expired · log n): when nothing has lapsed it is a single heap
+// peek, so protocol hot paths can sweep before every packet.
 func (p *Publisher) Sweep(now float64) int {
-	var dead []Key
-	for k, r := range p.records {
-		if !r.Live(now) {
-			dead = append(dead, k)
-		}
+	if p.expiry.len() == 0 || p.expiry.peek().Live(now) {
+		return 0
 	}
-	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
-	for _, k := range dead {
-		rec := p.records[k]
-		delete(p.records, k)
-		if p.OnExpire != nil {
+	dead := p.dead[:0]
+	p.dead = nil // reentrant Sweep from a callback gets its own scratch
+	for p.expiry.len() > 0 && !p.expiry.peek().Live(now) {
+		rec := p.expiry.pop()
+		delete(p.records, rec.Key)
+		dead = append(dead, rec)
+	}
+	// Callback order matches the historical full scan: sorted by key.
+	sort.Slice(dead, func(i, j int) bool { return dead[i].Key < dead[j].Key })
+	n := len(dead)
+	if p.OnExpire != nil {
+		for _, rec := range dead {
 			p.OnExpire(rec)
 		}
 	}
-	return len(dead)
+	for i := range dead {
+		dead[i] = nil // do not pin expired values until the next sweep
+	}
+	p.dead = dead[:0]
+	return n
 }
 
 // NextExpiry returns the earliest record expiry after now, or ok=false
-// if no record expires.
+// if no record expires. Lapsed-but-unswept records are skipped; with
+// the heap this costs O(lapsed), not O(n).
 func (p *Publisher) NextExpiry(now float64) (float64, bool) {
-	best := inf
-	for _, r := range p.records {
-		if r.Expires < best && r.Expires > now {
-			best = r.Expires
-		}
-	}
-	return best, best < inf
+	return p.expiry.minAfter(now)
 }
 
 // Entry is a subscriber-side replica entry with its expiration timer.
@@ -164,11 +192,22 @@ type Entry struct {
 	Value    []byte
 	Version  uint64
 	Deadline float64 // local expiry; reset by each announcement
+
+	heapIdx int // slot in the subscriber's deadline heap
 }
 
-// Subscriber is the receiver-side replica table.
+func (e *Entry) expireAt() float64  { return e.Deadline }
+func (e *Entry) heapIndex() int     { return e.heapIdx }
+func (e *Entry) setHeapIndex(i int) { e.heapIdx = i }
+
+// Subscriber is the receiver-side replica table. Every entry has a
+// finite deadline, and all of them are indexed by a deadline min-heap:
+// refreshing an announcement is one sift, sweeping is O(expired·log n)
+// with an O(1) nothing-due fast path.
 type Subscriber struct {
 	entries map[Key]*Entry
+	expiry  expiryHeap[*Entry]
+	dead    []*Entry // scratch for Sweep (reused between calls)
 
 	// OnExpire, if non-nil, is invoked for each entry that Sweep
 	// removes — the paper's "external notification event" on state
@@ -198,10 +237,15 @@ func (s *Subscriber) Apply(key Key, value []byte, version uint64, now, ttl float
 	}
 	e, ok := s.entries[key]
 	if !ok {
-		e = &Entry{Key: key}
+		e = &Entry{Key: key, heapIdx: -1}
 		s.entries[key] = e
 	}
 	e.Deadline = now + ttl
+	if e.heapIdx < 0 {
+		s.expiry.push(e)
+	} else {
+		s.expiry.fix(e)
+	}
 	if ok && version < e.Version {
 		return false
 	}
@@ -228,10 +272,12 @@ func (s *Subscriber) Get(key Key, now float64) (*Entry, bool) {
 // Drop removes an entry immediately (without OnExpire), reporting
 // whether it was present. Used when a deletion announcement arrives.
 func (s *Subscriber) Drop(key Key) bool {
-	if _, ok := s.entries[key]; !ok {
+	e, ok := s.entries[key]
+	if !ok {
 		return false
 	}
 	delete(s.entries, key)
+	s.expiry.remove(e)
 	return true
 }
 
@@ -239,35 +285,39 @@ func (s *Subscriber) Drop(key Key) bool {
 func (s *Subscriber) Len() int { return len(s.entries) }
 
 // Sweep removes entries whose timers have lapsed, invoking OnExpire
-// for each, and returns the number removed.
+// for each in key order, and returns the number removed. When nothing
+// is due it is a single heap peek.
 func (s *Subscriber) Sweep(now float64) int {
-	var dead []Key
-	for k, e := range s.entries {
-		if now >= e.Deadline {
-			dead = append(dead, k)
-		}
+	if s.expiry.len() == 0 || now < s.expiry.peek().Deadline {
+		return 0
 	}
-	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
-	for _, k := range dead {
-		e := s.entries[k]
-		delete(s.entries, k)
-		if s.OnExpire != nil {
+	dead := s.dead[:0]
+	s.dead = nil // reentrant Sweep from a callback gets its own scratch
+	for s.expiry.len() > 0 && now >= s.expiry.peek().Deadline {
+		e := s.expiry.pop()
+		delete(s.entries, e.Key)
+		dead = append(dead, e)
+	}
+	// Callback order matches the historical full scan: sorted by key.
+	sort.Slice(dead, func(i, j int) bool { return dead[i].Key < dead[j].Key })
+	n := len(dead)
+	if s.OnExpire != nil {
+		for _, e := range dead {
 			s.OnExpire(e)
 		}
 	}
-	return len(dead)
+	for i := range dead {
+		dead[i] = nil
+	}
+	s.dead = dead[:0]
+	return n
 }
 
 // NextDeadline returns the earliest entry deadline after now, or
-// ok=false when empty.
+// ok=false when empty. Lapsed-but-unswept entries are skipped in
+// O(lapsed) time.
 func (s *Subscriber) NextDeadline(now float64) (float64, bool) {
-	best := inf
-	for _, e := range s.entries {
-		if e.Deadline < best && e.Deadline > now {
-			best = e.Deadline
-		}
-	}
-	return best, best < inf
+	return s.expiry.minAfter(now)
 }
 
 // Keys returns all (unexpired at now) keys in sorted order.
