@@ -1,14 +1,26 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench benchfast benchjson loadsmoke
+.PHONY: check build vet fmt test race bench benchfast benchjson loadsmoke relaysmoke fuzzsmoke
 
 ## check: the extended tier-1 gate — everything a PR must keep green.
-check: fmt vet build race bench loadsmoke
+check: fmt vet build race bench loadsmoke relaysmoke fuzzsmoke
 
 ## loadsmoke: drive the live stack end-to-end under ssload's quick
 ## profile; fails unless every receiver's replica converges.
 loadsmoke:
 	$(GO) run ./cmd/ssload -quick
+
+## relaysmoke: publisher → relay → 4 leaves over a lossy memconn
+## network; fails unless the tree converges, repair stays local, and
+## the publisher's Goodbye flushes every hop.
+relaysmoke:
+	$(GO) run ./cmd/ssrelay -quick
+
+## fuzzsmoke: a short coverage-guided run of the wire-codec fuzz
+## target pinning AppendEncode byte-identical to Encode across the
+## header scope field and every message type.
+fuzzsmoke:
+	$(GO) test -run='^$$' -fuzz=FuzzAppendEncode -fuzztime=10s ./internal/protocol
 
 build:
 	$(GO) build ./...
@@ -46,8 +58,11 @@ benchfast:
 		-bench='SenderNextAnnouncement|SenderEncodeSend' ./internal/sstp/
 
 ## benchjson: regenerate BENCH_ssbench.json (per-experiment wall-time
-## + headline-metric trajectory) and BENCH_ssload.json (live-stack
-## load/allocation record); formats documented in EXPERIMENTS.md.
+## + headline-metric trajectory), BENCH_ssload.json (live-stack
+## load/allocation record), and BENCH_ssrelay.json (relay overlay
+## tree convergence + per-hop repair latency); formats documented in
+## EXPERIMENTS.md.
 benchjson:
 	$(GO) run ./cmd/ssbench -quick -all -json > BENCH_ssbench.json
 	$(GO) run ./cmd/ssload -records 512 -receivers 4 -duration 5s -loss 0.02 -json > BENCH_ssload.json
+	$(GO) run ./cmd/ssload -relay-depth 2 -relay-fanout 4 -loss 0.05 -json > BENCH_ssrelay.json

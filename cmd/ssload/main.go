@@ -11,6 +11,9 @@
 //	ssload -udp                 # UDP loopback fan-out instead of memconn
 //	ssload -quick               # small smoke run; exit 1 unless converged
 //	ssload -json                # emit a BENCH_ssload.json record on stdout
+//	ssload -admin 127.0.0.1:0   # live /metrics + /stats.json during the run
+//	ssload -relay-depth 2 -relay-fanout 4 -loss 0.05 -json
+//	                            # relay overlay tree; BENCH_ssrelay.json format
 //
 // By default the session runs over the in-process MemNetwork with the
 // sender and every receiver joined to one multicast group, so NACK
@@ -124,6 +127,9 @@ func main() {
 	quick := flag.Bool("quick", false, "small smoke run; exit 1 unless all receivers converge")
 	jsonOut := flag.Bool("json", false, "emit a BENCH_ssload.json record on stdout")
 	seed := flag.Int64("seed", 1, "suppression-slotting seed")
+	admin := flag.String("admin", "", "serve /metrics, /stats.json, /debug/pprof on this address during the run")
+	relayDepth := flag.Int("relay-depth", 0, "relay overlay mode: tree depth in hops (0 disables)")
+	relayFanout := flag.Int("relay-fanout", 4, "relay overlay mode: children per node")
 	flag.Parse()
 
 	if *quick {
@@ -134,6 +140,19 @@ func main() {
 	if *loss > 0 && *udp {
 		fmt.Fprintln(os.Stderr, "ssload: -loss requires memconn transport")
 		os.Exit(2)
+	}
+	if *relayDepth > 0 {
+		if *udp {
+			fmt.Fprintln(os.Stderr, "ssload: -relay-depth requires memconn transport")
+			os.Exit(2)
+		}
+		runRelayTree(relayOpts{
+			depth: *relayDepth, fanout: *relayFanout,
+			records: *records, rate: *rate, valueLen: *valueLen,
+			loss: *loss, updates: *updates, duration: *duration,
+			seed: *seed, jsonOut: *jsonOut, admin: *admin, quick: *quick,
+		})
+		return
 	}
 
 	res := result{
@@ -146,6 +165,15 @@ func main() {
 	}
 
 	reg := obs.New("ssload") // shared: receiver series aggregate
+	if *admin != "" {
+		srv, addr, err := obs.ServeAdmin(*admin, reg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssload: admin:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ssload: admin endpoint on http://%s/\n", addr)
+	}
 	senderConn, receiverConns, dest, feedback, err := buildTransport(*udp, *nRecv, *loss, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ssload:", err)

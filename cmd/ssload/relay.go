@@ -1,0 +1,287 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"softstate/internal/obs"
+	"softstate/internal/relay"
+	"softstate/internal/sstp"
+)
+
+// relayOpts parameterize the -relay-depth tree mode.
+type relayOpts struct {
+	depth    int
+	fanout   int
+	records  int
+	rate     float64
+	valueLen int
+	loss     float64
+	updates  float64
+	duration time.Duration
+	seed     int64
+	jsonOut  bool
+	admin    string
+	quick    bool
+}
+
+// relayResult is the -relay-depth -json output, the format of
+// BENCH_ssrelay.json (see EXPERIMENTS.md).
+type relayResult struct {
+	Seed       int64   `json:"seed"`
+	Quick      bool    `json:"quick"`
+	Records    int     `json:"records"`
+	Depth      int     `json:"depth"`
+	Fanout     int     `json:"fanout"`
+	Relays     int     `json:"relays"`
+	Leaves     int     `json:"leaves"`
+	RateBps    float64 `json:"rate_bps"`
+	ValueBytes int     `json:"value_bytes"`
+	Loss       float64 `json:"loss"`
+	DurationMs float64 `json:"duration_ms"`
+
+	Forwarded       int     `json:"forwarded"`
+	Tombstoned      int     `json:"tombstoned"`
+	ConvergedRelays int     `json:"converged_relays"`
+	ConvergedLeaves int     `json:"converged_leaves"`
+	ConvergeMs      float64 `json:"converge_ms"`
+
+	// Scoped recovery split: repair requests answered by the origin
+	// publisher versus by interior relays. On a healthy tree with loss
+	// on the lower hops the root column stays at zero.
+	RootQueriesServed  int `json:"root_queries_served"`
+	RootNACKs          int `json:"root_nacks"`
+	RelayQueriesServed int `json:"relay_queries_served"`
+	RelayNACKs         int `json:"relay_nacks"`
+
+	// PerHop carries the sstp_t_rec_seconds quantiles per tree level
+	// (level 1 = relays one hop from the publisher, the last level =
+	// the leaves).
+	PerHop []hopQuantiles `json:"per_hop_t_rec_seconds"`
+}
+
+type hopQuantiles struct {
+	Level int     `json:"level"`
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// runRelayTree drives a complete fanout^depth overlay over memconn:
+// relays at levels 1..depth-1, leaf receivers at level depth, loss on
+// every link. Each level gets its own obs registry so repair latency
+// is reported per hop.
+func runRelayTree(o relayOpts) {
+	if o.depth < 1 || o.fanout < 1 {
+		fmt.Fprintln(os.Stderr, "ssload: -relay-depth and -relay-fanout must be >= 1")
+		os.Exit(2)
+	}
+	res := relayResult{
+		Seed: o.seed, Quick: o.quick, Records: o.records,
+		Depth: o.depth, Fanout: o.fanout,
+		RateBps: o.rate, ValueBytes: o.valueLen, Loss: o.loss,
+	}
+
+	nw := sstp.NewMemNetwork(o.seed)
+	nw.SetDefaultLoss(o.loss)
+
+	// regs[l] aggregates the sstp_* series of every node at level l;
+	// level 0 is the publisher.
+	regs := make([]*obs.Registry, o.depth+1)
+	for l := range regs {
+		regs[l] = obs.New(fmt.Sprintf("level%d", l))
+	}
+
+	pc := nw.Endpoint("pub")
+	nw.Join("grp/root", "pub")
+	pub, err := sstp.NewSender(sstp.SenderConfig{
+		Session: 43, SenderID: 1, Conn: pc, Dest: sstp.MemAddr("grp/root"),
+		TotalRate:       o.rate,
+		SummaryInterval: 200 * time.Millisecond,
+		TTL:             60 * time.Second,
+		Obs:             regs[0],
+		Seed:            o.seed,
+	})
+	must(err)
+
+	var relays []*relay.Relay
+	parentGroups := []string{"grp/root"}
+	k := 0
+	for level := 1; level < o.depth; level++ {
+		var next []string
+		for j := 0; j < intPow(o.fanout, level); j++ {
+			parent := parentGroups[j/o.fanout]
+			upName := sstp.MemAddr(fmt.Sprintf("up/%d", k))
+			dnName := sstp.MemAddr(fmt.Sprintf("dn/%d", k))
+			group := fmt.Sprintf("grp/%d", k)
+			up := nw.Endpoint(upName)
+			nw.Join(sstp.MemAddr(parent), upName)
+			dn := nw.Endpoint(dnName)
+			nw.Join(sstp.MemAddr(group), dnName)
+			r, err := relay.New(relay.Config{
+				Session: 43, RelayID: uint64(100 * (k + 1)),
+				UpstreamConn: up, UpstreamFeedback: sstp.MemAddr(parent),
+				Downstreams: []relay.Downstream{{
+					Conn: dn, Dest: sstp.MemAddr(group), Rate: o.rate,
+				}},
+				TTL:             60 * time.Second,
+				SummaryInterval: 200 * time.Millisecond,
+				NACKWindow:      50 * time.Millisecond,
+				Obs:             regs[level],
+				Seed:            o.seed + int64(1000+k),
+			})
+			must(err)
+			relays = append(relays, r)
+			next = append(next, group)
+			k++
+		}
+		parentGroups = next
+	}
+
+	var leaves []*sstp.Receiver
+	for j := 0; j < intPow(o.fanout, o.depth); j++ {
+		parent := parentGroups[j/o.fanout]
+		name := sstp.MemAddr(fmt.Sprintf("leaf/%d", j))
+		lc := nw.Endpoint(name)
+		nw.Join(sstp.MemAddr(parent), name)
+		leaf, err := sstp.NewReceiver(sstp.ReceiverConfig{
+			Session: 43, ReceiverID: uint64(10_000 + j), Conn: lc,
+			FeedbackDest:   sstp.MemAddr(parent),
+			NACKWindow:     50 * time.Millisecond,
+			FlushOnGoodbye: true,
+			Obs:            regs[o.depth],
+			Seed:           o.seed + int64(2000+j),
+		})
+		must(err)
+		leaves = append(leaves, leaf)
+	}
+	res.Relays = len(relays)
+	res.Leaves = len(leaves)
+
+	if o.admin != "" {
+		// The leaf-level registry carries the end-to-end repair
+		// latency, the most useful live view of a tree run.
+		srv, addr, err := obs.ServeAdmin(o.admin, regs[o.depth], nil)
+		must(err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ssload: admin endpoint on http://%s/ (leaf level)\n", addr)
+	}
+
+	value := make([]byte, o.valueLen)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	for i := 0; i < o.records; i++ {
+		must(pub.Publish(key(i), value, 0))
+	}
+	pub.Start()
+	for _, r := range relays {
+		r.Start()
+	}
+	for _, l := range leaves {
+		l.Start()
+	}
+
+	// Load phase: value-update churn rides on the initial flood.
+	start := time.Now()
+	tick := time.NewTicker(time.Duration(float64(time.Second) / maxf(o.updates, 1)))
+	upd := 0
+	for time.Since(start) < o.duration {
+		<-tick.C
+		if o.updates > 0 {
+			must(pub.Publish(key(upd%o.records), value, 0))
+			upd++
+		}
+	}
+	tick.Stop()
+	res.DurationMs = float64(time.Since(start).Microseconds()) / 1000
+
+	// Convergence phase: every replica digest must reach the
+	// publisher's, leaves last.
+	convStart := time.Now()
+	convDeadline := convStart.Add(30 * time.Second)
+	count := func() (nr, nl int) {
+		want := pub.RootDigest()
+		for _, r := range relays {
+			if r.RootDigest() == want {
+				nr++
+			}
+		}
+		for _, l := range leaves {
+			if l.RootDigest() == want {
+				nl++
+			}
+		}
+		return nr, nl
+	}
+	for time.Now().Before(convDeadline) {
+		if nr, nl := count(); nr == len(relays) && nl == len(leaves) {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	res.ConvergeMs = float64(time.Since(convStart).Microseconds()) / 1000
+	res.ConvergedRelays, res.ConvergedLeaves = count()
+
+	pst := pub.Stats()
+	res.RootQueriesServed = pst.QueriesServed
+	res.RootNACKs = pst.NACKsReceived
+	for _, r := range relays {
+		st := r.Stats()
+		res.Forwarded += st.Forwarded
+		res.Tombstoned += st.Tombstoned
+		res.RelayQueriesServed += st.QueriesServed
+		res.RelayNACKs += st.NACKsHeard
+	}
+	for l := 1; l <= o.depth; l++ {
+		hq := hopQuantiles{Level: l}
+		for _, sm := range regs[l].Snapshot() {
+			if sm.Name == "sstp_t_rec_seconds" {
+				hq.Count, hq.P50, hq.P95, hq.P99 = sm.Count, sm.P50, sm.P95, sm.P99
+			}
+		}
+		res.PerHop = append(res.PerHop, hq)
+	}
+
+	for _, l := range leaves {
+		l.Close()
+	}
+	for _, r := range relays {
+		r.Close()
+	}
+	pub.Close()
+
+	if o.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		must(enc.Encode(res))
+	} else {
+		fmt.Printf("ssload: relay tree depth %d fanout %d (%d relays, %d leaves), %d records @ %.0f bps, loss %.2f\n",
+			res.Depth, res.Fanout, res.Relays, res.Leaves, res.Records, res.RateBps, res.Loss)
+		fmt.Printf("  forwarded %d, tombstoned %d; converged %d/%d relays, %d/%d leaves in %.0f ms\n",
+			res.Forwarded, res.Tombstoned, res.ConvergedRelays, res.Relays,
+			res.ConvergedLeaves, res.Leaves, res.ConvergeMs)
+		fmt.Printf("  repair: root served %d queries / %d nacks, relays served %d / %d\n",
+			res.RootQueriesServed, res.RootNACKs, res.RelayQueriesServed, res.RelayNACKs)
+		for _, hq := range res.PerHop {
+			fmt.Printf("  hop %d t_rec p50=%.3fs p95=%.3fs p99=%.3fs (n=%d)\n",
+				hq.Level, hq.P50, hq.P95, hq.P99, hq.Count)
+		}
+	}
+	if o.quick && (res.ConvergedLeaves != res.Leaves || res.ConvergedRelays != res.Relays) {
+		fmt.Fprintf(os.Stderr, "ssload: relay quick smoke FAILED: %d/%d leaves converged\n",
+			res.ConvergedLeaves, res.Leaves)
+		os.Exit(1)
+	}
+}
+
+func intPow(b, e int) int {
+	n := 1
+	for i := 0; i < e; i++ {
+		n *= b
+	}
+	return n
+}

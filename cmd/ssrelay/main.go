@@ -1,0 +1,270 @@
+// Command ssrelay is an SSTP relay daemon: one interior node of an
+// application-level multicast tree. It joins an upstream session as a
+// receiver and re-publishes the replica as a full SSTP sender on each
+// downstream link, so repair traffic is always answered by the nearest
+// hop (see README "Relay overlay").
+//
+// Usage:
+//
+//	ssrelay -laddr 127.0.0.1:8702 -upstream 127.0.0.1:8701 \
+//	        -down 127.0.0.1:8710=239.0.0.2:8711,127.0.0.1:8720=239.0.0.3:8721
+//
+// Each -down element is LADDR=DEST: the local socket the downstream
+// sender binds and the address (usually a multicast group) its subtree
+// listens on. With -admin ADDR, an HTTP endpoint serves /metrics,
+// /stats.json, /trace, and /debug/pprof covering both the relay_* and
+// sstp_* series. -quick runs an in-process depth-2 smoke test over a
+// lossy memconn network and exits non-zero on failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"softstate/internal/obs"
+	"softstate/internal/relay"
+	"softstate/internal/sstp"
+	"softstate/internal/trace"
+)
+
+func main() {
+	laddr := flag.String("laddr", "127.0.0.1:8702", "local UDP address of the upstream receiver")
+	upstream := flag.String("upstream", "127.0.0.1:8701", "upstream feedback address (parent sender or its group)")
+	down := flag.String("down", "", "comma-separated downstream links, each LADDR=DEST")
+	session := flag.Uint64("session", 1, "session id")
+	relayID := flag.Uint64("relayid", uint64(os.Getpid()), "relay id (downstream senders use relayid+1+i)")
+	rate := flag.Float64("rate", 128_000, "per-downstream-link bandwidth in bits/s")
+	minRate := flag.Float64("minrate", 0, "AIMD floor in bits/s (0 disables AIMD)")
+	maxRate := flag.Float64("maxrate", 0, "AIMD ceiling in bits/s")
+	ttl := flag.Duration("ttl", 30*time.Second, "receiver-side TTL announced downstream")
+	summaryEvery := flag.Duration("summaryevery", time.Second, "digest summary interval on downstream links")
+	nackWindow := flag.Duration("nackwindow", 100*time.Millisecond, "upstream NACK slotting window")
+	scope := flag.Uint("scope", 0, "force the downstream hop budget (0 derives upstream scope minus one)")
+	admin := flag.String("admin", "", "serve /metrics, /stats.json, /trace, /debug/pprof on this address")
+	statsEvery := flag.Duration("statsevery", 0, "log a one-line stats summary at this interval")
+	traceCap := flag.Int("tracecap", 4096, "protocol event ring capacity (0 disables)")
+	seed := flag.Int64("seed", 1, "repair-timer seed")
+	quick := flag.Bool("quick", false, "run the in-process relay smoke test and exit")
+	flag.Parse()
+
+	if *quick {
+		if err := quickSmoke(); err != nil {
+			log.Fatalf("ssrelay -quick: %v", err)
+		}
+		fmt.Println("ssrelay -quick: ok")
+		return
+	}
+	if *scope > 255 {
+		log.Fatalf("-scope %d out of range [0,255]", *scope)
+	}
+
+	links := strings.Split(*down, ",")
+	if *down == "" {
+		log.Fatal("ssrelay: -down needs at least one LADDR=DEST link")
+	}
+	var downs []relay.Downstream
+	for _, l := range links {
+		la, dest, ok := strings.Cut(strings.TrimSpace(l), "=")
+		if !ok {
+			log.Fatalf("ssrelay: -down element %q is not LADDR=DEST", l)
+		}
+		conn, err := net.ListenPacket("udp", la)
+		if err != nil {
+			log.Fatalf("listen %s: %v", la, err)
+		}
+		destAddr, err := net.ResolveUDPAddr("udp", dest)
+		if err != nil {
+			log.Fatalf("resolve %s: %v", dest, err)
+		}
+		downs = append(downs, relay.Downstream{
+			Conn: conn, Dest: destAddr,
+			Rate: *rate, MinRate: *minRate, MaxRate: *maxRate,
+		})
+	}
+
+	upConn, err := net.ListenPacket("udp", *laddr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *laddr, err)
+	}
+	upAddr, err := net.ResolveUDPAddr("udp", *upstream)
+	if err != nil {
+		log.Fatalf("resolve upstream %s: %v", *upstream, err)
+	}
+
+	reg := obs.New("ssrelay")
+	var ring *trace.Ring
+	if *traceCap > 0 {
+		ring = trace.NewSafe(*traceCap)
+	}
+	r, err := relay.New(relay.Config{
+		Session:          *session,
+		RelayID:          *relayID,
+		UpstreamConn:     upConn,
+		UpstreamFeedback: upAddr,
+		Downstreams:      downs,
+		TTL:              *ttl,
+		SummaryInterval:  *summaryEvery,
+		NACKWindow:       *nackWindow,
+		Scope:            uint8(*scope),
+		Obs:              reg,
+		Trace:            ring,
+		Seed:             *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r.Start()
+	defer r.Close()
+	log.Printf("ssrelay: session %d upstream %s feedback %s, %d downstream link(s) at %.0f bps",
+		*session, *laddr, *upstream, len(downs), *rate)
+
+	if *admin != "" {
+		srv, addr, err := obs.ServeAdmin(*admin, reg, ring)
+		if err != nil {
+			log.Fatalf("admin: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("ssrelay: admin endpoint on http://%s/", addr)
+	}
+	if *statsEvery > 0 {
+		tick := time.NewTicker(*statsEvery)
+		defer tick.Stop()
+		go func() {
+			for range tick.C {
+				log.Println("ssrelay:", reg.OneLine(
+					"relay_records", "relay_forwarded_total",
+					"relay_tombstones_total", "relay_scope_drops_total",
+					"sstp_queries_served_total", "sstp_nacks_received_total"))
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+}
+
+// quickSmoke builds publisher → relay → 4 leaves over a 5%-lossy
+// in-process network and checks the two relay invariants: every leaf
+// digest converges to the publisher's, and the publisher's Goodbye
+// flushes the whole subtree. Loss is confined to the downstream hop,
+// so any leaf repair must be answered by the relay — a repair request
+// reaching the publisher fails the smoke.
+func quickSmoke() error {
+	const (
+		records = 25
+		fanout  = 4
+	)
+	nw := sstp.NewMemNetwork(42)
+	pc := nw.Endpoint("pub")
+	nw.Join("grp/root", "pub")
+	pub, err := sstp.NewSender(sstp.SenderConfig{
+		Session: 7, SenderID: 1, Conn: pc, Dest: sstp.MemAddr("grp/root"),
+		TotalRate: 1_000_000, SummaryInterval: 50 * time.Millisecond,
+		TTL: 60 * time.Second, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	defer pub.Close()
+
+	up := nw.Endpoint("relay/up")
+	nw.Join("grp/root", "relay/up")
+	dn := nw.Endpoint("relay/dn")
+	nw.Join("grp/sub", "relay/dn")
+	r, err := relay.New(relay.Config{
+		Session: 7, RelayID: 100,
+		UpstreamConn: up, UpstreamFeedback: sstp.MemAddr("grp/root"),
+		Downstreams: []relay.Downstream{{
+			Conn: dn, Dest: sstp.MemAddr("grp/sub"), Rate: 1_000_000,
+		}},
+		SummaryInterval: 50 * time.Millisecond,
+		NACKWindow:      30 * time.Millisecond,
+		Seed:            2,
+	})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	var leaves []*sstp.Receiver
+	for i := 0; i < fanout; i++ {
+		name := sstp.MemAddr(fmt.Sprintf("leaf/%d", i))
+		lc := nw.Endpoint(name)
+		nw.Join("grp/sub", name)
+		nw.SetLoss("relay/dn", name, 0.05)
+		leaf, err := sstp.NewReceiver(sstp.ReceiverConfig{
+			Session: 7, ReceiverID: uint64(1000 + i), Conn: lc,
+			FeedbackDest:   sstp.MemAddr("grp/sub"),
+			NACKWindow:     30 * time.Millisecond,
+			FlushOnGoodbye: true,
+			Seed:           int64(10 + i),
+		})
+		if err != nil {
+			return err
+		}
+		defer leaf.Close()
+		leaves = append(leaves, leaf)
+	}
+
+	pub.Start()
+	r.Start()
+	for _, l := range leaves {
+		l.Start()
+	}
+	for i := 0; i < records; i++ {
+		if err := pub.Publish(fmt.Sprintf("smoke/%d", i), []byte("v"), 0); err != nil {
+			return err
+		}
+	}
+
+	converged := func() bool {
+		want := pub.RootDigest()
+		if r.Len() != records || r.RootDigest() != want {
+			return false
+		}
+		for _, l := range leaves {
+			if l.Len() != records || l.RootDigest() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := waitFor(15*time.Second, "tree convergence", converged); err != nil {
+		return err
+	}
+	if st := pub.Stats(); st.QueriesServed != 0 || st.NACKsReceived != 0 {
+		return fmt.Errorf("repair leaked upstream: publisher served %d queries, heard %d NACKs",
+			st.QueriesServed, st.NACKsReceived)
+	}
+
+	pub.Close() // the final Goodbye must flush every hop
+	return waitFor(15*time.Second, "goodbye flush", func() bool {
+		if r.Len() != 0 {
+			return false
+		}
+		for _, l := range leaves {
+			if l.Len() != 0 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func waitFor(d time.Duration, what string, cond func() bool) error {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("timed out waiting for %s", what)
+}

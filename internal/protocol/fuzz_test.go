@@ -8,10 +8,16 @@ import (
 // fuzzSeeds is one datagram per message type (plus a tombstone), the
 // shared corpus for both fuzz targets.
 func fuzzSeeds() [][]byte {
-	hdr := Header{Session: 1, Sender: 2, Seq: 3}
+	hdr := Header{Session: 1, Sender: 2, Seq: 3, Scope: 4}
 	var out [][]byte
 	for _, m := range oneMessagePerType() {
 		out = append(out, Encode(hdr, m))
+	}
+	// Scope edge values: unscoped (0), last-hop (1), and saturated.
+	for _, scope := range []uint8{0, 1, 255} {
+		h := hdr
+		h.Scope = scope
+		out = append(out, Encode(h, &Data{Key: "s", Ver: 1, Value: []byte("v")}))
 	}
 	return append(out, Encode(hdr, &Data{Key: "k", Deleted: true}))
 }

@@ -32,6 +32,12 @@ const (
 	// DigestLen is the length of namespace digests on the wire
 	// (SHA-256 truncated to 16 bytes; see internal/namespace).
 	DigestLen = 16
+
+	// DefaultScope is the hop budget stamped on datagrams when the
+	// sender does not choose one. Each relay hop re-publishes with the
+	// budget decremented, so a forwarding loop dies out after at most
+	// DefaultScope hops instead of circulating forever.
+	DefaultScope = 32
 )
 
 // MsgType discriminates the message kinds.
@@ -99,9 +105,17 @@ type Header struct {
 	Session uint64 // session identifier
 	Sender  uint64 // sender identifier (SSRC-like)
 	Seq     uint32 // per-sender sequence number (gap detection)
+
+	// Scope is the remaining relay hop budget (an IP-TTL analogue for
+	// the application-level overlay): a relay only re-publishes what it
+	// hears when Scope > 1, stamping Scope-1 downstream. Receivers set
+	// Scope 1 on repair traffic (NACKs, queries, reports) so recovery
+	// never travels past the nearest replica. 0 means unscoped and is
+	// treated as DefaultScope by relays.
+	Scope uint8
 }
 
-const headerLen = 4 + 1 + 1 + 8 + 8 + 4 // magic, version, type, session, sender, seq
+const headerLen = 4 + 1 + 1 + 1 + 8 + 8 + 4 // magic, version, type, scope, session, sender, seq
 
 // Encode serializes hdr+msg into a fresh buffer.
 func Encode(hdr Header, msg Message) []byte {
@@ -114,7 +128,7 @@ func Encode(hdr Header, msg Message) []byte {
 // hot paths pass a reused buffer and allocate nothing.
 func AppendEncode(dst []byte, hdr Header, msg Message) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, Magic)
-	dst = append(dst, Version, byte(msg.Type()))
+	dst = append(dst, Version, byte(msg.Type()), hdr.Scope)
 	dst = binary.BigEndian.AppendUint64(dst, hdr.Session)
 	dst = binary.BigEndian.AppendUint64(dst, hdr.Sender)
 	dst = binary.BigEndian.AppendUint32(dst, hdr.Seq)
@@ -134,9 +148,10 @@ func Decode(b []byte) (Header, Message, error) {
 		return hdr, nil, ErrVersion
 	}
 	t := MsgType(b[5])
-	hdr.Session = binary.BigEndian.Uint64(b[6:])
-	hdr.Sender = binary.BigEndian.Uint64(b[14:])
-	hdr.Seq = binary.BigEndian.Uint32(b[22:])
+	hdr.Scope = b[6]
+	hdr.Session = binary.BigEndian.Uint64(b[7:])
+	hdr.Sender = binary.BigEndian.Uint64(b[15:])
+	hdr.Seq = binary.BigEndian.Uint32(b[23:])
 	body := b[headerLen:]
 	var msg Message
 	switch t {

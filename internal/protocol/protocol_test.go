@@ -24,7 +24,7 @@ func roundTrip(t *testing.T, hdr Header, msg Message) Message {
 	return gotMsg
 }
 
-var testHdr = Header{Session: 0xDEADBEEF, Sender: 42, Seq: 7}
+var testHdr = Header{Session: 0xDEADBEEF, Sender: 42, Seq: 7, Scope: 9}
 
 func TestDataRoundTrip(t *testing.T) {
 	in := &Data{Key: "sessions/audio/42", Ver: 9, TTLms: 30000, Value: []byte("payload")}
@@ -244,6 +244,21 @@ func TestPropertyDataRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestScopeRoundTrip pins the hop-budget byte: every value survives
+// encode/decode, and the zero value stays zero (unscoped).
+func TestScopeRoundTrip(t *testing.T) {
+	for _, scope := range []uint8{0, 1, 2, DefaultScope, 255} {
+		hdr := Header{Session: 5, Sender: 6, Seq: 7, Scope: scope}
+		got, _, err := Decode(Encode(hdr, &Query{Path: "a"}))
+		if err != nil {
+			t.Fatalf("scope %d: %v", scope, err)
+		}
+		if got.Scope != scope {
+			t.Errorf("scope %d decoded as %d", scope, got.Scope)
+		}
 	}
 }
 

@@ -1,0 +1,25 @@
+package relay
+
+import "softstate/internal/obs"
+
+// metrics are the relay_* series. Like the sstp_* catalog they are
+// nil-safe: an unconfigured registry costs a nil check per event.
+type metrics struct {
+	forwarded   *obs.Counter // relay_forwarded_total
+	tombstones  *obs.Counter // relay_tombstones_total
+	goodbyes    *obs.Counter // relay_goodbyes_total
+	scopeDrops  *obs.Counter // relay_scope_drops_total
+	records     *obs.Gauge   // relay_records
+	downstreams *obs.Gauge   // relay_downstreams
+}
+
+func newMetrics(reg *obs.Registry) metrics {
+	return metrics{
+		forwarded:   reg.Counter("relay_forwarded_total"),
+		tombstones:  reg.Counter("relay_tombstones_total"),
+		goodbyes:    reg.Counter("relay_goodbyes_total"),
+		scopeDrops:  reg.Counter("relay_scope_drops_total"),
+		records:     reg.Gauge("relay_records"),
+		downstreams: reg.Gauge("relay_downstreams"),
+	}
+}

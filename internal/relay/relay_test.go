@@ -1,0 +1,318 @@
+package relay
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"softstate/internal/sstp"
+)
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// testTree is a publisher feeding a complete fanout^depth overlay over
+// one MemNetwork: relays fill levels 1..depth-1 (breadth-first in
+// relays) and the leaves sit at level depth.
+type testTree struct {
+	pub    *sstp.Sender
+	relays []*Relay
+	leaves []*sstp.Receiver
+	// group[i] is the downstream group address of relay i; group of the
+	// publisher is "grp/root".
+}
+
+// buildTree wires the topology but does not start anything. Endpoint
+// names: the publisher sends from "pub" to group "grp/root"; relay k
+// listens upstream on "up/k" (joined to its parent's group) and
+// re-publishes from "dn/k" to group "grp/k"; leaf j listens on
+// "leaf/j". pubScope, if non-zero, bounds the tree's hop budget; rate
+// is every link's bandwidth (slow rates stretch the cold re-announce
+// cycle, forcing repair through the Query/NACK path).
+func buildTree(t *testing.T, nw *sstp.MemNetwork, depth, fanout int, pubScope uint8, rate float64, leafExpired *atomic.Int32) *testTree {
+	t.Helper()
+	tt := &testTree{}
+
+	pc := nw.Endpoint("pub")
+	nw.Join("grp/root", "pub")
+	pub, err := sstp.NewSender(sstp.SenderConfig{
+		Session: 9, SenderID: 1, Conn: pc, Dest: sstp.MemAddr("grp/root"),
+		TotalRate: rate, SummaryInterval: 50 * time.Millisecond,
+		TTL: 60 * time.Second, Scope: pubScope, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt.pub = pub
+
+	// parentGroup[l][j] is the group feeding node j of level l+1.
+	parentGroups := []string{"grp/root"}
+	k := 0
+	for level := 1; level < depth; level++ {
+		var next []string
+		for j := 0; j < pow(fanout, level); j++ {
+			parent := parentGroups[j/fanout]
+			upName := sstp.MemAddr(fmt.Sprintf("up/%d", k))
+			dnName := sstp.MemAddr(fmt.Sprintf("dn/%d", k))
+			group := fmt.Sprintf("grp/%d", k)
+			up := nw.Endpoint(upName)
+			nw.Join(sstp.MemAddr(parent), upName)
+			dn := nw.Endpoint(dnName)
+			nw.Join(sstp.MemAddr(group), dnName)
+			r, err := New(Config{
+				Session:          9,
+				RelayID:          uint64(100 * (k + 1)),
+				UpstreamConn:     up,
+				UpstreamFeedback: sstp.MemAddr(parent),
+				Downstreams: []Downstream{{
+					Conn: dn, Dest: sstp.MemAddr(group), Rate: rate,
+				}},
+				TTL:             60 * time.Second,
+				SummaryInterval: 50 * time.Millisecond,
+				NACKWindow:      30 * time.Millisecond,
+				Seed:            int64(1000 + k),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tt.relays = append(tt.relays, r)
+			next = append(next, group)
+			k++
+		}
+		parentGroups = next
+	}
+
+	for j := 0; j < pow(fanout, depth); j++ {
+		parent := parentGroups[j/fanout]
+		name := sstp.MemAddr(fmt.Sprintf("leaf/%d", j))
+		lc := nw.Endpoint(name)
+		nw.Join(sstp.MemAddr(parent), name)
+		cfg := sstp.ReceiverConfig{
+			Session: 9, ReceiverID: uint64(10_000 + j), Conn: lc,
+			FeedbackDest:   sstp.MemAddr(parent),
+			NACKWindow:     30 * time.Millisecond,
+			FlushOnGoodbye: true,
+			Seed:           int64(2000 + j),
+		}
+		if leafExpired != nil {
+			cfg.OnExpire = func(string) { leafExpired.Add(1) }
+		}
+		leaf, err := sstp.NewReceiver(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt.leaves = append(tt.leaves, leaf)
+	}
+	return tt
+}
+
+func pow(b, e int) int {
+	n := 1
+	for i := 0; i < e; i++ {
+		n *= b
+	}
+	return n
+}
+
+func (tt *testTree) start() {
+	tt.pub.Start()
+	for _, r := range tt.relays {
+		r.Start()
+	}
+	for _, l := range tt.leaves {
+		l.Start()
+	}
+}
+
+func (tt *testTree) stop() {
+	for _, l := range tt.leaves {
+		l.Close()
+	}
+	for _, r := range tt.relays {
+		r.Close()
+	}
+	tt.pub.Close()
+}
+
+func (tt *testTree) converged(n int) bool {
+	want := tt.pub.RootDigest()
+	for _, r := range tt.relays {
+		if r.Len() != n || r.RootDigest() != want {
+			return false
+		}
+	}
+	for _, l := range tt.leaves {
+		if l.Len() != n || l.RootDigest() != want {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRelayTreeConvergesUnderLoss is the acceptance topology: a
+// depth-2 fanout-4 tree (4 relays, 16 leaves) over a memconn network
+// dropping 5% of datagrams on every link. Every leaf's root digest
+// must reach the publisher's.
+func TestRelayTreeConvergesUnderLoss(t *testing.T) {
+	nw := sstp.NewMemNetwork(1009)
+	nw.SetDefaultLoss(0.05)
+	tt := buildTree(t, nw, 2, 4, 0, 1_000_000, nil)
+	defer tt.stop()
+	tt.start()
+
+	const n = 40
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("topic/%d/val", i)
+		if err := tt.pub.Publish(key, []byte(fmt.Sprintf("payload-%d", i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 30*time.Second, "all 20 replicas to match the publisher digest", func() bool {
+		return tt.converged(n)
+	})
+	st := tt.relays[0].Stats()
+	if st.Forwarded == 0 {
+		t.Error("relay 0 forwarded nothing despite converged leaves")
+	}
+}
+
+// TestRelayLocalRepair pins scoped recovery: with loss confined to one
+// leaf's last-hop link, that leaf's Query/NACK repair is answered
+// entirely by its parent relay — the publisher sees zero repair
+// traffic on the upstream link.
+func TestRelayLocalRepair(t *testing.T) {
+	nw := sstp.NewMemNetwork(1013)
+	// 128 kbit/s stretches one cold re-announce cycle of 40 records to
+	// ~0.25 s, so the lossy leaf detects digest mismatches (summaries
+	// every 50 ms) and repairs through Query/NACK well before the next
+	// blind retransmission — the repair path is what's under test.
+	tt := buildTree(t, nw, 2, 4, 0, 128_000, nil)
+	defer tt.stop()
+
+	// Relay 0's downstream endpoint is "dn/0" and its first child leaf
+	// is "leaf/0": drop half the datagrams on that last hop only. The
+	// reverse (feedback) direction stays clean so repair requests
+	// always reach the relay.
+	nw.SetLoss("dn/0", "leaf/0", 0.50)
+	tt.start()
+
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := tt.pub.Publish(fmt.Sprintf("topic/%d/val", i), []byte("x"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 30*time.Second, "lossy leaf to converge", func() bool {
+		return tt.converged(n)
+	})
+
+	if st := tt.pub.Stats(); st.QueriesServed != 0 || st.NACKsReceived != 0 {
+		t.Errorf("repair traffic leaked upstream: publisher served %d queries, heard %d NACKs",
+			st.QueriesServed, st.NACKsReceived)
+	}
+	repaired := 0
+	for _, r := range tt.relays {
+		st := r.Stats()
+		repaired += st.QueriesServed + st.NACKsHeard
+	}
+	if repaired == 0 {
+		t.Error("no relay answered any repair request despite a 50% lossy leaf link")
+	}
+}
+
+// TestRelayGoodbyeFlushChain pins teardown through a 2-level relay
+// chain: publisher → relay → relay → leaf. The publisher's Goodbye
+// must flush the replica at every hop, each hop re-announcing the
+// departure downstream.
+func TestRelayGoodbyeFlushChain(t *testing.T) {
+	nw := sstp.NewMemNetwork(1019)
+	var leafExpired atomic.Int32
+	tt := buildTree(t, nw, 3, 1, 0, 1_000_000, &leafExpired)
+	tt.start()
+	closed := false
+	defer func() {
+		if !closed {
+			tt.stop()
+		}
+	}()
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := tt.pub.Publish(fmt.Sprintf("cfg/%d", i), []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 15*time.Second, "chain to converge", func() bool {
+		return tt.converged(n)
+	})
+
+	tt.pub.Close() // final Goodbye starts the cascade
+	waitFor(t, 15*time.Second, "every hop to flush", func() bool {
+		for _, r := range tt.relays {
+			if r.Len() != 0 {
+				return false
+			}
+		}
+		return tt.leaves[0].Len() == 0
+	})
+	waitFor(t, 5*time.Second, "leaf expiry callbacks", func() bool {
+		return leafExpired.Load() == n
+	})
+	for i, r := range tt.relays {
+		if st := r.Stats(); st.Goodbyes != 1 {
+			t.Errorf("relay %d propagated %d goodbyes, want 1", i, st.Goodbyes)
+		}
+	}
+	if st := tt.leaves[0].Stats(); st.GoodbyesHeard != 1 {
+		t.Errorf("leaf heard %d goodbyes, want 1", st.GoodbyesHeard)
+	}
+	for _, l := range tt.leaves {
+		l.Close()
+	}
+	for _, r := range tt.relays {
+		r.Close()
+	}
+	closed = true
+}
+
+// TestRelayScopeExhaustion pins the hop budget: a publisher stamping
+// Scope 2 reaches one relay level (which forwards at scope 1), but the
+// second-level relay must refuse to forward, so the leaf never learns
+// anything and the drop is counted.
+func TestRelayScopeExhaustion(t *testing.T) {
+	nw := sstp.NewMemNetwork(1021)
+	tt := buildTree(t, nw, 3, 1, 2, 1_000_000, nil)
+	defer tt.stop()
+	tt.start()
+
+	if err := tt.pub.Publish("deep/key", []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Level-1 relay forwards (scope 2 → 1); level-2 relay's replica
+	// converges but its hop budget is spent.
+	waitFor(t, 15*time.Second, "second relay to receive the record", func() bool {
+		return tt.relays[1].Len() == 1
+	})
+	waitFor(t, 5*time.Second, "scope drop to be counted", func() bool {
+		return tt.relays[1].Stats().ScopeDrops > 0
+	})
+	// Give the exhausted hop ample time to (wrongly) forward, then pin
+	// that the leaf never heard of the record.
+	time.Sleep(500 * time.Millisecond)
+	if n := tt.leaves[0].Len(); n != 0 {
+		t.Errorf("leaf beyond the hop budget holds %d records, want 0", n)
+	}
+	if st := tt.relays[0].Stats(); st.ScopeDrops != 0 {
+		t.Errorf("first relay dropped %d updates despite scope 2, want 0", st.ScopeDrops)
+	}
+}

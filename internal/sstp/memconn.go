@@ -28,11 +28,14 @@ func (a MemAddr) Network() string { return "mem" }
 func (a MemAddr) String() string { return string(a) }
 
 // MemNetwork is an in-process datagram network with per-path Bernoulli
-// loss and delay — the loss-prone channel of the model, usable
-// wherever a net.PacketConn is expected. It supports multicast-style
-// groups: writing to a group address fans the datagram out to every
-// member except the writer (receivers therefore hear each other's
-// NACKs, which exercises slotting-and-damping suppression).
+// loss, propagation delay, and uniform delay jitter — the loss-prone
+// channel of the model, usable wherever a net.PacketConn is expected.
+// It supports multicast-style groups: writing to a group address fans
+// the datagram out to every member except the writer (receivers
+// therefore hear each other's NACKs, which exercises
+// slotting-and-damping suppression). Loss draws and jitter draws both
+// come from the single seeded RNG, so a topology replayed with the
+// same seed sees the same drop/delay sequence.
 type MemNetwork struct {
 	mu        sync.Mutex
 	rnd       *xrand.Rand
@@ -40,7 +43,10 @@ type MemNetwork struct {
 	groups    map[MemAddr]map[MemAddr]bool
 	loss      map[[2]MemAddr]float64
 	delay     map[[2]MemAddr]time.Duration
+	jitter    map[[2]MemAddr]time.Duration
 	defLoss   float64
+	defDelay  time.Duration
+	defJitter time.Duration
 }
 
 // NewMemNetwork returns an empty network with the given RNG seed.
@@ -51,6 +57,7 @@ func NewMemNetwork(seed int64) *MemNetwork {
 		groups:    make(map[MemAddr]map[MemAddr]bool),
 		loss:      make(map[[2]MemAddr]float64),
 		delay:     make(map[[2]MemAddr]time.Duration),
+		jitter:    make(map[[2]MemAddr]time.Duration),
 	}
 }
 
@@ -77,6 +84,31 @@ func (n *MemNetwork) SetDelay(from, to MemAddr, d time.Duration) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.delay[[2]MemAddr{from, to}] = d
+}
+
+// SetDefaultDelay sets the propagation delay for paths without a
+// specific override.
+func (n *MemNetwork) SetDefaultDelay(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.defDelay = d
+}
+
+// SetJitter sets the maximum extra delay on the directed path from →
+// to: each datagram is delayed by its path delay plus a uniform draw
+// in [0, j) from the network's seeded RNG.
+func (n *MemNetwork) SetJitter(from, to MemAddr, j time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.jitter[[2]MemAddr{from, to}] = j
+}
+
+// SetDefaultJitter sets the jitter bound for paths without a specific
+// override.
+func (n *MemNetwork) SetDefaultJitter(j time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.defJitter = j
 }
 
 // Endpoint creates (or returns) the endpoint with the given address.
@@ -145,7 +177,18 @@ func (n *MemNetwork) route(from MemAddr, to MemAddr, b []byte) {
 		if n.rnd.Bernoulli(p) {
 			continue
 		}
-		hops = append(hops, hop{c, n.delay[[2]MemAddr{from, tgt}]})
+		d, ok := n.delay[[2]MemAddr{from, tgt}]
+		if !ok {
+			d = n.defDelay
+		}
+		j, ok := n.jitter[[2]MemAddr{from, tgt}]
+		if !ok {
+			j = n.defJitter
+		}
+		if j > 0 {
+			d += time.Duration(n.rnd.Float64() * float64(j))
+		}
+		hops = append(hops, hop{c, d})
 	}
 	n.mu.Unlock()
 	for _, h := range hops {

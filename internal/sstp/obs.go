@@ -84,6 +84,7 @@ type receiverMetrics struct {
 	peerData    *obs.Counter // sstp_repairs_total
 	peerDigests *obs.Counter // sstp_peer_digests_total
 	mismatches  *obs.Counter // sstp_summary_mismatches_total
+	goodbyes    *obs.Counter // sstp_goodbyes_total
 
 	replica *obs.Gauge // sstp_replica_records
 	loss    *obs.Gauge // sstp_loss_estimate
@@ -104,6 +105,7 @@ func newReceiverMetrics(reg *obs.Registry) receiverMetrics {
 		peerData:    reg.Counter("sstp_repairs_total"),
 		peerDigests: reg.Counter("sstp_peer_digests_total"),
 		mismatches:  reg.Counter("sstp_summary_mismatches_total"),
+		goodbyes:    reg.Counter("sstp_goodbyes_total"),
 		replica:     reg.Gauge("sstp_replica_records"),
 		loss:        reg.Gauge("sstp_loss_estimate"),
 		tRec:        reg.Histogram("sstp_t_rec_seconds"),

@@ -67,6 +67,20 @@ type ReceiverConfig struct {
 	OnUpdate func(key string, value []byte, version uint64)
 	OnExpire func(key string)
 
+	// FlushOnGoodbye makes a publisher Goodbye drop the whole replica
+	// immediately (firing OnExpire per key) instead of letting records
+	// age out by TTL. Relays enable it on their upstream link so a root
+	// Goodbye tears the tree down hop by hop; plain receivers keep the
+	// paper's soft-state default — state persists and expires on its
+	// own, which also lets peers catch up from each other after the
+	// publisher dies.
+	FlushOnGoodbye bool
+
+	// OnGoodbye fires on the dispatcher goroutine (after the flush
+	// expirations when FlushOnGoodbye is set) when the learned
+	// publisher announces departure.
+	OnGoodbye func()
+
 	// Obs, if non-nil, publishes receiver metrics (deliveries, losses,
 	// NACKs, repairs, the T_rec repair-latency histogram, ...) to the
 	// registry. Trace, if non-nil, records per-record lifecycle events;
@@ -106,6 +120,7 @@ type ReceiverStats struct {
 	Expired         int
 	PeerDataSent    int // repairs answered from this replica
 	PeerDigestsSent int // digest responses answered from this replica
+	GoodbyesHeard   int // publisher departures observed
 	LossEstimate    float64
 }
 
@@ -113,17 +128,18 @@ type ReceiverStats struct {
 type Receiver struct {
 	cfg ReceiverConfig
 
-	mu      sync.Mutex
-	sub     *table.Subscriber
-	ns      *namespace.Tree
-	est     *feedback.LossEstimator
-	sup     *feedback.Suppressor
-	pubID   uint64 // learned publisher sender-id
-	pubSeen bool
-	lastSeq uint32
-	stats   ReceiverStats
-	m       receiverMetrics
-	repairT map[string]float64 // key -> when its first NACK was scheduled
+	mu       sync.Mutex
+	sub      *table.Subscriber
+	ns       *namespace.Tree
+	est      *feedback.LossEstimator
+	sup      *feedback.Suppressor
+	pubID    uint64 // learned publisher sender-id
+	pubSeen  bool
+	pubScope uint8 // hop budget on the latest publisher datagram
+	lastSeq  uint32
+	stats    ReceiverStats
+	m        receiverMetrics
+	repairT  map[string]float64 // key -> when its first NACK was scheduled
 
 	// Pending repair timers: one heap + one goroutine (timerLoop)
 	// instead of a runtime timer per slot. timerKick wakes the loop
@@ -144,9 +160,10 @@ type Receiver struct {
 	once sync.Once
 }
 
-// appCallback is one queued OnUpdate/OnExpire delivery.
+// appCallback is one queued OnUpdate/OnExpire/OnGoodbye delivery.
 type appCallback struct {
 	expire  bool
+	goodbye bool
 	key     string
 	value   []byte
 	version uint64
@@ -285,6 +302,16 @@ func (r *Receiver) Len() int {
 	return r.sub.Len()
 }
 
+// PublisherScope returns the hop budget stamped on the most recent
+// datagram heard from the learned publisher; ok is false until a
+// publisher has been learned. Relays use it to derive the scope of
+// their downstream links.
+func (r *Receiver) PublisherScope() (scope uint8, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pubScope, r.pubSeen
+}
+
 func (r *Receiver) interested(path string) bool {
 	return r.cfg.Interest == nil || r.cfg.Interest(path)
 }
@@ -330,6 +357,7 @@ func (r *Receiver) dispatch(hdr protocol.Header, msg protocol.Message) {
 			r.lastSeq = hdr.Seq
 		}
 		if hdr.Sender == r.pubID {
+			r.pubScope = hdr.Scope
 			r.est.Observe(hdr.Seq)
 			// Gap-triggered repair: a hole in the sequence space means
 			// something was just lost; start the namespace descent now
@@ -352,6 +380,18 @@ func (r *Receiver) dispatch(hdr protocol.Header, msg protocol.Message) {
 		r.onSummary(m)
 	case *protocol.Digests:
 		r.onDigests(m)
+	case *protocol.Goodbye:
+		if r.pubSeen && hdr.Sender == r.pubID {
+			r.onGoodbye()
+		}
+	case *protocol.Heartbeat:
+		// A heartbeat means the publisher's table is empty. A tracking
+		// receiver holding state is therefore stale and flushes it —
+		// this also covers a lost Goodbye datagram, and an announcement
+		// that raced past one in flight.
+		if r.cfg.FlushOnGoodbye && r.pubSeen && hdr.Sender == r.pubID && r.sub.Len() > 0 {
+			r.flushReplicaLocked()
+		}
 	case *protocol.NACK:
 		// Another receiver's NACK: damp ours, and — with peer repair
 		// on — offer to answer it from our replica.
@@ -506,6 +546,42 @@ func (r *Receiver) onData(m *protocol.Data) {
 	r.sup.Repaired(m.Key)
 	// A repair answered by anyone damps our pending peer response.
 	r.sup.Heard("!d:" + m.Key)
+}
+
+// onGoodbye handles a publisher departure: count it, forget the
+// learned publisher (a successor may take over the session), and —
+// with FlushOnGoodbye — drop the whole replica at once, firing the
+// usual expiry callbacks. Caller holds r.mu.
+func (r *Receiver) onGoodbye() {
+	r.stats.GoodbyesHeard++
+	r.m.goodbyes.Inc()
+	r.pubSeen = false
+	r.lastSeq = 0
+	if r.cfg.FlushOnGoodbye {
+		r.flushReplicaLocked()
+	}
+	if r.cfg.OnGoodbye != nil {
+		r.enqueueCallback(appCallback{goodbye: true})
+	}
+}
+
+// flushReplicaLocked drops every replica entry through the normal
+// expiry path. Caller holds r.mu.
+func (r *Receiver) flushReplicaLocked() {
+	now := nowSeconds()
+	r.sub.Sweep(now) // fire regular expiry for already-lapsed keys
+	for _, k := range r.sub.Keys(now) {
+		key := string(k)
+		r.sub.Drop(k)
+		r.ns.Delete(key)
+		r.stats.Expired++
+		r.m.expired.Inc()
+		traceRecord(r.cfg.Trace, trace.Expire, key)
+		if r.cfg.OnExpire != nil {
+			r.enqueueCallback(appCallback{expire: true, key: key})
+		}
+	}
+	r.m.replica.Set(float64(r.sub.Len()))
 }
 
 // onSummary compares the announced root digest against the replica's
@@ -747,7 +823,11 @@ func (r *Receiver) callbackLoop() {
 				default:
 				}
 				cb := &batch[i]
-				if cb.expire {
+				if cb.goodbye {
+					if r.cfg.OnGoodbye != nil {
+						r.cfg.OnGoodbye()
+					}
+				} else if cb.expire {
 					if r.cfg.OnExpire != nil {
 						r.cfg.OnExpire(cb.key)
 					}
@@ -764,7 +844,9 @@ func (r *Receiver) sendControl(msg protocol.Message) {
 	if r.cfg.DisableFeedback {
 		return
 	}
-	hdr := protocol.Header{Session: r.cfg.Session, Sender: r.cfg.ReceiverID}
+	// Scope 1: repair and report traffic is for the nearest replica
+	// only and must never be forwarded past it.
+	hdr := protocol.Header{Session: r.cfg.Session, Sender: r.cfg.ReceiverID, Scope: 1}
 	bp := pktPool.Get().(*[]byte)
 	*bp = protocol.AppendEncode((*bp)[:0], hdr, msg)
 	// Both MemConn and UDP copy the datagram before WriteTo returns,

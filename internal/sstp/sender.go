@@ -74,6 +74,12 @@ type SenderConfig struct {
 	// (default 3).
 	TombstoneRepeats int
 
+	// Scope is the relay hop budget stamped on every datagram (default
+	// protocol.DefaultScope). A relay tree sets it to its upstream
+	// scope minus one at each level, bounding forwarding loops and the
+	// reach of repair traffic.
+	Scope uint8
+
 	// OnRateLimit, if non-nil, is invoked when the allocator detects
 	// the application's publish rate exceeds μ_hot — the paper's
 	// notification "to refrain from injecting new records".
@@ -118,6 +124,9 @@ func (c SenderConfig) withDefaults() (SenderConfig, error) {
 	}
 	if c.TombstoneRepeats <= 0 {
 		c.TombstoneRepeats = 3
+	}
+	if c.Scope == 0 {
+		c.Scope = protocol.DefaultScope
 	}
 	if len(c.Classes) == 0 {
 		c.Classes = []Class{{Name: "data", Weight: 1}}
@@ -228,6 +237,8 @@ type Sender struct {
 	mu          sync.Mutex
 	pub         *table.Publisher
 	ns          *namespace.Tree
+	onPubExpire func(r *table.Record)
+	scope       uint8
 	share       *sched.Hierarchy
 	classes     []*senderClass
 	classByName map[string]int
@@ -249,6 +260,11 @@ type Sender struct {
 	dataMsg   protocol.Data
 	waitTimer *time.Timer
 	readyFn   func(id int) bool // persistent scheduler-ready predicate
+
+	// goodbyePending asks the send loop to emit a Goodbye datagram;
+	// deferring it keeps the Goodbye strictly after any announcement
+	// the loop has already picked. Guarded by mu.
+	goodbyePending bool
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -272,9 +288,11 @@ func NewSender(cfg SenderConfig) (*Sender, error) {
 		started:     nowSeconds(),
 		m:           newSenderMetrics(cfg.Obs, cfg.Classes),
 	}
+	s.scope = cfg.Scope
 	// Lifetime expiry removes records from the namespace and the
-	// transmission queues (called under s.mu via Sweep).
-	s.pub.OnExpire = func(r *table.Record) {
+	// transmission queues (called under s.mu via Sweep). The closure is
+	// kept on the Sender so Goodbye can re-wire it onto a fresh table.
+	s.onPubExpire = func(r *table.Record) {
 		key := string(r.Key)
 		s.ns.Delete(key)
 		if e := s.entries[key]; e != nil && e.tombstone == 0 {
@@ -283,6 +301,7 @@ func NewSender(cfg SenderConfig) (*Sender, error) {
 		s.m.deletes.Inc()
 		traceRecord(cfg.Trace, trace.Die, key)
 	}
+	s.pub.OnExpire = s.onPubExpire
 	// Build the Figure-12 sharing tree: root -> class -> {hot, cold}.
 	s.share = sched.NewHierarchy(func() sched.Scheduler { return sched.NewStride() })
 	for i, cl := range cfg.Classes {
@@ -321,21 +340,70 @@ func (s *Sender) Start() {
 	go s.recvLoop()
 }
 
-// Close sends a Goodbye and stops the sender. Safe to call twice.
+// Close stops the sender and sends a final Goodbye. The Goodbye goes
+// out only after the send loop has exited, so it is guaranteed to be
+// the last datagram on the session — a Data announcement arriving
+// after it would silently repopulate receivers that flushed on it.
+// Safe to call twice.
 func (s *Sender) Close() error {
 	s.once.Do(func() {
-		s.send(&protocol.Goodbye{})
 		close(s.done)
 		// Unblock the reader.
 		_ = s.cfg.Conn.SetReadDeadline(time.Now())
+		s.wg.Wait()
+		s.send(&protocol.Goodbye{})
 	})
 	s.wg.Wait()
 	return nil
 }
 
+// SetScope changes the hop budget stamped on subsequent datagrams. A
+// relay calls it once it learns its upstream scope.
+func (s *Sender) SetScope(scope uint8) {
+	s.mu.Lock()
+	s.scope = scope
+	s.mu.Unlock()
+}
+
+// Goodbye flushes every record and announces the departure without
+// stopping the sender: relays use it to propagate an upstream Goodbye
+// downstream while staying alive for a future publisher. The Goodbye
+// datagram itself is emitted by the send loop, after any announcement
+// it had already picked — a Data datagram arriving after the Goodbye
+// would silently repopulate receivers that flushed on it. Close still
+// sends a final Goodbye of its own.
+func (s *Sender) Goodbye() {
+	s.mu.Lock()
+	for _, e := range s.entries {
+		if e.queue >= 0 {
+			s.classes[e.class].queues[e.queue].remove(e)
+			e.queue = -1
+		}
+	}
+	s.entries = make(map[string]*sendEntry)
+	s.pub = table.NewPublisher()
+	s.pub.OnExpire = s.onPubExpire
+	s.ns = namespace.New(namespace.HashSHA256)
+	s.m.live.Set(0)
+	s.goodbyePending = true
+	s.mu.Unlock()
+}
+
 // Publish inserts or updates a record. Lifetime 0 means the record
 // lives until Delete.
 func (s *Sender) Publish(key string, value []byte, lifetime time.Duration) error {
+	return s.publish(key, value, 0, false, lifetime)
+}
+
+// Republish is Publish with a caller-supplied record version. Relays
+// use it to forward upstream records verbatim: the namespace digest
+// covers versions, so only version-preserving forwarding lets every
+// replica in an overlay tree hash to the origin publisher's digest.
+func (s *Sender) Republish(key string, value []byte, version uint64, lifetime time.Duration) error {
+	return s.publish(key, value, version, true, lifetime)
+}
+
+func (s *Sender) publish(key string, value []byte, version uint64, haveVersion bool, lifetime time.Duration) error {
 	if _, err := namespace.SplitPath(key); err != nil {
 		return err
 	}
@@ -351,7 +419,12 @@ func (s *Sender) Publish(key string, value []byte, lifetime time.Duration) error
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	now := nowSeconds()
-	rec := s.pub.Put(table.Key(key), value, now, lifetime.Seconds())
+	var rec *table.Record
+	if haveVersion {
+		rec = s.pub.PutVersion(table.Key(key), value, version, now, lifetime.Seconds())
+	} else {
+		rec = s.pub.Put(table.Key(key), value, now, lifetime.Seconds())
+	}
 	if err := s.ns.Put(key, value, rec.Version); err != nil {
 		s.pub.Delete(table.Key(key))
 		return err
@@ -486,7 +559,7 @@ func (s *Sender) send(msg protocol.Message) {
 	bp := pktPool.Get().(*[]byte)
 	s.mu.Lock()
 	s.seq++
-	hdr := protocol.Header{Session: s.cfg.Session, Sender: s.cfg.SenderID, Seq: s.seq}
+	hdr := protocol.Header{Session: s.cfg.Session, Sender: s.cfg.SenderID, Seq: s.seq, Scope: s.scope}
 	*bp = protocol.AppendEncode((*bp)[:0], hdr, msg)
 	s.stats.BytesSent += len(*bp)
 	s.m.txBits.Add(uint64(8 * len(*bp)))
@@ -505,6 +578,13 @@ func (s *Sender) sendLoop() {
 		case <-s.done:
 			return
 		default:
+		}
+		s.mu.Lock()
+		goodbye := s.goodbyePending
+		s.goodbyePending = false
+		s.mu.Unlock()
+		if goodbye {
+			s.send(&protocol.Goodbye{})
 		}
 		if time.Now().After(nextSummary) {
 			s.sendSummary()
@@ -636,7 +716,7 @@ func (s *Sender) nextAnnouncement() ([]byte, bool) {
 		}
 	}
 	s.seq++
-	hdr := protocol.Header{Session: s.cfg.Session, Sender: s.cfg.SenderID, Seq: s.seq}
+	hdr := protocol.Header{Session: s.cfg.Session, Sender: s.cfg.SenderID, Seq: s.seq, Scope: s.scope}
 	s.encBuf = protocol.AppendEncode(s.encBuf[:0], hdr, &s.dataMsg)
 	buf := s.encBuf
 	s.dataMsg.Value = nil // do not pin the record's value buffer

@@ -71,10 +71,26 @@ func NewPublisher() *Publisher {
 // lifetime <= 0 means the record never expires on its own. Put returns
 // the stored record.
 func (p *Publisher) Put(key Key, value []byte, now, lifetime float64) *Record {
+	p.version++
+	return p.putAt(key, value, p.version, now, lifetime)
+}
+
+// PutVersion is Put with a caller-supplied version: a relay
+// republishing upstream records verbatim needs downstream replicas to
+// hash to the origin publisher's digest, which covers versions. The
+// local counter advances past the supplied version so interleaved Put
+// calls stay monotone.
+func (p *Publisher) PutVersion(key Key, value []byte, version uint64, now, lifetime float64) *Record {
+	if version > p.version {
+		p.version = version
+	}
+	return p.putAt(key, value, version, now, lifetime)
+}
+
+func (p *Publisher) putAt(key Key, value []byte, version uint64, now, lifetime float64) *Record {
 	if key == "" {
 		panic("table: empty key")
 	}
-	p.version++
 	expires := inf
 	if lifetime > 0 {
 		expires = now + lifetime
@@ -85,7 +101,7 @@ func (p *Publisher) Put(key Key, value []byte, now, lifetime float64) *Record {
 		p.records[key] = rec
 	}
 	rec.Value = append(rec.Value[:0], value...)
-	rec.Version = p.version
+	rec.Version = version
 	rec.Born = now
 	rec.Expires = expires
 	switch {

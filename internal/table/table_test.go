@@ -39,6 +39,27 @@ func TestPublisherVersionsMonotonic(t *testing.T) {
 	}
 }
 
+func TestPublisherPutVersion(t *testing.T) {
+	p := NewPublisher()
+	r := p.PutVersion(Key("a"), []byte("v"), 42, 0, 0)
+	if r.Version != 42 {
+		t.Fatalf("PutVersion stored version %d, want 42", r.Version)
+	}
+	// The local counter advances past the supplied version, so an
+	// interleaved Put stays monotone.
+	if r := p.Put(Key("b"), nil, 0, 0); r.Version <= 42 {
+		t.Fatalf("Put after PutVersion(42) assigned %d, want > 42", r.Version)
+	}
+	// A lower supplied version is stored as-is (the relay trusts its
+	// upstream) without rewinding the counter.
+	if r := p.PutVersion(Key("c"), nil, 7, 0, 0); r.Version != 7 {
+		t.Fatalf("PutVersion stored %d, want 7", r.Version)
+	}
+	if r := p.Put(Key("d"), nil, 0, 0); r.Version <= 43 {
+		t.Fatalf("counter rewound: Put assigned %d", r.Version)
+	}
+}
+
 func TestPublisherLifetime(t *testing.T) {
 	p := NewPublisher()
 	p.Put("a", nil, 0, 5)
