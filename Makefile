@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench benchfast benchjson loadsmoke relaysmoke fuzzsmoke
+.PHONY: check build vet fmt test race bench benchfast benchjson loadsmoke relaysmoke fuzzsmoke obssmoke staticcheck
 
 ## check: the extended tier-1 gate — everything a PR must keep green.
-check: fmt vet build race bench loadsmoke relaysmoke fuzzsmoke
+check: fmt vet build race bench loadsmoke relaysmoke fuzzsmoke obssmoke
 
 ## loadsmoke: drive the live stack end-to-end under ssload's quick
 ## profile; fails unless every receiver's replica converges.
@@ -15,6 +15,23 @@ loadsmoke:
 ## the publisher's Goodbye flushes every hop.
 relaysmoke:
 	$(GO) run ./cmd/ssrelay -quick
+
+## obssmoke: start an in-process sender + receiver with the admin
+## endpoint, scrape /metrics and /stats.json over HTTP, and fail
+## unless the consistency section (staleness, t-visibility, E[c(t)])
+## is present and non-empty and /trace shows node-stamped lifecycle
+## events.
+obssmoke:
+	$(GO) run ./cmd/sstpd -obssmoke
+
+## staticcheck: run honnef.co/go/tools if the binary is on PATH
+## (CI installs it; locally this is a no-op with a hint).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 ## fuzzsmoke: a short coverage-guided run of the wire-codec fuzz
 ## target pinning AppendEncode byte-identical to Encode across the
@@ -59,10 +76,13 @@ benchfast:
 
 ## benchjson: regenerate BENCH_ssbench.json (per-experiment wall-time
 ## + headline-metric trajectory), BENCH_ssload.json (live-stack
-## load/allocation record), and BENCH_ssrelay.json (relay overlay
-## tree convergence + per-hop repair latency); formats documented in
+## load/allocation record), BENCH_ssrelay.json (relay overlay tree
+## convergence + per-hop repair latency), and BENCH_ssvis.json (a
+## visibility-focused tree run: per-hop t-visibility quantiles plus
+## the leaves' online consistency snapshot); formats documented in
 ## EXPERIMENTS.md.
 benchjson:
 	$(GO) run ./cmd/ssbench -quick -all -json > BENCH_ssbench.json
 	$(GO) run ./cmd/ssload -records 512 -receivers 4 -duration 5s -loss 0.02 -json > BENCH_ssload.json
 	$(GO) run ./cmd/ssload -relay-depth 2 -relay-fanout 4 -loss 0.05 -json > BENCH_ssrelay.json
+	$(GO) run ./cmd/ssload -relay-depth 2 -relay-fanout 2 -records 256 -duration 8s -loss 0.05 -jitter 5ms -json > BENCH_ssvis.json

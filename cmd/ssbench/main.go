@@ -32,16 +32,20 @@ import (
 	"time"
 
 	"softstate/internal/experiments"
+	"softstate/internal/runmeta"
 )
 
-// record is the -json output: one benchmark trajectory point.
+// record is the -json output: one benchmark trajectory point. Meta
+// pins the environment (toolchain, host shape, VCS revision) so
+// records are comparable across machines and commits.
 type record struct {
-	Seed        int64       `json:"seed"`
-	Quick       bool        `json:"quick"`
-	Procs       int         `json:"procs"`
-	GOMAXPROCS  int         `json:"gomaxprocs"`
-	TotalMillis float64     `json:"total_ms"`
-	Experiments []expRecord `json:"experiments"`
+	Seed        int64        `json:"seed"`
+	Quick       bool         `json:"quick"`
+	Procs       int          `json:"procs"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Meta        runmeta.Meta `json:"meta"`
+	TotalMillis float64      `json:"total_ms"`
+	Experiments []expRecord  `json:"experiments"`
 }
 
 type expRecord struct {
@@ -79,7 +83,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	rec := record{Seed: *seed, Quick: *quick, Procs: *procs, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	rec := record{Seed: *seed, Quick: *quick, Procs: *procs, GOMAXPROCS: runtime.GOMAXPROCS(0), Meta: runmeta.Collect()}
 	tsvOut := io.Writer(os.Stdout)
 	if *jsonOut {
 		tsvOut = io.Discard

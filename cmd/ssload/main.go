@@ -39,7 +39,9 @@ import (
 
 	"softstate/internal/obs"
 	"softstate/internal/protocol"
+	"softstate/internal/runmeta"
 	"softstate/internal/sstp"
+	"softstate/internal/staleness"
 	"softstate/internal/table"
 )
 
@@ -53,7 +55,13 @@ type result struct {
 	RateBps    float64 `json:"rate_bps"`
 	ValueBytes int     `json:"value_bytes"`
 	Loss       float64 `json:"loss"`
+	JitterMs   float64 `json:"jitter_ms"`
 	DurationMs float64 `json:"duration_ms"`
+
+	// Meta records the environment the run was produced in (toolchain,
+	// host shape, VCS revision) so records are comparable across
+	// machines and commits.
+	Meta runmeta.Meta `json:"meta"`
 
 	DataSent          int     `json:"data_sent"`
 	SummariesSent     int     `json:"summaries_sent"`
@@ -67,6 +75,13 @@ type result struct {
 	ConvergeMs        float64 `json:"converge_ms"`
 
 	TRec quantiles `json:"t_rec_seconds"`
+
+	// TVis is origin-publish → receiver-delivery lag (t-visibility)
+	// aggregated over every receiver; Consistency is the shared online
+	// estimator's end-of-run snapshot (windowed quantiles, per-key
+	// staleness age, and the digest-agreement E[c(t)]).
+	TVis        quantiles          `json:"t_vis_seconds"`
+	Consistency staleness.Snapshot `json:"consistency"`
 
 	Micro micro `json:"micro"`
 
@@ -122,6 +137,7 @@ func main() {
 	valueLen := flag.Int("value", 64, "value size in bytes")
 	duration := flag.Duration("duration", 5*time.Second, "load phase length")
 	loss := flag.Float64("loss", 0, "per-link loss probability (memconn only)")
+	jitter := flag.Duration("jitter", 0, "per-link delivery jitter (memconn only)")
 	updates := flag.Float64("update", 50, "value updates per second during load")
 	udp := flag.Bool("udp", false, "UDP loopback unicast fan-out instead of memconn")
 	quick := flag.Bool("quick", false, "small smoke run; exit 1 unless all receivers converge")
@@ -137,8 +153,8 @@ func main() {
 		*duration = 1 * time.Second
 		*updates = 20
 	}
-	if *loss > 0 && *udp {
-		fmt.Fprintln(os.Stderr, "ssload: -loss requires memconn transport")
+	if (*loss > 0 || *jitter > 0) && *udp {
+		fmt.Fprintln(os.Stderr, "ssload: -loss and -jitter require memconn transport")
 		os.Exit(2)
 	}
 	if *relayDepth > 0 {
@@ -149,7 +165,7 @@ func main() {
 		runRelayTree(relayOpts{
 			depth: *relayDepth, fanout: *relayFanout,
 			records: *records, rate: *rate, valueLen: *valueLen,
-			loss: *loss, updates: *updates, duration: *duration,
+			loss: *loss, jitter: *jitter, updates: *updates, duration: *duration,
 			seed: *seed, jsonOut: *jsonOut, admin: *admin, quick: *quick,
 		})
 		return
@@ -158,15 +174,19 @@ func main() {
 	res := result{
 		Seed: *seed, Quick: *quick, Records: *records, Receivers: *nRecv,
 		RateBps: *rate, ValueBytes: *valueLen, Loss: *loss,
+		JitterMs:  float64(jitter.Microseconds()) / 1000,
 		Transport: "memconn", Baseline: seedBaseline,
+		Meta: runmeta.Collect(),
 	}
 	if *udp {
 		res.Transport = "udp"
 	}
 
 	reg := obs.New("ssload") // shared: receiver series aggregate
+	est := staleness.NewEstimator(0)
 	if *admin != "" {
-		srv, addr, err := obs.ServeAdmin(*admin, reg, nil)
+		srv, addr, err := obs.ServeAdmin(*admin, reg, nil,
+			obs.Section{Name: "consistency", Get: func() any { return est.Snapshot() }})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ssload: admin:", err)
 			os.Exit(1)
@@ -174,7 +194,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "ssload: admin endpoint on http://%s/\n", addr)
 	}
-	senderConn, receiverConns, dest, feedback, err := buildTransport(*udp, *nRecv, *loss, *seed)
+	senderConn, receiverConns, dest, feedback, err := buildTransport(*udp, *nRecv, *loss, *jitter, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ssload:", err)
 		os.Exit(1)
@@ -197,9 +217,10 @@ func main() {
 		r, err := sstp.NewReceiver(sstp.ReceiverConfig{
 			Session: 42, ReceiverID: uint64(100 + i),
 			Conn: receiverConns[i], FeedbackDest: feedback,
-			NACKWindow: 50 * time.Millisecond,
-			Obs:        reg,
-			Seed:       *seed + int64(i),
+			NACKWindow:  50 * time.Millisecond,
+			Obs:         reg,
+			Consistency: est, // shared: per-receiver keys stay distinct by ReceiverID
+			Seed:        *seed + int64(i),
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ssload:", err)
@@ -268,10 +289,14 @@ func main() {
 		res.AllocsPerDatagram = float64(after.Mallocs-before.Mallocs) / float64(datagrams)
 	}
 	for _, sm := range reg.Snapshot() {
-		if sm.Name == "sstp_t_rec_seconds" {
+		switch sm.Name {
+		case "sstp_t_rec_seconds":
 			res.TRec = quantiles{Count: sm.Count, P50: sm.P50, P95: sm.P95, P99: sm.P99}
+		case "sstp_tvis_seconds":
+			res.TVis = quantiles{Count: sm.Count, P50: sm.P50, P95: sm.P95, P99: sm.P99}
 		}
 	}
+	res.Consistency = est.Snapshot()
 	res.Micro = runMicro()
 
 	s.Close()
@@ -290,6 +315,9 @@ func main() {
 			res.DataSent, res.SummariesSent, res.MsgsPerSec, res.Deliveries, res.Duplicates)
 		fmt.Printf("  nacks %d sent / %d suppressed, t_rec p50=%.3fs p99=%.3fs (n=%d)\n",
 			res.NACKsSent, res.NACKsSuppressed, res.TRec.P50, res.TRec.P99, res.TRec.Count)
+		fmt.Printf("  t_vis p50=%.3fs p95=%.3fs p99=%.3fs (n=%d), E[c(t)]=%.4f over %d digest samples\n",
+			res.TVis.P50, res.TVis.P95, res.TVis.P99, res.TVis.Count,
+			res.Consistency.Consistency, res.Consistency.AgreementSamples)
 		fmt.Printf("  %.1f allocs/datagram (whole stack; seed path was %.0f on encode+send alone)\n",
 			res.AllocsPerDatagram, res.Baseline.SendPathAllocs)
 		fmt.Printf("  converged %d/%d in %.0f ms\n", res.Converged, res.Receivers, res.ConvergeMs)
@@ -336,10 +364,11 @@ func convergedCount(s *sstp.Sender, rcvs []*sstp.Receiver) int {
 // a UDP loopback unicast fan-out, returning the sender conn, one conn
 // per receiver, the sender's announce destination, and the receivers'
 // feedback destination.
-func buildTransport(udp bool, nRecv int, loss float64, seed int64) (net.PacketConn, []net.PacketConn, net.Addr, net.Addr, error) {
+func buildTransport(udp bool, nRecv int, loss float64, jitter time.Duration, seed int64) (net.PacketConn, []net.PacketConn, net.Addr, net.Addr, error) {
 	if !udp {
 		nw := sstp.NewMemNetwork(seed)
 		nw.SetDefaultLoss(loss)
+		nw.SetDefaultJitter(jitter)
 		group := sstp.MemAddr("group")
 		sc := nw.Endpoint("sender")
 		nw.Join(group, "sender") // sender overhears NACKs via the group

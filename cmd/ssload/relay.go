@@ -8,7 +8,9 @@ import (
 
 	"softstate/internal/obs"
 	"softstate/internal/relay"
+	"softstate/internal/runmeta"
 	"softstate/internal/sstp"
+	"softstate/internal/staleness"
 )
 
 // relayOpts parameterize the -relay-depth tree mode.
@@ -19,6 +21,7 @@ type relayOpts struct {
 	rate     float64
 	valueLen int
 	loss     float64
+	jitter   time.Duration
 	updates  float64
 	duration time.Duration
 	seed     int64
@@ -40,7 +43,10 @@ type relayResult struct {
 	RateBps    float64 `json:"rate_bps"`
 	ValueBytes int     `json:"value_bytes"`
 	Loss       float64 `json:"loss"`
+	JitterMs   float64 `json:"jitter_ms"`
 	DurationMs float64 `json:"duration_ms"`
+
+	Meta runmeta.Meta `json:"meta"`
 
 	Forwarded       int     `json:"forwarded"`
 	Tombstoned      int     `json:"tombstoned"`
@@ -60,6 +66,17 @@ type relayResult struct {
 	// (level 1 = relays one hop from the publisher, the last level =
 	// the leaves).
 	PerHop []hopQuantiles `json:"per_hop_t_rec_seconds"`
+
+	// PerHopVis is the visibility lag per tree level: origin publish →
+	// delivery at that level's receivers (end-to-end, carried in the
+	// wire-level born timestamp, not hop-local). Deeper levels should
+	// show strictly larger medians — the cost of each relay hop.
+	PerHopVis []hopQuantiles `json:"per_hop_t_vis_seconds"`
+
+	// Consistency is the leaves' shared online estimator at the end of
+	// the run: windowed t-visibility quantiles, per-key staleness age,
+	// and the digest-agreement E[c(t)].
+	Consistency staleness.Snapshot `json:"consistency"`
 }
 
 type hopQuantiles struct {
@@ -83,10 +100,13 @@ func runRelayTree(o relayOpts) {
 		Seed: o.seed, Quick: o.quick, Records: o.records,
 		Depth: o.depth, Fanout: o.fanout,
 		RateBps: o.rate, ValueBytes: o.valueLen, Loss: o.loss,
+		JitterMs: float64(o.jitter.Microseconds()) / 1000,
+		Meta:     runmeta.Collect(),
 	}
 
 	nw := sstp.NewMemNetwork(o.seed)
 	nw.SetDefaultLoss(o.loss)
+	nw.SetDefaultJitter(o.jitter)
 
 	// regs[l] aggregates the sstp_* series of every node at level l;
 	// level 0 is the publisher.
@@ -142,6 +162,7 @@ func runRelayTree(o relayOpts) {
 	}
 
 	var leaves []*sstp.Receiver
+	est := staleness.NewEstimator(0) // shared by every leaf
 	for j := 0; j < intPow(o.fanout, o.depth); j++ {
 		parent := parentGroups[j/o.fanout]
 		name := sstp.MemAddr(fmt.Sprintf("leaf/%d", j))
@@ -153,6 +174,7 @@ func runRelayTree(o relayOpts) {
 			NACKWindow:     50 * time.Millisecond,
 			FlushOnGoodbye: true,
 			Obs:            regs[o.depth],
+			Consistency:    est,
 			Seed:           o.seed + int64(2000+j),
 		})
 		must(err)
@@ -164,7 +186,8 @@ func runRelayTree(o relayOpts) {
 	if o.admin != "" {
 		// The leaf-level registry carries the end-to-end repair
 		// latency, the most useful live view of a tree run.
-		srv, addr, err := obs.ServeAdmin(o.admin, regs[o.depth], nil)
+		srv, addr, err := obs.ServeAdmin(o.admin, regs[o.depth], nil,
+			obs.Section{Name: "consistency", Get: func() any { return est.Snapshot() }})
 		must(err)
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "ssload: admin endpoint on http://%s/ (leaf level)\n", addr)
@@ -238,13 +261,19 @@ func runRelayTree(o relayOpts) {
 	}
 	for l := 1; l <= o.depth; l++ {
 		hq := hopQuantiles{Level: l}
+		hv := hopQuantiles{Level: l}
 		for _, sm := range regs[l].Snapshot() {
-			if sm.Name == "sstp_t_rec_seconds" {
+			switch sm.Name {
+			case "sstp_t_rec_seconds":
 				hq.Count, hq.P50, hq.P95, hq.P99 = sm.Count, sm.P50, sm.P95, sm.P99
+			case "sstp_tvis_seconds":
+				hv.Count, hv.P50, hv.P95, hv.P99 = sm.Count, sm.P50, sm.P95, sm.P99
 			}
 		}
 		res.PerHop = append(res.PerHop, hq)
+		res.PerHopVis = append(res.PerHopVis, hv)
 	}
+	res.Consistency = est.Snapshot()
 
 	for _, l := range leaves {
 		l.Close()
@@ -266,10 +295,15 @@ func runRelayTree(o relayOpts) {
 			res.ConvergedLeaves, res.Leaves, res.ConvergeMs)
 		fmt.Printf("  repair: root served %d queries / %d nacks, relays served %d / %d\n",
 			res.RootQueriesServed, res.RootNACKs, res.RelayQueriesServed, res.RelayNACKs)
-		for _, hq := range res.PerHop {
-			fmt.Printf("  hop %d t_rec p50=%.3fs p95=%.3fs p99=%.3fs (n=%d)\n",
-				hq.Level, hq.P50, hq.P95, hq.P99, hq.Count)
+		for i, hq := range res.PerHop {
+			hv := res.PerHopVis[i]
+			fmt.Printf("  hop %d t_rec p50=%.3fs p95=%.3fs p99=%.3fs (n=%d); t_vis p50=%.3fs p95=%.3fs p99=%.3fs (n=%d)\n",
+				hq.Level, hq.P50, hq.P95, hq.P99, hq.Count,
+				hv.P50, hv.P95, hv.P99, hv.Count)
 		}
+		fmt.Printf("  leaves: E[c(t)]=%.4f over %d digest samples, %d tracked keys, staleness p95=%.3fs\n",
+			res.Consistency.Consistency, res.Consistency.AgreementSamples,
+			res.Consistency.TrackedKeys, res.Consistency.Staleness.P95)
 	}
 	if o.quick && (res.ConvergedLeaves != res.Leaves || res.ConvergedRelays != res.Relays) {
 		fmt.Fprintf(os.Stderr, "ssload: relay quick smoke FAILED: %d/%d leaves converged\n",

@@ -125,7 +125,12 @@ func main() {
 		*session, *laddr, *upstream, len(downs), *rate)
 
 	if *admin != "" {
-		srv, addr, err := obs.ServeAdmin(*admin, reg, ring)
+		// The consistency section reports the upstream receiver's
+		// online estimator: how stale this hop's replica is relative
+		// to its parent, and the digest-agreement E[c(t)].
+		est := r.Upstream().Consistency()
+		srv, addr, err := obs.ServeAdmin(*admin, reg, ring,
+			obs.Section{Name: "consistency", Get: func() any { return est.Snapshot() }})
 		if err != nil {
 			log.Fatalf("admin: %v", err)
 		}
@@ -140,7 +145,8 @@ func main() {
 				log.Println("ssrelay:", reg.OneLine(
 					"relay_records", "relay_forwarded_total",
 					"relay_tombstones_total", "relay_scope_drops_total",
-					"sstp_queries_served_total", "sstp_nacks_received_total"))
+					"sstp_queries_served_total", "sstp_nacks_received_total",
+					"sstp_consistency_estimate", "sstp_tvis_seconds"))
 			}
 		}()
 	}

@@ -41,7 +41,7 @@ func main() {
 		Conn:            conn,
 		FeedbackDest:    senderAddr,
 		DisableFeedback: *openLoop,
-		OnUpdate: func(key string, value []byte, version uint64) {
+		OnUpdate: func(key string, value []byte, version uint64, born float64) {
 			fmt.Printf("%s UPDATE %s = %q (v%d)\n", stamp(), key, value, version)
 		},
 		OnExpire: func(key string) {

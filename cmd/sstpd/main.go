@@ -16,6 +16,9 @@
 // continuously instead. With -admin ADDR, an HTTP endpoint serves
 // /metrics (Prometheus), /stats.json, /trace (JSONL event ring), and
 // /debug/pprof. -statsevery D logs a one-line summary every D.
+// -obssmoke runs a self-contained observability check (in-process
+// sender + receiver + admin endpoint scraped over HTTP) and exits
+// non-zero if the consistency surface is missing or empty.
 package main
 
 import (
@@ -51,7 +54,16 @@ func main() {
 	admin := flag.String("admin", "", "serve /metrics, /stats.json, /trace, /debug/pprof on this address")
 	statsEvery := flag.Duration("statsevery", 0, "log a one-line stats summary at this interval")
 	traceCap := flag.Int("tracecap", 4096, "protocol event ring capacity (0 disables)")
+	smoke := flag.Bool("obssmoke", false, "run the self-contained observability smoke test and exit")
 	flag.Parse()
+
+	if *smoke {
+		if err := obsSmoke(); err != nil {
+			log.Fatalf("sstpd -obssmoke: %v", err)
+		}
+		fmt.Println("sstpd -obssmoke: ok")
+		return
+	}
 
 	reg := obs.New("sstpd")
 	var ring *trace.Ring

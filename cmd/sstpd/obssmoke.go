@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"softstate/internal/obs"
+	"softstate/internal/sstp"
+	"softstate/internal/trace"
+)
+
+// obsSmoke is the -obssmoke self-check: it wires a publisher and a
+// receiver over an in-process memconn link, serves the receiver's
+// admin endpoint on a loopback port, and scrapes it over real HTTP the
+// way a monitoring stack would — /metrics must expose the consistency
+// gauges, /stats.json must carry a non-empty "consistency" section,
+// and /trace must show node-stamped lifecycle events. It returns an
+// error (non-zero exit) on any missing piece, so `make obssmoke` and
+// CI catch a regression in the observability surface itself.
+func obsSmoke() error {
+	const records = 16
+
+	nw := sstp.NewMemNetwork(1)
+	pc := nw.Endpoint("pub")
+	nw.Join("grp", "pub")
+	rc := nw.Endpoint("rcv")
+	nw.Join("grp", "rcv")
+
+	ring := trace.NewSafe(4096)
+	reg := obs.New("obssmoke")
+	pub, err := sstp.NewSender(sstp.SenderConfig{
+		Session: 5, SenderID: 1, Conn: pc, Dest: sstp.MemAddr("grp"),
+		TotalRate: 1_000_000, SummaryInterval: 100 * time.Millisecond,
+		TTL: 30 * time.Second, Trace: ring, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	defer pub.Close()
+	rcv, err := sstp.NewReceiver(sstp.ReceiverConfig{
+		Session: 5, ReceiverID: 100, Conn: rc,
+		FeedbackDest: sstp.MemAddr("grp"),
+		Obs:          reg, Trace: ring, Seed: 2,
+	})
+	if err != nil {
+		return err
+	}
+	defer rcv.Close()
+
+	est := rcv.Consistency()
+	srv, addr, err := obs.ServeAdmin("127.0.0.1:0", reg, ring,
+		obs.Section{Name: "consistency", Get: func() any { return est.Snapshot() }})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	base := "http://" + addr.String()
+
+	pub.Start()
+	rcv.Start()
+	for i := 0; i < records; i++ {
+		if err := pub.Publish(fmt.Sprintf("smoke/%d", i), []byte("v"), 0); err != nil {
+			return err
+		}
+	}
+
+	// Converged and at least one digest-agreement sample taken.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		s := est.Snapshot()
+		if rcv.Len() == records && rcv.RootDigest() == pub.RootDigest() &&
+			s.AgreementSamples >= 1 && s.TrackedKeys == records {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no convergence: %d/%d records, %d agreement samples",
+				rcv.Len(), records, s.AgreementSamples)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	metrics, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, name := range []string{
+		"sstp_consistency_estimate", "sstp_tvis_seconds",
+		"sstp_staleness_age_seconds", "sstp_tvis_window_seconds",
+	} {
+		if !strings.Contains(metrics, name) {
+			return fmt.Errorf("/metrics missing %s", name)
+		}
+	}
+
+	statsDoc, err := get(base + "/stats.json")
+	if err != nil {
+		return err
+	}
+	var stats struct {
+		Consistency struct {
+			TrackedKeys      int     `json:"tracked_keys"`
+			Consistency      float64 `json:"consistency_estimate"`
+			AgreementSamples uint64  `json:"agreement_samples"`
+		} `json:"consistency"`
+	}
+	if err := json.Unmarshal([]byte(statsDoc), &stats); err != nil {
+		return fmt.Errorf("/stats.json: %w", err)
+	}
+	c := stats.Consistency
+	if c.TrackedKeys == 0 || c.AgreementSamples == 0 {
+		return fmt.Errorf("/stats.json consistency section empty: %+v", c)
+	}
+	if c.Consistency <= 0 || c.Consistency > 1 {
+		return fmt.Errorf("consistency estimate %v out of (0,1]", c.Consistency)
+	}
+
+	traceDoc, err := get(base + "/trace?key=smoke/0")
+	if err != nil {
+		return err
+	}
+	for _, kind := range []string{"ARRIVE", "TX", "DELIVER"} {
+		if !strings.Contains(traceDoc, `"kind":"`+kind+`"`) {
+			return fmt.Errorf("/trace missing lifecycle kind %s for smoke/0", kind)
+		}
+	}
+	if !strings.Contains(traceDoc, `"node":`) {
+		return fmt.Errorf("/trace events carry no node stamps")
+	}
+	return nil
+}
+
+func get(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return string(b), nil
+}

@@ -37,7 +37,7 @@ func main() {
 	sub, err := sstp.NewReceiver(sstp.ReceiverConfig{
 		Session: 1, ReceiverID: 200,
 		Conn: nw.Endpoint("sub"), FeedbackDest: sstp.MemAddr("pub"),
-		OnUpdate: func(key string, value []byte, version uint64) {
+		OnUpdate: func(key string, value []byte, version uint64, _ float64) {
 			fmt.Printf("  received %-16s = %s\n", key, value)
 		},
 	})

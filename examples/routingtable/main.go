@@ -31,7 +31,7 @@ func main() {
 	neighbor, err := sstp.NewReceiver(sstp.ReceiverConfig{
 		Session: 520, ReceiverID: 2, // RIP's port
 		Conn: nw.Endpoint("routerB"), FeedbackDest: sstp.MemAddr("routerA"),
-		OnUpdate: func(key string, value []byte, version uint64) {
+		OnUpdate: func(key string, value []byte, version uint64, _ float64) {
 			mu.Lock()
 			installed[key] = string(value)
 			mu.Unlock()

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -12,30 +13,78 @@ import (
 	"softstate/internal/trace"
 )
 
+// Section is one named extra block in the /stats.json document — a
+// daemon attaches e.g. a "consistency" section whose Get returns the
+// receiver's staleness/t-visibility snapshot. Get is called per
+// request and must be safe for concurrent use; its result is rendered
+// with encoding/json.
+type Section struct {
+	Name string
+	Get  func() any
+}
+
+// statsJSON renders the /stats.json document with a stable top-level
+// field order — registry, now, metrics, then the sections in the
+// order given — by building the object by hand (a map would sort, an
+// anonymous struct cannot hold dynamic sections).
+func statsJSON(reg *Registry, now time.Time, sections []Section) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString("{\n  \"registry\": ")
+	name, _ := json.Marshal(reg.Name())
+	buf.Write(name)
+	buf.WriteString(",\n  \"now\": ")
+	ts, _ := json.Marshal(now)
+	buf.Write(ts)
+	buf.WriteString(",\n  \"metrics\": ")
+	metrics, err := json.MarshalIndent(reg.Snapshot(), "  ", "  ")
+	if err != nil {
+		return nil, err
+	}
+	buf.Write(metrics)
+	for _, s := range sections {
+		buf.WriteString(",\n  ")
+		name, _ := json.Marshal(s.Name)
+		buf.Write(name)
+		buf.WriteString(": ")
+		var val []byte
+		if s.Get != nil {
+			val, err = json.MarshalIndent(s.Get(), "  ", "  ")
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			val = []byte("null")
+		}
+		buf.Write(val)
+	}
+	buf.WriteString("\n}\n")
+	return buf.Bytes(), nil
+}
+
 // AdminHandler serves the runtime debug surface for a live daemon:
 //
 //	/metrics        Prometheus text exposition of reg
-//	/stats.json     JSON registry snapshot
+//	/stats.json     JSON registry snapshot plus any extra sections
 //	/trace          recent protocol events as JSONL (?n=limit, ?key=k)
 //	/debug/pprof/*  the standard Go profiler endpoints
 //
 // ring may be nil (the /trace endpoint then reports 404); reg may be
-// nil (endpoints render empty documents).
-func AdminHandler(reg *Registry, ring *trace.Ring) http.Handler {
+// nil (endpoints render empty documents). Each extra section appears
+// in /stats.json after the metrics, in the order given.
+func AdminHandler(reg *Registry, ring *trace.Ring, sections ...Section) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("/stats.json", func(w http.ResponseWriter, _ *http.Request) {
+		doc, err := statsJSON(reg, time.Now().UTC(), sections)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(struct {
-			Registry string    `json:"registry"`
-			Now      time.Time `json:"now"`
-			Metrics  []Sample  `json:"metrics"`
-		}{reg.Name(), time.Now().UTC(), reg.Snapshot()})
+		_, _ = w.Write(doc)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
 		if ring == nil {
@@ -86,12 +135,12 @@ func AdminHandler(reg *Registry, ring *trace.Ring) http.Handler {
 // ServeAdmin binds addr and serves AdminHandler in the background,
 // returning the server (Close to stop) and the bound address — which
 // matters when addr uses port 0.
-func ServeAdmin(addr string, reg *Registry, ring *trace.Ring) (*http.Server, net.Addr, error) {
+func ServeAdmin(addr string, reg *Registry, ring *trace.Ring, sections ...Section) (*http.Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: AdminHandler(reg, ring)}
+	srv := &http.Server{Handler: AdminHandler(reg, ring, sections...)}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln.Addr(), nil
 }

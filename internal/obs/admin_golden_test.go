@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStatsJSONGolden pins the /stats.json rendering byte-for-byte:
+// stable top-level field order (registry, now, metrics, sections in
+// attachment order), deterministic metric order (Snapshot sorts by
+// name then labels), and stable section payload rendering.
+func TestStatsJSONGolden(t *testing.T) {
+	reg := New("goldend")
+	reg.Counter("b_total", "queue", "hot").Add(3)
+	reg.Counter("b_total", "queue", "cold").Add(1)
+	reg.Gauge("a_gauge").Set(2.5)
+
+	type consistency struct {
+		Estimate float64 `json:"consistency_estimate"`
+		Samples  int     `json:"agreement_samples"`
+	}
+	sections := []Section{
+		{Name: "consistency", Get: func() any { return consistency{Estimate: 0.97, Samples: 12} }},
+		{Name: "empty", Get: nil},
+	}
+	now := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	doc, err := statsJSON(reg, now, sections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "registry": "goldend",
+  "now": "2026-01-02T03:04:05Z",
+  "metrics": [
+    {
+      "name": "a_gauge",
+      "kind": "gauge",
+      "value": 2.5
+    },
+    {
+      "name": "b_total",
+      "labels": {
+        "queue": "cold"
+      },
+      "kind": "counter",
+      "value": 1
+    },
+    {
+      "name": "b_total",
+      "labels": {
+        "queue": "hot"
+      },
+      "kind": "counter",
+      "value": 3
+    }
+  ],
+  "consistency": {
+    "consistency_estimate": 0.97,
+    "agreement_samples": 12
+  },
+  "empty": null
+}
+`
+	if string(doc) != want {
+		t.Errorf("stats.json rendering drifted:\ngot:\n%s\nwant:\n%s", doc, want)
+	}
+}
+
+// TestStatsJSONNilRegistry checks the document stays well-formed with
+// no registry and no sections (a daemon started before wiring obs).
+func TestStatsJSONNilRegistry(t *testing.T) {
+	doc, err := statsJSON(nil, time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "registry": "",
+  "now": "2026-01-01T00:00:00Z",
+  "metrics": null
+}
+`
+	if string(doc) != want {
+		t.Errorf("nil-registry stats.json = %s", doc)
+	}
+}
+
+// TestHistogramConcurrentObserveQuantile hammers one histogram with
+// concurrent writers while readers pull quantiles and snapshots — the
+// admin endpoint's exact access pattern. Run under -race.
+func TestHistogramConcurrentObserveQuantile(t *testing.T) {
+	reg := New("race")
+	h := reg.Histogram("lat_seconds")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				h.Observe(float64(i%100) * 0.001)
+			}
+		}(g)
+	}
+	readers := make(chan struct{})
+	go func() {
+		defer close(readers)
+		for i := 0; i < 200; i++ {
+			if q := h.Quantile(0.5); q < 0 {
+				t.Error("negative quantile")
+				return
+			}
+			_ = h.Quantile(0.99)
+			_ = reg.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-readers
+	if got := h.Count(); got != 20000 {
+		t.Errorf("count = %d, want 20000", got)
+	}
+	if q := h.Quantile(0.5); q <= 0 {
+		t.Errorf("p50 = %v, want > 0", q)
+	}
+}

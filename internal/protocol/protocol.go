@@ -228,11 +228,12 @@ func readBytes32(b []byte, limit int) ([]byte, []byte, error) {
 
 // Data announces one {key, value} record: the current version, its
 // remaining lifetime (the receiver-side expiry timer is set to TTL),
-// and the opaque value.
+// the origin publish time, and the opaque value.
 type Data struct {
 	Key     string
 	Ver     uint64
 	TTLms   uint32 // receiver-side soft-state timer in milliseconds
+	BornMs  uint64 // origin publish time of this version, Unix ms (0 = unknown)
 	Value   []byte
 	Deleted bool // tombstone: receiver should drop the key
 }
@@ -249,6 +250,7 @@ func (d *Data) encodeBody(dst []byte) []byte {
 	dst = appendString(dst, d.Key)
 	dst = binary.BigEndian.AppendUint64(dst, d.Ver)
 	dst = binary.BigEndian.AppendUint32(dst, d.TTLms)
+	dst = binary.BigEndian.AppendUint64(dst, d.BornMs)
 	return appendBytes32(dst, d.Value)
 }
 
@@ -269,12 +271,13 @@ func (d *Data) decodeBody(b []byte) error {
 	if d.Key == "" {
 		return ErrBadPayload
 	}
-	if len(b) < 12 {
+	if len(b) < 20 {
 		return ErrShort
 	}
 	d.Ver = binary.BigEndian.Uint64(b)
 	d.TTLms = binary.BigEndian.Uint32(b[8:])
-	d.Value, b, err = readBytes32(b[12:], MaxValueLen)
+	d.BornMs = binary.BigEndian.Uint64(b[12:])
+	d.Value, b, err = readBytes32(b[20:], MaxValueLen)
 	if err != nil {
 		return err
 	}

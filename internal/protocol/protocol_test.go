@@ -27,10 +27,10 @@ func roundTrip(t *testing.T, hdr Header, msg Message) Message {
 var testHdr = Header{Session: 0xDEADBEEF, Sender: 42, Seq: 7, Scope: 9}
 
 func TestDataRoundTrip(t *testing.T) {
-	in := &Data{Key: "sessions/audio/42", Ver: 9, TTLms: 30000, Value: []byte("payload")}
+	in := &Data{Key: "sessions/audio/42", Ver: 9, TTLms: 30000, BornMs: 1700000000123, Value: []byte("payload")}
 	out := roundTrip(t, testHdr, in).(*Data)
 	if out.Key != in.Key || out.Ver != in.Ver || out.TTLms != in.TTLms ||
-		!bytes.Equal(out.Value, in.Value) || out.Deleted {
+		out.BornMs != in.BornMs || !bytes.Equal(out.Value, in.Value) || out.Deleted {
 		t.Errorf("got %+v", out)
 	}
 }

@@ -1,6 +1,11 @@
 package relay
 
-import "softstate/internal/obs"
+import (
+	"strconv"
+
+	"softstate/internal/obs"
+	"softstate/internal/sstp"
+)
 
 // metrics are the relay_* series. Like the sstp_* catalog they are
 // nil-safe: an unconfigured registry costs a nil check per event.
@@ -21,5 +26,51 @@ func newMetrics(reg *obs.Registry) metrics {
 		scopeDrops:  reg.Counter("relay_scope_drops_total"),
 		records:     reg.Gauge("relay_records"),
 		downstreams: reg.Gauge("relay_downstreams"),
+	}
+}
+
+// linkMetrics are the per-downstream-link relay_link_* series, labeled
+// by link index. Rate and loss gauges mirror the link sender's AIMD
+// congestion state; the repair counters split the relay-wide totals by
+// which link the repair traffic arrived on.
+type linkMetrics struct {
+	rate     *obs.Gauge   // relay_link_rate_bps{link=...} (AIMD-controlled cwnd analog)
+	loss     *obs.Gauge   // relay_link_loss_estimate{link=...}
+	requests *obs.Counter // relay_link_repair_requests_total{link=...} (NACKs heard)
+	served   *obs.Counter // relay_link_repairs_served_total{link=...} (queries answered)
+	tombs    *obs.Counter // relay_link_tombstones_total{link=...}
+	goodbyes *obs.Counter // relay_link_goodbyes_total{link=...}
+
+	// Cumulative sender-stat values already mirrored into the
+	// counters, so sync adds deltas (counters must never be rewound).
+	lastNACKs   int
+	lastQueries int
+}
+
+func newLinkMetrics(reg *obs.Registry, link int) *linkMetrics {
+	l := strconv.Itoa(link)
+	return &linkMetrics{
+		rate:     reg.Gauge("relay_link_rate_bps", "link", l),
+		loss:     reg.Gauge("relay_link_loss_estimate", "link", l),
+		requests: reg.Counter("relay_link_repair_requests_total", "link", l),
+		served:   reg.Counter("relay_link_repairs_served_total", "link", l),
+		tombs:    reg.Counter("relay_link_tombstones_total", "link", l),
+		goodbyes: reg.Counter("relay_link_goodbyes_total", "link", l),
+	}
+}
+
+// sync refreshes the link gauges and folds new repair activity into
+// the counters from the sender's cumulative stats.
+func (lm *linkMetrics) sync(d *sstp.Sender) {
+	st := d.Stats()
+	lm.rate.Set(st.Rate)
+	lm.loss.Set(st.LossEstimate)
+	if n := st.NACKsReceived - lm.lastNACKs; n > 0 {
+		lm.requests.Add(uint64(n))
+		lm.lastNACKs = st.NACKsReceived
+	}
+	if n := st.QueriesServed - lm.lastQueries; n > 0 {
+		lm.served.Add(uint64(n))
+		lm.lastQueries = st.QueriesServed
 	}
 }

@@ -115,6 +115,11 @@ type Relay struct {
 	up    *sstp.Receiver
 	downs []*sstp.Sender
 	m     metrics
+	links []*linkMetrics // per-downstream-link series (nil without Obs)
+
+	// obsLoop lifecycle (started only when a registry is attached).
+	done chan struct{}
+	wg   sync.WaitGroup
 
 	// scopeState caches the forwarding decision derived from the
 	// upstream hop budget: 0 unknown, 1 forwarding, -1 exhausted.
@@ -138,7 +143,12 @@ func New(cfg Config) (*Relay, error) {
 	if cfg.TTL <= 0 {
 		cfg.TTL = 30 * time.Second
 	}
-	r := &Relay{cfg: cfg, m: newMetrics(cfg.Obs)}
+	r := &Relay{cfg: cfg, m: newMetrics(cfg.Obs), done: make(chan struct{})}
+	if cfg.Obs != nil {
+		for i := range cfg.Downstreams {
+			r.links = append(r.links, newLinkMetrics(cfg.Obs, i))
+		}
+	}
 
 	for i, d := range cfg.Downstreams {
 		if d.Conn == nil || d.Dest == nil {
@@ -161,6 +171,7 @@ func New(cfg Config) (*Relay, error) {
 			Scope:           1, // placeholder until the upstream scope is learned
 			Obs:             cfg.Obs,
 			Trace:           cfg.Trace,
+			TraceNode:       fmt.Sprintf("relay%d/dn%d", cfg.RelayID, i),
 			Seed:            cfg.Seed + int64(i),
 		})
 		if err != nil {
@@ -181,6 +192,7 @@ func New(cfg Config) (*Relay, error) {
 		OnGoodbye:      r.onUpstreamGoodbye,
 		Obs:            cfg.Obs,
 		Trace:          cfg.Trace,
+		TraceNode:      fmt.Sprintf("relay%d/up", cfg.RelayID),
 		Seed:           cfg.Seed,
 	})
 	if err != nil {
@@ -197,6 +209,33 @@ func (r *Relay) Start() {
 		d.Start()
 	}
 	r.up.Start()
+	if len(r.links) > 0 {
+		r.wg.Add(1)
+		go r.obsLoop()
+	}
+}
+
+// obsLoop mirrors each downstream sender's congestion state and repair
+// counters into the per-link relay_link_* series once a second.
+func (r *Relay) obsLoop() {
+	defer r.wg.Done()
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.done:
+			// Final sync so short-lived relays still report their
+			// repair activity.
+			for i, lm := range r.links {
+				lm.sync(r.downs[i])
+			}
+			return
+		case <-tick.C:
+			for i, lm := range r.links {
+				lm.sync(r.downs[i])
+			}
+		}
+	}
 }
 
 // Close stops the relay: the upstream receiver first (no further
@@ -210,6 +249,8 @@ func (r *Relay) Close() error {
 		for _, d := range r.downs {
 			d.Close()
 		}
+		close(r.done)
+		r.wg.Wait()
 	})
 	return nil
 }
@@ -218,17 +259,19 @@ func (r *Relay) Close() error {
 // re-published on every downstream link. Runs on the upstream
 // receiver's dispatcher goroutine, so downstream versions advance in
 // upstream order.
-func (r *Relay) onUpstreamUpdate(key string, value []byte, version uint64) {
+func (r *Relay) onUpstreamUpdate(key string, value []byte, version uint64, born float64) {
 	if !r.forwardable() {
 		return
 	}
 	for _, d := range r.downs {
 		// The upstream version is forwarded verbatim so every replica
-		// in the tree hashes to the origin publisher's digest.
+		// in the tree hashes to the origin publisher's digest, and the
+		// origin publish time rides along so leaf visibility lag is
+		// measured end-to-end.
 		// Lifetime 0: the record lives in the downstream session until
 		// the upstream copy expires or the publisher leaves; the
 		// sender's cold cycle keeps children refreshed meanwhile.
-		if err := d.Republish(key, value, version, 0); err != nil {
+		if err := d.Republish(key, value, version, born, 0); err != nil {
 			continue
 		}
 	}
@@ -243,8 +286,11 @@ func (r *Relay) onUpstreamUpdate(key string, value []byte, version uint64) {
 // downstream deletion, so the subtree flushes the key well before its
 // own TTL would fire.
 func (r *Relay) onUpstreamExpire(key string) {
-	for _, d := range r.downs {
+	for i, d := range r.downs {
 		d.Delete(key)
+		if i < len(r.links) {
+			r.links[i].tombs.Inc()
+		}
 	}
 	r.m.tombstones.Inc()
 	r.m.records.Set(float64(r.up.Len()))
@@ -258,8 +304,11 @@ func (r *Relay) onUpstreamExpire(key string) {
 // stopping), so the teardown cascades to the leaves. The scope cache
 // resets so a successor publisher re-derives it.
 func (r *Relay) onUpstreamGoodbye() {
-	for _, d := range r.downs {
+	for i, d := range r.downs {
 		d.Goodbye()
+		if i < len(r.links) {
+			r.links[i].goodbyes.Inc()
+		}
 	}
 	r.scopeState.Store(0)
 	r.m.goodbyes.Inc()

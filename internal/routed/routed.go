@@ -160,10 +160,10 @@ func (rib *RIB) AddAdjacency(origin string, cfg sstp.ReceiverConfig) (*sstp.Rece
 		return nil, fmt.Errorf("routed: adjacency needs an origin name")
 	}
 	userUpdate, userExpire := cfg.OnUpdate, cfg.OnExpire
-	cfg.OnUpdate = func(key string, value []byte, version uint64) {
+	cfg.OnUpdate = func(key string, value []byte, version uint64, born float64) {
 		rib.apply(origin, key, value)
 		if userUpdate != nil {
-			userUpdate(key, value, version)
+			userUpdate(key, value, version, born)
 		}
 	}
 	cfg.OnExpire = func(key string) {

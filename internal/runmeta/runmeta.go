@@ -1,0 +1,48 @@
+// Package runmeta collects the environment a benchmark record was
+// produced in — toolchain, host shape, and the VCS revision baked into
+// the binary — so every BENCH_*.json line is reproducible without the
+// shell history that generated it. Collect reads only process-local
+// state (runtime and debug.ReadBuildInfo); it never shells out to git,
+// so it works in stripped containers and `go run` alike.
+package runmeta
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Meta is the run-environment block embedded in benchmark records.
+// GitRevision is empty when the binary was built without VCS stamping
+// (e.g. `go run` on a dirty checkout of a test build); GitDirty
+// reports whether the work tree had local modifications at build time.
+type Meta struct {
+	GitRevision string `json:"git_revision,omitempty"`
+	GitDirty    bool   `json:"git_dirty,omitempty"`
+	GoVersion   string `json:"go_version"`
+	OS          string `json:"os"`
+	Arch        string `json:"arch"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+}
+
+// Collect snapshots the current process's build and host environment.
+func Collect() Meta {
+	m := Meta{
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.GitRevision = s.Value
+			case "vcs.modified":
+				m.GitDirty = s.Value == "true"
+			}
+		}
+	}
+	return m
+}

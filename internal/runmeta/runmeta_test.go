@@ -1,0 +1,25 @@
+package runmeta
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+func TestCollect(t *testing.T) {
+	m := Collect()
+	if m.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion = %q, want %q", m.GoVersion, runtime.Version())
+	}
+	if m.OS != runtime.GOOS || m.Arch != runtime.GOARCH {
+		t.Errorf("OS/Arch = %s/%s, want %s/%s", m.OS, m.Arch, runtime.GOOS, runtime.GOARCH)
+	}
+	if m.GOMAXPROCS < 1 || m.NumCPU < 1 {
+		t.Errorf("GOMAXPROCS=%d NumCPU=%d, want >= 1", m.GOMAXPROCS, m.NumCPU)
+	}
+	// The block must marshal cleanly — it is embedded verbatim in
+	// BENCH records.
+	if _, err := json.Marshal(m); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}

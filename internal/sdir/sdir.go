@@ -213,10 +213,10 @@ type Browser struct {
 func NewBrowser(cfg sstp.ReceiverConfig) (*Browser, *sstp.Receiver, error) {
 	b := &Browser{sessions: make(map[string]Session)}
 	userUpdate, userExpire := cfg.OnUpdate, cfg.OnExpire
-	cfg.OnUpdate = func(key string, value []byte, version uint64) {
+	cfg.OnUpdate = func(key string, value []byte, version uint64, born float64) {
 		b.update(key, value)
 		if userUpdate != nil {
-			userUpdate(key, value, version)
+			userUpdate(key, value, version, born)
 		}
 	}
 	cfg.OnExpire = func(key string) {

@@ -47,7 +47,7 @@ func TestCallbackDispatcherOrdering(t *testing.T) {
 		ReportInterval: 100 * time.Millisecond,
 		NACKWindow:     20 * time.Millisecond,
 		Seed:           2,
-		OnUpdate: func(key string, value []byte, version uint64) {
+		OnUpdate: func(key string, value []byte, version uint64, _ float64) {
 			if closed.Load() {
 				t.Error("OnUpdate after Close returned")
 			}

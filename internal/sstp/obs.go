@@ -2,6 +2,7 @@ package sstp
 
 import (
 	"softstate/internal/obs"
+	"softstate/internal/staleness"
 	"softstate/internal/trace"
 )
 
@@ -90,6 +91,16 @@ type receiverMetrics struct {
 	loss    *obs.Gauge // sstp_loss_estimate
 
 	tRec *obs.Histogram // sstp_t_rec_seconds
+	tvis *obs.Histogram // sstp_tvis_seconds (origin publish -> local delivery)
+
+	// Windowed consistency gauges, refreshed from the staleness
+	// estimator at sweep cadence (sstp_tvis_* / sstp_staleness_* /
+	// sstp_consistency_*).
+	tvisQ       [3]*obs.Gauge // sstp_tvis_window_seconds{q="p50"|"p95"|"p99"}
+	staleQ      [4]*obs.Gauge // sstp_staleness_age_seconds{q="p50"|"p95"|"p99"|"max"}
+	staleKeys   *obs.Gauge    // sstp_staleness_tracked_keys
+	consistency *obs.Gauge    // sstp_consistency_estimate (windowed E[c(t)])
+	consSamples *obs.Gauge    // sstp_consistency_samples
 }
 
 func newReceiverMetrics(reg *obs.Registry) receiverMetrics {
@@ -109,12 +120,42 @@ func newReceiverMetrics(reg *obs.Registry) receiverMetrics {
 		replica:     reg.Gauge("sstp_replica_records"),
 		loss:        reg.Gauge("sstp_loss_estimate"),
 		tRec:        reg.Histogram("sstp_t_rec_seconds"),
+		tvis:        reg.Histogram("sstp_tvis_seconds"),
+		tvisQ: [3]*obs.Gauge{
+			reg.Gauge("sstp_tvis_window_seconds", "q", "p50"),
+			reg.Gauge("sstp_tvis_window_seconds", "q", "p95"),
+			reg.Gauge("sstp_tvis_window_seconds", "q", "p99"),
+		},
+		staleQ: [4]*obs.Gauge{
+			reg.Gauge("sstp_staleness_age_seconds", "q", "p50"),
+			reg.Gauge("sstp_staleness_age_seconds", "q", "p95"),
+			reg.Gauge("sstp_staleness_age_seconds", "q", "p99"),
+			reg.Gauge("sstp_staleness_age_seconds", "q", "max"),
+		},
+		staleKeys:   reg.Gauge("sstp_staleness_tracked_keys"),
+		consistency: reg.Gauge("sstp_consistency_estimate"),
+		consSamples: reg.Gauge("sstp_consistency_samples"),
 	}
 }
 
-// traceRecord appends to an optional event ring (nil-safe).
-func traceRecord(r *trace.Ring, k trace.Kind, key string) {
+// setConsistency publishes one estimator snapshot to the gauges.
+func (m *receiverMetrics) setConsistency(s staleness.Snapshot) {
+	m.tvisQ[0].Set(s.TVis.P50)
+	m.tvisQ[1].Set(s.TVis.P95)
+	m.tvisQ[2].Set(s.TVis.P99)
+	m.staleQ[0].Set(s.Staleness.P50)
+	m.staleQ[1].Set(s.Staleness.P95)
+	m.staleQ[2].Set(s.Staleness.P99)
+	m.staleQ[3].Set(s.Staleness.Max)
+	m.staleKeys.Set(float64(s.TrackedKeys))
+	m.consistency.Set(s.Consistency)
+	m.consSamples.Set(float64(s.AgreementSamples))
+}
+
+// traceRecord appends to an optional event ring (nil-safe), stamping
+// which protocol node the event happened at.
+func traceRecord(r *trace.Ring, node string, k trace.Kind, key string) {
 	if r != nil {
-		r.Record(nowSeconds(), k, key, -1)
+		r.RecordNode(nowSeconds(), k, key, node)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"softstate/internal/namespace"
 	"softstate/internal/obs"
 	"softstate/internal/protocol"
+	"softstate/internal/staleness"
 	"softstate/internal/table"
 	"softstate/internal/trace"
 	"softstate/internal/xrand"
@@ -59,12 +60,14 @@ type ReceiverConfig struct {
 	// each other — even after the publisher dies. 0 disables.
 	PeerSummaryInterval time.Duration
 
-	// OnUpdate fires when a record's value changes; OnExpire fires
-	// when a record times out or is deleted. Both run on a single
-	// dispatcher goroutine in the order the events occurred, and never
-	// after Close returns. Handlers may call Get/Snapshot/Stats but
-	// must not call Close (Close waits for the dispatcher to drain).
-	OnUpdate func(key string, value []byte, version uint64)
+	// OnUpdate fires when a record's value changes; born is the origin
+	// publish time of the delivered version (Unix seconds, 0 when the
+	// announcement did not carry one). OnExpire fires when a record
+	// times out or is deleted. Both run on a single dispatcher
+	// goroutine in the order the events occurred, and never after
+	// Close returns. Handlers may call Get/Snapshot/Stats but must not
+	// call Close (Close waits for the dispatcher to drain).
+	OnUpdate func(key string, value []byte, version uint64, born float64)
 	OnExpire func(key string)
 
 	// FlushOnGoodbye makes a publisher Goodbye drop the whole replica
@@ -88,6 +91,18 @@ type ReceiverConfig struct {
 	Obs   *obs.Registry
 	Trace *trace.Ring
 
+	// TraceNode names this receiver in trace events (default
+	// "r<ReceiverID>"); relay trees set distinctive names per hop.
+	TraceNode string
+
+	// Consistency, if non-nil, receives this receiver's online
+	// consistency samples (visibility lag, per-key confirmation age,
+	// digest agreement). Like Obs it may be shared across receivers —
+	// a load-test tree pools all leaves of a level into one estimator.
+	// When nil, the receiver creates a private estimator; read it via
+	// Consistency().
+	Consistency *staleness.Estimator
+
 	Seed int64
 }
 
@@ -103,6 +118,12 @@ func (c ReceiverConfig) withDefaults() (ReceiverConfig, error) {
 	}
 	if c.NACKWindow <= 0 {
 		c.NACKWindow = 100 * time.Millisecond
+	}
+	if c.TraceNode == "" {
+		c.TraceNode = fmt.Sprintf("r%d", c.ReceiverID)
+	}
+	if c.Consistency == nil {
+		c.Consistency = staleness.NewEstimator(0)
 	}
 	return c, nil
 }
@@ -167,6 +188,7 @@ type appCallback struct {
 	key     string
 	value   []byte
 	version uint64
+	born    float64 // origin publish time for OnUpdate (0 = unknown)
 }
 
 // NewReceiver constructs a subscriber; call Start to begin listening.
@@ -193,13 +215,19 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 		r.ns.Delete(string(e.Key))
 		r.stats.Expired++
 		r.m.expired.Inc()
-		traceRecord(cfg.Trace, trace.Expire, string(e.Key))
+		r.cfg.Consistency.Forget(r.cfg.ReceiverID, string(e.Key))
+		traceRecord(cfg.Trace, cfg.TraceNode, trace.Expire, string(e.Key))
 		if cfg.OnExpire != nil {
 			r.enqueueCallback(appCallback{expire: true, key: string(e.Key)})
 		}
 	}
 	return r, nil
 }
+
+// Consistency returns the receiver's online consistency estimator
+// (never nil after NewReceiver); its Snapshot is the `consistency`
+// section served by the admin endpoint.
+func (r *Receiver) Consistency() *staleness.Estimator { return r.cfg.Consistency }
 
 // Start launches the listen, sweep, timer, dispatch, and report loops.
 func (r *Receiver) Start() {
@@ -377,7 +405,7 @@ func (r *Receiver) dispatch(hdr protocol.Header, msg protocol.Message) {
 	case *protocol.Data:
 		r.onData(m)
 	case *protocol.Summary:
-		r.onSummary(m)
+		r.onSummary(hdr, m)
 	case *protocol.Digests:
 		r.onDigests(m)
 	case *protocol.Goodbye:
@@ -452,7 +480,7 @@ func (r *Receiver) schedulePeerData(key string) {
 		}
 		r.stats.PeerDataSent++
 		r.m.peerData.Inc()
-		traceRecord(r.cfg.Trace, trace.Repair, key)
+		traceRecord(r.cfg.Trace, r.cfg.TraceNode, trace.Repair, key)
 		r.mu.Unlock()
 		r.sendControl(msg)
 	})
@@ -503,10 +531,12 @@ func (r *Receiver) onData(m *protocol.Data) {
 	if m.Deleted {
 		if r.sub.Drop(table.Key(m.Key)) {
 			r.ns.Delete(m.Key)
+			traceRecord(r.cfg.Trace, r.cfg.TraceNode, trace.Tombstone, m.Key)
 			if r.cfg.OnExpire != nil {
 				r.enqueueCallback(appCallback{expire: true, key: m.Key})
 			}
 		}
+		r.cfg.Consistency.Forget(r.cfg.ReceiverID, m.Key)
 		r.sup.Repaired(m.Key)
 		return
 	}
@@ -514,21 +544,30 @@ func (r *Receiver) onData(m *protocol.Data) {
 	if ttl <= 0 {
 		ttl = 30
 	}
+	born := float64(m.BornMs) / 1000
 	prev, had := r.sub.Get(table.Key(m.Key), now)
 	isDup := had && prev.Version >= m.Ver
-	changed := r.sub.Apply(table.Key(m.Key), m.Value, m.Ver, now, ttl)
+	changed := r.sub.ApplyBorn(table.Key(m.Key), m.Value, m.Ver, now, ttl, born)
 	if changed {
 		if err := r.ns.Put(m.Key, m.Value, m.Ver); err == nil {
 			r.stats.DataReceived++
 			r.m.deliveries.Inc()
-			traceRecord(r.cfg.Trace, trace.Deliver, m.Key)
+			traceRecord(r.cfg.Trace, r.cfg.TraceNode, trace.Deliver, m.Key)
 			// T_rec here is repair latency: first-NACK-scheduled to
-			// delivery (live Data carries no publish timestamp; the
-			// simulator's histogram of the same name measures
-			// born-to-delivery).
+			// delivery. t_vis is the end-to-end quantity: origin publish
+			// (stamped on the wire, preserved across relay hops) to
+			// local delivery.
 			if t0, ok := r.repairT[m.Key]; ok {
 				r.m.tRec.Observe(now - t0)
 				delete(r.repairT, m.Key)
+			}
+			if m.BornMs > 0 {
+				lag := now - born
+				if lag < 0 {
+					lag = 0 // clock skew between origin and replica
+				}
+				r.m.tvis.Observe(lag)
+				r.cfg.Consistency.ObserveTVisAt(now, lag)
 			}
 			r.m.replica.Set(float64(r.sub.Len()))
 			if r.cfg.OnUpdate != nil {
@@ -536,12 +575,20 @@ func (r *Receiver) onData(m *protocol.Data) {
 					key:     m.Key,
 					value:   append([]byte(nil), m.Value...),
 					version: m.Ver,
+					born:    born,
 				})
 			}
 		}
 	} else if isDup {
 		r.stats.Duplicates++
 		r.m.duplicates.Inc()
+	}
+	if changed || (had && prev.Version == m.Ver) {
+		// Delivering a new version, or hearing a refresh for exactly
+		// the version we hold, confirms the record is current — the
+		// per-key staleness clock resets. An announcement older than
+		// the replica proves nothing and is excluded.
+		r.cfg.Consistency.ConfirmAt(r.cfg.ReceiverID, m.Key, now)
 	}
 	r.sup.Repaired(m.Key)
 	// A repair answered by anyone damps our pending peer response.
@@ -576,7 +623,8 @@ func (r *Receiver) flushReplicaLocked() {
 		r.ns.Delete(key)
 		r.stats.Expired++
 		r.m.expired.Inc()
-		traceRecord(r.cfg.Trace, trace.Expire, key)
+		r.cfg.Consistency.Forget(r.cfg.ReceiverID, key)
+		traceRecord(r.cfg.Trace, r.cfg.TraceNode, trace.Expire, key)
 		if r.cfg.OnExpire != nil {
 			r.enqueueCallback(appCallback{expire: true, key: key})
 		}
@@ -586,10 +634,21 @@ func (r *Receiver) flushReplicaLocked() {
 
 // onSummary compares the announced root digest against the replica's
 // and, on mismatch, schedules a namespace query (suppression-slotted).
-func (r *Receiver) onSummary(m *protocol.Summary) {
+func (r *Receiver) onSummary(hdr protocol.Header, m *protocol.Summary) {
 	r.stats.SummariesHeard++
 	local, err := r.ns.Digest(m.Path)
-	if err == nil && local == namespace.Digest(m.Digest) {
+	agree := err == nil && local == namespace.Digest(m.Digest)
+	// Every publisher root summary is one Bernoulli observation of the
+	// paper's c(t): digest equality proves the replica identical to
+	// the live set at this instant. Peer summaries (Seq 0) are not
+	// sampled — they compare replicas, not replica-vs-publisher.
+	if m.Path == "" && r.pubSeen && hdr.Sender == r.pubID && hdr.Seq > 0 {
+		r.cfg.Consistency.SampleAgreementAt(nowSeconds(), agree)
+		if agree {
+			traceRecord(r.cfg.Trace, r.cfg.TraceNode, trace.Confirm, "")
+		}
+	}
+	if agree {
 		r.sup.Repaired("?" + m.Path)
 		return
 	}
@@ -692,7 +751,7 @@ func (r *Receiver) scheduleNACK(key string) {
 		}
 		r.stats.NACKsSent++
 		r.m.nacksSent.Inc()
-		traceRecord(r.cfg.Trace, trace.NACK, key)
+		traceRecord(r.cfg.Trace, r.cfg.TraceNode, trace.NACK, key)
 		next := r.sup.Reschedule(key, nowSeconds())
 		r.armTimerLocked(key, next, fire)
 		r.mu.Unlock()
@@ -832,7 +891,7 @@ func (r *Receiver) callbackLoop() {
 						r.cfg.OnExpire(cb.key)
 					}
 				} else if r.cfg.OnUpdate != nil {
-					r.cfg.OnUpdate(cb.key, cb.value, cb.version)
+					r.cfg.OnUpdate(cb.key, cb.value, cb.version, cb.born)
 				}
 				cb.value = nil
 			}
@@ -859,6 +918,7 @@ func (r *Receiver) sweepLoop() {
 	defer r.wg.Done()
 	tick := time.NewTicker(250 * time.Millisecond)
 	defer tick.Stop()
+	ticks := 0
 	for {
 		select {
 		case <-r.done:
@@ -874,6 +934,12 @@ func (r *Receiver) sweepLoop() {
 				}
 			}
 			r.mu.Unlock()
+			// Refresh the windowed consistency gauges at a gentler
+			// cadence: the staleness-age quantiles sort all tracked
+			// keys, which is too dear to redo every 250ms.
+			if ticks++; ticks%8 == 0 {
+				r.m.setConsistency(r.cfg.Consistency.SnapshotAt(now))
+			}
 		}
 	}
 }

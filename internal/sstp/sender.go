@@ -95,6 +95,12 @@ type SenderConfig struct {
 	// its own goroutines — use trace.NewSafe.
 	Trace *trace.Ring
 
+	// TraceNode names this sender in trace events (default
+	// "s<SenderID>"). Relay trees set distinctive names per link so a
+	// record's multi-hop journey is reconstructible from one JSONL
+	// dump.
+	TraceNode string
+
 	Seed int64
 }
 
@@ -127,6 +133,9 @@ func (c SenderConfig) withDefaults() (SenderConfig, error) {
 	}
 	if c.Scope == 0 {
 		c.Scope = protocol.DefaultScope
+	}
+	if c.TraceNode == "" {
+		c.TraceNode = fmt.Sprintf("s%d", c.SenderID)
 	}
 	if len(c.Classes) == 0 {
 		c.Classes = []Class{{Name: "data", Weight: 1}}
@@ -299,7 +308,7 @@ func NewSender(cfg SenderConfig) (*Sender, error) {
 			s.removeEntry(e)
 		}
 		s.m.deletes.Inc()
-		traceRecord(cfg.Trace, trace.Die, key)
+		traceRecord(cfg.Trace, cfg.TraceNode, trace.Die, key)
 	}
 	s.pub.OnExpire = s.onPubExpire
 	// Build the Figure-12 sharing tree: root -> class -> {hot, cold}.
@@ -392,18 +401,21 @@ func (s *Sender) Goodbye() {
 // Publish inserts or updates a record. Lifetime 0 means the record
 // lives until Delete.
 func (s *Sender) Publish(key string, value []byte, lifetime time.Duration) error {
-	return s.publish(key, value, 0, false, lifetime)
+	return s.publish(key, value, 0, false, 0, lifetime)
 }
 
-// Republish is Publish with a caller-supplied record version. Relays
-// use it to forward upstream records verbatim: the namespace digest
-// covers versions, so only version-preserving forwarding lets every
-// replica in an overlay tree hash to the origin publisher's digest.
-func (s *Sender) Republish(key string, value []byte, version uint64, lifetime time.Duration) error {
-	return s.publish(key, value, version, true, lifetime)
+// Republish is Publish with a caller-supplied record version and
+// origin publish time (Unix seconds; 0 = unknown). Relays use it to
+// forward upstream records verbatim: the namespace digest covers
+// versions, so only version-preserving forwarding lets every replica
+// in an overlay tree hash to the origin publisher's digest — and
+// preserving the origin time keeps downstream visibility lag measured
+// end-to-end rather than per hop.
+func (s *Sender) Republish(key string, value []byte, version uint64, born float64, lifetime time.Duration) error {
+	return s.publish(key, value, version, true, born, lifetime)
 }
 
-func (s *Sender) publish(key string, value []byte, version uint64, haveVersion bool, lifetime time.Duration) error {
+func (s *Sender) publish(key string, value []byte, version uint64, haveVersion bool, born float64, lifetime time.Duration) error {
 	if _, err := namespace.SplitPath(key); err != nil {
 		return err
 	}
@@ -421,7 +433,7 @@ func (s *Sender) publish(key string, value []byte, version uint64, haveVersion b
 	now := nowSeconds()
 	var rec *table.Record
 	if haveVersion {
-		rec = s.pub.PutVersion(table.Key(key), value, version, now, lifetime.Seconds())
+		rec = s.pub.PutVersionBorn(table.Key(key), value, version, born, now, lifetime.Seconds())
 	} else {
 		rec = s.pub.Put(table.Key(key), value, now, lifetime.Seconds())
 	}
@@ -436,10 +448,10 @@ func (s *Sender) publish(key string, value []byte, version uint64, haveVersion b
 		e = &sendEntry{key: key, class: s.classify(key), queue: -1}
 		s.entries[key] = e
 		s.m.publishes.Inc()
-		traceRecord(s.cfg.Trace, trace.Arrive, key)
+		traceRecord(s.cfg.Trace, s.cfg.TraceNode, trace.Arrive, key)
 	} else {
 		s.m.updates.Inc()
-		traceRecord(s.cfg.Trace, trace.Update, key)
+		traceRecord(s.cfg.Trace, s.cfg.TraceNode, trace.Update, key)
 	}
 	e.tombstone = 0
 	s.moveTo(e, sqHot)
@@ -480,7 +492,7 @@ func (s *Sender) Delete(key string) bool {
 	s.moveTo(e, sqHot)
 	s.m.deletes.Inc()
 	s.m.live.Set(float64(s.pub.Len()))
-	traceRecord(s.cfg.Trace, trace.Die, key)
+	traceRecord(s.cfg.Trace, s.cfg.TraceNode, trace.Die, key)
 	return true
 }
 
@@ -698,10 +710,11 @@ func (s *Sender) nextAnnouncement() ([]byte, bool) {
 			return nil, false
 		}
 		s.dataMsg = protocol.Data{
-			Key:   e.key,
-			Ver:   rec.Version,
-			TTLms: uint32(s.cfg.TTL.Milliseconds()),
-			Value: rec.Value,
+			Key:    e.key,
+			Ver:    rec.Version,
+			TTLms:  uint32(s.cfg.TTL.Milliseconds()),
+			BornMs: uint64(rec.Born * 1000),
+			Value:  rec.Value,
 		}
 		if !s.cfg.NoRetransmit {
 			s.moveTo(e, sqCold)
@@ -730,7 +743,7 @@ func (s *Sender) nextAnnouncement() ([]byte, bool) {
 		s.m.byClassBits[e.class].Add(uint64(8 * len(buf)))
 	}
 	s.m.live.Set(float64(s.pub.Len())) // Sweep above may have expired records
-	traceRecord(s.cfg.Trace, trace.Transmit, e.key)
+	traceRecord(s.cfg.Trace, s.cfg.TraceNode, trace.Transmit, e.key)
 	s.share.Charge(leaf, float64(8*len(buf)))
 	return buf, true
 }
@@ -815,7 +828,7 @@ func (s *Sender) onNACK(m *protocol.NACK) {
 			s.moveTo(e, sqHot)
 			s.stats.KeysPromoted++
 			s.m.promotions.Inc()
-			traceRecord(s.cfg.Trace, trace.Promote, key)
+			traceRecord(s.cfg.Trace, s.cfg.TraceNode, trace.Promote, key)
 		}
 	}
 }

@@ -1,0 +1,472 @@
+// Package staleness provides online consistency estimation for the
+// live SSTP stack: sliding-window quantiles of visibility lag
+// ("t-visibility" in the PBS sense — how long after an origin publish
+// a replica saw the write), per-key age-of-last-confirmed-version
+// tracking, and a windowed E[c(t)] estimate derived from
+// namespace-digest agreement with the upstream publisher.
+//
+// The paper (section 6) derives consistency profiles E[c(t)] offline
+// from the model parameters; this package measures the same quantities
+// online so a controller can close the loop (ROADMAP item 3).
+//
+// All types are race-clean (mutex-guarded) and bounded-memory: window
+// state lives in a fixed ring of time slices that decay as the window
+// advances, so a long-running receiver never accumulates unbounded
+// sample history. Like the instruments in internal/obs, every method
+// is nil-safe — a nil *Window, *Tracker, *Agreement, or *Estimator is
+// a no-op — so callers can wire estimation unconditionally.
+//
+// Methods come in explicit-time (ObserveAt, QuantileAt, ...) and
+// wall-clock convenience forms; explicit time keeps tests
+// deterministic and lets the simulator reuse the estimators.
+package staleness
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultWindow is the horizon over which windowed estimates decay.
+const DefaultWindow = 30 * time.Second
+
+// defaultSlices is the number of time slices a window is divided
+// into; finer slicing smooths decay at slightly more memory.
+const defaultSlices = 15
+
+// defaultBounds are the histogram bucket upper bounds (seconds) used
+// by Window: exponential from 1ms to ~16s, then +Inf. Visibility lags
+// beyond that are operationally "very stale" and land in the tail.
+func defaultBounds() []float64 {
+	bounds := make([]float64, 0, 15)
+	for b := 0.001; b < 17; b *= 2 {
+		bounds = append(bounds, b)
+	}
+	return bounds
+}
+
+// Quantiles is a point-in-time summary of a windowed distribution.
+// Field order is the JSON rendering order in /stats.json.
+type Quantiles struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// windowSlice is one time slice of a Window: a bucketed histogram of
+// the samples observed during that slice.
+type windowSlice struct {
+	epoch  int64 // slice index since t=0; -1 = never used
+	counts []uint64
+	count  uint64
+	sum    float64
+	max    float64
+}
+
+// Window is a sliding-window quantile estimator: a ring of
+// defaultSlices bucketed histograms, each covering window/defaultSlices
+// seconds. Observations older than the window fall out when their
+// slice is reused, so memory is O(slices × buckets) regardless of
+// sample rate. Quantile attribution matches internal/obs.Histogram:
+// the reported value is the upper bound of the bucket containing the
+// requested rank, so estimates are conservative (never understate).
+type Window struct {
+	mu     sync.Mutex
+	bounds []float64 // bucket upper bounds; len(counts) == len(bounds)+1
+	width  float64   // seconds covered by one slice
+	slices []windowSlice
+}
+
+// NewWindow returns a sliding-window estimator covering roughly the
+// given horizon (snapped up to a whole number of slices).
+func NewWindow(window time.Duration) *Window {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	bounds := defaultBounds()
+	w := &Window{
+		bounds: bounds,
+		width:  window.Seconds() / defaultSlices,
+		slices: make([]windowSlice, defaultSlices),
+	}
+	for i := range w.slices {
+		w.slices[i].epoch = -1
+		w.slices[i].counts = make([]uint64, len(bounds)+1)
+	}
+	return w
+}
+
+// ObserveAt records a sample (seconds) at explicit time now.
+func (w *Window) ObserveAt(now, v float64) {
+	if w == nil {
+		return
+	}
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := w.sliceFor(now)
+	i := sort.SearchFloat64s(w.bounds, v)
+	s.counts[i]++
+	s.count++
+	s.sum += v
+	if v > s.max {
+		s.max = v
+	}
+}
+
+// Observe records a sample at the current wall-clock time.
+func (w *Window) Observe(v float64) { w.ObserveAt(wallSeconds(), v) }
+
+// sliceFor returns the slice covering time now, resetting it if it
+// last covered an older epoch. Caller holds the lock.
+func (w *Window) sliceFor(now float64) *windowSlice {
+	epoch := int64(now / w.width)
+	s := &w.slices[int(epoch%int64(len(w.slices)))]
+	if s.epoch != epoch {
+		s.epoch = epoch
+		for i := range s.counts {
+			s.counts[i] = 0
+		}
+		s.count, s.sum, s.max = 0, 0, 0
+	}
+	return s
+}
+
+// SummaryAt returns the windowed quantile summary as of time now.
+func (w *Window) SummaryAt(now float64) Quantiles {
+	if w == nil {
+		return Quantiles{}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	minEpoch := int64(now/w.width) - int64(len(w.slices)) + 1
+	var q Quantiles
+	agg := make([]uint64, len(w.bounds)+1)
+	for i := range w.slices {
+		s := &w.slices[i]
+		if s.epoch < minEpoch || s.count == 0 {
+			continue
+		}
+		for j, c := range s.counts {
+			agg[j] += c
+		}
+		q.Count += s.count
+		q.Mean += s.sum // holds the sum until divided below
+		if s.max > q.Max {
+			q.Max = s.max
+		}
+	}
+	if q.Count == 0 {
+		return Quantiles{}
+	}
+	q.Mean /= float64(q.Count)
+	q.P50 = w.rank(agg, q.Count, 0.50)
+	q.P95 = w.rank(agg, q.Count, 0.95)
+	q.P99 = w.rank(agg, q.Count, 0.99)
+	return q
+}
+
+// Summary returns the windowed summary as of the current wall clock.
+func (w *Window) Summary() Quantiles { return w.SummaryAt(wallSeconds()) }
+
+// rank returns the value at quantile q given aggregated bucket counts,
+// attributing each bucket's samples to its upper bound (the overflow
+// bucket reports the last finite bound).
+func (w *Window) rank(agg []uint64, total uint64, q float64) float64 {
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range agg {
+		cum += c
+		if cum >= target {
+			if i < len(w.bounds) {
+				return w.bounds[i]
+			}
+			return w.bounds[len(w.bounds)-1]
+		}
+	}
+	return w.bounds[len(w.bounds)-1]
+}
+
+// Tracker records, per (source, key), the time the local replica last
+// confirmed it holds the source's current version — either by
+// delivering a new value or by hearing a refresh announcement for the
+// version already held. The age distribution over tracked keys is the
+// per-key staleness exposed in /stats.json.
+type Tracker struct {
+	mu   sync.Mutex
+	last map[uint64]map[string]float64 // source -> key -> last confirm time
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{last: make(map[uint64]map[string]float64)}
+}
+
+// ConfirmAt records that key from source was confirmed current at now.
+func (t *Tracker) ConfirmAt(source uint64, key string, now float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := t.last[source]
+	if m == nil {
+		m = make(map[string]float64)
+		t.last[source] = m
+	}
+	m[key] = now
+}
+
+// Forget drops a key (on replica expiry, tombstone, or goodbye flush)
+// so dead records stop contributing to the staleness distribution.
+func (t *Tracker) Forget(source uint64, key string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if m := t.last[source]; m != nil {
+		delete(m, key)
+		if len(m) == 0 {
+			delete(t.last, source)
+		}
+	}
+}
+
+// Len returns the number of tracked keys across all sources.
+func (t *Tracker) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, m := range t.last {
+		n += len(m)
+	}
+	return n
+}
+
+// AgesAt returns the exact staleness-age quantiles (now minus last
+// confirmation) over all tracked keys. Cost is O(n log n) in tracked
+// keys; callers poll at stats cadence, not per packet.
+func (t *Tracker) AgesAt(now float64) Quantiles {
+	if t == nil {
+		return Quantiles{}
+	}
+	t.mu.Lock()
+	ages := make([]float64, 0, 64)
+	var sum float64
+	for _, m := range t.last {
+		for _, when := range m {
+			age := now - when
+			if age < 0 {
+				age = 0
+			}
+			ages = append(ages, age)
+			sum += age
+		}
+	}
+	t.mu.Unlock()
+	if len(ages) == 0 {
+		return Quantiles{}
+	}
+	sort.Float64s(ages)
+	at := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(ages)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return ages[i]
+	}
+	return Quantiles{
+		Count: uint64(len(ages)),
+		Mean:  sum / float64(len(ages)),
+		P50:   at(0.50),
+		P95:   at(0.95),
+		P99:   at(0.99),
+		Max:   ages[len(ages)-1],
+	}
+}
+
+// agreeSlice is one time slice of agreement samples.
+type agreeSlice struct {
+	epoch int64
+	agree uint64
+	total uint64
+}
+
+// Agreement estimates E[c(t)] online from digest-agreement samples:
+// each time the receiver hears the publisher's root namespace digest
+// it samples agree=true when the replica's digest matches (the replica
+// is provably identical to the live set) and false otherwise. The
+// windowed agreement fraction is an unbiased estimate of the
+// probability a random observation finds the replica consistent —
+// the paper's E[c(t)] under the announcement-sampled measure.
+type Agreement struct {
+	mu     sync.Mutex
+	width  float64
+	slices []agreeSlice
+}
+
+// NewAgreement returns a windowed agreement estimator.
+func NewAgreement(window time.Duration) *Agreement {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	a := &Agreement{
+		width:  window.Seconds() / defaultSlices,
+		slices: make([]agreeSlice, defaultSlices),
+	}
+	for i := range a.slices {
+		a.slices[i].epoch = -1
+	}
+	return a
+}
+
+// SampleAt records one agreement observation at explicit time now.
+func (a *Agreement) SampleAt(now float64, agree bool) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	epoch := int64(now / a.width)
+	s := &a.slices[int(epoch%int64(len(a.slices)))]
+	if s.epoch != epoch {
+		s.epoch, s.agree, s.total = epoch, 0, 0
+	}
+	s.total++
+	if agree {
+		s.agree++
+	}
+}
+
+// Sample records one agreement observation at the current wall clock.
+func (a *Agreement) Sample(agree bool) { a.SampleAt(wallSeconds(), agree) }
+
+// EstimateAt returns the windowed agreement fraction as of now and the
+// number of samples it is based on. With no samples in the window the
+// estimate is reported as 1 (vacuously consistent) with samples == 0
+// so callers can distinguish "measured perfect" from "unmeasured".
+func (a *Agreement) EstimateAt(now float64) (estimate float64, samples uint64) {
+	if a == nil {
+		return 1, 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	minEpoch := int64(now/a.width) - int64(len(a.slices)) + 1
+	var agree, total uint64
+	for i := range a.slices {
+		s := &a.slices[i]
+		if s.epoch < minEpoch {
+			continue
+		}
+		agree += s.agree
+		total += s.total
+	}
+	if total == 0 {
+		return 1, 0
+	}
+	return float64(agree) / float64(total), total
+}
+
+// Snapshot is the consistency section served under /stats.json.
+// Field order here is the rendered JSON order.
+type Snapshot struct {
+	WindowSeconds    float64   `json:"window_seconds"`
+	TVis             Quantiles `json:"t_visibility_seconds"`
+	Staleness        Quantiles `json:"staleness_age_seconds"`
+	TrackedKeys      int       `json:"tracked_keys"`
+	Consistency      float64   `json:"consistency_estimate"`
+	AgreementSamples uint64    `json:"agreement_samples"`
+}
+
+// Estimator bundles the three consistency estimators a receiver
+// maintains. Like obs.Registry it may be shared by several receivers
+// (e.g. every leaf of a load-test tree) — all methods are race-clean.
+type Estimator struct {
+	window time.Duration
+	tvis   *Window
+	ages   *Tracker
+	agree  *Agreement
+}
+
+// NewEstimator returns an estimator with the given decay window
+// (DefaultWindow when <= 0).
+func NewEstimator(window time.Duration) *Estimator {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Estimator{
+		window: window,
+		tvis:   NewWindow(window),
+		ages:   NewTracker(),
+		agree:  NewAgreement(window),
+	}
+}
+
+// ObserveTVisAt records one visibility-lag sample (seconds from origin
+// publish to local delivery) at explicit time now.
+func (e *Estimator) ObserveTVisAt(now, lag float64) {
+	if e == nil {
+		return
+	}
+	e.tvis.ObserveAt(now, lag)
+}
+
+// ConfirmAt records that key from source was confirmed current at now.
+func (e *Estimator) ConfirmAt(source uint64, key string, now float64) {
+	if e == nil {
+		return
+	}
+	e.ages.ConfirmAt(source, key, now)
+}
+
+// Forget drops a key from staleness tracking.
+func (e *Estimator) Forget(source uint64, key string) {
+	if e == nil {
+		return
+	}
+	e.ages.Forget(source, key)
+}
+
+// SampleAgreementAt records one digest-agreement observation.
+func (e *Estimator) SampleAgreementAt(now float64, agree bool) {
+	if e == nil {
+		return
+	}
+	e.agree.SampleAt(now, agree)
+}
+
+// SnapshotAt returns the consistency section as of explicit time now.
+func (e *Estimator) SnapshotAt(now float64) Snapshot {
+	if e == nil {
+		return Snapshot{Consistency: 1}
+	}
+	est, samples := e.agree.EstimateAt(now)
+	return Snapshot{
+		WindowSeconds:    e.window.Seconds(),
+		TVis:             e.tvis.SummaryAt(now),
+		Staleness:        e.ages.AgesAt(now),
+		TrackedKeys:      e.ages.Len(),
+		Consistency:      est,
+		AgreementSamples: samples,
+	}
+}
+
+// Snapshot returns the consistency section at the current wall clock.
+func (e *Estimator) Snapshot() Snapshot { return e.SnapshotAt(wallSeconds()) }
+
+// wallSeconds is the wall clock as float seconds, matching the time
+// base the live SSTP stack feeds the time-agnostic tables.
+func wallSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }

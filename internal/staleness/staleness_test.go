@@ -1,0 +1,232 @@
+package staleness
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWindowQuantiles(t *testing.T) {
+	w := NewWindow(30 * time.Second)
+	now := 100.0
+	// 90 fast samples at ~2ms, 10 slow at ~1s.
+	for i := 0; i < 90; i++ {
+		w.ObserveAt(now, 0.0015)
+	}
+	for i := 0; i < 10; i++ {
+		w.ObserveAt(now, 0.9)
+	}
+	q := w.SummaryAt(now)
+	if q.Count != 100 {
+		t.Fatalf("count = %d, want 100", q.Count)
+	}
+	// 0.0015 lands in the (0.001, 0.002] bucket -> attributed 0.002.
+	if q.P50 != 0.002 {
+		t.Errorf("p50 = %v, want 0.002", q.P50)
+	}
+	// p95 and p99 fall among the slow samples: (0.512, 1.024] -> 1.024.
+	if q.P95 != 1.024 || q.P99 != 1.024 {
+		t.Errorf("p95, p99 = %v, %v, want 1.024, 1.024", q.P95, q.P99)
+	}
+	if q.Max != 0.9 {
+		t.Errorf("max = %v, want 0.9", q.Max)
+	}
+	if q.Mean <= 0 || q.Mean >= 0.9 {
+		t.Errorf("mean = %v out of range", q.Mean)
+	}
+}
+
+func TestWindowDecay(t *testing.T) {
+	w := NewWindow(10 * time.Second)
+	w.ObserveAt(100, 5.0)
+	if q := w.SummaryAt(100); q.Count != 1 {
+		t.Fatalf("fresh sample not visible: %+v", q)
+	}
+	// Well past the window the sample must have decayed out.
+	if q := w.SummaryAt(200); q.Count != 0 {
+		t.Errorf("stale sample still visible after window: %+v", q)
+	}
+	// An empty window renders zeros, not garbage.
+	if q := w.SummaryAt(200); q.P99 != 0 || q.Max != 0 {
+		t.Errorf("empty window quantiles non-zero: %+v", q)
+	}
+}
+
+func TestWindowSliceReuse(t *testing.T) {
+	w := NewWindow(10 * time.Second)
+	// Fill a slice, advance far enough that the ring wraps onto it,
+	// and check the old contents were reset rather than merged.
+	w.ObserveAt(1, 1.0)
+	w.ObserveAt(1000, 2.0)
+	q := w.SummaryAt(1000)
+	if q.Count != 1 || q.Max != 2.0 {
+		t.Errorf("slice reuse leaked old samples: %+v", q)
+	}
+}
+
+func TestTrackerAges(t *testing.T) {
+	tr := NewTracker()
+	tr.ConfirmAt(1, "a", 10)
+	tr.ConfirmAt(1, "b", 18)
+	tr.ConfirmAt(2, "a", 19) // same key, different source: tracked apart
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tr.Len())
+	}
+	q := tr.AgesAt(20)
+	if q.Count != 3 {
+		t.Fatalf("count = %d, want 3", q.Count)
+	}
+	if q.Max != 10 { // key "a" from source 1 is 10s old
+		t.Errorf("max = %v, want 10", q.Max)
+	}
+	if q.P50 != 2 {
+		t.Errorf("p50 = %v, want 2", q.P50)
+	}
+	tr.Forget(1, "a")
+	if q := tr.AgesAt(20); q.Max != 2 || q.Count != 2 {
+		t.Errorf("after forget: %+v", q)
+	}
+	tr.Forget(1, "b")
+	tr.Forget(2, "a")
+	if tr.Len() != 0 {
+		t.Errorf("len = %d after forgetting all, want 0", tr.Len())
+	}
+	// Re-confirming is fresher than before: age clamps at >= 0 even if
+	// clocks skew.
+	tr.ConfirmAt(1, "c", 30)
+	if q := tr.AgesAt(25); q.Max != 0 {
+		t.Errorf("negative age not clamped: %+v", q)
+	}
+}
+
+func TestAgreementDropAndReconverge(t *testing.T) {
+	a := NewAgreement(10 * time.Second)
+	// Phase 1: all digests agree.
+	for i := 0; i < 20; i++ {
+		a.SampleAt(100+float64(i)*0.1, true)
+	}
+	if est, n := a.EstimateAt(102); est != 1 || n != 20 {
+		t.Fatalf("phase 1: est=%v n=%d, want 1, 20", est, n)
+	}
+	// Phase 2: a loss regime change makes every sample disagree.
+	for i := 0; i < 20; i++ {
+		a.SampleAt(103+float64(i)*0.1, false)
+	}
+	if est, _ := a.EstimateAt(105); est >= 0.6 {
+		t.Fatalf("phase 2: est=%v did not drop", est)
+	}
+	// Phase 3: agreement returns; once the window rolls past the bad
+	// phase the estimate re-converges to 1.
+	for i := 0; i < 20; i++ {
+		a.SampleAt(120+float64(i)*0.1, true)
+	}
+	if est, n := a.EstimateAt(122); est != 1 || n == 0 {
+		t.Fatalf("phase 3: est=%v n=%d, want 1 with samples", est, n)
+	}
+}
+
+func TestAgreementEmpty(t *testing.T) {
+	a := NewAgreement(10 * time.Second)
+	est, n := a.EstimateAt(50)
+	if est != 1 || n != 0 {
+		t.Errorf("empty estimate = %v, %d; want 1, 0", est, n)
+	}
+}
+
+func TestEstimatorSnapshot(t *testing.T) {
+	e := NewEstimator(20 * time.Second)
+	e.ObserveTVisAt(100, 0.010)
+	e.ObserveTVisAt(100, 0.030)
+	e.ConfirmAt(7, "k1", 99)
+	e.ConfirmAt(7, "k2", 100)
+	e.SampleAgreementAt(100, true)
+	e.SampleAgreementAt(100, false)
+	s := e.SnapshotAt(101)
+	if s.WindowSeconds != 20 {
+		t.Errorf("window = %v", s.WindowSeconds)
+	}
+	if s.TVis.Count != 2 {
+		t.Errorf("tvis count = %d", s.TVis.Count)
+	}
+	if s.TrackedKeys != 2 || s.Staleness.Count != 2 {
+		t.Errorf("tracked = %d, staleness = %+v", s.TrackedKeys, s.Staleness)
+	}
+	if s.Consistency != 0.5 || s.AgreementSamples != 2 {
+		t.Errorf("consistency = %v over %d samples", s.Consistency, s.AgreementSamples)
+	}
+	e.Forget(7, "k1")
+	if s := e.SnapshotAt(101); s.TrackedKeys != 1 {
+		t.Errorf("tracked after forget = %d", s.TrackedKeys)
+	}
+}
+
+// TestNilSafe checks every method on nil receivers: estimation must be
+// wireable unconditionally, like the obs instruments.
+func TestNilSafe(t *testing.T) {
+	var w *Window
+	w.ObserveAt(1, 1)
+	w.Observe(1)
+	if q := w.SummaryAt(1); q.Count != 0 {
+		t.Error("nil window summary non-zero")
+	}
+	_ = w.Summary()
+
+	var tr *Tracker
+	tr.ConfirmAt(1, "k", 1)
+	tr.Forget(1, "k")
+	if tr.Len() != 0 {
+		t.Error("nil tracker len non-zero")
+	}
+	if q := tr.AgesAt(1); q.Count != 0 {
+		t.Error("nil tracker ages non-zero")
+	}
+
+	var a *Agreement
+	a.SampleAt(1, true)
+	a.Sample(true)
+	if est, n := a.EstimateAt(1); est != 1 || n != 0 {
+		t.Error("nil agreement estimate wrong")
+	}
+
+	var e *Estimator
+	e.ObserveTVisAt(1, 1)
+	e.ConfirmAt(1, "k", 1)
+	e.Forget(1, "k")
+	e.SampleAgreementAt(1, true)
+	if s := e.SnapshotAt(1); s.Consistency != 1 {
+		t.Error("nil estimator snapshot wrong")
+	}
+	_ = e.Snapshot()
+}
+
+// TestEstimatorConcurrent hammers one shared estimator from many
+// goroutines while snapshots are taken — the shape a load-test tree
+// uses (all leaf receivers share one estimator). Run under -race.
+func TestEstimatorConcurrent(t *testing.T) {
+	e := NewEstimator(5 * time.Second)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			keys := []string{"a", "b", "c", "d"}
+			for i := 0; i < 2000; i++ {
+				now := float64(i) * 0.00001
+				e.ObserveTVisAt(now, float64(i%50)*0.001)
+				e.ConfirmAt(uint64(g), keys[i%len(keys)], now)
+				e.SampleAgreementAt(now, i%3 != 0)
+				if i%17 == 0 {
+					e.Forget(uint64(g), keys[i%len(keys)])
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		_ = e.SnapshotAt(float64(i) * 0.001)
+	}
+	wg.Wait()
+	s := e.SnapshotAt(0.05)
+	if s.TVis.Count == 0 || s.AgreementSamples == 0 {
+		t.Errorf("concurrent samples lost: %+v", s)
+	}
+}

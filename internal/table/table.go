@@ -72,7 +72,7 @@ func NewPublisher() *Publisher {
 // the stored record.
 func (p *Publisher) Put(key Key, value []byte, now, lifetime float64) *Record {
 	p.version++
-	return p.putAt(key, value, p.version, now, lifetime)
+	return p.putAt(key, value, p.version, now, now, lifetime)
 }
 
 // PutVersion is Put with a caller-supplied version: a relay
@@ -81,13 +81,24 @@ func (p *Publisher) Put(key Key, value []byte, now, lifetime float64) *Record {
 // local counter advances past the supplied version so interleaved Put
 // calls stay monotone.
 func (p *Publisher) PutVersion(key Key, value []byte, version uint64, now, lifetime float64) *Record {
+	return p.PutVersionBorn(key, value, version, now, now, lifetime)
+}
+
+// PutVersionBorn is PutVersion with an explicit origin time for the
+// version: relays republishing upstream records preserve the origin
+// publish time so downstream visibility lag is measured end-to-end,
+// not per hop. born <= 0 falls back to now.
+func (p *Publisher) PutVersionBorn(key Key, value []byte, version uint64, born, now, lifetime float64) *Record {
 	if version > p.version {
 		p.version = version
 	}
-	return p.putAt(key, value, version, now, lifetime)
+	if born <= 0 {
+		born = now
+	}
+	return p.putAt(key, value, version, born, now, lifetime)
 }
 
-func (p *Publisher) putAt(key Key, value []byte, version uint64, now, lifetime float64) *Record {
+func (p *Publisher) putAt(key Key, value []byte, version uint64, born, now, lifetime float64) *Record {
 	if key == "" {
 		panic("table: empty key")
 	}
@@ -102,7 +113,7 @@ func (p *Publisher) putAt(key Key, value []byte, version uint64, now, lifetime f
 	}
 	rec.Value = append(rec.Value[:0], value...)
 	rec.Version = version
-	rec.Born = now
+	rec.Born = born
 	rec.Expires = expires
 	switch {
 	case expires < inf && rec.heapIdx < 0:
@@ -207,6 +218,7 @@ type Entry struct {
 	Key      Key
 	Value    []byte
 	Version  uint64
+	Born     float64 // origin publish time of this version (0 = unknown)
 	Deadline float64 // local expiry; reset by each announcement
 
 	heapIdx int // slot in the subscriber's deadline heap
@@ -245,6 +257,13 @@ func NewSubscriber() *Subscriber {
 // (hearing any announcement proves the record is alive). It reports
 // whether the stored value changed.
 func (s *Subscriber) Apply(key Key, value []byte, version uint64, now, ttl float64) bool {
+	return s.ApplyBorn(key, value, version, now, ttl, 0)
+}
+
+// ApplyBorn is Apply with the announced version's origin publish time
+// (0 = unknown); replicas carry it so peer repairs and relay hops can
+// preserve end-to-end visibility lag.
+func (s *Subscriber) ApplyBorn(key Key, value []byte, version uint64, now, ttl, born float64) bool {
 	if key == "" {
 		panic("table: empty key")
 	}
@@ -269,6 +288,7 @@ func (s *Subscriber) Apply(key Key, value []byte, version uint64, now, ttl float
 	if version >= e.Version {
 		e.Value = append(e.Value[:0], value...)
 		e.Version = version
+		e.Born = born
 	}
 	if changed && s.OnUpdate != nil {
 		s.OnUpdate(e)

@@ -26,16 +26,18 @@ type Kind int
 
 // Event kinds, in rough lifecycle order.
 const (
-	Arrive   Kind = iota // record entered the live set
-	Update               // record's value changed
-	Transmit             // announcement entered service
-	Deliver              // receiver got it
-	Lose                 // channel dropped it for a receiver
-	Promote              // NACK moved it cold -> hot
-	NACK                 // receiver requested repair
-	Die                  // record left the live set
-	Expire               // replica entry timed out at a receiver
-	Repair               // a peer answered a repair from its replica
+	Arrive    Kind = iota // record entered the live set
+	Update                // record's value changed
+	Transmit              // announcement entered service
+	Deliver               // receiver got it
+	Lose                  // channel dropped it for a receiver
+	Promote               // NACK moved it cold -> hot
+	NACK                  // receiver requested repair
+	Die                   // record left the live set
+	Expire                // replica entry timed out at a receiver
+	Repair                // a peer answered a repair from its replica
+	Confirm               // replica confirmed consistent (digest agreement / feedback)
+	Tombstone             // deletion announcement applied at a receiver
 
 	// NumKinds is the number of declared kinds; every Kind below it
 	// must have a name in kindNames (enforced by TestKindNames).
@@ -45,16 +47,18 @@ const (
 // kindNames maps each declared Kind to its wire/display name. Adding
 // a Kind without extending this table fails the kind-name test.
 var kindNames = [NumKinds]string{
-	Arrive:   "ARRIVE",
-	Update:   "UPDATE",
-	Transmit: "TX",
-	Deliver:  "DELIVER",
-	Lose:     "LOSE",
-	Promote:  "PROMOTE",
-	NACK:     "NACK",
-	Die:      "DIE",
-	Expire:   "EXPIRE",
-	Repair:   "REPAIR",
+	Arrive:    "ARRIVE",
+	Update:    "UPDATE",
+	Transmit:  "TX",
+	Deliver:   "DELIVER",
+	Lose:      "LOSE",
+	Promote:   "PROMOTE",
+	NACK:      "NACK",
+	Die:       "DIE",
+	Expire:    "EXPIRE",
+	Repair:    "REPAIR",
+	Confirm:   "CONFIRM",
+	Tombstone: "TOMB",
 }
 
 // String names the kind. Unknown kinds render stably as KIND(n), so
@@ -71,29 +75,36 @@ type Event struct {
 	T        float64 // simulated or wall-clock time, seconds
 	Kind     Kind
 	Key      string
-	Receiver int // -1 when not receiver-specific
+	Node     string // which protocol node stamped it ("" = unattributed)
+	Receiver int    // -1 when not receiver-specific
 }
 
 // String renders one line.
 func (e Event) String() string {
-	if e.Receiver >= 0 {
-		return fmt.Sprintf("%10.4f %-8s %s rcv=%d", e.T, e.Kind, e.Key, e.Receiver)
+	s := fmt.Sprintf("%10.4f %-8s %s", e.T, e.Kind, e.Key)
+	if e.Node != "" {
+		s += " node=" + e.Node
 	}
-	return fmt.Sprintf("%10.4f %-8s %s", e.T, e.Kind, e.Key)
+	if e.Receiver >= 0 {
+		s += fmt.Sprintf(" rcv=%d", e.Receiver)
+	}
+	return s
 }
 
-// eventJSON is Event's wire form; Kind travels as its name and the
-// receiver is omitted when not receiver-specific.
+// eventJSON is Event's wire form; Kind travels as its name, and the
+// node and receiver are omitted when not set — so pre-node JSONL
+// traces still parse.
 type eventJSON struct {
 	T    float64 `json:"t"`
 	Kind string  `json:"kind"`
 	Key  string  `json:"key"`
+	Node string  `json:"node,omitempty"`
 	Rcv  *int    `json:"rcv,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler.
 func (e Event) MarshalJSON() ([]byte, error) {
-	j := eventJSON{T: e.T, Kind: e.Kind.String(), Key: e.Key}
+	j := eventJSON{T: e.T, Kind: e.Kind.String(), Key: e.Key, Node: e.Node}
 	if e.Receiver >= 0 {
 		rcv := e.Receiver
 		j.Rcv = &rcv
@@ -108,7 +119,7 @@ func (e *Event) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &j); err != nil {
 		return err
 	}
-	e.T, e.Key = j.T, j.Key
+	e.T, e.Key, e.Node = j.T, j.Key, j.Node
 	e.Receiver = -1
 	if j.Rcv != nil {
 		e.Receiver = *j.Rcv
@@ -193,6 +204,13 @@ func (r *Ring) Add(e Event) {
 // Record is shorthand for Add.
 func (r *Ring) Record(t float64, k Kind, key string, receiver int) {
 	r.Add(Event{T: t, Kind: k, Key: key, Receiver: receiver})
+}
+
+// RecordNode is Add with a node attribution — the live stack stamps
+// which sender, receiver, or relay link an event happened at, so one
+// record's journey through a relay tree reads directly off the JSONL.
+func (r *Ring) RecordNode(t float64, k Kind, key, node string) {
+	r.Add(Event{T: t, Kind: k, Key: key, Node: node, Receiver: -1})
 }
 
 // Len returns the number of retained events.
