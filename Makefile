@@ -1,14 +1,21 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench benchfast benchjson loadsmoke relaysmoke fuzzsmoke obssmoke staticcheck
+.PHONY: check build vet fmt test race bench benchfast benchjson loadsmoke relaysmoke scalesmoke fuzzsmoke obssmoke staticcheck
 
 ## check: the extended tier-1 gate — everything a PR must keep green.
-check: fmt vet build race bench loadsmoke relaysmoke fuzzsmoke obssmoke
+check: fmt vet build race bench loadsmoke relaysmoke fuzzsmoke obssmoke scalesmoke
 
 ## loadsmoke: drive the live stack end-to-end under ssload's quick
 ## profile; fails unless every receiver's replica converges.
 loadsmoke:
 	$(GO) run ./cmd/ssload -quick
+
+## scalesmoke: quick striped+batched scaling smoke — a 4-stripe
+## coalescing sender converging against a 1-stripe receiver at
+## GOMAXPROCS 1 and 2; fails unless every trial reaches digest
+## equality (the combined-root identity gate).
+scalesmoke:
+	GOMAXPROCS=2 $(GO) run ./cmd/ssload -scale -quick
 
 ## relaysmoke: publisher → relay → 4 leaves over a lossy memconn
 ## network; fails unless the tree converges, repair stays local, and
@@ -73,16 +80,23 @@ benchfast:
 		-bench='Publisher|Subscriber' ./internal/table/
 	$(GO) test -run=^$$ -benchmem -benchtime=200ms \
 		-bench='SenderNextAnnouncement|SenderEncodeSend' ./internal/sstp/
+	$(GO) test -run=^$$ -benchmem -benchtime=200ms \
+		-bench='ProtocolBatch|ProtocolDecoder' ./internal/protocol/
+	$(GO) test -run=^$$ -benchmem -benchtime=200ms \
+		-bench='NamespaceForest' ./internal/namespace/
 
 ## benchjson: regenerate BENCH_ssbench.json (per-experiment wall-time
 ## + headline-metric trajectory), BENCH_ssload.json (live-stack
 ## load/allocation record), BENCH_ssrelay.json (relay overlay tree
-## convergence + per-hop repair latency), and BENCH_ssvis.json (a
+## convergence + per-hop repair latency), BENCH_ssvis.json (a
 ## visibility-focused tree run: per-hop t-visibility quantiles plus
-## the leaves' online consistency snapshot); formats documented in
+## the leaves' online consistency snapshot), and BENCH_ssscale.json
+## (GOMAXPROCS sweep over the striped/coalescing hot path plus the
+## million-record convergence run); formats documented in
 ## EXPERIMENTS.md.
 benchjson:
 	$(GO) run ./cmd/ssbench -quick -all -json > BENCH_ssbench.json
 	$(GO) run ./cmd/ssload -records 512 -receivers 4 -duration 5s -loss 0.02 -json > BENCH_ssload.json
 	$(GO) run ./cmd/ssload -relay-depth 2 -relay-fanout 4 -loss 0.05 -json > BENCH_ssrelay.json
 	$(GO) run ./cmd/ssload -relay-depth 2 -relay-fanout 2 -records 256 -duration 8s -loss 0.05 -jitter 5ms -json > BENCH_ssvis.json
+	$(GO) run ./cmd/ssload -scale -json > BENCH_ssscale.json

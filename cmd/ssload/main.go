@@ -14,6 +14,8 @@
 //	ssload -admin 127.0.0.1:0   # live /metrics + /stats.json during the run
 //	ssload -relay-depth 2 -relay-fanout 4 -loss 0.05 -json
 //	                            # relay overlay tree; BENCH_ssrelay.json format
+//	ssload -stripes 8 -batch 32 # shard the tables, coalesce announcements
+//	ssload -scale -json         # GOMAXPROCS sweep + 1M-record run; BENCH_ssscale.json
 //
 // By default the session runs over the in-process MemNetwork with the
 // sender and every receiver joined to one multicast group, so NACK
@@ -34,6 +36,7 @@ import (
 	"net"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -52,6 +55,8 @@ type result struct {
 	Transport  string  `json:"transport"`
 	Records    int     `json:"records"`
 	Receivers  int     `json:"receivers"`
+	Stripes    int     `json:"stripes"`
+	Batch      int     `json:"batch"`
 	RateBps    float64 `json:"rate_bps"`
 	ValueBytes int     `json:"value_bytes"`
 	Loss       float64 `json:"loss"`
@@ -146,7 +151,24 @@ func main() {
 	admin := flag.String("admin", "", "serve /metrics, /stats.json, /debug/pprof on this address during the run")
 	relayDepth := flag.Int("relay-depth", 0, "relay overlay mode: tree depth in hops (0 disables)")
 	relayFanout := flag.Int("relay-fanout", 4, "relay overlay mode: children per node")
+	stripes := flag.Int("stripes", table.NormalizeStripes(runtime.NumCPU()),
+		"table/digest stripes on sender and receivers (rounded up to a power of two)")
+	batch := flag.Int("batch", 32, "records coalesced per datagram (MTU still caps the frame)")
+	scale := flag.Bool("scale", false, "per-core scaling sweep mode; emits a BENCH_ssscale.json record")
+	memProfile := flag.String("memprofile", "", "write an allocation profile of the load phase to this file")
 	flag.Parse()
+	*stripes = table.NormalizeStripes(*stripes)
+	if *batch < 1 {
+		*batch = 1
+	}
+
+	if *scale {
+		runScale(scaleOpts{
+			stripes: *stripes, batch: *batch,
+			seed: *seed, jsonOut: *jsonOut, quick: *quick,
+		})
+		return
+	}
 
 	if *quick {
 		*records, *nRecv = 64, 2
@@ -173,6 +195,7 @@ func main() {
 
 	res := result{
 		Seed: *seed, Quick: *quick, Records: *records, Receivers: *nRecv,
+		Stripes: *stripes, Batch: *batch,
 		RateBps: *rate, ValueBytes: *valueLen, Loss: *loss,
 		JitterMs:  float64(jitter.Microseconds()) / 1000,
 		Transport: "memconn", Baseline: seedBaseline,
@@ -206,6 +229,9 @@ func main() {
 		TotalRate:       *rate,
 		SummaryInterval: 200 * time.Millisecond,
 		TTL:             10 * time.Second,
+		Stripes:         *stripes,
+		CoalesceRecords: *batch,
+		BatchDatagrams:  batchDatagramsFor(*batch),
 		Seed:            *seed,
 	})
 	if err != nil {
@@ -218,6 +244,7 @@ func main() {
 			Session: 42, ReceiverID: uint64(100 + i),
 			Conn: receiverConns[i], FeedbackDest: feedback,
 			NACKWindow:  50 * time.Millisecond,
+			Stripes:     *stripes,
 			Obs:         reg,
 			Consistency: est, // shared: per-receiver keys stay distinct by ReceiverID
 			Seed:        *seed + int64(i),
@@ -258,6 +285,13 @@ func main() {
 	tick.Stop()
 	loadElapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		must(err)
+		runtime.GC()
+		must(pprof.Lookup("allocs").WriteTo(f, 0))
+		must(f.Close())
+	}
 
 	// Convergence phase: stop churning, wait for every replica digest
 	// to match the sender's.
@@ -284,7 +318,7 @@ func main() {
 		res.NACKsSent += rs.NACKsSent
 		res.NACKsSuppressed += rs.NACKsSuppressed
 	}
-	datagrams := st.DataSent + st.SummariesSent + st.DigestsSent + st.HeartbeatsSent
+	datagrams := st.DatagramsSent + st.SummariesSent + st.DigestsSent + st.HeartbeatsSent
 	if datagrams > 0 {
 		res.AllocsPerDatagram = float64(after.Mallocs-before.Mallocs) / float64(datagrams)
 	}
@@ -334,6 +368,19 @@ func main() {
 }
 
 func key(i int) string { return fmt.Sprintf("load/%03d/%d", i%32, i) }
+
+// batchDatagramsFor sizes the sendmmsg batch from the coalescing
+// factor: coalescing already amortizes encode cost, so a modest
+// datagram batch (capped at 16) is enough to amortize the syscall.
+func batchDatagramsFor(batch int) int {
+	if batch <= 1 {
+		return 1
+	}
+	if batch > 16 {
+		return 16
+	}
+	return batch
+}
 
 func maxf(a, b float64) float64 {
 	if a > b {

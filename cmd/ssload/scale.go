@@ -1,0 +1,233 @@
+// Scale mode: per-core scaling sweep over the striped, coalescing hot
+// path, plus a million-record convergence run — the BENCH_ssscale.json
+// producer.
+//
+// Each sweep trial pins GOMAXPROCS, publishes the record set from that
+// many goroutines in parallel (the striped-table contention probe),
+// then starts the sender against one receiver over memconn and times
+// digest convergence (the coalesced encode/decode drain probe). The
+// million-record run is the capacity proof: it must end with the
+// receiver's combined root digest byte-identical to the sender's.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"softstate/internal/runmeta"
+	"softstate/internal/sstp"
+)
+
+type scaleOpts struct {
+	stripes int
+	batch   int
+	seed    int64
+	jsonOut bool
+	quick   bool
+}
+
+// scaleTrial is one sweep row of BENCH_ssscale.json.
+type scaleTrial struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	Records    int `json:"records"`
+	Stripes    int `json:"stripes"`
+	Batch      int `json:"batch"`
+
+	// Publish phase: GOMAXPROCS goroutines writing disjoint key ranges.
+	PublishMs     float64 `json:"publish_ms"`
+	PublishPerSec float64 `json:"publish_per_sec"`
+
+	// Drain phase: announcement pipeline until digest convergence.
+	ConvergeMs    float64 `json:"converge_ms"`
+	DrainPerSec   float64 `json:"drain_records_per_sec"`
+	DataSent      int     `json:"data_datagrams_sent"`
+	RecordsPerDgm float64 `json:"records_per_datagram"`
+	Deliveries    int     `json:"deliveries"`
+	Converged     bool    `json:"converged"`
+}
+
+// scaleResult is the BENCH_ssscale.json format (see EXPERIMENTS.md).
+type scaleResult struct {
+	Seed       int64        `json:"seed"`
+	Quick      bool         `json:"quick"`
+	Transport  string       `json:"transport"`
+	Stripes    int          `json:"stripes"`
+	Batch      int          `json:"batch"`
+	ValueBytes int          `json:"value_bytes"`
+	Meta       runmeta.Meta `json:"meta"`
+
+	Sweep []scaleTrial `json:"sweep"`
+
+	// PublishSpeedup4 is publish throughput at GOMAXPROCS=4 over
+	// GOMAXPROCS=1 (0 when the sweep lacks either point). On a
+	// single-core host this is honest ~1.0: see meta.num_cpu.
+	PublishSpeedup4 float64 `json:"publish_speedup_4_vs_1"`
+
+	// Million is the 1M-record convergence run (omitted with -quick).
+	Million *scaleTrial `json:"million,omitempty"`
+}
+
+// scaleKey spreads keys over 256 top-level components so every stripe
+// count up to 256 gets an even shard (the default ssload key space puts
+// every key under "load/", which would collapse to one stripe).
+func scaleKey(i int) string {
+	return fmt.Sprintf("g%03d/m%02d/k%d", i%256, (i/256)%16, i)
+}
+
+func runScale(o scaleOpts) {
+	res := scaleResult{
+		Seed: o.seed, Quick: o.quick, Transport: "memconn",
+		Stripes: o.stripes, Batch: o.batch, ValueBytes: 32,
+		Meta: runmeta.Collect(),
+	}
+	sweepRecords := 262144
+	procs := []int{1, 2, 4, 8}
+	senderStripes, recvStripes := o.stripes, o.stripes
+	if o.quick {
+		// Smoke shape: small set, two sweep points, and the
+		// mixed-stripe gate — a 4-stripe sender must converge against
+		// a 1-stripe receiver (their roots combine identically).
+		sweepRecords = 8192
+		procs = []int{1, 2}
+		senderStripes, recvStripes = 4, 1
+	}
+	ok := true
+	for _, g := range procs {
+		tr := scaleTrialRun(g, sweepRecords, senderStripes, recvStripes, o.batch, o.seed,
+			2*time.Minute, 120*time.Second)
+		res.Sweep = append(res.Sweep, tr)
+		ok = ok && tr.Converged
+		if !o.jsonOut {
+			printTrial("sweep", tr)
+		}
+	}
+	var p1, p4 float64
+	for _, tr := range res.Sweep {
+		switch tr.GOMAXPROCS {
+		case 1:
+			p1 = tr.PublishPerSec
+		case 4:
+			p4 = tr.PublishPerSec
+		}
+	}
+	if p1 > 0 && p4 > 0 {
+		res.PublishSpeedup4 = p4 / p1
+	}
+	if !o.quick {
+		tr := scaleTrialRun(runtime.NumCPU(), 1_000_000, o.stripes, o.stripes, o.batch, o.seed,
+			10*time.Minute, 600*time.Second)
+		res.Million = &tr
+		ok = ok && tr.Converged
+		if !o.jsonOut {
+			printTrial("million", tr)
+		}
+	}
+
+	if o.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		must(enc.Encode(res))
+	} else if res.PublishSpeedup4 > 0 {
+		fmt.Printf("ssscale: publish speedup 4x/1x = %.2f (num_cpu=%d)\n",
+			res.PublishSpeedup4, runtime.NumCPU())
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "ssload: scale run FAILED: a trial did not converge")
+		os.Exit(1)
+	}
+}
+
+func printTrial(label string, tr scaleTrial) {
+	fmt.Printf("ssscale %s: GOMAXPROCS=%d %d records, stripes=%d batch=%d\n",
+		label, tr.GOMAXPROCS, tr.Records, tr.Stripes, tr.Batch)
+	fmt.Printf("  publish %.0f ms (%.0f rec/s), converge %.0f ms (%.0f rec/s), %d datagrams (%.1f rec/dgm), converged=%v\n",
+		tr.PublishMs, tr.PublishPerSec, tr.ConvergeMs, tr.DrainPerSec,
+		tr.DataSent, tr.RecordsPerDgm, tr.Converged)
+}
+
+// scaleTrialRun publishes records from g goroutines into a striped
+// sender, then drains to one receiver until the root digests agree.
+func scaleTrialRun(g, records, senderStripes, recvStripes, batch int, seed int64, ttl, timeout time.Duration) scaleTrial {
+	prev := runtime.GOMAXPROCS(g)
+	defer runtime.GOMAXPROCS(prev)
+	tr := scaleTrial{GOMAXPROCS: g, Records: records, Stripes: senderStripes, Batch: batch}
+
+	nw := sstp.NewMemNetwork(seed)
+	sc := nw.Endpoint("sender")
+	rc := nw.Endpoint("rcv")
+	summary := 500 * time.Millisecond
+	if records >= 1_000_000 {
+		summary = 2 * time.Second // a root refresh over 1M leaves is not free
+	}
+	s, err := sstp.NewSender(sstp.SenderConfig{
+		Session: 77, SenderID: 1,
+		Conn: sc, Dest: sstp.MemAddr("rcv"),
+		TotalRate:       400_000_000,
+		SummaryInterval: summary,
+		TTL:             ttl,
+		Stripes:         senderStripes,
+		CoalesceRecords: batch,
+		BatchDatagrams:  batchDatagramsFor(batch),
+		Seed:            seed,
+	})
+	must(err)
+	r, err := sstp.NewReceiver(sstp.ReceiverConfig{
+		Session: 77, ReceiverID: 2,
+		Conn: rc, FeedbackDest: sstp.MemAddr("sender"),
+		NACKWindow:         50 * time.Millisecond,
+		Stripes:            recvStripes,
+		DisableConsistency: true, // a confirmation clock per key dwarfs the replica at 1M
+		Seed:               seed + 1,
+	})
+	must(err)
+
+	value := make([]byte, 32)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		lo := records * w / g
+		hi := records * (w + 1) / g
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				must(s.Publish(scaleKey(i), value, ttl))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	tr.PublishMs = float64(time.Since(start).Microseconds()) / 1000
+	tr.PublishPerSec = float64(records) / time.Since(start).Seconds()
+
+	s.Start()
+	r.Start()
+	convStart := time.Now()
+	deadline := convStart.Add(timeout)
+	for time.Now().Before(deadline) {
+		if r.Len() == records && r.RootDigest() == s.RootDigest() {
+			tr.Converged = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	tr.ConvergeMs = float64(time.Since(convStart).Microseconds()) / 1000
+	if tr.Converged && tr.ConvergeMs > 0 {
+		tr.DrainPerSec = float64(records) / (tr.ConvergeMs / 1000)
+	}
+	st := s.Stats()
+	tr.DataSent = st.DatagramsSent
+	if st.DatagramsSent > 0 {
+		tr.RecordsPerDgm = float64(st.DataSent) / float64(st.DatagramsSent)
+	}
+	tr.Deliveries = r.Stats().DataReceived
+	s.Close()
+	r.Close()
+	return tr
+}

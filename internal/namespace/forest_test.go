@@ -1,0 +1,155 @@
+package namespace_test
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"softstate/internal/namespace"
+	"softstate/internal/table"
+)
+
+// buildPair inserts the same keys into one unsharded Tree and into a
+// Forest striped exactly the way production does (table.StripeIndex on
+// the first path component).
+func buildPair(t *testing.T, kind namespace.HashKind, stripes int, keys map[string][]byte) (*namespace.Tree, *namespace.Forest) {
+	t.Helper()
+	tree := namespace.New(kind)
+	forest := namespace.NewForest(stripes, kind)
+	ver := uint64(0)
+	for k, v := range keys {
+		ver++
+		if err := tree.Put(k, v, ver); err != nil {
+			t.Fatal(err)
+		}
+		idx := table.StripeIndex(table.Key(k), forest.Size())
+		if err := forest.Tree(idx).Put(k, v, ver); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tree, forest
+}
+
+// TestForestRootMatchesTree is the tentpole invariant: the striped
+// root digest is byte-identical to the pre-sharding single tree's for
+// identical contents, across stripe counts and hash kinds.
+func TestForestRootMatchesTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	keys := make(map[string][]byte)
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("g%02d/m%d/k%d", rng.Intn(24), rng.Intn(4), i)
+		keys[k] = []byte(fmt.Sprintf("v%d", rng.Intn(1000)))
+	}
+	keys["solo"] = []byte("top-level leaf")
+	for _, kind := range []namespace.HashKind{namespace.HashSHA256, namespace.HashMD5} {
+		for _, stripes := range []int{1, 2, 4, 8, 64} {
+			tree, forest := buildPair(t, kind, stripes, keys)
+			want, got := tree.RootDigest(), forest.RootDigest()
+			if want != got {
+				t.Errorf("kind=%d stripes=%d: forest root %x != tree root %x", kind, stripes, want, got)
+			}
+			if tree.Len() != forest.LeafCount() {
+				t.Errorf("kind=%d stripes=%d: leaf count %d != %d", kind, stripes, forest.LeafCount(), tree.Len())
+			}
+		}
+	}
+}
+
+// TestForestRootTracksMutations: identity holds through updates and
+// deletes, not just bulk loads.
+func TestForestRootTracksMutations(t *testing.T) {
+	keys := map[string][]byte{
+		"a/1": []byte("x"), "a/2": []byte("y"), "b/1": []byte("z"), "c/1": []byte("w"),
+	}
+	tree, forest := buildPair(t, namespace.HashSHA256, 4, keys)
+	at := func(k string) *namespace.Tree {
+		return forest.Tree(table.StripeIndex(table.Key(k), forest.Size()))
+	}
+
+	tree.Put("a/1", []byte("x2"), 9)
+	at("a/1").Put("a/1", []byte("x2"), 9)
+	if tree.RootDigest() != forest.RootDigest() {
+		t.Fatal("diverged after update")
+	}
+
+	tree.Delete("b/1")
+	at("b/1").Delete("b/1")
+	if tree.RootDigest() != forest.RootDigest() {
+		t.Fatal("diverged after delete")
+	}
+
+	tree.Put("d/new", []byte("n"), 10)
+	at("d/new").Put("d/new", []byte("n"), 10)
+	if tree.RootDigest() != forest.RootDigest() {
+		t.Fatal("diverged after insert of new top-level subtree")
+	}
+
+	tree.Delete("c/1") // prunes the whole "c" subtree
+	at("c/1").Delete("c/1")
+	if tree.RootDigest() != forest.RootDigest() {
+		t.Fatal("diverged after subtree prune")
+	}
+}
+
+// TestForestEmptyMatchesEmptyTree: the degenerate combine (no
+// children) must equal an empty tree's root.
+func TestForestEmptyMatchesEmptyTree(t *testing.T) {
+	tree := namespace.New(namespace.HashSHA256)
+	forest := namespace.NewForest(8, namespace.HashSHA256)
+	if tree.RootDigest() != forest.RootDigest() {
+		t.Fatal("empty forest root differs from empty tree root")
+	}
+}
+
+// TestForestRootGolden pins the combined digest of a fixed content set
+// to a constant, so accidental preimage changes (tags, ordering,
+// version encoding) fail loudly even if Tree and Forest drift
+// together.
+func TestForestRootGolden(t *testing.T) {
+	keys := []struct {
+		k string
+		v string
+	}{
+		{"alpha/1", "A"}, {"alpha/2", "B"}, {"beta/x/deep", "C"}, {"gamma", "D"},
+	}
+	forest := namespace.NewForest(4, namespace.HashSHA256)
+	for i, kv := range keys {
+		idx := table.StripeIndex(table.Key(kv.k), forest.Size())
+		if err := forest.Tree(idx).Put(kv.k, []byte(kv.v), uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const golden = "ab78dcde45d1ae3991b65fc39ec30351"
+	got := forest.RootDigest()
+	if hex.EncodeToString(got[:]) != golden {
+		t.Errorf("golden root = %s, want %s", hex.EncodeToString(got[:]), golden)
+	}
+}
+
+// TestCombineChildrenMerges: merged child lists come back sorted.
+func TestCombineChildrenMerges(t *testing.T) {
+	g1 := []namespace.Child{{Name: "b"}, {Name: "d"}}
+	g2 := []namespace.Child{{Name: "a"}, {Name: "c"}}
+	out := namespace.CombineChildren(g1, g2)
+	if len(out) != 4 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i, want := range []string{"a", "b", "c", "d"} {
+		if out[i].Name != want {
+			t.Errorf("out[%d] = %q, want %q", i, out[i].Name, want)
+		}
+	}
+}
+
+func BenchmarkNamespaceForestRoot(b *testing.B) {
+	forest := namespace.NewForest(8, namespace.HashSHA256)
+	for i := 0; i < 4096; i++ {
+		k := fmt.Sprintf("g%02d/k%d", i%64, i)
+		forest.Tree(table.StripeIndex(table.Key(k), 8)).Put(k, []byte("value"), uint64(i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		forest.RootDigest()
+	}
+}

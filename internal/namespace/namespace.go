@@ -336,6 +336,22 @@ func (t *Tree) Children(path string) ([]Child, error) {
 	return out, nil
 }
 
+// AppendChildren is Children appending into dst: hot paths that answer
+// digest queries per received datagram can recycle one scratch slice
+// instead of allocating a fresh listing per call.
+func (t *Tree) AppendChildren(dst []Child, path string) ([]Child, error) {
+	n, err := t.find(path)
+	if err != nil {
+		return dst, err
+	}
+	t.refresh(t.root)
+	for _, name := range n.sortedNames() {
+		c := n.children[name]
+		dst = append(dst, Child{Name: name, Leaf: c.leaf, Digest: c.digest})
+	}
+	return dst, nil
+}
+
 // Leaves returns all leaf paths under path (inclusive), sorted.
 func (t *Tree) Leaves(path string) ([]string, error) {
 	n, err := t.find(path)

@@ -1,0 +1,18 @@
+//go:build !(linux && (amd64 || arm64))
+
+package netio
+
+import "net"
+
+// batchPlatform reports whether this build can batch syscalls.
+const batchPlatform = false
+
+// mmsgConn is unavailable on this platform; BatchConn falls back to
+// one packet per syscall.
+type mmsgConn struct{}
+
+func newMMsgConn(net.PacketConn) *mmsgConn { return nil }
+
+func (*mmsgConn) writeBatch(net.Addr, [][]byte) (int, bool, error) { return 0, false, nil }
+
+func (*mmsgConn) readBatch([][]byte, []int, []net.Addr) (int, bool, error) { return 0, false, nil }

@@ -1,0 +1,178 @@
+//go:build linux && (amd64 || arm64)
+
+package netio
+
+import (
+	"net"
+	"os"
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+// batchPlatform reports whether this build can batch syscalls.
+const batchPlatform = true
+
+// mmsghdr mirrors struct mmsghdr from <sys/socket.h>: a msghdr plus
+// the kernel-filled transfer length.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// mmsgConn drives sendmmsg/recvmmsg on a UDP socket through its
+// SyscallConn, so the runtime poller still owns readiness and
+// deadlines.
+type mmsgConn struct {
+	raw syscall.RawConn
+
+	wmu   sync.Mutex // write-side scratch
+	whdrs []mmsghdr
+	wiovs []syscall.Iovec
+	wsa   syscall.RawSockaddrInet4
+
+	rmu    sync.Mutex // read-side scratch
+	rhdrs  []mmsghdr
+	riovs  []syscall.Iovec
+	rnames []syscall.RawSockaddrInet4
+	raddrs []net.UDPAddr
+	rips   [][4]byte
+}
+
+func newMMsgConn(pc net.PacketConn) *mmsgConn {
+	uc, ok := pc.(*net.UDPConn)
+	if !ok {
+		return nil
+	}
+	raw, err := uc.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	return &mmsgConn{
+		raw:    raw,
+		whdrs:  make([]mmsghdr, MaxBatch),
+		wiovs:  make([]syscall.Iovec, MaxBatch),
+		rhdrs:  make([]mmsghdr, MaxBatch),
+		riovs:  make([]syscall.Iovec, MaxBatch),
+		rnames: make([]syscall.RawSockaddrInet4, MaxBatch),
+		raddrs: make([]net.UDPAddr, MaxBatch),
+		rips:   make([][4]byte, MaxBatch),
+	}
+}
+
+// writeBatch sends packets to dest with sendmmsg. handled=false means
+// the caller should fall back (e.g. a non-IPv4 destination).
+func (c *mmsgConn) writeBatch(dest net.Addr, packets [][]byte) (sent int, handled bool, err error) {
+	ua, ok := dest.(*net.UDPAddr)
+	if !ok {
+		return 0, false, nil
+	}
+	ip4 := ua.IP.To4()
+	if ip4 == nil {
+		return 0, false, nil
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+
+	c.wsa = syscall.RawSockaddrInet4{Family: syscall.AF_INET}
+	c.wsa.Port = uint16(ua.Port>>8) | uint16(ua.Port&0xff)<<8 // htons
+	copy(c.wsa.Addr[:], ip4)
+
+	for sent < len(packets) {
+		n := len(packets) - sent
+		if n > MaxBatch {
+			n = MaxBatch
+		}
+		for i := 0; i < n; i++ {
+			p := packets[sent+i]
+			c.wiovs[i].Base = &p[0]
+			c.wiovs[i].SetLen(len(p))
+			h := &c.whdrs[i].hdr
+			h.Name = (*byte)(unsafe.Pointer(&c.wsa))
+			h.Namelen = uint32(unsafe.Sizeof(c.wsa))
+			h.Iov = &c.wiovs[i]
+			h.Iovlen = 1
+			c.whdrs[i].n = 0
+		}
+		done := 0
+		var operr error
+		waitErr := c.raw.Write(func(fd uintptr) bool {
+			for done < n {
+				sn, errno := sendmmsg(fd, c.whdrs[done:n], syscall.MSG_DONTWAIT)
+				if errno == syscall.EAGAIN {
+					return false // wait for writability, then retry
+				}
+				if errno != 0 {
+					operr = os.NewSyscallError("sendmmsg", errno)
+					return true
+				}
+				done += sn
+			}
+			return true
+		})
+		sent += done
+		if operr != nil {
+			return sent, true, operr
+		}
+		if waitErr != nil {
+			return sent, true, waitErr
+		}
+	}
+	return sent, true, nil
+}
+
+// readBatch receives up to len(bufs) packets with one recvmmsg.
+func (c *mmsgConn) readBatch(bufs [][]byte, sizes []int, addrs []net.Addr) (int, bool, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+
+	n := len(bufs)
+	if n > MaxBatch {
+		n = MaxBatch
+	}
+	for i := 0; i < n; i++ {
+		c.riovs[i].Base = &bufs[i][0]
+		c.riovs[i].SetLen(len(bufs[i]))
+		h := &c.rhdrs[i].hdr
+		h.Name = (*byte)(unsafe.Pointer(&c.rnames[i]))
+		h.Namelen = uint32(unsafe.Sizeof(c.rnames[i]))
+		h.Iov = &c.riovs[i]
+		h.Iovlen = 1
+		h.Control = nil
+		h.Controllen = 0
+		h.Flags = 0
+		c.rhdrs[i].n = 0
+	}
+	got := 0
+	var operr error
+	waitErr := c.raw.Read(func(fd uintptr) bool {
+		rn, errno := recvmmsg(fd, c.rhdrs[:n], syscall.MSG_DONTWAIT)
+		if errno == syscall.EAGAIN {
+			return false
+		}
+		if errno != 0 {
+			operr = os.NewSyscallError("recvmmsg", errno)
+			return true
+		}
+		got = rn
+		return true
+	})
+	if operr != nil {
+		return 0, true, operr
+	}
+	if waitErr != nil {
+		return 0, true, waitErr
+	}
+	for i := 0; i < got; i++ {
+		sizes[i] = int(c.rhdrs[i].n)
+		sa := &c.rnames[i]
+		c.rips[i] = sa.Addr
+		a := &c.raddrs[i]
+		a.IP = c.rips[i][:]
+		a.Port = int(sa.Port>>8) | int(sa.Port&0xff)<<8 // ntohs
+		a.Zone = ""
+		addrs[i] = a
+	}
+	return got, true, nil
+}

@@ -1,0 +1,152 @@
+package netio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// chanConn is a minimal non-UDP PacketConn, standing in for the
+// in-memory test network: it must take the fallback path.
+type chanConn struct {
+	ch chan []byte
+}
+
+type fakeAddr struct{}
+
+func (fakeAddr) Network() string { return "chan" }
+func (fakeAddr) String() string  { return "chan" }
+
+func (c *chanConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	b, ok := <-c.ch
+	if !ok {
+		return 0, nil, errors.New("closed")
+	}
+	return copy(p, b), fakeAddr{}, nil
+}
+
+func (c *chanConn) WriteTo(p []byte, _ net.Addr) (int, error) {
+	c.ch <- append([]byte(nil), p...)
+	return len(p), nil
+}
+
+func (c *chanConn) Close() error                       { close(c.ch); return nil }
+func (c *chanConn) LocalAddr() net.Addr                { return fakeAddr{} }
+func (c *chanConn) SetDeadline(t time.Time) error      { return nil }
+func (c *chanConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *chanConn) SetWriteDeadline(t time.Time) error { return nil }
+
+func TestFallbackNonUDP(t *testing.T) {
+	cc := &chanConn{ch: make(chan []byte, 16)}
+	bc := Wrap(cc)
+	if bc.Batched() {
+		t.Fatal("non-UDP conn must not claim the mmsg path")
+	}
+	pkts := [][]byte{[]byte("one"), []byte("two"), []byte("three")}
+	if n, err := bc.WriteBatch(fakeAddr{}, pkts); err != nil || n != 3 {
+		t.Fatalf("WriteBatch = %d, %v", n, err)
+	}
+	bufs := [][]byte{make([]byte, 64), make([]byte, 64)}
+	sizes := make([]int, 2)
+	addrs := make([]net.Addr, 2)
+	var got [][]byte
+	for len(got) < 3 {
+		n, err := bc.ReadBatch(bufs, sizes, addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			got = append(got, append([]byte(nil), bufs[i][:sizes[i]]...))
+		}
+	}
+	for i, want := range pkts {
+		if !bytes.Equal(got[i], want) {
+			t.Errorf("packet %d = %q, want %q", i, got[i], want)
+		}
+	}
+}
+
+// udpPair returns wrapped loopback sockets, skipping when the sandbox
+// forbids UDP.
+func udpPair(t *testing.T) (tx, rx *BatchConn, rxAddr net.Addr) {
+	t.Helper()
+	a, err := net.ListenPacket("udp4", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no UDP in this environment: %v", err)
+	}
+	b, err := net.ListenPacket("udp4", "127.0.0.1:0")
+	if err != nil {
+		a.Close()
+		t.Skipf("no UDP in this environment: %v", err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return Wrap(a), Wrap(b), b.LocalAddr()
+}
+
+func TestUDPBatchRoundTrip(t *testing.T) {
+	tx, rx, dest := udpPair(t)
+	const total = 150 // > MaxBatch: exercises the chunked send
+	pkts := make([][]byte, total)
+	for i := range pkts {
+		pkts[i] = []byte(fmt.Sprintf("pkt-%03d", i))
+	}
+	if n, err := tx.WriteBatch(dest, pkts); err != nil || n != total {
+		t.Fatalf("WriteBatch = %d, %v", n, err)
+	}
+
+	rx.Conn().SetReadDeadline(time.Now().Add(2 * time.Second))
+	bufs := make([][]byte, 32)
+	for i := range bufs {
+		bufs[i] = make([]byte, 256)
+	}
+	sizes := make([]int, 32)
+	addrs := make([]net.Addr, 32)
+	seen := make(map[string]bool)
+	for len(seen) < total {
+		n, err := rx.ReadBatch(bufs, sizes, addrs)
+		if err != nil {
+			t.Fatalf("ReadBatch after %d/%d: %v", len(seen), total, err)
+		}
+		for i := 0; i < n; i++ {
+			seen[string(bufs[i][:sizes[i]])] = true
+			if addrs[i] == nil {
+				t.Fatal("nil source addr")
+			}
+		}
+	}
+	for i := 0; i < total; i++ {
+		if !seen[fmt.Sprintf("pkt-%03d", i)] {
+			t.Errorf("packet %d lost on loopback", i)
+		}
+	}
+}
+
+func TestUDPReadBatchDeadline(t *testing.T) {
+	_, rx, _ := udpPair(t)
+	rx.Conn().SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	bufs := [][]byte{make([]byte, 64)}
+	start := time.Now()
+	_, err := rx.ReadBatch(bufs, make([]int, 1), make([]net.Addr, 1))
+	if err == nil {
+		t.Fatal("expected deadline error")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) && !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v (%T), want timeout", err, err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("deadline not honored promptly")
+	}
+}
+
+func TestUDPBatchedDetection(t *testing.T) {
+	tx, _, _ := udpPair(t)
+	want := batchPlatform
+	if tx.Batched() != want {
+		t.Fatalf("Batched() = %v on this platform, want %v", tx.Batched(), want)
+	}
+}

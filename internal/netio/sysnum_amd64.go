@@ -1,0 +1,27 @@
+//go:build linux && amd64
+
+package netio
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// The stdlib syscall package predates sendmmsg/recvmmsg and never
+// grew their numbers; they are stable ABI on each architecture.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)
+
+func sendmmsg(fd uintptr, hdrs []mmsghdr, flags int) (int, syscall.Errno) {
+	n, _, errno := syscall.RawSyscall6(sysSendmmsg, fd,
+		uintptr(unsafe.Pointer(&hdrs[0])), uintptr(len(hdrs)), uintptr(flags), 0, 0)
+	return int(n), errno
+}
+
+func recvmmsg(fd uintptr, hdrs []mmsghdr, flags int) (int, syscall.Errno) {
+	n, _, errno := syscall.RawSyscall6(sysRecvmmsg, fd,
+		uintptr(unsafe.Pointer(&hdrs[0])), uintptr(len(hdrs)), uintptr(flags), 0, 0)
+	return int(n), errno
+}

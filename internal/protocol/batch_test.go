@@ -1,0 +1,180 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func sampleBatch() *DataBatch {
+	return &DataBatch{Records: []Data{
+		{Key: "g/a", Ver: 1, TTLms: 5000, BornMs: 1700000000001, Value: []byte("alpha")},
+		{Key: "g/b", Ver: 2, TTLms: 5000, Value: nil},
+		{Key: "h/c", Ver: 3, Deleted: true},
+	}}
+}
+
+func TestDataBatchRoundTrip(t *testing.T) {
+	in := sampleBatch()
+	out := roundTrip(t, testHdr, in).(*DataBatch)
+	if len(out.Records) != len(in.Records) {
+		t.Fatalf("record count = %d, want %d", len(out.Records), len(in.Records))
+	}
+	for i := range in.Records {
+		a, b := &in.Records[i], &out.Records[i]
+		if a.Key != b.Key || a.Ver != b.Ver || a.TTLms != b.TTLms ||
+			a.BornMs != b.BornMs || !bytes.Equal(a.Value, b.Value) || a.Deleted != b.Deleted {
+			t.Errorf("record %d: got %+v, want %+v", i, b, a)
+		}
+	}
+}
+
+// TestAppendBatchDatagramMatchesEncode pins the incremental packing
+// path byte-identical to encoding a DataBatch struct: senders build
+// datagrams with AppendBatchRecord/AppendBatchDatagram and must be
+// indistinguishable on the wire.
+func TestAppendBatchDatagramMatchesEncode(t *testing.T) {
+	in := sampleBatch()
+	want := Encode(testHdr, in)
+
+	var frames []byte
+	for i := range in.Records {
+		frames = AppendBatchRecord(frames, &in.Records[i])
+	}
+	got := AppendBatchDatagram(nil, testHdr, len(in.Records), frames)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("AppendBatchDatagram = %x\nEncode           = %x", got, want)
+	}
+}
+
+// TestBatchRecordSize pins the MTU-budget arithmetic to the actual
+// encoded size of a frame.
+func TestBatchRecordSize(t *testing.T) {
+	for _, rec := range sampleBatch().Records {
+		frame := AppendBatchRecord(nil, &rec)
+		if want := BatchRecordSize(len(rec.Key), len(rec.Value)); len(frame) != want {
+			t.Errorf("key %q: frame %d bytes, BatchRecordSize says %d", rec.Key, len(frame), want)
+		}
+	}
+}
+
+func TestDataBatchDecodeErrors(t *testing.T) {
+	valid := Encode(testHdr, sampleBatch())
+
+	// Empty batch is malformed: a sender with one record uses TypeData.
+	empty := AppendBatchDatagram(nil, testHdr, 0, nil)
+	if _, _, err := Decode(empty); err != ErrBadPayload {
+		t.Errorf("empty batch err = %v, want %v", err, ErrBadPayload)
+	}
+
+	// Count beyond MaxBatch.
+	over := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint16(over[headerLen:], MaxBatch+1)
+	if _, _, err := Decode(over); err != ErrOversize {
+		t.Errorf("oversize count err = %v, want %v", err, ErrOversize)
+	}
+
+	// Truncated mid-frame.
+	if _, _, err := Decode(valid[:len(valid)-3]); err != ErrShort {
+		t.Errorf("truncated err = %v, want %v", err, ErrShort)
+	}
+
+	// Trailing bytes after the last frame.
+	if _, _, err := Decode(append(append([]byte(nil), valid...), 0)); err != ErrTrailing {
+		t.Errorf("trailing err = %v, want %v", err, ErrTrailing)
+	}
+
+	// Count larger than the frames present.
+	short := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint16(short[headerLen:], uint16(len(sampleBatch().Records)+1))
+	if _, _, err := Decode(short); err != ErrShort {
+		t.Errorf("undercounted err = %v, want %v", err, ErrShort)
+	}
+}
+
+// TestBatchRecordsAreIndependentADUs: each frame inside a batch decodes
+// to exactly what the same record would decode to as a standalone Data
+// datagram (the ALF framing property coalescing must preserve).
+func TestBatchRecordsAreIndependentADUs(t *testing.T) {
+	in := sampleBatch()
+	_, m, err := Decode(Encode(testHdr, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := m.(*DataBatch)
+	for i := range in.Records {
+		_, sm, err := Decode(Encode(testHdr, &in.Records[i]))
+		if err != nil {
+			t.Fatalf("record %d standalone: %v", i, err)
+		}
+		single := sm.(*Data)
+		got := &batch.Records[i]
+		if single.Key != got.Key || single.Ver != got.Ver || single.TTLms != got.TTLms ||
+			single.BornMs != got.BornMs || !bytes.Equal(single.Value, got.Value) || single.Deleted != got.Deleted {
+			t.Errorf("record %d: batched %+v != standalone %+v", i, got, single)
+		}
+	}
+}
+
+// TestEncodeSingleAlloc pins the satellite fix: Encode routes through
+// AppendEncode with a pooled scratch buffer, so its only allocation is
+// the returned datagram.
+func TestEncodeSingleAlloc(t *testing.T) {
+	msg := &Data{Key: "sessions/audio/42", Ver: 9, TTLms: 30000, Value: make([]byte, 512)}
+	allocs := testing.AllocsPerRun(200, func() {
+		Encode(testHdr, msg)
+	})
+	if allocs != 1 {
+		t.Errorf("Encode: %v allocs/op, want 1", allocs)
+	}
+}
+
+// TestAppendBatchZeroAlloc pins the packing loop's hot-path contract.
+func TestAppendBatchZeroAlloc(t *testing.T) {
+	recs := sampleBatch().Records
+	frames := make([]byte, 0, 4096)
+	out := make([]byte, 0, 4096)
+	allocs := testing.AllocsPerRun(100, func() {
+		frames = frames[:0]
+		for i := range recs {
+			frames = AppendBatchRecord(frames, &recs[i])
+		}
+		out = AppendBatchDatagram(out[:0], testHdr, len(recs), frames)
+	})
+	if allocs != 0 {
+		t.Errorf("batch packing into sized buffers: %v allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkProtocolBatchPack(b *testing.B) {
+	recs := make([]Data, 32)
+	for i := range recs {
+		recs[i] = Data{Key: "load/000/12345", Ver: uint64(i), TTLms: 30000, Value: make([]byte, 64)}
+	}
+	frames := make([]byte, 0, 8192)
+	out := make([]byte, 0, 8192)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		frames = frames[:0]
+		for j := range recs {
+			frames = AppendBatchRecord(frames, &recs[j])
+		}
+		out = AppendBatchDatagram(out[:0], testHdr, len(recs), frames)
+	}
+	_ = out
+}
+
+func BenchmarkProtocolBatchDecode(b *testing.B) {
+	recs := make([]Data, 32)
+	for i := range recs {
+		recs[i] = Data{Key: "load/000/12345", Ver: uint64(i), TTLms: 30000, Value: make([]byte, 64)}
+	}
+	buf := Encode(testHdr, &DataBatch{Records: recs})
+	dec := NewDecoder()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dec.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package protocol
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestDecoderMatchesDecode pins the Decoder semantically identical to
+// the package-level Decode for every message kind.
+func TestDecoderMatchesDecode(t *testing.T) {
+	dec := NewDecoder()
+	for _, msg := range oneMessagePerType() {
+		buf := Encode(testHdr, msg)
+		wantHdr, want, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%v: Decode: %v", msg.Type(), err)
+		}
+		gotHdr, got, err := dec.Decode(buf)
+		if err != nil {
+			t.Fatalf("%v: Decoder.Decode: %v", msg.Type(), err)
+		}
+		if gotHdr != wantHdr {
+			t.Errorf("%v: header %+v != %+v", msg.Type(), gotHdr, wantHdr)
+		}
+		if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+			t.Errorf("%v:\ndecoder: %+v\ndecode:  %+v", msg.Type(), got, want)
+		}
+	}
+}
+
+// TestDecoderMatchesDecodeErrors: malformed inputs fail identically.
+func TestDecoderMatchesDecodeErrors(t *testing.T) {
+	dec := NewDecoder()
+	for _, msg := range oneMessagePerType() {
+		base := Encode(testHdr, msg)
+		for cut := 0; cut < len(base); cut++ {
+			_, _, want := Decode(base[:cut])
+			_, _, got := dec.Decode(base[:cut])
+			if got != want {
+				t.Fatalf("%v cut at %d: decoder err %v, decode err %v", msg.Type(), cut, got, want)
+			}
+		}
+		for i := 0; i < len(base); i++ {
+			for _, v := range []byte{0x00, 0xFF, base[i] ^ 0x80} {
+				b := mutate(base, i, v)
+				_, _, want := Decode(b)
+				_, _, got := dec.Decode(b)
+				if got != want {
+					t.Fatalf("%v byte %d -> %x: decoder err %v, decode err %v", msg.Type(), i, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDecoderBatchValueStability: every record's value inside a batch
+// must stay intact after later records are parsed (the arena must not
+// reallocate mid-batch).
+func TestDecoderBatchValueStability(t *testing.T) {
+	recs := make([]Data, 64)
+	for i := range recs {
+		recs[i] = Data{
+			Key:   fmt.Sprintf("g%02d/k", i),
+			Ver:   uint64(i + 1),
+			Value: bytes.Repeat([]byte{byte(i)}, 100+i),
+		}
+	}
+	buf := Encode(testHdr, &DataBatch{Records: recs})
+	dec := NewDecoder()
+	_, m, err := dec.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := m.(*DataBatch)
+	for i := range recs {
+		if !bytes.Equal(batch.Records[i].Value, recs[i].Value) {
+			t.Fatalf("record %d value corrupted after batch parse", i)
+		}
+	}
+}
+
+// TestDecoderSteadyStateZeroAlloc pins the receive-path contract: once
+// keys are interned and buffers warmed, decoding Data and DataBatch
+// datagrams allocates nothing.
+func TestDecoderSteadyStateZeroAlloc(t *testing.T) {
+	single := Encode(testHdr, &Data{Key: "load/000/1", Ver: 3, TTLms: 30000, Value: make([]byte, 64)})
+	recs := make([]Data, 16)
+	for i := range recs {
+		recs[i] = Data{Key: fmt.Sprintf("load/%03d/%d", i, i), Ver: uint64(i + 1), TTLms: 30000, Value: make([]byte, 64)}
+	}
+	batch := Encode(testHdr, &DataBatch{Records: recs})
+	summary := Encode(testHdr, &Summary{Path: "load", Count: 16})
+
+	dec := NewDecoder()
+	for _, buf := range [][]byte{single, batch, summary} {
+		if _, _, err := dec.Decode(buf); err != nil { // warm interning + buffers
+			t.Fatal(err)
+		}
+	}
+	for name, buf := range map[string][]byte{"data": single, "batch": batch, "summary": summary} {
+		allocs := testing.AllocsPerRun(200, func() {
+			if _, _, err := dec.Decode(buf); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %v allocs/op in steady state, want 0", name, allocs)
+		}
+	}
+}
+
+// TestDecoderInternBound: the interning map resets rather than growing
+// without bound under key churn.
+func TestDecoderInternBound(t *testing.T) {
+	dec := NewDecoder()
+	dec.names = make(map[string]string, 4)
+	for i := 0; i < internCap+8; i++ {
+		dec.intern([]byte(fmt.Sprintf("k%d", i)))
+	}
+	if len(dec.names) > internCap {
+		t.Fatalf("intern map grew to %d entries, cap %d", len(dec.names), internCap)
+	}
+}
+
+// TestDecoderReuseAcrossCalls: a second Decode may clobber the first
+// result (documented), but must produce correct fresh output.
+func TestDecoderReuseAcrossCalls(t *testing.T) {
+	dec := NewDecoder()
+	a := Encode(testHdr, &Data{Key: "a", Ver: 1, Value: []byte("first")})
+	b := Encode(testHdr, &Data{Key: "b", Ver: 2, Value: []byte("second-longer")})
+	_, m1, err := dec.Decode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m1.(*Data); got.Key != "a" || string(got.Value) != "first" {
+		t.Fatalf("first decode: %+v", got)
+	}
+	_, m2, err := dec.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.(*Data); got.Key != "b" || string(got.Value) != "second-longer" || got.Ver != 2 {
+		t.Fatalf("second decode: %+v", got)
+	}
+}
+
+func BenchmarkProtocolDecoderData(b *testing.B) {
+	buf := Encode(testHdr, &Data{Key: "load/000/12345", Ver: 9, TTLms: 30000, Value: make([]byte, 64)})
+	dec := NewDecoder()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dec.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

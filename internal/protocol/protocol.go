@@ -7,7 +7,9 @@
 //
 // Framing is per-datagram (one message per UDP packet), following the
 // ALF principle that each transmission is an independent application
-// data unit.
+// data unit. A DataBatch datagram coalesces several small records into
+// one packet up to the path MTU; each record inside it is still a
+// complete, independently-framed ADU (see batch.go).
 package protocol
 
 import (
@@ -15,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Protocol constants.
@@ -45,14 +48,15 @@ type MsgType uint8
 
 // Message kinds.
 const (
-	TypeData     MsgType = 1 // announcement of one {key, value} record
-	TypeSummary  MsgType = 2 // digest of a namespace subtree
-	TypeNACK     MsgType = 3 // receiver repair request
-	TypeQuery    MsgType = 4 // namespace descent query
-	TypeDigests  MsgType = 5 // response: child digests of a node
-	TypeReport   MsgType = 6 // RTCP-style receiver report
-	TypeGoodbye  MsgType = 7 // publisher is leaving; flush state
-	TypeHeartbit MsgType = 8 // keepalive when the table is empty
+	TypeData      MsgType = 1 // announcement of one {key, value} record
+	TypeSummary   MsgType = 2 // digest of a namespace subtree
+	TypeNACK      MsgType = 3 // receiver repair request
+	TypeQuery     MsgType = 4 // namespace descent query
+	TypeDigests   MsgType = 5 // response: child digests of a node
+	TypeReport    MsgType = 6 // RTCP-style receiver report
+	TypeGoodbye   MsgType = 7 // publisher is leaving; flush state
+	TypeHeartbit  MsgType = 8 // keepalive when the table is empty
+	TypeDataBatch MsgType = 9 // several coalesced record announcements
 )
 
 // String names the message type.
@@ -74,6 +78,8 @@ func (t MsgType) String() string {
 		return "GOODBYE"
 	case TypeHeartbit:
 		return "HEARTBEAT"
+	case TypeDataBatch:
+		return "DATABATCH"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -117,9 +123,40 @@ type Header struct {
 
 const headerLen = 4 + 1 + 1 + 1 + 8 + 8 + 4 // magic, version, type, scope, session, sender, seq
 
-// Encode serializes hdr+msg into a fresh buffer.
+// HeaderLen is the wire size of the common datagram header; senders
+// budgeting coalesced datagrams against an MTU start from it.
+const HeaderLen = headerLen
+
+// encScratch recycles Encode's working buffers so the convenience
+// entry point costs exactly one allocation (the returned datagram)
+// instead of paying AppendEncode's growth reallocations each call.
+var encScratch = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
+
+// Encode serializes hdr+msg into a fresh buffer. It routes through
+// AppendEncode with a pooled scratch buffer, so the output bytes are
+// identical to AppendEncode's (pinned by unit test and fuzz target)
+// and the only allocation is the returned slice.
 func Encode(hdr Header, msg Message) []byte {
-	return AppendEncode(make([]byte, 0, 64), hdr, msg)
+	bp := encScratch.Get().(*[]byte)
+	b := AppendEncode((*bp)[:0], hdr, msg)
+	out := make([]byte, len(b))
+	copy(out, b)
+	*bp = b[:0]
+	encScratch.Put(bp)
+	return out
+}
+
+// appendHeader writes the common datagram prefix for a message of
+// type t.
+func appendHeader(dst []byte, hdr Header, t MsgType) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, Magic)
+	dst = append(dst, Version, byte(t), hdr.Scope)
+	dst = binary.BigEndian.AppendUint64(dst, hdr.Session)
+	dst = binary.BigEndian.AppendUint64(dst, hdr.Sender)
+	return binary.BigEndian.AppendUint32(dst, hdr.Seq)
 }
 
 // AppendEncode serializes hdr+msg, appending the datagram to dst and
@@ -127,12 +164,7 @@ func Encode(hdr Header, msg Message) []byte {
 // to Encode's output (pinned by unit test and fuzz target); callers on
 // hot paths pass a reused buffer and allocate nothing.
 func AppendEncode(dst []byte, hdr Header, msg Message) []byte {
-	dst = binary.BigEndian.AppendUint32(dst, Magic)
-	dst = append(dst, Version, byte(msg.Type()), hdr.Scope)
-	dst = binary.BigEndian.AppendUint64(dst, hdr.Session)
-	dst = binary.BigEndian.AppendUint64(dst, hdr.Sender)
-	dst = binary.BigEndian.AppendUint32(dst, hdr.Seq)
-	return msg.encodeBody(dst)
+	return msg.encodeBody(appendHeader(dst, hdr, msg.Type()))
 }
 
 // Decode parses a datagram into its header and message.
@@ -171,6 +203,8 @@ func Decode(b []byte) (Header, Message, error) {
 		msg = &Goodbye{}
 	case TypeHeartbit:
 		msg = &Heartbeat{}
+	case TypeDataBatch:
+		msg = &DataBatch{}
 	default:
 		return hdr, nil, ErrType
 	}

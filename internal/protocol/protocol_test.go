@@ -209,6 +209,7 @@ func TestDecodeNeverPanicsOnMutations(t *testing.T) {
 		&NACK{Keys: []string{"a", "b"}},
 		&Digests{Path: "p", Children: []ChildDigest{{Name: "c", Leaf: true}}},
 		&Report{Received: 1, Expected: 2},
+		&DataBatch{Records: []Data{{Key: "k/v", Ver: 2, Value: []byte("abc")}, {Key: "k/w", Ver: 3}}},
 	}
 	for _, m := range msgs {
 		base := Encode(testHdr, m)
@@ -263,7 +264,7 @@ func TestScopeRoundTrip(t *testing.T) {
 }
 
 func TestMsgTypeStrings(t *testing.T) {
-	for _, tt := range []MsgType{TypeData, TypeSummary, TypeNACK, TypeQuery, TypeDigests, TypeReport, TypeGoodbye, TypeHeartbit} {
+	for _, tt := range []MsgType{TypeData, TypeSummary, TypeNACK, TypeQuery, TypeDigests, TypeReport, TypeGoodbye, TypeHeartbit, TypeDataBatch} {
 		if tt.String() == "" || strings.HasPrefix(tt.String(), "MsgType(") {
 			t.Errorf("type %d has no name", tt)
 		}
@@ -285,6 +286,11 @@ func oneMessagePerType() []Message {
 		&Report{Received: 9, Expected: 10, LossQ16: 6553, DelayMs: 12, Timestamp: 99},
 		&Goodbye{},
 		&Heartbeat{},
+		&DataBatch{Records: []Data{
+			{Key: "a/b", Ver: 7, TTLms: 1000, Value: []byte("value")},
+			{Key: "a/c", Ver: 8, TTLms: 2000, BornMs: 1700000000123, Value: []byte("w")},
+			{Key: "gone", Ver: 9, Deleted: true},
+		}},
 	}
 }
 

@@ -84,6 +84,17 @@ type Config struct {
 	// pin a tree's depth explicitly.
 	Scope uint8
 
+	// Stripes shards the upstream replica and every downstream
+	// sender's table by key hash; CoalesceRecords and BatchDatagrams
+	// set the downstream links' MTU coalescing and sendmmsg batching.
+	// All default to 1 (the pre-sharding behavior); see
+	// sstp.SenderConfig for semantics. A relay tree mixing different
+	// stripe counts per hop still hashes to the origin digest, because
+	// the combined root is independent of the stripe count.
+	Stripes         int
+	CoalesceRecords int
+	BatchDatagrams  int
+
 	// Obs, if non-nil, receives both the relay_* counters and the
 	// sstp_* series of the upstream receiver and downstream senders.
 	Obs *obs.Registry
@@ -169,6 +180,9 @@ func New(cfg Config) (*Relay, error) {
 			TTL:             cfg.TTL,
 			SummaryInterval: cfg.SummaryInterval,
 			Scope:           1, // placeholder until the upstream scope is learned
+			Stripes:         cfg.Stripes,
+			CoalesceRecords: cfg.CoalesceRecords,
+			BatchDatagrams:  cfg.BatchDatagrams,
 			Obs:             cfg.Obs,
 			Trace:           cfg.Trace,
 			TraceNode:       fmt.Sprintf("relay%d/dn%d", cfg.RelayID, i),
@@ -187,6 +201,7 @@ func New(cfg Config) (*Relay, error) {
 		FeedbackDest:   cfg.UpstreamFeedback,
 		NACKWindow:     cfg.NACKWindow,
 		FlushOnGoodbye: true, // a root Goodbye tears the tree down hop by hop
+		Stripes:        cfg.Stripes,
 		OnUpdate:       r.onUpstreamUpdate,
 		OnExpire:       r.onUpstreamExpire,
 		OnGoodbye:      r.onUpstreamGoodbye,

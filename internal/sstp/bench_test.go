@@ -42,7 +42,7 @@ func BenchmarkSenderNextAnnouncement(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				buf, ok := s.nextAnnouncement()
+				buf, ok := s.nextDatagram()
 				if !ok || len(buf) == 0 {
 					b.Fatal("no announcement")
 				}
@@ -59,7 +59,7 @@ func BenchmarkSenderEncodeSend(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		buf, ok := s.nextAnnouncement()
+		buf, ok := s.nextDatagram()
 		if !ok {
 			b.Fatal("no announcement")
 		}

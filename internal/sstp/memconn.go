@@ -44,6 +44,7 @@ type MemNetwork struct {
 	loss      map[[2]MemAddr]float64
 	delay     map[[2]MemAddr]time.Duration
 	jitter    map[[2]MemAddr]time.Duration
+	addrbox   map[MemAddr]net.Addr // cached interface boxings of sources
 	defLoss   float64
 	defDelay  time.Duration
 	defJitter time.Duration
@@ -58,6 +59,7 @@ func NewMemNetwork(seed int64) *MemNetwork {
 		loss:      make(map[[2]MemAddr]float64),
 		delay:     make(map[[2]MemAddr]time.Duration),
 		jitter:    make(map[[2]MemAddr]time.Duration),
+		addrbox:   make(map[MemAddr]net.Addr),
 	}
 }
 
@@ -150,7 +152,11 @@ func (n *MemNetwork) Leave(group MemAddr, member MemAddr) {
 
 func (n *MemNetwork) route(from MemAddr, to MemAddr, b []byte) {
 	n.mu.Lock()
-	var targets []MemAddr
+	// Stack-backed scratch: fan-outs wider than the arrays fall back to
+	// the heap, but the common unicast/small-group case stays
+	// allocation-free.
+	var tbuf [16]MemAddr
+	targets := tbuf[:0]
 	if members, isGroup := n.groups[to]; isGroup {
 		for m := range members {
 			if m != from {
@@ -160,11 +166,19 @@ func (n *MemNetwork) route(from MemAddr, to MemAddr, b []byte) {
 	} else {
 		targets = append(targets, to)
 	}
+	// Box the source address once per datagram, cached across calls, so
+	// ReadFrom can hand it back without a per-read allocation.
+	src, ok := n.addrbox[from]
+	if !ok {
+		src = from
+		n.addrbox[from] = src
+	}
 	type hop struct {
 		c *MemConn
 		d time.Duration
 	}
-	var hops []hop
+	var hbuf [16]hop
+	hops := hbuf[:0]
 	for _, tgt := range targets {
 		c, ok := n.endpoints[tgt]
 		if !ok || c.closed {
@@ -192,7 +206,9 @@ func (n *MemNetwork) route(from MemAddr, to MemAddr, b []byte) {
 	}
 	n.mu.Unlock()
 	for _, h := range hops {
-		pkt := memPacket{from: from, data: append([]byte(nil), b...)}
+		bp := memPktPool.Get().(*[]byte)
+		*bp = append((*bp)[:0], b...)
+		pkt := memPacket{from: src, data: *bp, buf: bp}
 		if h.d > 0 {
 			go func(c *MemConn, pkt memPacket, d time.Duration) {
 				time.Sleep(d)
@@ -204,9 +220,27 @@ func (n *MemNetwork) route(from MemAddr, to MemAddr, b []byte) {
 	}
 }
 
+// memPktPool recycles per-hop datagram copies: a load test pushing
+// hundreds of thousands of datagrams through a MemNetwork would
+// otherwise allocate one buffer per hop. Buffers return to the pool
+// when the packet is read or dropped.
+var memPktPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
+
 type memPacket struct {
-	from MemAddr
+	from net.Addr // pre-boxed MemAddr so reads don't allocate
 	data []byte
+	buf  *[]byte // pooled backing store; recycled after read or drop
+}
+
+// recycle returns the packet's backing buffer to the pool.
+func (p *memPacket) recycle() {
+	if p.buf != nil {
+		memPktPool.Put(p.buf)
+		p.buf = nil
+	}
 }
 
 // MemConn is one endpoint of a MemNetwork; it implements
@@ -220,6 +254,12 @@ type MemConn struct {
 
 	deadlineMu sync.Mutex
 	deadline   time.Time
+
+	// rdTimer is reused across ReadFrom calls instead of allocating a
+	// fresh timer per read. It is owned by the reading goroutine —
+	// receive loops are single-reader, matching the UDP sockets they
+	// stand in for.
+	rdTimer *time.Timer
 }
 
 func (c *MemConn) deliver(p memPacket) {
@@ -233,6 +273,7 @@ func (c *MemConn) deliver(p memPacket) {
 	select {
 	case c.inbox <- p:
 	default: // queue overflow models router drop
+		p.recycle()
 	}
 }
 
@@ -247,9 +288,18 @@ func (c *MemConn) ReadFrom(b []byte) (int, net.Addr, error) {
 		if d <= 0 {
 			return 0, nil, timeoutError{}
 		}
-		t := time.NewTimer(d)
-		defer t.Stop()
-		timeout = t.C
+		if c.rdTimer == nil {
+			c.rdTimer = time.NewTimer(d)
+		} else {
+			if !c.rdTimer.Stop() {
+				select {
+				case <-c.rdTimer.C:
+				default:
+				}
+			}
+			c.rdTimer.Reset(d)
+		}
+		timeout = c.rdTimer.C
 	}
 	select {
 	case p, ok := <-c.inbox:
@@ -257,6 +307,7 @@ func (c *MemConn) ReadFrom(b []byte) (int, net.Addr, error) {
 			return 0, nil, net.ErrClosed
 		}
 		n := copy(b, p.data)
+		p.recycle()
 		return n, p.from, nil
 	case <-timeout:
 		return 0, nil, timeoutError{}

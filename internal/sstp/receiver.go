@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"softstate/internal/feedback"
 	"softstate/internal/namespace"
+	"softstate/internal/netio"
 	"softstate/internal/obs"
 	"softstate/internal/protocol"
 	"softstate/internal/staleness"
@@ -66,7 +68,9 @@ type ReceiverConfig struct {
 	// times out or is deleted. Both run on a single dispatcher
 	// goroutine in the order the events occurred, and never after
 	// Close returns. Handlers may call Get/Snapshot/Stats but must not
-	// call Close (Close waits for the dispatcher to drain).
+	// call Close (Close waits for the dispatcher to drain). The value
+	// slice is pooled and reused after the handler returns — a handler
+	// that retains it past the call must copy it first.
 	OnUpdate func(key string, value []byte, version uint64, born float64)
 	OnExpire func(key string)
 
@@ -103,6 +107,19 @@ type ReceiverConfig struct {
 	// Consistency().
 	Consistency *staleness.Estimator
 
+	// DisableConsistency skips online consistency estimation entirely
+	// (no per-key confirmation tracking). Million-record load tests
+	// enable it: tracking a confirmation clock per replica key costs
+	// more than the replica itself.
+	DisableConsistency bool
+
+	// Stripes shards the replica table and the namespace digest tree
+	// by key hash (first '/'-path component), mirroring the sender's
+	// sharding. Rounded up to a power of two; default 1. The combined
+	// root digest is byte-identical to an unsharded tree's, so a
+	// striped receiver converges against any sender and vice versa.
+	Stripes int
+
 	Seed int64
 }
 
@@ -122,9 +139,10 @@ func (c ReceiverConfig) withDefaults() (ReceiverConfig, error) {
 	if c.TraceNode == "" {
 		c.TraceNode = fmt.Sprintf("r%d", c.ReceiverID)
 	}
-	if c.Consistency == nil {
+	if c.Consistency == nil && !c.DisableConsistency {
 		c.Consistency = staleness.NewEstimator(0)
 	}
+	c.Stripes = table.NormalizeStripes(c.Stripes)
 	return c, nil
 }
 
@@ -145,13 +163,30 @@ type ReceiverStats struct {
 	LossEstimate    float64
 }
 
+// recvStripe is one shard of the replica table plus its slice of the
+// namespace digest tree, striped by the key's first path component
+// exactly like the sender side.
+//
+// Lock order: a stripe lock may be held while taking r.mu (handlers
+// enqueue callbacks under both, preserving per-key causal order), but
+// r.mu must never be held while taking a stripe lock.
+type recvStripe struct {
+	mu  sync.Mutex
+	sub *table.Subscriber
+	ns  *namespace.Tree
+}
+
 // Receiver is an SSTP subscriber.
 type Receiver struct {
 	cfg ReceiverConfig
 
+	stripes []*recvStripe
+
+	// replicaN counts live replica entries across stripes; atomic so
+	// stripe-locked paths can maintain it without touching r.mu.
+	replicaN atomic.Int64
+
 	mu       sync.Mutex
-	sub      *table.Subscriber
-	ns       *namespace.Tree
 	est      *feedback.LossEstimator
 	sup      *feedback.Suppressor
 	pubID    uint64 // learned publisher sender-id
@@ -172,9 +207,19 @@ type Receiver struct {
 	// Application callbacks are queued here (under mu) and drained in
 	// order by a single dispatcher goroutine (callbackLoop), so
 	// OnUpdate/OnExpire see events in causal order and the receiver
-	// never spawns an unbounded goroutine per event.
+	// never spawns an unbounded goroutine per event. cbFree is the
+	// previously-drained queue, recycled so steady state reuses both
+	// the slice and each slot's value buffer.
 	cbs    []appCallback
+	cbFree []appCallback
 	cbKick chan struct{}
+
+	// Digest-diff reuse, owned by recvLoop (onDigests runs there and
+	// nowhere else): the remote child listing, the name→leaf index,
+	// and the NACK key accumulator are recycled across datagrams.
+	dRemote []namespace.Child
+	dLeaf   map[string]bool
+	dNacks  []string
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -199,8 +244,6 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 	}
 	r := &Receiver{
 		cfg:        cfg,
-		sub:        table.NewSubscriber(),
-		ns:         namespace.New(namespace.HashSHA256),
 		est:        feedback.NewLossEstimator(0.25),
 		sup:        feedback.NewSuppressor(cfg.NACKWindow.Seconds(), 16*cfg.NACKWindow.Seconds(), xrand.New(cfg.Seed)),
 		m:          newReceiverMetrics(cfg.Obs),
@@ -210,23 +253,39 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 		cbKick:     make(chan struct{}, 1),
 		done:       make(chan struct{}),
 	}
-	r.sub.OnExpire = func(e *table.Entry) {
-		// Called under r.mu from the sweep loop.
-		r.ns.Delete(string(e.Key))
-		r.stats.Expired++
-		r.m.expired.Inc()
-		r.cfg.Consistency.Forget(r.cfg.ReceiverID, string(e.Key))
-		traceRecord(cfg.Trace, cfg.TraceNode, trace.Expire, string(e.Key))
-		if cfg.OnExpire != nil {
-			r.enqueueCallback(appCallback{expire: true, key: string(e.Key)})
+	r.stripes = make([]*recvStripe, cfg.Stripes)
+	for i := range r.stripes {
+		st := &recvStripe{sub: table.NewSubscriber(), ns: namespace.New(namespace.HashSHA256)}
+		st.sub.OnExpire = func(e *table.Entry) {
+			// Called with the stripe lock held (Sweep or flush); r.mu is
+			// taken nested for the global bookkeeping — the allowed order.
+			key := string(e.Key)
+			st.ns.Delete(key)
+			r.replicaN.Add(-1)
+			r.cfg.Consistency.Forget(r.cfg.ReceiverID, key)
+			traceRecord(cfg.Trace, cfg.TraceNode, trace.Expire, key)
+			r.mu.Lock()
+			r.stats.Expired++
+			r.m.expired.Inc()
+			if cfg.OnExpire != nil {
+				r.enqueueExpire(key)
+			}
+			r.mu.Unlock()
 		}
+		r.stripes[i] = st
 	}
 	return r, nil
 }
 
-// Consistency returns the receiver's online consistency estimator
-// (never nil after NewReceiver); its Snapshot is the `consistency`
-// section served by the admin endpoint.
+// stripeFor returns the stripe owning key (or any namespace path).
+func (r *Receiver) stripeFor(key string) *recvStripe {
+	return r.stripes[table.StripeIndex(table.Key(key), len(r.stripes))]
+}
+
+// Consistency returns the receiver's online consistency estimator;
+// its Snapshot is the `consistency` section served by the admin
+// endpoint. Nil when DisableConsistency was set (every Estimator
+// method is nil-safe, so callers may still chain through it).
 func (r *Receiver) Consistency() *staleness.Estimator { return r.cfg.Consistency }
 
 // Start launches the listen, sweep, timer, dispatch, and report loops.
@@ -257,10 +316,7 @@ func (r *Receiver) peerSummaryLoop() {
 		case <-r.done:
 			return
 		case <-tick.C:
-			r.mu.Lock()
-			count := r.ns.Len()
-			digest := r.ns.RootDigest()
-			r.mu.Unlock()
+			digest, count := r.rootSummary()
 			if count == 0 {
 				continue // nothing to advertise yet
 			}
@@ -292,9 +348,10 @@ func (r *Receiver) Stats() ReceiverStats {
 
 // Get returns the current value for key, if present and unexpired.
 func (r *Receiver) Get(key string) ([]byte, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	e, ok := r.sub.Get(table.Key(key), nowSeconds())
+	st := r.stripeFor(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.sub.Get(table.Key(key), nowSeconds())
 	if !ok {
 		return nil, false
 	}
@@ -303,31 +360,60 @@ func (r *Receiver) Get(key string) ([]byte, bool) {
 
 // Snapshot returns a copy of the unexpired {key, value} replica.
 func (r *Receiver) Snapshot() map[string][]byte {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	now := nowSeconds()
 	out := make(map[string][]byte)
-	for _, k := range r.sub.Keys(now) {
-		if e, ok := r.sub.Get(k, now); ok {
-			out[string(k)] = append([]byte(nil), e.Value...)
+	for _, st := range r.stripes {
+		st.mu.Lock()
+		for _, k := range st.sub.Keys(now) {
+			if e, ok := st.sub.Get(k, now); ok {
+				out[string(k)] = append([]byte(nil), e.Value...)
+			}
 		}
+		st.mu.Unlock()
 	}
 	return out
 }
 
 // RootDigest returns the replica's namespace digest; equality with the
-// sender's digest proves convergence.
+// sender's digest proves convergence. With multiple stripes it is the
+// combined root, byte-identical to an unsharded tree's.
 func (r *Receiver) RootDigest() namespace.Digest {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.ns.RootDigest()
+	d, _ := r.rootSummary()
+	return d
+}
+
+// rootSummary combines the per-stripe namespace slices into the root
+// digest plus the total leaf count (see Sender.rootSummary).
+func (r *Receiver) rootSummary() (namespace.Digest, int) {
+	if len(r.stripes) == 1 {
+		st := r.stripes[0]
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return st.ns.RootDigest(), st.ns.Len()
+	}
+	groups := make([][]namespace.Child, 0, len(r.stripes))
+	count := 0
+	for _, st := range r.stripes {
+		st.mu.Lock()
+		kids, _ := st.ns.Children("")
+		count += st.ns.Len()
+		st.mu.Unlock()
+		if len(kids) > 0 {
+			groups = append(groups, kids)
+		}
+	}
+	return namespace.CombineRoot(namespace.HashSHA256, namespace.CombineChildren(groups...)), count
 }
 
 // Len returns the number of replica entries.
 func (r *Receiver) Len() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.sub.Len()
+	n := 0
+	for _, st := range r.stripes {
+		st.mu.Lock()
+		n += st.sub.Len()
+		st.mu.Unlock()
+	}
+	return n
 }
 
 // PublisherScope returns the hop budget stamped on the most recent
@@ -344,11 +430,27 @@ func (r *Receiver) interested(path string) bool {
 	return r.cfg.Interest == nil || r.cfg.Interest(path)
 }
 
+// recvBatch is how many datagrams one ReadBatch call can surface
+// (one recvmmsg on Linux; the fallback reads one at a time).
+const recvBatch = 8
+
 func (r *Receiver) recvLoop() {
 	defer r.wg.Done()
-	bp := readBufPool.Get().(*[]byte)
-	defer readBufPool.Put(bp)
-	buf := *bp
+	bc := netio.Wrap(r.cfg.Conn)
+	var bps [recvBatch]*[]byte
+	bufs := make([][]byte, recvBatch)
+	for i := range bufs {
+		bps[i] = readBufPool.Get().(*[]byte)
+		bufs[i] = *bps[i]
+	}
+	defer func() {
+		for _, bp := range bps {
+			readBufPool.Put(bp)
+		}
+	}()
+	sizes := make([]int, recvBatch)
+	addrs := make([]net.Addr, recvBatch)
+	dec := protocol.NewDecoder()
 	for {
 		select {
 		case <-r.done:
@@ -356,29 +458,30 @@ func (r *Receiver) recvLoop() {
 		default:
 		}
 		_ = r.cfg.Conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
-		n, _, err := r.cfg.Conn.ReadFrom(buf)
+		n, err := bc.ReadBatch(bufs, sizes, addrs)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				continue
 			}
 			return
 		}
-		hdr, msg, err := protocol.Decode(buf[:n])
-		if err != nil || hdr.Session != r.cfg.Session || hdr.Sender == r.cfg.ReceiverID {
-			continue
+		for i := 0; i < n; i++ {
+			hdr, msg, err := dec.Decode(bufs[i][:sizes[i]])
+			if err != nil || hdr.Session != r.cfg.Session || hdr.Sender == r.cfg.ReceiverID {
+				continue
+			}
+			r.dispatch(hdr, msg)
 		}
-		r.dispatch(hdr, msg)
 	}
 }
 
 func (r *Receiver) dispatch(hdr protocol.Header, msg protocol.Message) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	// Learn the publisher: the first Data/Summary/Heartbeat sender
 	// with a live sequence number (receivers' peer-repair messages
 	// carry Seq 0, so they are never mistaken for the publisher).
 	switch msg.(type) {
-	case *protocol.Data, *protocol.Summary, *protocol.Digests, *protocol.Heartbeat, *protocol.Goodbye:
+	case *protocol.Data, *protocol.DataBatch, *protocol.Summary, *protocol.Digests, *protocol.Heartbeat, *protocol.Goodbye:
 		if !r.pubSeen && hdr.Seq > 0 {
 			r.pubSeen = true
 			r.pubID = hdr.Sender
@@ -401,15 +504,24 @@ func (r *Receiver) dispatch(hdr protocol.Header, msg protocol.Message) {
 			}
 		}
 	}
+	fromPub := r.pubSeen && hdr.Sender == r.pubID
+	r.mu.Unlock()
 	switch m := msg.(type) {
 	case *protocol.Data:
 		r.onData(m)
+	case *protocol.DataBatch:
+		// Records unpack in encode order, so the delivery sequence is
+		// identical to the same records in single-record datagrams
+		// (pinned by test).
+		for i := range m.Records {
+			r.onData(&m.Records[i])
+		}
 	case *protocol.Summary:
 		r.onSummary(hdr, m)
 	case *protocol.Digests:
 		r.onDigests(m)
 	case *protocol.Goodbye:
-		if r.pubSeen && hdr.Sender == r.pubID {
+		if fromPub {
 			r.onGoodbye()
 		}
 	case *protocol.Heartbeat:
@@ -417,28 +529,34 @@ func (r *Receiver) dispatch(hdr protocol.Header, msg protocol.Message) {
 		// receiver holding state is therefore stale and flushes it —
 		// this also covers a lost Goodbye datagram, and an announcement
 		// that raced past one in flight.
-		if r.cfg.FlushOnGoodbye && r.pubSeen && hdr.Sender == r.pubID && r.sub.Len() > 0 {
-			r.flushReplicaLocked()
+		if r.cfg.FlushOnGoodbye && fromPub && r.Len() > 0 {
+			r.flushReplica()
 		}
 	case *protocol.NACK:
 		// Another receiver's NACK: damp ours, and — with peer repair
 		// on — offer to answer it from our replica.
+		r.mu.Lock()
 		for _, k := range m.Keys {
 			if r.sup.Heard(k) {
 				r.stats.NACKsSuppressed++
 				r.m.suppressed.Inc()
 			}
-			if r.cfg.PeerRepair {
+		}
+		r.mu.Unlock()
+		if r.cfg.PeerRepair {
+			for _, k := range m.Keys {
 				r.schedulePeerData(k)
 			}
 		}
 	case *protocol.Query:
 		// Another receiver queried the same path: damp ours, and
 		// offer a digest response from our replica.
+		r.mu.Lock()
 		if r.sup.Heard("?" + m.Path) {
 			r.stats.NACKsSuppressed++
 			r.m.suppressed.Inc()
 		}
+		r.mu.Unlock()
 		if r.cfg.PeerRepair {
 			r.schedulePeerDigests(m.Path)
 		}
@@ -446,18 +564,26 @@ func (r *Receiver) dispatch(hdr protocol.Header, msg protocol.Message) {
 }
 
 // schedulePeerData slots a repair response for key from this replica.
-// Caller holds r.mu.
+// Caller must hold no locks.
 func (r *Receiver) schedulePeerData(key string) {
-	e, ok := r.sub.Get(table.Key(key), nowSeconds())
+	st := r.stripeFor(key)
+	st.mu.Lock()
+	e, ok := st.sub.Get(table.Key(key), nowSeconds())
+	var ver uint64
+	if ok {
+		ver = e.Version
+	}
+	st.mu.Unlock()
 	if !ok {
 		return // we do not hold it either
 	}
 	skey := "!d:" + key
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	fireAt, fresh := r.sup.Schedule(skey, nowSeconds())
 	if !fresh {
 		return
 	}
-	ver := e.Version
 	r.armTimerLocked(skey, fireAt, func() {
 		r.mu.Lock()
 		if !r.sup.Fire(skey, nowSeconds()) {
@@ -465,9 +591,11 @@ func (r *Receiver) schedulePeerData(key string) {
 			return // someone else (sender or peer) repaired it first
 		}
 		r.sup.Repaired(skey)
-		cur, ok := r.sub.Get(table.Key(key), nowSeconds())
+		r.mu.Unlock()
+		st.mu.Lock()
+		cur, ok := st.sub.Get(table.Key(key), nowSeconds())
 		if !ok || cur.Version != ver {
-			r.mu.Unlock()
+			st.mu.Unlock()
 			return // expired or changed since the NACK
 		}
 		msg := &protocol.Data{
@@ -475,25 +603,53 @@ func (r *Receiver) schedulePeerData(key string) {
 			TTLms: uint32((cur.Deadline - nowSeconds()) * 1000),
 			Value: append([]byte(nil), cur.Value...),
 		}
+		st.mu.Unlock()
 		if msg.TTLms == 0 {
 			msg.TTLms = 1000
 		}
+		r.mu.Lock()
 		r.stats.PeerDataSent++
 		r.m.peerData.Inc()
-		traceRecord(r.cfg.Trace, r.cfg.TraceNode, trace.Repair, key)
 		r.mu.Unlock()
+		traceRecord(r.cfg.Trace, r.cfg.TraceNode, trace.Repair, key)
 		r.sendControl(msg)
 	})
 }
 
+// childrenAt lists the replica's namespace children under path,
+// merging the per-stripe trees' top-level children at the root.
+func (r *Receiver) childrenAt(path string) ([]namespace.Child, bool) {
+	if path == "" && len(r.stripes) > 1 {
+		groups := make([][]namespace.Child, 0, len(r.stripes))
+		for _, st := range r.stripes {
+			st.mu.Lock()
+			kids, err := st.ns.Children("")
+			st.mu.Unlock()
+			if err == nil && len(kids) > 0 {
+				groups = append(groups, kids)
+			}
+		}
+		return namespace.CombineChildren(groups...), true
+	}
+	st := r.stripeFor(path)
+	st.mu.Lock()
+	kids, err := st.ns.Children(path)
+	st.mu.Unlock()
+	if err != nil {
+		return nil, false
+	}
+	return kids, true
+}
+
 // schedulePeerDigests slots a digest response for path from this
-// replica. Caller holds r.mu.
+// replica. Caller must hold no locks.
 func (r *Receiver) schedulePeerDigests(path string) {
-	kids, err := r.ns.Children(path)
-	if err != nil || len(kids) == 0 {
+	if kids, ok := r.childrenAt(path); !ok || len(kids) == 0 {
 		return
 	}
 	skey := "!q:" + path
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	fireAt, fresh := r.sup.Schedule(skey, nowSeconds())
 	if !fresh {
 		return
@@ -505,9 +661,9 @@ func (r *Receiver) schedulePeerDigests(path string) {
 			return
 		}
 		r.sup.Repaired(skey)
-		kids, err := r.ns.Children(path)
-		if err != nil {
-			r.mu.Unlock()
+		r.mu.Unlock()
+		kids, ok := r.childrenAt(path)
+		if !ok {
 			return
 		}
 		resp := &protocol.Digests{Path: path}
@@ -519,6 +675,7 @@ func (r *Receiver) schedulePeerDigests(path string) {
 			copy(cd.Digest[:], k.Digest[:])
 			resp.Children = append(resp.Children, cd)
 		}
+		r.mu.Lock()
 		r.stats.PeerDigestsSent++
 		r.m.peerDigests.Inc()
 		r.mu.Unlock()
@@ -528,16 +685,23 @@ func (r *Receiver) schedulePeerDigests(path string) {
 
 func (r *Receiver) onData(m *protocol.Data) {
 	now := nowSeconds()
+	st := r.stripeFor(m.Key)
 	if m.Deleted {
-		if r.sub.Drop(table.Key(m.Key)) {
-			r.ns.Delete(m.Key)
+		st.mu.Lock()
+		dropped := st.sub.Drop(table.Key(m.Key))
+		if dropped {
+			st.ns.Delete(m.Key)
+			r.replicaN.Add(-1)
 			traceRecord(r.cfg.Trace, r.cfg.TraceNode, trace.Tombstone, m.Key)
-			if r.cfg.OnExpire != nil {
-				r.enqueueCallback(appCallback{expire: true, key: m.Key})
-			}
 		}
 		r.cfg.Consistency.Forget(r.cfg.ReceiverID, m.Key)
+		r.mu.Lock()
+		if dropped && r.cfg.OnExpire != nil {
+			r.enqueueExpire(m.Key)
+		}
 		r.sup.Repaired(m.Key)
+		r.mu.Unlock()
+		st.mu.Unlock()
 		return
 	}
 	ttl := float64(m.TTLms) / 1000
@@ -545,99 +709,138 @@ func (r *Receiver) onData(m *protocol.Data) {
 		ttl = 30
 	}
 	born := float64(m.BornMs) / 1000
-	prev, had := r.sub.Get(table.Key(m.Key), now)
-	isDup := had && prev.Version >= m.Ver
-	changed := r.sub.ApplyBorn(table.Key(m.Key), m.Value, m.Ver, now, ttl, born)
+	// The stripe lock covers the table+namespace mutation and, nested,
+	// the r.mu bookkeeping — so a sweep on the same stripe cannot
+	// interleave an expiry callback between a delivery and its
+	// OnUpdate enqueue.
+	st.mu.Lock()
+	prev, had := st.sub.Get(table.Key(m.Key), now)
+	var prevVer uint64
+	if had {
+		prevVer = prev.Version
+	}
+	isDup := had && prevVer >= m.Ver
+	changed := st.sub.ApplyBorn(table.Key(m.Key), m.Value, m.Ver, now, ttl, born)
+	delivered := false
 	if changed {
-		if err := r.ns.Put(m.Key, m.Value, m.Ver); err == nil {
-			r.stats.DataReceived++
-			r.m.deliveries.Inc()
-			traceRecord(r.cfg.Trace, r.cfg.TraceNode, trace.Deliver, m.Key)
-			// T_rec here is repair latency: first-NACK-scheduled to
-			// delivery. t_vis is the end-to-end quantity: origin publish
-			// (stamped on the wire, preserved across relay hops) to
-			// local delivery.
-			if t0, ok := r.repairT[m.Key]; ok {
-				r.m.tRec.Observe(now - t0)
-				delete(r.repairT, m.Key)
+		if !had {
+			r.replicaN.Add(1)
+		}
+		delivered = st.ns.Put(m.Key, m.Value, m.Ver) == nil
+	}
+	r.mu.Lock()
+	if delivered {
+		r.stats.DataReceived++
+		r.m.deliveries.Inc()
+		traceRecord(r.cfg.Trace, r.cfg.TraceNode, trace.Deliver, m.Key)
+		// T_rec here is repair latency: first-NACK-scheduled to
+		// delivery. t_vis is the end-to-end quantity: origin publish
+		// (stamped on the wire, preserved across relay hops) to
+		// local delivery.
+		if t0, ok := r.repairT[m.Key]; ok {
+			r.m.tRec.Observe(now - t0)
+			delete(r.repairT, m.Key)
+		}
+		if m.BornMs > 0 {
+			lag := now - born
+			if lag < 0 {
+				lag = 0 // clock skew between origin and replica
 			}
-			if m.BornMs > 0 {
-				lag := now - born
-				if lag < 0 {
-					lag = 0 // clock skew between origin and replica
-				}
-				r.m.tvis.Observe(lag)
-				r.cfg.Consistency.ObserveTVisAt(now, lag)
-			}
-			r.m.replica.Set(float64(r.sub.Len()))
-			if r.cfg.OnUpdate != nil {
-				r.enqueueCallback(appCallback{
-					key:     m.Key,
-					value:   append([]byte(nil), m.Value...),
-					version: m.Ver,
-					born:    born,
-				})
-			}
+			r.m.tvis.Observe(lag)
+			r.cfg.Consistency.ObserveTVisAt(now, lag)
+		}
+		r.m.replica.Set(float64(r.replicaN.Load()))
+		if r.cfg.OnUpdate != nil {
+			r.enqueueUpdate(m.Key, m.Value, m.Ver, born)
 		}
 	} else if isDup {
 		r.stats.Duplicates++
 		r.m.duplicates.Inc()
 	}
-	if changed || (had && prev.Version == m.Ver) {
+	r.sup.Repaired(m.Key)
+	if r.cfg.PeerRepair {
+		// A repair answered by anyone damps our pending peer response.
+		// (Without peer repair no "!d:" slot can exist — skipping the
+		// lookup also skips the per-record string concatenation.)
+		r.sup.Heard("!d:" + m.Key)
+	}
+	r.mu.Unlock()
+	if changed || (had && prevVer == m.Ver) {
 		// Delivering a new version, or hearing a refresh for exactly
 		// the version we hold, confirms the record is current — the
 		// per-key staleness clock resets. An announcement older than
 		// the replica proves nothing and is excluded.
 		r.cfg.Consistency.ConfirmAt(r.cfg.ReceiverID, m.Key, now)
 	}
-	r.sup.Repaired(m.Key)
-	// A repair answered by anyone damps our pending peer response.
-	r.sup.Heard("!d:" + m.Key)
+	st.mu.Unlock()
 }
 
 // onGoodbye handles a publisher departure: count it, forget the
 // learned publisher (a successor may take over the session), and —
 // with FlushOnGoodbye — drop the whole replica at once, firing the
-// usual expiry callbacks. Caller holds r.mu.
+// usual expiry callbacks. Caller must hold no locks.
 func (r *Receiver) onGoodbye() {
+	r.mu.Lock()
 	r.stats.GoodbyesHeard++
 	r.m.goodbyes.Inc()
 	r.pubSeen = false
 	r.lastSeq = 0
+	r.mu.Unlock()
 	if r.cfg.FlushOnGoodbye {
-		r.flushReplicaLocked()
+		r.flushReplica()
 	}
 	if r.cfg.OnGoodbye != nil {
-		r.enqueueCallback(appCallback{goodbye: true})
+		r.mu.Lock()
+		r.enqueueGoodbye()
+		r.mu.Unlock()
 	}
 }
 
-// flushReplicaLocked drops every replica entry through the normal
-// expiry path. Caller holds r.mu.
-func (r *Receiver) flushReplicaLocked() {
+// flushReplica drops every replica entry through the normal expiry
+// path, stripe by stripe. Caller must hold no locks.
+func (r *Receiver) flushReplica() {
 	now := nowSeconds()
-	r.sub.Sweep(now) // fire regular expiry for already-lapsed keys
-	for _, k := range r.sub.Keys(now) {
-		key := string(k)
-		r.sub.Drop(k)
-		r.ns.Delete(key)
-		r.stats.Expired++
-		r.m.expired.Inc()
-		r.cfg.Consistency.Forget(r.cfg.ReceiverID, key)
-		traceRecord(r.cfg.Trace, r.cfg.TraceNode, trace.Expire, key)
-		if r.cfg.OnExpire != nil {
-			r.enqueueCallback(appCallback{expire: true, key: key})
+	for _, st := range r.stripes {
+		st.mu.Lock()
+		st.sub.Sweep(now) // fire regular expiry for already-lapsed keys
+		for _, k := range st.sub.Keys(now) {
+			key := string(k)
+			st.sub.Drop(k)
+			st.ns.Delete(key)
+			r.replicaN.Add(-1)
+			r.cfg.Consistency.Forget(r.cfg.ReceiverID, key)
+			traceRecord(r.cfg.Trace, r.cfg.TraceNode, trace.Expire, key)
+			r.mu.Lock()
+			r.stats.Expired++
+			r.m.expired.Inc()
+			if r.cfg.OnExpire != nil {
+				r.enqueueExpire(key)
+			}
+			r.mu.Unlock()
 		}
+		st.mu.Unlock()
 	}
-	r.m.replica.Set(float64(r.sub.Len()))
+	r.m.replica.Set(float64(r.replicaN.Load()))
 }
 
 // onSummary compares the announced root digest against the replica's
 // and, on mismatch, schedules a namespace query (suppression-slotted).
+// Caller must hold no locks.
 func (r *Receiver) onSummary(hdr protocol.Header, m *protocol.Summary) {
-	r.stats.SummariesHeard++
-	local, err := r.ns.Digest(m.Path)
+	var local namespace.Digest
+	var err error
+	if m.Path == "" {
+		local, _ = r.rootSummary()
+	} else {
+		st := r.stripeFor(m.Path)
+		st.mu.Lock()
+		local, err = st.ns.Digest(m.Path)
+		st.mu.Unlock()
+	}
 	agree := err == nil && local == namespace.Digest(m.Digest)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.SummariesHeard++
 	// Every publisher root summary is one Bernoulli observation of the
 	// paper's c(t): digest equality proves the replica identical to
 	// the live set at this instant. Peer summaries (Seq 0) are not
@@ -662,25 +865,36 @@ func (r *Receiver) onSummary(hdr protocol.Header, m *protocol.Summary) {
 
 // onDigests diffs the sender's child digests against the replica and
 // recurses: mismatching interior children get queries, mismatching or
-// missing leaves get NACKs.
+// missing leaves get NACKs. Caller must hold no locks.
 func (r *Receiver) onDigests(m *protocol.Digests) {
+	r.mu.Lock()
 	r.sup.Repaired("?" + m.Path)
 	// Someone else answered this path: damp our pending response.
 	r.sup.Heard("!q:" + m.Path)
+	r.mu.Unlock()
 	if r.cfg.DisableFeedback {
 		return
 	}
-	var remote []namespace.Child
-	leafByName := make(map[string]bool, len(m.Children))
+	remote := r.dRemote[:0]
+	if r.dLeaf == nil {
+		r.dLeaf = make(map[string]bool, len(m.Children))
+	} else {
+		clear(r.dLeaf)
+	}
+	leafByName := r.dLeaf
 	for _, c := range m.Children {
 		remote = append(remote, namespace.Child{Name: c.Name, Leaf: c.Leaf, Digest: namespace.Digest(c.Digest)})
 		leafByName[c.Name] = c.Leaf
 	}
-	differ, missing, err := r.ns.DiffChildren(m.Path, remote)
-	if err != nil {
+	r.dRemote = remote[:0]
+	differ, missing, ok := r.diffChildren(m.Path, remote)
+	if !ok {
 		return
 	}
-	var nacks []string
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	nacks := r.dNacks[:0]
+	defer func() { r.dNacks = nacks[:0] }()
 	recurse := func(names []string) {
 		for _, name := range names {
 			child := name
@@ -702,6 +916,46 @@ func (r *Receiver) onDigests(m *protocol.Digests) {
 	for _, key := range nacks {
 		r.scheduleNACK(key)
 	}
+}
+
+// diffChildren diffs remote child digests against the replica's,
+// merging the per-stripe trees' top-level children at the root. The
+// semantics match namespace.Tree.DiffChildren: differ lists children
+// both sides hold with unequal digests, missing lists children the
+// replica lacks entirely.
+func (r *Receiver) diffChildren(path string, remote []namespace.Child) (differ, missing []string, ok bool) {
+	if path == "" && len(r.stripes) > 1 {
+		local := make(map[string]namespace.Digest)
+		for _, st := range r.stripes {
+			st.mu.Lock()
+			kids, err := st.ns.Children("")
+			st.mu.Unlock()
+			if err != nil {
+				continue
+			}
+			for _, k := range kids {
+				local[k.Name] = k.Digest
+			}
+		}
+		for _, rc := range remote {
+			d, have := local[rc.Name]
+			switch {
+			case !have:
+				missing = append(missing, rc.Name)
+			case d != rc.Digest:
+				differ = append(differ, rc.Name)
+			}
+		}
+		return differ, missing, true
+	}
+	st := r.stripeFor(path)
+	st.mu.Lock()
+	d, ms, err := st.ns.DiffChildren(path, remote)
+	st.mu.Unlock()
+	if err != nil {
+		return nil, nil, false
+	}
+	return d, ms, true
 }
 
 // scheduleQuery slots a namespace query through the suppressor.
@@ -845,20 +1099,56 @@ func (r *Receiver) timerLoop() {
 	}
 }
 
-// enqueueCallback queues an application callback for the dispatcher;
-// caller holds r.mu.
-func (r *Receiver) enqueueCallback(cb appCallback) {
-	r.cbs = append(r.cbs, cb)
+// enqueueSlot appends one queue slot for the dispatcher, reusing the
+// slot's storage (including its value buffer) from a previous drain.
+// Caller holds r.mu.
+func (r *Receiver) enqueueSlot() *appCallback {
+	n := len(r.cbs)
+	if n < cap(r.cbs) {
+		r.cbs = r.cbs[:n+1]
+	} else {
+		r.cbs = append(r.cbs, appCallback{})
+	}
+	cb := &r.cbs[n]
+	cb.expire, cb.goodbye = false, false
+	cb.key = ""
+	cb.value = cb.value[:0]
+	cb.version, cb.born = 0, 0
 	select {
 	case r.cbKick <- struct{}{}:
 	default:
 	}
+	return cb
+}
+
+// enqueueUpdate queues an OnUpdate delivery; caller holds r.mu. The
+// value is copied into the slot's reusable buffer.
+func (r *Receiver) enqueueUpdate(key string, value []byte, version uint64, born float64) {
+	cb := r.enqueueSlot()
+	cb.key = key
+	cb.value = append(cb.value, value...)
+	cb.version = version
+	cb.born = born
+}
+
+// enqueueExpire queues an OnExpire delivery; caller holds r.mu.
+func (r *Receiver) enqueueExpire(key string) {
+	cb := r.enqueueSlot()
+	cb.expire = true
+	cb.key = key
+}
+
+// enqueueGoodbye queues an OnGoodbye delivery; caller holds r.mu.
+func (r *Receiver) enqueueGoodbye() {
+	cb := r.enqueueSlot()
+	cb.goodbye = true
 }
 
 // callbackLoop delivers OnUpdate/OnExpire from one goroutine in queue
 // order. The queue is swapped out under r.mu and drained lock-free, so
-// handlers may call Get/Snapshot/Stats without deadlock. No callback
-// starts after Close is observed.
+// handlers may call Get/Snapshot/Stats without deadlock; the drained
+// queue is recycled, so steady state allocates nothing per event. No
+// callback starts after Close is observed.
 func (r *Receiver) callbackLoop() {
 	defer r.wg.Done()
 	for {
@@ -870,9 +1160,13 @@ func (r *Receiver) callbackLoop() {
 		for {
 			r.mu.Lock()
 			batch := r.cbs
-			r.cbs = nil
+			r.cbs = r.cbFree[:0]
+			r.cbFree = nil
 			r.mu.Unlock()
 			if len(batch) == 0 {
+				r.mu.Lock()
+				r.cbFree = batch[:0]
+				r.mu.Unlock()
 				break
 			}
 			for i := range batch {
@@ -893,8 +1187,13 @@ func (r *Receiver) callbackLoop() {
 				} else if r.cfg.OnUpdate != nil {
 					r.cfg.OnUpdate(cb.key, cb.value, cb.version, cb.born)
 				}
-				cb.value = nil
+				if cap(cb.value) > 4096 {
+					cb.value = nil // do not pin oversized values in the pool
+				}
 			}
+			r.mu.Lock()
+			r.cbFree = batch[:0]
+			r.mu.Unlock()
 		}
 	}
 }
@@ -924,10 +1223,14 @@ func (r *Receiver) sweepLoop() {
 		case <-r.done:
 			return
 		case <-tick.C:
-			r.mu.Lock()
 			now := nowSeconds()
-			r.sub.Sweep(now)
-			r.m.replica.Set(float64(r.sub.Len()))
+			for _, st := range r.stripes {
+				st.mu.Lock()
+				st.sub.Sweep(now) // OnExpire fires under the stripe lock
+				st.mu.Unlock()
+			}
+			r.m.replica.Set(float64(r.replicaN.Load()))
+			r.mu.Lock()
 			for key, t0 := range r.repairT {
 				if now-t0 > 120 {
 					delete(r.repairT, key) // repair abandoned
@@ -937,7 +1240,7 @@ func (r *Receiver) sweepLoop() {
 			// Refresh the windowed consistency gauges at a gentler
 			// cadence: the staleness-age quantiles sort all tracked
 			// keys, which is too dear to redo every 250ms.
-			if ticks++; ticks%8 == 0 {
+			if ticks++; r.cfg.Consistency != nil && ticks%8 == 0 {
 				r.m.setConsistency(r.cfg.Consistency.SnapshotAt(now))
 			}
 		}

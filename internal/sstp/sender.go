@@ -5,10 +5,12 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"softstate/internal/congestion"
 	"softstate/internal/namespace"
+	"softstate/internal/netio"
 	"softstate/internal/obs"
 	"softstate/internal/profile"
 	"softstate/internal/protocol"
@@ -16,6 +18,12 @@ import (
 	"softstate/internal/table"
 	"softstate/internal/trace"
 )
+
+// coalesceMTU is the datagram size announcements are coalesced up to;
+// conservatively under the common 1500-byte path MTU. Records whose
+// single frame exceeds it are still sent whole in their own datagram
+// (IP fragments them, as before coalescing existed).
+const coalesceMTU = 1400
 
 // SenderConfig parameterizes an SSTP publisher.
 type SenderConfig struct {
@@ -80,6 +88,23 @@ type SenderConfig struct {
 	// reach of repair traffic.
 	Scope uint8
 
+	// Stripes shards the publisher table and the namespace digest tree
+	// by key hash (first '/'-path component), giving each stripe its
+	// own lock and expiry heap so concurrent Publish calls contend per
+	// stripe, not per sender. Rounded up to a power of two; default 1
+	// (unsharded). Summaries carry the combined root digest, which is
+	// byte-identical to the unsharded tree's for the same contents.
+	Stripes int
+
+	// CoalesceRecords caps how many record announcements are packed
+	// into one DataBatch datagram (up to the MTU budget; at most
+	// protocol.MaxBatch). 0 or 1 sends one record per datagram.
+	CoalesceRecords int
+
+	// BatchDatagrams is how many announcement datagrams are handed to
+	// the socket per send operation (one sendmmsg on Linux). Default 1.
+	BatchDatagrams int
+
 	// OnRateLimit, if non-nil, is invoked when the allocator detects
 	// the application's publish rate exceeds μ_hot — the paper's
 	// notification "to refrain from injecting new records".
@@ -137,6 +162,19 @@ func (c SenderConfig) withDefaults() (SenderConfig, error) {
 	if c.TraceNode == "" {
 		c.TraceNode = fmt.Sprintf("s%d", c.SenderID)
 	}
+	c.Stripes = table.NormalizeStripes(c.Stripes)
+	if c.CoalesceRecords < 1 {
+		c.CoalesceRecords = 1
+	}
+	if c.CoalesceRecords > protocol.MaxBatch {
+		c.CoalesceRecords = protocol.MaxBatch
+	}
+	if c.BatchDatagrams < 1 {
+		c.BatchDatagrams = 1
+	}
+	if c.BatchDatagrams > 256 {
+		c.BatchDatagrams = 256
+	}
 	if len(c.Classes) == 0 {
 		c.Classes = []Class{{Name: "data", Weight: 1}}
 	}
@@ -155,7 +193,8 @@ func (c SenderConfig) withDefaults() (SenderConfig, error) {
 
 // SenderStats are cumulative counters, safe to read via Sender.Stats.
 type SenderStats struct {
-	DataSent       int
+	DataSent       int // record announcements (frames), not datagrams
+	DatagramsSent  int // data datagrams; < DataSent when coalescing
 	SummariesSent  int
 	DigestsSent    int
 	HeartbeatsSent int
@@ -239,14 +278,31 @@ func (l *entryList) remove(e *sendEntry) {
 	l.n--
 }
 
+// senderStripe is one shard of the publisher table plus its slice of
+// the namespace digest tree. Keys are striped by their first path
+// component, so entire top-level subtrees live in one stripe and the
+// combined root digest is byte-identical to an unsharded tree's.
+//
+// Lock order: s.mu may be held while taking a stripe lock (the pick
+// path), but a stripe lock must never be held while taking s.mu —
+// stripe-side callbacks park work in `expired` instead.
+type senderStripe struct {
+	mu      sync.Mutex
+	pub     *table.Publisher
+	ns      *namespace.Tree
+	expired []string // keys evicted while the stripe lock was held
+}
+
 // Sender is an SSTP publisher.
 type Sender struct {
-	cfg SenderConfig
+	cfg   SenderConfig
+	bconn *netio.BatchConn
+
+	stripes []*senderStripe
+	liveN   atomic.Int64  // live records across stripes
+	verN    atomic.Uint64 // sender-global version counter (see publish)
 
 	mu          sync.Mutex
-	pub         *table.Publisher
-	ns          *namespace.Tree
-	onPubExpire func(r *table.Record)
 	scope       uint8
 	share       *sched.Hierarchy
 	classes     []*senderClass
@@ -261,14 +317,24 @@ type Sender struct {
 	started     float64 // publish-rate estimation window start
 	pubBits     float64 // bits published in the window
 
-	// Hot-path reuse: the announcement datagram buffer and Data
-	// message are owned by sendLoop (via nextAnnouncement), the wait
-	// timer by sendLoop's throttle/idle sleeps. Zero allocations per
-	// announcement in steady state.
-	encBuf    []byte
-	dataMsg   protocol.Data
-	waitTimer *time.Timer
-	readyFn   func(id int) bool // persistent scheduler-ready predicate
+	// Hot-path reuse: the announcement datagram buffer, the frame
+	// accumulator, and the Data message are owned by sendLoop (via
+	// nextDatagram), the wait timer by sendLoop's throttle/idle
+	// sleeps. Zero allocations per announcement in steady state.
+	encBuf       []byte
+	frameBuf     []byte   // coalesced record frames for the datagram being built
+	pending      []byte   // frame that overflowed the previous datagram's budget
+	pendingBig   bool     // pending frame alone exceeds the MTU budget
+	sweepScratch []string // sendLoop-owned copy of a stripe's expired keys
+	dataMsg      protocol.Data
+	waitTimer    *time.Timer
+	readyFn      func(id int) bool // persistent scheduler-ready predicate
+
+	// Query-path reuse, owned by recvLoop: the child listing scratch
+	// and the Digests reply are recycled across queries (send encodes
+	// synchronously, so the reply struct is free again on return).
+	qKids []namespace.Child
+	qResp protocol.Digests
 
 	// goodbyePending asks the send loop to emit a Goodbye datagram;
 	// deferring it keeps the Goodbye strictly after any announcement
@@ -286,31 +352,29 @@ func NewSender(cfg SenderConfig) (*Sender, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The bucket burst must admit a full batch of MTU-sized datagrams,
+	// or batched sends would starve behind their own rate limiter.
+	burst := 4
+	if 4*cfg.BatchDatagrams > burst {
+		burst = 4 * cfg.BatchDatagrams
+	}
 	s := &Sender{
 		cfg:         cfg,
-		pub:         table.NewPublisher(),
-		ns:          namespace.New(namespace.HashSHA256),
+		bconn:       netio.Wrap(cfg.Conn),
 		entries:     make(map[string]*sendEntry),
 		classByName: make(map[string]int),
-		bucket:      congestion.NewTokenBucket(cfg.TotalRate, 4*8*1500), // 4 MTU burst
+		bucket:      congestion.NewTokenBucket(cfg.TotalRate, float64(burst*8*1500)),
 		done:        make(chan struct{}),
 		started:     nowSeconds(),
 		m:           newSenderMetrics(cfg.Obs, cfg.Classes),
 	}
 	s.scope = cfg.Scope
-	// Lifetime expiry removes records from the namespace and the
-	// transmission queues (called under s.mu via Sweep). The closure is
-	// kept on the Sender so Goodbye can re-wire it onto a fresh table.
-	s.onPubExpire = func(r *table.Record) {
-		key := string(r.Key)
-		s.ns.Delete(key)
-		if e := s.entries[key]; e != nil && e.tombstone == 0 {
-			s.removeEntry(e)
-		}
-		s.m.deletes.Inc()
-		traceRecord(cfg.Trace, cfg.TraceNode, trace.Die, key)
+	s.stripes = make([]*senderStripe, cfg.Stripes)
+	for i := range s.stripes {
+		st := &senderStripe{}
+		s.wireStripe(st)
+		s.stripes[i] = st
 	}
-	s.pub.OnExpire = s.onPubExpire
 	// Build the Figure-12 sharing tree: root -> class -> {hot, cold}.
 	s.share = sched.NewHierarchy(func() sched.Scheduler { return sched.NewStride() })
 	for i, cl := range cfg.Classes {
@@ -340,6 +404,59 @@ func NewSender(cfg SenderConfig) (*Sender, error) {
 	s.stats.Rate = cfg.TotalRate
 	s.m.rate.Set(cfg.TotalRate)
 	return s, nil
+}
+
+// wireStripe installs fresh tables on a stripe. Lifetime expiry
+// (fired under the stripe lock, from Sweep or Delete) removes the key
+// from the stripe's namespace slice and parks it in st.expired; the
+// queue-side cleanup runs later under s.mu via dropExpired, because a
+// stripe lock must never be held while taking s.mu.
+func (s *Sender) wireStripe(st *senderStripe) {
+	st.pub = table.NewPublisher()
+	st.ns = namespace.New(namespace.HashSHA256)
+	st.pub.OnExpire = func(r *table.Record) {
+		key := string(r.Key)
+		st.ns.Delete(key)
+		st.expired = append(st.expired, key)
+		s.liveN.Add(-1)
+	}
+}
+
+// stripeFor returns the stripe owning key (or any namespace path —
+// both hash their first '/'-component).
+func (s *Sender) stripeFor(key string) *senderStripe {
+	return s.stripes[table.StripeIndex(table.Key(key), len(s.stripes))]
+}
+
+// dropExpired reconciles the transmission queues with keys a stripe's
+// expiry heap evicted. Caller must NOT hold any stripe lock.
+func (s *Sender) dropExpired(keys []string) {
+	if len(keys) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, key := range keys {
+		if e := s.entries[key]; e != nil && e.tombstone == 0 {
+			s.removeEntry(e)
+		}
+		s.m.deletes.Inc()
+		traceRecord(s.cfg.Trace, s.cfg.TraceNode, trace.Die, key)
+	}
+	s.m.live.Set(float64(s.liveN.Load()))
+	s.mu.Unlock()
+}
+
+// sweep expires lapsed records stripe by stripe (O(1) per stripe when
+// nothing is due). Only sendLoop calls it.
+func (s *Sender) sweep(now float64) {
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		st.expired = st.expired[:0]
+		st.pub.Sweep(now)
+		s.sweepScratch = append(s.sweepScratch[:0], st.expired...)
+		st.mu.Unlock()
+		s.dropExpired(s.sweepScratch)
+	}
 }
 
 // Start launches the announcement and control loops.
@@ -382,6 +499,14 @@ func (s *Sender) SetScope(scope uint8) {
 // would silently repopulate receivers that flushed on it. Close still
 // sends a final Goodbye of its own.
 func (s *Sender) Goodbye() {
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		s.wireStripe(st)
+		st.expired = st.expired[:0]
+		st.mu.Unlock()
+	}
+	s.liveN.Store(0)
+	s.verN.Store(0) // fresh tables restart version assignment, as before sharding
 	s.mu.Lock()
 	for _, e := range s.entries {
 		if e.queue >= 0 {
@@ -390,9 +515,6 @@ func (s *Sender) Goodbye() {
 		}
 	}
 	s.entries = make(map[string]*sendEntry)
-	s.pub = table.NewPublisher()
-	s.pub.OnExpire = s.onPubExpire
-	s.ns = namespace.New(namespace.HashSHA256)
 	s.m.live.Set(0)
 	s.goodbyePending = true
 	s.mu.Unlock()
@@ -428,19 +550,50 @@ func (s *Sender) publish(key string, value []byte, version uint64, haveVersion b
 	if len(value) > protocol.MaxValueLen {
 		return fmt.Errorf("sstp: value length %d exceeds %d", len(value), protocol.MaxValueLen)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	now := nowSeconds()
-	var rec *table.Record
-	if haveVersion {
-		rec = s.pub.PutVersionBorn(table.Key(key), value, version, born, now, lifetime.Seconds())
+	// Stripe phase: the table insert and the digest-tree insert are
+	// atomic under one stripe lock — a summary computed between them
+	// would advertise a digest no repair can ever converge to.
+	// Versions are assigned from a sender-global counter, not the
+	// per-stripe table counter: the namespace digest covers versions,
+	// so a striped sender must assign the same versions an unsharded
+	// one would for the same publish sequence (pinned by test).
+	if !haveVersion {
+		version = s.verN.Add(1)
 	} else {
-		rec = s.pub.Put(table.Key(key), value, now, lifetime.Seconds())
+		for {
+			cur := s.verN.Load()
+			if version <= cur || s.verN.CompareAndSwap(cur, version) {
+				break
+			}
+		}
 	}
-	if err := s.ns.Put(key, value, rec.Version); err != nil {
-		s.pub.Delete(table.Key(key))
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	now := nowSeconds()
+	existed := st.pub.Get(table.Key(key)) != nil
+	if !haveVersion {
+		born = now
+	}
+	rec := st.pub.PutVersionBorn(table.Key(key), value, version, born, now, lifetime.Seconds())
+	if !existed {
+		s.liveN.Add(1)
+	}
+	err := st.ns.Put(key, value, rec.Version)
+	var rollback []string
+	if err != nil {
+		st.expired = st.expired[:0]
+		st.pub.Delete(table.Key(key)) // fires OnExpire: ns cleanup + liveN
+		rollback = append(rollback, st.expired...)
+	}
+	st.mu.Unlock()
+	if err != nil {
+		s.dropExpired(rollback)
 		return err
 	}
+
+	// Global phase: queue bookkeeping under s.mu, stripe lock released.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.pubBits += float64(8 * (len(value) + len(key)))
 	s.m.pubRate.Add(float64(8 * (len(value) + len(key))))
 	e := s.entries[key]
@@ -455,7 +608,7 @@ func (s *Sender) publish(key string, value []byte, version uint64, haveVersion b
 	}
 	e.tombstone = 0
 	s.moveTo(e, sqHot)
-	s.m.live.Set(float64(s.pub.Len()))
+	s.m.live.Set(float64(s.liveN.Load()))
 	return nil
 }
 
@@ -477,12 +630,16 @@ func (s *Sender) classify(key string) int {
 
 // Delete removes a record and schedules tombstone announcements.
 func (s *Sender) Delete(key string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.pub.Delete(table.Key(key)) {
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	st.expired = st.expired[:0]
+	ok := st.pub.Delete(table.Key(key)) // fires OnExpire: ns cleanup + liveN
+	st.mu.Unlock()
+	if !ok {
 		return false
 	}
-	s.ns.Delete(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	e := s.entries[key]
 	if e == nil {
 		e = &sendEntry{key: key, class: s.classify(key), queue: -1}
@@ -491,7 +648,7 @@ func (s *Sender) Delete(key string) bool {
 	e.tombstone = s.cfg.TombstoneRepeats
 	s.moveTo(e, sqHot)
 	s.m.deletes.Inc()
-	s.m.live.Set(float64(s.pub.Len()))
+	s.m.live.Set(float64(s.liveN.Load()))
 	traceRecord(s.cfg.Trace, s.cfg.TraceNode, trace.Die, key)
 	return true
 }
@@ -540,27 +697,59 @@ func (s *Sender) Stats() SenderStats {
 
 // Len returns the number of live records.
 func (s *Sender) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.pub.Len()
+	n := 0
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		n += st.pub.Len()
+		st.mu.Unlock()
+	}
+	return n
 }
 
 // RootDigest returns the namespace root digest (for convergence
-// checks).
+// checks). With multiple stripes it is the combined root —
+// byte-identical to the digest an unsharded tree computes over the
+// same records.
 func (s *Sender) RootDigest() namespace.Digest {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ns.RootDigest()
+	d, _ := s.rootSummary()
+	return d
+}
+
+// rootSummary combines the per-stripe namespace slices into the root
+// digest plus the total leaf count. Keys are striped by first path
+// component, so each stripe holds whole top-level subtrees and the
+// merged child list reproduces the unsharded root preimage exactly.
+func (s *Sender) rootSummary() (namespace.Digest, int) {
+	if len(s.stripes) == 1 {
+		st := s.stripes[0]
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return st.ns.RootDigest(), st.ns.Len()
+	}
+	groups := make([][]namespace.Child, 0, len(s.stripes))
+	count := 0
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		kids, _ := st.ns.Children("")
+		count += st.ns.Len()
+		st.mu.Unlock()
+		if len(kids) > 0 {
+			groups = append(groups, kids)
+		}
+	}
+	return namespace.CombineRoot(namespace.HashSHA256, namespace.CombineChildren(groups...)), count
 }
 
 // Snapshot returns a copy of the live {key, value} table.
 func (s *Sender) Snapshot() map[string][]byte {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := make(map[string][]byte)
 	now := nowSeconds()
-	for _, r := range s.pub.LiveRecords(now) {
-		out[string(r.Key)] = append([]byte(nil), r.Value...)
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		for _, r := range st.pub.LiveRecords(now) {
+			out[string(r.Key)] = append([]byte(nil), r.Value...)
+		}
+		st.mu.Unlock()
 	}
 	return out
 }
@@ -581,10 +770,15 @@ func (s *Sender) send(msg protocol.Message) {
 }
 
 // sendLoop is the announcement scheduler: it picks hot/cold records
-// under the token bucket and interleaves periodic summaries.
+// under the token bucket, coalesces them into MTU-sized datagrams,
+// hands up to BatchDatagrams of them to the socket at once (one
+// sendmmsg on Linux), and interleaves periodic summaries.
 func (s *Sender) sendLoop() {
 	defer s.wg.Done()
 	nextSummary := time.Now().Add(s.cfg.SummaryInterval)
+	nb := s.cfg.BatchDatagrams
+	txStore := make([][]byte, nb) // persistent per-slot buffers
+	txBufs := make([][]byte, 0, nb)
 	for {
 		select {
 		case <-s.done:
@@ -603,17 +797,30 @@ func (s *Sender) sendLoop() {
 			nextSummary = time.Now().Add(s.cfg.SummaryInterval)
 			continue
 		}
-		buf, ok := s.nextAnnouncement()
-		if !ok {
+		s.sweep(nowSeconds())
+		txBufs = txBufs[:0]
+		bits := 0.0
+		for i := 0; i < nb; i++ {
+			buf, ok := s.nextDatagram()
+			if !ok {
+				break
+			}
+			// nextDatagram reuses its buffer; park a copy in this
+			// slot's persistent storage so the batch can accumulate.
+			txStore[i] = append(txStore[i][:0], buf...)
+			txBufs = append(txBufs, txStore[i])
+			bits += float64(8 * len(buf))
+		}
+		if len(txBufs) == 0 {
 			// Idle: heartbeat keeps the sequence space alive so
 			// receivers can estimate loss, then nap briefly.
 			s.idleWait(&nextSummary)
 			continue
 		}
-		if !s.throttle(float64(8 * len(buf))) {
+		if !s.throttle(bits) {
 			return // closed while waiting
 		}
-		_, _ = s.cfg.Conn.WriteTo(buf, s.cfg.Dest)
+		_, _ = s.bconn.WriteBatch(s.cfg.Dest, txBufs)
 	}
 }
 
@@ -670,89 +877,154 @@ func (s *Sender) throttle(bits float64) bool {
 	}
 }
 
-// nextAnnouncement pops the next record per the hot/cold schedule and
-// returns its encoded datagram. The returned buffer is owned by the
-// sender and valid until the next call (sendLoop writes it to the
-// socket before looping); steady state allocates nothing — the expiry
-// sweep is a heap peek, the Data message and the wire buffer are
+// nextDatagram builds the next announcement datagram, coalescing up
+// to CoalesceRecords record frames within the MTU budget. One record
+// still travels as a plain Data datagram (byte-identical to the
+// pre-coalescing wire format); two or more become a DataBatch whose
+// records decode in pick order, so the delivery sequence matches
+// one-record datagrams exactly. The returned buffer is owned by the
+// sender and valid until the next call; steady state allocates
+// nothing — frames, pending carry-over, and the wire buffer are all
 // reused.
-func (s *Sender) nextAnnouncement() ([]byte, bool) {
+func (s *Sender) nextDatagram() ([]byte, bool) {
+	budget := coalesceMTU - protocol.HeaderLen - 2
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.pub.Sweep(nowSeconds()) // expire lapsed records (O(1) when none due)
-	leaf, ok := s.share.Pick(s.readyFn)
-	if !ok {
+	s.frameBuf = s.frameBuf[:0]
+	count := 0
+	if len(s.pending) > 0 {
+		// A frame that overflowed the previous datagram goes first.
+		if s.pendingBig {
+			// Too large for any MTU budget: send whole in its own
+			// datagram (IP fragments it, as before coalescing).
+			buf := s.emitLocked(s.pending, 1)
+			s.pending = s.pending[:0]
+			s.pendingBig = false
+			return buf, true
+		}
+		s.frameBuf = append(s.frameBuf, s.pending...)
+		s.pending = s.pending[:0]
+		count = 1
+	}
+	for count < s.cfg.CoalesceRecords {
+		mark := len(s.frameBuf)
+		var ok bool
+		s.frameBuf, ok = s.pickFrame(s.frameBuf)
+		if !ok {
+			break
+		}
+		if count > 0 && len(s.frameBuf) > budget {
+			// Doesn't fit: carry the frame into the next datagram.
+			s.pending = append(s.pending[:0], s.frameBuf[mark:]...)
+			s.pendingBig = len(s.frameBuf)-mark > budget
+			s.frameBuf = s.frameBuf[:mark]
+			break
+		}
+		count++
+		if len(s.frameBuf) >= budget {
+			break
+		}
+	}
+	if count == 0 {
 		return nil, false
 	}
-	owner := s.leafOwner[leaf]
-	q := &s.classes[owner[0]].queues[owner[1]]
-	e := q.head
-	q.remove(e)
-	e.queue = -1
-	if owner[1] == sqHot {
-		s.m.annHot.Inc()
-	} else {
-		s.m.annCold.Inc()
-	}
+	return s.emitLocked(s.frameBuf, count), true
+}
 
-	if e.tombstone > 0 {
-		e.tombstone--
-		s.dataMsg = protocol.Data{Key: e.key, Deleted: true}
-		if e.tombstone > 0 {
-			s.moveTo(e, sqCold)
-		} else {
-			s.removeEntry(e)
-		}
-	} else {
-		rec := s.pub.Get(table.Key(e.key))
-		if rec == nil || !rec.Live(nowSeconds()) {
-			s.removeEntry(e)
-			return nil, false
-		}
-		s.dataMsg = protocol.Data{
-			Key:    e.key,
-			Ver:    rec.Version,
-			TTLms:  uint32(s.cfg.TTL.Milliseconds()),
-			BornMs: uint64(rec.Born * 1000),
-			Value:  rec.Value,
-		}
-		if !s.cfg.NoRetransmit {
-			s.moveTo(e, sqCold)
-		}
-		s.stats.DataSent++
-		if s.stats.SentByClass == nil {
-			s.stats.SentByClass = make(map[string]int)
-		}
-		s.stats.SentByClass[s.classes[e.class].name]++
-		if e.class < len(s.m.byClassSent) {
-			s.m.byClassSent[e.class].Inc()
-		}
-	}
+// emitLocked seals count record frames into a datagram: plain Data
+// for one record, DataBatch for several. Caller holds s.mu.
+func (s *Sender) emitLocked(frames []byte, count int) []byte {
 	s.seq++
 	hdr := protocol.Header{Session: s.cfg.Session, Sender: s.cfg.SenderID, Seq: s.seq, Scope: s.scope}
-	s.encBuf = protocol.AppendEncode(s.encBuf[:0], hdr, &s.dataMsg)
-	buf := s.encBuf
-	s.dataMsg.Value = nil // do not pin the record's value buffer
-	s.stats.BytesSent += len(buf)
-	if s.stats.BytesByClass == nil {
-		s.stats.BytesByClass = make(map[string]int)
+	if count == 1 {
+		s.encBuf = protocol.AppendDataDatagram(s.encBuf[:0], hdr, frames[2:])
+	} else {
+		s.encBuf = protocol.AppendBatchDatagram(s.encBuf[:0], hdr, count, frames)
 	}
-	s.stats.BytesByClass[s.classes[e.class].name] += len(buf)
-	s.m.txBits.Add(uint64(8 * len(buf)))
-	if e.class < len(s.m.byClassBits) {
-		s.m.byClassBits[e.class].Add(uint64(8 * len(buf)))
+	s.stats.DatagramsSent++
+	s.stats.BytesSent += len(s.encBuf)
+	s.m.txBits.Add(uint64(8 * len(s.encBuf)))
+	s.m.live.Set(float64(s.liveN.Load()))
+	return s.encBuf
+}
+
+// pickFrame pops the next record per the hot/cold schedule and
+// appends its batch frame (2-byte length prefix + Data body) to dst.
+// Caller holds s.mu; the record value is copied out under its stripe
+// lock, never pinned.
+func (s *Sender) pickFrame(dst []byte) ([]byte, bool) {
+	for {
+		leaf, ok := s.share.Pick(s.readyFn)
+		if !ok {
+			return dst, false
+		}
+		owner := s.leafOwner[leaf]
+		q := &s.classes[owner[0]].queues[owner[1]]
+		e := q.head
+		q.remove(e)
+		e.queue = -1
+		if owner[1] == sqHot {
+			s.m.annHot.Inc()
+		} else {
+			s.m.annCold.Inc()
+		}
+		mark := len(dst)
+		if e.tombstone > 0 {
+			e.tombstone--
+			s.dataMsg = protocol.Data{Key: e.key, Deleted: true}
+			dst = protocol.AppendBatchRecord(dst, &s.dataMsg)
+			if e.tombstone > 0 {
+				s.moveTo(e, sqCold)
+			} else {
+				s.removeEntry(e)
+			}
+		} else {
+			st := s.stripeFor(e.key)
+			st.mu.Lock()
+			rec := st.pub.Get(table.Key(e.key))
+			if rec == nil || !rec.Live(nowSeconds()) {
+				st.mu.Unlock()
+				s.removeEntry(e)
+				continue // dead entry; keep picking
+			}
+			s.dataMsg = protocol.Data{
+				Key:    e.key,
+				Ver:    rec.Version,
+				TTLms:  uint32(s.cfg.TTL.Milliseconds()),
+				BornMs: uint64(rec.Born * 1000),
+				Value:  rec.Value,
+			}
+			dst = protocol.AppendBatchRecord(dst, &s.dataMsg)
+			st.mu.Unlock()
+			s.dataMsg.Value = nil // do not pin the record's value buffer
+			if !s.cfg.NoRetransmit {
+				s.moveTo(e, sqCold)
+			}
+			s.stats.DataSent++
+			if s.stats.SentByClass == nil {
+				s.stats.SentByClass = make(map[string]int)
+			}
+			s.stats.SentByClass[s.classes[e.class].name]++
+			if e.class < len(s.m.byClassSent) {
+				s.m.byClassSent[e.class].Inc()
+			}
+		}
+		frameLen := len(dst) - mark
+		if s.stats.BytesByClass == nil {
+			s.stats.BytesByClass = make(map[string]int)
+		}
+		s.stats.BytesByClass[s.classes[e.class].name] += frameLen
+		if e.class < len(s.m.byClassBits) {
+			s.m.byClassBits[e.class].Add(uint64(8 * frameLen))
+		}
+		traceRecord(s.cfg.Trace, s.cfg.TraceNode, trace.Transmit, e.key)
+		s.share.Charge(leaf, float64(8*frameLen))
+		return dst, true
 	}
-	s.m.live.Set(float64(s.pub.Len())) // Sweep above may have expired records
-	traceRecord(s.cfg.Trace, s.cfg.TraceNode, trace.Transmit, e.key)
-	s.share.Charge(leaf, float64(8*len(buf)))
-	return buf, true
 }
 
 func (s *Sender) sendSummary() {
-	s.mu.Lock()
-	digest := s.ns.RootDigest()
-	count := s.ns.Len()
-	s.mu.Unlock()
+	digest, count := s.rootSummary()
 	var msg protocol.Message
 	if count == 0 {
 		msg = &protocol.Heartbeat{}
@@ -782,6 +1054,7 @@ func (s *Sender) recvLoop() {
 	bp := readBufPool.Get().(*[]byte)
 	defer readBufPool.Put(bp)
 	buf := *bp
+	dec := protocol.NewDecoder()
 	for {
 		select {
 		case <-s.done:
@@ -796,7 +1069,7 @@ func (s *Sender) recvLoop() {
 			}
 			return
 		}
-		hdr, msg, err := protocol.Decode(buf[:n])
+		hdr, msg, err := dec.Decode(buf[:n])
 		if err != nil || hdr.Session != s.cfg.Session {
 			continue
 		}
@@ -834,16 +1107,17 @@ func (s *Sender) onNACK(m *protocol.NACK) {
 }
 
 func (s *Sender) onQuery(m *protocol.Query) {
-	s.mu.Lock()
-	kids, err := s.ns.Children(m.Path)
-	if err != nil {
-		s.mu.Unlock()
+	kids, ok := s.childrenAt(m.Path)
+	if !ok {
 		return
 	}
+	s.mu.Lock()
 	s.stats.QueriesServed++
 	s.m.queries.Inc()
 	s.mu.Unlock()
-	resp := &protocol.Digests{Path: m.Path}
+	resp := &s.qResp
+	resp.Path = m.Path
+	resp.Children = resp.Children[:0]
 	for _, k := range kids {
 		if len(resp.Children) == protocol.MaxBatch {
 			break
@@ -857,6 +1131,34 @@ func (s *Sender) onQuery(m *protocol.Query) {
 	s.m.digests.Inc()
 	s.mu.Unlock()
 	s.send(resp)
+}
+
+// childrenAt lists the namespace children under path, merging the
+// per-stripe trees' top-level children when the root is asked for.
+// Deeper paths live wholly inside the stripe their first component
+// hashes to.
+func (s *Sender) childrenAt(path string) ([]namespace.Child, bool) {
+	if path == "" && len(s.stripes) > 1 {
+		groups := make([][]namespace.Child, 0, len(s.stripes))
+		for _, st := range s.stripes {
+			st.mu.Lock()
+			kids, err := st.ns.Children("")
+			st.mu.Unlock()
+			if err == nil && len(kids) > 0 {
+				groups = append(groups, kids)
+			}
+		}
+		return namespace.CombineChildren(groups...), true
+	}
+	st := s.stripeFor(path)
+	st.mu.Lock()
+	kids, err := st.ns.AppendChildren(s.qKids[:0], path)
+	st.mu.Unlock()
+	s.qKids = kids[:0]
+	if err != nil {
+		return nil, false
+	}
+	return kids, true
 }
 
 func (s *Sender) onReport(m *protocol.Report) {

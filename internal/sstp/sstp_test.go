@@ -837,7 +837,7 @@ func protocolEncodeForTest() []byte {
 	}
 	defer s.Close()
 	s.Publish("h/0", []byte("v"), 0)
-	buf, ok := s.nextAnnouncement()
+	buf, ok := s.nextDatagram()
 	if !ok {
 		panic("no announcement")
 	}

@@ -1,0 +1,268 @@
+package table
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestStripeIndexFirstComponent(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 64} {
+		for _, pair := range [][2]Key{
+			{"a/b", "a/c"},
+			{"group07/x/y", "group07/z"},
+			{"nosep", "nosep/child"},
+		} {
+			i, j := StripeIndex(pair[0], n), StripeIndex(pair[1], n)
+			if i != j {
+				t.Errorf("n=%d: %q -> %d but %q -> %d; same top-level component must share a stripe",
+					n, pair[0], i, pair[1], j)
+			}
+			if i < 0 || i >= n {
+				t.Fatalf("n=%d: index %d out of range", n, i)
+			}
+		}
+	}
+	if StripeIndex("anything", 1) != 0 {
+		t.Error("single stripe must map everything to 0")
+	}
+}
+
+func TestStripeIndexSpreads(t *testing.T) {
+	// 64 distinct top-level components over 8 stripes: every stripe
+	// should see at least one (FNV-1a spreads short ASCII keys well).
+	const n = 8
+	hit := make([]bool, n)
+	for i := 0; i < 64; i++ {
+		hit[StripeIndex(Key(fmt.Sprintf("g%02d/k", i)), n)] = true
+	}
+	for i, ok := range hit {
+		if !ok {
+			t.Errorf("stripe %d never hit by 64 distinct components", i)
+		}
+	}
+}
+
+func TestNormalizeStripes(t *testing.T) {
+	cases := map[int]int{-1: 1, 0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 31: 32, 64: 64, 1000: 1024, MaxStripes: MaxStripes, MaxStripes + 1: MaxStripes}
+	for in, want := range cases {
+		if got := NormalizeStripes(in); got != want {
+			t.Errorf("NormalizeStripes(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestStripedPublisherBasics(t *testing.T) {
+	sp := NewStripedPublisher(4)
+	if sp.Stripes() != 4 {
+		t.Fatalf("stripes = %d", sp.Stripes())
+	}
+	var expired []Key
+	sp.OnExpire = func(r *Record) { expired = append(expired, r.Key) }
+
+	sp.Put("a/1", []byte("x"), 0, 10)
+	sp.Put("b/1", []byte("y"), 0, 5)
+	sp.Put("c/1", []byte("z"), 0, 0) // immortal
+	if sp.Len() != 3 || sp.Live(1) != 3 {
+		t.Fatalf("len=%d live=%d", sp.Len(), sp.Live(1))
+	}
+	if v, ver, ok := sp.Get("a/1"); !ok || string(v) != "x" || ver == 0 {
+		t.Fatalf("get a/1: %q %d %v", v, ver, ok)
+	}
+	if at, ok := sp.NextExpiry(0); !ok || at != 5 {
+		t.Fatalf("next expiry %v %v", at, ok)
+	}
+	if n := sp.Sweep(6); n != 1 || len(expired) != 1 || expired[0] != "b/1" {
+		t.Fatalf("sweep removed %d (%v)", n, expired)
+	}
+	if !sp.Delete("c/1") || sp.Delete("c/1") {
+		t.Fatal("delete semantics")
+	}
+	if sp.Len() != 1 {
+		t.Fatalf("len after sweep+delete = %d", sp.Len())
+	}
+	if at, ok := sp.NextExpiry(0); !ok || at != 10 {
+		t.Fatalf("next expiry after sweep %v %v", at, ok)
+	}
+}
+
+func TestStripedSubscriberBasics(t *testing.T) {
+	ss := NewStripedSubscriber(4)
+	var updates, expiries int
+	ss.OnUpdate = func(*Entry) { updates++ }
+	ss.OnExpire = func(*Entry) { expiries++ }
+
+	if !ss.Apply("a/1", []byte("v1"), 1, 0, 10) {
+		t.Fatal("first apply should change")
+	}
+	if ss.Apply("a/1", []byte("v1"), 1, 1, 10) {
+		t.Fatal("refresh should not change")
+	}
+	if !ss.ApplyBorn("a/1", []byte("v2"), 2, 2, 10, 1.5) {
+		t.Fatal("new version should change")
+	}
+	if v, ver, ok := ss.Get("a/1", 3); !ok || string(v) != "v2" || ver != 2 {
+		t.Fatalf("get: %q %d %v", v, ver, ok)
+	}
+	ss.Apply("b/1", []byte("w"), 1, 0, 2)
+	if at, ok := ss.NextDeadline(0); !ok || at != 2 {
+		t.Fatalf("next deadline %v %v", at, ok)
+	}
+	if n := ss.Sweep(2.5); n != 1 || expiries != 1 {
+		t.Fatalf("sweep %d expiries %d", n, expiries)
+	}
+	if !ss.Drop("a/1") || ss.Len() != 0 {
+		t.Fatal("drop")
+	}
+	if updates != 3 { // a/1 insert, a/1 new version, b/1 insert
+		t.Fatalf("updates = %d", updates)
+	}
+}
+
+// TestStripedPublisherHammer exercises concurrent Put/Refresh/Delete/
+// Sweep/Get across stripes under -race: correctness here is "no race,
+// no lost records".
+func TestStripedPublisherHammer(t *testing.T) {
+	const (
+		workers = 8
+		keys    = 64
+		rounds  = 400
+	)
+	sp := NewStripedPublisher(8)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			val := []byte{byte(w)}
+			for r := 0; r < rounds; r++ {
+				k := Key(fmt.Sprintf("g%02d/k%d", (w*7+r)%16, r%keys))
+				now := float64(r) / 100
+				switch r % 5 {
+				case 0, 1, 2:
+					sp.Put(k, val, now, 10)
+				case 3:
+					sp.Get(k)
+					sp.Put(k, val, now, 0.001) // expires almost at once
+				case 4:
+					sp.Sweep(now)
+					sp.NextExpiry(now)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// After a final put of every key, all must be present and live.
+	for g := 0; g < 16; g++ {
+		for k := 0; k < keys; k++ {
+			sp.Put(Key(fmt.Sprintf("g%02d/k%d", g, k)), []byte("final"), 100, 10)
+		}
+	}
+	sp.Sweep(100)
+	if got := sp.Live(100); got != 16*keys {
+		t.Fatalf("live = %d, want %d", got, 16*keys)
+	}
+}
+
+// TestStripedSubscriberHammer: concurrent Apply/refresh/Drop/Sweep
+// under -race.
+func TestStripedSubscriberHammer(t *testing.T) {
+	const (
+		workers = 8
+		keys    = 64
+		rounds  = 400
+	)
+	ss := NewStripedSubscriber(8)
+	ss.OnUpdate = func(e *Entry) { _ = e.Version }
+	ss.OnExpire = func(e *Entry) { _ = e.Key }
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			val := []byte{byte(w)}
+			for r := 0; r < rounds; r++ {
+				k := Key(fmt.Sprintf("g%02d/k%d", (w*5+r)%16, r%keys))
+				now := float64(r) / 100
+				switch r % 6 {
+				case 0, 1, 2:
+					ss.Apply(k, val, uint64(r), now, 5)
+				case 3:
+					ss.Get(k, now)
+					ss.ApplyBorn(k, val, uint64(r), now, 0.001, now)
+				case 4:
+					ss.Drop(k)
+				case 5:
+					ss.Sweep(now)
+					ss.NextDeadline(now)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for g := 0; g < 16; g++ {
+		for k := 0; k < keys; k++ {
+			ss.Apply(Key(fmt.Sprintf("g%02d/k%d", g, k)), []byte("final"), math.MaxUint64, 100, 10)
+		}
+	}
+	ss.Sweep(100)
+	if got := ss.Len(); got != 16*keys {
+		t.Fatalf("len = %d, want %d", got, 16*keys)
+	}
+}
+
+// --- stripe/batch micro-benchmarks (wired into benchfast) ---
+
+func benchmarkStripedPut(b *testing.B, stripes int) {
+	sp := NewStripedPublisher(stripes)
+	val := make([]byte, 64)
+	var ctr int64
+	var mu sync.Mutex
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		mu.Lock()
+		ctr++
+		id := ctr
+		mu.Unlock()
+		keys := make([]Key, 256)
+		for i := range keys {
+			keys[i] = Key(fmt.Sprintf("w%02d-%d/k%d", id, i%16, i))
+		}
+		i := 0
+		for pb.Next() {
+			sp.Put(keys[i&255], val, 1, 30)
+			i++
+		}
+	})
+}
+
+func BenchmarkStripedPublisherPut1(b *testing.B)  { benchmarkStripedPut(b, 1) }
+func BenchmarkStripedPublisherPut8(b *testing.B)  { benchmarkStripedPut(b, 8) }
+func BenchmarkStripedPublisherPut64(b *testing.B) { benchmarkStripedPut(b, 64) }
+
+func benchmarkStripedApply(b *testing.B, stripes int) {
+	ss := NewStripedSubscriber(stripes)
+	val := make([]byte, 64)
+	var ctr int64
+	var mu sync.Mutex
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		mu.Lock()
+		ctr++
+		id := ctr
+		mu.Unlock()
+		keys := make([]Key, 256)
+		for i := range keys {
+			keys[i] = Key(fmt.Sprintf("w%02d-%d/k%d", id, i%16, i))
+		}
+		i := 0
+		for pb.Next() {
+			ss.Apply(keys[i&255], val, uint64(i), 1, 30)
+			i++
+		}
+	})
+}
+
+func BenchmarkStripedSubscriberApply1(b *testing.B) { benchmarkStripedApply(b, 1) }
+func BenchmarkStripedSubscriberApply8(b *testing.B) { benchmarkStripedApply(b, 8) }
