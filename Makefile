@@ -1,9 +1,23 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench benchfast benchjson loadsmoke relaysmoke scalesmoke fuzzsmoke obssmoke staticcheck
+.PHONY: check build vet fmt test race bench benchfast benchjson loadsmoke relaysmoke scalesmoke fuzzsmoke obssmoke fabricsmoke crosssmoke staticcheck
 
 ## check: the extended tier-1 gate — everything a PR must keep green.
-check: fmt vet build race bench loadsmoke relaysmoke fuzzsmoke obssmoke scalesmoke
+check: fmt vet build race bench loadsmoke relaysmoke fuzzsmoke obssmoke scalesmoke fabricsmoke crosssmoke
+
+## fabricsmoke: 64 tenant sessions multiplexed over one shared socket,
+## with one 10x-bursty tenant; fails unless every tenant converges
+## under fair queueing and the non-bursty tenants' p99 stays within 2x
+## of the equal-load baseline (the FIFO comparison phase documents the
+## starvation the scheduler removes).
+fabricsmoke:
+	$(GO) run ./cmd/ssload -sessions 64 -quick
+
+## crosssmoke: cross-compile gate for the non-Linux fallbacks (the
+## batched-syscall layer is Linux-only and must stub cleanly).
+crosssmoke:
+	GOOS=darwin GOARCH=arm64 $(GO) build ./...
+	GOOS=windows GOARCH=amd64 $(GO) build ./...
 
 ## loadsmoke: drive the live stack end-to-end under ssload's quick
 ## profile; fails unless every receiver's replica converges.
@@ -92,7 +106,9 @@ benchfast:
 ## visibility-focused tree run: per-hop t-visibility quantiles plus
 ## the leaves' online consistency snapshot), and BENCH_ssscale.json
 ## (GOMAXPROCS sweep over the striped/coalescing hot path plus the
-## million-record convergence run); formats documented in
+## million-record convergence run), and BENCH_ssfabric.json (1024
+## tenant sessions over one shared link: per-tenant fair-queueing
+## isolation vs the FIFO baseline); formats documented in
 ## EXPERIMENTS.md.
 benchjson:
 	$(GO) run ./cmd/ssbench -quick -all -json > BENCH_ssbench.json
@@ -100,3 +116,4 @@ benchjson:
 	$(GO) run ./cmd/ssload -relay-depth 2 -relay-fanout 4 -loss 0.05 -json > BENCH_ssrelay.json
 	$(GO) run ./cmd/ssload -relay-depth 2 -relay-fanout 2 -records 256 -duration 8s -loss 0.05 -jitter 5ms -json > BENCH_ssvis.json
 	$(GO) run ./cmd/ssload -scale -json > BENCH_ssscale.json
+	$(GO) run ./cmd/ssload -sessions 1024 -duration 2s -loss 0.02 -json > BENCH_ssfabric.json

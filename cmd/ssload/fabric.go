@@ -1,0 +1,497 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"softstate/internal/fabric"
+	"softstate/internal/obs"
+	"softstate/internal/runmeta"
+	"softstate/internal/sstp"
+)
+
+// fabricOpts parameterize the -sessions fabric mode.
+type fabricOpts struct {
+	sessions int
+	weights  string
+	burst    float64
+	fifoOnly bool
+	records  int // per tenant
+	rate     float64
+	linkRate float64
+	valueLen int
+	loss     float64
+	updates  float64
+	duration time.Duration
+	seed     int64
+	jsonOut  bool
+	admin    string
+	quick    bool
+}
+
+// fabricResult is the -sessions -json output, the format of
+// BENCH_ssfabric.json (see EXPERIMENTS.md).
+type fabricResult struct {
+	Seed             int64   `json:"seed"`
+	Quick            bool    `json:"quick"`
+	Sessions         int     `json:"sessions"`
+	WeightsSpec      string  `json:"tenant_weights"`
+	Burst            float64 `json:"bursty"`
+	RateBps          float64 `json:"tenant_rate_bps"`
+	LinkRateBps      float64 `json:"link_rate_bps"`
+	RecordsPerTenant int     `json:"records_per_tenant"`
+	ValueBytes       int     `json:"value_bytes"`
+	Loss             float64 `json:"loss"`
+	PhaseMs          float64 `json:"phase_duration_ms"`
+
+	Meta runmeta.Meta `json:"meta"`
+
+	// Phases: the equal-load fair-queueing baseline, the same load
+	// with tenant 0 bursting, and the burst replayed under the FIFO
+	// baseline scheduler that shows the starvation FQ removes.
+	Phases []fabricPhase `json:"phases"`
+
+	// Isolation is the cross-phase comparison the smoke gate asserts
+	// on: how much a 10x bursty tenant degrades everyone else's p99
+	// under each policy.
+	Isolation fabricIsolation `json:"isolation"`
+}
+
+type fabricPhase struct {
+	Name   string  `json:"name"`
+	Policy string  `json:"policy"` // "fq" or "fifo"
+	Burst  float64 `json:"burst"`
+
+	Converged  int     `json:"converged"`
+	Tenants    int     `json:"tenants"`
+	ConvergeMs float64 `json:"converge_ms"`
+
+	Datagrams     uint64 `json:"fabric_datagrams"`
+	TxBytes       uint64 `json:"fabric_tx_bytes"`
+	DemuxUnknown  uint64 `json:"demux_unknown_drops"`
+	DemuxOverflow uint64 `json:"demux_overflow_drops"`
+
+	// Bursty is tenant 0's latency view; Others pools every other
+	// tenant's receiver samples (one shared registry, so quantiles
+	// are over the union of samples, not an average of averages).
+	Bursty tenantLatency `json:"bursty_tenant"`
+	Others tenantLatency `json:"other_tenants"`
+
+	// TopTenants lists the scheduler rows for tenant 0 plus the
+	// heaviest 16 others by bytes served; with a thousand tenants the
+	// full table would dwarf the record.
+	TopTenants []fabricTenantRow `json:"top_tenants"`
+}
+
+type tenantLatency struct {
+	TRec       quantiles `json:"t_rec_seconds"`
+	TVis       quantiles `json:"t_vis_seconds"`
+	Deliveries int       `json:"deliveries"`
+	NACKs      int       `json:"nacks_sent"`
+}
+
+type fabricTenantRow struct {
+	Session   uint64  `json:"session"`
+	Weight    float64 `json:"weight"`
+	Bytes     uint64  `json:"bytes"`
+	Datagrams uint64  `json:"datagrams"`
+	Converged bool    `json:"converged"`
+}
+
+type fabricIsolation struct {
+	EqualOthersP99TVis float64 `json:"equal_fq_others_p99_t_vis"`
+	FQOthersP99TVis    float64 `json:"burst_fq_others_p99_t_vis"`
+	FIFOOthersP99TVis  float64 `json:"burst_fifo_others_p99_t_vis"`
+	EqualOthersP99TRec float64 `json:"equal_fq_others_p99_t_rec"`
+	FQOthersP99TRec    float64 `json:"burst_fq_others_p99_t_rec"`
+	FIFOOthersP99TRec  float64 `json:"burst_fifo_others_p99_t_rec"`
+
+	// Degradation ratios: burst-phase p99 over equal-phase p99 for
+	// the non-bursty tenants (t_rec when both phases have enough
+	// repair samples, else t_vis). FQ should hold near 1; FIFO is
+	// the measured cost of no isolation.
+	FQDegradation   float64 `json:"fq_degradation"`
+	FIFODegradation float64 `json:"fifo_degradation"`
+	Metric          string  `json:"metric"`
+}
+
+// runFabricPhase drives one full fabric run: n tenants over one
+// shared memconn socket, each with its own receiver, tenant 0
+// publishing burst-times the per-tenant churn in periodic spikes.
+func runFabricPhase(o fabricOpts, name, policy string, burst float64, weights []float64, fabReg *obs.Registry) fabricPhase {
+	ph := fabricPhase{Name: name, Policy: policy, Burst: burst, Tenants: o.sessions}
+
+	nw := sstp.NewMemNetwork(o.seed)
+	nw.SetDefaultLoss(o.loss)
+	shared := nw.Endpoint("fab")
+	f, err := fabric.New(fabric.Config{
+		Conn:     shared,
+		LinkRate: o.linkRate,
+		FIFO:     policy == "fifo",
+		Obs:      fabReg,
+	})
+	must(err)
+
+	regBursty := obs.New("bursty")
+	regOthers := obs.New("others")
+	senders := make([]*sstp.Sender, o.sessions)
+	receivers := make([]*sstp.Receiver, o.sessions)
+	value := make([]byte, o.valueLen)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	for i := 0; i < o.sessions; i++ {
+		session := uint64(1000 + i)
+		rname := sstp.MemAddr(fmt.Sprintf("r%d", i))
+		rconn := nw.Endpoint(rname)
+		tenantRate := o.rate
+		if i == 0 {
+			// The bursty tenant is provisioned (and behaves) like
+			// burst normal tenants rolled into one.
+			tenantRate = o.rate * burst
+		}
+		s, err := f.AddSender(sstp.SenderConfig{
+			Session: session, SenderID: 1,
+			Dest:            rname,
+			TotalRate:       tenantRate,
+			SummaryInterval: 200 * time.Millisecond,
+			TTL:             60 * time.Second,
+			Seed:            o.seed + int64(i),
+		}, weights[i])
+		must(err)
+		senders[i] = s
+		reg := regOthers
+		if i == 0 {
+			reg = regBursty
+		}
+		r, err := sstp.NewReceiver(sstp.ReceiverConfig{
+			Session: session, ReceiverID: 2,
+			Conn: rconn, FeedbackDest: sstp.MemAddr("fab"),
+			NACKWindow: 50 * time.Millisecond,
+			Obs:        reg,
+			Seed:       o.seed + int64(10_000+i),
+		})
+		must(err)
+		receivers[i] = r
+		for k := 0; k < o.records; k++ {
+			must(s.Publish(fabricKey(i, k), value, 0))
+		}
+	}
+	f.Start()
+	for _, r := range receivers {
+		r.Start()
+	}
+
+	// Load phase: round-robin update churn across all tenants, plus
+	// periodic publish spikes on tenant 0 scaled by the burst factor
+	// — time-concentrated overload, the pattern FIFO handles worst.
+	start := time.Now()
+	tick := time.NewTicker(time.Duration(float64(time.Second) / maxf(o.updates, 1)))
+	spike := time.NewTicker(250 * time.Millisecond)
+	spikeBatch := 0
+	if burst > 1 {
+		// Per spike: the churn tenant 0 would have gotten anyway
+		// times (burst-1), so total tenant-0 publish rate ~= burst
+		// times one tenant's share.
+		perTenantPerSec := o.updates / float64(o.sessions)
+		spikeBatch = int(perTenantPerSec * 0.25 * (burst - 1))
+		if spikeBatch < 1 {
+			spikeBatch = int(burst)
+		}
+	}
+	upd := 0
+	for time.Since(start) < o.duration {
+		select {
+		case <-tick.C:
+			if o.updates > 0 {
+				i := upd % o.sessions
+				must(senders[i].Publish(fabricKey(i, upd%o.records), value, 0))
+				upd++
+			}
+		case <-spike.C:
+			for b := 0; b < spikeBatch; b++ {
+				must(senders[0].Publish(fabricKey(0, b%o.records), value, 0))
+			}
+		}
+	}
+	tick.Stop()
+	spike.Stop()
+
+	// Convergence: every tenant's replica must match its sender. The
+	// FIFO baseline is *expected* to starve tenants past any deadline
+	// — its wait is capped tighter so the bench's wall clock goes to
+	// the phases whose convergence the gate asserts on.
+	convWait := 30 * time.Second
+	if o.quick {
+		convWait = 10 * time.Second
+	}
+	if policy == "fifo" {
+		convWait = 5 * time.Second
+	}
+	convStart := time.Now()
+	convDeadline := convStart.Add(convWait)
+	convergedAt := make([]bool, o.sessions)
+	count := func() int {
+		n := 0
+		for i := range senders {
+			if convergedAt[i] {
+				n++
+				continue
+			}
+			if senders[i].RootDigest() == receivers[i].RootDigest() {
+				convergedAt[i] = true
+				n++
+			}
+		}
+		return n
+	}
+	for time.Now().Before(convDeadline) {
+		if count() == o.sessions {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	ph.ConvergeMs = float64(time.Since(convStart).Microseconds()) / 1000
+	ph.Converged = count()
+
+	collect := func(reg *obs.Registry) tenantLatency {
+		var tl tenantLatency
+		for _, sm := range reg.Snapshot() {
+			switch sm.Name {
+			case "sstp_t_rec_seconds":
+				tl.TRec = quantiles{Count: sm.Count, P50: sm.P50, P95: sm.P95, P99: sm.P99}
+			case "sstp_tvis_seconds":
+				tl.TVis = quantiles{Count: sm.Count, P50: sm.P50, P95: sm.P95, P99: sm.P99}
+			}
+		}
+		return tl
+	}
+	ph.Bursty = collect(regBursty)
+	ph.Others = collect(regOthers)
+	for i, r := range receivers {
+		rs := r.Stats()
+		if i == 0 {
+			ph.Bursty.Deliveries = rs.DataReceived
+			ph.Bursty.NACKs = rs.NACKsSent
+		} else {
+			ph.Others.Deliveries += rs.DataReceived
+			ph.Others.NACKs += rs.NACKsSent
+		}
+	}
+
+	stats := f.TenantStats()
+	rows := make([]fabricTenantRow, 0, len(stats))
+	for _, st := range stats {
+		i := int(st.Session - 1000)
+		rows = append(rows, fabricTenantRow{
+			Session: st.Session, Weight: st.Weight,
+			Bytes: st.Bytes, Datagrams: st.Packets,
+			Converged: convergedAt[i],
+		})
+		ph.Datagrams += st.Packets
+		ph.TxBytes += st.Bytes
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if (rows[a].Session == 1000) != (rows[b].Session == 1000) {
+			return rows[a].Session == 1000 // bursty tenant first
+		}
+		if rows[a].Bytes != rows[b].Bytes {
+			return rows[a].Bytes > rows[b].Bytes
+		}
+		return rows[a].Session < rows[b].Session
+	})
+	if len(rows) > 17 {
+		rows = rows[:17] // bursty + heaviest 16
+	}
+	ph.TopTenants = rows
+	ph.DemuxUnknown, ph.DemuxOverflow, _ = f.Drops()
+
+	f.Close()
+	var closers sync.WaitGroup
+	for _, r := range receivers {
+		closers.Add(1)
+		go func(r *sstp.Receiver) {
+			defer closers.Done()
+			r.Close()
+		}(r)
+	}
+	closers.Wait()
+	return ph
+}
+
+func fabricKey(tenant, k int) string { return fmt.Sprintf("t%d/key/%03d", tenant, k) }
+
+// runFabric drives the -sessions fabric bench: three phases over the
+// same topology — equal load under FQ, a 10x bursty tenant under FQ,
+// and the same burst under the FIFO baseline — and reports how much
+// the burst degraded everyone else under each policy.
+func runFabric(o fabricOpts) {
+	if o.sessions < 2 {
+		fmt.Fprintln(os.Stderr, "ssload: -sessions needs at least 2 tenants")
+		os.Exit(2)
+	}
+	if o.quick && o.loss == 0 {
+		o.loss = 0.02 // repair samples need loss
+	}
+	if o.linkRate <= 0 {
+		// Fits the nominal aggregate, not the burst: the burst phase
+		// contends for the link, which is the point.
+		o.linkRate = float64(o.sessions) * o.rate
+	}
+	weights, err := fabric.ParseWeights(o.weights, o.sessions)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssload:", err)
+		os.Exit(2)
+	}
+	res := fabricResult{
+		Seed: o.seed, Quick: o.quick, Sessions: o.sessions,
+		WeightsSpec: o.weights, Burst: o.burst,
+		RateBps: o.rate, LinkRateBps: o.linkRate,
+		RecordsPerTenant: o.records, ValueBytes: o.valueLen,
+		Loss:    o.loss,
+		PhaseMs: float64(o.duration.Microseconds()) / 1000,
+		Meta:    runmeta.Collect(),
+	}
+
+	// One registry across phases so a live admin endpoint shows the
+	// whole bench; per-phase totals come from the scheduler stats.
+	fabReg := obs.New("ssfabric")
+	if o.admin != "" {
+		srv, addr, err := obs.ServeAdmin(o.admin, fabReg, nil)
+		must(err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ssload: admin endpoint on http://%s/\n", addr)
+	}
+
+	type phaseSpec struct {
+		name, policy string
+		burst        float64
+	}
+	specs := []phaseSpec{
+		{"equal_fq", "fq", 1},
+		{"burst_fq", "fq", o.burst},
+		{"burst_fifo", "fifo", o.burst},
+	}
+	if o.fifoOnly {
+		specs = []phaseSpec{{"equal_fifo", "fifo", 1}, {"burst_fifo", "fifo", o.burst}}
+	}
+	for _, sp := range specs {
+		fmt.Fprintf(os.Stderr, "ssload: fabric phase %s (%d sessions, burst %.0fx, %s)...\n",
+			sp.name, o.sessions, sp.burst, sp.policy)
+		res.Phases = append(res.Phases, runFabricPhase(o, sp.name, sp.policy, sp.burst, weights, fabReg))
+	}
+
+	byName := map[string]*fabricPhase{}
+	for i := range res.Phases {
+		byName[res.Phases[i].Name] = &res.Phases[i]
+	}
+	iso := &res.Isolation
+	if eq, fq, fifo := byName["equal_fq"], byName["burst_fq"], byName["burst_fifo"]; eq != nil && fq != nil {
+		iso.EqualOthersP99TVis = eq.Others.TVis.P99
+		iso.FQOthersP99TVis = fq.Others.TVis.P99
+		iso.EqualOthersP99TRec = eq.Others.TRec.P99
+		iso.FQOthersP99TRec = fq.Others.TRec.P99
+		if fifo != nil {
+			iso.FIFOOthersP99TVis = censoredP99(fifo)
+			iso.FIFOOthersP99TRec = fifo.Others.TRec.P99
+		}
+		// t_rec needs repair samples in both phases to be meaningful,
+		// and it is right-censored in any phase that ended with
+		// unconverged tenants: pending repairs never sample, so only
+		// the fast ones count and the quantiles flatter the loser.
+		// t_vis (every delivery samples it) is the fallback.
+		const minSamples = 20
+		allConverged := eq.Converged == eq.Tenants && fq.Converged == fq.Tenants &&
+			(fifo == nil || fifo.Converged == fifo.Tenants)
+		if allConverged && eq.Others.TRec.Count >= minSamples && fq.Others.TRec.Count >= minSamples {
+			iso.Metric = "t_rec"
+			iso.FQDegradation = ratio(fq.Others.TRec.P99, eq.Others.TRec.P99)
+			if fifo != nil {
+				iso.FIFODegradation = ratio(fifo.Others.TRec.P99, eq.Others.TRec.P99)
+			}
+		} else {
+			iso.Metric = "t_vis"
+			iso.FQDegradation = ratio(fq.Others.TVis.P99, eq.Others.TVis.P99)
+			if fifo != nil {
+				iso.FIFODegradation = ratio(iso.FIFOOthersP99TVis, eq.Others.TVis.P99)
+			}
+		}
+	}
+
+	if o.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		must(enc.Encode(res))
+	} else {
+		fmt.Printf("ssload: fabric %d sessions @ %.0f bps each (link %.0f bps), weights %q, burst %.0fx\n",
+			res.Sessions, res.RateBps, res.LinkRateBps, res.WeightsSpec, res.Burst)
+		for _, ph := range res.Phases {
+			fmt.Printf("  %-10s [%s]: converged %d/%d in %.0f ms; %d datagrams, %.1f MB; others t_vis p99=%.3fs (n=%d) t_rec p99=%.3fs (n=%d)\n",
+				ph.Name, ph.Policy, ph.Converged, ph.Tenants, ph.ConvergeMs,
+				ph.Datagrams, float64(ph.TxBytes)/1e6,
+				ph.Others.TVis.P99, ph.Others.TVis.Count,
+				ph.Others.TRec.P99, ph.Others.TRec.Count)
+		}
+		fmt.Printf("  isolation (%s p99, others): fq degradation %.2fx, fifo %.2fx\n",
+			res.Isolation.Metric, res.Isolation.FQDegradation, res.Isolation.FIFODegradation)
+	}
+
+	if o.quick {
+		fail := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ssload: fabric quick smoke FAILED: "+format+"\n", args...)
+			os.Exit(1)
+		}
+		for _, ph := range res.Phases {
+			if ph.Policy == "fq" && ph.Converged != ph.Tenants {
+				fail("phase %s converged %d/%d tenants", ph.Name, ph.Converged, ph.Tenants)
+			}
+		}
+		// The isolation gate: a bursting tenant must not degrade the
+		// others' p99 beyond 2x the equal-load baseline (plus a small
+		// absolute floor so microsecond-scale baselines don't flap).
+		const floor = 0.25 // seconds
+		eq, fq := byName["equal_fq"], byName["burst_fq"]
+		if eq == nil || fq == nil {
+			fail("missing fq phases for the isolation gate")
+		}
+		var base, burst float64
+		if res.Isolation.Metric == "t_rec" {
+			base, burst = eq.Others.TRec.P99, fq.Others.TRec.P99
+		} else {
+			base, burst = eq.Others.TVis.P99, fq.Others.TVis.P99
+		}
+		if burst > 2*base+floor {
+			fail("others' %s p99 %.3fs under burst vs %.3fs baseline (> 2x + %.2fs floor)",
+				res.Isolation.Metric, burst, base, floor)
+		}
+	}
+}
+
+func ratio(num, den float64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+// censoredP99 reports the non-bursty pool's t_vis p99 for a phase,
+// corrected for right-censoring: t_vis only samples on delivery, so a
+// phase that ends with tenants still unconverged (a starved FIFO
+// phase) understates its own tail — the starved records never sample
+// at all. When more than 1% of the tenants failed to converge, the
+// true p99 is at least the phase's elapsed time — report that lower
+// bound instead of the survivors-only quantile.
+func censoredP99(ph *fabricPhase) float64 {
+	p99 := ph.Others.TVis.P99
+	unconverged := ph.Tenants - ph.Converged
+	if unconverged*100 > ph.Tenants {
+		if bound := ph.ConvergeMs / 1000; bound > p99 {
+			return bound
+		}
+	}
+	return p99
+}

@@ -69,6 +69,8 @@ type result struct {
 	Meta runmeta.Meta `json:"meta"`
 
 	DataSent          int     `json:"data_sent"`
+	DataDatagramsSent int     `json:"data_datagrams_sent"`
+	RecordsPerDgm     float64 `json:"records_per_datagram"`
 	SummariesSent     int     `json:"summaries_sent"`
 	MsgsPerSec        float64 `json:"msgs_per_sec"`
 	Deliveries        int     `json:"deliveries"`
@@ -155,6 +157,11 @@ func main() {
 		"table/digest stripes on sender and receivers (rounded up to a power of two)")
 	batch := flag.Int("batch", 32, "records coalesced per datagram (MTU still caps the frame)")
 	scale := flag.Bool("scale", false, "per-core scaling sweep mode; emits a BENCH_ssscale.json record")
+	sessions := flag.Int("sessions", 0, "fabric mode: multiplex this many tenant sessions over one shared socket (0 disables)")
+	tenantWeights := flag.String("tenant-weights", "1", "fabric mode: comma-separated weights, cycled across tenants")
+	bursty := flag.Float64("bursty", 10, "fabric mode: tenant 0's burst multiplier in the burst phases")
+	fabricFIFO := flag.Bool("fabric-fifo", false, "fabric mode: run only the FIFO baseline phases")
+	linkRate := flag.Float64("link-rate", 0, "fabric mode: shared link rate in bits/s (default sessions x -rate)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile of the load phase to this file")
 	flag.Parse()
 	*stripes = table.NormalizeStripes(*stripes)
@@ -167,6 +174,37 @@ func main() {
 			stripes: *stripes, batch: *batch,
 			seed: *seed, jsonOut: *jsonOut, quick: *quick,
 		})
+		return
+	}
+
+	if *sessions > 0 {
+		if *udp {
+			fmt.Fprintln(os.Stderr, "ssload: -sessions requires memconn transport")
+			os.Exit(2)
+		}
+		o := fabricOpts{
+			sessions: *sessions, weights: *tenantWeights,
+			burst: *bursty, fifoOnly: *fabricFIFO,
+			records: *records, rate: *rate, linkRate: *linkRate,
+			valueLen: *valueLen, loss: *loss,
+			updates: *updates, duration: *duration,
+			seed: *seed, jsonOut: *jsonOut, admin: *admin, quick: *quick,
+		}
+		if *quick {
+			o.sessions = minInt(*sessions, 64)
+			o.records = 8
+			o.rate = 128_000
+			o.updates = 200
+			o.duration = 1200 * time.Millisecond
+		} else {
+			// Scale per-tenant load down with the tenant count so a
+			// 1k-session run stays a bench, not a furnace.
+			if o.records > 2048/o.sessions && o.sessions > 4 {
+				o.records = maxInt(8, 2048/o.sessions)
+			}
+			o.rate = minF(o.rate, 256_000)
+		}
+		runFabric(o)
 		return
 	}
 
@@ -308,6 +346,10 @@ func main() {
 
 	st := s.Stats()
 	res.DataSent = st.DataSent
+	res.DataDatagramsSent = st.DatagramsSent
+	if st.DatagramsSent > 0 {
+		res.RecordsPerDgm = float64(st.DataSent) / float64(st.DatagramsSent)
+	}
 	res.SummariesSent = st.SummariesSent
 	res.DurationMs = float64(loadElapsed.Microseconds()) / 1000
 	res.MsgsPerSec = float64(st.DataSent) / loadElapsed.Seconds()
@@ -345,8 +387,9 @@ func main() {
 	} else {
 		fmt.Printf("ssload: %s %d records x %d receivers @ %.0f bps, %.1fs load\n",
 			res.Transport, res.Records, res.Receivers, res.RateBps, loadElapsed.Seconds())
-		fmt.Printf("  sent %d data + %d summaries (%.0f msgs/s), %d deliveries, %d dups\n",
-			res.DataSent, res.SummariesSent, res.MsgsPerSec, res.Deliveries, res.Duplicates)
+		fmt.Printf("  sent %d data in %d datagrams (%.1f records/datagram) + %d summaries (%.0f msgs/s), %d deliveries, %d dups\n",
+			res.DataSent, res.DataDatagramsSent, res.RecordsPerDgm,
+			res.SummariesSent, res.MsgsPerSec, res.Deliveries, res.Duplicates)
 		fmt.Printf("  nacks %d sent / %d suppressed, t_rec p50=%.3fs p99=%.3fs (n=%d)\n",
 			res.NACKsSent, res.NACKsSuppressed, res.TRec.P50, res.TRec.P99, res.TRec.Count)
 		fmt.Printf("  t_vis p50=%.3fs p95=%.3fs p99=%.3fs (n=%d), E[c(t)]=%.4f over %d digest samples\n",
@@ -383,6 +426,27 @@ func batchDatagramsFor(batch int) int {
 }
 
 func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
 	if a > b {
 		return a
 	}

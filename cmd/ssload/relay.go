@@ -73,6 +73,12 @@ type relayResult struct {
 	// show strictly larger medians — the cost of each relay hop.
 	PerHopVis []hopQuantiles `json:"per_hop_t_vis_seconds"`
 
+	// PerHopTx is the transmit-side coalescing report per sending
+	// level: level 0 is the origin publisher, levels 1..depth-1 sum
+	// each relay level's downstream senders. Flat and scale modes
+	// report the same two fields for their single sender.
+	PerHopTx []hopTx `json:"per_hop_tx"`
+
 	// Consistency is the leaves' shared online estimator at the end of
 	// the run: windowed t-visibility quantiles, per-key staleness age,
 	// and the digest-agreement E[c(t)].
@@ -85,6 +91,13 @@ type hopQuantiles struct {
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
+}
+
+type hopTx struct {
+	Level         int     `json:"level"`
+	DataSent      int     `json:"data_sent"`
+	DataDatagrams int     `json:"data_datagrams_sent"`
+	RecordsPerDgm float64 `json:"records_per_datagram"`
 }
 
 // runRelayTree drives a complete fanout^depth overlay over memconn:
@@ -128,6 +141,7 @@ func runRelayTree(o relayOpts) {
 	must(err)
 
 	var relays []*relay.Relay
+	relayLevels := make([][]*relay.Relay, o.depth) // [level] -> relays at that level
 	parentGroups := []string{"grp/root"}
 	k := 0
 	for level := 1; level < o.depth; level++ {
@@ -155,6 +169,7 @@ func runRelayTree(o relayOpts) {
 			})
 			must(err)
 			relays = append(relays, r)
+			relayLevels[level] = append(relayLevels[level], r)
 			next = append(next, group)
 			k++
 		}
@@ -273,6 +288,25 @@ func runRelayTree(o relayOpts) {
 		res.PerHop = append(res.PerHop, hq)
 		res.PerHopVis = append(res.PerHopVis, hv)
 	}
+	rootTx := hopTx{Level: 0, DataSent: pst.DataSent, DataDatagrams: pst.DatagramsSent}
+	if rootTx.DataDatagrams > 0 {
+		rootTx.RecordsPerDgm = float64(rootTx.DataSent) / float64(rootTx.DataDatagrams)
+	}
+	res.PerHopTx = append(res.PerHopTx, rootTx)
+	for level := 1; level < o.depth; level++ {
+		ht := hopTx{Level: level}
+		for _, r := range relayLevels[level] {
+			for i := 0; i < r.NumDownstreams(); i++ {
+				ds := r.DownstreamSender(i).Stats()
+				ht.DataSent += ds.DataSent
+				ht.DataDatagrams += ds.DatagramsSent
+			}
+		}
+		if ht.DataDatagrams > 0 {
+			ht.RecordsPerDgm = float64(ht.DataSent) / float64(ht.DataDatagrams)
+		}
+		res.PerHopTx = append(res.PerHopTx, ht)
+	}
 	res.Consistency = est.Snapshot()
 
 	for _, l := range leaves {
@@ -300,6 +334,10 @@ func runRelayTree(o relayOpts) {
 			fmt.Printf("  hop %d t_rec p50=%.3fs p95=%.3fs p99=%.3fs (n=%d); t_vis p50=%.3fs p95=%.3fs p99=%.3fs (n=%d)\n",
 				hq.Level, hq.P50, hq.P95, hq.P99, hq.Count,
 				hv.P50, hv.P95, hv.P99, hv.Count)
+		}
+		for _, ht := range res.PerHopTx {
+			fmt.Printf("  tx level %d: %d records in %d datagrams (%.1f records/datagram)\n",
+				ht.Level, ht.DataSent, ht.DataDatagrams, ht.RecordsPerDgm)
 		}
 		fmt.Printf("  leaves: E[c(t)]=%.4f over %d digest samples, %d tracked keys, staleness p95=%.3fs\n",
 			res.Consistency.Consistency, res.Consistency.AgreementSamples,

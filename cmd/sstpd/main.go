@@ -13,7 +13,11 @@
 //	STATS
 //
 // With -demo {ticker|routes|sdr}, a workload generator publishes
-// continuously instead. With -admin ADDR, an HTTP endpoint serves
+// continuously instead. With -sessions N, the daemon becomes a
+// session fabric: N tenant sessions share the one UDP socket under a
+// weighted fair-queueing send loop (-tenant-weights, -link-rate), and
+// per-tenant sstp_fabric_* series appear in /stats.json alongside the
+// sstp_* catalog. With -admin ADDR, an HTTP endpoint serves
 // /metrics (Prometheus), /stats.json, /trace (JSONL event ring), and
 // /debug/pprof. -statsevery D logs a one-line summary every D.
 // -obssmoke runs a self-contained observability check (in-process
@@ -33,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"softstate/internal/fabric"
 	"softstate/internal/obs"
 	"softstate/internal/profile"
 	"softstate/internal/sstp"
@@ -55,6 +60,9 @@ func main() {
 	statsEvery := flag.Duration("statsevery", 0, "log a one-line stats summary at this interval")
 	traceCap := flag.Int("tracecap", 4096, "protocol event ring capacity (0 disables)")
 	smoke := flag.Bool("obssmoke", false, "run the self-contained observability smoke test and exit")
+	sessions := flag.Int("sessions", 1, "multiplex this many tenant sessions (ids session..session+N-1) over the one UDP socket")
+	tenantWeights := flag.String("tenant-weights", "1", "comma-separated fabric weights, cycled across tenants")
+	linkRate := flag.Float64("link-rate", 0, "shared link rate in bits/s for fabric mode (default sessions x -rate)")
 	flag.Parse()
 
 	if *smoke {
@@ -94,26 +102,67 @@ func main() {
 	if err != nil {
 		log.Fatalf("resolve dest: %v", err)
 	}
-	s, err := sstp.NewSender(sstp.SenderConfig{
-		Session:   *session,
-		SenderID:  uint64(os.Getpid()),
-		Conn:      conn,
-		Dest:      destAddr,
-		TotalRate: *rate,
-		TTL:       *ttl,
-		Allocator: alloc,
-		Obs:       reg,
-		Trace:     ring,
-		OnRateLimit: func(max float64) {
-			log.Printf("allocator: publish rate exceeds μ_hot; max sustainable ≈ %.0f bps", max)
-		},
-	})
-	if err != nil {
-		log.Fatal(err)
+	mkConfig := func(id uint64) sstp.SenderConfig {
+		return sstp.SenderConfig{
+			Session:   id,
+			SenderID:  uint64(os.Getpid()),
+			Conn:      conn,
+			Dest:      destAddr,
+			TotalRate: *rate,
+			TTL:       *ttl,
+			Allocator: alloc,
+			Obs:       reg,
+			Trace:     ring,
+			OnRateLimit: func(max float64) {
+				log.Printf("allocator: publish rate exceeds μ_hot; max sustainable ≈ %.0f bps", max)
+			},
+		}
 	}
-	s.Start()
-	defer s.Close()
-	log.Printf("sstpd: announcing session %d from %s to %s at %.0f bps", *session, *laddr, *dest, *rate)
+	var s *sstp.Sender
+	if *sessions > 1 {
+		// Fabric mode: N tenant sessions share the one UDP socket,
+		// arbitrated by the weighted fair-queueing send loop; stdin
+		// commands and the demo workload drive the first tenant, the
+		// rest idle at heartbeats. Per-tenant sstp_fabric_* series
+		// land in the same registry as the sstp_* catalog, so
+		// /stats.json shows both.
+		weights, err := fabric.ParseWeights(*tenantWeights, *sessions)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lr := *linkRate
+		if lr <= 0 {
+			lr = float64(*sessions) * *rate
+		}
+		f, err := fabric.New(fabric.Config{Conn: conn, LinkRate: lr, Obs: reg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < *sessions; i++ {
+			cfg := mkConfig(*session + uint64(i))
+			cfg.Conn = nil // the fabric wires each tenant to its demux port
+			ts, err := f.AddSender(cfg, weights[i])
+			if err != nil {
+				log.Fatal(err)
+			}
+			if i == 0 {
+				s = ts
+			}
+		}
+		f.Start()
+		defer f.Close()
+		log.Printf("sstpd: fabric of %d sessions (%d..%d) from %s to %s, link %.0f bps, weights %s",
+			*sessions, *session, *session+uint64(*sessions-1), *laddr, *dest, lr, *tenantWeights)
+	} else {
+		var err error
+		s, err = sstp.NewSender(mkConfig(*session))
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.Start()
+		defer s.Close()
+		log.Printf("sstpd: announcing session %d from %s to %s at %.0f bps", *session, *laddr, *dest, *rate)
+	}
 
 	if *admin != "" {
 		srv, addr, err := obs.ServeAdmin(*admin, reg, ring)

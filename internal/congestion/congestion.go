@@ -65,6 +65,27 @@ func (b *TokenBucket) TimeUntil(now, cost float64) float64 {
 	return (cost - b.tokens) / b.rate
 }
 
+// Balance returns the token balance after refilling to time now. A
+// driven sender (one paced by an external scheduler rather than its
+// own send loop) gates on a positive balance before building a
+// datagram, then charges the true size with Take.
+func (b *TokenBucket) Balance(now float64) float64 {
+	b.refill(now)
+	return b.tokens
+}
+
+// Take unconditionally consumes cost tokens at time now, letting the
+// balance go negative. Callers that only learn a send's true cost
+// after committing to it charge exactly and repay any overdraft out
+// of future refill, so the long-run rate still holds.
+func (b *TokenBucket) Take(now, cost float64) {
+	if cost <= 0 {
+		panic(fmt.Sprintf("congestion: non-positive cost %v", cost))
+	}
+	b.refill(now)
+	b.tokens -= cost
+}
+
 // Rate returns the current token rate.
 func (b *TokenBucket) Rate() float64 { return b.rate }
 

@@ -182,3 +182,46 @@ func TestAIMDSawtooth(t *testing.T) {
 		t.Errorf("sawtooth out of bounds: [%v, %v]", min, max)
 	}
 }
+
+func TestTokenBucketBalanceTake(t *testing.T) {
+	b := NewTokenBucket(1000, 100)
+	if got := b.Balance(0); got != 100 {
+		t.Fatalf("fresh balance %v, want full burst 100", got)
+	}
+	// Take may overdraw; the debt is repaid out of future refill.
+	b.Take(0, 350)
+	if got := b.Balance(0); got != -250 {
+		t.Fatalf("balance after overdraft %v, want -250", got)
+	}
+	if got := b.Balance(0.25); got != 0 {
+		t.Fatalf("balance after 0.25 s refill %v, want 0", got)
+	}
+	if got := b.Balance(1); got != 100 {
+		t.Fatalf("balance should cap at burst, got %v", got)
+	}
+}
+
+func TestTokenBucketTakeEnforcesLongRunRate(t *testing.T) {
+	// Gate-on-positive-balance + exact Take is how driven senders
+	// pace; it must hold the same long-run rate Allow does.
+	b := NewTokenBucket(1000, 100)
+	sent := 0.0
+	for now := 0.0; now < 10; now += 0.001 {
+		if b.Balance(now) > 0 {
+			b.Take(now, 170) // "true size" learned after the gate
+			sent += 170
+		}
+	}
+	if sent > 1000*10+100+170 || sent < 1000*10*0.95 {
+		t.Errorf("sent %v bits in 10 s at 1000 bps", sent)
+	}
+}
+
+func TestTokenBucketTakeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Take(now, 0) should panic")
+		}
+	}()
+	NewTokenBucket(1, 1).Take(0, 0)
+}

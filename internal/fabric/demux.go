@@ -1,0 +1,312 @@
+package fabric
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"softstate/internal/netio"
+	"softstate/internal/obs"
+	"softstate/internal/protocol"
+)
+
+// demuxPktPool recycles per-datagram copies handed to ports.
+var demuxPktPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
+
+type demuxPacket struct {
+	from net.Addr
+	data []byte
+	buf  *[]byte
+}
+
+func (p *demuxPacket) recycle() {
+	if p.buf != nil {
+		demuxPktPool.Put(p.buf)
+		p.buf = nil
+	}
+}
+
+// Demux fans one shared datagram socket out to per-session virtual
+// conns, routing on the session id every SSTP header already carries
+// (protocol.PeekSession). One UDP port serves all tenants — sender
+// side it delivers each session's feedback (NACKs, queries, reports)
+// to that tenant's driven sender, receiver side it delivers each
+// session's announcements to that session's Receiver — with no
+// wire-format change at all.
+//
+// The demux owns the socket's read side; writes go through it
+// untouched (ports' WriteTo delegates to the shared conn). It does
+// not close the underlying conn: the caller that opened the socket
+// still owns its lifetime.
+type Demux struct {
+	conn  net.PacketConn
+	bconn *netio.BatchConn
+
+	mu     sync.Mutex
+	ports  map[uint64]*Port
+	closed bool
+
+	unknownDrops  atomic.Uint64 // datagrams for sessions with no port
+	overflowDrops atomic.Uint64 // datagrams dropped on a full port inbox
+	foreignDrops  atomic.Uint64 // datagrams that are not SSTP at all
+
+	mUnknown  *obs.Counter
+	mOverflow *obs.Counter
+	mForeign  *obs.Counter
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewDemux wraps conn and starts the shared read loop. reg may be nil.
+func NewDemux(conn net.PacketConn, reg *obs.Registry) *Demux {
+	d := &Demux{
+		conn:      conn,
+		bconn:     netio.Wrap(conn),
+		ports:     make(map[uint64]*Port),
+		done:      make(chan struct{}),
+		mUnknown:  reg.Counter("sstp_fabric_demux_drops_total", "reason", "unknown_session"),
+		mOverflow: reg.Counter("sstp_fabric_demux_drops_total", "reason", "overflow"),
+		mForeign:  reg.Counter("sstp_fabric_demux_drops_total", "reason", "not_sstp"),
+	}
+	d.wg.Add(1)
+	go d.readLoop()
+	return d
+}
+
+// Port returns (creating if needed) the virtual conn for one session.
+func (d *Demux) Port(session uint64) *Port {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if p, ok := d.ports[session]; ok {
+		return p
+	}
+	p := &Port{
+		d:       d,
+		session: session,
+		inbox:   make(chan demuxPacket, 512),
+	}
+	d.ports[session] = p
+	return p
+}
+
+// Drops returns the cumulative drop counters (unknown-session,
+// port-overflow, non-SSTP).
+func (d *Demux) Drops() (unknown, overflow, foreign uint64) {
+	return d.unknownDrops.Load(), d.overflowDrops.Load(), d.foreignDrops.Load()
+}
+
+// Close stops the read loop and closes every port. The underlying
+// conn is left open — its opener owns it.
+func (d *Demux) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	ports := make([]*Port, 0, len(d.ports))
+	for _, p := range d.ports {
+		ports = append(ports, p)
+	}
+	d.mu.Unlock()
+	close(d.done)
+	_ = d.conn.SetReadDeadline(time.Now()) // unblock the read loop
+	d.wg.Wait()
+	for _, p := range ports {
+		_ = p.Close()
+	}
+	return nil
+}
+
+// readLoop drains the shared socket in batches and routes each
+// datagram to its session's port.
+func (d *Demux) readLoop() {
+	defer d.wg.Done()
+	const batch = 16
+	bufs := make([][]byte, batch)
+	for i := range bufs {
+		bufs[i] = make([]byte, 2048)
+	}
+	sizes := make([]int, batch)
+	addrs := make([]net.Addr, batch)
+	for {
+		select {
+		case <-d.done:
+			return
+		default:
+		}
+		_ = d.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, err := d.bconn.ReadBatch(bufs, sizes, addrs)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			d.route(bufs[i][:sizes[i]], addrs[i])
+		}
+	}
+}
+
+func (d *Demux) route(b []byte, from net.Addr) {
+	session, ok := protocol.PeekSession(b)
+	if !ok {
+		d.foreignDrops.Add(1)
+		d.mForeign.Inc()
+		return
+	}
+	d.mu.Lock()
+	p := d.ports[session]
+	d.mu.Unlock()
+	if p == nil {
+		d.unknownDrops.Add(1)
+		d.mUnknown.Inc()
+		return
+	}
+	bp := demuxPktPool.Get().(*[]byte)
+	*bp = append((*bp)[:0], b...)
+	pkt := demuxPacket{from: from, data: *bp, buf: bp}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		pkt.recycle()
+		return
+	}
+	select {
+	case p.inbox <- pkt:
+		p.mu.Unlock()
+	default:
+		p.mu.Unlock()
+		pkt.recycle()
+		d.overflowDrops.Add(1)
+		d.mOverflow.Inc()
+	}
+}
+
+// Port is one session's view of the shared socket: reads see only
+// that session's datagrams, writes pass straight through to the
+// shared conn. It implements net.PacketConn, so an sstp.Sender or
+// sstp.Receiver runs over it unmodified.
+type Port struct {
+	d       *Demux
+	session uint64
+	inbox   chan demuxPacket
+
+	mu     sync.Mutex
+	closed bool
+
+	deadlineMu sync.Mutex
+	deadline   time.Time
+
+	// rdTimer is reused across ReadFrom calls; ports are single-reader
+	// like the sockets they stand in for.
+	rdTimer *time.Timer
+}
+
+// Session returns the session id this port filters for.
+func (p *Port) Session() uint64 { return p.session }
+
+// ReadFrom implements net.PacketConn: the next datagram of this
+// port's session.
+func (p *Port) ReadFrom(b []byte) (int, net.Addr, error) {
+	p.deadlineMu.Lock()
+	dl := p.deadline
+	p.deadlineMu.Unlock()
+	var timeout <-chan time.Time
+	if !dl.IsZero() {
+		d := time.Until(dl)
+		if d <= 0 {
+			return 0, nil, timeoutError{}
+		}
+		if p.rdTimer == nil {
+			p.rdTimer = time.NewTimer(d)
+		} else {
+			if !p.rdTimer.Stop() {
+				select {
+				case <-p.rdTimer.C:
+				default:
+				}
+			}
+			p.rdTimer.Reset(d)
+		}
+		timeout = p.rdTimer.C
+	}
+	select {
+	case pkt, ok := <-p.inbox:
+		if !ok {
+			return 0, nil, net.ErrClosed
+		}
+		n := copy(b, pkt.data)
+		pkt.recycle()
+		return n, pkt.from, nil
+	case <-timeout:
+		return 0, nil, timeoutError{}
+	}
+}
+
+// WriteTo implements net.PacketConn, passing through to the shared
+// socket (datagram writes are concurrency-safe across ports).
+func (p *Port) WriteTo(b []byte, addr net.Addr) (int, error) {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return 0, net.ErrClosed
+	}
+	return p.d.conn.WriteTo(b, addr)
+}
+
+// Close implements net.PacketConn. It detaches this session from the
+// demux; the shared socket stays open.
+func (p *Port) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.inbox)
+	p.mu.Unlock()
+	p.d.mu.Lock()
+	delete(p.d.ports, p.session)
+	p.d.mu.Unlock()
+	return nil
+}
+
+// LocalAddr implements net.PacketConn.
+func (p *Port) LocalAddr() net.Addr { return p.d.conn.LocalAddr() }
+
+// SetDeadline implements net.PacketConn.
+func (p *Port) SetDeadline(t time.Time) error { return p.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.PacketConn.
+func (p *Port) SetReadDeadline(t time.Time) error {
+	p.deadlineMu.Lock()
+	p.deadline = t
+	p.deadlineMu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline implements net.PacketConn (writes never block on
+// the port itself).
+func (p *Port) SetWriteDeadline(time.Time) error { return nil }
+
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "fabric: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+var _ net.PacketConn = (*Port)(nil)
+
+// String aids debugging.
+func (p *Port) String() string {
+	return fmt.Sprintf("fabric-port(session=%d, %v)", p.session, p.d.conn.LocalAddr())
+}

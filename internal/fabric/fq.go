@@ -1,0 +1,390 @@
+// Package fabric multiplexes many independent SSTP sessions
+// (tenants) over one shared datagram link. The paper's analysis
+// (§4–§6) divides one session's bandwidth between new data and
+// repair; the fabric adds the layer above it — dividing one *link*
+// between sessions — with a weighted virtual-time fair-queueing
+// scheduler in the lineage of the k8s API server's APF `fq`
+// dispatcher, a shared batched send loop replacing per-sender
+// goroutine+socket ownership, and wire demuxing on the session id
+// every SSTP header already carries (so one UDP port serves all
+// tenants with no wire-format change).
+package fabric
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Packet is one wire-ready datagram queued for transmission on the
+// shared link. The payload is an owned copy, recycled via Release.
+type Packet struct {
+	Session uint64
+	Dest    net.Addr
+	buf     []byte
+}
+
+// Bytes returns the datagram payload.
+func (p *Packet) Bytes() []byte { return p.buf }
+
+var fqPktPool = sync.Pool{New: func() any {
+	return &Packet{buf: make([]byte, 0, 2048)}
+}}
+
+// TenantStat is one tenant's scheduler-side snapshot.
+type TenantStat struct {
+	Session  uint64
+	Weight   float64
+	Depth    int     // packets waiting in the fabric queue
+	Bytes    uint64  // payload bytes served over the link
+	Packets  uint64  // datagrams served
+	VirStart float64 // the queue's virtual start time
+	VTLag    float64 // VirStart − global virtual time (0 when idle)
+	Starved  bool    // head packet has waited past the starvation window
+}
+
+// FQ is a weighted virtual-time fair-queueing scheduler over
+// per-tenant packet queues. Each queue carries a virtual start time;
+// the virtual finish of its head packet is *estimated* as
+// virstart + G/weight, with G the estimated per-datagram service cost
+// in bytes (the APF G-based finish estimation — the true size is only
+// certain once the packet is picked). Dequeue serves the queue with
+// the minimum estimated virtual finish — an O(log n) pick via a
+// min-heap keyed on virtual finish — then advances the queue's
+// virtual start by actualBytes/weight, so tenants are charged the
+// bytes they really sent and backlogged tenants share the link in
+// proportion to their weights regardless of datagram sizes.
+//
+// A queue going idle keeps its virtual start, but re-activation
+// clamps it up to the global virtual time (the max-of rule), so idle
+// tenants bank no credit and a waking tenant is served promptly
+// without starving the backlogged ones.
+//
+// The FIFO policy (NewFIFO) is the no-isolation baseline: one shared
+// queue in arrival order, the behavior of a naive shared socket. It
+// exists to *measure* the starvation fair queueing removes.
+type FQ struct {
+	mu     sync.Mutex
+	g      float64 // estimated datagram service cost, bytes
+	fifo   bool
+	perCap int     // per-tenant queue bound (fq); scaled shared bound (fifo)
+	vtime  float64 // global virtual time: start of the last served queue
+	queues map[uint64]*fqQueue
+	heap   []*fqQueue // active queues, min estimated virtual finish at [0]
+	fifoQ  []*Packet  // fifo policy: shared arrival-order queue
+	fhead  int        // fifoQ head index (popped packets compact lazily)
+	depth  int        // total packets queued
+}
+
+type fqQueue struct {
+	session  uint64
+	weight   float64
+	virStart float64
+	pkts     []*Packet // FIFO; head at pkts[phead]
+	phead    int
+	idx      int // heap position; -1 when inactive
+	bytes    uint64
+	packets  uint64
+	waiting  time.Time // when the current head reached the head slot
+}
+
+func (q *fqQueue) depth() int { return len(q.pkts) - q.phead }
+
+// NewFQ returns a fair-queueing scheduler. g is the estimated datagram
+// cost in bytes (the MTU is the natural choice); perTenantCap bounds
+// each tenant's fabric-side queue — the backpressure that keeps a
+// tenant's backlog in its own sender, where its hot/cold scheduler
+// can still reorder it.
+func NewFQ(g float64, perTenantCap int) *FQ {
+	if g <= 0 {
+		panic(fmt.Sprintf("fabric: non-positive estimated cost %v", g))
+	}
+	if perTenantCap <= 0 {
+		panic(fmt.Sprintf("fabric: non-positive queue cap %d", perTenantCap))
+	}
+	return &FQ{g: g, perCap: perTenantCap, queues: make(map[uint64]*fqQueue)}
+}
+
+// NewFIFO returns the arrival-order baseline scheduler: one shared
+// queue bounded at perTenantCap packets *per registered tenant*, so a
+// bursty tenant can fill it — which is exactly the failure mode the
+// fair queueing variant exists to prevent.
+func NewFIFO(g float64, perTenantCap int) *FQ {
+	f := NewFQ(g, perTenantCap)
+	f.fifo = true
+	return f
+}
+
+// AddTenant registers a tenant queue with the given weight.
+func (f *FQ) AddTenant(session uint64, weight float64) error {
+	if weight <= 0 {
+		return fmt.Errorf("fabric: tenant %d weight %v must be positive", session, weight)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.queues[session]; ok {
+		return fmt.Errorf("fabric: duplicate tenant %d", session)
+	}
+	f.queues[session] = &fqQueue{session: session, weight: weight, idx: -1}
+	return nil
+}
+
+// SetWeight retunes a tenant's share at runtime. Future service —
+// including packets already queued — is divided at the new weight.
+func (f *FQ) SetWeight(session uint64, weight float64) error {
+	if weight <= 0 {
+		return fmt.Errorf("fabric: tenant %d weight %v must be positive", session, weight)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	q, ok := f.queues[session]
+	if !ok {
+		return fmt.Errorf("fabric: unknown tenant %d", session)
+	}
+	q.weight = weight
+	if q.idx >= 0 {
+		f.fix(q.idx) // its estimated finish just changed
+	}
+	return nil
+}
+
+// Weight returns a tenant's current weight (0 if unknown).
+func (f *FQ) Weight(session uint64) float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if q, ok := f.queues[session]; ok {
+		return q.weight
+	}
+	return 0
+}
+
+// Room reports whether the tenant's queue can take another packet.
+// The fabric's fill loop polls a tenant's sender only while its queue
+// has room, so backpressure needs no blocking.
+func (f *FQ) Room(session uint64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fifo {
+		return f.depth < f.perCap*len(f.queues)
+	}
+	q, ok := f.queues[session]
+	return ok && q.depth() < f.perCap
+}
+
+// Enqueue copies b into a pooled packet on the tenant's queue. It
+// reports false — dropping nothing, the caller still owns b — when
+// the queue is full or the tenant unknown.
+func (f *FQ) Enqueue(session uint64, b []byte, dest net.Addr) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	q, ok := f.queues[session]
+	if !ok {
+		return false
+	}
+	if f.fifo {
+		if f.depth >= f.perCap*len(f.queues) {
+			return false
+		}
+	} else if q.depth() >= f.perCap {
+		return false
+	}
+	p := fqPktPool.Get().(*Packet)
+	p.Session = session
+	p.Dest = dest
+	p.buf = append(p.buf[:0], b...)
+	if f.fifo {
+		f.fifoQ = append(f.fifoQ, p)
+	} else {
+		if q.depth() == 0 {
+			q.waiting = time.Now()
+			// The max-of rule: an idle queue rejoins at the global
+			// virtual time, banking no credit for its idle period.
+			if q.virStart < f.vtime {
+				q.virStart = f.vtime
+			}
+			q.pkts = append(q.pkts[:0], p)
+			q.phead = 0
+			f.push(q)
+		} else {
+			q.pkts = append(q.pkts, p)
+		}
+	}
+	f.depth++
+	return true
+}
+
+// Dequeue serves the next packet: the head of the queue with minimum
+// estimated virtual finish (or, under the FIFO policy, the oldest
+// packet on the link). The caller transmits it, then recycles it with
+// Release.
+func (f *FQ) Dequeue() (*Packet, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fifo {
+		if f.fhead >= len(f.fifoQ) {
+			return nil, false
+		}
+		p := f.fifoQ[f.fhead]
+		f.fifoQ[f.fhead] = nil
+		f.fhead++
+		if f.fhead == len(f.fifoQ) {
+			f.fifoQ = f.fifoQ[:0]
+			f.fhead = 0
+		}
+		f.depth--
+		q := f.queues[p.Session]
+		q.bytes += uint64(len(p.buf))
+		q.packets++
+		return p, true
+	}
+	if len(f.heap) == 0 {
+		return nil, false
+	}
+	q := f.heap[0]
+	p := q.pkts[q.phead]
+	q.pkts[q.phead] = nil
+	q.phead++
+	f.depth--
+	// Virtual time advances to the served queue's start (start-time
+	// fair queueing's v(t)); the queue is then charged actual bytes.
+	if q.virStart > f.vtime {
+		f.vtime = q.virStart
+	}
+	q.virStart += float64(len(p.buf)) / q.weight
+	q.bytes += uint64(len(p.buf))
+	q.packets++
+	if q.depth() == 0 {
+		f.pop(q)
+		q.pkts = q.pkts[:0]
+		q.phead = 0
+	} else {
+		q.waiting = time.Now()
+		f.fix(0)
+	}
+	return p, true
+}
+
+// Release recycles a served packet's buffer.
+func (f *FQ) Release(p *Packet) {
+	p.Dest = nil
+	fqPktPool.Put(p)
+}
+
+// Depth returns the total number of queued packets.
+func (f *FQ) Depth() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.depth
+}
+
+// VTime returns the global virtual time (for observability).
+func (f *FQ) VTime() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.vtime
+}
+
+// Stats appends a snapshot for every tenant to dst. A tenant is
+// starved when its head packet has waited longer than starveAfter —
+// under fair queueing that gauge staying at zero is the isolation
+// guarantee, under FIFO it is the measurement of the problem.
+func (f *FQ) Stats(dst []TenantStat, starveAfter time.Duration) []TenantStat {
+	now := time.Now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fifoDepths := map[uint64]int(nil)
+	if f.fifo {
+		fifoDepths = make(map[uint64]int, len(f.queues))
+		for i := f.fhead; i < len(f.fifoQ); i++ {
+			fifoDepths[f.fifoQ[i].Session]++
+		}
+	}
+	for _, q := range f.queues {
+		st := TenantStat{
+			Session:  q.session,
+			Weight:   q.weight,
+			Bytes:    q.bytes,
+			Packets:  q.packets,
+			VirStart: q.virStart,
+		}
+		if f.fifo {
+			st.Depth = fifoDepths[q.session]
+		} else {
+			st.Depth = q.depth()
+			if st.Depth > 0 {
+				st.VTLag = q.virStart - f.vtime
+				st.Starved = now.Sub(q.waiting) > starveAfter
+			}
+		}
+		dst = append(dst, st)
+	}
+	return dst
+}
+
+// --- min-heap on estimated virtual finish ---
+
+// finish is the APF-style estimate for the queue's head packet:
+// virtual start plus G scaled by the tenant's weight.
+func (q *fqQueue) finish(g float64) float64 {
+	return q.virStart + g/q.weight
+}
+
+func (f *FQ) push(q *fqQueue) {
+	q.idx = len(f.heap)
+	f.heap = append(f.heap, q)
+	f.up(q.idx)
+}
+
+func (f *FQ) pop(q *fqQueue) {
+	i := q.idx
+	last := len(f.heap) - 1
+	f.heap[i] = f.heap[last]
+	f.heap[i].idx = i
+	f.heap = f.heap[:last]
+	q.idx = -1
+	if i < last {
+		f.fix(i)
+	}
+}
+
+func (f *FQ) fix(i int) {
+	f.up(i)
+	f.down(i)
+}
+
+func (f *FQ) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if f.heap[parent].finish(f.g) <= f.heap[i].finish(f.g) {
+			break
+		}
+		f.swap(parent, i)
+		i = parent
+	}
+}
+
+func (f *FQ) down(i int) {
+	n := len(f.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && f.heap[l].finish(f.g) < f.heap[min].finish(f.g) {
+			min = l
+		}
+		if r < n && f.heap[r].finish(f.g) < f.heap[min].finish(f.g) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		f.swap(min, i)
+		i = min
+	}
+}
+
+func (f *FQ) swap(i, j int) {
+	f.heap[i], f.heap[j] = f.heap[j], f.heap[i]
+	f.heap[i].idx = i
+	f.heap[j].idx = j
+}

@@ -1,0 +1,271 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+)
+
+func mustAdd(t *testing.T, f *FQ, session uint64, weight float64) {
+	t.Helper()
+	if err := f.AddTenant(session, weight); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fill enqueues n equal-size packets for a session, stopping early if
+// the queue fills.
+func fill(f *FQ, session uint64, n, size int) int {
+	b := make([]byte, size)
+	got := 0
+	for i := 0; i < n; i++ {
+		if !f.Enqueue(session, b, nil) {
+			break
+		}
+		got++
+	}
+	return got
+}
+
+func TestFQTenantValidation(t *testing.T) {
+	f := NewFQ(1400, 8)
+	mustAdd(t, f, 1, 1)
+	if err := f.AddTenant(1, 2); err == nil {
+		t.Fatal("duplicate tenant accepted")
+	}
+	if err := f.AddTenant(2, 0); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if err := f.SetWeight(99, 1); err == nil {
+		t.Fatal("SetWeight on unknown tenant accepted")
+	}
+	if err := f.SetWeight(1, -1); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if f.Enqueue(99, []byte("x"), nil) {
+		t.Fatal("enqueue for unknown tenant accepted")
+	}
+	if w := f.Weight(1); w != 1 {
+		t.Fatalf("Weight = %v, want 1", w)
+	}
+}
+
+func TestFQWeightedShares(t *testing.T) {
+	// Two saturated tenants at weights 1 and 3: keep both queues
+	// topped up, serve 400 packets, expect a ~1:3 split.
+	f := NewFQ(100, 4)
+	mustAdd(t, f, 1, 1)
+	mustAdd(t, f, 2, 3)
+	served := map[uint64]int{}
+	for i := 0; i < 400; i++ {
+		fill(f, 1, 4, 100)
+		fill(f, 2, 4, 100)
+		p, ok := f.Dequeue()
+		if !ok {
+			t.Fatal("dequeue failed with backlogged queues")
+		}
+		served[p.Session]++
+		f.Release(p)
+	}
+	// weight-3 tenant should get ~300 of 400.
+	if served[2] < 280 || served[2] > 320 {
+		t.Fatalf("weight-3 tenant served %d/400, want ~300 (weight-1 got %d)", served[2], served[1])
+	}
+}
+
+func TestFQChargesActualBytes(t *testing.T) {
+	// Equal weights but tenant 1 sends datagrams 4x larger: byte
+	// shares should equalize, so tenant 2 gets ~4x the packets.
+	f := NewFQ(1400, 4)
+	mustAdd(t, f, 1, 1)
+	mustAdd(t, f, 2, 1)
+	served := map[uint64]int{}
+	for i := 0; i < 500; i++ {
+		fill(f, 1, 4, 1200)
+		fill(f, 2, 4, 300)
+		p, ok := f.Dequeue()
+		if !ok {
+			t.Fatal("dequeue failed")
+		}
+		served[p.Session]++
+		f.Release(p)
+	}
+	ratio := float64(served[2]) / float64(served[1])
+	if ratio < 3.0 || ratio > 5.0 {
+		t.Fatalf("packet ratio small/large = %v (%d vs %d), want ~4", ratio, served[2], served[1])
+	}
+}
+
+func TestFQIdleTenantBanksNoCredit(t *testing.T) {
+	// Tenant 2 stays idle while tenant 1 is served for a long run.
+	// When 2 wakes, the max-of rule clamps its virtual start to the
+	// global virtual time: it gets served promptly, but it must NOT
+	// monopolize the link to "catch up" its idle period.
+	f := NewFQ(100, 8)
+	mustAdd(t, f, 1, 1)
+	mustAdd(t, f, 2, 1)
+	for i := 0; i < 200; i++ {
+		fill(f, 1, 1, 100)
+		p, _ := f.Dequeue()
+		f.Release(p)
+	}
+	// Wake tenant 2 and keep both saturated: the split from here on
+	// must be even, not biased toward the waker.
+	served := map[uint64]int{}
+	for i := 0; i < 200; i++ {
+		fill(f, 1, 8, 100)
+		fill(f, 2, 8, 100)
+		p, ok := f.Dequeue()
+		if !ok {
+			t.Fatal("dequeue failed")
+		}
+		served[p.Session]++
+		f.Release(p)
+	}
+	if served[2] < 80 || served[2] > 120 {
+		t.Fatalf("woken tenant served %d/200, want ~100", served[2])
+	}
+}
+
+func TestFQSetWeightRetunes(t *testing.T) {
+	f := NewFQ(100, 4)
+	mustAdd(t, f, 1, 1)
+	mustAdd(t, f, 2, 1)
+	serve := func(n int) map[uint64]int {
+		served := map[uint64]int{}
+		for i := 0; i < n; i++ {
+			fill(f, 1, 4, 100)
+			fill(f, 2, 4, 100)
+			p, ok := f.Dequeue()
+			if !ok {
+				t.Fatal("dequeue failed")
+			}
+			served[p.Session]++
+			f.Release(p)
+		}
+		return served
+	}
+	before := serve(200)
+	if before[1] < 80 || before[1] > 120 {
+		t.Fatalf("equal weights served %d/200 for tenant 1, want ~100", before[1])
+	}
+	if err := f.SetWeight(1, 9); err != nil {
+		t.Fatal(err)
+	}
+	after := serve(400)
+	if after[1] < 330 || after[1] > 390 {
+		t.Fatalf("after retune to 9:1, tenant 1 served %d/400, want ~360", after[1])
+	}
+}
+
+func TestFQRoomAndBackpressure(t *testing.T) {
+	f := NewFQ(1400, 2)
+	mustAdd(t, f, 1, 1)
+	if !f.Room(1) {
+		t.Fatal("empty queue reports no room")
+	}
+	if n := fill(f, 1, 5, 10); n != 2 {
+		t.Fatalf("cap-2 queue accepted %d packets", n)
+	}
+	if f.Room(1) {
+		t.Fatal("full queue reports room")
+	}
+	if f.Depth() != 2 {
+		t.Fatalf("Depth = %d, want 2", f.Depth())
+	}
+	p, _ := f.Dequeue()
+	f.Release(p)
+	if !f.Room(1) {
+		t.Fatal("queue with one free slot reports no room")
+	}
+}
+
+func TestFIFOArrivalOrder(t *testing.T) {
+	f := NewFIFO(1400, 4)
+	mustAdd(t, f, 1, 1)
+	mustAdd(t, f, 2, 1)
+	// Interleave arrivals; FIFO must return them in exactly that
+	// order regardless of weights.
+	order := []uint64{1, 1, 2, 1, 2, 2, 1}
+	for _, s := range order {
+		if !f.Enqueue(s, []byte{byte(s)}, nil) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	for i, want := range order {
+		p, ok := f.Dequeue()
+		if !ok {
+			t.Fatalf("dequeue %d failed", i)
+		}
+		if p.Session != want {
+			t.Fatalf("dequeue %d = session %d, want %d", i, p.Session, want)
+		}
+		f.Release(p)
+	}
+}
+
+func TestFIFOSharedQueueCapturable(t *testing.T) {
+	// The FIFO baseline's queue is shared: one tenant can fill the
+	// whole bound (perCap x tenants) and lock the other out — the
+	// starvation FQ prevents.
+	f := NewFIFO(1400, 2)
+	mustAdd(t, f, 1, 1)
+	mustAdd(t, f, 2, 1)
+	if n := fill(f, 1, 10, 10); n != 4 {
+		t.Fatalf("bursty tenant claimed %d slots, want all 4", n)
+	}
+	if f.Enqueue(2, []byte("x"), nil) {
+		t.Fatal("victim found room in a captured FIFO queue")
+	}
+	if f.Room(2) {
+		t.Fatal("Room says yes on a captured FIFO queue")
+	}
+}
+
+func TestFQStatsSnapshot(t *testing.T) {
+	f := NewFQ(100, 8)
+	mustAdd(t, f, 1, 2)
+	mustAdd(t, f, 2, 1)
+	fill(f, 1, 3, 50)
+	for i := 0; i < 2; i++ {
+		p, _ := f.Dequeue()
+		f.Release(p)
+	}
+	stats := f.Stats(nil, time.Hour)
+	byS := map[uint64]TenantStat{}
+	for _, st := range stats {
+		byS[st.Session] = st
+	}
+	if st := byS[1]; st.Depth != 1 || st.Packets != 2 || st.Bytes != 100 || st.Weight != 2 {
+		t.Fatalf("tenant 1 stat = %+v", st)
+	}
+	if st := byS[1]; st.VTLag <= 0 {
+		t.Fatalf("backlogged tenant VTLag = %v, want > 0", st.VTLag)
+	}
+	if st := byS[2]; st.Depth != 0 || st.Packets != 0 || st.Starved {
+		t.Fatalf("idle tenant stat = %+v", st)
+	}
+	if byS[1].Starved {
+		t.Fatal("fresh head marked starved under 1h window")
+	}
+	// With a zero-length starvation window any waiting head counts.
+	time.Sleep(time.Millisecond)
+	stats = f.Stats(stats[:0], time.Nanosecond)
+	for _, st := range stats {
+		if st.Session == 1 && !st.Starved {
+			t.Fatal("waiting head not marked starved under 1ns window")
+		}
+	}
+}
+
+func TestFQDequeueEmpty(t *testing.T) {
+	f := NewFQ(1400, 4)
+	mustAdd(t, f, 1, 1)
+	if _, ok := f.Dequeue(); ok {
+		t.Fatal("dequeue on empty scheduler returned a packet")
+	}
+	ff := NewFIFO(1400, 4)
+	mustAdd(t, ff, 1, 1)
+	if _, ok := ff.Dequeue(); ok {
+		t.Fatal("fifo dequeue on empty scheduler returned a packet")
+	}
+}

@@ -142,6 +142,83 @@ func TestCombineChildrenMerges(t *testing.T) {
 	}
 }
 
+// TestCombineChildrenEdgeCases: the degenerate merges — no groups at
+// all, a single group, and groups that are all empty — behave like
+// the unsharded tree's child list for the same contents.
+func TestCombineChildrenEdgeCases(t *testing.T) {
+	if out := namespace.CombineChildren(); len(out) != 0 {
+		t.Fatalf("combine of zero groups has %d children", len(out))
+	}
+	if out := namespace.CombineChildren(nil, nil, []namespace.Child{}); len(out) != 0 {
+		t.Fatalf("combine of all-empty groups has %d children", len(out))
+	}
+	// A single unsorted group still comes back sorted, and the input
+	// slice is left untouched (Combine must copy, not sort in place —
+	// the group aliases a stripe's live child list).
+	g := []namespace.Child{{Name: "z"}, {Name: "a"}, {Name: "m"}}
+	out := namespace.CombineChildren(g)
+	for i, want := range []string{"a", "m", "z"} {
+		if out[i].Name != want {
+			t.Errorf("out[%d] = %q, want %q", i, out[i].Name, want)
+		}
+	}
+	if g[0].Name != "z" || g[1].Name != "a" || g[2].Name != "m" {
+		t.Errorf("input group mutated: %v", g)
+	}
+}
+
+// TestCombineRootEdgeCases pins the combine fold against the
+// unsharded tree on the degenerate stripe shapes: no children (zero
+// or all-empty stripes) must equal an empty tree's root, and one
+// stripe holding everything must equal that tree's own root — for
+// both hash kinds.
+func TestCombineRootEdgeCases(t *testing.T) {
+	for _, kind := range []namespace.HashKind{namespace.HashSHA256, namespace.HashMD5} {
+		empty := namespace.New(kind)
+		if got := namespace.CombineRoot(kind, nil); got != empty.RootDigest() {
+			t.Errorf("kind=%d: combine of no children != empty tree root", kind)
+		}
+		if got := namespace.CombineRoot(kind, namespace.CombineChildren(nil, nil)); got != empty.RootDigest() {
+			t.Errorf("kind=%d: combine of all-empty stripes != empty tree root", kind)
+		}
+
+		// One stripe owning every key: combining its children alone
+		// replays the unsharded root.
+		tree := namespace.New(kind)
+		solo := namespace.New(kind)
+		for i, k := range []string{"a/1", "a/2", "b/deep/leaf", "top"} {
+			if err := tree.Put(k, []byte{byte(i)}, uint64(i+1)); err != nil {
+				t.Fatal(err)
+			}
+			if err := solo.Put(k, []byte{byte(i)}, uint64(i+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		children, err := solo.Children("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := namespace.CombineRoot(kind, namespace.CombineChildren(children))
+		if got != tree.RootDigest() {
+			t.Errorf("kind=%d: single-stripe combine != unsharded root", kind)
+		}
+	}
+}
+
+// TestForestAllEmptyStripes: a many-stripe forest with nothing in it
+// reports the empty tree's root for every hash kind and stripe count.
+func TestForestAllEmptyStripes(t *testing.T) {
+	for _, kind := range []namespace.HashKind{namespace.HashSHA256, namespace.HashMD5} {
+		for _, stripes := range []int{1, 2, 8, 64} {
+			tree := namespace.New(kind)
+			forest := namespace.NewForest(stripes, kind)
+			if tree.RootDigest() != forest.RootDigest() {
+				t.Errorf("kind=%d stripes=%d: empty forest root differs from empty tree root", kind, stripes)
+			}
+		}
+	}
+}
+
 func BenchmarkNamespaceForestRoot(b *testing.B) {
 	forest := namespace.NewForest(8, namespace.HashSHA256)
 	for i := 0; i < 4096; i++ {

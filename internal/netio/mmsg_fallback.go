@@ -15,4 +15,6 @@ func newMMsgConn(net.PacketConn) *mmsgConn { return nil }
 
 func (*mmsgConn) writeBatch(net.Addr, [][]byte) (int, bool, error) { return 0, false, nil }
 
+func (*mmsgConn) writeBatchAddrs([][]byte, []net.Addr) (int, bool, error) { return 0, false, nil }
+
 func (*mmsgConn) readBatch([][]byte, []int, []net.Addr) (int, bool, error) { return 0, false, nil }

@@ -31,6 +31,7 @@ type mmsgConn struct {
 	whdrs []mmsghdr
 	wiovs []syscall.Iovec
 	wsa   syscall.RawSockaddrInet4
+	wsas  []syscall.RawSockaddrInet4 // per-message sockaddrs (WriteBatchAddrs)
 
 	rmu    sync.Mutex // read-side scratch
 	rhdrs  []mmsghdr
@@ -53,6 +54,7 @@ func newMMsgConn(pc net.PacketConn) *mmsgConn {
 		raw:    raw,
 		whdrs:  make([]mmsghdr, MaxBatch),
 		wiovs:  make([]syscall.Iovec, MaxBatch),
+		wsas:   make([]syscall.RawSockaddrInet4, MaxBatch),
 		rhdrs:  make([]mmsghdr, MaxBatch),
 		riovs:  make([]syscall.Iovec, MaxBatch),
 		rnames: make([]syscall.RawSockaddrInet4, MaxBatch),
@@ -91,6 +93,69 @@ func (c *mmsgConn) writeBatch(dest net.Addr, packets [][]byte) (sent int, handle
 			h := &c.whdrs[i].hdr
 			h.Name = (*byte)(unsafe.Pointer(&c.wsa))
 			h.Namelen = uint32(unsafe.Sizeof(c.wsa))
+			h.Iov = &c.wiovs[i]
+			h.Iovlen = 1
+			c.whdrs[i].n = 0
+		}
+		done := 0
+		var operr error
+		waitErr := c.raw.Write(func(fd uintptr) bool {
+			for done < n {
+				sn, errno := sendmmsg(fd, c.whdrs[done:n], syscall.MSG_DONTWAIT)
+				if errno == syscall.EAGAIN {
+					return false // wait for writability, then retry
+				}
+				if errno != 0 {
+					operr = os.NewSyscallError("sendmmsg", errno)
+					return true
+				}
+				done += sn
+			}
+			return true
+		})
+		sent += done
+		if operr != nil {
+			return sent, true, operr
+		}
+		if waitErr != nil {
+			return sent, true, waitErr
+		}
+	}
+	return sent, true, nil
+}
+
+// writeBatchAddrs sends packets[i] to dests[i] with sendmmsg,
+// stamping a per-message sockaddr. handled=false means some
+// destination is not UDP/IPv4 and the caller should fall back —
+// checked up front for the whole batch, so a fallback never follows a
+// partial kernel send.
+func (c *mmsgConn) writeBatchAddrs(packets [][]byte, dests []net.Addr) (sent int, handled bool, err error) {
+	for _, d := range dests {
+		ua, ok := d.(*net.UDPAddr)
+		if !ok || ua.IP.To4() == nil {
+			return 0, false, nil
+		}
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+
+	for sent < len(packets) {
+		n := len(packets) - sent
+		if n > MaxBatch {
+			n = MaxBatch
+		}
+		for i := 0; i < n; i++ {
+			ua := dests[sent+i].(*net.UDPAddr)
+			sa := &c.wsas[i]
+			*sa = syscall.RawSockaddrInet4{Family: syscall.AF_INET}
+			sa.Port = uint16(ua.Port>>8) | uint16(ua.Port&0xff)<<8 // htons
+			copy(sa.Addr[:], ua.IP.To4())
+			p := packets[sent+i]
+			c.wiovs[i].Base = &p[0]
+			c.wiovs[i].SetLen(len(p))
+			h := &c.whdrs[i].hdr
+			h.Name = (*byte)(unsafe.Pointer(sa))
+			h.Namelen = uint32(unsafe.Sizeof(*sa))
 			h.Iov = &c.wiovs[i]
 			h.Iovlen = 1
 			c.whdrs[i].n = 0

@@ -11,7 +11,10 @@
 // SetReadDeadline.
 package netio
 
-import "net"
+import (
+	"fmt"
+	"net"
+)
 
 // MaxBatch is the most packets moved per syscall; larger batches are
 // split transparently.
@@ -50,6 +53,29 @@ func (c *BatchConn) WriteBatch(dest net.Addr, packets [][]byte) (sent int, err e
 	}
 	for i, p := range packets {
 		if _, err := c.pc.WriteTo(p, dest); err != nil {
+			return i, err
+		}
+	}
+	return len(packets), nil
+}
+
+// WriteBatchAddrs sends packets[i] to dests[i] — the session fabric's
+// shared link, where one batch carries many tenants' datagrams bound
+// for different receivers. The kernel path stamps a per-message
+// sockaddr on one sendmmsg; it applies only when every destination is
+// UDP/IPv4, otherwise the whole batch falls back to one WriteTo per
+// packet. On error, sent counts the packets that made it out first.
+func (c *BatchConn) WriteBatchAddrs(packets [][]byte, dests []net.Addr) (sent int, err error) {
+	if len(packets) != len(dests) {
+		return 0, fmt.Errorf("netio: %d packets but %d destinations", len(packets), len(dests))
+	}
+	if c.mm != nil {
+		if n, handled, err := c.mm.writeBatchAddrs(packets, dests); handled {
+			return n, err
+		}
+	}
+	for i, p := range packets {
+		if _, err := c.pc.WriteTo(p, dests[i]); err != nil {
 			return i, err
 		}
 	}

@@ -150,3 +150,70 @@ func TestUDPBatchedDetection(t *testing.T) {
 		t.Fatalf("Batched() = %v on this platform, want %v", tx.Batched(), want)
 	}
 }
+
+func TestUDPWriteBatchAddrs(t *testing.T) {
+	// One sender, two receivers: the fabric's shape, where a single
+	// batch carries datagrams for different destinations.
+	tx, rx1, dest1 := udpPair(t)
+	rx2conn, err := net.ListenPacket("udp4", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no UDP in this environment: %v", err)
+	}
+	t.Cleanup(func() { rx2conn.Close() })
+	rx2, dest2 := Wrap(rx2conn), rx2conn.LocalAddr()
+
+	const total = 150 // > MaxBatch: exercises the chunked send
+	pkts := make([][]byte, total)
+	dests := make([]net.Addr, total)
+	for i := range pkts {
+		pkts[i] = []byte(fmt.Sprintf("pkt-%03d", i))
+		if i%2 == 0 {
+			dests[i] = dest1
+		} else {
+			dests[i] = dest2
+		}
+	}
+	if n, err := tx.WriteBatchAddrs(pkts, dests); err != nil || n != total {
+		t.Fatalf("WriteBatchAddrs = %d, %v", n, err)
+	}
+
+	drain := func(rx *BatchConn, want int, parity int) {
+		rx.Conn().SetReadDeadline(time.Now().Add(2 * time.Second))
+		bufs := make([][]byte, 32)
+		for i := range bufs {
+			bufs[i] = make([]byte, 256)
+		}
+		sizes := make([]int, 32)
+		addrs := make([]net.Addr, 32)
+		seen := make(map[string]bool)
+		for len(seen) < want {
+			n, err := rx.ReadBatch(bufs, sizes, addrs)
+			if err != nil {
+				t.Fatalf("receiver %d: ReadBatch after %d/%d: %v", parity, len(seen), want, err)
+			}
+			for i := 0; i < n; i++ {
+				seen[string(bufs[i][:sizes[i]])] = true
+			}
+		}
+		for i := parity; i < total; i += 2 {
+			if !seen[fmt.Sprintf("pkt-%03d", i)] {
+				t.Errorf("receiver %d: packet %d lost or misrouted", parity, i)
+			}
+		}
+	}
+	drain(rx1, total/2, 0)
+	drain(rx2, total/2, 1)
+}
+
+func TestWriteBatchAddrsFallbackNonUDP(t *testing.T) {
+	cc := &chanConn{ch: make(chan []byte, 16)}
+	bc := Wrap(cc)
+	pkts := [][]byte{[]byte("one"), []byte("two")}
+	dests := []net.Addr{fakeAddr{}, fakeAddr{}}
+	if n, err := bc.WriteBatchAddrs(pkts, dests); err != nil || n != 2 {
+		t.Fatalf("WriteBatchAddrs = %d, %v", n, err)
+	}
+	if _, err := bc.WriteBatchAddrs(pkts, dests[:1]); err == nil {
+		t.Fatal("mismatched packet/destination counts accepted")
+	}
+}

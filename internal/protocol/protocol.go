@@ -167,6 +167,20 @@ func AppendEncode(dst []byte, hdr Header, msg Message) []byte {
 	return msg.encodeBody(appendHeader(dst, hdr, msg.Type()))
 }
 
+// PeekSession extracts the session id from an encoded datagram
+// without decoding the rest — the hot path of a session-fabric demux
+// routing one shared port's traffic to per-session endpoints. It
+// reports false when b is too short to hold a header or does not
+// carry SSTP magic and version; routing decisions need no more
+// validation than that, because the per-session endpoint fully
+// decodes (and rejects) the datagram anyway.
+func PeekSession(b []byte) (uint64, bool) {
+	if len(b) < headerLen || binary.BigEndian.Uint32(b) != Magic || b[4] != Version {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(b[7:]), true
+}
+
 // Decode parses a datagram into its header and message.
 func Decode(b []byte) (Header, Message, error) {
 	var hdr Header

@@ -333,3 +333,44 @@ func TestAppendEncodeZeroAlloc(t *testing.T) {
 		t.Errorf("AppendEncode into sized buffer: %v allocs/op, want 0", allocs)
 	}
 }
+
+func TestPeekSession(t *testing.T) {
+	for _, msg := range []Message{
+		&Data{Key: "a/b", Ver: 7, Value: []byte("v")},
+		&Summary{Count: 3},
+		&NACK{Keys: []string{"a/b"}},
+		&Heartbeat{},
+		&Goodbye{},
+	} {
+		b := Encode(Header{Session: 0xdeadbeefcafe, Sender: 9, Seq: 42, Scope: 5}, msg)
+		got, ok := PeekSession(b)
+		if !ok || got != 0xdeadbeefcafe {
+			t.Errorf("%s: PeekSession = (%#x, %v), want (0xdeadbeefcafe, true)", msg.Type(), got, ok)
+		}
+		// Peek must agree with the full decode.
+		hdr, _, err := Decode(b)
+		if err != nil || hdr.Session != got {
+			t.Errorf("%s: Decode session %#x vs peek %#x (err %v)", msg.Type(), hdr.Session, got, err)
+		}
+	}
+}
+
+func TestPeekSessionRejects(t *testing.T) {
+	good := Encode(Header{Session: 1}, &Heartbeat{})
+	if _, ok := PeekSession(good[:HeaderLen-1]); ok {
+		t.Error("short datagram accepted")
+	}
+	if _, ok := PeekSession(nil); ok {
+		t.Error("nil datagram accepted")
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff
+	if _, ok := PeekSession(bad); ok {
+		t.Error("bad magic accepted")
+	}
+	bad = append(bad[:0], good...)
+	bad[4] = Version + 1
+	if _, ok := PeekSession(bad); ok {
+		t.Error("bad version accepted")
+	}
+}

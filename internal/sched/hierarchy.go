@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"sync"
 
 	"softstate/internal/obs"
 )
@@ -14,7 +15,14 @@ import (
 //
 // Leaves carry the Scheduler class ids handed to the transport. The
 // tree composes any Scheduler implementation at each interior node.
+//
+// Hierarchy is safe for concurrent use: an internal mutex serializes
+// Pick/Charge against weight retuning (SetWeight/SetNodeWeight) and
+// tree growth, so a controller — the session fabric retunes tenant
+// weights at runtime — may adjust shares while the transport's pick
+// loop runs.
 type Hierarchy struct {
+	mu     sync.Mutex
 	root   *Node
 	leaves []*Node
 	mk     func() Scheduler
@@ -23,10 +31,9 @@ type Hierarchy struct {
 	charges []*obs.Counter // per-leaf sched_charge_bits_total
 
 	// curReady holds the caller's readiness predicate for the duration
-	// of one Pick, so each interior node can use a pre-built closure
-	// instead of allocating one per descent level per call. Hierarchy
-	// is not safe for concurrent use (callers serialize, e.g. under
-	// the SSTP sender's mutex).
+	// of one Pick (guarded by mu), so each interior node can use a
+	// pre-built closure instead of allocating one per descent level
+	// per call.
 	curReady func(leafID int) bool
 }
 
@@ -39,6 +46,8 @@ func (h *Hierarchy) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	h.picks = make([]*obs.Counter, len(h.leaves))
 	h.charges = make([]*obs.Counter, len(h.leaves))
 	for i, leaf := range h.leaves {
@@ -101,6 +110,8 @@ func (h *Hierarchy) Root() *Node { return h.root }
 // weight among its siblings.
 func (h *Hierarchy) AddNode(parent *Node, name string, weight float64) *Node {
 	checkWeight(weight)
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	h.mustBeInterior(parent)
 	n := &Node{name: name, weight: weight, parent: parent, sched: h.mk()}
 	h.initPickFn(n)
@@ -113,6 +124,12 @@ func (h *Hierarchy) AddNode(parent *Node, name string, weight float64) *Node {
 // LeafID is the id used with Pick/Charge.
 func (h *Hierarchy) AddLeaf(parent *Node, name string, weight float64) *Node {
 	checkWeight(weight)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.addLeafLocked(parent, name, weight)
+}
+
+func (h *Hierarchy) addLeafLocked(parent *Node, name string, weight float64) *Node {
 	h.mustBeInterior(parent)
 	n := &Node{name: name, weight: weight, parent: parent, leafID: len(h.leaves)}
 	n.childIdx = parent.sched.Add(weight)
@@ -131,11 +148,18 @@ func (h *Hierarchy) mustBeInterior(n *Node) {
 }
 
 // Leaves returns the number of leaf classes.
-func (h *Hierarchy) Leaves() int { return len(h.leaves) }
+func (h *Hierarchy) Leaves() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.leaves)
+}
 
-// SetNodeWeight changes a node's share among its siblings.
+// SetNodeWeight changes a node's share among its siblings. Safe to
+// call while another goroutine is inside Pick or Charge.
 func (h *Hierarchy) SetNodeWeight(n *Node, weight float64) {
 	checkWeight(weight)
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	n.weight = weight
 	if n.parent != nil {
 		n.parent.sched.SetWeight(n.childIdx, weight)
@@ -147,6 +171,8 @@ func (h *Hierarchy) SetNodeWeight(n *Node, weight float64) {
 // returns the chosen leaf's id. Pick allocates nothing: pass a
 // persistent ready closure and the whole descent is allocation-free.
 func (h *Hierarchy) Pick(ready func(leafID int) bool) (int, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	h.curReady = ready
 	defer func() { h.curReady = nil }()
 	n := h.root
@@ -178,6 +204,8 @@ func (h *Hierarchy) subtreeReady(n *Node, ready func(int) bool) bool {
 // Charge accounts service to the leaf and every ancestor's scheduler,
 // so sharing is enforced at each level of the tree.
 func (h *Hierarchy) Charge(leafID int, units float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if leafID < 0 || leafID >= len(h.leaves) {
 		panic(fmt.Sprintf("sched: leaf id %d out of range", leafID))
 	}
@@ -192,11 +220,29 @@ func (h *Hierarchy) Charge(leafID int, units float64) {
 // Add implements Scheduler by creating a leaf directly under the
 // root, so a flat Hierarchy is a drop-in Scheduler.
 func (h *Hierarchy) Add(weight float64) int {
-	return h.AddLeaf(h.root, fmt.Sprintf("leaf%d", len(h.leaves)), weight).leafID
+	checkWeight(weight)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.addLeafLocked(h.root, fmt.Sprintf("leaf%d", len(h.leaves)), weight).leafID
 }
 
 // Weight implements Scheduler for root-level leaves.
-func (h *Hierarchy) Weight(id int) float64 { return h.leaves[id].weight }
+func (h *Hierarchy) Weight(id int) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.leaves[id].weight
+}
 
-// SetWeight implements Scheduler weight updates by leaf id.
-func (h *Hierarchy) SetWeight(id int, weight float64) { h.SetNodeWeight(h.leaves[id], weight) }
+// SetWeight implements Scheduler weight updates by leaf id. Safe to
+// call while another goroutine is inside Pick or Charge — the fabric
+// retunes tenant weights at runtime against live pick loops.
+func (h *Hierarchy) SetWeight(id int, weight float64) {
+	checkWeight(weight)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := h.leaves[id]
+	n.weight = weight
+	if n.parent != nil {
+		n.parent.sched.SetWeight(n.childIdx, weight)
+	}
+}

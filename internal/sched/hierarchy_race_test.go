@@ -1,0 +1,71 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHierarchyConcurrentRetune pins that runtime weight retuning
+// (SetWeight / SetNodeWeight) is safe against a concurrent Pick/Charge
+// loop — the session fabric adjusts tenant shares while the sender's
+// pick loop is live. Run under -race this fails loudly if the internal
+// lock ever regresses.
+func TestHierarchyConcurrentRetune(t *testing.T) {
+	h := NewHierarchy(func() Scheduler { return NewStride() })
+	data := h.AddNode(h.Root(), "data", 1)
+	hot := h.AddLeaf(data, "hot", 0.9)
+	cold := h.AddLeaf(data, "cold", 0.1)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // transport pick loop
+		defer wg.Done()
+		ready := func(int) bool { return true }
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if id, ok := h.Pick(ready); ok {
+				h.Charge(id, 8*1400)
+			}
+		}
+	}()
+	go func() { // leaf-weight retuner (profile-driven reallocation path)
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			w := 0.1 + float64(i%8)/10
+			h.SetWeight(hot.LeafID(), w)
+			h.SetWeight(cold.LeafID(), 1-w)
+			_ = h.Weight(hot.LeafID())
+		}
+	}()
+	go func() { // node-weight retuner (fabric tenant share path)
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			h.SetNodeWeight(data, 0.5+float64(i%10)/10)
+		}
+	}()
+
+	time.Sleep(100 * time.Millisecond)
+	close(done)
+	wg.Wait()
+
+	// The tree must still schedule after the storm.
+	if _, ok := h.Pick(func(int) bool { return true }); !ok {
+		t.Fatal("hierarchy stopped scheduling after concurrent retune")
+	}
+}

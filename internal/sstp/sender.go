@@ -341,6 +341,13 @@ type Sender struct {
 	// the loop has already picked. Guarded by mu.
 	goodbyePending bool
 
+	// Driven mode (StartDriven/NextWire): the fields below are owned
+	// by the single driving goroutine, mirroring sendLoop's locals.
+	driven      bool
+	nextSummary time.Time
+	lastSweep   float64
+	ctlBuf      []byte // control datagrams built by NextWire
+
 	done chan struct{}
 	wg   sync.WaitGroup
 	once sync.Once
@@ -461,9 +468,107 @@ func (s *Sender) sweep(now float64) {
 
 // Start launches the announcement and control loops.
 func (s *Sender) Start() {
+	if s.driven {
+		panic("sstp: Start after StartDriven")
+	}
 	s.wg.Add(2)
 	go s.sendLoop()
 	go s.recvLoop()
+}
+
+// StartDriven launches only the feedback loop: announcement datagrams
+// are pulled by an external driver (the session fabric) via NextWire
+// instead of pushed by an owned send loop, so thousands of sessions
+// share one writer goroutine and one socket. The sender's own token
+// bucket still meters this session's demand — NextWire reports "not
+// ready" when the session is out of tokens — so per-session rate
+// configuration keeps meaning under a shared link. Use either Start
+// or StartDriven, never both.
+func (s *Sender) StartDriven() {
+	s.driven = true
+	s.nextSummary = time.Now().Add(s.cfg.SummaryInterval)
+	s.wg.Add(1)
+	go s.recvLoop()
+}
+
+// NextWire returns the sender's next wire-ready datagram: a pending
+// Goodbye, a due summary (or heartbeat), or the next coalesced
+// announcement, in that priority order. ok=false means the session
+// has nothing to send right now — nothing queued, or its token bucket
+// is drained. The returned buffer is owned by the sender and valid
+// only until the next NextWire call; drivers copy it out. Only the
+// single driving goroutine may call NextWire, and only on a sender
+// started with StartDriven.
+func (s *Sender) NextWire() ([]byte, bool) {
+	s.mu.Lock()
+	goodbye := s.goodbyePending
+	s.goodbyePending = false
+	s.mu.Unlock()
+	if goodbye {
+		return s.encodeControl(&protocol.Goodbye{}), true
+	}
+	if now := time.Now(); now.After(s.nextSummary) {
+		s.nextSummary = now.Add(s.cfg.SummaryInterval)
+		return s.summaryWire(), true
+	}
+	now := nowSeconds()
+	if now-s.lastSweep > 0.05 {
+		s.lastSweep = now
+		s.sweep(now)
+	}
+	s.mu.Lock()
+	ready := s.bucket.Balance(now) > 0
+	s.mu.Unlock()
+	if !ready {
+		return nil, false
+	}
+	buf, ok := s.nextDatagram()
+	if !ok {
+		return nil, false
+	}
+	s.mu.Lock()
+	s.bucket.Take(nowSeconds(), float64(8*len(buf)))
+	s.mu.Unlock()
+	return buf, true
+}
+
+// summaryWire is sendSummary for driven senders: it builds the
+// summary (or heartbeat) datagram instead of transmitting it, and
+// leaves pacing to the driver.
+func (s *Sender) summaryWire() []byte {
+	digest, count := s.rootSummary()
+	var msg protocol.Message
+	if count == 0 {
+		msg = &protocol.Heartbeat{}
+		s.mu.Lock()
+		s.stats.HeartbeatsSent++
+		s.mu.Unlock()
+		s.m.heartbeats.Inc()
+	} else {
+		sum := &protocol.Summary{Count: uint32(count)}
+		copy(sum.Digest[:], digest[:])
+		msg = sum
+		s.mu.Lock()
+		s.stats.SummariesSent++
+		s.mu.Unlock()
+		s.m.summaries.Inc()
+	}
+	return s.encodeControl(msg)
+}
+
+// encodeControl seals one control message into the driven sender's
+// control buffer (valid until the next NextWire call), charging the
+// session bucket the true datagram size.
+func (s *Sender) encodeControl(msg protocol.Message) []byte {
+	s.mu.Lock()
+	s.seq++
+	hdr := protocol.Header{Session: s.cfg.Session, Sender: s.cfg.SenderID, Seq: s.seq, Scope: s.scope}
+	s.ctlBuf = protocol.AppendEncode(s.ctlBuf[:0], hdr, msg)
+	s.stats.BytesSent += len(s.ctlBuf)
+	s.m.txBits.Add(uint64(8 * len(s.ctlBuf)))
+	s.bucket.Take(nowSeconds(), float64(8*len(s.ctlBuf)))
+	s.mu.Unlock()
+	return s.ctlBuf
 }
 
 // Close stops the sender and sends a final Goodbye. The Goodbye goes
