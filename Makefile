@@ -1,9 +1,17 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench benchfast benchjson loadsmoke relaysmoke scalesmoke fuzzsmoke obssmoke fabricsmoke crosssmoke staticcheck
+.PHONY: check build vet fmt test race bench benchfast benchjson loadsmoke relaysmoke scalesmoke fuzzsmoke obssmoke fabricsmoke transportsmoke crosssmoke staticcheck
 
 ## check: the extended tier-1 gate — everything a PR must keep green.
-check: fmt vet build race bench loadsmoke relaysmoke fuzzsmoke obssmoke scalesmoke fabricsmoke crosssmoke
+check: fmt vet build race bench loadsmoke relaysmoke fuzzsmoke obssmoke scalesmoke fabricsmoke transportsmoke crosssmoke
+
+## transportsmoke: the pluggable-wire gate — an in-process relay
+## bridging a 5%-lossy UDP leg to a framed-TCP leg must converge (the
+## repair machinery covering the datagram leg, the stream framing
+## preserving datagram boundaries), then a verified-TLS handshake
+## smoke with a generated self-signed pair.
+transportsmoke:
+	$(GO) run ./cmd/ssload -transport-smoke
 
 ## fabricsmoke: 64 tenant sessions multiplexed over one shared socket,
 ## with one 10x-bursty tenant; fails unless every tenant converges
@@ -108,8 +116,10 @@ benchfast:
 ## (GOMAXPROCS sweep over the striped/coalescing hot path plus the
 ## million-record convergence run), and BENCH_ssfabric.json (1024
 ## tenant sessions over one shared link: per-tenant fair-queueing
-## isolation vs the FIFO baseline); formats documented in
-## EXPERIMENTS.md.
+## isolation vs the FIFO baseline), and BENCH_sstransport.json (the
+## quick profile over udp vs tcp vs tls with identical injected loss:
+## t_rec quantiles plus datagrams/bytes per record); formats
+## documented in EXPERIMENTS.md.
 benchjson:
 	$(GO) run ./cmd/ssbench -quick -all -json > BENCH_ssbench.json
 	$(GO) run ./cmd/ssload -records 512 -receivers 4 -duration 5s -loss 0.02 -json > BENCH_ssload.json
@@ -117,3 +127,4 @@ benchjson:
 	$(GO) run ./cmd/ssload -relay-depth 2 -relay-fanout 2 -records 256 -duration 8s -loss 0.05 -jitter 5ms -json > BENCH_ssvis.json
 	$(GO) run ./cmd/ssload -scale -json > BENCH_ssscale.json
 	$(GO) run ./cmd/ssload -sessions 1024 -duration 2s -loss 0.02 -json > BENCH_ssfabric.json
+	$(GO) run ./cmd/ssload -transport-compare -json > BENCH_sstransport.json

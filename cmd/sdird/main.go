@@ -31,18 +31,40 @@ import (
 	"softstate/internal/sdir"
 	"softstate/internal/sstp"
 	"softstate/internal/trace"
+	"softstate/internal/transport"
 )
 
 func main() {
 	announce := flag.Bool("announce", false, "run as announcer")
 	browse := flag.Bool("browse", false, "run as browser")
-	laddr := flag.String("laddr", "127.0.0.1:9875", "local UDP address")
+	laddr := flag.String("laddr", "127.0.0.1:9875", "local address (bare host:port or scheme://host:port)")
 	peer := flag.String("dest", "127.0.0.1:9876", "announcer: destination address")
 	sender := flag.String("sender", "127.0.0.1:9875", "browser: announcer address for feedback")
 	session := flag.Uint64("session", 9875, "SSTP session id")
 	rate := flag.Float64("rate", 64_000, "session bandwidth (bits/s)")
 	admin := flag.String("admin", "", "serve /metrics, /stats.json, /trace, /debug/pprof on this address")
+	transportName := flag.String("transport", "udp", "wire transport for bare addresses: udp, tcp, or tls")
+	tlsCert := flag.String("tlscert", "", "TLS certificate PEM (tls transport; empty generates self-signed)")
+	tlsKey := flag.String("tlskey", "", "TLS private key PEM")
+	tlsCA := flag.String("tlsca", "", "CA PEM: verify dialed peers and require client certs (mTLS)")
+	tlsName := flag.String("tlsname", "", "expected server name on dialed TLS peers")
 	flag.Parse()
+
+	topts, err := transport.TLSOptions(*tlsCert, *tlsKey, *tlsCA, *tlsName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bind := func(la, dst string) (transport.Conn, net.Addr) {
+		tr, conn, err := transport.Bind(la, *transportName, topts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		addr, err := transport.Resolve(tr, dst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return conn, addr
+	}
 
 	reg := obs.New("sdird")
 	ring := trace.NewSafe(4096)
@@ -57,24 +79,18 @@ func main() {
 
 	switch {
 	case *announce:
-		runAnnouncer(*laddr, *peer, *session, *rate, reg, ring)
+		conn, dst := bind(*laddr, *peer)
+		runAnnouncer(conn, dst, *laddr, *peer, *session, *rate, reg, ring)
 	case *browse:
-		runBrowser(*laddr, *sender, *session, reg, ring)
+		conn, dst := bind(*laddr, *sender)
+		runBrowser(conn, dst, *laddr, *session, reg, ring)
 	default:
 		fmt.Fprintln(os.Stderr, "need -announce or -browse")
 		os.Exit(2)
 	}
 }
 
-func runAnnouncer(laddr, dest string, session uint64, rate float64, reg *obs.Registry, ring *trace.Ring) {
-	conn, err := net.ListenPacket("udp", laddr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	dst, err := net.ResolveUDPAddr("udp", dest)
-	if err != nil {
-		log.Fatal(err)
-	}
+func runAnnouncer(conn transport.Conn, dst net.Addr, laddr, dest string, session uint64, rate float64, reg *obs.Registry, ring *trace.Ring) {
 	sndr, err := sstp.NewSender(sstp.SenderConfig{
 		Session: session, SenderID: uint64(time.Now().UnixNano()),
 		Conn: conn, Dest: dst, TotalRate: rate,
@@ -134,15 +150,7 @@ func runAnnouncer(laddr, dest string, session uint64, rate float64, reg *obs.Reg
 	waitForInterrupt()
 }
 
-func runBrowser(laddr, senderAddr string, session uint64, reg *obs.Registry, ring *trace.Ring) {
-	conn, err := net.ListenPacket("udp", laddr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	dst, err := net.ResolveUDPAddr("udp", senderAddr)
-	if err != nil {
-		log.Fatal(err)
-	}
+func runBrowser(conn transport.Conn, dst net.Addr, laddr string, session uint64, reg *obs.Registry, ring *trace.Ring) {
 	browser, rcv, err := sdir.NewBrowser(sstp.ReceiverConfig{
 		Session: session, ReceiverID: uint64(os.Getpid()),
 		Conn: conn, FeedbackDest: dst,

@@ -7,8 +7,11 @@
 //
 //	ssload                      # 512 records x 4 receivers over memconn, 5 s
 //	ssload -records 4096 -receivers 16 -rate 4e6
-//	ssload -loss 0.05           # 5% loss on every link
-//	ssload -udp                 # UDP loopback fan-out instead of memconn
+//	ssload -loss 0.05           # 5% loss on every link (memconn only)
+//	ssload -transport udp       # loopback fan-out over real sockets
+//	ssload -transport tls -quick# same smoke over framed TLS streams
+//	ssload -transport-smoke     # udp→tcp bridging relay + TLS gate
+//	ssload -transport-compare   # udp vs tcp vs tls; BENCH_sstransport.json
 //	ssload -quick               # small smoke run; exit 1 unless converged
 //	ssload -json                # emit a BENCH_ssload.json record on stdout
 //	ssload -admin 127.0.0.1:0   # live /metrics + /stats.json during the run
@@ -20,9 +23,12 @@
 // By default the session runs over the in-process MemNetwork with the
 // sender and every receiver joined to one multicast group, so NACK
 // suppression and peer damping behave as on a real multicast tree.
-// With -udp each receiver binds its own loopback socket and the
-// sender fans announcements out by unicast; receivers then cannot
-// overhear each other's NACKs, so suppression counts drop to zero.
+// With -transport udp|tcp|tls (-udp is shorthand for udp) each
+// receiver binds its own loopback conn and the sender fans
+// announcements out by unicast; receivers then cannot overhear each
+// other's NACKs, so suppression counts drop to zero. The loss/jitter
+// knobs are memconn-only — the real-socket runs inject loss where
+// they need it (-transport-smoke, -transport-compare).
 //
 // The JSON record (see EXPERIMENTS.md) carries the live measurements
 // plus a "micro" section of single-threaded probes and the pinned
@@ -46,6 +52,7 @@ import (
 	"softstate/internal/sstp"
 	"softstate/internal/staleness"
 	"softstate/internal/table"
+	"softstate/internal/transport"
 )
 
 // result is the -json output, the format of BENCH_ssload.json.
@@ -146,7 +153,10 @@ func main() {
 	loss := flag.Float64("loss", 0, "per-link loss probability (memconn only)")
 	jitter := flag.Duration("jitter", 0, "per-link delivery jitter (memconn only)")
 	updates := flag.Float64("update", 50, "value updates per second during load")
-	udp := flag.Bool("udp", false, "UDP loopback unicast fan-out instead of memconn")
+	transportName := flag.String("transport", "mem", "wire transport: mem, udp, tcp, or tls (loopback fan-out for the real ones)")
+	udp := flag.Bool("udp", false, "shorthand for -transport udp")
+	tSmoke := flag.Bool("transport-smoke", false, "run the udp-to-tcp bridging relay + TLS handshake smoke and exit")
+	tCompare := flag.Bool("transport-compare", false, "run the quick profile over udp, tcp, and tls; emits a BENCH_sstransport.json record")
 	quick := flag.Bool("quick", false, "small smoke run; exit 1 unless all receivers converge")
 	jsonOut := flag.Bool("json", false, "emit a BENCH_ssload.json record on stdout")
 	seed := flag.Int64("seed", 1, "suppression-slotting seed")
@@ -168,6 +178,32 @@ func main() {
 	if *batch < 1 {
 		*batch = 1
 	}
+	if *udp {
+		*transportName = "udp"
+	}
+	switch *transportName {
+	case "mem", "udp", "tcp", "tls":
+	default:
+		fmt.Fprintf(os.Stderr, "ssload: unknown -transport %q (want mem, udp, tcp, or tls)\n", *transportName)
+		os.Exit(2)
+	}
+
+	if *tSmoke {
+		if err := runTransportSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "ssload: transport smoke FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("ssload -transport-smoke: ok")
+		return
+	}
+	if *tCompare {
+		runTransportCompare(transportCompareOpts{
+			records: *records, receivers: *nRecv, rate: *rate,
+			valueLen: *valueLen, updates: *updates, duration: *duration,
+			seed: *seed, jsonOut: *jsonOut, quick: *quick,
+		})
+		return
+	}
 
 	if *scale {
 		runScale(scaleOpts{
@@ -178,8 +214,8 @@ func main() {
 	}
 
 	if *sessions > 0 {
-		if *udp {
-			fmt.Fprintln(os.Stderr, "ssload: -sessions requires memconn transport")
+		if *transportName != "mem" {
+			fmt.Fprintln(os.Stderr, "ssload: -sessions requires the mem transport")
 			os.Exit(2)
 		}
 		o := fabricOpts{
@@ -213,13 +249,13 @@ func main() {
 		*duration = 1 * time.Second
 		*updates = 20
 	}
-	if (*loss > 0 || *jitter > 0) && *udp {
-		fmt.Fprintln(os.Stderr, "ssload: -loss and -jitter require memconn transport")
+	if (*loss > 0 || *jitter > 0) && *transportName != "mem" {
+		fmt.Fprintln(os.Stderr, "ssload: -loss and -jitter require the mem transport")
 		os.Exit(2)
 	}
 	if *relayDepth > 0 {
-		if *udp {
-			fmt.Fprintln(os.Stderr, "ssload: -relay-depth requires memconn transport")
+		if *transportName != "mem" {
+			fmt.Fprintln(os.Stderr, "ssload: -relay-depth requires the mem transport")
 			os.Exit(2)
 		}
 		runRelayTree(relayOpts{
@@ -239,8 +275,8 @@ func main() {
 		Transport: "memconn", Baseline: seedBaseline,
 		Meta: runmeta.Collect(),
 	}
-	if *udp {
-		res.Transport = "udp"
+	if *transportName != "mem" {
+		res.Transport = *transportName
 	}
 
 	reg := obs.New("ssload") // shared: receiver series aggregate
@@ -255,7 +291,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "ssload: admin endpoint on http://%s/\n", addr)
 	}
-	senderConn, receiverConns, dest, feedback, err := buildTransport(*udp, *nRecv, *loss, *jitter, *seed)
+	senderConn, receiverConns, dest, feedback, err := buildTransport(*transportName, *nRecv, *loss, *jitter, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ssload:", err)
 		os.Exit(1)
@@ -471,12 +507,13 @@ func convergedCount(s *sstp.Sender, rcvs []*sstp.Receiver) int {
 	return n
 }
 
-// buildTransport wires either the in-process multicast MemNetwork or
-// a UDP loopback unicast fan-out, returning the sender conn, one conn
-// per receiver, the sender's announce destination, and the receivers'
+// buildTransport wires the load topology over the named transport:
+// the in-process multicast MemNetwork, or a loopback unicast fan-out
+// over udp, tcp, or tls. It returns the sender conn, one conn per
+// receiver, the sender's announce destination, and the receivers'
 // feedback destination.
-func buildTransport(udp bool, nRecv int, loss float64, jitter time.Duration, seed int64) (net.PacketConn, []net.PacketConn, net.Addr, net.Addr, error) {
-	if !udp {
+func buildTransport(scheme string, nRecv int, loss float64, jitter time.Duration, seed int64) (net.PacketConn, []net.PacketConn, net.Addr, net.Addr, error) {
+	if scheme == "mem" {
 		nw := sstp.NewMemNetwork(seed)
 		nw.SetDefaultLoss(loss)
 		nw.SetDefaultJitter(jitter)
@@ -491,22 +528,33 @@ func buildTransport(udp bool, nRecv int, loss float64, jitter time.Duration, see
 		}
 		return sc, conns, group, group, nil
 	}
-	sc, err := net.ListenPacket("udp4", "127.0.0.1:0")
+	tr, err := transport.New(scheme, transport.Options{})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	sc, err := tr.Listen("127.0.0.1:0")
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
 	conns := make([]net.PacketConn, nRecv)
 	addrs := make([]net.Addr, nRecv)
 	for i := 0; i < nRecv; i++ {
-		c, err := net.ListenPacket("udp4", "127.0.0.1:0")
+		c, err := tr.Listen("127.0.0.1:0")
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
 		conns[i] = c
-		addrs[i] = c.LocalAddr()
+		addrs[i], err = tr.Resolve(c.LocalAddr().String())
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
+	feedback, err := tr.Resolve(sc.LocalAddr().String())
+	if err != nil {
+		return nil, nil, nil, nil, err
 	}
 	fan := &fanoutConn{PacketConn: sc, dests: addrs}
-	return fan, conns, addrs[0], sc.LocalAddr(), nil
+	return fan, conns, addrs[0], feedback, nil
 }
 
 // fanoutConn emulates multicast over unicast UDP: every WriteTo is

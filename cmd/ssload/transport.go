@@ -1,0 +1,443 @@
+package main
+
+// Transport modes of ssload:
+//
+//   - -transport-smoke: the CI gate for the pluggable wire. A relay
+//     bridges a 5%-lossy UDP "datacenter" leg to a framed-TCP "WAN"
+//     leg and the far side must still converge (loss repaired by NACK
+//     over udp, datagram boundaries preserved over tcp); then a real
+//     TLS handshake smoke with a generated self-signed pair, verified
+//     by the client against the pinned certificate.
+//
+//   - -transport-compare: the quick profile run over udp, tcp, and
+//     tls back-to-back with identical injected sender-side loss, so
+//     t_rec and datagram overhead are comparable across wires — the
+//     BENCH_sstransport.json record.
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"softstate/internal/obs"
+	"softstate/internal/relay"
+	"softstate/internal/runmeta"
+	"softstate/internal/sstp"
+	"softstate/internal/transport"
+	"softstate/internal/xrand"
+)
+
+// lossyConn drops a Bernoulli fraction of WriteTo datagrams before
+// they reach the wire — deterministic injected loss for transports
+// whose real links (loopback) never drop. The sstp layer sees a
+// successful send, exactly like a router dropping in flight.
+type lossyConn struct {
+	net.PacketConn
+	p   float64
+	rnd *xrand.Rand
+}
+
+func (l *lossyConn) WriteTo(b []byte, addr net.Addr) (int, error) {
+	if l.rnd.Bernoulli(l.p) {
+		return len(b), nil
+	}
+	return l.PacketConn.WriteTo(b, addr)
+}
+
+func runTransportSmoke() error {
+	if err := smokeBridge(); err != nil {
+		return fmt.Errorf("udp->tcp bridge: %w", err)
+	}
+	if err := smokeTLS(); err != nil {
+		return fmt.Errorf("tls handshake: %w", err)
+	}
+	return nil
+}
+
+// smokeBridge runs publisher --udp(5% loss)--> relay --tcp--> leaf and
+// requires the leaf to converge to the publisher's digest: the relay
+// is a transport bridge, and the soft-state repair machinery covers
+// the lossy datagram leg while the framed stream leg carries the very
+// same protocol bytes.
+func smokeBridge() error {
+	const records = 64
+
+	udpT := transport.UDP{}
+	tcpT, err := transport.New("tcp", transport.Options{})
+	if err != nil {
+		return err
+	}
+
+	pubConn, err := udpT.Listen("127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("listen udp: %w", err)
+	}
+	defer pubConn.Close()
+	upConn, err := udpT.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer upConn.Close()
+	dnConn, err := tcpT.Listen("127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("listen tcp: %w", err)
+	}
+	defer dnConn.Close()
+	leafConn, err := tcpT.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer leafConn.Close()
+
+	leafDest, err := tcpT.Resolve(leafConn.LocalAddr().String())
+	if err != nil {
+		return err
+	}
+	dnAddr, err := tcpT.Resolve(dnConn.LocalAddr().String())
+	if err != nil {
+		return err
+	}
+
+	pub, err := sstp.NewSender(sstp.SenderConfig{
+		Session: 9, SenderID: 1,
+		Conn:      &lossyConn{PacketConn: pubConn, p: 0.05, rnd: xrand.New(7)},
+		Dest:      upConn.LocalAddr(),
+		TotalRate: 1_000_000, SummaryInterval: 100 * time.Millisecond,
+		TTL: 30 * time.Second, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	defer pub.Close()
+
+	r, err := relay.New(relay.Config{
+		Session: 9, RelayID: 100,
+		UpstreamConn: upConn, UpstreamFeedback: pubConn.LocalAddr(),
+		Downstreams: []relay.Downstream{{
+			Conn: dnConn, Dest: leafDest, Rate: 1_000_000,
+		}},
+		SummaryInterval: 100 * time.Millisecond,
+		NACKWindow:      30 * time.Millisecond,
+		Seed:            2,
+	})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	leaf, err := sstp.NewReceiver(sstp.ReceiverConfig{
+		Session: 9, ReceiverID: 1000, Conn: leafConn,
+		FeedbackDest: dnAddr,
+		NACKWindow:   30 * time.Millisecond,
+		Seed:         3,
+	})
+	if err != nil {
+		return err
+	}
+	defer leaf.Close()
+
+	pub.Start()
+	r.Start()
+	leaf.Start()
+	for i := 0; i < records; i++ {
+		if err := pub.Publish(fmt.Sprintf("bridge/%02d", i), []byte("datacenter-to-wan"), 0); err != nil {
+			return err
+		}
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		want := pub.RootDigest()
+		if r.Len() == records && r.RootDigest() == want &&
+			leaf.Len() == records && leaf.RootDigest() == want {
+			return nil
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("no convergence: relay %d/%d records, leaf %d/%d",
+		r.Len(), records, leaf.Len(), records)
+}
+
+// smokeTLS converges a small session over verified TLS: the server
+// side presents a freshly generated self-signed pair and the client
+// side pins it as its root, so the handshake is a real certificate
+// verification, not InsecureSkipVerify.
+func smokeTLS() error {
+	const records = 16
+
+	cert, certPEM, err := transport.GenerateSelfSigned("softstate-smoke")
+	if err != nil {
+		return err
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(certPEM) {
+		return fmt.Errorf("generated certificate did not parse")
+	}
+	opts := transport.Options{
+		TLSServer: &transport.TLSConfig{Certificates: []tls.Certificate{cert}},
+		TLSClient: &transport.TLSConfig{RootCAs: pool, ServerName: "localhost"},
+	}
+	tlsT, err := transport.New("tls", opts)
+	if err != nil {
+		return err
+	}
+	sc, err := tlsT.Listen("127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("listen tls: %w", err)
+	}
+	defer sc.Close()
+	rc, err := tlsT.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	dest, err := tlsT.Resolve(rc.LocalAddr().String())
+	if err != nil {
+		return err
+	}
+	feedback, err := tlsT.Resolve(sc.LocalAddr().String())
+	if err != nil {
+		return err
+	}
+
+	s, err := sstp.NewSender(sstp.SenderConfig{
+		Session: 10, SenderID: 1, Conn: sc, Dest: dest,
+		TotalRate: 1_000_000, SummaryInterval: 100 * time.Millisecond,
+		TTL: 30 * time.Second, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	r, err := sstp.NewReceiver(sstp.ReceiverConfig{
+		Session: 10, ReceiverID: 2000, Conn: rc, FeedbackDest: feedback,
+		NACKWindow: 30 * time.Millisecond, Seed: 2,
+	})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	s.Start()
+	r.Start()
+	for i := 0; i < records; i++ {
+		if err := s.Publish(fmt.Sprintf("tls/%02d", i), []byte("over the handshake"), 0); err != nil {
+			return err
+		}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if r.Len() == records && r.RootDigest() == s.RootDigest() {
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("no convergence over tls: %d/%d records", r.Len(), records)
+}
+
+// transportCompareOpts parameterizes the udp/tcp/tls comparison.
+type transportCompareOpts struct {
+	records, receivers int
+	rate               float64
+	valueLen           int
+	updates            float64
+	duration           time.Duration
+	seed               int64
+	jsonOut, quick     bool
+}
+
+// transportResult is the -transport-compare JSON output, the format of
+// BENCH_sstransport.json.
+type transportResult struct {
+	Seed       int64        `json:"seed"`
+	Records    int          `json:"records"`
+	Receivers  int          `json:"receivers"`
+	RateBps    float64      `json:"rate_bps"`
+	ValueBytes int          `json:"value_bytes"`
+	Loss       float64      `json:"injected_loss"`
+	DurationMs float64      `json:"duration_ms"`
+	Meta       runmeta.Meta `json:"meta"`
+
+	Runs []transportRun `json:"runs"`
+}
+
+// transportRun is one transport's quick-profile measurement.
+type transportRun struct {
+	Transport         string    `json:"transport"`
+	DataSent          int       `json:"data_sent"`
+	DataDatagramsSent int       `json:"data_datagrams_sent"`
+	BytesSent         int       `json:"bytes_sent"`
+	DgmsPerRecord     float64   `json:"datagrams_per_record"`
+	BytesPerRecord    float64   `json:"bytes_per_record"`
+	Deliveries        int       `json:"deliveries"`
+	NACKsSent         int       `json:"nacks_sent"`
+	Converged         int       `json:"converged"`
+	ConvergeMs        float64   `json:"converge_ms"`
+	TRec              quantiles `json:"t_rec_seconds"`
+}
+
+// runTransportCompare runs the quick profile over udp, tcp, and tls
+// with identical sender-side injected loss (so the repair path — and
+// therefore t_rec — is exercised on every wire, loopback never
+// dropping anything on its own).
+func runTransportCompare(o transportCompareOpts) {
+	const injectedLoss = 0.02
+	// The comparison is a fixed quick profile unless the caller sized
+	// it explicitly; keep runs short, the quantity compared is
+	// per-record overhead and repair latency, not throughput.
+	if o.quick || o.records > 128 {
+		o.records = 64
+	}
+	if o.receivers > 4 {
+		o.receivers = 2
+	}
+	if o.duration > 2*time.Second || o.quick {
+		o.duration = 1500 * time.Millisecond
+	}
+
+	res := transportResult{
+		Seed: o.seed, Records: o.records, Receivers: o.receivers,
+		RateBps: o.rate, ValueBytes: o.valueLen, Loss: injectedLoss,
+		Meta: runmeta.Collect(),
+	}
+	start := time.Now()
+	ok := true
+	for _, scheme := range []string{"udp", "tcp", "tls"} {
+		run, err := compareOne(scheme, o, injectedLoss)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssload: %s: %v\n", scheme, err)
+			ok = false
+			continue
+		}
+		if run.Converged != o.receivers {
+			ok = false
+		}
+		res.Runs = append(res.Runs, run)
+	}
+	res.DurationMs = float64(time.Since(start).Microseconds()) / 1000
+
+	if o.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		must(enc.Encode(res))
+	} else {
+		fmt.Printf("ssload: transport comparison, %d records x %d receivers @ %.0f bps, %.0f%% injected loss\n",
+			o.records, o.receivers, o.rate, 100*injectedLoss)
+		for _, r := range res.Runs {
+			fmt.Printf("  %-4s %5.2f datagrams/record %7.1f bytes/record  t_rec p50=%.3fs p99=%.3fs (n=%d)  converged %d/%d in %.0f ms\n",
+				r.Transport, r.DgmsPerRecord, r.BytesPerRecord,
+				r.TRec.P50, r.TRec.P99, r.TRec.Count,
+				r.Converged, o.receivers, r.ConvergeMs)
+		}
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "ssload: transport comparison FAILED: not every transport converged")
+		os.Exit(1)
+	}
+}
+
+// compareOne runs the profile once over one transport and collects
+// that run's overhead and repair-latency numbers from a private
+// registry.
+func compareOne(scheme string, o transportCompareOpts, loss float64) (transportRun, error) {
+	run := transportRun{Transport: scheme}
+	senderConn, rcvConns, dest, feedback, err := buildTransport(scheme, o.receivers, 0, 0, o.seed)
+	if err != nil {
+		return run, err
+	}
+	senderConn = &lossyConn{PacketConn: senderConn, p: loss, rnd: xrand.New(o.seed + 99)}
+
+	reg := obs.New("ssload-" + scheme)
+	s, err := sstp.NewSender(sstp.SenderConfig{
+		Session: 42, SenderID: 1,
+		Conn: senderConn, Dest: dest,
+		TotalRate:       o.rate,
+		SummaryInterval: 150 * time.Millisecond,
+		TTL:             10 * time.Second,
+		Seed:            o.seed,
+	})
+	if err != nil {
+		return run, err
+	}
+	defer s.Close()
+	var rcvs []*sstp.Receiver
+	for i := 0; i < o.receivers; i++ {
+		r, err := sstp.NewReceiver(sstp.ReceiverConfig{
+			Session: 42, ReceiverID: uint64(100 + i),
+			Conn: rcvConns[i], FeedbackDest: feedback,
+			NACKWindow: 50 * time.Millisecond,
+			Obs:        reg,
+			Seed:       o.seed + int64(i),
+		})
+		if err != nil {
+			return run, err
+		}
+		defer r.Close()
+		rcvs = append(rcvs, r)
+	}
+
+	value := make([]byte, o.valueLen)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	for i := 0; i < o.records; i++ {
+		if err := s.Publish(key(i), value, 0); err != nil {
+			return run, err
+		}
+	}
+	s.Start()
+	for _, r := range rcvs {
+		r.Start()
+	}
+
+	tick := time.NewTicker(time.Duration(float64(time.Second) / maxf(o.updates, 1)))
+	startLoad := time.Now()
+	upd := 0
+	for time.Since(startLoad) < o.duration {
+		<-tick.C
+		if o.updates > 0 {
+			if err := s.Publish(key(upd%o.records), value, 0); err != nil {
+				tick.Stop()
+				return run, err
+			}
+			upd++
+		}
+	}
+	tick.Stop()
+
+	convStart := time.Now()
+	deadline := convStart.Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if convergedCount(s, rcvs) == len(rcvs) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	run.ConvergeMs = float64(time.Since(convStart).Microseconds()) / 1000
+	run.Converged = convergedCount(s, rcvs)
+
+	st := s.Stats()
+	run.DataSent = st.DataSent
+	run.DataDatagramsSent = st.DatagramsSent
+	run.BytesSent = st.BytesSent
+	published := o.records + upd
+	if published > 0 {
+		run.DgmsPerRecord = float64(st.DatagramsSent) / float64(published)
+		run.BytesPerRecord = float64(st.BytesSent) / float64(published)
+	}
+	for _, r := range rcvs {
+		rs := r.Stats()
+		run.Deliveries += rs.DataReceived
+		run.NACKsSent += rs.NACKsSent
+	}
+	for _, sm := range reg.Snapshot() {
+		if sm.Name == "sstp_t_rec_seconds" {
+			run.TRec = quantiles{Count: sm.Count, P50: sm.P50, P95: sm.P95, P99: sm.P99}
+		}
+	}
+	return run, nil
+}

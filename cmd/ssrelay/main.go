@@ -11,7 +11,17 @@
 //
 // Each -down element is LADDR=DEST: the local socket the downstream
 // sender binds and the address (usually a multicast group) its subtree
-// listens on. With -admin ADDR, an HTTP endpoint serves /metrics,
+// listens on. Every address is a URL-style link spec — bare host:port
+// inherits -transport (default udp), an explicit scheme (udp://,
+// tcp://, tls://) wins — and each link picks its transport
+// independently, so a relay bridges transports: UDP multicast inside
+// the datacenter upstream, framed TCP/TLS streams across the WAN
+// downstream (or the reverse):
+//
+//	ssrelay -laddr 127.0.0.1:8702 -upstream 127.0.0.1:8701 \
+//	        -down tls://0.0.0.0:8710=tls://wan-peer:8711
+//
+// With -admin ADDR, an HTTP endpoint serves /metrics,
 // /stats.json, /trace, and /debug/pprof covering both the relay_* and
 // sstp_* series. -quick runs an in-process depth-2 smoke test over a
 // lossy memconn network and exits non-zero on failure.
@@ -21,7 +31,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -31,12 +40,18 @@ import (
 	"softstate/internal/relay"
 	"softstate/internal/sstp"
 	"softstate/internal/trace"
+	"softstate/internal/transport"
 )
 
 func main() {
-	laddr := flag.String("laddr", "127.0.0.1:8702", "local UDP address of the upstream receiver")
+	laddr := flag.String("laddr", "127.0.0.1:8702", "local address of the upstream receiver (bare host:port or scheme://host:port)")
 	upstream := flag.String("upstream", "127.0.0.1:8701", "upstream feedback address (parent sender or its group)")
-	down := flag.String("down", "", "comma-separated downstream links, each LADDR=DEST")
+	down := flag.String("down", "", "comma-separated downstream links, each LADDR=DEST (per-link scheme:// selects that link's transport)")
+	transportName := flag.String("transport", "udp", "default wire transport for bare addresses: udp, tcp, or tls")
+	tlsCert := flag.String("tlscert", "", "TLS certificate PEM (tls links; empty generates self-signed)")
+	tlsKey := flag.String("tlskey", "", "TLS private key PEM")
+	tlsCA := flag.String("tlsca", "", "CA PEM: verify dialed peers and require client certs (mTLS)")
+	tlsName := flag.String("tlsname", "", "expected server name on dialed TLS peers")
 	session := flag.Uint64("session", 1, "session id")
 	relayID := flag.Uint64("relayid", uint64(os.Getpid()), "relay id (downstream senders use relayid+1+i)")
 	rate := flag.Float64("rate", 128_000, "per-downstream-link bandwidth in bits/s")
@@ -64,6 +79,11 @@ func main() {
 		log.Fatalf("-scope %d out of range [0,255]", *scope)
 	}
 
+	topts, err := transport.TLSOptions(*tlsCert, *tlsKey, *tlsCA, *tlsName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	links := strings.Split(*down, ",")
 	if *down == "" {
 		log.Fatal("ssrelay: -down needs at least one LADDR=DEST link")
@@ -74,11 +94,11 @@ func main() {
 		if !ok {
 			log.Fatalf("ssrelay: -down element %q is not LADDR=DEST", l)
 		}
-		conn, err := net.ListenPacket("udp", la)
+		tr, conn, err := transport.Bind(la, *transportName, topts)
 		if err != nil {
 			log.Fatalf("listen %s: %v", la, err)
 		}
-		destAddr, err := net.ResolveUDPAddr("udp", dest)
+		destAddr, err := transport.Resolve(tr, dest)
 		if err != nil {
 			log.Fatalf("resolve %s: %v", dest, err)
 		}
@@ -88,11 +108,11 @@ func main() {
 		})
 	}
 
-	upConn, err := net.ListenPacket("udp", *laddr)
+	upTr, upConn, err := transport.Bind(*laddr, *transportName, topts)
 	if err != nil {
 		log.Fatalf("listen %s: %v", *laddr, err)
 	}
-	upAddr, err := net.ResolveUDPAddr("udp", *upstream)
+	upAddr, err := transport.Resolve(upTr, *upstream)
 	if err != nil {
 		log.Fatalf("resolve upstream %s: %v", *upstream, err)
 	}

@@ -1,37 +1,50 @@
-// Command sstpcat subscribes to an SSTP session over UDP and prints
-// every table update and expiry as it happens — a soft-state analogue
-// of netcat.
+// Command sstpcat subscribes to an SSTP session and prints every
+// table update and expiry as it happens — a soft-state analogue of
+// netcat.
 //
 // Usage:
 //
 //	sstpcat -laddr 127.0.0.1:8702 -sender 127.0.0.1:8701 -session 1
+//	sstpcat -transport tcp -laddr :8702 -sender tcp://pub:8701
+//
+// Addresses are URL-style link specs: bare host:port inherits
+// -transport (default udp), an explicit scheme wins.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"os"
 	"os/signal"
 	"time"
 
 	"softstate/internal/sstp"
+	"softstate/internal/transport"
 )
 
 func main() {
-	laddr := flag.String("laddr", "127.0.0.1:8702", "local UDP address")
+	laddr := flag.String("laddr", "127.0.0.1:8702", "local address (bare host:port or scheme://host:port)")
 	sender := flag.String("sender", "127.0.0.1:8701", "publisher address for feedback")
 	session := flag.Uint64("session", 1, "session id")
 	openLoop := flag.Bool("open-loop", false, "disable feedback (pure announce/listen)")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
+	transportName := flag.String("transport", "udp", "wire transport for bare addresses: udp, tcp, or tls")
+	tlsCert := flag.String("tlscert", "", "TLS certificate PEM (tls transport; empty generates self-signed)")
+	tlsKey := flag.String("tlskey", "", "TLS private key PEM")
+	tlsCA := flag.String("tlsca", "", "CA PEM: verify dialed peers and require client certs (mTLS)")
+	tlsName := flag.String("tlsname", "", "expected server name on dialed TLS peers")
 	flag.Parse()
 
-	conn, err := net.ListenPacket("udp", *laddr)
+	topts, err := transport.TLSOptions(*tlsCert, *tlsKey, *tlsCA, *tlsName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, conn, err := transport.Bind(*laddr, *transportName, topts)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	senderAddr, err := net.ResolveUDPAddr("udp", *sender)
+	senderAddr, err := transport.Resolve(tr, *sender)
 	if err != nil {
 		log.Fatalf("resolve sender: %v", err)
 	}

@@ -1,10 +1,16 @@
 // Command sstpd is an SSTP publisher daemon: it announces a soft-state
-// table over UDP, accepting table operations on stdin and optionally
+// table over any transport (UDP by default, framed TCP or TLS
+// streams), accepting table operations on stdin and optionally
 // driving itself from a built-in demo workload.
 //
 // Usage:
 //
 //	sstpd -laddr 127.0.0.1:8701 -dest 127.0.0.1:8702 -session 1 -rate 128000
+//	sstpd -transport tls -laddr :8701 -dest tls://peer:8702   # framed TLS
+//
+// Addresses are URL-style link specs: bare host:port inherits
+// -transport (default udp), an explicit scheme (udp://, tcp://,
+// tls://) wins. See README "Transports".
 //
 // Stdin commands (one per line):
 //
@@ -30,7 +36,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"os"
 	"os/signal"
 	"strconv"
@@ -42,13 +47,19 @@ import (
 	"softstate/internal/profile"
 	"softstate/internal/sstp"
 	"softstate/internal/trace"
+	"softstate/internal/transport"
 	"softstate/internal/workload"
 	"softstate/internal/xrand"
 )
 
 func main() {
-	laddr := flag.String("laddr", "127.0.0.1:8701", "local UDP address")
+	laddr := flag.String("laddr", "127.0.0.1:8701", "local address (bare host:port or scheme://host:port)")
 	dest := flag.String("dest", "127.0.0.1:8702", "destination address (receiver or multicast group)")
+	transportName := flag.String("transport", "udp", "wire transport for bare addresses: udp, tcp, or tls")
+	tlsCert := flag.String("tlscert", "", "TLS certificate PEM (tls transport; empty generates self-signed)")
+	tlsKey := flag.String("tlskey", "", "TLS private key PEM")
+	tlsCA := flag.String("tlsca", "", "CA PEM: verify dialed peers and require client certs (mTLS)")
+	tlsName := flag.String("tlsname", "", "expected server name on dialed TLS peers")
 	session := flag.Uint64("session", 1, "session id")
 	rate := flag.Float64("rate", 128_000, "session bandwidth in bits/s")
 	ttl := flag.Duration("ttl", 30*time.Second, "announced receiver-side TTL")
@@ -94,11 +105,15 @@ func main() {
 		log.Printf("sstpd: profile-driven allocation on (target %.0f%%)", 100**target)
 	}
 
-	conn, err := net.ListenPacket("udp", *laddr)
+	topts, err := transport.TLSOptions(*tlsCert, *tlsKey, *tlsCA, *tlsName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, conn, err := transport.Bind(*laddr, *transportName, topts)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	destAddr, err := net.ResolveUDPAddr("udp", *dest)
+	destAddr, err := transport.Resolve(tr, *dest)
 	if err != nil {
 		log.Fatalf("resolve dest: %v", err)
 	}

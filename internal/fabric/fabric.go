@@ -12,15 +12,18 @@ import (
 	"softstate/internal/netio"
 	"softstate/internal/obs"
 	"softstate/internal/sstp"
+	"softstate/internal/transport"
 )
 
 // Config parameterizes a session fabric.
 type Config struct {
-	// Conn is the shared link socket. The fabric owns its read side
+	// Conn is the shared link — any transport.Conn (UDP keeps the
+	// sendmmsg batch path; framed TCP/TLS streams and MemConns fall
+	// back to one write per datagram). The fabric owns its read side
 	// (feedback demuxed to tenants' driven senders) and drains the
 	// fair-queueing scheduler into it via one batched writer. The
 	// fabric never closes it; the opener does.
-	Conn net.PacketConn
+	Conn transport.Conn
 
 	// LinkRate caps the aggregate transmit rate in bits/second across
 	// all tenants (0 = unpaced). Tenants' own TotalRate buckets meter

@@ -9,6 +9,7 @@ import (
 	"softstate/internal/obs"
 	"softstate/internal/protocol"
 	"softstate/internal/sstp"
+	"softstate/internal/transport"
 )
 
 // captureDatagrams drains raw datagrams from a MemConn until n have
@@ -290,6 +291,103 @@ func TestFabricMultiTenantConvergence(t *testing.T) {
 	}
 	if err := f.SetWeight(9999, 1); err == nil {
 		t.Fatal("SetWeight on unknown tenant accepted")
+	}
+}
+
+// TestFabricOverTCPStream runs the fabric's shared socket over a
+// framed TCP stream conn: session-id demux is transport-independent
+// (the id lives in the SSTP header, not the wire), so two tenants
+// multiplexed onto one stream listener must both converge, and
+// feedback arriving on the shared conn must route back to the right
+// tenant's sender.
+func TestFabricOverTCPStream(t *testing.T) {
+	tcp, err := transport.New("tcp", transport.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := tcp.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shared.Close()
+	feedback, err := tcp.Resolve(shared.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := New(Config{Conn: shared, LinkRate: 4_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tenants = 2
+	senders := make([]*sstp.Sender, tenants)
+	receivers := make([]*sstp.Receiver, tenants)
+	for i := 0; i < tenants; i++ {
+		rconn, err := tcp.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rconn.Close()
+		dest, err := tcp.Resolve(rconn.LocalAddr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := f.AddSender(sstp.SenderConfig{
+			Session: uint64(300 + i), SenderID: 1,
+			Dest:            dest,
+			TotalRate:       512_000,
+			SummaryInterval: 60 * time.Millisecond,
+			TTL:             time.Hour,
+			Seed:            int64(i + 1),
+		}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		senders[i] = s
+		r, err := sstp.NewReceiver(sstp.ReceiverConfig{
+			Session: uint64(300 + i), ReceiverID: 2,
+			Conn: rconn, FeedbackDest: feedback,
+			NACKWindow: 20 * time.Millisecond,
+			Seed:       int64(i + 100),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Start()
+		receivers[i] = r
+		for k := 0; k < 20; k++ {
+			if err := s.Publish(fmt.Sprintf("t%d/key%02d", i, k),
+				[]byte(fmt.Sprintf("tenant %d record %d", i, k)), time.Hour); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	f.Start()
+	defer func() {
+		f.Close()
+		for _, r := range receivers {
+			r.Close()
+		}
+	}()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		done := 0
+		for i := range senders {
+			if senders[i].RootDigest() == receivers[i].RootDigest() && receivers[i].Len() == 20 {
+				done++
+			}
+		}
+		if done == tenants {
+			return
+		}
+		if time.Now().After(deadline) {
+			for i := range receivers {
+				t.Logf("tenant %d: receiver has %d/20 records", i, receivers[i].Len())
+			}
+			t.Fatal("tenants failed to converge through the fabric over tcp")
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

@@ -35,6 +35,15 @@ func Wrap(pc net.PacketConn) *BatchConn {
 	return &BatchConn{pc: pc, mm: newMMsgConn(pc)}
 }
 
+// WrapPortable returns a BatchConn that always uses the portable
+// one-packet-per-syscall path — the code every non-Linux build runs.
+// Constructible on any platform so the fallback gets direct unit
+// coverage in Linux CI instead of only ever executing on machines the
+// tests never see.
+func WrapPortable(pc net.PacketConn) *BatchConn {
+	return &BatchConn{pc: pc}
+}
+
 // Batched reports whether the kernel batch path is active.
 func (c *BatchConn) Batched() bool { return c.mm != nil }
 

@@ -1,0 +1,153 @@
+package netio
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// These tests drive the portable fallback over real UDP sockets via
+// WrapPortable — the exact combination non-Linux builds run but Linux
+// CI previously never executed (Wrap flips UDP conns onto the mmsg
+// path, and the non-UDP fallback tests use a fake conn).
+
+func TestWrapPortableForcesFallback(t *testing.T) {
+	conn, err := net.ListenPacket("udp4", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no UDP in this environment: %v", err)
+	}
+	defer conn.Close()
+	bc := WrapPortable(conn)
+	if bc.Batched() {
+		t.Fatal("WrapPortable must not enable the kernel batch path")
+	}
+	if bc.Conn() != conn {
+		t.Fatal("Conn() must return the wrapped socket")
+	}
+}
+
+// portablePair returns WrapPortable-wrapped loopback sockets.
+func portablePair(t *testing.T) (tx, rx *BatchConn, rxAddr net.Addr) {
+	t.Helper()
+	a, err := net.ListenPacket("udp4", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no UDP in this environment: %v", err)
+	}
+	b, err := net.ListenPacket("udp4", "127.0.0.1:0")
+	if err != nil {
+		a.Close()
+		t.Skipf("no UDP in this environment: %v", err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return WrapPortable(a), WrapPortable(b), b.LocalAddr()
+}
+
+func TestPortableUDPBatchRoundTrip(t *testing.T) {
+	tx, rx, dest := portablePair(t)
+	const total = 100
+	pkts := make([][]byte, total)
+	for i := range pkts {
+		pkts[i] = []byte(fmt.Sprintf("pkt-%03d", i))
+	}
+	if n, err := tx.WriteBatch(dest, pkts); err != nil || n != total {
+		t.Fatalf("WriteBatch = %d, %v", n, err)
+	}
+
+	rx.Conn().SetReadDeadline(time.Now().Add(2 * time.Second))
+	bufs := [][]byte{make([]byte, 256), make([]byte, 256)}
+	sizes := make([]int, 2)
+	addrs := make([]net.Addr, 2)
+	seen := make(map[string]bool)
+	for len(seen) < total {
+		n, err := rx.ReadBatch(bufs, sizes, addrs)
+		if err != nil {
+			t.Fatalf("ReadBatch after %d/%d: %v", len(seen), total, err)
+		}
+		if n != 1 {
+			t.Fatalf("fallback ReadBatch returned %d packets, want exactly 1", n)
+		}
+		if addrs[0] == nil {
+			t.Fatal("nil source addr")
+		}
+		seen[string(bufs[0][:sizes[0]])] = true
+	}
+	for i := 0; i < total; i++ {
+		if !seen[fmt.Sprintf("pkt-%03d", i)] {
+			t.Errorf("packet %d lost on loopback", i)
+		}
+	}
+}
+
+func TestPortableUDPWriteBatchAddrs(t *testing.T) {
+	tx, rx1, dest1 := portablePair(t)
+	rx2conn, err := net.ListenPacket("udp4", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no UDP in this environment: %v", err)
+	}
+	t.Cleanup(func() { rx2conn.Close() })
+	rx2, dest2 := WrapPortable(rx2conn), rx2conn.LocalAddr()
+
+	const total = 100
+	pkts := make([][]byte, total)
+	dests := make([]net.Addr, total)
+	for i := range pkts {
+		pkts[i] = []byte(fmt.Sprintf("pkt-%03d", i))
+		if i%2 == 0 {
+			dests[i] = dest1
+		} else {
+			dests[i] = dest2
+		}
+	}
+	if n, err := tx.WriteBatchAddrs(pkts, dests); err != nil || n != total {
+		t.Fatalf("WriteBatchAddrs = %d, %v", n, err)
+	}
+
+	drain := func(rx *BatchConn, want, parity int) {
+		rx.Conn().SetReadDeadline(time.Now().Add(2 * time.Second))
+		bufs := [][]byte{make([]byte, 256)}
+		sizes := make([]int, 1)
+		addrs := make([]net.Addr, 1)
+		seen := make(map[string]bool)
+		for len(seen) < want {
+			n, err := rx.ReadBatch(bufs, sizes, addrs)
+			if err != nil {
+				t.Fatalf("receiver %d: ReadBatch after %d/%d: %v", parity, len(seen), want, err)
+			}
+			for i := 0; i < n; i++ {
+				seen[string(bufs[i][:sizes[i]])] = true
+			}
+		}
+		for i := parity; i < total; i += 2 {
+			if !seen[fmt.Sprintf("pkt-%03d", i)] {
+				t.Errorf("receiver %d: packet %d lost or misrouted", parity, i)
+			}
+		}
+	}
+	drain(rx1, total/2, 0)
+	drain(rx2, total/2, 1)
+
+	if _, err := tx.WriteBatchAddrs(pkts, dests[:1]); err == nil {
+		t.Fatal("mismatched packet/destination counts accepted")
+	}
+}
+
+func TestPortableUDPReadDeadline(t *testing.T) {
+	_, rx, _ := portablePair(t)
+	rx.Conn().SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	bufs := [][]byte{make([]byte, 64)}
+	start := time.Now()
+	_, err := rx.ReadBatch(bufs, make([]int, 1), make([]net.Addr, 1))
+	if err == nil {
+		t.Fatal("expected deadline error")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) && !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v (%T), want timeout", err, err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("deadline not honored promptly")
+	}
+}

@@ -28,13 +28,18 @@ import (
 	"softstate/internal/protocol"
 	"softstate/internal/sstp"
 	"softstate/internal/trace"
+	"softstate/internal/transport"
 )
 
-// Downstream describes one downstream link of a relay: a datagram
-// socket and the destination (usually a multicast group holding this
+// Downstream describes one downstream link of a relay: a transport
+// conn and the destination (usually a multicast group holding this
 // subtree's children) plus that link's independent bandwidth budget.
+// Each link picks its own transport — a relay with a UDP upstream and
+// TCP/TLS downstreams is a bridge between the datacenter's datagram
+// fabric and framed WAN streams, and vice versa; the soft-state
+// records it re-publishes are transport-agnostic.
 type Downstream struct {
-	Conn net.PacketConn
+	Conn transport.Conn
 	Dest net.Addr
 
 	// Rate is the link's session bandwidth in bits/s. When MinRate and
@@ -55,10 +60,11 @@ type Config struct {
 	// so a relay can never mistake its own traffic for its publisher's.
 	RelayID uint64
 
-	// UpstreamConn is the socket on the link toward the publisher (or
+	// UpstreamConn is the conn on the link toward the publisher (or
 	// parent relay); UpstreamFeedback is where this relay's own repair
 	// requests go — the parent's group, so the parent answers them.
-	UpstreamConn     net.PacketConn
+	// Like Downstream.Conn it may be any transport.Conn.
+	UpstreamConn     transport.Conn
 	UpstreamFeedback net.Addr
 
 	// Downstreams are the links this relay re-publishes on. At least

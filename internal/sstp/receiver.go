@@ -15,6 +15,7 @@ import (
 	"softstate/internal/staleness"
 	"softstate/internal/table"
 	"softstate/internal/trace"
+	"softstate/internal/transport"
 	"softstate/internal/xrand"
 )
 
@@ -23,11 +24,11 @@ type ReceiverConfig struct {
 	Session    uint64
 	ReceiverID uint64
 
-	// Conn is the datagram socket; FeedbackDest is where NACKs,
-	// queries, and reports are sent — the sender's address, or the
-	// multicast group so that other receivers overhear NACKs and damp
-	// their own (slotting and damping).
-	Conn         net.PacketConn
+	// Conn is the session's wire — any transport.Conn. FeedbackDest
+	// is where NACKs, queries, and reports are sent — the sender's
+	// address, or the multicast group so that other receivers overhear
+	// NACKs and damp their own (slotting and damping).
+	Conn         transport.Conn
 	FeedbackDest net.Addr
 
 	// DisableFeedback turns the receiver into a pure announce/listen

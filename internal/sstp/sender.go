@@ -17,6 +17,7 @@ import (
 	"softstate/internal/sched"
 	"softstate/internal/table"
 	"softstate/internal/trace"
+	"softstate/internal/transport"
 )
 
 // coalesceMTU is the datagram size announcements are coalesced up to;
@@ -30,9 +31,11 @@ type SenderConfig struct {
 	Session  uint64
 	SenderID uint64
 
-	// Conn is the datagram socket; Dest is where announcements go (a
-	// unicast peer, a multicast group, or a MemNetwork group).
-	Conn net.PacketConn
+	// Conn is the session's wire — any transport.Conn: a UDP socket,
+	// a framed TCP/TLS stream conn, or a MemConn. Dest is where
+	// announcements go (a unicast peer, a multicast group, or a
+	// MemNetwork group).
+	Conn transport.Conn
 	Dest net.Addr
 
 	// TotalRate is the initial session bandwidth in bits/second. If

@@ -1,0 +1,75 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Stream framing: one protocol datagram per frame, a 4-byte big-endian
+// payload length followed by the exact datagram bytes. The length
+// prefix is the entire translation between datagram and stream worlds
+// — payloads are never split, merged, or rewritten, so digests,
+// versions, and session-id demux read identical bytes over tcp/tls as
+// over udp.
+
+// frameHeaderLen is the length prefix size.
+const frameHeaderLen = 4
+
+// DefaultMaxFrame caps a frame's payload. 64 KiB admits any legal
+// protocol datagram (a maximum-value record plus header is ~61 KB,
+// and UDP itself cannot carry more than 65507 bytes), while bounding
+// what a corrupt or hostile peer can make us buffer.
+const DefaultMaxFrame = 64 << 10
+
+// ErrFrameTooBig reports a payload over the frame cap, on either side:
+// writers refuse to send it, readers refuse to buffer it.
+var ErrFrameTooBig = errors.New("transport: frame exceeds max frame size")
+
+// ErrFrameTruncated reports a stream that ended mid-frame — a clean
+// EOF between frames is io.EOF, anything shorter is this.
+var ErrFrameTruncated = errors.New("transport: stream truncated mid-frame")
+
+// AppendFrame appends the length-prefixed framing of payload to dst
+// and returns the extended slice.
+func AppendFrame(dst, payload []byte, maxFrame int) ([]byte, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	if len(payload) > maxFrame {
+		return dst, fmt.Errorf("%w (%d > %d)", ErrFrameTooBig, len(payload), maxFrame)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...), nil
+}
+
+// ReadFrame reads one frame from r into buf (grown if needed) and
+// returns the payload, aliasing buf's storage. io.EOF is returned
+// only at a clean frame boundary; a stream that ends inside a header
+// or payload yields ErrFrameTruncated, and an announced length over
+// maxFrame yields ErrFrameTooBig without consuming the payload.
+func ReadFrame(r io.Reader, buf []byte, maxFrame int) ([]byte, []byte, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, buf, io.EOF
+		}
+		return nil, buf, fmt.Errorf("%w: %v", ErrFrameTruncated, err)
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > maxFrame {
+		return nil, buf, fmt.Errorf("%w (announced %d > %d)", ErrFrameTooBig, n, maxFrame)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:cap(buf)]
+	if _, err := io.ReadFull(r, buf[:n]); err != nil {
+		return nil, buf, fmt.Errorf("%w: %v", ErrFrameTruncated, err)
+	}
+	return buf[:n], buf, nil
+}

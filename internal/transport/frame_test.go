@@ -1,0 +1,132 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// halfReader returns at most half the requested bytes per Read
+// (minimum 1), exercising split-read reassembly.
+type halfReader struct{ r io.Reader }
+
+func (h halfReader) Read(p []byte) (int, error) {
+	n := len(p) / 2
+	if n == 0 {
+		n = 1
+	}
+	return h.r.Read(p[:n])
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		{},
+		[]byte("x"),
+		[]byte("hello frame"),
+		bytes.Repeat([]byte{0xAB}, 1400),
+		bytes.Repeat([]byte{0x00}, DefaultMaxFrame), // exactly at the cap
+	}
+	// Coalesced writes: every frame lands in one contiguous stream
+	// buffer, as when a peer's writer goroutine runs ahead of the
+	// reader.
+	var stream []byte
+	for _, p := range payloads {
+		var err error
+		stream, err = AppendFrame(stream, p, 0)
+		if err != nil {
+			t.Fatalf("AppendFrame(%d bytes): %v", len(p), err)
+		}
+	}
+	for name, r := range map[string]io.Reader{
+		"whole": bytes.NewReader(stream),
+		"split": halfReader{bytes.NewReader(stream)},
+	} {
+		var buf []byte
+		for i, want := range payloads {
+			got, nbuf, err := ReadFrame(r, buf, 0)
+			buf = nbuf
+			if err != nil {
+				t.Fatalf("%s: frame %d: %v", name, i, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: frame %d = %d bytes, want %d", name, i, len(got), len(want))
+			}
+		}
+		if _, _, err := ReadFrame(r, buf, 0); err != io.EOF {
+			t.Fatalf("%s: after last frame err = %v, want io.EOF", name, err)
+		}
+	}
+}
+
+func TestFrameMaxEnforced(t *testing.T) {
+	big := make([]byte, DefaultMaxFrame+1)
+	if _, err := AppendFrame(nil, big, 0); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("AppendFrame over cap: err = %v, want ErrFrameTooBig", err)
+	}
+	// A reader must reject an oversize announced length without
+	// buffering the payload — this is the hostile-peer guard.
+	frame, err := AppendFrame(nil, bytes.Repeat([]byte{1}, 128), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFrame(bytes.NewReader(frame), nil, 64); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("ReadFrame over cap: err = %v, want ErrFrameTooBig", err)
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	frame, err := AppendFrame(nil, []byte("truncate me please"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every cut inside the frame (header or payload) must yield
+	// ErrFrameTruncated, never a short payload or a bogus success.
+	for cut := 1; cut < len(frame); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(frame[:cut]), nil, 0)
+		if !errors.Is(err, ErrFrameTruncated) {
+			t.Fatalf("cut at %d: err = %v, want ErrFrameTruncated", cut, err)
+		}
+	}
+	// A cut exactly between frames is a clean EOF.
+	if _, _, err := ReadFrame(bytes.NewReader(nil), nil, 0); err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+// FuzzFrameRoundTrip pins that any payload under the cap survives
+// framing byte-identically, through both whole and split reads.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("soft state"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 4096))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) > DefaultMaxFrame {
+			payload = payload[:DefaultMaxFrame]
+		}
+		frame, err := AppendFrame(nil, payload, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := ReadFrame(bytes.NewReader(frame), nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip changed payload: %d bytes -> %d", len(payload), len(got))
+		}
+		got, _, err = ReadFrame(halfReader{bytes.NewReader(frame)}, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("split-read round trip changed payload")
+		}
+		// Any strict prefix must fail cleanly.
+		if len(frame) > 1 {
+			if _, _, err := ReadFrame(bytes.NewReader(frame[:len(frame)-1]), nil, 0); !errors.Is(err, ErrFrameTruncated) {
+				t.Fatalf("truncated tail: err = %v", err)
+			}
+		}
+	})
+}
