@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench benchfast benchjson loadsmoke relaysmoke scalesmoke fuzzsmoke obssmoke fabricsmoke transportsmoke crosssmoke staticcheck
+.PHONY: check build vet fmt test race bench benchfast benchjson loadsmoke relaysmoke gossipsmoke scalesmoke fuzzsmoke obssmoke fabricsmoke transportsmoke crosssmoke staticcheck
 
 ## check: the extended tier-1 gate — everything a PR must keep green.
-check: fmt vet build race bench loadsmoke relaysmoke fuzzsmoke obssmoke scalesmoke fabricsmoke transportsmoke crosssmoke
+check: fmt vet build race bench loadsmoke relaysmoke gossipsmoke fuzzsmoke obssmoke scalesmoke fabricsmoke transportsmoke crosssmoke
 
 ## transportsmoke: the pluggable-wire gate — an in-process relay
 ## bridging a 5%-lossy UDP leg to a framed-TCP leg must converge (the
@@ -38,6 +38,13 @@ loadsmoke:
 ## equality (the combined-root identity gate).
 scalesmoke:
 	GOMAXPROCS=2 $(GO) run ./cmd/ssload -scale -quick
+
+## gossipsmoke: 8-node anti-entropy mesh over a 2%-lossy memconn
+## network; fails unless every replica converges to one digest and a
+## node killed mid-run re-converges (and is evicted then rejoined by
+## the survivors) after restarting empty on the same address.
+gossipsmoke:
+	$(GO) run ./cmd/ssgossip -quick
 
 ## relaysmoke: publisher → relay → 4 leaves over a lossy memconn
 ## network; fails unless the tree converges, repair stays local, and
@@ -128,3 +135,4 @@ benchjson:
 	$(GO) run ./cmd/ssload -scale -json > BENCH_ssscale.json
 	$(GO) run ./cmd/ssload -sessions 1024 -duration 2s -loss 0.02 -json > BENCH_ssfabric.json
 	$(GO) run ./cmd/ssload -transport-compare -json > BENCH_sstransport.json
+	$(GO) run ./cmd/ssload -gossip-peers 16 -records 128 -loss 0.02 -churn -json > BENCH_ssgossip.json

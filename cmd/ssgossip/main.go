@@ -1,0 +1,291 @@
+// Command ssgossip is a peer-to-peer anti-entropy daemon: one member
+// of a gossip mesh in which every node holds a full soft-state replica
+// and reconciles with one random peer per round (see README "Gossip
+// mesh"). Where ssrelay scales a single origin through a tree, ssgossip
+// has no origin at all — any node may publish, any node repairs any
+// other, and the mesh survives the loss of every node but one.
+//
+// Usage:
+//
+//	ssgossip -laddr 127.0.0.1:8801 \
+//	         -peers 127.0.0.1:8802,127.0.0.1:8803
+//
+// Addresses are URL-style link specs: bare host:port inherits
+// -transport (default udp); an explicit scheme (udp://, tcp://,
+// tls://) wins, so one mesh can span transports.
+//
+// With -admin ADDR, an HTTP endpoint serves /metrics (the
+// sstp_gossip_* catalog), /stats.json, /trace, and /debug/pprof.
+// -quick runs an in-process 8-node churn smoke test and exits non-zero
+// on failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"softstate/internal/gossip"
+	"softstate/internal/obs"
+	"softstate/internal/staleness"
+	"softstate/internal/trace"
+	"softstate/internal/transport"
+)
+
+// kvFlag accumulates -announce values: the flag is repeatable, and
+// each occurrence may itself carry a comma-separated list (a plain
+// flag.String would silently keep only the last occurrence).
+type kvFlag []string
+
+func (f *kvFlag) String() string { return strings.Join(*f, ",") }
+
+func (f *kvFlag) Set(s string) error {
+	for _, kv := range strings.Split(s, ",") {
+		if kv = strings.TrimSpace(kv); kv != "" {
+			*f = append(*f, kv)
+		}
+	}
+	return nil
+}
+
+func main() {
+	laddr := flag.String("laddr", "127.0.0.1:8801", "local mesh endpoint (bare host:port or scheme://host:port)")
+	peers := flag.String("peers", "", "comma-separated peer addresses seeding the membership view")
+	transportName := flag.String("transport", "udp", "default wire transport for bare addresses: udp, tcp, or tls")
+	tlsCert := flag.String("tlscert", "", "TLS certificate PEM (tls links; empty generates self-signed)")
+	tlsKey := flag.String("tlskey", "", "TLS private key PEM")
+	tlsCA := flag.String("tlsca", "", "CA PEM: verify dialed peers and require client certs (mTLS)")
+	tlsName := flag.String("tlsname", "", "expected server name on dialed TLS peers")
+	session := flag.Uint64("session", 1, "session id")
+	nodeID := flag.Uint64("id", uint64(os.Getpid()), "node id (must be unique in the mesh)")
+	interval := flag.Duration("interval", 100*time.Millisecond, "anti-entropy round cadence (jittered ±25%)")
+	rate := flag.Float64("rate", 0, "outbound bandwidth cap in bits/s (0 = unlimited)")
+	suspect := flag.Int("suspect", 3, "missed exchanges before a peer is suspected")
+	evict := flag.Int("evict", 8, "missed exchanges before a peer is evicted")
+	tombTTL := flag.Duration("tombttl", 60*time.Second, "death-certificate retention (keep above record TTLs)")
+	maxPull := flag.Int("maxpull", 512, "max leaves pulled per round (spreads restart catch-up)")
+	var announce kvFlag
+	flag.Var(&announce, "announce", "key=value record to publish at startup (repeatable; comma-separable)")
+	announceTTL := flag.Duration("announcettl", 0, "lifetime of -announce records (0 = immortal)")
+	admin := flag.String("admin", "", "serve /metrics, /stats.json, /trace, /debug/pprof on this address")
+	statsEvery := flag.Duration("statsevery", 0, "log a one-line stats summary at this interval")
+	traceCap := flag.Int("tracecap", 4096, "protocol event ring capacity (0 disables)")
+	seed := flag.Int64("seed", 1, "peer-selection and jitter seed")
+	quick := flag.Bool("quick", false, "run the in-process gossip churn smoke test and exit")
+	flag.Parse()
+
+	if *quick {
+		if err := quickSmoke(); err != nil {
+			log.Fatalf("ssgossip -quick: %v", err)
+		}
+		fmt.Println("ssgossip -quick: ok")
+		return
+	}
+	if *peers == "" {
+		log.Fatal("ssgossip: -peers needs at least one address")
+	}
+
+	topts, err := transport.TLSOptions(*tlsCert, *tlsKey, *tlsCA, *tlsName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, conn, err := transport.Bind(*laddr, *transportName, topts)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *laddr, err)
+	}
+	var peerAddrs []net.Addr
+	for _, p := range strings.Split(*peers, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		a, err := transport.Resolve(tr, p)
+		if err != nil {
+			log.Fatalf("resolve peer %s: %v", p, err)
+		}
+		peerAddrs = append(peerAddrs, a)
+	}
+
+	reg := obs.New("ssgossip")
+	var ring *trace.Ring
+	if *traceCap > 0 {
+		ring = trace.NewSafe(*traceCap)
+	}
+	est := staleness.NewEstimator(time.Minute)
+	node, err := gossip.New(gossip.Config{
+		Session:         *session,
+		NodeID:          *nodeID,
+		Conn:            conn,
+		Peers:           peerAddrs,
+		Interval:        *interval,
+		RateBps:         *rate,
+		SuspectAfter:    *suspect,
+		EvictAfter:      *evict,
+		TombstoneTTL:    *tombTTL,
+		MaxPullPerRound: *maxPull,
+		Obs:             reg,
+		Trace:           ring,
+		Consistency:     est,
+		Seed:            *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, kv := range announce {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			log.Fatalf("ssgossip: -announce element %q is not key=value", kv)
+		}
+		if err := node.Publish(k, []byte(v), *announceTTL); err != nil {
+			log.Fatalf("announce %s: %v", k, err)
+		}
+	}
+	node.Start()
+	defer node.Close()
+	log.Printf("ssgossip: session %d node %d on %s, %d seed peer(s), round %s",
+		*session, *nodeID, *laddr, len(peerAddrs), *interval)
+
+	if *admin != "" {
+		srv, addr, err := obs.ServeAdmin(*admin, reg, ring,
+			obs.Section{Name: "gossip", Get: func() any { return node.Stats() }},
+			obs.Section{Name: "peers", Get: func() any { return node.Peers() }},
+			obs.Section{Name: "consistency", Get: func() any { return est.Snapshot() }})
+		if err != nil {
+			log.Fatalf("admin: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("ssgossip: admin endpoint on http://%s/", addr)
+	}
+	if *statsEvery > 0 {
+		tick := time.NewTicker(*statsEvery)
+		defer tick.Stop()
+		go func() {
+			for range tick.C {
+				st := node.Stats()
+				log.Printf("ssgossip: rounds=%d agree=%d diverge=%d applied=%d served=%d peers=%d/%d/%d tx=%dB rx=%dB",
+					st.Rounds, st.Agreements, st.Divergences,
+					st.RecordsApplied, st.RecordsServed,
+					st.PeersLive, st.PeersSuspect, st.PeersEvicted,
+					st.BytesSent, st.BytesReceived)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+}
+
+// quickSmoke builds an 8-node mesh over a 2%-lossy in-process network,
+// publishes at one node, and checks the two mesh invariants: every
+// replica converges to the same digest, and a node killed mid-run
+// re-converges after restarting empty on the same address.
+func quickSmoke() error {
+	const (
+		nodes   = 8
+		records = 32
+	)
+	nw := transport.NewMemNetwork(42)
+	nw.SetDefaultLoss(0.02)
+	addr := func(i int) transport.MemAddr {
+		return transport.MemAddr(fmt.Sprintf("gossip/%d", i))
+	}
+	var peerAddrs []net.Addr
+	for i := 0; i < nodes; i++ {
+		peerAddrs = append(peerAddrs, addr(i))
+	}
+	mk := func(i int) (*gossip.Node, error) {
+		return gossip.New(gossip.Config{
+			Session: 7, NodeID: uint64(i + 1),
+			Conn:  nw.Endpoint(addr(i)),
+			Peers: peerAddrs,
+			// Fast rounds and a short failure detector keep the smoke
+			// under a second per phase.
+			Interval:     15 * time.Millisecond,
+			SuspectAfter: 2, EvictAfter: 4,
+			Seed: int64(100 + i),
+		})
+	}
+	mesh := make([]*gossip.Node, nodes)
+	for i := range mesh {
+		n, err := mk(i)
+		if err != nil {
+			return err
+		}
+		mesh[i] = n
+		defer n.Close()
+		n.Start()
+	}
+	for i := 0; i < records; i++ {
+		if err := mesh[0].Publish(fmt.Sprintf("smoke/%02d", i), []byte("v"), 0); err != nil {
+			return err
+		}
+	}
+	converged := func(members []*gossip.Node) func() bool {
+		return func() bool {
+			want := members[0].RootDigest()
+			for _, n := range members[1:] {
+				if n.RootDigest() != want || n.Len() != members[0].Len() {
+					return false
+				}
+			}
+			return members[0].Len() == records
+		}
+	}
+	if err := waitFor(15*time.Second, "mesh convergence", converged(mesh)); err != nil {
+		return err
+	}
+
+	// Kill node 7: close its loops and endpoint so the mesh sees pure
+	// silence, then wait for a survivor's failure detector to notice.
+	mesh[7].Close()
+	nw.Endpoint(addr(7)).Close()
+	survivors := mesh[:7]
+	if err := waitFor(15*time.Second, "eviction of the dead node", func() bool {
+		for _, n := range survivors {
+			if n.Stats().Evictions > 0 {
+				return true
+			}
+		}
+		return false
+	}); err != nil {
+		return err
+	}
+
+	// Restart empty on the same address: the node must pull the whole
+	// replica back from the mesh and the survivors must rejoin it.
+	restarted, err := mk(7)
+	if err != nil {
+		return err
+	}
+	defer restarted.Close()
+	restarted.Start()
+	mesh[7] = restarted
+	if err := waitFor(15*time.Second, "restarted node to re-converge", converged(mesh)); err != nil {
+		return err
+	}
+	return waitFor(15*time.Second, "a survivor to rejoin the restarted node", func() bool {
+		for _, n := range survivors {
+			if n.Stats().Rejoins > 0 {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func waitFor(d time.Duration, what string, cond func() bool) error {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("timed out waiting for %s", what)
+}

@@ -1,0 +1,520 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"time"
+
+	"softstate/internal/gossip"
+	"softstate/internal/obs"
+	"softstate/internal/relay"
+	"softstate/internal/runmeta"
+	"softstate/internal/sstp"
+	"softstate/internal/staleness"
+	"softstate/internal/transport"
+)
+
+// gossipOpts parameterize the -gossip-peers mesh mode.
+type gossipOpts struct {
+	nodes    int
+	records  int
+	rate     float64
+	valueLen int
+	loss     float64
+	interval time.Duration
+	churn    bool
+	seed     int64
+	jsonOut  bool
+	admin    string
+	quick    bool
+}
+
+// gossipResult is the -gossip-peers -json output, the format of
+// BENCH_ssgossip.json (see EXPERIMENTS.md): the tree-vs-gossip
+// head-to-head at equal per-link bandwidth.
+type gossipResult struct {
+	Seed       int64   `json:"seed"`
+	Quick      bool    `json:"quick"`
+	Nodes      int     `json:"nodes"`
+	Records    int     `json:"records"`
+	RateBps    float64 `json:"rate_bps"`
+	ValueBytes int     `json:"value_bytes"`
+	Loss       float64 `json:"loss"`
+	IntervalMs float64 `json:"interval_ms"`
+	Churn      bool    `json:"churn"`
+
+	Meta runmeta.Meta `json:"meta"`
+
+	// Spread is the headline convergence measurement: a batch published
+	// at one mesh node, timed until every replica digest matches, in
+	// anti-entropy rounds against the analytic epidemic recurrence
+	// (gossip.SpreadRounds).
+	Spread spreadResult `json:"spread"`
+
+	// Tree is the same batch over a relay tree with the same number of
+	// leaf replicas and the same per-link bandwidth.
+	Tree treeSideResult `json:"tree"`
+
+	// ChurnGossip / ChurnTree report the single-node-kill experiment:
+	// the mesh re-converges with its repair bytes spread across peers;
+	// the tree repairs its killed leaf with zero origin traffic.
+	ChurnGossip *gossipChurnResult `json:"churn_gossip,omitempty"`
+	ChurnTree   *treeChurnResult   `json:"churn_tree,omitempty"`
+}
+
+type spreadResult struct {
+	AnalyticRounds99 int     `json:"analytic_rounds_99"`
+	MeasuredRounds   float64 `json:"measured_rounds"`
+	RoundsRatio      float64 `json:"rounds_ratio"`
+	ConvergeMs       float64 `json:"converge_ms"`
+	Converged        int     `json:"converged"`
+
+	Consistency staleness.Snapshot `json:"consistency"`
+}
+
+type treeSideResult struct {
+	Relays             int     `json:"relays"`
+	Leaves             int     `json:"leaves"`
+	Converged          int     `json:"converged"`
+	ConvergeMs         float64 `json:"converge_ms"`
+	RootQueriesServed  int     `json:"root_queries_served"`
+	RootNACKs          int     `json:"root_nacks"`
+	RelayQueriesServed int     `json:"relay_queries_served"`
+	RelayNACKs         int     `json:"relay_nacks"`
+}
+
+type gossipChurnResult struct {
+	EvictMs      float64 `json:"evict_ms"`
+	ReconvergeMs float64 `json:"reconverge_ms"`
+
+	// RepairBytes is each surviving node's outbound byte count between
+	// the restart and re-convergence (index = node): the serving side
+	// of the repair. Locality criterion: no serving node exceeds 2x
+	// the median — the permutation-cycle peer selection spreads the
+	// budgeted catch-up pulls near-evenly instead of slamming one
+	// peer. The restarted node's own outbound chatter (openers,
+	// queries, NACKs) is CatchupBytes, reported separately because it
+	// is the request side of the repair, not served repair traffic.
+	RepairBytes       []int64 `json:"repair_bytes"`
+	MedianRepairBytes int64   `json:"median_repair_bytes"`
+	MaxRepairBytes    int64   `json:"max_repair_bytes"`
+	MaxOverMedian     float64 `json:"max_over_median"`
+	CatchupBytes      int64   `json:"catchup_bytes"`
+
+	Evictions int `json:"evictions"`
+	Rejoins   int `json:"rejoins"`
+}
+
+type treeChurnResult struct {
+	ReconvergeMs float64 `json:"reconverge_ms"`
+
+	// Counter deltas from kill to re-convergence. Scoped-recovery
+	// criterion: the origin columns stay zero — the restarted leaf is
+	// repaired entirely by its relay.
+	RootQueriesServed  int `json:"root_queries_served"`
+	RootNACKs          int `json:"root_nacks"`
+	RelayQueriesServed int `json:"relay_queries_served"`
+	RelayNACKs         int `json:"relay_nacks"`
+}
+
+// runGossipMesh drives the headline experiment of the gossip overlay:
+// the same record batch through a peer-to-peer mesh and through a
+// relay tree at equal per-link bandwidth, then (with -churn) a
+// single-node kill in each.
+func runGossipMesh(o gossipOpts) {
+	if o.nodes < 2 {
+		fmt.Fprintln(os.Stderr, "ssload: -gossip-peers must be >= 2")
+		os.Exit(2)
+	}
+	res := gossipResult{
+		Seed: o.seed, Quick: o.quick, Nodes: o.nodes, Records: o.records,
+		RateBps: o.rate, ValueBytes: o.valueLen, Loss: o.loss,
+		IntervalMs: float64(o.interval.Microseconds()) / 1000,
+		Churn:      o.churn,
+		Meta:       runmeta.Collect(),
+	}
+	value := make([]byte, o.valueLen)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+
+	// --- gossip side ---
+
+	nw := transport.NewMemNetwork(o.seed)
+	nw.SetDefaultLoss(o.loss)
+	gaddr := func(i int) transport.MemAddr {
+		return transport.MemAddr(fmt.Sprintf("gossip/%d", i))
+	}
+	var peerAddrs []net.Addr
+	for i := 0; i < o.nodes; i++ {
+		peerAddrs = append(peerAddrs, gaddr(i))
+	}
+	reg := obs.New("ssload-gossip")
+	est := staleness.NewEstimator(0)
+	mkNode := func(i, maxPull int) *gossip.Node {
+		n, err := gossip.New(gossip.Config{
+			Session: 44, NodeID: uint64(i + 1),
+			Conn: nw.Endpoint(gaddr(i)), Peers: peerAddrs,
+			Interval: o.interval, RateBps: o.rate,
+			SuspectAfter: 2, EvictAfter: 4,
+			MaxPullPerRound: maxPull,
+			Obs:             reg, Consistency: est,
+			Seed: o.seed + int64(100+i),
+		})
+		must(err)
+		return n
+	}
+	mesh := make([]*gossip.Node, o.nodes)
+	for i := range mesh {
+		mesh[i] = mkNode(i, 0) // default budget: spread is unthrottled
+		mesh[i].Start()
+	}
+	if o.admin != "" {
+		srv, addr, err := obs.ServeAdmin(o.admin, reg, nil,
+			obs.Section{Name: "consistency", Get: func() any { return est.Snapshot() }})
+		must(err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ssload: admin endpoint on http://%s/\n", addr)
+	}
+
+	// Let the empty mesh settle into agreement so the measured window
+	// contains only the spread itself.
+	time.Sleep(10 * o.interval)
+	rounds0 := make([]int, o.nodes)
+	for i, n := range mesh {
+		rounds0[i] = n.Stats().Rounds
+	}
+	for i := 0; i < o.records; i++ {
+		must(mesh[0].Publish(key(i), value, 0))
+	}
+	spreadStart := time.Now()
+	meshConverged := func(members []*gossip.Node) int {
+		want := mesh[0].RootDigest()
+		c := 0
+		for _, n := range members {
+			if n != nil && n.RootDigest() == want {
+				c++
+			}
+		}
+		return c
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if meshConverged(mesh) == o.nodes {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	res.Spread.ConvergeMs = float64(time.Since(spreadStart).Microseconds()) / 1000
+	res.Spread.Converged = meshConverged(mesh)
+	var roundsSum float64
+	for i, n := range mesh {
+		roundsSum += float64(n.Stats().Rounds - rounds0[i])
+	}
+	res.Spread.MeasuredRounds = roundsSum / float64(o.nodes)
+	res.Spread.AnalyticRounds99 = gossip.SpreadRounds(o.nodes, 0.99)
+	if res.Spread.AnalyticRounds99 > 0 {
+		res.Spread.RoundsRatio = res.Spread.MeasuredRounds / float64(res.Spread.AnalyticRounds99)
+	}
+	res.Spread.Consistency = est.Snapshot()
+
+	// --- tree side: same replica count, same per-link bandwidth ---
+
+	const fanout = 4
+	relays := (o.nodes + fanout - 1) / fanout
+	tnw := sstp.NewMemNetwork(o.seed + 1)
+	pc := tnw.Endpoint("pub")
+	tnw.Join("grp/root", "pub")
+	pub, err := sstp.NewSender(sstp.SenderConfig{
+		Session: 45, SenderID: 1, Conn: pc, Dest: sstp.MemAddr("grp/root"),
+		TotalRate: o.rate, SummaryInterval: o.interval,
+		TTL: 60 * time.Second, Seed: o.seed,
+	})
+	must(err)
+	var treeRelays []*relay.Relay
+	for k := 0; k < relays; k++ {
+		up := tnw.Endpoint(sstp.MemAddr(fmt.Sprintf("up/%d", k)))
+		tnw.Join("grp/root", sstp.MemAddr(fmt.Sprintf("up/%d", k)))
+		dn := tnw.Endpoint(sstp.MemAddr(fmt.Sprintf("dn/%d", k)))
+		tnw.Join(sstp.MemAddr(fmt.Sprintf("grp/%d", k)), sstp.MemAddr(fmt.Sprintf("dn/%d", k)))
+		r, err := relay.New(relay.Config{
+			Session: 45, RelayID: uint64(100 * (k + 1)),
+			UpstreamConn:     up,
+			UpstreamFeedback: sstp.MemAddr("grp/root"),
+			Downstreams: []relay.Downstream{{
+				Conn: dn, Dest: sstp.MemAddr(fmt.Sprintf("grp/%d", k)), Rate: o.rate,
+			}},
+			TTL: 60 * time.Second, SummaryInterval: o.interval,
+			NACKWindow: o.interval / 2,
+			Seed:       o.seed + int64(500+k),
+		})
+		must(err)
+		treeRelays = append(treeRelays, r)
+	}
+	mkLeaf := func(j int) *sstp.Receiver {
+		grp := sstp.MemAddr(fmt.Sprintf("grp/%d", j/fanout))
+		name := sstp.MemAddr(fmt.Sprintf("leaf/%d", j))
+		lc := tnw.Endpoint(name)
+		tnw.Join(grp, name)
+		// Loss lives on the edge hop only, so every leaf repair must be
+		// answered by its relay — origin counters stay zero.
+		tnw.SetLoss(sstp.MemAddr(fmt.Sprintf("dn/%d", j/fanout)), name, o.loss)
+		leaf, err := sstp.NewReceiver(sstp.ReceiverConfig{
+			Session: 45, ReceiverID: uint64(10_000 + j), Conn: lc,
+			FeedbackDest: grp,
+			NACKWindow:   o.interval / 2,
+			Seed:         o.seed + int64(2000+j),
+		})
+		must(err)
+		return leaf
+	}
+	leaves := make([]*sstp.Receiver, o.nodes)
+	for j := range leaves {
+		leaves[j] = mkLeaf(j)
+	}
+	res.Tree.Relays = relays
+	res.Tree.Leaves = o.nodes
+
+	pub.Start()
+	for _, r := range treeRelays {
+		r.Start()
+	}
+	for _, l := range leaves {
+		l.Start()
+	}
+	for i := 0; i < o.records; i++ {
+		must(pub.Publish(key(i), value, 0))
+	}
+	treeStart := time.Now()
+	treeConverged := func(members []*sstp.Receiver) int {
+		want := pub.RootDigest()
+		c := 0
+		for _, r := range treeRelays {
+			if r.RootDigest() == want {
+				c++
+			}
+		}
+		for _, l := range members {
+			if l != nil && l.RootDigest() == want {
+				c++
+			}
+		}
+		return c
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if treeConverged(leaves) == relays+o.nodes {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	res.Tree.ConvergeMs = float64(time.Since(treeStart).Microseconds()) / 1000
+	res.Tree.Converged = treeConverged(leaves)
+	pst := pub.Stats()
+	res.Tree.RootQueriesServed = pst.QueriesServed
+	res.Tree.RootNACKs = pst.NACKsReceived
+	for _, r := range treeRelays {
+		st := r.Stats()
+		res.Tree.RelayQueriesServed += st.QueriesServed
+		res.Tree.RelayNACKs += st.NACKsHeard
+	}
+
+	if o.churn {
+		res.ChurnGossip = runGossipChurn(nw, mesh, mkNode, gaddr, o)
+		res.ChurnTree = runTreeChurn(tnw, pub, treeRelays, leaves, mkLeaf, o)
+	}
+
+	for _, l := range leaves {
+		if l != nil {
+			l.Close()
+		}
+	}
+	for _, r := range treeRelays {
+		r.Close()
+	}
+	pub.Close()
+	for _, n := range mesh {
+		if n != nil {
+			n.Close()
+		}
+	}
+
+	report(res, o)
+}
+
+// runGossipChurn kills the last mesh node, waits for the failure
+// detector, restarts it empty on the same address with a throttled
+// pull budget, and measures how the repair bytes distribute across the
+// serving peers.
+func runGossipChurn(nw *transport.MemNetwork, mesh []*gossip.Node,
+	mkNode func(i, maxPull int) *gossip.Node,
+	gaddr func(i int) transport.MemAddr, o gossipOpts) *gossipChurnResult {
+
+	out := &gossipChurnResult{}
+	victim := o.nodes - 1
+	mesh[victim].Close()
+	nw.Endpoint(gaddr(victim)).Close()
+	mesh[victim] = nil
+	survivors := mesh[:victim]
+
+	killAt := time.Now()
+	waitUntil(30*time.Second, func() bool {
+		for _, n := range survivors {
+			if n.Stats().Evictions > 0 {
+				return true
+			}
+		}
+		return false
+	})
+	out.EvictMs = float64(time.Since(killAt).Microseconds()) / 1000
+
+	// Restart empty. The catch-up budget caps each round's pull at a
+	// slice of the replica, so successive rounds (hitting random peers)
+	// spread the serving load — the locality half of the experiment.
+	maxPull := o.records / 16
+	if maxPull < 4 {
+		maxPull = 4
+	}
+	base := make([]int64, o.nodes)
+	for i, n := range survivors {
+		base[i] = n.Stats().BytesSent
+	}
+	restarted := mkNode(victim, maxPull)
+	mesh[victim] = restarted
+	restarted.Start()
+	restartAt := time.Now()
+	want := mesh[0].RootDigest()
+	waitUntil(30*time.Second, func() bool {
+		return restarted.RootDigest() == want
+	})
+	out.ReconvergeMs = float64(time.Since(restartAt).Microseconds()) / 1000
+
+	out.RepairBytes = make([]int64, len(survivors))
+	for i, n := range survivors {
+		out.RepairBytes[i] = n.Stats().BytesSent - base[i]
+	}
+	out.CatchupBytes = restarted.Stats().BytesSent
+	sorted := append([]int64(nil), out.RepairBytes...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	out.MedianRepairBytes = sorted[len(sorted)/2]
+	out.MaxRepairBytes = sorted[len(sorted)-1]
+	if out.MedianRepairBytes > 0 {
+		out.MaxOverMedian = float64(out.MaxRepairBytes) / float64(out.MedianRepairBytes)
+	}
+	for _, n := range survivors {
+		st := n.Stats()
+		out.Evictions += st.Evictions
+		out.Rejoins += st.Rejoins
+	}
+	return out
+}
+
+// runTreeChurn kills one leaf and restarts it empty: the relay overlay
+// must repair it with zero origin traffic (counter deltas from the
+// kill), the scoped-recovery property of section 5.
+func runTreeChurn(tnw *sstp.MemNetwork, pub *sstp.Sender,
+	treeRelays []*relay.Relay, leaves []*sstp.Receiver,
+	mkLeaf func(j int) *sstp.Receiver, o gossipOpts) *treeChurnResult {
+
+	out := &treeChurnResult{}
+	victim := o.nodes - 1
+	leaves[victim].Close()
+	tnw.Endpoint(sstp.MemAddr(fmt.Sprintf("leaf/%d", victim))).Close()
+
+	pst0 := pub.Stats()
+	var relayQ0, relayN0 int
+	for _, r := range treeRelays {
+		st := r.Stats()
+		relayQ0 += st.QueriesServed
+		relayN0 += st.NACKsHeard
+	}
+
+	restarted := mkLeaf(victim)
+	leaves[victim] = restarted
+	restarted.Start()
+	restartAt := time.Now()
+	waitUntil(30*time.Second, func() bool {
+		return restarted.RootDigest() == pub.RootDigest()
+	})
+	out.ReconvergeMs = float64(time.Since(restartAt).Microseconds()) / 1000
+
+	pst := pub.Stats()
+	out.RootQueriesServed = pst.QueriesServed - pst0.QueriesServed
+	out.RootNACKs = pst.NACKsReceived - pst0.NACKsReceived
+	for _, r := range treeRelays {
+		st := r.Stats()
+		out.RelayQueriesServed += st.QueriesServed
+		out.RelayNACKs += st.NACKsHeard
+	}
+	out.RelayQueriesServed -= relayQ0
+	out.RelayNACKs -= relayN0
+	return out
+}
+
+func waitUntil(d time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return false
+}
+
+func report(res gossipResult, o gossipOpts) {
+	if o.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		must(enc.Encode(res))
+	} else {
+		fmt.Printf("ssload: gossip mesh %d nodes vs relay tree (%d relays, %d leaves), %d records @ %.0f bps, loss %.2f, round %s\n",
+			res.Nodes, res.Tree.Relays, res.Tree.Leaves, res.Records, res.RateBps, res.Loss, o.interval)
+		fmt.Printf("  spread: converged %d/%d in %.0f ms = %.1f rounds (analytic 99%% = %d rounds, ratio %.2f)\n",
+			res.Spread.Converged, res.Nodes, res.Spread.ConvergeMs,
+			res.Spread.MeasuredRounds, res.Spread.AnalyticRounds99, res.Spread.RoundsRatio)
+		fmt.Printf("  spread: E[c(t)]=%.4f over %d digest samples\n",
+			res.Spread.Consistency.Consistency, res.Spread.Consistency.AgreementSamples)
+		fmt.Printf("  tree:   converged %d/%d in %.0f ms; repair root %dq/%dn relay %dq/%dn\n",
+			res.Tree.Converged, res.Tree.Relays+res.Tree.Leaves, res.Tree.ConvergeMs,
+			res.Tree.RootQueriesServed, res.Tree.RootNACKs,
+			res.Tree.RelayQueriesServed, res.Tree.RelayNACKs)
+		if res.ChurnGossip != nil {
+			g := res.ChurnGossip
+			fmt.Printf("  churn gossip: evicted in %.0f ms, re-converged in %.0f ms; repair bytes median=%d max=%d (%.2fx), catch-up tx %dB, %d evictions, %d rejoins\n",
+				g.EvictMs, g.ReconvergeMs, g.MedianRepairBytes, g.MaxRepairBytes, g.MaxOverMedian,
+				g.CatchupBytes, g.Evictions, g.Rejoins)
+		}
+		if res.ChurnTree != nil {
+			t := res.ChurnTree
+			fmt.Printf("  churn tree:   re-converged in %.0f ms; repair root %dq/%dn relay %dq/%dn\n",
+				t.ReconvergeMs, t.RootQueriesServed, t.RootNACKs,
+				t.RelayQueriesServed, t.RelayNACKs)
+		}
+	}
+
+	if o.quick {
+		fail := func(f string, a ...any) {
+			fmt.Fprintf(os.Stderr, "ssload: gossip quick smoke FAILED: "+f+"\n", a...)
+			os.Exit(1)
+		}
+		if res.Spread.Converged != res.Nodes {
+			fail("%d/%d mesh nodes converged", res.Spread.Converged, res.Nodes)
+		}
+		if res.Tree.Converged != res.Tree.Relays+res.Tree.Leaves {
+			fail("%d/%d tree replicas converged", res.Tree.Converged, res.Tree.Relays+res.Tree.Leaves)
+		}
+		if res.Spread.RoundsRatio > 2 {
+			fail("spread took %.1f rounds, over 2x the analytic %d", res.Spread.MeasuredRounds, res.Spread.AnalyticRounds99)
+		}
+		if g := res.ChurnGossip; g != nil && g.MedianRepairBytes > 0 && g.MaxOverMedian > 2 {
+			fail("gossip repair bytes max %d is %.2fx the median %d", g.MaxRepairBytes, g.MaxOverMedian, g.MedianRepairBytes)
+		}
+		if t := res.ChurnTree; t != nil && (t.RootQueriesServed > 0 || t.RootNACKs > 0) {
+			fail("tree leaf repair leaked to the origin: %d queries, %d NACKs", t.RootQueriesServed, t.RootNACKs)
+		}
+	}
+}

@@ -163,6 +163,9 @@ func main() {
 	admin := flag.String("admin", "", "serve /metrics, /stats.json, /debug/pprof on this address during the run")
 	relayDepth := flag.Int("relay-depth", 0, "relay overlay mode: tree depth in hops (0 disables)")
 	relayFanout := flag.Int("relay-fanout", 4, "relay overlay mode: children per node")
+	gossipPeers := flag.Int("gossip-peers", 0, "gossip mesh mode: number of anti-entropy peers (0 disables); emits a BENCH_ssgossip.json record with -json")
+	gossipInterval := flag.Duration("gossip-interval", 25*time.Millisecond, "gossip mesh mode: anti-entropy round cadence")
+	churn := flag.Bool("churn", false, "gossip mesh mode: kill and restart one node in each overlay mid-run")
 	stripes := flag.Int("stripes", table.NormalizeStripes(runtime.NumCPU()),
 		"table/digest stripes on sender and receivers (rounded up to a power of two)")
 	batch := flag.Int("batch", 32, "records coalesced per datagram (MTU still caps the frame)")
@@ -241,6 +244,27 @@ func main() {
 			o.rate = minF(o.rate, 256_000)
 		}
 		runFabric(o)
+		return
+	}
+
+	if *gossipPeers > 0 {
+		if *transportName != "mem" {
+			fmt.Fprintln(os.Stderr, "ssload: -gossip-peers requires the mem transport")
+			os.Exit(2)
+		}
+		g := gossipOpts{
+			nodes: *gossipPeers, records: *records,
+			rate: *rate, valueLen: *valueLen, loss: *loss,
+			interval: *gossipInterval, churn: *churn,
+			seed: *seed, jsonOut: *jsonOut, admin: *admin, quick: *quick,
+		}
+		if *quick {
+			g.nodes = minInt(g.nodes, 8)
+			g.records = minInt(g.records, 48)
+			g.interval = 15 * time.Millisecond
+			g.churn = true
+		}
+		runGossipMesh(g)
 		return
 	}
 

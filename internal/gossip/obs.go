@@ -1,0 +1,78 @@
+package gossip
+
+import (
+	"strconv"
+
+	"softstate/internal/obs"
+)
+
+// nodeMetrics are the sstp_gossip_* series, all labeled node=<id> so a
+// single registry can host every member of a mesh. Like the sstp_*
+// catalog they are nil-safe: an unconfigured registry costs a nil
+// check per event.
+type nodeMetrics struct {
+	rounds         *obs.Counter // sstp_gossip_rounds_total{node=...}
+	exchanges      *obs.Counter // sstp_gossip_exchanges_total{node=...} (openers sent)
+	summariesHeard *obs.Counter // sstp_gossip_summaries_heard_total{node=...}
+	agreements     *obs.Counter // sstp_gossip_agreements_total{node=...}
+	divergences    *obs.Counter // sstp_gossip_divergences_total{node=...}
+
+	queriesSent   *obs.Counter // sstp_gossip_queries_sent_total{node=...}
+	queriesServed *obs.Counter // sstp_gossip_queries_served_total{node=...}
+	nacksSent     *obs.Counter // sstp_gossip_nacks_sent_total{node=...} (leaves pulled)
+
+	recordsServed     *obs.Counter // sstp_gossip_records_served_total{node=...}
+	recordsApplied    *obs.Counter // sstp_gossip_records_applied_total{node=...}
+	recordsConfirmed  *obs.Counter // sstp_gossip_records_confirmed_total{node=...}
+	recordsRejected   *obs.Counter // sstp_gossip_records_rejected_total{node=...}
+	tombstonesApplied *obs.Counter // sstp_gossip_tombstones_applied_total{node=...}
+	deletePushbacks   *obs.Counter // sstp_gossip_delete_pushbacks_total{node=...}
+	expired           *obs.Counter // sstp_gossip_expired_total{node=...}
+
+	evictions   *obs.Counter // sstp_gossip_evictions_total{node=...}
+	rejoins     *obs.Counter // sstp_gossip_rejoins_total{node=...}
+	rateDropped *obs.Counter // sstp_gossip_rate_dropped_total{node=...}
+	txBytes     *obs.Counter // sstp_gossip_tx_bytes_total{node=...}
+	rxBytes     *obs.Counter // sstp_gossip_rx_bytes_total{node=...}
+
+	records      *obs.Gauge // sstp_gossip_records{node=...}
+	tombstones   *obs.Gauge // sstp_gossip_tombstones{node=...}
+	peersLive    *obs.Gauge // sstp_gossip_peers_live{node=...}
+	peersSuspect *obs.Gauge // sstp_gossip_peers_suspect{node=...}
+	peersEvicted *obs.Gauge // sstp_gossip_peers_evicted{node=...}
+}
+
+func newNodeMetrics(reg *obs.Registry, id uint64) nodeMetrics {
+	l := strconv.FormatUint(id, 10)
+	return nodeMetrics{
+		rounds:         reg.Counter("sstp_gossip_rounds_total", "node", l),
+		exchanges:      reg.Counter("sstp_gossip_exchanges_total", "node", l),
+		summariesHeard: reg.Counter("sstp_gossip_summaries_heard_total", "node", l),
+		agreements:     reg.Counter("sstp_gossip_agreements_total", "node", l),
+		divergences:    reg.Counter("sstp_gossip_divergences_total", "node", l),
+
+		queriesSent:   reg.Counter("sstp_gossip_queries_sent_total", "node", l),
+		queriesServed: reg.Counter("sstp_gossip_queries_served_total", "node", l),
+		nacksSent:     reg.Counter("sstp_gossip_nacks_sent_total", "node", l),
+
+		recordsServed:     reg.Counter("sstp_gossip_records_served_total", "node", l),
+		recordsApplied:    reg.Counter("sstp_gossip_records_applied_total", "node", l),
+		recordsConfirmed:  reg.Counter("sstp_gossip_records_confirmed_total", "node", l),
+		recordsRejected:   reg.Counter("sstp_gossip_records_rejected_total", "node", l),
+		tombstonesApplied: reg.Counter("sstp_gossip_tombstones_applied_total", "node", l),
+		deletePushbacks:   reg.Counter("sstp_gossip_delete_pushbacks_total", "node", l),
+		expired:           reg.Counter("sstp_gossip_expired_total", "node", l),
+
+		evictions:   reg.Counter("sstp_gossip_evictions_total", "node", l),
+		rejoins:     reg.Counter("sstp_gossip_rejoins_total", "node", l),
+		rateDropped: reg.Counter("sstp_gossip_rate_dropped_total", "node", l),
+		txBytes:     reg.Counter("sstp_gossip_tx_bytes_total", "node", l),
+		rxBytes:     reg.Counter("sstp_gossip_rx_bytes_total", "node", l),
+
+		records:      reg.Gauge("sstp_gossip_records", "node", l),
+		tombstones:   reg.Gauge("sstp_gossip_tombstones", "node", l),
+		peersLive:    reg.Gauge("sstp_gossip_peers_live", "node", l),
+		peersSuspect: reg.Gauge("sstp_gossip_peers_suspect", "node", l),
+		peersEvicted: reg.Gauge("sstp_gossip_peers_evicted", "node", l),
+	}
+}

@@ -14,6 +14,7 @@ type metrics struct {
 	tombstones  *obs.Counter // relay_tombstones_total
 	goodbyes    *obs.Counter // relay_goodbyes_total
 	scopeDrops  *obs.Counter // relay_scope_drops_total
+	reparents   *obs.Counter // relay_reparents_total
 	records     *obs.Gauge   // relay_records
 	downstreams *obs.Gauge   // relay_downstreams
 }
@@ -24,6 +25,7 @@ func newMetrics(reg *obs.Registry) metrics {
 		tombstones:  reg.Counter("relay_tombstones_total"),
 		goodbyes:    reg.Counter("relay_goodbyes_total"),
 		scopeDrops:  reg.Counter("relay_scope_drops_total"),
+		reparents:   reg.Counter("relay_reparents_total"),
 		records:     reg.Gauge("relay_records"),
 		downstreams: reg.Gauge("relay_downstreams"),
 	}

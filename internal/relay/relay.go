@@ -101,6 +101,31 @@ type Config struct {
 	CoalesceRecords int
 	BatchDatagrams  int
 
+	// FallbackFeedback, when set, arms the orphan watchdog: if the
+	// upstream publisher goes silent for OrphanTimeout, the relay
+	// re-parents — its repair and report traffic re-targets
+	// FallbackFeedback, the learned publisher resets so the fallback
+	// parent (usually the grandparent, or the origin) is adopted
+	// fresh, and OnReparent fires so the embedding daemon or harness
+	// can redial links/groups toward the new parent. The replica
+	// survives the switch: the fallback republishes with origin
+	// versions, so held records refresh instead of conflicting, and
+	// anything the dead parent never delivered is repaired by the
+	// normal digest descent against the new upstream.
+	FallbackFeedback net.Addr
+
+	// OrphanTimeout is the upstream silence that triggers
+	// re-parenting (default 5 s; meaningful only with
+	// FallbackFeedback). It should comfortably exceed the parent's
+	// SummaryInterval, which bounds the healthy inter-datagram gap.
+	OrphanTimeout time.Duration
+
+	// OnReparent, if non-nil, is called from the watchdog goroutine
+	// each time the relay re-parents (at most once per silence
+	// episode — the watchdog re-arms only after the new parent has
+	// been heard).
+	OnReparent func()
+
 	// Obs, if non-nil, receives both the relay_* counters and the
 	// sstp_* series of the upstream receiver and downstream senders.
 	Obs *obs.Registry
@@ -124,6 +149,10 @@ type Stats struct {
 	// that never reached its upstream.
 	QueriesServed int
 	NACKsHeard    int
+
+	// Reparents counts orphan-watchdog firings: upstream silences that
+	// made this relay adopt its fallback parent.
+	Reparents int
 }
 
 // Relay is one interior node of the overlay tree.
@@ -159,6 +188,9 @@ func New(cfg Config) (*Relay, error) {
 	}
 	if cfg.TTL <= 0 {
 		cfg.TTL = 30 * time.Second
+	}
+	if cfg.OrphanTimeout <= 0 {
+		cfg.OrphanTimeout = 5 * time.Second
 	}
 	r := &Relay{cfg: cfg, m: newMetrics(cfg.Obs), done: make(chan struct{})}
 	if cfg.Obs != nil {
@@ -233,6 +265,63 @@ func (r *Relay) Start() {
 	if len(r.links) > 0 {
 		r.wg.Add(1)
 		go r.obsLoop()
+	}
+	if r.cfg.FallbackFeedback != nil {
+		r.wg.Add(1)
+		go r.watchLoop()
+	}
+}
+
+// wallSeconds is the wall clock in the float-seconds time base the
+// sstp receiver reports LastHeard in.
+func wallSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+
+// watchLoop is the orphan watchdog: when the upstream publisher has
+// been silent past OrphanTimeout, re-parent onto FallbackFeedback.
+// One firing per silence episode — the watchdog re-arms only once the
+// new parent has actually been heard, so a dead fallback doesn't make
+// it spin.
+func (r *Relay) watchLoop() {
+	defer r.wg.Done()
+	timeout := r.cfg.OrphanTimeout.Seconds()
+	tick := time.NewTicker(r.cfg.OrphanTimeout / 4)
+	defer tick.Stop()
+	armed := wallSeconds() // silence reference before any publisher is heard
+	fired := false
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-tick.C:
+			last, heard := r.up.LastHeard()
+			if heard {
+				fired = false
+			} else {
+				last = armed
+			}
+			if fired || wallSeconds()-last < timeout {
+				continue
+			}
+			r.reparent()
+			armed = wallSeconds()
+			fired = true
+		}
+	}
+}
+
+// reparent adopts the fallback parent: repair/report traffic
+// re-targets it, the learned publisher resets so the fallback is
+// adopted fresh, and the scope cache re-derives the hop budget from
+// the new upstream's datagrams.
+func (r *Relay) reparent() {
+	r.up.SetFeedbackDest(r.cfg.FallbackFeedback)
+	r.scopeState.Store(0)
+	r.m.reparents.Inc()
+	r.mu.Lock()
+	r.stats.Reparents++
+	r.mu.Unlock()
+	if r.cfg.OnReparent != nil {
+		r.cfg.OnReparent()
 	}
 }
 

@@ -285,6 +285,90 @@ func TestRelayGoodbyeFlushChain(t *testing.T) {
 	closed = true
 }
 
+// TestRelayReparentOnOrphan pins churn survival for the tree overlay:
+// in the chain publisher → R1 → R2 → leaf, R1 crashes silently (its
+// downstream link is severed — no Goodbye, exactly what a dead process
+// looks like). R2's orphan watchdog must fire, re-target its feedback
+// at the configured fallback (the origin), and — after the test's
+// OnReparent hook re-joins R2's upstream conn to the origin's group —
+// adopt the origin as its new publisher so fresh records keep flowing
+// to the leaf.
+func TestRelayReparentOnOrphan(t *testing.T) {
+	nw := sstp.NewMemNetwork(1031)
+	tt := buildTree(t, nw, 3, 1, 0, 1_000_000, nil)
+	// buildTree cannot arm the watchdog, so rebuild R2 (relay index 1,
+	// upstream "up/1" fed by "grp/0", downstream "dn/1" → "grp/1") with
+	// a fallback pointing at the origin.
+	tt.relays[1].Close()
+	up := nw.Endpoint("up/1")
+	dn := nw.Endpoint("dn/1")
+	r2, err := New(Config{
+		Session:          9,
+		RelayID:          200,
+		UpstreamConn:     up,
+		UpstreamFeedback: sstp.MemAddr("grp/0"),
+		Downstreams:      []Downstream{{Conn: dn, Dest: sstp.MemAddr("grp/1"), Rate: 1_000_000}},
+		TTL:              60 * time.Second,
+		SummaryInterval:  50 * time.Millisecond,
+		NACKWindow:       30 * time.Millisecond,
+		FallbackFeedback: sstp.MemAddr("pub"),
+		OrphanTimeout:    400 * time.Millisecond,
+		OnReparent: func() {
+			// The redial: leave the dead parent's group, join the
+			// fallback parent's so its announcements are heard.
+			nw.Leave("grp/0", "up/1")
+			nw.Join("grp/root", "up/1")
+		},
+		Seed: 1031,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt.relays[1] = r2
+	defer tt.stop()
+	tt.start()
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := tt.pub.Publish(fmt.Sprintf("topic/%d", i), []byte("v1"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 15*time.Second, "chain to converge before the crash", func() bool {
+		return tt.converged(n)
+	})
+
+	// R1 "crashes": everything it sends downstream vanishes. Its
+	// process keeps running, which is the hard case — no Goodbye, no
+	// connection reset, just silence.
+	nw.SetLinkDown("dn/0", "grp/0")
+
+	waitFor(t, 10*time.Second, "orphan watchdog to fire", func() bool {
+		return tt.relays[1].Stats().Reparents == 1
+	})
+
+	// New records published after the crash must reach the leaf through
+	// the re-parented route origin → R2 → leaf.
+	for i := 0; i < 5; i++ {
+		if err := tt.pub.Publish(fmt.Sprintf("after/%d", i), []byte("v2"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := n + 5
+	waitFor(t, 20*time.Second, "leaf to converge via the fallback parent", func() bool {
+		return tt.relays[1].Len() == want &&
+			tt.relays[1].RootDigest() == tt.pub.RootDigest() &&
+			tt.leaves[0].Len() == want &&
+			tt.leaves[0].RootDigest() == tt.pub.RootDigest()
+	})
+
+	// The watchdog must not refire while the new parent is healthy.
+	time.Sleep(600 * time.Millisecond)
+	if got := tt.relays[1].Stats().Reparents; got != 1 {
+		t.Errorf("reparents = %d after recovery, want 1", got)
+	}
+}
+
 // TestRelayScopeExhaustion pins the hop budget: a publisher stamping
 // Scope 2 reaches one relay level (which forwards at scope 1), but the
 // second-level relay must refuse to forward, so the leaf never learns

@@ -187,16 +187,23 @@ type Receiver struct {
 	// stripe-locked paths can maintain it without touching r.mu.
 	replicaN atomic.Int64
 
-	mu       sync.Mutex
-	est      *feedback.LossEstimator
-	sup      *feedback.Suppressor
-	pubID    uint64 // learned publisher sender-id
-	pubSeen  bool
-	pubScope uint8 // hop budget on the latest publisher datagram
-	lastSeq  uint32
-	stats    ReceiverStats
-	m        receiverMetrics
-	repairT  map[string]float64 // key -> when its first NACK was scheduled
+	// fbDest is where repair/report traffic goes. It starts as
+	// cfg.FeedbackDest and can be swapped at runtime by
+	// SetFeedbackDest (relay re-parenting); atomic because sendControl
+	// runs on several goroutines with varying lock state.
+	fbDest atomic.Pointer[net.Addr]
+
+	mu        sync.Mutex
+	est       *feedback.LossEstimator
+	sup       *feedback.Suppressor
+	pubID     uint64 // learned publisher sender-id
+	pubSeen   bool
+	pubScope  uint8 // hop budget on the latest publisher datagram
+	lastSeq   uint32
+	lastHeard float64 // wall time of the last publisher datagram
+	stats     ReceiverStats
+	m         receiverMetrics
+	repairT   map[string]float64 // key -> when its first NACK was scheduled
 
 	// Pending repair timers: one heap + one goroutine (timerLoop)
 	// instead of a runtime timer per slot. timerKick wakes the loop
@@ -254,6 +261,7 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 		cbKick:     make(chan struct{}, 1),
 		done:       make(chan struct{}),
 	}
+	r.fbDest.Store(&cfg.FeedbackDest)
 	r.stripes = make([]*recvStripe, cfg.Stripes)
 	for i := range r.stripes {
 		st := &recvStripe{sub: table.NewSubscriber(), ns: namespace.New(namespace.HashSHA256)}
@@ -490,6 +498,7 @@ func (r *Receiver) dispatch(hdr protocol.Header, msg protocol.Message) {
 		}
 		if hdr.Sender == r.pubID {
 			r.pubScope = hdr.Scope
+			r.lastHeard = nowSeconds()
 			r.est.Observe(hdr.Seq)
 			// Gap-triggered repair: a hole in the sequence space means
 			// something was just lost; start the namespace descent now
@@ -1203,6 +1212,10 @@ func (r *Receiver) sendControl(msg protocol.Message) {
 	if r.cfg.DisableFeedback {
 		return
 	}
+	dest := *r.fbDest.Load()
+	if dest == nil {
+		return
+	}
 	// Scope 1: repair and report traffic is for the nearest replica
 	// only and must never be forwarded past it.
 	hdr := protocol.Header{Session: r.cfg.Session, Sender: r.cfg.ReceiverID, Scope: 1}
@@ -1210,8 +1223,40 @@ func (r *Receiver) sendControl(msg protocol.Message) {
 	*bp = protocol.AppendEncode((*bp)[:0], hdr, msg)
 	// Both MemConn and UDP copy the datagram before WriteTo returns,
 	// so the buffer can be pooled immediately.
-	_, _ = r.cfg.Conn.WriteTo(*bp, r.cfg.FeedbackDest)
+	_, _ = r.cfg.Conn.WriteTo(*bp, dest)
 	pktPool.Put(bp)
+}
+
+// SetFeedbackDest re-targets repair and report traffic to dest and
+// forgets the learned publisher, so the next live sender heard on the
+// conn is adopted fresh — the re-parenting primitive an orphaned relay
+// uses to redial a fallback parent. Safe while the receiver runs; the
+// replica itself is untouched (the new parent republishes with origin
+// versions, so held records refresh rather than conflict).
+func (r *Receiver) SetFeedbackDest(dest net.Addr) {
+	r.fbDest.Store(&dest)
+	r.mu.Lock()
+	r.pubSeen = false
+	r.pubID = 0
+	r.lastSeq = 0
+	r.lastHeard = 0
+	// A fresh loss estimator: the new parent's sequence space is
+	// unrelated to the old one's.
+	r.est = feedback.NewLossEstimator(0.25)
+	r.mu.Unlock()
+}
+
+// FeedbackDest returns where repair and report traffic currently goes.
+func (r *Receiver) FeedbackDest() net.Addr { return *r.fbDest.Load() }
+
+// LastHeard returns the wall-clock time (seconds, the table time base)
+// of the most recent datagram from the learned publisher, and whether
+// a publisher has been heard at all since Start (or since the last
+// SetFeedbackDest). Watchdogs use it to detect a dead upstream.
+func (r *Receiver) LastHeard() (float64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastHeard, r.pubSeen
 }
 
 func (r *Receiver) sweepLoop() {

@@ -1,0 +1,80 @@
+package staleness
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestTrackerConcurrentConfirmForget drives the Tracker the way a
+// goodbye-flush cascade does in the live stack: receiver dispatchers
+// keep confirming keys while the flush path forgets whole sources, and
+// the stats endpoint reads quantiles throughout. Run under -race (the
+// `make check` tier always does), this pins the Tracker's lock
+// discipline; without the lock it also fails fast on the concurrent
+// map mutation.
+func TestTrackerConcurrentConfirmForget(t *testing.T) {
+	tr := NewTracker()
+	const (
+		sources = 4
+		keys    = 64
+		rounds  = 200
+	)
+	var wg sync.WaitGroup
+
+	// Confirm loops: one per source, re-confirming its key set.
+	for s := 0; s < sources; s++ {
+		wg.Add(1)
+		go func(src uint64) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for k := 0; k < keys; k++ {
+					tr.ConfirmAt(src, fmt.Sprintf("key/%03d", k), float64(r))
+				}
+			}
+		}(uint64(s))
+	}
+
+	// Flush cascade: repeatedly forget every key of every source, the
+	// access pattern of FlushOnGoodbye tearing a relay tree down while
+	// upstream refreshes are still in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			for s := 0; s < sources; s++ {
+				for k := 0; k < keys; k++ {
+					tr.Forget(uint64(s), fmt.Sprintf("key/%03d", k))
+				}
+			}
+		}
+	}()
+
+	// Stats reader: Len and AgesAt poll concurrently, like the admin
+	// endpoint during the cascade.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			_ = tr.Len()
+			_ = tr.AgesAt(float64(r) + 0.5)
+		}
+	}()
+
+	wg.Wait()
+
+	// Deterministic end state: one final confirm must be visible, and a
+	// final forget must empty the tracker again.
+	tr.ConfirmAt(1, "key/000", 1000)
+	if got := tr.Len(); got != 1 {
+		t.Fatalf("Len after final confirm = %d, want 1", got)
+	}
+	q := tr.AgesAt(1001)
+	if q.Count != 1 || q.Max != 1 {
+		t.Fatalf("AgesAt = %+v, want count 1 max 1", q)
+	}
+	tr.Forget(1, "key/000")
+	if got := tr.Len(); got != 0 {
+		t.Fatalf("Len after final forget = %d, want 0", got)
+	}
+}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -15,6 +16,13 @@ func TestParseEndpoint(t *testing.T) {
 		{"127.0.0.1:8701", "udp", Endpoint{"udp", "127.0.0.1:8701"}, false},
 		{"localhost:99", "udp", Endpoint{"udp", "localhost:99"}, false},
 		{"[::1]:8701", "udp", Endpoint{"udp", "[::1]:8701"}, false},
+		// IPv6 literals need their brackets through every scheme.
+		{"udp://[::1]:8701", "udp", Endpoint{"udp", "[::1]:8701"}, false},
+		{"tcp://[::1]:9000", "udp", Endpoint{"tcp", "[::1]:9000"}, false},
+		{"tls://[fe80::1%25eth0]:443", "udp", Endpoint{"tls", "[fe80::1%25eth0]:443"}, false},
+		{"[2001:db8::42]:19", "tcp", Endpoint{"tcp", "[2001:db8::42]:19"}, false},
+		// An unbracketed IPv6 literal is ambiguous host:port and fails.
+		{"udp://::1:8701", "udp", Endpoint{}, true},
 		// -transport retargets bare specs...
 		{"127.0.0.1:8701", "tcp", Endpoint{"tcp", "127.0.0.1:8701"}, false},
 		{"127.0.0.1:8701", "tls", Endpoint{"tls", "127.0.0.1:8701"}, false},
@@ -45,6 +53,27 @@ func TestParseEndpoint(t *testing.T) {
 		if got != c.want {
 			t.Errorf("ParseEndpointDefault(%q, %q) = %v, want %v", c.spec, c.def, got, c.want)
 		}
+	}
+}
+
+func TestParseEndpointUnknownSchemeNamed(t *testing.T) {
+	// The error must name the offending scheme, not just echo the spec:
+	// "quic://h:1 is wrong" without saying *what* is wrong sends users
+	// grepping the docs.
+	_, err := ParseEndpoint("quic://h:1")
+	if err == nil {
+		t.Fatal("quic scheme accepted")
+	}
+	if !strings.Contains(err.Error(), `"quic"`) {
+		t.Fatalf("error %q does not name the offending scheme", err)
+	}
+	// Bare specs that fail scheme validation name the defaulted scheme.
+	_, err = ParseEndpointDefault("host:1", "carrierpigeon")
+	if err == nil {
+		t.Fatal("unknown default scheme accepted")
+	}
+	if !strings.Contains(err.Error(), `"carrierpigeon"`) {
+		t.Fatalf("error %q does not name the offending scheme", err)
 	}
 }
 

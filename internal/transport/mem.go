@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"softstate/internal/xrand"
@@ -35,6 +36,7 @@ type MemNetwork struct {
 	loss      map[[2]MemAddr]float64
 	delay     map[[2]MemAddr]time.Duration
 	jitter    map[[2]MemAddr]time.Duration
+	down      map[[2]MemAddr]bool
 	addrbox   map[MemAddr]net.Addr // cached interface boxings of sources
 	defLoss   float64
 	defDelay  time.Duration
@@ -50,6 +52,7 @@ func NewMemNetwork(seed int64) *MemNetwork {
 		loss:      make(map[[2]MemAddr]float64),
 		delay:     make(map[[2]MemAddr]time.Duration),
 		jitter:    make(map[[2]MemAddr]time.Duration),
+		down:      make(map[[2]MemAddr]bool),
 		addrbox:   make(map[MemAddr]net.Addr),
 	}
 }
@@ -124,11 +127,55 @@ func (n *MemNetwork) SetDefaultJitter(j time.Duration) {
 	n.defJitter = j
 }
 
+// SetLinkDown severs the path between a and b in both directions:
+// every datagram on the link is dropped, as if the cable were cut.
+// Unlike a loss probability of 1 it consumes no RNG draws, so cutting
+// a link mid-test leaves the rest of the seeded drop/delay sequence
+// untouched — partition and churn tests stay deterministic. Either
+// address may also be a group address, which severs the pair for the
+// group fan-out as a whole (per-member paths can still be cut
+// individually).
+func (n *MemNetwork) SetLinkDown(a, b MemAddr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[[2]MemAddr{a, b}] = true
+	n.down[[2]MemAddr{b, a}] = true
+}
+
+// SetLinkUp heals a link severed by SetLinkDown (both directions).
+func (n *MemNetwork) SetLinkUp(a, b MemAddr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.down, [2]MemAddr{a, b})
+	delete(n.down, [2]MemAddr{b, a})
+}
+
+// Partition severs every link between the two sides, in both
+// directions — the one-call way to split a mesh for a partition-heal
+// test. Heal with HealAll (or SetLinkUp per pair).
+func (n *MemNetwork) Partition(sideA, sideB []MemAddr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, a := range sideA {
+		for _, b := range sideB {
+			n.down[[2]MemAddr{a, b}] = true
+			n.down[[2]MemAddr{b, a}] = true
+		}
+	}
+}
+
+// HealAll restores every severed link.
+func (n *MemNetwork) HealAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	clear(n.down)
+}
+
 // Endpoint creates (or returns) the endpoint with the given address.
 func (n *MemNetwork) Endpoint(addr MemAddr) *MemConn {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if c, ok := n.endpoints[addr]; ok && !c.closed {
+	if c, ok := n.endpoints[addr]; ok && !c.closed.Load() {
 		return c
 	}
 	c := &MemConn{
@@ -190,9 +237,13 @@ func (n *MemNetwork) route(from MemAddr, to MemAddr, b []byte) {
 	}
 	var hbuf [16]hop
 	hops := hbuf[:0]
+	cut := n.down[[2]MemAddr{from, to}] // group-level cut when to is a group
 	for _, tgt := range targets {
 		c, ok := n.endpoints[tgt]
-		if !ok || c.closed {
+		if !ok || c.closed.Load() {
+			continue
+		}
+		if cut || n.down[[2]MemAddr{from, tgt}] {
 			continue
 		}
 		p, ok := n.loss[[2]MemAddr{from, tgt}]
@@ -257,28 +308,38 @@ func (p *memPacket) recycle() {
 // MemConn is one endpoint of a MemNetwork; it implements
 // net.PacketConn.
 type MemConn struct {
-	net    *MemNetwork
-	addr   MemAddr
-	inbox  chan memPacket
-	mu     sync.Mutex
-	closed bool
+	net   *MemNetwork
+	addr  MemAddr
+	inbox chan memPacket
+	mu    sync.Mutex
+
+	// closed is atomic so the network's routing fast path (which holds
+	// only the network lock) can test liveness without racing Close;
+	// mu still orders the closed-check against the inbox send/close.
+	closed atomic.Bool
 
 	deadlineMu sync.Mutex
 	deadline   time.Time
-
-	// rdTimer is reused across ReadFrom calls instead of allocating a
-	// fresh timer per read. It is owned by the reading goroutine —
-	// receive loops are single-reader, matching the UDP sockets they
-	// stand in for.
-	rdTimer *time.Timer
 }
+
+// memTimerPool recycles read-deadline timers across ReadFrom calls.
+// Pooling (rather than a per-conn timer field) keeps deadline reads
+// allocation-free while staying correct when several goroutines read
+// one conn concurrently — tests share endpoints to model multicast
+// sockets, and a shared timer would let one reader's Reset clobber
+// another's pending wait.
+var memTimerPool = sync.Pool{New: func() any {
+	t := time.NewTimer(time.Hour)
+	t.Stop()
+	return t
+}}
 
 func (c *MemConn) deliver(p memPacket) {
 	// Hold the lock across the (non-blocking) send so Close cannot
 	// close the inbox between the check and the send.
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
+	if c.closed.Load() {
 		return
 	}
 	select {
@@ -294,24 +355,34 @@ func (c *MemConn) ReadFrom(b []byte) (int, net.Addr, error) {
 	dl := c.deadline
 	c.deadlineMu.Unlock()
 	var timeout <-chan time.Time
+	var tm *time.Timer
 	if !dl.IsZero() {
 		d := time.Until(dl)
 		if d <= 0 {
 			return 0, nil, timeoutError{}
 		}
-		if c.rdTimer == nil {
-			c.rdTimer = time.NewTimer(d)
-		} else {
-			if !c.rdTimer.Stop() {
-				select {
-				case <-c.rdTimer.C:
-				default:
-				}
+		tm = memTimerPool.Get().(*time.Timer)
+		if !tm.Stop() {
+			select {
+			case <-tm.C:
+			default:
 			}
-			c.rdTimer.Reset(d)
 		}
-		timeout = c.rdTimer.C
+		tm.Reset(d)
+		timeout = tm.C
 	}
+	defer func() {
+		if tm == nil {
+			return
+		}
+		if !tm.Stop() {
+			select {
+			case <-tm.C:
+			default:
+			}
+		}
+		memTimerPool.Put(tm)
+	}()
 	select {
 	case p, ok := <-c.inbox:
 		if !ok {
@@ -327,10 +398,7 @@ func (c *MemConn) ReadFrom(b []byte) (int, net.Addr, error) {
 
 // WriteTo implements net.PacketConn.
 func (c *MemConn) WriteTo(b []byte, addr net.Addr) (int, error) {
-	c.mu.Lock()
-	closed := c.closed
-	c.mu.Unlock()
-	if closed {
+	if c.closed.Load() {
 		return 0, net.ErrClosed
 	}
 	to, ok := addr.(MemAddr)
@@ -345,10 +413,10 @@ func (c *MemConn) WriteTo(b []byte, addr net.Addr) (int, error) {
 func (c *MemConn) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
+	if c.closed.Load() {
 		return nil
 	}
-	c.closed = true
+	c.closed.Store(true)
 	close(c.inbox)
 	return nil
 }

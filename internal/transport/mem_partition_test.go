@@ -1,0 +1,120 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// expectRead asserts the next datagram on c is payload.
+func expectRead(t *testing.T, c *MemConn, payload string) {
+	t.Helper()
+	_ = c.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 64)
+	n, _, err := c.ReadFrom(buf)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if string(buf[:n]) != payload {
+		t.Fatalf("read %q, want %q", buf[:n], payload)
+	}
+}
+
+// expectSilence asserts no datagram arrives on c within the grace
+// window (deliveries on an un-delayed MemNetwork are synchronous, so a
+// short window suffices).
+func expectSilence(t *testing.T, c *MemConn) {
+	t.Helper()
+	_ = c.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	buf := make([]byte, 64)
+	if n, from, err := c.ReadFrom(buf); err == nil {
+		t.Fatalf("unexpected datagram %q from %v on a severed link", buf[:n], from)
+	}
+}
+
+func TestMemNetworkSetLinkDown(t *testing.T) {
+	nw := NewMemNetwork(7)
+	a := nw.Endpoint("a")
+	b := nw.Endpoint("b")
+	c := nw.Endpoint("c")
+
+	// Baseline: a→b delivers.
+	if _, err := a.WriteTo([]byte("one"), MemAddr("b")); err != nil {
+		t.Fatal(err)
+	}
+	expectRead(t, b, "one")
+
+	// Severed: both directions drop, third parties are untouched.
+	nw.SetLinkDown("a", "b")
+	_, _ = a.WriteTo([]byte("lost"), MemAddr("b"))
+	expectSilence(t, b)
+	_, _ = b.WriteTo([]byte("lost"), MemAddr("a"))
+	expectSilence(t, a)
+	if _, err := a.WriteTo([]byte("side"), MemAddr("c")); err != nil {
+		t.Fatal(err)
+	}
+	expectRead(t, c, "side")
+
+	// Healed: traffic resumes with no residue.
+	nw.SetLinkUp("a", "b")
+	if _, err := a.WriteTo([]byte("two"), MemAddr("b")); err != nil {
+		t.Fatal(err)
+	}
+	expectRead(t, b, "two")
+}
+
+func TestMemNetworkLinkDownGroupFanOut(t *testing.T) {
+	nw := NewMemNetwork(7)
+	a := nw.Endpoint("a")
+	b := nw.Endpoint("b")
+	c := nw.Endpoint("c")
+	_ = a
+	nw.Join("grp", "b")
+	nw.Join("grp", "c")
+
+	// Cutting a member path prunes only that member from the fan-out.
+	nw.SetLinkDown("a", "b")
+	if _, err := a.WriteTo([]byte("fan"), MemAddr("grp")); err != nil {
+		t.Fatal(err)
+	}
+	expectRead(t, c, "fan")
+	expectSilence(t, b)
+
+	// Cutting the group address itself silences the whole fan-out.
+	nw.SetLinkDown("a", "grp")
+	_, _ = a.WriteTo([]byte("mute"), MemAddr("grp"))
+	expectSilence(t, c)
+
+	// HealAll restores every severed pair at once.
+	nw.HealAll()
+	if _, err := a.WriteTo([]byte("back"), MemAddr("grp")); err != nil {
+		t.Fatal(err)
+	}
+	expectRead(t, b, "back")
+	expectRead(t, c, "back")
+}
+
+func TestMemNetworkPartition(t *testing.T) {
+	nw := NewMemNetwork(7)
+	addrs := []MemAddr{"p0", "p1", "p2", "p3"}
+	conns := make([]*MemConn, len(addrs))
+	for i, ad := range addrs {
+		conns[i] = nw.Endpoint(ad)
+	}
+	nw.Partition(addrs[:2], addrs[2:])
+
+	// Cross-partition paths are dead both ways; intra-partition lives.
+	_, _ = conns[0].WriteTo([]byte("x"), addrs[2])
+	expectSilence(t, conns[2])
+	_, _ = conns[3].WriteTo([]byte("x"), addrs[1])
+	expectSilence(t, conns[1])
+	if _, err := conns[0].WriteTo([]byte("in"), addrs[1]); err != nil {
+		t.Fatal(err)
+	}
+	expectRead(t, conns[1], "in")
+
+	nw.HealAll()
+	if _, err := conns[0].WriteTo([]byte("healed"), addrs[2]); err != nil {
+		t.Fatal(err)
+	}
+	expectRead(t, conns[2], "healed")
+}

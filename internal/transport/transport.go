@@ -133,7 +133,7 @@ func ParseEndpointDefault(spec, defScheme string) (Endpoint, error) {
 	switch e.Scheme {
 	case "udp", "tcp", "tls", "mem":
 	default:
-		return Endpoint{}, fmt.Errorf("transport: unknown scheme in %q (want udp, tcp, tls, or mem)", spec)
+		return Endpoint{}, fmt.Errorf("transport: unknown scheme %q in %q (want udp, tcp, tls, or mem)", e.Scheme, spec)
 	}
 	if e.Address == "" {
 		return Endpoint{}, fmt.Errorf("transport: empty address in %q", spec)
